@@ -1,0 +1,115 @@
+/// Microbenchmarks for the Bloom-filter bit-matrix machinery of Section 4.1:
+/// filter construction at the paper's cardinalities, superset probes (AND of
+/// the query's set rows) vs subset probes (AND-NOT of the query's zero rows
+/// — the reverse-search direction whose cost grows with m, Figure 12).
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "bloom/bloom_filter.h"
+#include "bloom/bloom_matrix.h"
+#include "common/rng.h"
+
+namespace tind {
+namespace {
+
+ValueSet RandomSet(Rng* rng, size_t cardinality, size_t universe) {
+  std::vector<ValueId> vals;
+  for (size_t i = 0; i < cardinality; ++i) {
+    vals.push_back(static_cast<ValueId>(rng->Uniform(universe)));
+  }
+  return ValueSet::FromUnsorted(std::move(vals));
+}
+
+void BM_BloomFilterBuild(benchmark::State& state) {
+  Rng rng(1);
+  const ValueSet vs = RandomSet(&rng, 28, 100000);  // Paper avg cardinality.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BloomFilter::FromValueSet(vs, static_cast<size_t>(state.range(0)), 3));
+  }
+}
+BENCHMARK(BM_BloomFilterBuild)->Arg(512)->Arg(4096)->ArgName("m");
+
+struct MatrixFixture {
+  BloomMatrix matrix;
+  std::vector<ValueSet> sets;
+  explicit MatrixFixture(size_t m, size_t columns) : matrix(m, 3, columns) {
+    Rng rng(2);
+    for (size_t c = 0; c < columns; ++c) {
+      sets.push_back(RandomSet(&rng, 28, 5000));
+      matrix.SetColumn(c, sets.back());
+    }
+  }
+};
+
+MatrixFixture* GetMatrix(size_t m, size_t columns) {
+  static std::map<std::pair<size_t, size_t>, std::unique_ptr<MatrixFixture>>
+      fixtures;
+  auto& f = fixtures[{m, columns}];
+  if (!f) f = std::make_unique<MatrixFixture>(m, columns);
+  return f.get();
+}
+
+void BM_MatrixSupersetProbe(benchmark::State& state) {
+  MatrixFixture* f = GetMatrix(static_cast<size_t>(state.range(0)),
+                               static_cast<size_t>(state.range(1)));
+  Rng rng(3);
+  const ValueSet query = RandomSet(&rng, 28, 5000);
+  const BloomFilter qf = f->matrix.MakeQueryFilter(query);
+  for (auto _ : state) {
+    BitVector candidates(f->matrix.num_columns(), true);
+    f->matrix.QuerySupersets(qf, &candidates);
+    benchmark::DoNotOptimize(candidates.Count());
+  }
+}
+BENCHMARK(BM_MatrixSupersetProbe)
+    ->ArgsProduct({{512, 4096}, {10000, 50000}})
+    ->ArgNames({"m", "cols"});
+
+void BM_MatrixSubsetProbe(benchmark::State& state) {
+  MatrixFixture* f = GetMatrix(static_cast<size_t>(state.range(0)),
+                               static_cast<size_t>(state.range(1)));
+  Rng rng(4);
+  const ValueSet query = RandomSet(&rng, 200, 5000);
+  const BloomFilter qf = f->matrix.MakeQueryFilter(query);
+  for (auto _ : state) {
+    BitVector candidates(f->matrix.num_columns(), true);
+    f->matrix.QuerySubsets(qf, &candidates);
+    benchmark::DoNotOptimize(candidates.Count());
+  }
+}
+BENCHMARK(BM_MatrixSubsetProbe)
+    ->ArgsProduct({{512, 4096}, {10000, 50000}})
+    ->ArgNames({"m", "cols"});
+
+void BM_MatrixColumnInsert(benchmark::State& state) {
+  Rng rng(5);
+  const ValueSet vs = RandomSet(&rng, 28, 100000);
+  BloomMatrix matrix(4096, 3, 1000);
+  size_t c = 0;
+  for (auto _ : state) {
+    matrix.SetColumn(c++ % 1000, vs);
+  }
+}
+BENCHMARK(BM_MatrixColumnInsert);
+
+void BM_BitVectorAnd(benchmark::State& state) {
+  Rng rng(6);
+  BitVector a(static_cast<size_t>(state.range(0)), true);
+  BitVector b(static_cast<size_t>(state.range(0)));
+  for (size_t i = 0; i < b.size(); i += 3) b.Set(i);
+  for (auto _ : state) {
+    BitVector c = a;
+    c.And(b);
+    benchmark::DoNotOptimize(c.Count());
+  }
+}
+BENCHMARK(BM_BitVectorAnd)->Arg(10000)->Arg(1000000)->ArgName("bits");
+
+}  // namespace
+}  // namespace tind
+
+BENCHMARK_MAIN();

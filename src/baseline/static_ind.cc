@@ -1,0 +1,84 @@
+#include "baseline/static_ind.h"
+
+#include <atomic>
+
+#include "common/stopwatch.h"
+
+namespace tind {
+
+Result<std::unique_ptr<StaticIndDiscovery>> StaticIndDiscovery::Build(
+    const Dataset& dataset, const StaticIndOptions& options) {
+  if (!IsPowerOfTwo(options.bloom_bits)) {
+    return Status::InvalidArgument("bloom_bits must be a power of two");
+  }
+  auto discovery =
+      std::unique_ptr<StaticIndDiscovery>(new StaticIndDiscovery());
+  discovery->dataset_ = &dataset;
+  discovery->snapshot_ = options.snapshot == kInvalidTimestamp
+                             ? dataset.domain().last()
+                             : options.snapshot;
+  if (!dataset.domain().Contains(discovery->snapshot_)) {
+    return Status::InvalidArgument("snapshot timestamp outside domain");
+  }
+  discovery->matrix_ =
+      BloomMatrix(options.bloom_bits, options.num_hashes, dataset.size());
+  for (size_t c = 0; c < dataset.size(); ++c) {
+    discovery->matrix_.SetColumn(
+        c, dataset.attribute(static_cast<AttributeId>(c))
+               .VersionAt(discovery->snapshot_));
+  }
+  return discovery;
+}
+
+std::vector<AttributeId> StaticIndDiscovery::Search(
+    const AttributeHistory& query) const {
+  const ValueSet& q_values = query.VersionAt(snapshot_);
+  BitVector candidates(dataset_->size(), /*fill=*/true);
+  if (query.id() < dataset_->size() &&
+      &dataset_->attribute(query.id()) == &query) {
+    candidates.Clear(query.id());
+  }
+  if (!q_values.empty()) {
+    const BloomFilter filter = matrix_.MakeQueryFilter(q_values);
+    matrix_.QuerySupersets(filter, &candidates);
+  }
+  std::vector<AttributeId> results;
+  candidates.ForEachSet([&](size_t c) {
+    const ValueSet& a_values =
+        dataset_->attribute(static_cast<AttributeId>(c)).VersionAt(snapshot_);
+    if (q_values.IsSubsetOf(a_values)) {
+      results.push_back(static_cast<AttributeId>(c));
+    }
+  });
+  return results;
+}
+
+AllPairsResult StaticIndDiscovery::AllPairs(ThreadPool* pool) const {
+  const size_t n = dataset_->size();
+  Stopwatch timer;
+  std::vector<std::vector<AttributeId>> per_query(n);
+  const auto run_query = [&](size_t q) {
+    const AttributeHistory& attr =
+        dataset_->attribute(static_cast<AttributeId>(q));
+    // Empty left-hand sides produce only trivial INDs; skip them, matching
+    // the filtering conventions of the paper's static baseline.
+    if (attr.VersionAt(snapshot_).empty()) return;
+    per_query[q] = Search(attr);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(0, n, run_query);
+  } else {
+    for (size_t q = 0; q < n; ++q) run_query(q);
+  }
+  AllPairsResult result;
+  result.num_queries = n;
+  for (size_t q = 0; q < n; ++q) {
+    for (const AttributeId rhs : per_query[q]) {
+      result.pairs.push_back(TindPair{static_cast<AttributeId>(q), rhs});
+    }
+  }
+  result.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace tind

@@ -1,0 +1,60 @@
+#ifndef TIND_BASELINE_STATIC_IND_H_
+#define TIND_BASELINE_STATIC_IND_H_
+
+/// \file static_ind.h
+/// Static IND discovery on a single snapshot (Definition 3.1) — the
+/// Tschirschnitz-et-al.-style baseline the paper compares against in
+/// Sections 5.2 and 5.5. One MANY-style Bloom matrix over the value sets
+/// A[t] at the snapshot timestamp, followed by exact subset validation.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bloom/bloom_matrix.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "temporal/dataset.h"
+#include "tind/discovery.h"
+
+namespace tind {
+
+struct StaticIndOptions {
+  size_t bloom_bits = 4096;
+  uint32_t num_hashes = 3;
+  /// Snapshot timestamp; kInvalidTimestamp means the latest snapshot (the
+  /// paper's "static IND discovery on the latest snapshot").
+  Timestamp snapshot = kInvalidTimestamp;
+};
+
+/// \brief Snapshot IND search: all A with Q[t] ⊆ A[t].
+class StaticIndDiscovery {
+ public:
+  static Result<std::unique_ptr<StaticIndDiscovery>> Build(
+      const Dataset& dataset, const StaticIndOptions& options);
+
+  Timestamp snapshot() const { return snapshot_; }
+
+  /// All indexed attributes whose snapshot value set contains the query's
+  /// snapshot value set. Attributes with an empty snapshot value set are
+  /// never returned as left-hand sides by convention of the caller; an
+  /// empty query set is contained everywhere and returns all attributes.
+  std::vector<AttributeId> Search(const AttributeHistory& query) const;
+
+  /// All static INDs at the snapshot, as (lhs, rhs) pairs with lhs != rhs.
+  /// Pairs whose lhs snapshot set is empty are skipped (trivial INDs).
+  AllPairsResult AllPairs(ThreadPool* pool = nullptr) const;
+
+  size_t MemoryUsageBytes() const { return matrix_.MemoryUsageBytes(); }
+
+ private:
+  StaticIndDiscovery() = default;
+
+  const Dataset* dataset_ = nullptr;
+  Timestamp snapshot_ = 0;
+  BloomMatrix matrix_;
+};
+
+}  // namespace tind
+
+#endif  // TIND_BASELINE_STATIC_IND_H_

@@ -1,0 +1,47 @@
+#include "bloom/bloom_filter.h"
+
+#include <cassert>
+
+namespace tind {
+
+BloomFilter::BloomFilter(size_t num_bits, uint32_t num_hashes)
+    : bits_(num_bits), num_hashes_(num_hashes) {
+  assert(IsPowerOfTwo(num_bits));
+  assert(num_hashes > 0);
+}
+
+BloomFilter BloomFilter::FromValueSet(const ValueSet& values, size_t num_bits,
+                                      uint32_t num_hashes) {
+  BloomFilter bf(num_bits, num_hashes);
+  bf.AddAll(values);
+  return bf;
+}
+
+void BloomFilter::Add(ValueId value) {
+  const DoubleHash h = DoubleHash::FromValue(value);
+  const uint64_t m = bits_.size();
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    bits_.Set(static_cast<size_t>(h.Probe(i, m)));
+  }
+}
+
+void BloomFilter::AddAll(const ValueSet& values) {
+  for (const ValueId v : values.values()) Add(v);
+}
+
+bool BloomFilter::MightContain(ValueId value) const {
+  const DoubleHash h = DoubleHash::FromValue(value);
+  const uint64_t m = bits_.size();
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    if (!bits_.Get(static_cast<size_t>(h.Probe(i, m)))) return false;
+  }
+  return true;
+}
+
+double BloomFilter::Density() const {
+  if (bits_.empty()) return 0.0;
+  return static_cast<double>(bits_.Count()) /
+         static_cast<double>(bits_.size());
+}
+
+}  // namespace tind

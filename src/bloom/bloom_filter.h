@@ -1,0 +1,67 @@
+#ifndef TIND_BLOOM_BLOOM_FILTER_H_
+#define TIND_BLOOM_BLOOM_FILTER_H_
+
+/// \file bloom_filter.h
+/// Bloom filters over interned values (Section 4.1). The key property the
+/// index relies on: the hash mapping preserves subset relationships — if
+/// A ⊆ B then h(A)'s set bits are a subset of h(B)'s set bits. Containment
+/// tests therefore never produce false negatives, which makes Bloom-based
+/// candidate pruning sound.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bitvector.h"
+#include "common/hash.h"
+#include "temporal/value_set.h"
+
+namespace tind {
+
+/// \brief Fixed-size Bloom filter with double hashing.
+///
+/// `num_bits` must be a power of two (the paper sweeps m ∈ {512..8192},
+/// Figure 12). `num_hashes` probes are derived from two base hashes via the
+/// Kirsch–Mitzenmacher construction.
+class BloomFilter {
+ public:
+  BloomFilter() = default;
+  BloomFilter(size_t num_bits, uint32_t num_hashes);
+
+  /// Builds a filter directly from a value set.
+  static BloomFilter FromValueSet(const ValueSet& values, size_t num_bits,
+                                  uint32_t num_hashes);
+
+  size_t num_bits() const { return bits_.size(); }
+  uint32_t num_hashes() const { return num_hashes_; }
+
+  void Add(ValueId value);
+  /// Adds every value of `values`.
+  void AddAll(const ValueSet& values);
+
+  /// True iff `value` may be in the set (false positives possible,
+  /// false negatives impossible).
+  bool MightContain(ValueId value) const;
+
+  /// True iff every bit of this filter is set in `other` — the Bloom-level
+  /// subset test. If the underlying sets satisfy this ⊆ other, the test is
+  /// guaranteed to return true.
+  bool IsSubsetOf(const BloomFilter& other) const {
+    return bits_.IsSubsetOf(other.bits_);
+  }
+
+  /// Fraction of set bits (diagnostics; density drives reverse-search cost).
+  double Density() const;
+
+  size_t CountSetBits() const { return bits_.Count(); }
+  const BitVector& bits() const { return bits_; }
+
+  size_t MemoryUsageBytes() const { return bits_.MemoryUsageBytes(); }
+
+ private:
+  BitVector bits_;
+  uint32_t num_hashes_ = 0;
+};
+
+}  // namespace tind
+
+#endif  // TIND_BLOOM_BLOOM_FILTER_H_

@@ -1,0 +1,61 @@
+#include "bloom/bloom_matrix.h"
+
+#include <cassert>
+
+namespace tind {
+
+BloomMatrix::BloomMatrix(size_t num_bits, uint32_t num_hashes,
+                         size_t num_columns)
+    : num_bits_(num_bits),
+      num_hashes_(num_hashes),
+      num_columns_(num_columns),
+      rows_(num_bits, BitVector(num_columns)) {
+  assert(IsPowerOfTwo(num_bits));
+}
+
+void BloomMatrix::SetColumn(size_t column, const ValueSet& values) {
+  assert(column < num_columns_);
+  const uint64_t m = num_bits_;
+  for (const ValueId v : values.values()) {
+    const DoubleHash h = DoubleHash::FromValue(v);
+    for (uint32_t i = 0; i < num_hashes_; ++i) {
+      rows_[static_cast<size_t>(h.Probe(i, m))].Set(column);
+    }
+  }
+}
+
+void BloomMatrix::QuerySupersets(const BloomFilter& query,
+                                 BitVector* candidates) const {
+  assert(query.num_bits() == num_bits_);
+  assert(candidates->size() == num_columns_);
+  query.bits().ForEachSet([&](size_t row) {
+    candidates->And(rows_[row]);
+  });
+}
+
+void BloomMatrix::QuerySubsets(const BloomFilter& query,
+                               BitVector* candidates) const {
+  assert(query.num_bits() == num_bits_);
+  assert(candidates->size() == num_columns_);
+  const BitVector& qbits = query.bits();
+  for (size_t row = 0; row < num_bits_; ++row) {
+    if (!qbits.Get(row)) candidates->AndNot(rows_[row]);
+  }
+}
+
+bool BloomMatrix::ColumnContains(const BloomFilter& query,
+                                 size_t column) const {
+  bool contained = true;
+  query.bits().ForEachSet([&](size_t row) {
+    if (!rows_[row].Get(column)) contained = false;
+  });
+  return contained;
+}
+
+size_t BloomMatrix::MemoryUsageBytes() const {
+  size_t bytes = 0;
+  for (const auto& row : rows_) bytes += row.MemoryUsageBytes();
+  return bytes;
+}
+
+}  // namespace tind

@@ -1,0 +1,68 @@
+#ifndef TIND_BLOOM_BLOOM_MATRIX_H_
+#define TIND_BLOOM_BLOOM_MATRIX_H_
+
+/// \file bloom_matrix.h
+/// The MANY-style bit matrix (Section 4.1, Figure 3): row i is the i-th
+/// Bloom bit across all indexed attributes; column c is attribute c's Bloom
+/// filter. Superset candidates for a query are the AND of the rows where the
+/// query filter has a 1; subset candidates are the AND of the *negated* rows
+/// where the query filter has a 0.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "bloom/bloom_filter.h"
+#include "common/bitvector.h"
+
+namespace tind {
+
+/// \brief num_bits × num_columns bit matrix of attribute Bloom filters.
+class BloomMatrix {
+ public:
+  BloomMatrix() = default;
+  /// Creates an all-zero matrix for `num_columns` attributes.
+  BloomMatrix(size_t num_bits, uint32_t num_hashes, size_t num_columns);
+
+  size_t num_bits() const { return num_bits_; }
+  uint32_t num_hashes() const { return num_hashes_; }
+  size_t num_columns() const { return num_columns_; }
+
+  /// Inserts `values` as the Bloom filter of column `column`.
+  void SetColumn(size_t column, const ValueSet& values);
+
+  /// Builds the Bloom filter of a query value set with this matrix's
+  /// geometry (so it is probe-compatible).
+  BloomFilter MakeQueryFilter(const ValueSet& values) const {
+    return BloomFilter::FromValueSet(values, num_bits_, num_hashes_);
+  }
+
+  /// Narrows `candidates` (a bit per column) to columns whose filter
+  /// contains every set bit of `query` — potential supersets of the query
+  /// set. ANDs row-by-row over the query's set bits.
+  void QuerySupersets(const BloomFilter& query, BitVector* candidates) const;
+
+  /// Narrows `candidates` to columns whose filter has no bit outside
+  /// `query`'s set bits — potential subsets of the query set. ANDs the
+  /// negation of every row where the query has a 0 (this touches m minus
+  /// |set bits| rows, which is why sparse/large filters make reverse search
+  /// more expensive — Section 4.5).
+  void QuerySubsets(const BloomFilter& query, BitVector* candidates) const;
+
+  /// Exact Bloom-level subset recheck for one column: true iff column
+  /// `column`'s filter contains all set bits of `query`.
+  bool ColumnContains(const BloomFilter& query, size_t column) const;
+
+  /// Bytes used by the bit rows: num_bits * num_columns / 8.
+  size_t MemoryUsageBytes() const;
+
+ private:
+  size_t num_bits_ = 0;
+  uint32_t num_hashes_ = 0;
+  size_t num_columns_ = 0;
+  std::vector<BitVector> rows_;
+};
+
+}  // namespace tind
+
+#endif  // TIND_BLOOM_BLOOM_MATRIX_H_

@@ -1,0 +1,118 @@
+#include "common/bitvector.h"
+
+#include <cassert>
+
+namespace tind {
+
+namespace {
+constexpr size_t WordCount(size_t bits) { return (bits + 63) / 64; }
+}  // namespace
+
+BitVector::BitVector(size_t size, bool fill)
+    : size_(size), words_(WordCount(size), fill ? ~0ULL : 0ULL) {
+  if (fill) MaskTail();
+}
+
+void BitVector::MaskTail() {
+  const size_t rem = size_ & 63;
+  if (rem != 0 && !words_.empty()) {
+    words_.back() &= (1ULL << rem) - 1;
+  }
+}
+
+void BitVector::SetAll() {
+  for (auto& w : words_) w = ~0ULL;
+  MaskTail();
+}
+
+void BitVector::ClearAll() {
+  for (auto& w : words_) w = 0;
+}
+
+void BitVector::And(const BitVector& other) {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+void BitVector::AndNot(const BitVector& other) {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+}
+
+void BitVector::Or(const BitVector& other) {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+void BitVector::Xor(const BitVector& other) {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+}
+
+void BitVector::Flip() {
+  for (auto& w : words_) w = ~w;
+  MaskTail();
+}
+
+size_t BitVector::Count() const {
+  size_t count = 0;
+  for (uint64_t w : words_) count += static_cast<size_t>(__builtin_popcountll(w));
+  return count;
+}
+
+bool BitVector::None() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+bool BitVector::All() const { return Count() == size_; }
+
+bool BitVector::IsSubsetOf(const BitVector& other) const {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool BitVector::Intersects(const BitVector& other) const {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+size_t BitVector::FindNextSet(size_t from) const {
+  if (from >= size_) return size_;
+  size_t w = from >> 6;
+  uint64_t word = words_[w] & (~0ULL << (from & 63));
+  while (true) {
+    if (word != 0) {
+      const size_t idx = w * 64 + static_cast<size_t>(__builtin_ctzll(word));
+      return idx < size_ ? idx : size_;
+    }
+    if (++w >= words_.size()) return size_;
+    word = words_[w];
+  }
+}
+
+std::vector<size_t> BitVector::ToIndexVector() const {
+  std::vector<size_t> out;
+  out.reserve(Count());
+  ForEachSet([&](size_t i) { out.push_back(i); });
+  return out;
+}
+
+std::string BitVector::ToString() const {
+  const size_t limit = size_ < 256 ? size_ : 256;
+  std::string s;
+  s.reserve(limit + 3);
+  for (size_t i = 0; i < limit; ++i) s.push_back(Get(i) ? '1' : '0');
+  if (limit < size_) s += "...";
+  return s;
+}
+
+}  // namespace tind

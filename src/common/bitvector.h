@@ -1,0 +1,114 @@
+#ifndef TIND_COMMON_BITVECTOR_H_
+#define TIND_COMMON_BITVECTOR_H_
+
+/// \file bitvector.h
+/// A dense, word-packed bit vector tuned for the candidate bookkeeping of the
+/// tIND index: bulk AND / AND-NOT with other vectors (the Bloom-matrix row
+/// operations of Algorithm 1), popcounts, and fast iteration over set bits.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tind {
+
+/// \brief Fixed-size vector of bits packed into 64-bit words.
+///
+/// All binary operations require equal sizes; mismatches assert in debug
+/// builds and are undefined in release builds (this is a hot inner-loop type
+/// and deliberately performs no runtime size checks in release).
+class BitVector {
+ public:
+  BitVector() = default;
+  /// Creates a vector of `size` bits, all initialized to `fill`.
+  explicit BitVector(size_t size, bool fill = false);
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool Get(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+  void Set(size_t i) { words_[i >> 6] |= (1ULL << (i & 63)); }
+  void Clear(size_t i) { words_[i >> 6] &= ~(1ULL << (i & 63)); }
+  void Assign(size_t i, bool value) {
+    if (value) {
+      Set(i);
+    } else {
+      Clear(i);
+    }
+  }
+
+  /// Sets all bits to zero / one.
+  void SetAll();
+  void ClearAll();
+
+  /// this &= other.
+  void And(const BitVector& other);
+  /// this &= ~other.
+  void AndNot(const BitVector& other);
+  /// this |= other.
+  void Or(const BitVector& other);
+  /// this ^= other.
+  void Xor(const BitVector& other);
+  /// Flips every bit (trailing padding bits stay zero).
+  void Flip();
+
+  /// Number of set bits.
+  size_t Count() const;
+  /// True iff no bit is set.
+  bool None() const;
+  /// True iff every bit is set.
+  bool All() const;
+
+  /// True iff every set bit of this vector is also set in `other`.
+  bool IsSubsetOf(const BitVector& other) const;
+  /// True iff this and `other` share at least one set bit.
+  bool Intersects(const BitVector& other) const;
+
+  /// Index of the first set bit at or after `from`, or `size()` if none.
+  size_t FindNextSet(size_t from) const;
+
+  /// Invokes `fn(index)` for every set bit in ascending order.
+  template <typename Fn>
+  void ForEachSet(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = __builtin_ctzll(word);
+        fn(w * 64 + static_cast<size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// Collects the indices of all set bits.
+  std::vector<size_t> ToIndexVector() const;
+
+  /// Raw word access (for serialization and tests).
+  const std::vector<uint64_t>& words() const { return words_; }
+  std::vector<uint64_t>& mutable_words() { return words_; }
+
+  /// Heap bytes used by the word storage.
+  size_t MemoryUsageBytes() const { return words_.size() * sizeof(uint64_t); }
+
+  /// "0101..." debug rendering (LSB first), capped at 256 bits.
+  std::string ToString() const;
+
+  bool operator==(const BitVector& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+ private:
+  /// Zeroes the unused high bits of the last word so Count()/All() stay
+  /// correct after Flip().
+  void MaskTail();
+
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace tind
+
+#endif  // TIND_COMMON_BITVECTOR_H_

@@ -1,0 +1,90 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+namespace tind {
+
+namespace {
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= s.size()) {
+    const size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      parts.push_back(s.substr(start));
+      break;
+    }
+    parts.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return parts;
+}
+
+}  // namespace
+
+Flags Flags::Parse(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      flags.positional_.push_back(arg);
+      continue;
+    }
+    const size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      flags.values_[arg.substr(2)] = "true";
+    } else {
+      flags.values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    }
+  }
+  return flags;
+}
+
+std::string Flags::GetString(const std::string& key,
+                             const std::string& default_value) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? default_value : it->second;
+}
+
+int64_t Flags::GetInt(const std::string& key, int64_t default_value) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Flags::GetDouble(const std::string& key, double default_value) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Flags::GetBool(const std::string& key, bool default_value) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<int64_t> Flags::GetIntList(
+    const std::string& key, const std::vector<int64_t>& default_value) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  std::vector<int64_t> out;
+  for (const auto& part : SplitCommas(it->second)) {
+    if (!part.empty()) out.push_back(std::strtoll(part.c_str(), nullptr, 10));
+  }
+  return out;
+}
+
+std::vector<double> Flags::GetDoubleList(
+    const std::string& key, const std::vector<double>& default_value) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  std::vector<double> out;
+  for (const auto& part : SplitCommas(it->second)) {
+    if (!part.empty()) out.push_back(std::strtod(part.c_str(), nullptr));
+  }
+  return out;
+}
+
+}  // namespace tind

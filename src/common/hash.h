@@ -1,0 +1,72 @@
+#ifndef TIND_COMMON_HASH_H_
+#define TIND_COMMON_HASH_H_
+
+/// \file hash.h
+/// Deterministic 64-bit hashing used by the Bloom filters and dictionaries.
+/// All functions are pure and platform-independent so that index contents and
+/// experiment results are reproducible bit-for-bit across runs and machines.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace tind {
+
+/// Fast 64-bit mixer (the splitmix64 finalizer). Good avalanche behaviour;
+/// used both as an integer hash and as the PRNG seeding function.
+constexpr uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Hashes a 64-bit integer (e.g. an interned ValueId) to a 64-bit digest.
+constexpr uint64_t HashUint64(uint64_t x) { return SplitMix64(x); }
+
+/// Combines two hashes, order-sensitively.
+constexpr uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return SplitMix64(a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2)));
+}
+
+/// FNV-1a 64-bit string hash with a final mixing step. Used for interning;
+/// byte-order independent because it consumes bytes sequentially.
+inline uint64_t HashString(std::string_view s) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return SplitMix64(h);
+}
+
+/// \brief Double-hashing scheme (Kirsch–Mitzenmacher) for Bloom filters.
+///
+/// Derives the i-th probe position from two base hashes:
+///   g_i(x) = h1(x) + i * h2(x)   (mod m)
+/// which is provably as good as k independent hashes for Bloom filters.
+struct DoubleHash {
+  uint64_t h1;
+  uint64_t h2;
+
+  static DoubleHash FromValue(uint64_t value) {
+    const uint64_t a = SplitMix64(value);
+    // Second stream from a different seed offset; force h2 odd so that for a
+    // power-of-two m all probe strides are coprime with m.
+    const uint64_t b = SplitMix64(value ^ 0xA5A5A5A5A5A5A5A5ULL) | 1ULL;
+    return DoubleHash{a, b};
+  }
+
+  /// Probe position for hash-function index `i` in a table of `m` slots.
+  /// `m` must be a power of two.
+  uint64_t Probe(uint32_t i, uint64_t m) const {
+    return (h1 + static_cast<uint64_t>(i) * h2) & (m - 1);
+  }
+};
+
+/// True iff `x` is a power of two (and nonzero).
+constexpr bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+}  // namespace tind
+
+#endif  // TIND_COMMON_HASH_H_

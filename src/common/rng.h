@@ -1,0 +1,210 @@
+#ifndef TIND_COMMON_RNG_H_
+#define TIND_COMMON_RNG_H_
+
+/// \file rng.h
+/// Seeded, reproducible random number generation. Every stochastic component
+/// of the library (interval selection, workload generation, query sampling)
+/// draws from an explicitly seeded Rng so experiments replay exactly.
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace tind {
+
+/// \brief xoshiro256** PRNG. Small state, excellent statistical quality,
+/// and fully deterministic from a 64-bit seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853C49E6748FEA9BULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // Expand the 64-bit seed via splitmix64 per the xoshiro authors' advice.
+    for (auto& s : state_) {
+      seed = SplitMix64(seed);
+      s = seed;
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses Lemire's
+  /// multiply-shift rejection method to avoid modulo bias.
+  uint64_t Uniform(uint64_t bound) {
+    assert(bound > 0);
+    unsigned __int128 m = static_cast<unsigned __int128>(Next()) * bound;
+    uint64_t low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      const uint64_t threshold = (-bound) % bound;
+      while (low < threshold) {
+        m = static_cast<unsigned __int128>(Next()) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() { return (Next() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Exponentially distributed value with the given rate (mean = 1/rate).
+  double Exponential(double rate) {
+    assert(rate > 0);
+    double u;
+    do {
+      u = UniformDouble();
+    } while (u == 0.0);
+    return -std::log(u) / rate;
+  }
+
+  /// Geometric number of failures before the first success, p in (0, 1].
+  uint64_t Geometric(double p) {
+    assert(p > 0 && p <= 1);
+    if (p >= 1.0) return 0;
+    double u;
+    do {
+      u = UniformDouble();
+    } while (u == 0.0);
+    return static_cast<uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+  }
+
+  /// Poisson-distributed count (Knuth's method; fine for small means).
+  uint64_t Poisson(double mean) {
+    assert(mean >= 0);
+    if (mean <= 0) return 0;
+    const double limit = std::exp(-mean);
+    uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= UniformDouble();
+    } while (p > limit);
+    return k - 1;
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      std::swap((*v)[i - 1], (*v)[Uniform(i)]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) (k <= n), ascending order not
+  /// guaranteed. Uses Floyd's algorithm for O(k) expected work.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Samples one index from [0, weights.size()) with probability
+  /// proportional to `weights[i]`. All weights must be >= 0, sum > 0.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t state_[4];
+};
+
+inline std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  assert(k <= n);
+  // Floyd's algorithm with a small linear-membership set; k is small in all
+  // of our uses (interval counts, query samples relative to n).
+  std::vector<size_t> out;
+  out.reserve(k);
+  for (size_t j = n - k; j < n; ++j) {
+    const size_t t = static_cast<size_t>(Uniform(j + 1));
+    bool present = false;
+    for (const size_t v : out) {
+      if (v == t) {
+        present = true;
+        break;
+      }
+    }
+    out.push_back(present ? j : t);
+  }
+  return out;
+}
+
+inline size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  double total = 0;
+  for (const double w : weights) {
+    assert(w >= 0);
+    total += w;
+  }
+  assert(total > 0);
+  double r = UniformDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0) return i;
+  }
+  return weights.size() - 1;  // Floating-point slack: fall back to the last.
+}
+
+/// \brief Zipf-distributed sampler over ranks [0, n) with skew `s`.
+///
+/// Used by the workload generator to produce the heavy-tailed value
+/// popularity that creates spurious (chance) inclusions in real web tables.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s);
+
+  /// Draws a rank in [0, n); rank 0 is the most popular.
+  size_t Sample(Rng* rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+inline ZipfSampler::ZipfSampler(size_t n, double s) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double acc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = acc;
+  }
+  for (auto& c : cdf_) c /= acc;
+}
+
+inline size_t ZipfSampler::Sample(Rng* rng) const {
+  const double u = rng->UniformDouble();
+  // Binary search for the first cdf entry >= u.
+  size_t lo = 0, hi = cdf_.size() - 1;
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace tind
+
+#endif  // TIND_COMMON_RNG_H_

@@ -1,0 +1,170 @@
+#ifndef TIND_COMMON_STATUS_H_
+#define TIND_COMMON_STATUS_H_
+
+/// \file status.h
+/// Error handling primitives in the Arrow/RocksDB style: cheap, exception-free
+/// `Status` values returned from fallible operations, plus a `Result<T>`
+/// wrapper that carries either a value or a `Status`.
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace tind {
+
+/// Machine-readable error category carried by a non-OK Status.
+enum class StatusCode : unsigned char {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfMemory = 4,
+  kIOError = 5,
+  kFailedPrecondition = 6,
+  kInternal = 7,
+};
+
+/// Returns a human-readable name for a status code, e.g. "Invalid argument".
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation.
+///
+/// The OK state is represented by a null internal pointer, so an OK Status is
+/// a single (null) pointer copy — the common success path costs nothing.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  Status(StatusCode code, std::string message)
+      : state_(code == StatusCode::kOk
+                   ? nullptr
+                   : std::make_shared<State>(State{code, std::move(message)})) {}
+
+  /// Named constructors for every error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  /// The error message; empty for OK statuses.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : state_->message;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfMemory() const { return code() == StatusCode::kOutOfMemory; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsFailedPrecondition() const { return code() == StatusCode::kFailedPrecondition; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<State> state_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Accessing the value of an errored Result is a programming error and
+/// asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(payload_).ok() &&
+           "Result must not be constructed from an OK Status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// The error status; OK if this Result holds a value.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(payload_);
+  }
+
+  const T& ValueOrDie() const& {
+    assert(ok() && "ValueOrDie() called on errored Result");
+    return std::get<T>(payload_);
+  }
+  T& ValueOrDie() & {
+    assert(ok() && "ValueOrDie() called on errored Result");
+    return std::get<T>(payload_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok() && "ValueOrDie() called on errored Result");
+    return std::move(std::get<T>(payload_));
+  }
+
+  /// Moves the value out of the Result.
+  T MoveValueUnsafe() { return std::move(std::get<T>(payload_)); }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define TIND_RETURN_IF_ERROR(expr)           \
+  do {                                       \
+    ::tind::Status _st = (expr);             \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+#define TIND_CONCAT_IMPL(a, b) a##b
+#define TIND_CONCAT(a, b) TIND_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result-returning expression; on success binds the value to
+/// `lhs`, on failure returns the error status.
+#define TIND_ASSIGN_OR_RETURN(lhs, expr)                              \
+  TIND_ASSIGN_OR_RETURN_IMPL(TIND_CONCAT(_result_, __LINE__), lhs, expr)
+
+#define TIND_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).ValueOrDie();
+
+}  // namespace tind
+
+#endif  // TIND_COMMON_STATUS_H_

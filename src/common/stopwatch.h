@@ -1,0 +1,37 @@
+#ifndef TIND_COMMON_STOPWATCH_H_
+#define TIND_COMMON_STOPWATCH_H_
+
+/// \file stopwatch.h
+/// Monotonic wall-clock timing for the experiment harnesses.
+
+#include <chrono>
+#include <cstdint>
+
+namespace tind {
+
+/// \brief Monotonic stopwatch started at construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tind
+
+#endif  // TIND_COMMON_STOPWATCH_H_

@@ -1,0 +1,44 @@
+#ifndef TIND_COMMON_TABLE_PRINTER_H_
+#define TIND_COMMON_TABLE_PRINTER_H_
+
+/// \file table_printer.h
+/// Fixed-width table rendering for the experiment harnesses. Every benchmark
+/// binary prints its result series in the same row/column shape as the
+/// paper's tables and figure series, via this printer (and optionally CSV).
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tind {
+
+/// \brief Collects rows of string cells and renders an aligned text table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience formatters.
+  static std::string FormatDouble(double v, int precision = 2);
+  static std::string FormatInt(int64_t v);
+  static std::string FormatPercent(double fraction, int precision = 1);
+
+  /// Renders with column alignment, a header separator, and `title` on top.
+  void Print(std::ostream& os, const std::string& title = "") const;
+
+  /// Renders the same data as CSV (comma-separated, header first).
+  void PrintCsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tind
+
+#endif  // TIND_COMMON_TABLE_PRINTER_H_

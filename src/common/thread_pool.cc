@@ -1,0 +1,73 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace tind {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end,
+                             const std::function<void(size_t)>& fn) {
+  if (begin >= end) return;
+  const size_t n = end - begin;
+  const size_t num_chunks = std::min(n, num_threads() * 4);
+  if (num_chunks <= 1) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  const size_t chunk = (n + num_chunks - 1) / num_chunks;
+  std::atomic<size_t> next{begin};
+  std::vector<std::future<void>> futures;
+  futures.reserve(num_chunks);
+  auto worker = [&] {
+    while (true) {
+      const size_t lo = next.fetch_add(chunk);
+      if (lo >= end) return;
+      const size_t hi = std::min(end, lo + chunk);
+      for (size_t i = lo; i < hi; ++i) fn(i);
+    }
+  };
+  // Keep one share of the work on the calling thread so ParallelFor makes
+  // progress even if all workers are busy with other submissions.
+  for (size_t c = 1; c < num_chunks; ++c) futures.push_back(Submit(worker));
+  worker();
+  for (auto& f : futures) f.get();
+}
+
+ThreadPool* DefaultThreadPool() {
+  static ThreadPool pool;
+  return &pool;
+}
+
+}  // namespace tind

@@ -1,0 +1,70 @@
+#ifndef TIND_COMMON_THREAD_POOL_H_
+#define TIND_COMMON_THREAD_POOL_H_
+
+/// \file thread_pool.h
+/// A fixed-size worker pool used to parallelize tIND validation and, for the
+/// all-pairs problem, whole queries (the paper parallelizes over queries —
+/// Section 4.2.2). Also provides a ParallelFor convenience with static
+/// chunking, which matches the embarrassingly parallel shape of our loops.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace tind {
+
+/// \brief Fixed pool of worker threads with a shared FIFO task queue.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means std::thread::hardware_concurrency.
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task; the returned future yields its result.
+  template <typename Fn>
+  auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      tasks_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Runs `fn(i)` for all i in [begin, end), distributing contiguous chunks
+  /// over the pool. Blocks until every index has been processed. The calling
+  /// thread participates, so the pool may be used reentrantly from `fn` only
+  /// if no chunk blocks on another chunk.
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Global default pool, sized to hardware concurrency. Lazily constructed.
+ThreadPool* DefaultThreadPool();
+
+}  // namespace tind
+
+#endif  // TIND_COMMON_THREAD_POOL_H_

@@ -1,0 +1,59 @@
+#include "eval/buckets.h"
+
+#include <algorithm>
+
+namespace tind {
+
+ChangeBucket BucketForChanges(size_t changes) {
+  if (changes < 8) return ChangeBucket::kLow;
+  if (changes < 16) return ChangeBucket::kMid;
+  return ChangeBucket::kHigh;
+}
+
+const char* ChangeBucketToString(ChangeBucket b) {
+  switch (b) {
+    case ChangeBucket::kLow:
+      return "[4,8)";
+    case ChangeBucket::kMid:
+      return "[8,16)";
+    case ChangeBucket::kHigh:
+      return "[16,inf)";
+  }
+  return "?";
+}
+
+std::vector<BucketCell> ComputeBucketTable(const Dataset& dataset,
+                                           const std::vector<IdPair>& pairs,
+                                           const std::set<IdPair>& truth,
+                                           size_t sample_per_bucket,
+                                           uint64_t seed) {
+  std::array<std::vector<IdPair>, 9> cells;
+  for (const IdPair& p : pairs) {
+    const ChangeBucket lb =
+        BucketForChanges(dataset.attribute(p.first).num_changes());
+    const ChangeBucket rb =
+        BucketForChanges(dataset.attribute(p.second).num_changes());
+    cells[static_cast<size_t>(lb) * 3 + static_cast<size_t>(rb)].push_back(p);
+  }
+  Rng rng(seed);
+  std::vector<BucketCell> out;
+  out.reserve(9);
+  for (size_t l = 0; l < 3; ++l) {
+    for (size_t r = 0; r < 3; ++r) {
+      std::vector<IdPair>& bucket_pairs = cells[l * 3 + r];
+      BucketCell cell;
+      cell.lhs = static_cast<ChangeBucket>(l);
+      cell.rhs = static_cast<ChangeBucket>(r);
+      cell.total = bucket_pairs.size();
+      rng.Shuffle(&bucket_pairs);
+      cell.sampled = std::min(sample_per_bucket, bucket_pairs.size());
+      for (size_t i = 0; i < cell.sampled; ++i) {
+        if (truth.count(bucket_pairs[i]) > 0) ++cell.genuine;
+      }
+      out.push_back(cell);
+    }
+  }
+  return out;
+}
+
+}  // namespace tind

@@ -1,0 +1,59 @@
+#ifndef TIND_EVAL_BUCKETS_H_
+#define TIND_EVAL_BUCKETS_H_
+
+/// \file buckets.h
+/// The change-frequency bucketing of Table 2: static INDs are grouped by
+/// the number of changes of their left- and right-hand sides into
+/// [4,8) × [8,16) × [16,∞) cells, and each cell's genuine-IND rate (TP%) is
+/// estimated from a per-bucket sample, mirroring the paper's annotation of
+/// 100 INDs per bucket.
+
+#include <array>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "eval/precision_recall.h"
+#include "temporal/dataset.h"
+
+namespace tind {
+
+/// The paper's three change-count buckets.
+enum class ChangeBucket { kLow = 0, kMid = 1, kHigh = 2 };
+
+/// Maps a change count to its bucket; counts below 4 do not occur in the
+/// filtered corpus (>= 5 versions) and map to kLow.
+ChangeBucket BucketForChanges(size_t changes);
+
+/// "[4,8)", "[8,16)", "[16,inf)".
+const char* ChangeBucketToString(ChangeBucket b);
+
+struct BucketCell {
+  ChangeBucket lhs;
+  ChangeBucket rhs;
+  size_t total = 0;      ///< INDs falling into this cell.
+  size_t sampled = 0;    ///< Annotated sample size (<= 100 per the paper).
+  size_t genuine = 0;    ///< Genuine INDs within the sample.
+
+  double TpRate() const {
+    return sampled > 0
+               ? static_cast<double>(genuine) / static_cast<double>(sampled)
+               : 0;
+  }
+};
+
+/// Buckets `pairs` by the change counts of both sides, samples up to
+/// `sample_per_bucket` pairs per cell (seeded), and counts how many sampled
+/// pairs are genuine according to `truth`. Cells are returned in row-major
+/// (lhs, rhs) order: 9 cells.
+std::vector<BucketCell> ComputeBucketTable(const Dataset& dataset,
+                                           const std::vector<IdPair>& pairs,
+                                           const std::set<IdPair>& truth,
+                                           size_t sample_per_bucket,
+                                           uint64_t seed);
+
+}  // namespace tind
+
+#endif  // TIND_EVAL_BUCKETS_H_

@@ -1,0 +1,135 @@
+#include "eval/grid_search.h"
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <set>
+
+#include "temporal/weights.h"
+#include "tind/validator.h"
+
+namespace tind {
+
+const char* TindVariantToString(TindVariant v) {
+  switch (v) {
+    case TindVariant::kStatic:
+      return "static";
+    case TindVariant::kStrict:
+      return "strict";
+    case TindVariant::kEpsilon:
+      return "eps-relaxed";
+    case TindVariant::kEpsilonDelta:
+      return "eps-delta-relaxed";
+    case TindVariant::kWeighted:
+      return "w-eps-delta";
+  }
+  return "?";
+}
+
+std::string GridPoint::Label() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s eps=%.4g delta=%lld a=%.4g",
+                TindVariantToString(variant), epsilon,
+                static_cast<long long>(delta), decay_base);
+  return buf;
+}
+
+std::vector<GridPoint> RunGridSearch(const Dataset& dataset,
+                                     const std::vector<LabeledPair>& labelled,
+                                     const GridSearchOptions& options) {
+  std::vector<GridPoint> points;
+  // Ground truth and universe restricted to the labelled sample.
+  std::set<IdPair> truth;
+  size_t genuine_count = 0;
+  for (const LabeledPair& lp : labelled) {
+    if (lp.genuine) {
+      truth.insert(lp.pair);
+      ++genuine_count;
+    }
+  }
+
+  const auto evaluate = [&](const std::vector<double>& violations,
+                            double epsilon) {
+    PrecisionRecall pr;
+    pr.relevant = genuine_count;
+    for (size_t i = 0; i < labelled.size(); ++i) {
+      if (violations[i] <= epsilon + kViolationTolerance) {
+        ++pr.predicted;
+        if (labelled[i].genuine) ++pr.true_positives;
+      }
+    }
+    pr.precision = pr.predicted > 0
+                       ? static_cast<double>(pr.true_positives) / pr.predicted
+                       : 0;
+    pr.recall = pr.relevant > 0
+                    ? static_cast<double>(pr.true_positives) / pr.relevant
+                    : 0;
+    return pr;
+  };
+
+  const int64_t n = dataset.domain().num_timestamps();
+  std::vector<double> violations(labelled.size());
+  for (const double a : options.decay_bases) {
+    std::unique_ptr<WeightFunction> weight;
+    if (a >= 1.0) {
+      weight = std::make_unique<ConstantWeight>(n, 1.0);
+    } else {
+      weight = std::make_unique<ExponentialDecayWeight>(n, a);
+    }
+    for (const int64_t delta : options.deltas) {
+      const auto compute_one = [&](size_t i) {
+        const IdPair& p = labelled[i].pair;
+        violations[i] =
+            ComputeViolationWeight(dataset.attribute(p.first),
+                                   dataset.attribute(p.second), delta,
+                                   *weight, dataset.domain());
+      };
+      if (options.pool != nullptr) {
+        options.pool->ParallelFor(0, labelled.size(), compute_one);
+      } else {
+        for (size_t i = 0; i < labelled.size(); ++i) compute_one(i);
+      }
+      const std::vector<double>& eps_list =
+          a >= 1.0 ? options.epsilons : options.epsilon_fractions;
+      for (const double eps_raw : eps_list) {
+        const double eps =
+            a >= 1.0 ? eps_raw : eps_raw * weight->Total();
+        GridPoint point;
+        point.epsilon = eps;
+        point.delta = delta;
+        point.decay_base = a;
+        if (a < 1.0) {
+          point.variant = TindVariant::kWeighted;
+        } else if (eps_raw == 0 && delta == 0) {
+          point.variant = TindVariant::kStrict;
+        } else if (delta == 0) {
+          point.variant = TindVariant::kEpsilon;
+        } else {
+          point.variant = TindVariant::kEpsilonDelta;
+        }
+        point.pr = evaluate(violations, eps);
+        points.push_back(point);
+      }
+    }
+  }
+
+  // The static baseline: the labelled sample is drawn from static INDs on
+  // the latest snapshot, so "predict static INDs" predicts every pair.
+  GridPoint static_point;
+  static_point.variant = TindVariant::kStatic;
+  static_point.epsilon = 0;
+  static_point.delta = 0;
+  static_point.decay_base = 1.0;
+  static_point.pr.predicted = labelled.size();
+  static_point.pr.true_positives = genuine_count;
+  static_point.pr.relevant = genuine_count;
+  static_point.pr.precision =
+      labelled.empty() ? 0
+                       : static_cast<double>(genuine_count) /
+                             static_cast<double>(labelled.size());
+  static_point.pr.recall = genuine_count > 0 ? 1.0 : 0.0;
+  points.push_back(static_point);
+  return points;
+}
+
+}  // namespace tind

@@ -1,0 +1,73 @@
+#ifndef TIND_EVAL_GRID_SEARCH_H_
+#define TIND_EVAL_GRID_SEARCH_H_
+
+/// \file grid_search.h
+/// The parameter grid search behind Figure 15: every (ε, δ, a) setting of
+/// the tIND relaxations is evaluated on a labelled sample of static INDs,
+/// yielding one precision/recall point per setting. Violation weights are
+/// computed once per (δ, weight) pair and swept over ε thresholds, so the
+/// grid costs |pairs| × |δ| × |a| validations instead of × |ε| as well.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "eval/precision_recall.h"
+#include "temporal/dataset.h"
+
+namespace tind {
+
+/// One annotated IND from the labelled sample (Section 5.5).
+struct LabeledPair {
+  IdPair pair;
+  bool genuine;
+};
+
+/// Which relaxation family a grid point belongs to (the series of Fig. 15).
+enum class TindVariant {
+  kStatic,        ///< Static IND on the latest snapshot.
+  kStrict,        ///< ε = 0, δ = 0.
+  kEpsilon,       ///< δ = 0, constant weight.
+  kEpsilonDelta,  ///< δ > 0, constant weight.
+  kWeighted,      ///< Exponential-decay weight (a < 1).
+};
+
+const char* TindVariantToString(TindVariant v);
+
+struct GridSearchOptions {
+  /// Absolute ε thresholds (days of violation) used with constant weight.
+  std::vector<double> epsilons{0, 1, 2, 3, 5, 7, 14, 30, 60};
+  /// δ values in days.
+  std::vector<int64_t> deltas{0, 1, 3, 7, 14, 30};
+  /// Exponential-decay bases; 1.0 denotes the constant weight function.
+  std::vector<double> decay_bases{1.0, 0.9995, 0.999, 0.995};
+  /// ε thresholds for decaying weights, as fractions of the total weight
+  /// (decaying weights compress the past, so absolute day-counts would not
+  /// be comparable across bases).
+  std::vector<double> epsilon_fractions{0, 0.0005, 0.001, 0.005, 0.01,
+                                        0.05, 0.1};
+  ThreadPool* pool = nullptr;
+};
+
+/// One evaluated parametrization.
+struct GridPoint {
+  TindVariant variant;
+  double epsilon;
+  int64_t delta;
+  double decay_base;
+  PrecisionRecall pr;
+
+  std::string Label() const;
+};
+
+/// Evaluates every grid setting on the labelled pairs. Also appends the
+/// kStatic baseline point (predicting every labelled pair, since the sample
+/// is drawn from static INDs).
+std::vector<GridPoint> RunGridSearch(const Dataset& dataset,
+                                     const std::vector<LabeledPair>& labelled,
+                                     const GridSearchOptions& options);
+
+}  // namespace tind
+
+#endif  // TIND_EVAL_GRID_SEARCH_H_

@@ -1,0 +1,51 @@
+#include "eval/precision_recall.h"
+
+#include <algorithm>
+
+namespace tind {
+
+PrecisionRecall ComputePrecisionRecall(const std::vector<IdPair>& predicted,
+                                       const std::set<IdPair>& truth,
+                                       const std::set<IdPair>* candidates) {
+  PrecisionRecall pr;
+  for (const IdPair& p : predicted) {
+    if (candidates != nullptr && candidates->count(p) == 0) continue;
+    ++pr.predicted;
+    if (truth.count(p) > 0) ++pr.true_positives;
+  }
+  if (candidates == nullptr) {
+    pr.relevant = truth.size();
+  } else {
+    for (const IdPair& t : truth) {
+      if (candidates->count(t) > 0) ++pr.relevant;
+    }
+  }
+  pr.precision = pr.predicted > 0 ? static_cast<double>(pr.true_positives) /
+                                        static_cast<double>(pr.predicted)
+                                  : 0;
+  pr.recall = pr.relevant > 0 ? static_cast<double>(pr.true_positives) /
+                                    static_cast<double>(pr.relevant)
+                              : 0;
+  return pr;
+}
+
+std::vector<PrPoint> ParetoFront(std::vector<PrPoint> points) {
+  // Sort by recall descending, then keep points whose precision exceeds
+  // everything to their right (higher recall).
+  std::sort(points.begin(), points.end(), [](const PrPoint& a, const PrPoint& b) {
+    if (a.recall != b.recall) return a.recall > b.recall;
+    return a.precision > b.precision;
+  });
+  std::vector<PrPoint> front;
+  double best_precision = -1;
+  for (const PrPoint& p : points) {
+    if (p.precision > best_precision) {
+      front.push_back(p);
+      best_precision = p.precision;
+    }
+  }
+  std::reverse(front.begin(), front.end());  // Ascending recall.
+  return front;
+}
+
+}  // namespace tind

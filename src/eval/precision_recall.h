@@ -1,0 +1,59 @@
+#ifndef TIND_EVAL_PRECISION_RECALL_H_
+#define TIND_EVAL_PRECISION_RECALL_H_
+
+/// \file precision_recall.h
+/// Precision/recall machinery for genuine-IND discovery (Section 5.5,
+/// Figure 15): micro-averaged precision and recall of a predicted pair set
+/// against the planted ground truth, plus the Pareto envelope that turns a
+/// cloud of parametrization points into a precision-recall curve.
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "temporal/attribute_history.h"
+
+namespace tind {
+
+using IdPair = std::pair<AttributeId, AttributeId>;
+
+struct PrecisionRecall {
+  double precision = 0;
+  double recall = 0;
+  size_t true_positives = 0;
+  size_t predicted = 0;
+  size_t relevant = 0;
+
+  double F1() const {
+    return (precision + recall) > 0
+               ? 2 * precision * recall / (precision + recall)
+               : 0;
+  }
+};
+
+/// Micro-averaged precision/recall of `predicted` w.r.t. `truth`, evaluated
+/// over the universe restricted to `candidates` if non-null (the paper
+/// evaluates within its labelled sample): only pairs in `candidates` count
+/// as predicted or relevant.
+PrecisionRecall ComputePrecisionRecall(const std::vector<IdPair>& predicted,
+                                       const std::set<IdPair>& truth,
+                                       const std::set<IdPair>* candidates = nullptr);
+
+/// One parametrization's point on a PR plot.
+struct PrPoint {
+  double precision = 0;
+  double recall = 0;
+  std::string label;  ///< e.g. "eps=3 delta=7 a=1".
+
+  bool operator<(const PrPoint& o) const { return recall < o.recall; }
+};
+
+/// Reduces a point cloud to its Pareto-optimal precision-recall envelope,
+/// sorted by ascending recall (descending precision).
+std::vector<PrPoint> ParetoFront(std::vector<PrPoint> points);
+
+}  // namespace tind
+
+#endif  // TIND_EVAL_PRECISION_RECALL_H_

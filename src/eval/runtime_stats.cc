@@ -1,0 +1,67 @@
+#include "eval/runtime_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace tind {
+
+std::vector<double> RuntimeStats::Sorted() const {
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+double RuntimeStats::Mean() const {
+  if (samples_.empty()) return 0;
+  double sum = 0;
+  for (const double v : samples_) sum += v;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double RuntimeStats::Min() const {
+  if (samples_.empty()) return 0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double RuntimeStats::Max() const {
+  if (samples_.empty()) return 0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double RuntimeStats::Percentile(double p) const {
+  if (samples_.empty()) return 0;
+  const std::vector<double> sorted = Sorted();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+double RuntimeStats::FractionBelow(double threshold) const {
+  if (samples_.empty()) return 0;
+  size_t below = 0;
+  for (const double v : samples_) {
+    if (v < threshold) ++below;
+  }
+  return static_cast<double>(below) / static_cast<double>(samples_.size());
+}
+
+double RuntimeStats::StdDev() const {
+  if (samples_.size() < 2) return 0;
+  const double mean = Mean();
+  double acc = 0;
+  for (const double v : samples_) acc += (v - mean) * (v - mean);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+std::string RuntimeStats::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu mean=%.3f median=%.3f p95=%.3f max=%.3f", count(),
+                Mean(), Median(), Percentile(95), Max());
+  return buf;
+}
+
+}  // namespace tind

@@ -1,0 +1,45 @@
+#ifndef TIND_EVAL_RUNTIME_STATS_H_
+#define TIND_EVAL_RUNTIME_STATS_H_
+
+/// \file runtime_stats.h
+/// Latency-distribution summaries for query experiments: the paper reports
+/// means, medians, boxplot quartiles and "fraction under 100 ms / 1 s"
+/// (Sections 5.2–5.4); this accumulator produces all of them.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tind {
+
+/// \brief Accumulates individual sample values (e.g. per-query ms).
+class RuntimeStats {
+ public:
+  void Add(double value) { samples_.push_back(value); }
+  void Reserve(size_t n) { samples_.reserve(n); }
+
+  size_t count() const { return samples_.size(); }
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  /// p in [0, 100]; nearest-rank on the sorted samples.
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50); }
+  /// Fraction of samples strictly below `threshold`.
+  double FractionBelow(double threshold) const;
+  double StdDev() const;
+
+  /// "mean=.. median=.. p95=.. max=.." one-liner.
+  std::string Summary() const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  /// Sorted copy (samples_ stays insertion-ordered).
+  std::vector<double> Sorted() const;
+  std::vector<double> samples_;
+};
+
+}  // namespace tind
+
+#endif  // TIND_EVAL_RUNTIME_STATS_H_

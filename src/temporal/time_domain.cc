@@ -1,0 +1,43 @@
+#include "temporal/time_domain.h"
+
+#include <cstdio>
+
+namespace tind {
+
+std::string Interval::ToString() const {
+  return "[" + std::to_string(begin) + ", " + std::to_string(end) + "]";
+}
+
+namespace {
+
+/// Converts a count of days since 2001-01-01 to (year, month, day).
+/// 2001-01-01 is convenient: it is the first day of a 400-year Gregorian
+/// cycle, making the arithmetic exact.
+void CivilFromDays(int64_t days, int* year, int* month, int* day) {
+  // Algorithm from Howard Hinnant's chrono date algorithms, shifted so that
+  // day 0 == 2001-01-01 (which is 11323 days after 1970-01-01).
+  int64_t z = days + 11323 + 719468;  // days since 0000-03-01
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp < 10 ? mp + 3 : mp - 9;
+  *year = static_cast<int>(y + (m <= 2));
+  *month = static_cast<int>(m);
+  *day = static_cast<int>(d);
+}
+
+}  // namespace
+
+std::string TimeDomain::ToDateString(Timestamp t) const {
+  int year, month, day;
+  CivilFromDays(epoch_day_ + t, &year, &month, &day);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", year, month, day);
+  return buf;
+}
+
+}  // namespace tind

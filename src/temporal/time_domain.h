@@ -1,0 +1,91 @@
+#ifndef TIND_TEMPORAL_TIME_DOMAIN_H_
+#define TIND_TEMPORAL_TIME_DOMAIN_H_
+
+/// \file time_domain.h
+/// The discrete time model of Section 3.1: a sequence of equidistant
+/// timestamps T = {t_1 .. t_n}. Following the paper's preprocessing, one
+/// timestamp is one day; durations like ε and δ are expressed in days.
+
+#include <cstdint>
+#include <string>
+
+namespace tind {
+
+/// Index of a timestamp within the observation period, 0-based.
+using Timestamp = int64_t;
+
+/// Marker for "no timestamp".
+inline constexpr Timestamp kInvalidTimestamp = -1;
+
+/// \brief Closed interval of timestamps [begin, end], begin <= end.
+///
+/// The paper overloads interval notation to denote the contained timestamp
+/// set (Section 3.1); this struct mirrors that: Length() counts timestamps.
+struct Interval {
+  Timestamp begin = 0;
+  Timestamp end = 0;
+
+  int64_t Length() const { return end - begin + 1; }
+  bool Contains(Timestamp t) const { return begin <= t && t <= end; }
+  bool Intersects(const Interval& o) const {
+    return begin <= o.end && o.begin <= end;
+  }
+  /// True iff this interval lies entirely within `o`.
+  bool Within(const Interval& o) const {
+    return o.begin <= begin && end <= o.end;
+  }
+  /// The δ-expanded interval I^δ = [begin-δ, end+δ] (unclamped).
+  Interval Expanded(int64_t delta) const {
+    return Interval{begin - delta, end + delta};
+  }
+
+  bool operator==(const Interval& o) const {
+    return begin == o.begin && end == o.end;
+  }
+  std::string ToString() const;
+};
+
+/// \brief The global observation period.
+///
+/// Holds the number of daily timestamps and an epoch anchor used only for
+/// human-readable date rendering. All algorithmic code works on indices.
+class TimeDomain {
+ public:
+  TimeDomain() = default;
+  /// `num_timestamps` daily snapshots starting at `epoch_day` (days since
+  /// 2001-01-01, the start of the paper's 16-year Wikipedia window).
+  explicit TimeDomain(int64_t num_timestamps, int64_t epoch_day = 0)
+      : num_timestamps_(num_timestamps), epoch_day_(epoch_day) {}
+
+  int64_t num_timestamps() const { return num_timestamps_; }
+  Timestamp first() const { return 0; }
+  Timestamp last() const { return num_timestamps_ - 1; }
+
+  bool Contains(Timestamp t) const { return t >= 0 && t < num_timestamps_; }
+
+  /// Clamps a timestamp into the domain.
+  Timestamp Clamp(Timestamp t) const {
+    if (t < 0) return 0;
+    if (t >= num_timestamps_) return num_timestamps_ - 1;
+    return t;
+  }
+
+  /// Clamps an interval into the domain (interval must intersect it).
+  Interval Clamp(const Interval& i) const {
+    return Interval{Clamp(i.begin), Clamp(i.end)};
+  }
+
+  /// The full observation interval [0, n-1].
+  Interval Whole() const { return Interval{0, num_timestamps_ - 1}; }
+
+  /// Renders timestamp `t` as an ISO date (assuming day granularity).
+  std::string ToDateString(Timestamp t) const;
+
+ private:
+  int64_t num_timestamps_ = 0;
+  int64_t epoch_day_ = 0;
+};
+
+}  // namespace tind
+
+#endif  // TIND_TEMPORAL_TIME_DOMAIN_H_

@@ -1,0 +1,27 @@
+#include "temporal/value_dictionary.h"
+
+namespace tind {
+
+ValueId ValueDictionary::Intern(std::string_view value) {
+  const auto it = index_.find(value);
+  if (it != index_.end()) return it->second;
+  const ValueId id = static_cast<ValueId>(strings_.size());
+  strings_.emplace_back(value);
+  index_.emplace(strings_.back(), id);
+  return id;
+}
+
+ValueId ValueDictionary::Lookup(std::string_view value) const {
+  const auto it = index_.find(value);
+  return it == index_.end() ? kInvalidValueId : it->second;
+}
+
+size_t ValueDictionary::MemoryUsageBytes() const {
+  size_t bytes = strings_.capacity() * sizeof(std::string);
+  for (const auto& s : strings_) bytes += s.capacity();
+  // Rough per-entry overhead of the unordered_map node + key copy.
+  bytes += index_.size() * (sizeof(void*) * 2 + sizeof(std::string) + 16);
+  return bytes;
+}
+
+}  // namespace tind

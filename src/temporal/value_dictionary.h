@@ -1,0 +1,66 @@
+#ifndef TIND_TEMPORAL_VALUE_DICTIONARY_H_
+#define TIND_TEMPORAL_VALUE_DICTIONARY_H_
+
+/// \file value_dictionary.h
+/// Global string interning. Cell values from all table histories are mapped
+/// to dense 32-bit ValueIds once, so that value-set versions are small
+/// integer vectors, subset tests are merges, and Bloom hashing is a single
+/// 64-bit mix of the id.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace tind {
+
+/// Dense identifier of an interned string value.
+using ValueId = uint32_t;
+
+inline constexpr ValueId kInvalidValueId = static_cast<ValueId>(-1);
+
+/// \brief Append-only string → ValueId interning table.
+///
+/// Not thread-safe for concurrent interning; corpora are built single-
+/// threaded and then shared read-only across query threads.
+class ValueDictionary {
+ public:
+  ValueDictionary() = default;
+
+  /// Returns the id for `value`, interning it if unseen.
+  ValueId Intern(std::string_view value);
+
+  /// Returns the id for `value` or kInvalidValueId if never interned.
+  ValueId Lookup(std::string_view value) const;
+
+  /// The string for an interned id.
+  const std::string& GetString(ValueId id) const { return strings_[id]; }
+
+  size_t size() const { return strings_.size(); }
+
+  /// Approximate heap usage (strings + map overhead).
+  size_t MemoryUsageBytes() const;
+
+ private:
+  struct TransparentHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct TransparentEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, ValueId, TransparentHash, TransparentEq>
+      index_;
+};
+
+}  // namespace tind
+
+#endif  // TIND_TEMPORAL_VALUE_DICTIONARY_H_

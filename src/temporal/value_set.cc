@@ -1,0 +1,104 @@
+#include "temporal/value_set.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace tind {
+
+ValueSet ValueSet::FromSorted(std::vector<ValueId> sorted) {
+  assert(std::is_sorted(sorted.begin(), sorted.end()));
+  assert(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end());
+  ValueSet vs;
+  vs.values_ = std::move(sorted);
+  return vs;
+}
+
+ValueSet ValueSet::FromUnsorted(std::vector<ValueId> values) {
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  ValueSet vs;
+  vs.values_ = std::move(values);
+  return vs;
+}
+
+ValueSet::ValueSet(std::initializer_list<ValueId> values) {
+  *this = FromUnsorted(std::vector<ValueId>(values));
+}
+
+bool ValueSet::Contains(ValueId v) const {
+  return std::binary_search(values_.begin(), values_.end(), v);
+}
+
+bool ValueSet::IsSubsetOf(const ValueSet& other) const {
+  if (values_.size() > other.values_.size()) return false;
+  return std::includes(other.values_.begin(), other.values_.end(),
+                       values_.begin(), values_.end());
+}
+
+bool ValueSet::Intersects(const ValueSet& other) const {
+  auto a = values_.begin();
+  auto b = other.values_.begin();
+  while (a != values_.end() && b != other.values_.end()) {
+    if (*a == *b) return true;
+    if (*a < *b) {
+      ++a;
+    } else {
+      ++b;
+    }
+  }
+  return false;
+}
+
+ValueSet ValueSet::Union(const ValueSet& other) const {
+  std::vector<ValueId> out;
+  out.reserve(values_.size() + other.values_.size());
+  std::set_union(values_.begin(), values_.end(), other.values_.begin(),
+                 other.values_.end(), std::back_inserter(out));
+  return FromSorted(std::move(out));
+}
+
+ValueSet ValueSet::Intersection(const ValueSet& other) const {
+  std::vector<ValueId> out;
+  std::set_intersection(values_.begin(), values_.end(), other.values_.begin(),
+                        other.values_.end(), std::back_inserter(out));
+  return FromSorted(std::move(out));
+}
+
+ValueSet ValueSet::Difference(const ValueSet& other) const {
+  std::vector<ValueId> out;
+  std::set_difference(values_.begin(), values_.end(), other.values_.begin(),
+                      other.values_.end(), std::back_inserter(out));
+  return FromSorted(std::move(out));
+}
+
+ValueSet ValueSet::UnionOf(const std::vector<const ValueSet*>& sets) {
+  // k-way merge by repeated pairwise union on size-sorted inputs would be
+  // O(total * k) in the worst case; with the small k (versions per interval)
+  // we see in practice, a flat sort of all elements is simpler and fast.
+  size_t total = 0;
+  for (const ValueSet* s : sets) total += s->size();
+  std::vector<ValueId> all;
+  all.reserve(total);
+  for (const ValueSet* s : sets) {
+    all.insert(all.end(), s->values().begin(), s->values().end());
+  }
+  return FromUnsorted(std::move(all));
+}
+
+std::string ValueSet::ToString(const ValueDictionary& dict) const {
+  std::string s = "{";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i != 0) s += ", ";
+    s += dict.GetString(values_[i]);
+  }
+  s += "}";
+  return s;
+}
+
+const ValueSet& ValueSet::Empty() {
+  static const ValueSet kEmpty;
+  return kEmpty;
+}
+
+}  // namespace tind

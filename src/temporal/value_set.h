@@ -1,0 +1,69 @@
+#ifndef TIND_TEMPORAL_VALUE_SET_H_
+#define TIND_TEMPORAL_VALUE_SET_H_
+
+/// \file value_set.h
+/// A version of an attribute: the set of interned values it holds at some
+/// timestamp, stored as a sorted unique vector. All set algebra used by the
+/// engine (subset, union, intersection) runs as linear merges.
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "temporal/value_dictionary.h"
+
+namespace tind {
+
+/// \brief Immutable-ish sorted set of ValueIds.
+class ValueSet {
+ public:
+  ValueSet() = default;
+  /// From an already sorted, duplicate-free vector (checked in debug).
+  static ValueSet FromSorted(std::vector<ValueId> sorted);
+  /// From arbitrary input: sorts and deduplicates.
+  static ValueSet FromUnsorted(std::vector<ValueId> values);
+  /// Convenience for tests.
+  ValueSet(std::initializer_list<ValueId> values);  // NOLINT(runtime/explicit)
+
+  bool empty() const { return values_.empty(); }
+  size_t size() const { return values_.size(); }
+  const std::vector<ValueId>& values() const { return values_; }
+
+  bool Contains(ValueId v) const;
+
+  /// True iff every value of this set appears in `other`.
+  bool IsSubsetOf(const ValueSet& other) const;
+  /// True iff the two sets share at least one value.
+  bool Intersects(const ValueSet& other) const;
+
+  ValueSet Union(const ValueSet& other) const;
+  ValueSet Intersection(const ValueSet& other) const;
+  /// Values of this set that are missing from `other`.
+  ValueSet Difference(const ValueSet& other) const;
+
+  /// Merges many sets at once (used for A[I] interval unions).
+  static ValueSet UnionOf(const std::vector<const ValueSet*>& sets);
+
+  bool operator==(const ValueSet& other) const {
+    return values_ == other.values_;
+  }
+  bool operator!=(const ValueSet& other) const { return !(*this == other); }
+
+  size_t MemoryUsageBytes() const {
+    return values_.capacity() * sizeof(ValueId);
+  }
+
+  /// Renders via the dictionary, e.g. "{USA, GER}".
+  std::string ToString(const ValueDictionary& dict) const;
+
+  /// The canonical empty set (for unobservable timestamps).
+  static const ValueSet& Empty();
+
+ private:
+  std::vector<ValueId> values_;
+};
+
+}  // namespace tind
+
+#endif  // TIND_TEMPORAL_VALUE_SET_H_

@@ -1,0 +1,82 @@
+#include "temporal/weights.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace tind {
+
+std::string ConstantWeight::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "constant(c=%g)", c_);
+  return buf;
+}
+
+std::unique_ptr<WeightFunction> MakeRelativeWeight(int64_t num_timestamps) {
+  return std::make_unique<ConstantWeight>(
+      num_timestamps, 1.0 / static_cast<double>(num_timestamps));
+}
+
+std::string ExponentialDecayWeight::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "expdecay(a=%g)", a_);
+  return buf;
+}
+
+std::string LinearDecayWeight::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "lineardecay(n=%lld)",
+                static_cast<long long>(n_));
+  return buf;
+}
+
+PiecewiseConstantWeight::PiecewiseConstantWeight(std::vector<Segment> segments)
+    : segments_(std::move(segments)) {
+  assert(!segments_.empty());
+  assert(segments_.front().interval.begin == 0);
+  for (size_t i = 1; i < segments_.size(); ++i) {
+    assert(segments_[i].interval.begin == segments_[i - 1].interval.end + 1);
+  }
+  prefix_.resize(segments_.size() + 1, 0.0);
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    prefix_[i + 1] =
+        prefix_[i] + segments_[i].weight *
+                         static_cast<double>(segments_[i].interval.Length());
+  }
+}
+
+size_t PiecewiseConstantWeight::SegmentIndex(Timestamp t) const {
+  // Binary search for the segment whose interval contains t.
+  size_t lo = 0, hi = segments_.size() - 1;
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (segments_[mid].interval.end < t) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+double PiecewiseConstantWeight::At(Timestamp t) const {
+  return segments_[SegmentIndex(t)].weight;
+}
+
+double PiecewiseConstantWeight::PrefixSum(Timestamp t) const {
+  if (t < 0) return 0.0;
+  const Timestamp clamped = std::min(t, segments_.back().interval.end);
+  const size_t idx = SegmentIndex(clamped);
+  const Segment& seg = segments_[idx];
+  return prefix_[idx] +
+         seg.weight * static_cast<double>(clamped - seg.interval.begin + 1);
+}
+
+double PiecewiseConstantWeight::Sum(const Interval& i) const {
+  return PrefixSum(i.end) - PrefixSum(i.begin - 1);
+}
+
+std::string PiecewiseConstantWeight::ToString() const {
+  return "piecewise(" + std::to_string(segments_.size()) + " segments)";
+}
+
+}  // namespace tind

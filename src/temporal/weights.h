@@ -1,0 +1,151 @@
+#ifndef TIND_TEMPORAL_WEIGHTS_H_
+#define TIND_TEMPORAL_WEIGHTS_H_
+
+/// \file weights.h
+/// Timestamp weighting functions (Definition 3.6). The engine only requires
+/// two operations from a weight function: the weight of one timestamp and
+/// the summed weight of a closed interval. The paper recommends functions
+/// whose interval sum is O(1) (Section 3.3); every built-in here honors that
+/// via closed forms (e.g. the geometric sum of Eq. 5 for exponential decay).
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "temporal/time_domain.h"
+
+namespace tind {
+
+/// \brief Assigns a non-negative weight to every timestamp of a domain.
+///
+/// Implementations must guarantee `Sum(I) == Σ_{t∈I} At(t)` up to floating
+/// point error, and `Sum` should be O(1) — it sits in the inner loops of both
+/// the index probe (partial violation weights) and the validator.
+class WeightFunction {
+ public:
+  virtual ~WeightFunction() = default;
+
+  /// Weight of a single timestamp; `t` must lie in the domain.
+  virtual double At(Timestamp t) const = 0;
+
+  /// Summed weight over the closed interval `i` (within the domain).
+  virtual double Sum(const Interval& i) const = 0;
+
+  /// Total weight of the whole domain.
+  virtual double Total() const = 0;
+
+  /// Human-readable description, e.g. "constant(1)" or "expdecay(a=0.999)".
+  virtual std::string ToString() const = 0;
+};
+
+/// \brief w(t) = c for all t. The paper's default (c = 1) makes ε an absolute
+/// budget in days; c = 1/n recovers the relative ε of Definitions 3.3/3.5.
+class ConstantWeight : public WeightFunction {
+ public:
+  ConstantWeight(int64_t num_timestamps, double c = 1.0)
+      : n_(num_timestamps), c_(c) {
+    assert(c >= 0);
+  }
+
+  double At(Timestamp) const override { return c_; }
+  double Sum(const Interval& i) const override {
+    return c_ * static_cast<double>(i.Length());
+  }
+  double Total() const override { return c_ * static_cast<double>(n_); }
+  std::string ToString() const override;
+
+ private:
+  int64_t n_;
+  double c_;
+};
+
+/// Convenience: the 1/|T| normalization that turns ε into a fraction of
+/// violated timestamps (Definitions 3.3 and 3.5).
+std::unique_ptr<WeightFunction> MakeRelativeWeight(int64_t num_timestamps);
+
+/// \brief Exponential decay w(t) = a^(n-1-t), a ∈ (0,1): the most recent
+/// timestamp has weight 1; weights decay into the past (Eq. 4). Interval
+/// sums use the closed geometric form (Eq. 5) in O(1).
+class ExponentialDecayWeight : public WeightFunction {
+ public:
+  ExponentialDecayWeight(int64_t num_timestamps, double a)
+      : n_(num_timestamps), a_(a), log_a_(std::log(a)) {
+    assert(a > 0 && a < 1);
+  }
+
+  double At(Timestamp t) const override {
+    return std::exp(static_cast<double>(n_ - 1 - t) * log_a_);
+  }
+  double Sum(const Interval& i) const override {
+    // Σ_{t=i.begin..i.end} a^(n-1-t) = a^(n-1-end) * (1 - a^len) / (1 - a).
+    const double lead = At(i.end);
+    const double len = static_cast<double>(i.Length());
+    return lead * (1.0 - std::exp(len * log_a_)) / (1.0 - a_);
+  }
+  double Total() const override { return Sum(Interval{0, n_ - 1}); }
+  std::string ToString() const override;
+
+  double a() const { return a_; }
+
+ private:
+  int64_t n_;
+  double a_;
+  double log_a_;
+};
+
+/// \brief Linear decay w(t) = (t+1)/n: weight grows linearly toward the
+/// present. Interval sums use the arithmetic-series closed form.
+class LinearDecayWeight : public WeightFunction {
+ public:
+  explicit LinearDecayWeight(int64_t num_timestamps) : n_(num_timestamps) {}
+
+  double At(Timestamp t) const override {
+    return static_cast<double>(t + 1) / static_cast<double>(n_);
+  }
+  double Sum(const Interval& i) const override {
+    const double lo = static_cast<double>(i.begin + 1);
+    const double hi = static_cast<double>(i.end + 1);
+    return (lo + hi) * (hi - lo + 1.0) / (2.0 * static_cast<double>(n_));
+  }
+  double Total() const override { return Sum(Interval{0, n_ - 1}); }
+  std::string ToString() const override;
+
+ private:
+  int64_t n_;
+};
+
+/// \brief Piecewise-constant weights over user-chosen segments — the
+/// "custom function that might disregard certain time periods entirely"
+/// case from Section 3.3 (set a segment's weight to 0 to ignore it).
+/// Interval sums are O(log #segments) via a prefix-sum table.
+class PiecewiseConstantWeight : public WeightFunction {
+ public:
+  struct Segment {
+    Interval interval;  ///< Closed; segments must tile [0, n-1] in order.
+    double weight;      ///< Per-timestamp weight within the segment.
+  };
+
+  /// Segments must be contiguous, ordered, and cover the whole domain.
+  explicit PiecewiseConstantWeight(std::vector<Segment> segments);
+
+  double At(Timestamp t) const override;
+  double Sum(const Interval& i) const override;
+  double Total() const override { return prefix_.back(); }
+  std::string ToString() const override;
+
+ private:
+  /// Summed weight of [0, t], or 0 for t < 0.
+  double PrefixSum(Timestamp t) const;
+  size_t SegmentIndex(Timestamp t) const;
+
+  std::vector<Segment> segments_;
+  /// prefix_[i] = summed weight of segments [0..i-1]; prefix_[0] = 0.
+  std::vector<double> prefix_;
+};
+
+}  // namespace tind
+
+#endif  // TIND_TEMPORAL_WEIGHTS_H_

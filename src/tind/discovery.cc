@@ -1,0 +1,46 @@
+#include "tind/discovery.h"
+
+#include <atomic>
+
+#include "common/stopwatch.h"
+
+namespace tind {
+
+AllPairsResult DiscoverAllTinds(const TindIndex& index, const TindParams& params,
+                                ThreadPool* pool) {
+  const Dataset& dataset = index.dataset();
+  const size_t n = dataset.size();
+  Stopwatch timer;
+  std::vector<std::vector<AttributeId>> per_query(n);
+  std::atomic<size_t> total_validations{0};
+  const auto run_query = [&](size_t q) {
+    QueryStats stats;
+    // Per-query validation stays sequential: with many concurrent queries,
+    // nesting validation parallelism only adds contention.
+    per_query[q] = index.Search(dataset.attribute(static_cast<AttributeId>(q)),
+                                params, &stats, /*pool=*/nullptr);
+    total_validations.fetch_add(stats.validations, std::memory_order_relaxed);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(0, n, run_query);
+  } else {
+    for (size_t q = 0; q < n; ++q) run_query(q);
+  }
+  AllPairsResult result;
+  result.num_queries = n;
+  result.total_validations = total_validations.load();
+  size_t total_pairs = 0;
+  for (const auto& rhs_list : per_query) total_pairs += rhs_list.size();
+  result.pairs.reserve(total_pairs);
+  for (size_t q = 0; q < n; ++q) {
+    for (const AttributeId rhs : per_query[q]) {
+      result.pairs.push_back(TindPair{static_cast<AttributeId>(q), rhs});
+    }
+  }
+  // Per-query results are ascending in rhs and queries are visited in
+  // ascending lhs order, so the concatenation is already (lhs, rhs)-sorted.
+  result.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace tind

@@ -1,0 +1,48 @@
+#ifndef TIND_TIND_DISCOVERY_H_
+#define TIND_TIND_DISCOVERY_H_
+
+/// \file discovery.h
+/// The all-pairs tIND discovery problem (Section 3.5): find every pair
+/// A ⊆_{w,ε,δ} B within a dataset by querying each attribute against the
+/// index. As the paper notes (Section 4.2.2), it is superior to parallelize
+/// the *queries* rather than the per-query validations, which is what this
+/// driver does.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "temporal/dataset.h"
+#include "tind/index.h"
+#include "tind/params.h"
+
+namespace tind {
+
+/// One discovered inclusion: lhs ⊆_{w,ε,δ} rhs.
+struct TindPair {
+  AttributeId lhs;
+  AttributeId rhs;
+
+  bool operator==(const TindPair& o) const {
+    return lhs == o.lhs && rhs == o.rhs;
+  }
+  bool operator<(const TindPair& o) const {
+    return lhs != o.lhs ? lhs < o.lhs : rhs < o.rhs;
+  }
+};
+
+struct AllPairsResult {
+  std::vector<TindPair> pairs;  ///< Sorted by (lhs, rhs).
+  double elapsed_seconds = 0;   ///< Query time, excluding index build.
+  size_t num_queries = 0;
+  size_t total_validations = 0;  ///< Exact validations across all queries.
+};
+
+/// Discovers all tINDs in the index's dataset by running one search per
+/// attribute, parallelized over queries on `pool` (nullptr = sequential).
+AllPairsResult DiscoverAllTinds(const TindIndex& index, const TindParams& params,
+                                ThreadPool* pool = nullptr);
+
+}  // namespace tind
+
+#endif  // TIND_TIND_DISCOVERY_H_

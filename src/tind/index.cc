@@ -1,0 +1,323 @@
+#include "tind/index.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <unordered_map>
+
+#include "common/stopwatch.h"
+#include "tind/required_values.h"
+#include "tind/validator.h"
+
+namespace tind {
+
+namespace {
+
+/// Accounts matrix bytes against the optional budget.
+Status AccountMatrix(MemoryBudget* memory, const BloomMatrix& matrix) {
+  if (memory == nullptr) return Status::OK();
+  return memory->Allocate(matrix.MemoryUsageBytes());
+}
+
+}  // namespace
+
+Result<std::unique_ptr<TindIndex>> TindIndex::Build(
+    const Dataset& dataset, const TindIndexOptions& options) {
+  if (!IsPowerOfTwo(options.bloom_bits)) {
+    return Status::InvalidArgument("bloom_bits must be a power of two");
+  }
+  if (options.num_hashes == 0) {
+    return Status::InvalidArgument("num_hashes must be positive");
+  }
+  if (options.weight == nullptr) {
+    return Status::InvalidArgument("options.weight must be set");
+  }
+  if (options.delta < 0 || options.epsilon < 0) {
+    return Status::InvalidArgument("delta and epsilon must be non-negative");
+  }
+  auto index = std::unique_ptr<TindIndex>(new TindIndex());
+  index->dataset_ = &dataset;
+  index->options_ = options;
+
+  const size_t n_attrs = dataset.size();
+  // M_T over the full history value sets (constructible with no parameter
+  // knowledge at all — Section 4.2.1).
+  index->full_matrix_ =
+      BloomMatrix(options.bloom_bits, options.num_hashes, n_attrs);
+  TIND_RETURN_IF_ERROR(AccountMatrix(options.memory, index->full_matrix_));
+  for (size_t c = 0; c < n_attrs; ++c) {
+    index->full_matrix_.SetColumn(
+        c, dataset.attribute(static_cast<AttributeId>(c)).AllValues());
+  }
+
+  // Time slices: δ-expanded interval value sets per attribute.
+  IntervalSelectionOptions sel;
+  sel.strategy = options.strategy;
+  sel.num_intervals = options.num_slices;
+  sel.epsilon = options.epsilon;
+  sel.delta_disjoint = options.build_reverse_index ? options.delta : 0;
+  sel.seed = options.seed;
+  index->slice_intervals_ =
+      SelectIndexIntervals(dataset, *options.weight, sel);
+  index->slice_matrices_.reserve(index->slice_intervals_.size());
+  for (const Interval& interval : index->slice_intervals_) {
+    BloomMatrix matrix(options.bloom_bits, options.num_hashes, n_attrs);
+    TIND_RETURN_IF_ERROR(AccountMatrix(options.memory, matrix));
+    const Interval expanded =
+        dataset.domain().Clamp(interval.Expanded(options.delta));
+    for (size_t c = 0; c < n_attrs; ++c) {
+      matrix.SetColumn(
+          c,
+          dataset.attribute(static_cast<AttributeId>(c)).UnionInInterval(expanded));
+    }
+    index->slice_matrices_.push_back(std::move(matrix));
+  }
+
+  // M_R over required values, for reverse queries (Section 4.5). Unlike
+  // M_T, this bakes in the build-time (ε, w).
+  if (options.build_reverse_index) {
+    index->reverse_matrix_ =
+        BloomMatrix(options.bloom_bits, options.num_hashes, n_attrs);
+    TIND_RETURN_IF_ERROR(AccountMatrix(options.memory, index->reverse_matrix_));
+    for (size_t c = 0; c < n_attrs; ++c) {
+      const ValueSet required = ComputeRequiredValues(
+          dataset.attribute(static_cast<AttributeId>(c)), *options.weight,
+          options.epsilon);
+      index->reverse_matrix_.SetColumn(c, required);
+    }
+    index->has_reverse_ = true;
+  }
+  return index;
+}
+
+void TindIndex::PruneWithSlices(const AttributeHistory& query,
+                                const TindParams& params,
+                                BitVector* candidates) const {
+  // Violation bookkeeping only for surviving candidates; M_T pruning keeps
+  // this map small (Section 4.2.2). This is the structural difference from
+  // k-MANY, which must track all |D| candidates.
+  std::unordered_map<AttributeId, double> violations;
+  BitVector slice_candidates(candidates->size());
+  for (size_t j = 0; j < slice_matrices_.size(); ++j) {
+    if (candidates->None()) return;
+    const Interval& interval = slice_intervals_[j];
+    const BloomMatrix& matrix = slice_matrices_[j];
+    const auto [first, last] = query.VersionRangeInInterval(interval);
+    for (int64_t v = first; v <= last; ++v) {
+      const ValueSet& version = query.versions()[static_cast<size_t>(v)];
+      if (version.empty()) continue;
+      // The violated sub-interval is the version's validity clipped to I
+      // (Algorithm 1, lines 6-9 walk version boundaries within I).
+      const Interval validity = query.ValidityInterval(v);
+      const Interval clipped{std::max(validity.begin, interval.begin),
+                             std::min(validity.end, interval.end)};
+      if (clipped.begin > clipped.end) continue;
+      const BloomFilter filter = matrix.MakeQueryFilter(version);
+      slice_candidates = *candidates;
+      matrix.QuerySupersets(filter, &slice_candidates);
+      // PV = C ∧ ¬C_ij: candidates that failed this version's containment.
+      BitVector partial = *candidates;
+      partial.AndNot(slice_candidates);
+      if (partial.None()) continue;
+      const double weight = params.weight->Sum(clipped);
+      partial.ForEachSet([&](size_t c) {
+        double& vio = violations[static_cast<AttributeId>(c)];
+        vio += weight;
+        if (vio > params.epsilon + kViolationTolerance) {
+          candidates->Clear(c);  // Pruned (Algorithm 1, line 14).
+        }
+      });
+    }
+  }
+}
+
+void TindIndex::PruneReverseWithSlices(const AttributeHistory& query,
+                                       const TindParams& params,
+                                       BitVector* candidates) const {
+  std::unordered_map<AttributeId, double> violations;
+  const size_t slices_to_use =
+      std::min(options_.reverse_slices, slice_matrices_.size());
+  for (size_t j = 0; j < slices_to_use; ++j) {
+    if (candidates->None()) return;
+    const Interval& interval = slice_intervals_[j];
+    const BloomMatrix& matrix = slice_matrices_[j];
+    // Columns hold A[I^δ]; the query side is expanded by a further δ so a
+    // Bloom-level non-containment proves a genuine δ-violation of some
+    // version of A within I^δ (Section 4.5).
+    const Interval query_window =
+        dataset_->domain().Clamp(interval.Expanded(2 * options_.delta));
+    const ValueSet query_values = query.UnionInInterval(query_window);
+    const BloomFilter filter = matrix.MakeQueryFilter(query_values);
+    BitVector slice_candidates = *candidates;
+    matrix.QuerySubsets(filter, &slice_candidates);
+    BitVector partial = *candidates;
+    partial.AndNot(slice_candidates);
+    if (partial.None()) continue;
+    const Interval expanded =
+        dataset_->domain().Clamp(interval.Expanded(options_.delta));
+    partial.ForEachSet([&](size_t c) {
+      // The Bloom filters cannot reveal *which* version of A violated, so
+      // only the minimum version-subinterval weight may be added (Figure 6).
+      const AttributeHistory& a =
+          dataset_->attribute(static_cast<AttributeId>(c));
+      const auto [first, last] = a.VersionRangeInInterval(expanded);
+      if (last < first) return;
+      double min_weight = -1;
+      for (int64_t v = first; v <= last; ++v) {
+        const Interval validity = a.ValidityInterval(v);
+        const Interval clipped{std::max(validity.begin, expanded.begin),
+                               std::min(validity.end, expanded.end)};
+        if (clipped.begin > clipped.end) continue;
+        const double w = params.weight->Sum(clipped);
+        if (min_weight < 0 || w < min_weight) min_weight = w;
+      }
+      if (min_weight <= 0) return;
+      double& vio = violations[static_cast<AttributeId>(c)];
+      vio += min_weight;
+      if (vio > params.epsilon + kViolationTolerance) candidates->Clear(c);
+    });
+  }
+}
+
+std::vector<AttributeId> TindIndex::ValidateCandidates(
+    const AttributeHistory& query, const TindParams& params,
+    const BitVector& candidates, bool forward, QueryStats* stats,
+    ThreadPool* pool) const {
+  const std::vector<size_t> ids = candidates.ToIndexVector();
+  if (stats != nullptr) stats->validations = ids.size();
+  std::vector<char> valid(ids.size(), 0);
+  const auto validate_one = [&](size_t i) {
+    const AttributeHistory& a =
+        dataset_->attribute(static_cast<AttributeId>(ids[i]));
+    const bool ok = forward
+                        ? ValidateTind(query, a, params, dataset_->domain())
+                        : ValidateTind(a, query, params, dataset_->domain());
+    valid[i] = ok ? 1 : 0;
+  };
+  if (pool != nullptr && ids.size() >= 8) {
+    pool->ParallelFor(0, ids.size(), validate_one);
+  } else {
+    for (size_t i = 0; i < ids.size(); ++i) validate_one(i);
+  }
+  std::vector<AttributeId> results;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (valid[i]) results.push_back(static_cast<AttributeId>(ids[i]));
+  }
+  if (stats != nullptr) stats->num_results = results.size();
+  return results;
+}
+
+std::vector<AttributeId> TindIndex::Search(const AttributeHistory& query,
+                                           const TindParams& params,
+                                           QueryStats* stats,
+                                           ThreadPool* pool) const {
+  Stopwatch timer;
+  assert(params.weight != nullptr);
+  BitVector candidates(dataset_->size(), /*fill=*/true);
+  // Exclude the query itself when it is an indexed attribute: reflexive
+  // tINDs hold trivially.
+  if (query.id() < dataset_->size() &&
+      &dataset_->attribute(query.id()) == &query) {
+    candidates.Clear(query.id());
+  }
+
+  // Stage 1: required values against M_T (sound for every ε, w, δ).
+  const ValueSet required =
+      ComputeRequiredValues(query, *params.weight, params.epsilon);
+  if (!required.empty()) {
+    const BloomFilter filter = full_matrix_.MakeQueryFilter(required);
+    full_matrix_.QuerySupersets(filter, &candidates);
+  }
+  if (stats != nullptr) {
+    stats->used_prefilter = !required.empty();
+    stats->initial_candidates = candidates.Count();
+  }
+
+  // Stage 2: time slices — only sound if the query's δ does not exceed the
+  // build δ (Section 4.4).
+  const bool slices_usable = params.delta <= options_.delta;
+  if (slices_usable) PruneWithSlices(query, params, &candidates);
+  if (stats != nullptr) {
+    stats->used_slices = slices_usable;
+    stats->after_slices = candidates.Count();
+  }
+
+  // Stage 3: exact required-values recheck to shed Bloom false positives
+  // before the expensive temporal validation (Algorithm 1, line 16).
+  if (!required.empty()) {
+    candidates.ForEachSet([&](size_t c) {
+      if (!required.IsSubsetOf(
+              dataset_->attribute(static_cast<AttributeId>(c)).AllValues())) {
+        candidates.Clear(c);
+      }
+    });
+  }
+  if (stats != nullptr) stats->after_exact_check = candidates.Count();
+
+  // Stage 4: exact validation (Algorithm 2).
+  std::vector<AttributeId> results =
+      ValidateCandidates(query, params, candidates, /*forward=*/true, stats, pool);
+  if (stats != nullptr) stats->elapsed_ms = timer.ElapsedMillis();
+  return results;
+}
+
+std::vector<AttributeId> TindIndex::ReverseSearch(const AttributeHistory& query,
+                                                  const TindParams& params,
+                                                  QueryStats* stats,
+                                                  ThreadPool* pool) const {
+  Stopwatch timer;
+  assert(params.weight != nullptr);
+  BitVector candidates(dataset_->size(), /*fill=*/true);
+  if (query.id() < dataset_->size() &&
+      &dataset_->attribute(query.id()) == &query) {
+    candidates.Clear(query.id());
+  }
+
+  // Stage 1: M_R in the subset direction. Only sound when the query ε does
+  // not exceed the ε the required values were built with (Section 4.5).
+  const bool prefilter_usable =
+      has_reverse_ && params.epsilon <= options_.epsilon + kViolationTolerance;
+  if (prefilter_usable) {
+    const BloomFilter filter =
+        reverse_matrix_.MakeQueryFilter(query.AllValues());
+    reverse_matrix_.QuerySubsets(filter, &candidates);
+  }
+  if (stats != nullptr) {
+    stats->used_prefilter = prefilter_usable;
+    stats->initial_candidates = candidates.Count();
+  }
+
+  // Stage 2: time slices with minimum-violation accounting.
+  const bool slices_usable = params.delta <= options_.delta;
+  if (slices_usable) PruneReverseWithSlices(query, params, &candidates);
+  if (stats != nullptr) {
+    stats->used_slices = slices_usable;
+    stats->after_slices = candidates.Count();
+  }
+
+  // Stage 3: exact recheck — R(A) must truly be contained in Q[T].
+  if (prefilter_usable) {
+    const ValueSet& query_all = query.AllValues();
+    candidates.ForEachSet([&](size_t c) {
+      const ValueSet required = ComputeRequiredValues(
+          dataset_->attribute(static_cast<AttributeId>(c)), *options_.weight,
+          options_.epsilon);
+      if (!required.IsSubsetOf(query_all)) candidates.Clear(c);
+    });
+  }
+  if (stats != nullptr) stats->after_exact_check = candidates.Count();
+
+  std::vector<AttributeId> results = ValidateCandidates(
+      query, params, candidates, /*forward=*/false, stats, pool);
+  if (stats != nullptr) stats->elapsed_ms = timer.ElapsedMillis();
+  return results;
+}
+
+size_t TindIndex::MemoryUsageBytes() const {
+  size_t bytes = full_matrix_.MemoryUsageBytes();
+  for (const auto& m : slice_matrices_) bytes += m.MemoryUsageBytes();
+  if (has_reverse_) bytes += reverse_matrix_.MemoryUsageBytes();
+  return bytes;
+}
+
+}  // namespace tind

@@ -1,0 +1,141 @@
+#ifndef TIND_TIND_INDEX_H_
+#define TIND_TIND_INDEX_H_
+
+/// \file index.h
+/// The tIND search index of Section 4: the required-values matrix M_T, the
+/// time-slice matrices M_{I_1..I_k}, and (optionally) the reverse matrix M_R
+/// over per-attribute required values, chained into the candidate pruning of
+/// Algorithm 1 followed by exact validation (Algorithm 2).
+///
+/// Parameter knowledge at build time (Section 4.4):
+///  * δ — the *maximum* δ queries will use must be known (slices are built
+///    on δ-expanded intervals). Queries with smaller δ remain correct but
+///    prune less sharply; queries with larger δ skip the slice stage.
+///  * ε, w — only used for interval sizing (efficiency) and for M_R. Forward
+///    queries may use any (ε, w); reverse queries must use ε <= the build ε
+///    or the M_R stage is skipped.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bloom/bloom_matrix.h"
+#include "common/memory_budget.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "temporal/dataset.h"
+#include "tind/interval_selection.h"
+#include "tind/params.h"
+
+namespace tind {
+
+/// Build-time configuration of a TindIndex.
+struct TindIndexOptions {
+  /// Bloom filter size m in bits; must be a power of two. Paper default for
+  /// forward search: 4096 (Figure 12).
+  size_t bloom_bits = 4096;
+  /// Number of Bloom hash probes per value.
+  uint32_t num_hashes = 3;
+  /// Number of time-slice indices k. Paper default for forward search: 16.
+  size_t num_slices = 16;
+  /// Maximum δ that queries will use.
+  int64_t delta = 7;
+  /// ε assumed at build time (interval sizing; required values of M_R).
+  double epsilon = 3.0;
+  /// Placement of the k slices (Figures 13/14).
+  SliceStrategy strategy = SliceStrategy::kRandom;
+  uint64_t seed = 42;
+  /// Whether to build M_R and enforce δ-disjoint slices so the same index
+  /// answers reverse queries (Section 4.5).
+  bool build_reverse_index = true;
+  /// How many of the k slices reverse queries probe; the paper finds 2
+  /// optimal (Figure 14) even when 16 slices exist for forward search.
+  size_t reverse_slices = 2;
+  /// Weight function assumed at build time; not owned, must outlive Build().
+  const WeightFunction* weight = nullptr;
+  /// Optional byte accounting; Build fails with OutOfMemory when exceeded.
+  MemoryBudget* memory = nullptr;
+};
+
+/// Per-query diagnostics (candidate funnel + timing).
+struct QueryStats {
+  size_t initial_candidates = 0;  ///< After M_T (or M_R) pruning.
+  size_t after_slices = 0;        ///< After time-slice violation pruning.
+  size_t after_exact_check = 0;   ///< After exact required-values recheck.
+  size_t num_results = 0;         ///< Valid tINDs returned.
+  size_t validations = 0;         ///< Exact Algorithm-2 validations run.
+  bool used_slices = false;       ///< False when query δ exceeded build δ.
+  bool used_prefilter = false;    ///< False when M_T/M_R was unusable.
+  double elapsed_ms = 0;
+};
+
+/// \brief Immutable tIND search index over one Dataset.
+///
+/// Thread-safe for concurrent queries after Build.
+class TindIndex {
+ public:
+  /// Builds the index over `dataset`. The dataset must outlive the index.
+  static Result<std::unique_ptr<TindIndex>> Build(const Dataset& dataset,
+                                                  const TindIndexOptions& options);
+
+  const TindIndexOptions& options() const { return options_; }
+  const std::vector<Interval>& slice_intervals() const {
+    return slice_intervals_;
+  }
+  const Dataset& dataset() const { return *dataset_; }
+
+  /// tIND search (Definition 3.7): all A ∈ D with Q ⊆_{w,ε,δ} A. The query
+  /// history must share the dataset's dictionary and domain; if it is one of
+  /// the indexed attributes, it is excluded from its own result (reflexive
+  /// tINDs are trivial). Results are ascending by attribute id.
+  ///
+  /// If `pool` is non-null, final validations run in parallel on it.
+  std::vector<AttributeId> Search(const AttributeHistory& query,
+                                  const TindParams& params,
+                                  QueryStats* stats = nullptr,
+                                  ThreadPool* pool = nullptr) const;
+
+  /// Reverse tIND search (Definition 3.8): all A ∈ D with A ⊆_{w,ε,δ} Q.
+  std::vector<AttributeId> ReverseSearch(const AttributeHistory& query,
+                                         const TindParams& params,
+                                         QueryStats* stats = nullptr,
+                                         ThreadPool* pool = nullptr) const;
+
+  /// Total bytes held in Bloom matrices ((k+1 [+1]) * m * |D| / 8).
+  size_t MemoryUsageBytes() const;
+
+ private:
+  TindIndex() = default;
+
+  /// Slice-stage pruning for forward search: probes every distinct version
+  /// of the query within each slice interval and accumulates partial
+  /// violation weights per candidate (Algorithm 1, lines 4-15).
+  void PruneWithSlices(const AttributeHistory& query, const TindParams& params,
+                       BitVector* candidates) const;
+
+  /// Slice-stage pruning for reverse search with minimum-violation
+  /// accounting (Section 4.5, Figure 6).
+  void PruneReverseWithSlices(const AttributeHistory& query,
+                              const TindParams& params,
+                              BitVector* candidates) const;
+
+  /// Runs exact validation over the surviving candidates; `forward` selects
+  /// the containment direction.
+  std::vector<AttributeId> ValidateCandidates(const AttributeHistory& query,
+                                              const TindParams& params,
+                                              const BitVector& candidates,
+                                              bool forward, QueryStats* stats,
+                                              ThreadPool* pool) const;
+
+  const Dataset* dataset_ = nullptr;
+  TindIndexOptions options_;
+  BloomMatrix full_matrix_;  ///< M_T over A[T].
+  std::vector<Interval> slice_intervals_;
+  std::vector<BloomMatrix> slice_matrices_;  ///< M_{I_j} over A[I_j^δ].
+  BloomMatrix reverse_matrix_;               ///< M_R over R_{ε,w}(A).
+  bool has_reverse_ = false;
+};
+
+}  // namespace tind
+
+#endif  // TIND_TIND_INDEX_H_

@@ -1,0 +1,164 @@
+#include "tind/interval_selection.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tind {
+
+const char* SliceStrategyToString(SliceStrategy s) {
+  switch (s) {
+    case SliceStrategy::kRandom:
+      return "random";
+    case SliceStrategy::kWeightedRandom:
+      return "weighted-random";
+  }
+  return "unknown";
+}
+
+int64_t IntervalLengthAt(const WeightFunction& weight,
+                         const TimeDomain& domain, Timestamp start,
+                         double epsilon) {
+  const int64_t n = domain.num_timestamps();
+  assert(start >= 0 && start < n);
+  const double target = epsilon + 1.0;
+  const int64_t max_len = n - start;
+  if (weight.Sum(Interval{start, n - 1}) < target) {
+    return max_len;  // Even the full suffix falls short; take all of it.
+  }
+  // Exponential probe then binary search over the monotone interval sum.
+  int64_t hi = 1;
+  while (hi < max_len && weight.Sum(Interval{start, start + hi - 1}) < target) {
+    hi = std::min<int64_t>(hi * 2, max_len);
+  }
+  int64_t lo = hi / 2 + 1;
+  if (hi == 1) return 1;
+  while (lo < hi) {
+    const int64_t mid = lo + (hi - lo) / 2;
+    if (weight.Sum(Interval{start, start + mid - 1}) >= target) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+double EstimatePruningPower(const Dataset& dataset,
+                            const std::vector<size_t>& sample,
+                            const Interval& interval) {
+  size_t total_distinct = 0;
+  for (const size_t idx : sample) {
+    total_distinct +=
+        dataset.attribute(static_cast<AttributeId>(idx)).UnionInInterval(interval).size();
+  }
+  return static_cast<double>(total_distinct) /
+         static_cast<double>(interval.Length());
+}
+
+namespace {
+
+/// True iff `candidate`, expanded by `delta`, overlaps any accepted
+/// interval expanded by `delta`.
+bool OverlapsAny(const std::vector<Interval>& accepted,
+                 const Interval& candidate, int64_t delta) {
+  const Interval c = candidate.Expanded(delta);
+  for (const Interval& a : accepted) {
+    if (c.Intersects(a.Expanded(delta))) return true;
+  }
+  return false;
+}
+
+std::vector<Interval> SelectRandom(const TimeDomain& domain,
+                                   const WeightFunction& weight,
+                                   const IntervalSelectionOptions& options,
+                                   Rng* rng) {
+  std::vector<Interval> accepted;
+  const int64_t n = domain.num_timestamps();
+  const size_t max_attempts = options.num_intervals * 200 + 1000;
+  size_t attempts = 0;
+  while (accepted.size() < options.num_intervals && attempts < max_attempts) {
+    ++attempts;
+    const Timestamp start = static_cast<Timestamp>(rng->Uniform(n));
+    const int64_t len = IntervalLengthAt(weight, domain, start, options.epsilon);
+    const Interval candidate{start, start + len - 1};
+    if (candidate.end >= n) continue;
+    if (OverlapsAny(accepted, candidate, options.delta_disjoint)) continue;
+    accepted.push_back(candidate);
+  }
+  std::sort(accepted.begin(), accepted.end(),
+            [](const Interval& a, const Interval& b) { return a.begin < b.begin; });
+  return accepted;
+}
+
+std::vector<Interval> SelectWeightedRandom(
+    const Dataset& dataset, const WeightFunction& weight,
+    const IntervalSelectionOptions& options, Rng* rng) {
+  const TimeDomain& domain = dataset.domain();
+  const int64_t n = domain.num_timestamps();
+  // Candidate starts on a regular grid (sampling T at lower granularity).
+  const int64_t stride =
+      std::max<int64_t>(1, n / static_cast<int64_t>(options.candidate_starts));
+  std::vector<Interval> candidates;
+  for (Timestamp start = 0; start < n; start += stride) {
+    const int64_t len = IntervalLengthAt(weight, domain, start, options.epsilon);
+    const Interval candidate{start, start + len - 1};
+    if (candidate.end < n) candidates.push_back(candidate);
+  }
+  if (candidates.empty()) return {};
+  // Attribute sample for the p(I) estimate.
+  const size_t sample_size =
+      std::min(options.pruning_sample, dataset.size());
+  std::vector<size_t> sample =
+      sample_size == dataset.size()
+          ? [&] {
+              std::vector<size_t> all(dataset.size());
+              for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+              return all;
+            }()
+          : rng->SampleWithoutReplacement(dataset.size(), sample_size);
+  std::vector<double> power(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    power[i] = EstimatePruningPower(dataset, sample, candidates[i]);
+  }
+  // Iteratively draw starts proportional to p(I); discard overlaps. Each
+  // draw permanently consumes its candidate, so the loop terminates after
+  // at most |candidates| draws (an explicit counter, not the floating-point
+  // weight sum, guards the loop).
+  std::vector<Interval> accepted;
+  size_t positive_left = 0;
+  for (const double p : power) {
+    if (p > 0) ++positive_left;
+  }
+  while (accepted.size() < options.num_intervals && positive_left > 0) {
+    const size_t idx = rng->WeightedIndex(power);
+    const Interval candidate = candidates[idx];
+    if (power[idx] <= 0) break;  // Numerical corner: nothing usable left.
+    power[idx] = 0;
+    --positive_left;
+    if (OverlapsAny(accepted, candidate, options.delta_disjoint)) continue;
+    accepted.push_back(candidate);
+  }
+  std::sort(accepted.begin(), accepted.end(),
+            [](const Interval& a, const Interval& b) { return a.begin < b.begin; });
+  return accepted;
+}
+
+}  // namespace
+
+std::vector<Interval> SelectIndexIntervals(
+    const Dataset& dataset, const WeightFunction& weight,
+    const IntervalSelectionOptions& options) {
+  Rng rng(options.seed);
+  if (dataset.domain().num_timestamps() <= 0 || options.num_intervals == 0) {
+    return {};
+  }
+  switch (options.strategy) {
+    case SliceStrategy::kRandom:
+      return SelectRandom(dataset.domain(), weight, options, &rng);
+    case SliceStrategy::kWeightedRandom:
+      return SelectWeightedRandom(dataset, weight, options, &rng);
+  }
+  return {};
+}
+
+}  // namespace tind

@@ -1,0 +1,68 @@
+#ifndef TIND_TIND_INTERVAL_SELECTION_H_
+#define TIND_TIND_INTERVAL_SELECTION_H_
+
+/// \file interval_selection.h
+/// Choosing the time slices to index on (Section 4.4). Interval *length* is
+/// derived from the weight function: the smallest length whose summed weight
+/// reaches ε + 1, so a fully-violated slice alone always disqualifies a
+/// candidate (Section 4.4.1's "w(I) = ε + 1" standard setting). Interval
+/// *placement* is either uniformly random or weighted-random by the pruning
+/// power estimate p(I) = Σ_A |A[I]| / |I| (Section 4.4.2).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "temporal/dataset.h"
+#include "temporal/time_domain.h"
+#include "temporal/weights.h"
+
+namespace tind {
+
+/// Placement strategy for the k indexed time slices.
+enum class SliceStrategy {
+  kRandom,          ///< Uniform random starts (best at large k, Fig. 13).
+  kWeightedRandom,  ///< p(I)-weighted starts (best at small k, Fig. 13).
+};
+
+const char* SliceStrategyToString(SliceStrategy s);
+
+struct IntervalSelectionOptions {
+  SliceStrategy strategy = SliceStrategy::kRandom;
+  size_t num_intervals = 16;  ///< k
+  double epsilon = 3.0;       ///< Sizing target: w(I) >= ε + 1.
+  /// If > 0, selected intervals expanded by this δ must also be pairwise
+  /// disjoint — required for reusing the slices in reverse search
+  /// (Section 4.5).
+  int64_t delta_disjoint = 0;
+  uint64_t seed = 42;
+  /// Weighted-random: number of candidate starting positions sampled over
+  /// the domain ("it is always possible to sample from T at a lower
+  /// granularity", Section 4.4.2).
+  size_t candidate_starts = 256;
+  /// Weighted-random: number of attributes sampled to estimate p(I).
+  size_t pruning_sample = 256;
+};
+
+/// Smallest interval length L such that w([start, start+L-1]) >= ε + 1,
+/// clamped to the end of the domain. For decaying weights, intervals
+/// starting in the low-weight past come out longer (Section 4.4.2).
+int64_t IntervalLengthAt(const WeightFunction& weight, const TimeDomain& domain,
+                         Timestamp start, double epsilon);
+
+/// Selects up to k disjoint intervals. May return fewer than k if the
+/// domain cannot fit k disjoint intervals of the required lengths.
+std::vector<Interval> SelectIndexIntervals(const Dataset& dataset,
+                                           const WeightFunction& weight,
+                                           const IntervalSelectionOptions& options);
+
+/// The pruning-power estimate p(I) of Section 4.4.2, computed over the
+/// attributes listed in `sample`.
+double EstimatePruningPower(const Dataset& dataset,
+                            const std::vector<size_t>& sample,
+                            const Interval& interval);
+
+}  // namespace tind
+
+#endif  // TIND_TIND_INTERVAL_SELECTION_H_

@@ -1,0 +1,43 @@
+#ifndef TIND_TIND_PARAMS_H_
+#define TIND_TIND_PARAMS_H_
+
+/// \file params.h
+/// The query-time parameters of a (w,ε,δ)-relaxed temporal inclusion
+/// dependency (Definition 3.6): the violation budget ε, the temporal slack
+/// δ, and the timestamp weighting function w. Specializing them recovers the
+/// whole tIND family:
+///   * strict tIND:        ε = 0, δ = 0, any w
+///   * ε-relaxed tIND:     δ = 0, w(t) = 1/|T| (relative ε)
+///   * (ε,δ)-relaxed tIND: w(t) = 1/|T|
+/// The paper's default, used throughout Section 5: ε = 3, δ = 7, w(t) = 1
+/// (so ε counts days of violation).
+
+#include <string>
+
+#include "temporal/weights.h"
+
+namespace tind {
+
+/// \brief Query parameters of a tIND check / search.
+struct TindParams {
+  /// Maximum allowed summed violation weight. A candidate is valid iff the
+  /// summed weight of δ-violated timestamps is <= epsilon.
+  double epsilon = 3.0;
+
+  /// Temporal slack (in timestamps): A[t] must be contained in the union of
+  /// B's versions within [t-δ, t+δ] (Definition 3.4).
+  int64_t delta = 7;
+
+  /// Timestamp weighting; not owned. Must outlive the query.
+  const WeightFunction* weight = nullptr;
+
+  std::string ToString() const {
+    return "TindParams(eps=" + std::to_string(epsilon) +
+           ", delta=" + std::to_string(delta) +
+           ", w=" + (weight != nullptr ? weight->ToString() : "null") + ")";
+  }
+};
+
+}  // namespace tind
+
+#endif  // TIND_TIND_PARAMS_H_

@@ -1,0 +1,177 @@
+#include "tind/partial.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "tind/validator.h"
+
+namespace tind {
+
+namespace {
+
+/// Sliding window over A's versions within [ts-δ, ts+δ], counting how many
+/// values of a query version it covers. Mirrors the DeltaWindow of
+/// validator.cc but exposes coverage counting instead of all-or-nothing
+/// containment.
+class CoverageWindow {
+ public:
+  CoverageWindow(const AttributeHistory& a, int64_t delta)
+      : a_(a), delta_(delta) {
+    counts_.reserve(64);
+  }
+
+  void AdvanceTo(Timestamp ts) {
+    const auto& change_ts = a_.change_timestamps();
+    const int64_t num_versions = static_cast<int64_t>(a_.num_versions());
+    while (next_enter_ < num_versions &&
+           change_ts[static_cast<size_t>(next_enter_)] <= ts + delta_) {
+      for (const ValueId v :
+           a_.versions()[static_cast<size_t>(next_enter_)].values()) {
+        ++counts_[v];
+      }
+      ++next_enter_;
+    }
+    while (first_in_window_ < next_enter_ &&
+           a_.ValidityInterval(first_in_window_).end < ts - delta_) {
+      for (const ValueId v :
+           a_.versions()[static_cast<size_t>(first_in_window_)].values()) {
+        const auto it = counts_.find(v);
+        if (--(it->second) == 0) counts_.erase(it);
+      }
+      ++first_in_window_;
+    }
+  }
+
+  /// Number of `q_version`'s values present in the window.
+  size_t CountCovered(const ValueSet& q_version) const {
+    if (counts_.empty()) return 0;
+    size_t covered = 0;
+    for (const ValueId v : q_version.values()) {
+      covered += counts_.count(v);
+    }
+    return covered;
+  }
+
+ private:
+  const AttributeHistory& a_;
+  const int64_t delta_;
+  int64_t next_enter_ = 0;
+  int64_t first_in_window_ = 0;
+  std::unordered_map<ValueId, int> counts_;
+};
+
+/// Interval boundaries identical to Algorithm 2's: coverage can only change
+/// where Q changes or where A's δ-window content changes.
+std::vector<Timestamp> CollectBoundaries(const AttributeHistory& q,
+                                         const AttributeHistory& a,
+                                         int64_t delta, int64_t n) {
+  std::vector<Timestamp> boundaries;
+  boundaries.reserve(q.num_versions() + 2 * a.num_versions() + 2);
+  const Timestamp start = q.birth();
+  for (const Timestamp t : q.change_timestamps()) {
+    if (t >= start && t < n) boundaries.push_back(t);
+  }
+  for (const Timestamp c : a.change_timestamps()) {
+    if (c - delta >= start && c - delta < n) boundaries.push_back(c - delta);
+    if (c + delta >= start && c + delta < n) boundaries.push_back(c + delta);
+  }
+  boundaries.push_back(start);
+  std::sort(boundaries.begin(), boundaries.end());
+  boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
+                   boundaries.end());
+  boundaries.push_back(n);
+  return boundaries;
+}
+
+template <typename Fn>
+void SweepCoverageViolations(const AttributeHistory& q,
+                             const AttributeHistory& a, int64_t delta,
+                             double coverage, const TimeDomain& domain,
+                             Fn&& on_violation) {
+  const int64_t n = domain.num_timestamps();
+  if (q.num_versions() == 0 || n == 0) return;
+  const std::vector<Timestamp> boundaries = CollectBoundaries(q, a, delta, n);
+  CoverageWindow window(a, delta);
+  int64_t q_version = -1;
+  const auto& q_change_ts = q.change_timestamps();
+  const int64_t q_num_versions = static_cast<int64_t>(q.num_versions());
+  for (size_t i = 0; i + 1 < boundaries.size(); ++i) {
+    const Timestamp begin = boundaries[i];
+    const Timestamp end = boundaries[i + 1] - 1;
+    while (q_version + 1 < q_num_versions &&
+           q_change_ts[static_cast<size_t>(q_version + 1)] <= begin) {
+      ++q_version;
+    }
+    const ValueSet& q_values = q.versions()[static_cast<size_t>(q_version)];
+    window.AdvanceTo(begin);
+    if (q_values.empty()) continue;  // Empty sets are trivially covered.
+    const size_t covered = window.CountCovered(q_values);
+    const double fraction =
+        static_cast<double>(covered) / static_cast<double>(q_values.size());
+    if (fraction + kViolationTolerance < coverage) {
+      if (!on_violation(Interval{begin, end})) return;
+    }
+  }
+}
+
+}  // namespace
+
+double DeltaCoverageAt(const AttributeHistory& q, const AttributeHistory& a,
+                       Timestamp t, int64_t delta, const TimeDomain& domain) {
+  const ValueSet& q_values = q.VersionAt(t);
+  if (q_values.empty()) return 1.0;
+  const ValueSet window =
+      a.UnionInInterval(domain.Clamp(Interval{t - delta, t + delta}));
+  return static_cast<double>(q_values.Intersection(window).size()) /
+         static_cast<double>(q_values.size());
+}
+
+bool ValidatePartialTind(const AttributeHistory& q, const AttributeHistory& a,
+                         const PartialTindParams& params,
+                         const TimeDomain& domain) {
+  double violation = 0.0;
+  bool valid = true;
+  SweepCoverageViolations(
+      q, a, params.base.delta, params.coverage, domain, [&](const Interval& i) {
+        violation += params.base.weight->Sum(i);
+        if (violation > params.base.epsilon + kViolationTolerance) {
+          valid = false;
+          return false;
+        }
+        return true;
+      });
+  return valid;
+}
+
+double ComputePartialViolationWeight(const AttributeHistory& q,
+                                     const AttributeHistory& a, int64_t delta,
+                                     double coverage,
+                                     const WeightFunction& weight,
+                                     const TimeDomain& domain) {
+  double violation = 0.0;
+  SweepCoverageViolations(q, a, delta, coverage, domain,
+                          [&](const Interval& i) {
+                            violation += weight.Sum(i);
+                            return true;
+                          });
+  return violation;
+}
+
+bool ValidatePartialTindNaive(const AttributeHistory& q,
+                              const AttributeHistory& a,
+                              const PartialTindParams& params,
+                              const TimeDomain& domain) {
+  double violation = 0.0;
+  for (Timestamp t = 0; t < domain.num_timestamps(); ++t) {
+    const double fraction =
+        DeltaCoverageAt(q, a, t, params.base.delta, domain);
+    if (fraction + kViolationTolerance < params.coverage) {
+      violation += params.base.weight->At(t);
+      if (violation > params.base.epsilon + kViolationTolerance) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace tind

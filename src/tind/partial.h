@@ -1,0 +1,61 @@
+#ifndef TIND_TIND_PARTIAL_H_
+#define TIND_TIND_PARTIAL_H_
+
+/// \file partial.h
+/// Partial (coverage-relaxed) temporal INDs — the future-work combination
+/// sketched in Sections 3.3 and 6: on top of (w, ε, δ), a coverage
+/// threshold γ ∈ (0, 1] relaxes *how much* of the left-hand side must be
+/// δ-contained at each timestamp (Zhu et al.'s partial-IND relaxation,
+/// lifted to the temporal setting). A timestamp t is γ-satisfied iff
+///
+///   |{v ∈ Q[t] : v ∈ A[[t-δ, t+δ]]}|  >=  γ · |Q[t]|
+///
+/// and the tIND is valid iff the summed weight of non-γ-satisfied
+/// timestamps is at most ε. γ = 1 recovers the exact (w,ε,δ)-tIND.
+///
+/// This addresses the long-lived entity-representation mismatches (USA vs
+/// United States) that neither ε nor δ can absorb: a single unresolvable
+/// spelling variant no longer sinks an otherwise-genuine inclusion.
+
+#include "temporal/attribute_history.h"
+#include "temporal/time_domain.h"
+#include "tind/params.h"
+
+namespace tind {
+
+/// Query parameters of a partial tIND check.
+struct PartialTindParams {
+  TindParams base;
+  /// Minimum fraction of Q[t] that must be δ-contained per timestamp.
+  double coverage = 1.0;
+};
+
+/// Fraction of `q`'s values at `t` that are δ-contained in `a`
+/// (1.0 for an empty Q[t]).
+double DeltaCoverageAt(const AttributeHistory& q, const AttributeHistory& a,
+                       Timestamp t, int64_t delta, const TimeDomain& domain);
+
+/// Exact partial-tIND check with early exit, via the same change-point
+/// interval sweep as Algorithm 2 (coverage, like containment, can only
+/// change at Q's change points or A's ±δ-shifted change points).
+bool ValidatePartialTind(const AttributeHistory& q, const AttributeHistory& a,
+                         const PartialTindParams& params,
+                         const TimeDomain& domain);
+
+/// Total violation weight under the coverage relaxation (no early exit);
+/// one call serves every ε threshold in a sweep.
+double ComputePartialViolationWeight(const AttributeHistory& q,
+                                     const AttributeHistory& a, int64_t delta,
+                                     double coverage,
+                                     const WeightFunction& weight,
+                                     const TimeDomain& domain);
+
+/// Reference implementation over every timestamp (property-test oracle).
+bool ValidatePartialTindNaive(const AttributeHistory& q,
+                              const AttributeHistory& a,
+                              const PartialTindParams& params,
+                              const TimeDomain& domain);
+
+}  // namespace tind
+
+#endif  // TIND_TIND_PARTIAL_H_

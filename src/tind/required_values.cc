@@ -1,0 +1,29 @@
+#include "tind/required_values.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace tind {
+
+ValueSet ComputeRequiredValues(const AttributeHistory& attribute,
+                               const WeightFunction& weight, double epsilon) {
+  // Accumulate per-value occurrence weight over version validity intervals.
+  // One interval-sum per (version, value) pair; interval sums are O(1).
+  std::unordered_map<ValueId, double> occurrence_weight;
+  occurrence_weight.reserve(attribute.AllValues().size());
+  attribute.ForEachVersion([&](const ValueSet& version,
+                               const Interval& validity) {
+    const double w = weight.Sum(validity);
+    if (w <= 0) return;
+    for (const ValueId v : version.values()) {
+      occurrence_weight[v] += w;
+    }
+  });
+  std::vector<ValueId> required;
+  for (const auto& [value, w] : occurrence_weight) {
+    if (w > epsilon) required.push_back(value);
+  }
+  return ValueSet::FromUnsorted(std::move(required));
+}
+
+}  // namespace tind

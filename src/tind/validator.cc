@@ -1,0 +1,188 @@
+#include "tind/validator.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace tind {
+
+namespace {
+
+/// \brief Sliding multiset of the values of A's versions intersecting
+/// [ts-δ, ts+δ]. AdvanceTo must be called with non-decreasing ts; each
+/// version of A enters and leaves at most once over a whole sweep.
+class DeltaWindow {
+ public:
+  DeltaWindow(const AttributeHistory& a, int64_t delta)
+      : a_(a), delta_(delta) {
+    counts_.reserve(64);
+  }
+
+  void AdvanceTo(Timestamp ts) {
+    const auto& change_ts = a_.change_timestamps();
+    const int64_t num_versions = static_cast<int64_t>(a_.num_versions());
+    // Versions enter once their first valid timestamp is <= ts + δ.
+    while (next_enter_ < num_versions &&
+           change_ts[static_cast<size_t>(next_enter_)] <= ts + delta_) {
+      AddVersion(next_enter_);
+      ++next_enter_;
+    }
+    // Versions leave once their last valid timestamp is < ts - δ.
+    while (first_in_window_ < next_enter_ &&
+           a_.ValidityInterval(first_in_window_).end < ts - delta_) {
+      RemoveVersion(first_in_window_);
+      ++first_in_window_;
+    }
+  }
+
+  /// True iff every value of `q_version` is present in the window.
+  bool ContainsAll(const ValueSet& q_version) const {
+    if (q_version.empty()) return true;
+    if (counts_.empty()) return false;
+    for (const ValueId v : q_version.values()) {
+      if (counts_.find(v) == counts_.end()) return false;
+    }
+    return true;
+  }
+
+ private:
+  void AddVersion(int64_t idx) {
+    for (const ValueId v : a_.versions()[static_cast<size_t>(idx)].values()) {
+      ++counts_[v];
+    }
+  }
+  void RemoveVersion(int64_t idx) {
+    for (const ValueId v : a_.versions()[static_cast<size_t>(idx)].values()) {
+      const auto it = counts_.find(v);
+      if (--(it->second) == 0) counts_.erase(it);
+    }
+  }
+
+  const AttributeHistory& a_;
+  const int64_t delta_;
+  int64_t next_enter_ = 0;       ///< First version not yet entered.
+  int64_t first_in_window_ = 0;  ///< First version still in the window.
+  std::unordered_map<ValueId, int> counts_;
+};
+
+/// Assembles the sorted interval boundaries of Algorithm 2 (line 2):
+/// Q's change points plus A's change points shifted by ±δ, restricted to
+/// [Q's birth, n-1] (before Q's birth Q[t] = ∅ and no violation is
+/// possible), with the terminating sentinel n.
+std::vector<Timestamp> CollectBoundaries(const AttributeHistory& q,
+                                         const AttributeHistory& a,
+                                         int64_t delta, int64_t n) {
+  std::vector<Timestamp> boundaries;
+  boundaries.reserve(q.num_versions() + 2 * a.num_versions() + 2);
+  const Timestamp start = q.birth();
+  for (const Timestamp t : q.change_timestamps()) {
+    if (t >= start && t < n) boundaries.push_back(t);
+  }
+  for (const Timestamp c : a.change_timestamps()) {
+    const Timestamp enter = c - delta;
+    if (enter >= start && enter < n) boundaries.push_back(enter);
+    const Timestamp leave = c + delta;
+    if (leave >= start && leave < n) boundaries.push_back(leave);
+  }
+  boundaries.push_back(start);
+  std::sort(boundaries.begin(), boundaries.end());
+  boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
+                   boundaries.end());
+  boundaries.push_back(n);  // Sentinel closing the last interval.
+  return boundaries;
+}
+
+/// Core sweep shared by validation and violation-weight computation.
+/// Invokes `on_violation(interval)` for every maximal violated interval;
+/// stops early if the callback returns false.
+template <typename Fn>
+void SweepViolations(const AttributeHistory& q, const AttributeHistory& a,
+                     int64_t delta, const TimeDomain& domain, Fn&& on_violation) {
+  const int64_t n = domain.num_timestamps();
+  if (q.num_versions() == 0 || n == 0) return;
+  const std::vector<Timestamp> boundaries = CollectBoundaries(q, a, delta, n);
+  DeltaWindow window(a, delta);
+  // Index of Q's version valid at the current boundary.
+  int64_t q_version = -1;
+  const auto& q_change_ts = q.change_timestamps();
+  const int64_t q_num_versions = static_cast<int64_t>(q.num_versions());
+  for (size_t i = 0; i + 1 < boundaries.size(); ++i) {
+    const Timestamp begin = boundaries[i];
+    const Timestamp end = boundaries[i + 1] - 1;
+    while (q_version + 1 < q_num_versions &&
+           q_change_ts[static_cast<size_t>(q_version + 1)] <= begin) {
+      ++q_version;
+    }
+    // begin >= q.birth(), so q_version is valid here.
+    const ValueSet& q_values = q.versions()[static_cast<size_t>(q_version)];
+    window.AdvanceTo(begin);
+    if (!window.ContainsAll(q_values)) {
+      if (!on_violation(Interval{begin, end})) return;
+    }
+  }
+}
+
+}  // namespace
+
+bool IsDeltaContained(const AttributeHistory& q, const AttributeHistory& a,
+                      Timestamp t, int64_t delta, const TimeDomain& domain) {
+  const ValueSet& q_values = q.VersionAt(t);
+  if (q_values.empty()) return true;
+  const ValueSet a_window = a.UnionInInterval(
+      domain.Clamp(Interval{t - delta, t + delta}));
+  return q_values.IsSubsetOf(a_window);
+}
+
+bool ValidateTind(const AttributeHistory& q, const AttributeHistory& a,
+                  const TindParams& params, const TimeDomain& domain) {
+  double violation = 0.0;
+  bool valid = true;
+  SweepViolations(q, a, params.delta, domain, [&](const Interval& i) {
+    violation += params.weight->Sum(i);
+    if (violation > params.epsilon + kViolationTolerance) {
+      valid = false;
+      return false;  // Early exit (Algorithm 2, line 10).
+    }
+    return true;
+  });
+  return valid;
+}
+
+double ComputeViolationWeight(const AttributeHistory& q,
+                              const AttributeHistory& a, int64_t delta,
+                              const WeightFunction& weight,
+                              const TimeDomain& domain) {
+  double violation = 0.0;
+  SweepViolations(q, a, delta, domain, [&](const Interval& i) {
+    violation += weight.Sum(i);
+    return true;
+  });
+  return violation;
+}
+
+bool ValidateTindNaive(const AttributeHistory& q, const AttributeHistory& a,
+                       const TindParams& params, const TimeDomain& domain) {
+  double violation = 0.0;
+  for (Timestamp t = 0; t < domain.num_timestamps(); ++t) {
+    if (!IsDeltaContained(q, a, t, params.delta, domain)) {
+      violation += params.weight->At(t);
+      if (violation > params.epsilon + kViolationTolerance) return false;
+    }
+  }
+  return true;
+}
+
+double ComputeViolationWeightNaive(const AttributeHistory& q,
+                                   const AttributeHistory& a, int64_t delta,
+                                   const WeightFunction& weight,
+                                   const TimeDomain& domain) {
+  double violation = 0.0;
+  for (Timestamp t = 0; t < domain.num_timestamps(); ++t) {
+    if (!IsDeltaContained(q, a, t, delta, domain)) {
+      violation += weight.At(t);
+    }
+  }
+  return violation;
+}
+
+}  // namespace tind

@@ -1,0 +1,56 @@
+#ifndef TIND_TIND_VALIDATOR_H_
+#define TIND_TIND_VALIDATOR_H_
+
+/// \file validator.h
+/// Exact tIND validation (Section 4.3, Algorithm 2). The naive check walks
+/// every timestamp; Algorithm 2 instead partitions time into maximal
+/// intervals within which (a) Q has a single version and (b) the δ-window
+/// over A's versions is constant — δ-containment can only flip at interval
+/// boundaries, so one subset test per interval suffices. Boundaries are the
+/// change points of Q plus every A-change point shifted by ±δ; both
+/// histories are traversed with sliding windows so no version is visited
+/// twice.
+
+#include "temporal/attribute_history.h"
+#include "temporal/time_domain.h"
+#include "tind/params.h"
+
+namespace tind {
+
+/// Absolute slack used when comparing accumulated violation weights against
+/// ε, so that binary floating point noise never flips a verdict for the
+/// integer-valued weights of the paper's default setting.
+inline constexpr double kViolationTolerance = 1e-9;
+
+/// δ-containment (Definition 3.4): Q[t] ⊆ A[[t-δ, t+δ]].
+bool IsDeltaContained(const AttributeHistory& q, const AttributeHistory& a,
+                      Timestamp t, int64_t delta, const TimeDomain& domain);
+
+/// Exact check of Q ⊆_{w,ε,δ} A using Algorithm 2, with early exit as soon
+/// as the accumulated violation weight exceeds ε.
+bool ValidateTind(const AttributeHistory& q, const AttributeHistory& a,
+                  const TindParams& params, const TimeDomain& domain);
+
+/// Total violation weight Σ w(t) over all δ-violated timestamps, with no
+/// early exit. One call serves every ε during parameter sweeps (the Fig. 15
+/// grid search evaluates many ε thresholds against a fixed (w, δ)).
+double ComputeViolationWeight(const AttributeHistory& q,
+                              const AttributeHistory& a, int64_t delta,
+                              const WeightFunction& weight,
+                              const TimeDomain& domain);
+
+/// Reference implementation: checks δ-containment at every timestamp.
+/// O(n) containment tests; used as the oracle in property tests and as the
+/// ablation baseline for Algorithm 2.
+bool ValidateTindNaive(const AttributeHistory& q, const AttributeHistory& a,
+                       const TindParams& params, const TimeDomain& domain);
+
+/// Naive total violation weight (see ComputeViolationWeight).
+double ComputeViolationWeightNaive(const AttributeHistory& q,
+                                   const AttributeHistory& a, int64_t delta,
+                                   const WeightFunction& weight,
+                                   const TimeDomain& domain);
+
+}  // namespace tind
+
+#endif  // TIND_TIND_VALIDATOR_H_

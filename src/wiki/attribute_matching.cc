@@ -1,0 +1,88 @@
+#include "wiki/attribute_matching.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "wiki/wikitext.h"
+
+namespace tind::wiki {
+
+double ColumnJaccard(const std::vector<std::string>& a,
+                     const std::vector<std::string>& b) {
+  std::set<std::string> sa;
+  for (const auto& cell : a) {
+    std::string v = NormalizeCell(cell);
+    if (!v.empty()) sa.insert(std::move(v));
+  }
+  std::set<std::string> sb;
+  for (const auto& cell : b) {
+    std::string v = NormalizeCell(cell);
+    if (!v.empty()) sb.insert(std::move(v));
+  }
+  if (sa.empty() && sb.empty()) return 0.0;
+  size_t inter = 0;
+  for (const auto& v : sa) inter += sb.count(v);
+  const size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+std::vector<int> MatchColumns(const RawTableVersion& prev,
+                              const RawTableVersion& next,
+                              double jaccard_threshold) {
+  const size_t n_prev = prev.columns.size();
+  const size_t n_next = next.columns.size();
+  std::vector<int> match(n_next, -1);
+  std::vector<bool> prev_taken(n_prev, false);
+
+  // Pass 1: headers that appear exactly once on both sides match directly.
+  std::unordered_map<std::string, int> prev_header_count;
+  std::unordered_map<std::string, int> prev_header_pos;
+  for (size_t c = 0; c < n_prev; ++c) {
+    ++prev_header_count[prev.headers[c]];
+    prev_header_pos[prev.headers[c]] = static_cast<int>(c);
+  }
+  std::unordered_map<std::string, int> next_header_count;
+  for (size_t c = 0; c < n_next; ++c) ++next_header_count[next.headers[c]];
+  for (size_t c = 0; c < n_next; ++c) {
+    const std::string& h = next.headers[c];
+    const auto pit = prev_header_count.find(h);
+    if (pit != prev_header_count.end() && pit->second == 1 &&
+        next_header_count[h] == 1) {
+      const int p = prev_header_pos[h];
+      match[c] = p;
+      prev_taken[static_cast<size_t>(p)] = true;
+    }
+  }
+
+  // Pass 2: greedy value-overlap matching over the remaining columns,
+  // highest Jaccard first.
+  struct Candidate {
+    double jaccard;
+    size_t next_col;
+    size_t prev_col;
+  };
+  std::vector<Candidate> candidates;
+  for (size_t c = 0; c < n_next; ++c) {
+    if (match[c] != -1) continue;
+    for (size_t p = 0; p < n_prev; ++p) {
+      if (prev_taken[p]) continue;
+      const double j = ColumnJaccard(prev.columns[p], next.columns[c]);
+      if (j >= jaccard_threshold) {
+        candidates.push_back(Candidate{j, c, p});
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.jaccard > b.jaccard;
+            });
+  for (const Candidate& cand : candidates) {
+    if (match[cand.next_col] != -1 || prev_taken[cand.prev_col]) continue;
+    match[cand.next_col] = static_cast<int>(cand.prev_col);
+    prev_taken[cand.prev_col] = true;
+  }
+  return match;
+}
+
+}  // namespace tind::wiki

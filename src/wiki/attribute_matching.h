@@ -1,0 +1,33 @@
+#ifndef TIND_WIKI_ATTRIBUTE_MATCHING_H_
+#define TIND_WIKI_ATTRIBUTE_MATCHING_H_
+
+/// \file attribute_matching.h
+/// Matching the columns of consecutive table revisions so each attribute
+/// gets a continuous history even when columns are reordered, renamed,
+/// added, or deleted — a simplified form of the table/attribute matching of
+/// Bleifuß et al. [5] that the paper relies on for corpus construction.
+///
+/// Strategy: unique exact header matches first, then greedy value-overlap
+/// (Jaccard over normalized cell values) for the remainder.
+
+#include <string>
+#include <vector>
+
+#include "wiki/raw_table.h"
+
+namespace tind::wiki {
+
+/// For each column of `next`, the index of the matched column in `prev`, or
+/// -1 if the column is new. Each `prev` column is matched at most once.
+/// `jaccard_threshold` is the minimum value overlap for a non-header match.
+std::vector<int> MatchColumns(const RawTableVersion& prev,
+                              const RawTableVersion& next,
+                              double jaccard_threshold = 0.4);
+
+/// Jaccard similarity of two columns' normalized value sets.
+double ColumnJaccard(const std::vector<std::string>& a,
+                     const std::vector<std::string>& b);
+
+}  // namespace tind::wiki
+
+#endif  // TIND_WIKI_ATTRIBUTE_MATCHING_H_

@@ -1,0 +1,238 @@
+#include "wiki/corpus_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace tind::wiki {
+
+std::string EscapeField(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '%':
+        out += "%25";
+        break;
+      case '|':
+        out += "%7C";
+        break;
+      case '\n':
+        out += "%0A";
+        break;
+      case '\r':
+        out += "%0D";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+Result<std::string> UnescapeField(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '%') {
+      out.push_back(s[i]);
+      continue;
+    }
+    if (i + 2 >= s.size()) {
+      return Status::IOError("truncated escape sequence in '" + s + "'");
+    }
+    const std::string hex = s.substr(i + 1, 2);
+    if (hex == "25") {
+      out.push_back('%');
+    } else if (hex == "7C") {
+      out.push_back('|');
+    } else if (hex == "0A") {
+      out.push_back('\n');
+    } else if (hex == "0D") {
+      out.push_back('\r');
+    } else {
+      return Status::IOError("unknown escape %" + hex);
+    }
+    i += 2;
+  }
+  return out;
+}
+
+namespace {
+
+/// Splits an escaped 'a|b|c' field list.
+std::vector<std::string> SplitPipes(const std::string& s) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    const size_t pipe = s.find('|', start);
+    if (pipe == std::string::npos) {
+      parts.push_back(s.substr(start));
+      return parts;
+    }
+    parts.push_back(s.substr(start, pipe - start));
+    start = pipe + 1;
+  }
+}
+
+}  // namespace
+
+Status WriteDataset(const Dataset& dataset, const GroundTruth* ground_truth,
+                    std::ostream& os) {
+  os << "TIND-DATASET 1\n";
+  os << "domain " << dataset.domain().num_timestamps() << "\n";
+  const ValueDictionary& dict = dataset.dictionary();
+  os << "values " << dict.size() << "\n";
+  for (size_t i = 0; i < dict.size(); ++i) {
+    os << EscapeField(dict.GetString(static_cast<ValueId>(i))) << "\n";
+  }
+  os << "attributes " << dataset.size() << "\n";
+  for (const AttributeHistory& attr : dataset.attributes()) {
+    os << "A " << EscapeField(attr.meta().page) << "|"
+       << EscapeField(attr.meta().table) << "|"
+       << EscapeField(attr.meta().column) << " " << attr.num_versions()
+       << "\n";
+    for (size_t v = 0; v < attr.num_versions(); ++v) {
+      const ValueSet& values = attr.versions()[v];
+      os << "V " << attr.change_timestamps()[v] << " " << values.size();
+      for (const ValueId id : values.values()) os << " " << id;
+      os << "\n";
+    }
+  }
+  if (ground_truth != nullptr) {
+    os << "genuine " << ground_truth->size() << "\n";
+    for (const auto& [lhs, rhs] : ground_truth->pairs()) {
+      os << "G " << EscapeField(lhs) << "|" << EscapeField(rhs) << "\n";
+    }
+  }
+  if (!os.good()) return Status::IOError("stream write failed");
+  return Status::OK();
+}
+
+Status WriteDatasetFile(const Dataset& dataset, const GroundTruth* ground_truth,
+                        const std::string& path) {
+  std::ofstream file(path);
+  if (!file.is_open()) return Status::IOError("cannot open " + path);
+  return WriteDataset(dataset, ground_truth, file);
+}
+
+Result<LoadedDataset> ReadDataset(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != "TIND-DATASET 1") {
+    return Status::IOError("bad magic header");
+  }
+  int64_t num_days = 0;
+  {
+    if (!std::getline(is, line)) return Status::IOError("missing domain line");
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag >> num_days) || tag != "domain" || num_days <= 0) {
+      return Status::IOError("bad domain line: " + line);
+    }
+  }
+  LoadedDataset out;
+  out.dataset =
+      Dataset(TimeDomain(num_days), std::make_shared<ValueDictionary>());
+  ValueDictionary* dict = out.dataset.mutable_dictionary();
+
+  size_t num_values = 0;
+  {
+    if (!std::getline(is, line)) return Status::IOError("missing values line");
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag >> num_values) || tag != "values") {
+      return Status::IOError("bad values line: " + line);
+    }
+  }
+  for (size_t i = 0; i < num_values; ++i) {
+    if (!std::getline(is, line)) return Status::IOError("truncated values");
+    TIND_ASSIGN_OR_RETURN(const std::string value, UnescapeField(line));
+    const ValueId id = dict->Intern(value);
+    if (id != static_cast<ValueId>(i)) {
+      return Status::IOError("duplicate value in dictionary: " + value);
+    }
+  }
+
+  size_t num_attributes = 0;
+  {
+    if (!std::getline(is, line)) {
+      return Status::IOError("missing attributes line");
+    }
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag >> num_attributes) || tag != "attributes") {
+      return Status::IOError("bad attributes line: " + line);
+    }
+  }
+  for (size_t a = 0; a < num_attributes; ++a) {
+    if (!std::getline(is, line) || line.rfind("A ", 0) != 0) {
+      return Status::IOError("expected attribute line");
+    }
+    const size_t last_space = line.rfind(' ');
+    if (last_space == std::string::npos || last_space < 2) {
+      return Status::IOError("bad attribute line: " + line);
+    }
+    const size_t num_versions =
+        static_cast<size_t>(std::strtoull(line.c_str() + last_space + 1,
+                                          nullptr, 10));
+    const std::string name = line.substr(2, last_space - 2);
+    const std::vector<std::string> parts = SplitPipes(name);
+    if (parts.size() != 3) {
+      return Status::IOError("attribute name needs 3 fields: " + name);
+    }
+    AttributeMeta meta;
+    TIND_ASSIGN_OR_RETURN(meta.page, UnescapeField(parts[0]));
+    TIND_ASSIGN_OR_RETURN(meta.table, UnescapeField(parts[1]));
+    TIND_ASSIGN_OR_RETURN(meta.column, UnescapeField(parts[2]));
+    AttributeHistoryBuilder builder(static_cast<AttributeId>(a), meta,
+                                    out.dataset.domain());
+    for (size_t v = 0; v < num_versions; ++v) {
+      if (!std::getline(is, line) || line.rfind("V ", 0) != 0) {
+        return Status::IOError("expected version line");
+      }
+      std::istringstream ls(line.substr(2));
+      Timestamp ts = 0;
+      size_t cardinality = 0;
+      if (!(ls >> ts >> cardinality)) {
+        return Status::IOError("bad version line: " + line);
+      }
+      std::vector<ValueId> ids(cardinality);
+      for (size_t i = 0; i < cardinality; ++i) {
+        if (!(ls >> ids[i]) || ids[i] >= dict->size()) {
+          return Status::IOError("bad value id in line: " + line);
+        }
+      }
+      TIND_RETURN_IF_ERROR(
+          builder.AddVersion(ts, ValueSet::FromUnsorted(std::move(ids))));
+    }
+    TIND_ASSIGN_OR_RETURN(AttributeHistory history, builder.Finish());
+    out.dataset.Add(std::move(history));
+  }
+
+  // Optional ground-truth trailer.
+  if (std::getline(is, line) && line.rfind("genuine ", 0) == 0) {
+    const size_t count = static_cast<size_t>(
+        std::strtoull(line.c_str() + 8, nullptr, 10));
+    for (size_t i = 0; i < count; ++i) {
+      if (!std::getline(is, line) || line.rfind("G ", 0) != 0) {
+        return Status::IOError("expected genuine-pair line");
+      }
+      const std::vector<std::string> parts = SplitPipes(line.substr(2));
+      if (parts.size() != 2) {
+        return Status::IOError("bad genuine-pair line: " + line);
+      }
+      TIND_ASSIGN_OR_RETURN(const std::string lhs, UnescapeField(parts[0]));
+      TIND_ASSIGN_OR_RETURN(const std::string rhs, UnescapeField(parts[1]));
+      out.ground_truth.AddGenuine(lhs, rhs);
+    }
+  }
+  return out;
+}
+
+Result<LoadedDataset> ReadDatasetFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file.is_open()) return Status::IOError("cannot open " + path);
+  return ReadDataset(file);
+}
+
+}  // namespace tind::wiki

@@ -1,0 +1,59 @@
+#ifndef TIND_WIKI_CORPUS_IO_H_
+#define TIND_WIKI_CORPUS_IO_H_
+
+/// \file corpus_io.h
+/// Plain-text (de)serialization of prepared datasets, so expensive
+/// generation/preprocessing runs once and experiments reload the result
+/// (mirroring the paper's published dataset artifacts).
+///
+/// Format (line-oriented, UTF-8; '%', '|', newline and carriage return in
+/// strings are percent-escaped):
+///
+///   TIND-DATASET 1
+///   domain <num_days>
+///   values <count>
+///   <value>                      x count, line i is ValueId i
+///   attributes <count>
+///   A <page>|<table>|<column> <num_versions>
+///   V <timestamp> <cardinality> <value-id> ...   x num_versions
+///
+/// and, optionally, the planted ground truth:
+///
+///   genuine <count>
+///   G <lhs full name>|<rhs full name>
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "temporal/dataset.h"
+#include "wiki/generator.h"
+
+namespace tind::wiki {
+
+/// Writes a dataset (and, if non-null, its ground truth) to a stream.
+Status WriteDataset(const Dataset& dataset, const GroundTruth* ground_truth,
+                    std::ostream& os);
+
+/// Convenience: writes to a file path.
+Status WriteDatasetFile(const Dataset& dataset, const GroundTruth* ground_truth,
+                        const std::string& path);
+
+struct LoadedDataset {
+  Dataset dataset;
+  GroundTruth ground_truth;  ///< Empty if the file carried none.
+};
+
+/// Reads a dataset written by WriteDataset.
+Result<LoadedDataset> ReadDataset(std::istream& is);
+
+/// Convenience: reads from a file path.
+Result<LoadedDataset> ReadDatasetFile(const std::string& path);
+
+/// Percent-escaping helpers (exposed for tests).
+std::string EscapeField(const std::string& s);
+Result<std::string> UnescapeField(const std::string& s);
+
+}  // namespace tind::wiki
+
+#endif  // TIND_WIKI_CORPUS_IO_H_

@@ -1,0 +1,674 @@
+#include "wiki/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cassert>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "wiki/wikitext.h"
+
+namespace tind::wiki {
+
+std::set<std::pair<AttributeId, AttributeId>> GroundTruth::ToIdPairs(
+    const std::vector<std::string>& attribute_names) const {
+  std::unordered_map<std::string, AttributeId> by_name;
+  by_name.reserve(attribute_names.size());
+  for (size_t i = 0; i < attribute_names.size(); ++i) {
+    by_name[attribute_names[i]] = static_cast<AttributeId>(i);
+  }
+  std::set<std::pair<AttributeId, AttributeId>> out;
+  for (const auto& [lhs, rhs] : genuine_) {
+    const auto l = by_name.find(lhs);
+    const auto r = by_name.find(rhs);
+    if (l != by_name.end() && r != by_name.end()) {
+      out.emplace(l->second, r->second);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// One timed set mutation of an attribute.
+struct ValueEvent {
+  int64_t day;
+  bool add;
+  std::string value;
+};
+
+/// The full logical life of one attribute, shared by both output paths.
+struct AttrScript {
+  AttributeMeta meta;
+  int64_t birth = 0;
+  std::vector<std::string> initial_values;
+  std::vector<ValueEvent> events;  ///< Sorted by day at finalization.
+  size_t table_group = 0;          ///< Scripts with equal group share a table.
+};
+
+/// Replays initial values + events up to and including `day`.
+std::set<std::string> StateAt(const AttrScript& script, int64_t day) {
+  std::set<std::string> state(script.initial_values.begin(),
+                              script.initial_values.end());
+  for (const ValueEvent& e : script.events) {
+    if (e.day > day) break;
+    if (e.add) {
+      state.insert(e.value);
+    } else {
+      state.erase(e.value);
+    }
+  }
+  return state;
+}
+
+/// Materializes the per-day distinct versions of a script.
+std::vector<std::pair<int64_t, std::vector<std::string>>> MaterializeDaily(
+    const AttrScript& script) {
+  std::vector<std::pair<int64_t, std::vector<std::string>>> versions;
+  std::set<std::string> state(script.initial_values.begin(),
+                              script.initial_values.end());
+  versions.emplace_back(script.birth,
+                        std::vector<std::string>(state.begin(), state.end()));
+  size_t i = 0;
+  while (i < script.events.size()) {
+    const int64_t day = script.events[i].day;
+    while (i < script.events.size() && script.events[i].day == day) {
+      const ValueEvent& e = script.events[i];
+      if (e.add) {
+        state.insert(e.value);
+      } else {
+        state.erase(e.value);
+      }
+      ++i;
+    }
+    versions.emplace_back(day,
+                          std::vector<std::string>(state.begin(), state.end()));
+  }
+  return versions;
+}
+
+/// Builds every attribute script plus the ground truth. Deterministic in
+/// the seed; both GenerateDataset and GenerateRawCorpus call this, so the
+/// two paths describe the same logical corpus.
+class ScriptBuilder {
+ public:
+  ScriptBuilder(const GeneratorOptions& opts, GroundTruth* truth)
+      : opts_(opts), rng_(opts.seed), truth_(truth) {}
+
+  std::vector<AttrScript> Build() {
+    BuildSharedVocabulary();
+    for (size_t f = 0; f < opts_.num_families; ++f) BuildFamily(f);
+    BuildCatchAlls();
+    BuildNoise();
+    BuildDrifters();
+    return std::move(scripts_);
+  }
+
+ private:
+  int64_t MaxBirthDay() const {
+    return std::max<int64_t>(
+        0, static_cast<int64_t>(static_cast<double>(opts_.num_days) *
+                                opts_.birth_fraction) -
+               1);
+  }
+
+  /// Draws `count` distinct event days in (after, num_days).
+  std::vector<int64_t> DrawEventDays(int64_t after, size_t count) {
+    std::set<int64_t> days;
+    const int64_t lo = after + 1;
+    const int64_t hi = opts_.num_days - 1;
+    if (lo > hi) return {};
+    const size_t available = static_cast<size_t>(hi - lo + 1);
+    const size_t want = std::min(count, available);
+    size_t guard = 0;
+    while (days.size() < want && guard < want * 20 + 100) {
+      days.insert(lo + static_cast<int64_t>(rng_.Uniform(available)));
+      ++guard;
+    }
+    return std::vector<int64_t>(days.begin(), days.end());
+  }
+
+  /// Births are sqrt-biased toward the present: Wikipedia grew over the
+  /// observation window, and the paper's average attribute lives 5.6 of the
+  /// 16.6 observed years.
+  int64_t DrawBirthDay() {
+    const double u = std::sqrt(rng_.UniformDouble());
+    return static_cast<int64_t>(u * static_cast<double>(MaxBirthDay()));
+  }
+
+  int64_t GeometricLag(double mean) {
+    if (mean <= 0) return 0;
+    return 1 + static_cast<int64_t>(rng_.Geometric(1.0 / (mean + 1.0)));
+  }
+
+  void BuildSharedVocabulary() {
+    shared_vocab_.reserve(opts_.shared_vocabulary);
+    for (size_t i = 0; i < opts_.shared_vocabulary; ++i) {
+      shared_vocab_.push_back("Common Token " + std::to_string(i));
+    }
+    zipf_ = std::make_unique<ZipfSampler>(
+        std::max<size_t>(1, opts_.shared_vocabulary), opts_.zipf_skew);
+  }
+
+  std::string SampleSharedToken() {
+    return shared_vocab_[zipf_->Sample(&rng_)];
+  }
+
+  void BuildFamily(size_t f) {
+    // Entity pool, consumed in shuffled order by arrival events.
+    std::vector<std::string> pool;
+    pool.reserve(opts_.entities_per_family_pool);
+    for (size_t e = 0; e < opts_.entities_per_family_pool; ++e) {
+      pool.push_back("F" + std::to_string(f) + " Entity " + std::to_string(e));
+    }
+    rng_.Shuffle(&pool);
+
+    AttrScript root;
+    root.meta = AttributeMeta{"Family " + std::to_string(f), "list", "Entity"};
+    root.birth = DrawBirthDay();
+    size_t next_entity = 0;
+    const size_t initial =
+        std::min(opts_.root_initial_cardinality, pool.size() / 2);
+    for (size_t i = 0; i < initial; ++i) {
+      root.initial_values.push_back(pool[next_entity++]);
+    }
+    const double activity_means[] = {opts_.family_activity_low,
+                                     opts_.family_activity_mid,
+                                     opts_.family_activity_high};
+    const size_t n_events = 4 + rng_.Poisson(activity_means[rng_.Uniform(3)]);
+    const std::vector<int64_t> days = DrawEventDays(root.birth, n_events);
+    std::set<std::string> current(root.initial_values.begin(),
+                                  root.initial_values.end());
+    for (const int64_t day : days) {
+      const bool add = rng_.Bernoulli(opts_.add_event_probability) &&
+                       next_entity < pool.size();
+      if (add) {
+        const std::string& v = pool[next_entity++];
+        root.events.push_back(ValueEvent{day, true, v});
+        current.insert(v);
+      } else if (current.size() > 3) {
+        // Remove a (pseudo-)random current value.
+        auto it = current.begin();
+        std::advance(it, rng_.Uniform(current.size()));
+        root.events.push_back(ValueEvent{day, false, *it});
+        current.erase(it);
+      }
+    }
+    const size_t root_index = scripts_.size();
+    AssignOwnTable(&root);
+    scripts_.push_back(root);
+
+    // Children (and possibly grandchildren).
+    const size_t n_children =
+        1 + rng_.Uniform(opts_.max_children_per_family);
+    std::vector<size_t> ancestors{root_index};
+    for (size_t c = 0; c < n_children; ++c) {
+      BuildDerived(f, c, ancestors, /*depth=*/1);
+    }
+  }
+
+  /// Builds one derived attribute beneath ancestors.back(); recurses for
+  /// chained derivations.
+  void BuildDerived(size_t f, size_t child_tag,
+                    const std::vector<size_t>& ancestors, int depth) {
+    const AttrScript& parent = scripts_[ancestors.back()];
+    AttrScript child;
+    std::string label = "child";
+    for (int d = 1; d < depth; ++d) label = "sub" + label;
+    child.meta = AttributeMeta{
+        "Family " + std::to_string(f) + " " + label + " " +
+            std::to_string(child_tag),
+        "main", "Entity"};
+    const int64_t latest_birth = opts_.num_days - 50;
+    child.birth = std::min<int64_t>(
+        latest_birth, parent.birth + static_cast<int64_t>(rng_.Uniform(200)));
+    if (child.birth < 0) child.birth = 0;
+
+    const double subset_fraction =
+        opts_.subset_fraction_min +
+        rng_.UniformDouble() *
+            (opts_.subset_fraction_max - opts_.subset_fraction_min);
+    // Which values the child tracks: initial state from the parent's state
+    // at the child's birth.
+    std::set<std::string> adopted;
+    for (const std::string& v : StateAt(parent, child.birth)) {
+      if (rng_.Bernoulli(subset_fraction)) {
+        adopted.insert(v);
+        child.initial_values.push_back(MaybeVariant(v));
+      }
+    }
+
+    // Propagate the parent's later events with lags.
+    for (const ValueEvent& e : parent.events) {
+      if (e.day <= child.birth) continue;
+      if (e.add) {
+        if (!rng_.Bernoulli(opts_.adoption_probability)) continue;
+        adopted.insert(e.value);
+        int64_t day;
+        if (rng_.Bernoulli(opts_.lead_probability)) {
+          // The derived table learns of the new value first — the parent's
+          // update is the delayed one (Figure 1's Tables D/E scenario, δ).
+          day = std::max(child.birth + 1,
+                         e.day - GeometricLag(opts_.mean_update_lag_days));
+        } else {
+          day = e.day + GeometricLag(opts_.mean_update_lag_days);
+        }
+        if (day < opts_.num_days) {
+          child.events.push_back(ValueEvent{day, true, MaybeVariant(e.value)});
+        }
+      } else {
+        if (adopted.count(e.value) == 0) continue;
+        adopted.erase(e.value);
+        const int64_t day = e.day + GeometricLag(opts_.mean_removal_lag_days);
+        if (day < opts_.num_days) {
+          // Remove both the canonical spelling and a possible variant; only
+          // the one present has an effect.
+          child.events.push_back(ValueEvent{day, false, e.value});
+          child.events.push_back(
+              ValueEvent{day, false, e.value + " (alt)"});
+        }
+      }
+    }
+
+    // Transient erroneous inserts, reverted after a few days (ε).
+    const size_t n_errors = rng_.Poisson(
+        opts_.error_rate * static_cast<double>(parent.events.size()));
+    for (size_t i = 0; i < n_errors; ++i) {
+      const std::vector<int64_t> d = DrawEventDays(child.birth, 1);
+      if (d.empty()) continue;
+      const std::string bogus = SampleSharedToken();
+      child.events.push_back(ValueEvent{d[0], true, bogus});
+      const int64_t revert =
+          d[0] + GeometricLag(opts_.mean_error_duration_days);
+      if (revert < opts_.num_days) {
+        child.events.push_back(ValueEvent{revert, false, bogus});
+      }
+    }
+
+    // End-of-history turbulence: an erroneous insert in the last days whose
+    // revert lies beyond the observation horizon. The inclusion is still a
+    // relaxed tIND (a 1-3 day violation fits eps) but is *not* a static IND
+    // at the latest snapshot - the population behind the paper's finding
+    // that a third of all tINDs are invisible to snapshot discovery (5.2).
+    if (rng_.Bernoulli(opts_.end_turbulence_probability)) {
+      const int64_t day =
+          opts_.num_days - 1 - static_cast<int64_t>(rng_.Uniform(3));
+      if (day > child.birth) {
+        child.events.push_back(ValueEvent{day, true, SampleSharedToken()});
+      }
+    }
+
+    // Spontaneous subset-safe drops (extra change volume).
+    for (const std::string& v : adopted) {
+      if (rng_.Bernoulli(opts_.spontaneous_drop_probability)) {
+        const std::vector<int64_t> d = DrawEventDays(child.birth, 1);
+        if (!d.empty()) {
+          child.events.push_back(ValueEvent{d[0], false, v});
+          child.events.push_back(ValueEvent{d[0], false, v + " (alt)"});
+        }
+      }
+    }
+
+    std::stable_sort(child.events.begin(), child.events.end(),
+                     [](const ValueEvent& a, const ValueEvent& b) {
+                       return a.day < b.day;
+                     });
+    const size_t child_index = scripts_.size();
+    AssignOwnTable(&child);
+    scripts_.push_back(child);
+    for (const size_t anc : ancestors) {
+      truth_->AddGenuine(scripts_[child_index].meta.FullName(),
+                         scripts_[anc].meta.FullName());
+    }
+    if (depth < 3 && rng_.Bernoulli(opts_.chain_probability)) {
+      std::vector<size_t> extended = ancestors;
+      extended.push_back(child_index);
+      BuildDerived(f, child_tag, extended, depth + 1);
+    }
+  }
+
+  std::string MaybeVariant(const std::string& v) {
+    // Long-lived unlinked spelling variants (USA vs United States): breaks
+    // the genuine inclusion for this value permanently.
+    return rng_.Bernoulli(opts_.unlinked_variant_probability) ? v + " (alt)"
+                                                              : v;
+  }
+
+  void BuildCatchAlls() {
+    // Registries hold popularity-ranked prefixes of the shared vocabulary,
+    // so a lower-coverage registry is *genuinely* included in every
+    // higher-coverage one — the paper's "EU countries in UN countries"
+    // kind of inclusion (Section 5.5). Recorded in the ground truth below.
+    std::vector<size_t> takes;
+    std::vector<std::string> names;
+    for (size_t i = 0; i < opts_.num_catchall_attributes; ++i) {
+      AttrScript script;
+      script.meta = AttributeMeta{"Registry " + std::to_string(i), "list",
+                                  "Token"};
+      script.birth = DrawBirthDay();
+      const double coverage =
+          opts_.catchall_coverage_min +
+          rng_.UniformDouble() *
+              (opts_.catchall_coverage_max - opts_.catchall_coverage_min);
+      // Registries carry the *popular* prefix of the vocabulary, so Zipf-
+      // sampled noise values usually fall inside — at any one snapshot.
+      const size_t take = static_cast<size_t>(
+          coverage * static_cast<double>(shared_vocab_.size()));
+      script.initial_values.assign(shared_vocab_.begin(),
+                                   shared_vocab_.begin() + take);
+      // Churn at the margin: swap tokens near the coverage boundary. Half
+      // the registries are heavily edited, so chance inclusions also appear
+      // in the high-change buckets of Table 2.
+      const size_t n_events =
+          4 + rng_.Poisson(rng_.Bernoulli(0.4) ? 18.0 : 6.0);
+      for (const int64_t day : DrawEventDays(script.birth, n_events)) {
+        const size_t margin = std::max<size_t>(1, take / 10);
+        const size_t pos = take - 1 - rng_.Uniform(margin);
+        if (rng_.Bernoulli(0.5)) {
+          script.events.push_back(ValueEvent{day, false, shared_vocab_[pos]});
+        } else {
+          script.events.push_back(ValueEvent{day, true, shared_vocab_[pos]});
+        }
+      }
+      AssignOwnTable(&script);
+      takes.push_back(take);
+      names.push_back(script.meta.FullName());
+      scripts_.push_back(std::move(script));
+    }
+    for (size_t i = 0; i < takes.size(); ++i) {
+      for (size_t j = 0; j < takes.size(); ++j) {
+        if (i != j && takes[i] <= takes[j]) {
+          truth_->AddGenuine(names[i], names[j]);
+        }
+      }
+    }
+  }
+
+  void BuildNoise() {
+    // Change-volume classes spread attributes across the buckets of
+    // Table 2: [4,8), [8,16), [16,inf).
+    static const double kChangeClassMeans[] = {1.0, 6.0, 18.0};
+    size_t group = next_table_group_;
+    for (size_t i = 0; i < opts_.num_noise_attributes; ++i) {
+      AttrScript script;
+      if (i % opts_.noise_attributes_per_table == 0 && i > 0) ++group;
+      script.table_group = group;
+      script.meta = AttributeMeta{
+          "Misc page " + std::to_string(group), "t",
+          "Col " + std::to_string(i % opts_.noise_attributes_per_table)};
+      script.birth = DrawBirthDay();
+      const size_t cardinality =
+          opts_.noise_cardinality_min +
+          rng_.Uniform(opts_.noise_cardinality_max -
+                       opts_.noise_cardinality_min + 1);
+      // Pure-shared noise attributes draw only registry-style tokens and
+      // create the chance inclusions that plague static discovery.
+      const double shared_fraction =
+          rng_.Bernoulli(opts_.pure_shared_noise_fraction)
+              ? 1.0
+              : opts_.noise_shared_fraction;
+      std::set<std::string> current;
+      while (current.size() < cardinality) {
+        current.insert(SampleNoiseValue(shared_fraction));
+      }
+      script.initial_values.assign(current.begin(), current.end());
+      const double mean = kChangeClassMeans[rng_.Uniform(3)];
+      const size_t n_events = 4 + rng_.Poisson(mean);
+      for (const int64_t day : DrawEventDays(script.birth, n_events)) {
+        // Churn: replace a few values, keeping cardinality roughly stable.
+        // Every fresh draw is a chance to step outside a registry, which is
+        // what makes chance inclusions break over history (Section 5.5).
+        const size_t replacements = 2 + rng_.Uniform(3);
+        for (size_t r = 0; r < replacements; ++r) {
+          if (!current.empty() && rng_.Bernoulli(0.7)) {
+            auto it = current.begin();
+            std::advance(it, rng_.Uniform(current.size()));
+            script.events.push_back(ValueEvent{day, false, *it});
+            current.erase(it);
+          }
+          std::string fresh = SampleNoiseValue(shared_fraction);
+          if (current.insert(fresh).second) {
+            script.events.push_back(ValueEvent{day, true, std::move(fresh)});
+          }
+        }
+      }
+      scripts_.push_back(std::move(script));
+    }
+    next_table_group_ = group + 1;
+  }
+
+  void BuildDrifters() {
+    for (size_t i = 0; i < opts_.num_drifter_attributes; ++i) {
+      AttrScript script;
+      script.meta = AttributeMeta{"Drift page " + std::to_string(i), "t",
+                                  "Current"};
+      script.birth = DrawBirthDay();
+      const size_t cardinality =
+          opts_.drifter_cardinality_min +
+          rng_.Uniform(opts_.drifter_cardinality_max -
+                       opts_.drifter_cardinality_min + 1);
+      std::set<std::string> current;
+      while (current.size() < cardinality) {
+        current.insert(SampleSharedToken());
+      }
+      script.initial_values.assign(current.begin(), current.end());
+      const size_t n_events = 4 + rng_.Poisson(opts_.drifter_changes_mean);
+      for (const int64_t day : DrawEventDays(script.birth, n_events)) {
+        // Heavy rotation: most of the set turns over across the history,
+        // leaving a large historical union behind a small current set.
+        const size_t replacements = 3 + rng_.Uniform(3);
+        for (size_t r = 0; r < replacements; ++r) {
+          if (current.size() > opts_.drifter_cardinality_min) {
+            auto it = current.begin();
+            std::advance(it, rng_.Uniform(current.size()));
+            script.events.push_back(ValueEvent{day, false, *it});
+            current.erase(it);
+          }
+          std::string fresh = SampleSharedToken();
+          if (current.insert(fresh).second) {
+            script.events.push_back(ValueEvent{day, true, std::move(fresh)});
+          }
+        }
+      }
+      AssignOwnTable(&script);
+      scripts_.push_back(std::move(script));
+    }
+  }
+
+  std::string SampleNoiseValue(double shared_fraction) {
+    if (rng_.Bernoulli(shared_fraction) || opts_.num_families == 0) {
+      return SampleSharedToken();
+    }
+    // Occasionally a family entity leaks into unrelated tables.
+    const size_t f = rng_.Uniform(opts_.num_families);
+    const size_t e = rng_.Uniform(opts_.entities_per_family_pool);
+    return "F" + std::to_string(f) + " Entity " + std::to_string(e);
+  }
+
+  void AssignOwnTable(AttrScript* script) {
+    script->table_group = next_table_group_++;
+  }
+
+  const GeneratorOptions& opts_;
+  Rng rng_;
+  GroundTruth* truth_;
+  std::vector<AttrScript> scripts_;
+  std::vector<std::string> shared_vocab_;
+  std::unique_ptr<ZipfSampler> zipf_;
+  size_t next_table_group_ = 0;
+};
+
+}  // namespace
+
+Result<GeneratedDataset> WikiGenerator::GenerateDataset() const {
+  if (options_.num_days < 10) {
+    return Status::InvalidArgument("num_days too small");
+  }
+  GeneratedDataset out;
+  ScriptBuilder builder(options_, &out.ground_truth);
+  const std::vector<AttrScript> scripts = builder.Build();
+  out.scripts_total = scripts.size();
+  out.dataset = Dataset(TimeDomain(options_.num_days),
+                        std::make_shared<ValueDictionary>());
+  ValueDictionary* dict = out.dataset.mutable_dictionary();
+  for (const AttrScript& script : scripts) {
+    const auto daily = MaterializeDaily(script);
+    AttributeHistoryBuilder hb(static_cast<AttributeId>(out.dataset.size()),
+                               script.meta, out.dataset.domain());
+    for (const auto& [day, values] : daily) {
+      std::vector<ValueId> ids;
+      ids.reserve(values.size());
+      for (const auto& v : values) ids.push_back(dict->Intern(v));
+      const Status st = hb.AddVersion(day, ValueSet::FromUnsorted(std::move(ids)));
+      if (!st.ok()) return st;
+    }
+    // Mirror the pipeline's version-count and cardinality filters so the
+    // direct path matches the post-filter corpus of Section 5.1.
+    if (hb.num_versions() < options_.min_versions) {
+      ++out.scripts_filtered;
+      continue;
+    }
+    auto history = hb.Finish();
+    if (!history.ok()) return history.status();
+    if (history->MedianCardinality() < options_.min_median_cardinality) {
+      ++out.scripts_filtered;
+      continue;
+    }
+    out.attribute_names.push_back(script.meta.FullName());
+    out.dataset.Add(std::move(*history));
+  }
+  return out;
+}
+
+namespace {
+
+/// Renders one logical value as a raw cell, with link markup for entity
+/// values most of the time.
+std::string RenderCell(const std::string& value, bool is_entity, Rng* rng,
+                       const GeneratorOptions& opts) {
+  if (is_entity && rng->Bernoulli(opts.link_probability)) {
+    if (rng->Bernoulli(0.4)) {
+      // Linked with a shortened display label; resolves to the title.
+      std::string label = value;
+      const size_t space = label.find(' ');
+      if (space != std::string::npos) label = label.substr(space + 1);
+      return MakeLink(value, label);
+    }
+    return MakeLink(value);
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<GeneratedRawCorpus> WikiGenerator::GenerateRawCorpus() const {
+  if (options_.num_days < 10) {
+    return Status::InvalidArgument("num_days too small");
+  }
+  GeneratedRawCorpus out;
+  ScriptBuilder builder(options_, &out.ground_truth);
+  const std::vector<AttrScript> scripts = builder.Build();
+  out.raw.num_days = options_.num_days;
+  // Separate RNG stream for presentation-only choices, so the logical
+  // content matches GenerateDataset byte-for-byte.
+  Rng rng(options_.seed ^ 0xDEADBEEFCAFEF00DULL);
+
+  // Group scripts into tables.
+  std::map<size_t, std::vector<const AttrScript*>> groups;
+  for (const AttrScript& s : scripts) groups[s.table_group].push_back(&s);
+
+  size_t vandal_counter = 0;
+  for (const auto& [group, members] : groups) {
+    RawTableHistory table;
+    table.page_title = members.front()->meta.page;
+    table.table_caption = members.front()->meta.table;
+    const bool add_numeric = rng.Bernoulli(options_.numeric_column_probability);
+
+    // Header rename plan: a column may switch headers once, mid-history.
+    std::vector<std::string> headers, renamed_headers;
+    std::vector<int64_t> rename_day(members.size(),
+                                    options_.num_days + 1);
+    for (size_t c = 0; c < members.size(); ++c) {
+      headers.push_back(members[c]->meta.column);
+      renamed_headers.push_back(members[c]->meta.column + " (renamed)");
+      if (rng.Bernoulli(options_.rename_header_probability)) {
+        rename_day[c] = members[c]->birth +
+                        static_cast<int64_t>(rng.Uniform(
+                            std::max<int64_t>(1, options_.num_days -
+                                                     members[c]->birth)));
+      }
+    }
+
+    // Union of change days across members.
+    std::set<int64_t> change_days;
+    for (const AttrScript* s : members) {
+      change_days.insert(s->birth);
+      for (const ValueEvent& e : s->events) change_days.insert(e.day);
+    }
+
+    int64_t prev_minute = -1;
+    for (const int64_t day : change_days) {
+      if (day >= options_.num_days) continue;
+      RawTableVersion version;
+      const int64_t minute_in_day = 60 + static_cast<int64_t>(rng.Uniform(
+                                             kMinutesPerDay - 120));
+      version.revision_minute =
+          std::max(prev_minute + 1, day * kMinutesPerDay + minute_in_day);
+
+      for (size_t c = 0; c < members.size(); ++c) {
+        const AttrScript* s = members[c];
+        if (day < s->birth) continue;  // Column does not exist yet.
+        version.headers.push_back(day >= rename_day[c] ? renamed_headers[c]
+                                                       : headers[c]);
+        std::vector<std::string> cells;
+        for (const std::string& v : StateAt(*s, day)) {
+          const bool is_entity = v.rfind("F", 0) == 0;
+          cells.push_back(RenderCell(v, is_entity, &rng, options_));
+        }
+        if (rng.Bernoulli(options_.null_cell_probability)) {
+          static const char* kNulls[] = {"", "-", "n/a", "?"};
+          cells.push_back(kNulls[rng.Uniform(4)]);
+        }
+        version.columns.push_back(std::move(cells));
+      }
+      if (add_numeric && !version.headers.empty()) {
+        version.headers.push_back("Year");
+        std::vector<std::string> numbers;
+        const size_t rows = version.columns.front().size();
+        for (size_t r = 0; r < rows; ++r) {
+          numbers.push_back(std::to_string(1980 + (r * 7 + day) % 40));
+        }
+        version.columns.push_back(std::move(numbers));
+      }
+      if (version.columns.empty()) continue;
+
+      // Sub-daily vandalism: a junk value appears minutes before the real
+      // revision and is therefore never the longest-valid version of its
+      // day — the daily aggregation must drop it.
+      if (!table.versions.empty() &&
+          rng.Bernoulli(options_.sub_daily_vandalism_rate) &&
+          version.revision_minute % kMinutesPerDay > 50) {
+        RawTableVersion vandal = table.versions.back();
+        vandal.revision_minute =
+            version.revision_minute - 5 - static_cast<int64_t>(rng.Uniform(30));
+        if (vandal.revision_minute > prev_minute &&
+            vandal.revision_minute / kMinutesPerDay == day &&
+            !vandal.columns.empty()) {
+          vandal.columns[0].push_back("VANDAL " +
+                                      std::to_string(vandal_counter++));
+          table.versions.push_back(std::move(vandal));
+          prev_minute = table.versions.back().revision_minute;
+        }
+      }
+      version.revision_minute = std::max(prev_minute + 1, version.revision_minute);
+      prev_minute = version.revision_minute;
+      table.versions.push_back(std::move(version));
+    }
+    if (!table.versions.empty()) out.raw.tables.push_back(std::move(table));
+  }
+  return out;
+}
+
+}  // namespace tind::wiki

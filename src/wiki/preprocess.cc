@@ -1,0 +1,229 @@
+#include "wiki/preprocess.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "wiki/attribute_matching.h"
+#include "wiki/wikitext.h"
+
+namespace tind::wiki {
+
+namespace {
+
+/// One attribute chain: the same logical column traced through revisions.
+struct ColumnChain {
+  std::string header;  ///< Most recent header.
+  /// (revision_minute, normalized distinct values). An empty value list
+  /// records the deletion of the column at that revision.
+  std::vector<std::pair<int64_t, std::vector<std::string>>> observations;
+};
+
+/// Normalizes a raw column into its distinct non-null value strings.
+std::vector<std::string> NormalizeColumn(const std::vector<std::string>& cells) {
+  std::set<std::string> distinct;
+  for (const auto& cell : cells) {
+    std::string v = NormalizeCell(cell);
+    if (!v.empty()) distinct.insert(std::move(v));
+  }
+  return std::vector<std::string>(distinct.begin(), distinct.end());
+}
+
+/// Traces column chains through one table's revisions.
+std::vector<ColumnChain> BuildChains(const RawTableHistory& table,
+                                     double jaccard_threshold) {
+  std::vector<ColumnChain> chains;
+  // chain_of[c] = chain index of column c in the previous version.
+  std::vector<size_t> chain_of;
+  const RawTableVersion* prev = nullptr;
+  for (const RawTableVersion& version : table.versions) {
+    std::vector<size_t> next_chain_of(version.columns.size());
+    std::vector<int> match;
+    if (prev != nullptr) {
+      match = MatchColumns(*prev, version, jaccard_threshold);
+    } else {
+      match.assign(version.columns.size(), -1);
+    }
+    std::unordered_set<size_t> live_chains;
+    for (size_t c = 0; c < version.columns.size(); ++c) {
+      size_t chain_idx;
+      if (match[c] >= 0) {
+        chain_idx = chain_of[static_cast<size_t>(match[c])];
+      } else {
+        chain_idx = chains.size();
+        chains.push_back(ColumnChain{});
+      }
+      ColumnChain& chain = chains[chain_idx];
+      chain.header = version.headers[c];
+      chain.observations.emplace_back(version.revision_minute,
+                                      NormalizeColumn(version.columns[c]));
+      next_chain_of[c] = chain_idx;
+      live_chains.insert(chain_idx);
+    }
+    // Chains present before but unmatched now were deleted in this revision.
+    if (prev != nullptr) {
+      for (const size_t old_chain : chain_of) {
+        if (live_chains.count(old_chain) == 0 &&
+            !chains[old_chain].observations.empty() &&
+            !chains[old_chain].observations.back().second.empty()) {
+          chains[old_chain].observations.emplace_back(
+              version.revision_minute, std::vector<std::string>{});
+        }
+      }
+    }
+    chain_of = std::move(next_chain_of);
+    prev = &version;
+  }
+  return chains;
+}
+
+/// Aggregates sub-daily observations to one version per day: the version
+/// valid for the longest time within each day that has revisions wins.
+std::vector<std::pair<int64_t, std::vector<std::string>>> AggregateDaily(
+    const std::vector<std::pair<int64_t, std::vector<std::string>>>& observations,
+    int64_t num_days) {
+  std::vector<std::pair<int64_t, std::vector<std::string>>> daily;
+  size_t i = 0;
+  const std::vector<std::string>* carry = nullptr;  // Version at day start.
+  while (i < observations.size()) {
+    const int64_t day = observations[i].first / kMinutesPerDay;
+    if (day >= num_days) break;
+    const int64_t day_start = day * kMinutesPerDay;
+    const int64_t day_end = day_start + kMinutesPerDay;
+    // Collect the segments covering this day: the carried-in version plus
+    // every revision within the day.
+    const std::vector<std::string>* best = nullptr;
+    int64_t best_duration = -1;
+    int64_t segment_start = day_start;
+    const std::vector<std::string>* current = carry;
+    size_t j = i;
+    while (j < observations.size() && observations[j].first < day_end) {
+      if (current != nullptr) {
+        const int64_t duration = observations[j].first - segment_start;
+        if (duration > best_duration) {
+          best_duration = duration;
+          best = current;
+        }
+      }
+      segment_start = observations[j].first;
+      current = &observations[j].second;
+      ++j;
+    }
+    // Last segment runs to the end of the day.
+    const int64_t tail = day_end - segment_start;
+    if (current != nullptr && tail > best_duration) {
+      best_duration = tail;
+      best = current;
+    }
+    if (best != nullptr) {
+      daily.emplace_back(day, *best);
+    }
+    // If the day's winner is not the version carried past midnight (a late
+    // revision lost the longest-valid contest), the carried version becomes
+    // the valid one from the next day on — record that change unless the
+    // next day has its own revisions (it will then be re-derived there).
+    const int64_t next_revision_day =
+        j < observations.size() ? observations[j].first / kMinutesPerDay
+                                : num_days;
+    if (current != nullptr && best != nullptr && !(*current == *best) &&
+        day + 1 < num_days && next_revision_day > day + 1) {
+      daily.emplace_back(day + 1, *current);
+    }
+    carry = current;
+    i = j;
+  }
+  return daily;
+}
+
+/// Fraction of distinct historical values that are numeric.
+double NumericFraction(
+    const std::vector<std::pair<int64_t, std::vector<std::string>>>& observations) {
+  std::set<std::string> distinct;
+  for (const auto& [minute, values] : observations) {
+    distinct.insert(values.begin(), values.end());
+  }
+  if (distinct.empty()) return 0.0;
+  size_t numeric = 0;
+  for (const auto& v : distinct) {
+    if (IsNumericValue(v)) ++numeric;
+  }
+  return static_cast<double>(numeric) / static_cast<double>(distinct.size());
+}
+
+}  // namespace
+
+Result<PreprocessResult> PreprocessRawCorpus(const RawCorpus& corpus,
+                                             const PreprocessOptions& options) {
+  if (corpus.num_days <= 0) {
+    return Status::InvalidArgument("corpus has no observation period");
+  }
+  PreprocessResult result;
+  result.dataset =
+      Dataset(TimeDomain(corpus.num_days), std::make_shared<ValueDictionary>());
+  ValueDictionary* dict = result.dataset.mutable_dictionary();
+  PreprocessStats& stats = result.stats;
+  stats.tables = corpus.tables.size();
+  stats.revisions = corpus.TotalRevisions();
+
+  for (const RawTableHistory& table : corpus.tables) {
+    const std::vector<ColumnChain> chains =
+        BuildChains(table, options.jaccard_threshold);
+    stats.column_chains += chains.size();
+    for (const ColumnChain& chain : chains) {
+      if (chain.observations.empty()) {
+        ++stats.dropped_empty;
+        continue;
+      }
+      if (NumericFraction(chain.observations) >=
+          options.numeric_fraction_threshold) {
+        ++stats.dropped_numeric;
+        continue;
+      }
+      const auto daily = AggregateDaily(chain.observations, corpus.num_days);
+      if (daily.empty()) {
+        ++stats.dropped_empty;
+        continue;
+      }
+      AttributeMeta meta{table.page_title, table.table_caption, chain.header};
+      AttributeHistoryBuilder builder(
+          static_cast<AttributeId>(result.dataset.size()), meta,
+          result.dataset.domain());
+      bool builder_error = false;
+      for (const auto& [day, values] : daily) {
+        std::vector<ValueId> ids;
+        ids.reserve(values.size());
+        for (const auto& v : values) ids.push_back(dict->Intern(v));
+        const Status st =
+            builder.AddVersion(day, ValueSet::FromUnsorted(std::move(ids)));
+        if (!st.ok()) {
+          builder_error = true;
+          break;
+        }
+      }
+      if (builder_error || builder.num_versions() == 0) {
+        ++stats.dropped_empty;
+        continue;
+      }
+      if (builder.num_versions() < options.min_versions) {
+        ++stats.dropped_few_versions;
+        continue;
+      }
+      auto history = builder.Finish();
+      if (!history.ok()) {
+        ++stats.dropped_empty;
+        continue;
+      }
+      if (history->MedianCardinality() < options.min_median_cardinality) {
+        ++stats.dropped_small_cardinality;
+        continue;
+      }
+      result.attribute_names.push_back(meta.FullName());
+      result.dataset.Add(std::move(*history));
+      ++stats.kept;
+    }
+  }
+  return result;
+}
+
+}  // namespace tind::wiki

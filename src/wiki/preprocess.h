@@ -1,0 +1,64 @@
+#ifndef TIND_WIKI_PREPROCESS_H_
+#define TIND_WIKI_PREPROCESS_H_
+
+/// \file preprocess.h
+/// The corpus preparation pipeline of Section 5.1, turning raw table
+/// revision histories into the attribute histories the index consumes:
+///
+///  1. match columns across revisions into attribute chains;
+///  2. resolve `[[link|label]]` markup to page titles (unifying entity
+///     representations) and unify null-value spellings;
+///  3. aggregate sub-daily revisions to daily snapshots, keeping per day the
+///     version that was valid for the longest time on that day (vandalism
+///     that is reverted within minutes never reaches the dataset);
+///  4. drop mostly-numeric attributes;
+///  5. drop attributes with fewer than five versions (four changes);
+///  6. drop attributes whose median version cardinality is below five.
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "temporal/dataset.h"
+#include "wiki/raw_table.h"
+
+namespace tind::wiki {
+
+struct PreprocessOptions {
+  /// Attribute dropped if at least this fraction of its distinct historical
+  /// values parse as numbers.
+  double numeric_fraction_threshold = 0.5;
+  /// Minimum number of versions (paper: 5, i.e. at least 4 changes).
+  size_t min_versions = 5;
+  /// Minimum median version cardinality (paper: 5).
+  size_t min_median_cardinality = 5;
+  /// Column matching threshold for renamed columns.
+  double jaccard_threshold = 0.4;
+};
+
+struct PreprocessStats {
+  size_t tables = 0;
+  size_t revisions = 0;
+  size_t column_chains = 0;  ///< Matched attribute chains before filtering.
+  size_t dropped_numeric = 0;
+  size_t dropped_few_versions = 0;
+  size_t dropped_small_cardinality = 0;
+  size_t dropped_empty = 0;
+  size_t kept = 0;
+};
+
+struct PreprocessResult {
+  Dataset dataset;
+  /// attribute_names[id] == dataset.attribute(id).meta().FullName().
+  std::vector<std::string> attribute_names;
+  PreprocessStats stats;
+};
+
+/// Runs the full pipeline. Attribute ids are assigned in (table, chain)
+/// discovery order.
+Result<PreprocessResult> PreprocessRawCorpus(const RawCorpus& corpus,
+                                             const PreprocessOptions& options);
+
+}  // namespace tind::wiki
+
+#endif  // TIND_WIKI_PREPROCESS_H_

@@ -1,0 +1,19 @@
+#include "wiki/raw_table.h"
+
+namespace tind::wiki {
+
+size_t RawCorpus::TotalRevisions() const {
+  size_t total = 0;
+  for (const auto& t : tables) total += t.versions.size();
+  return total;
+}
+
+size_t RawCorpus::TotalColumns() const {
+  size_t total = 0;
+  for (const auto& t : tables) {
+    if (!t.versions.empty()) total += t.versions.back().columns.size();
+  }
+  return total;
+}
+
+}  // namespace tind::wiki

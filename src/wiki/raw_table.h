@@ -1,0 +1,51 @@
+#ifndef TIND_WIKI_RAW_TABLE_H_
+#define TIND_WIKI_RAW_TABLE_H_
+
+/// \file raw_table.h
+/// The raw change-data layer: table revision histories as they would come
+/// out of a Wikipedia dump after table extraction (our stand-in for the
+/// matched table histories of Bleifuß et al. [5] that the paper consumes).
+/// Revisions carry sub-daily timestamps (minutes) and unnormalized cell text
+/// (link markup, null spellings, numeric columns) so the preprocessing
+/// pipeline of Section 5.1 has real work to do.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tind::wiki {
+
+/// Minutes per day; revision times are minutes since day 0, 00:00.
+inline constexpr int64_t kMinutesPerDay = 24 * 60;
+
+/// One revision of one table: full column snapshot at a point in time.
+struct RawTableVersion {
+  /// Minutes since the start of the observation period.
+  int64_t revision_minute = 0;
+  /// Column headers; parallel to `columns`.
+  std::vector<std::string> headers;
+  /// columns[c] = the raw cell texts of column c, one per row. Column-major
+  /// because the pipeline consumes per-attribute value sets.
+  std::vector<std::vector<std::string>> columns;
+};
+
+/// The full revision history of one table on one page.
+struct RawTableHistory {
+  std::string page_title;
+  std::string table_caption;
+  /// Ascending by revision_minute.
+  std::vector<RawTableVersion> versions;
+};
+
+/// A set of table histories over a common observation period.
+struct RawCorpus {
+  int64_t num_days = 0;
+  std::vector<RawTableHistory> tables;
+
+  size_t TotalRevisions() const;
+  size_t TotalColumns() const;  ///< Columns of the latest version per table.
+};
+
+}  // namespace tind::wiki
+
+#endif  // TIND_WIKI_RAW_TABLE_H_

@@ -1,0 +1,121 @@
+#include "wiki/wikitext.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace tind::wiki {
+
+std::string_view Trim(std::string_view s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+std::string ResolveLinks(std::string_view cell) {
+  std::string out;
+  out.reserve(cell.size());
+  size_t pos = 0;
+  while (pos < cell.size()) {
+    const size_t open = cell.find("[[", pos);
+    if (open == std::string_view::npos) {
+      out.append(cell.substr(pos));
+      break;
+    }
+    const size_t close = cell.find("]]", open + 2);
+    if (close == std::string_view::npos) {
+      out.append(cell.substr(pos));  // Malformed: keep as-is.
+      break;
+    }
+    out.append(cell.substr(pos, open - pos));
+    std::string_view inner = cell.substr(open + 2, close - open - 2);
+    // "Title|label": the page title is the canonical representation.
+    const size_t pipe = inner.find('|');
+    if (pipe != std::string_view::npos) inner = inner.substr(0, pipe);
+    out.append(Trim(inner));
+    pos = close + 2;
+  }
+  return out;
+}
+
+namespace {
+
+std::string ToLowerAscii(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+}  // namespace
+
+bool IsNullValue(std::string_view cell) {
+  const std::string_view trimmed = Trim(cell);
+  if (trimmed.empty()) return true;
+  if (trimmed == "-" || trimmed == "--" || trimmed == "?") return true;
+  // UTF-8 en/em dashes.
+  if (trimmed == "\xE2\x80\x93" || trimmed == "\xE2\x80\x94") return true;
+  static const char* kNullWords[] = {"n/a", "na",      "none", "null",
+                                     "tba", "tbd",     "unknown"};
+  const std::string lower = ToLowerAscii(trimmed);
+  for (const char* w : kNullWords) {
+    if (lower == w) return true;
+  }
+  return false;
+}
+
+bool IsNumericValue(std::string_view cell) {
+  std::string_view s = Trim(cell);
+  if (s.empty()) return false;
+  // Strip a leading currency symbol ($, €, £ as UTF-8) and trailing %.
+  if (s.front() == '$') s.remove_prefix(1);
+  if (s.size() >= 3 && (s.substr(0, 3) == "\xE2\x82\xAC")) s.remove_prefix(3);
+  if (s.size() >= 2 && (s.substr(0, 2) == "\xC2\xA3")) s.remove_prefix(2);
+  if (!s.empty() && s.back() == '%') s.remove_suffix(1);
+  s = Trim(s);
+  if (s.empty()) return false;
+  if (s.front() == '+' || s.front() == '-') s.remove_prefix(1);
+  if (s.empty()) return false;
+  bool saw_digit = false;
+  bool saw_dot = false;
+  for (const char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      saw_digit = true;
+    } else if (c == ',') {
+      // Thousands separator; tolerated anywhere digits appear around it.
+      if (!saw_digit) return false;
+    } else if (c == '.') {
+      if (saw_dot) return false;
+      saw_dot = true;
+    } else {
+      return false;
+    }
+  }
+  return saw_digit;
+}
+
+std::string NormalizeCell(std::string_view cell) {
+  const std::string resolved = ResolveLinks(Trim(cell));
+  const std::string_view trimmed = Trim(resolved);
+  if (IsNullValue(trimmed)) return std::string();
+  return std::string(trimmed);
+}
+
+std::string MakeLink(std::string_view title, std::string_view label) {
+  std::string out = "[[";
+  out.append(title);
+  if (!label.empty() && label != title) {
+    out.push_back('|');
+    out.append(label);
+  }
+  out.append("]]");
+  return out;
+}
+
+}  // namespace tind::wiki

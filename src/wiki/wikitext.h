@@ -1,0 +1,46 @@
+#ifndef TIND_WIKI_WIKITEXT_H_
+#define TIND_WIKI_WIKITEXT_H_
+
+/// \file wikitext.h
+/// Cell-level text handling for the preprocessing pipeline (Section 5.1):
+/// resolving `[[Title|label]]` hyperlinks to the linked page title (which
+/// unifies differing entity representations across tables), unifying the
+/// common null-value spellings, and detecting numeric values (the paper
+/// filters out mostly-numeric attributes).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tind::wiki {
+
+/// Resolves wiki link markup inside a cell:
+///   "[[Pokémon Red|Red]]" -> "Pokémon Red"
+///   "[[Pokémon Red]]"     -> "Pokémon Red"
+/// Text outside links is preserved; multiple links each resolve to their
+/// titles. Malformed markup (unclosed brackets) is left untouched.
+std::string ResolveLinks(std::string_view cell);
+
+/// True iff `cell` is one of the commonly used null spellings after
+/// trimming: "", "-", "--", "—", "–", "?", "n/a", "N/A", "na", "none",
+/// "null", "unknown", "tba", "tbd" (case-insensitive where alphabetic).
+bool IsNullValue(std::string_view cell);
+
+/// True iff `cell` parses as a number (integer, decimal, optional sign,
+/// optional thousands separators, optional %, currency prefix stripped).
+bool IsNumericValue(std::string_view cell);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// Full single-cell normalization: trim, resolve links, then map null
+/// spellings to the empty string (callers drop empty results).
+std::string NormalizeCell(std::string_view cell);
+
+/// Renders a value as a wiki link, optionally with a display label:
+/// MakeLink("Pokémon Red", "Red") -> "[[Pokémon Red|Red]]".
+std::string MakeLink(std::string_view title, std::string_view label = {});
+
+}  // namespace tind::wiki
+
+#endif  // TIND_WIKI_WIKITEXT_H_

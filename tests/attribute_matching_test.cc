@@ -1,0 +1,117 @@
+#include "wiki/attribute_matching.h"
+
+#include <gtest/gtest.h>
+
+namespace tind::wiki {
+namespace {
+
+RawTableVersion MakeVersion(std::vector<std::string> headers,
+                            std::vector<std::vector<std::string>> columns) {
+  RawTableVersion v;
+  v.headers = std::move(headers);
+  v.columns = std::move(columns);
+  return v;
+}
+
+TEST(ColumnJaccardTest, IdenticalColumns) {
+  EXPECT_DOUBLE_EQ(ColumnJaccard({"a", "b"}, {"b", "a"}), 1.0);
+}
+
+TEST(ColumnJaccardTest, DisjointColumns) {
+  EXPECT_DOUBLE_EQ(ColumnJaccard({"a"}, {"b"}), 0.0);
+}
+
+TEST(ColumnJaccardTest, PartialOverlap) {
+  EXPECT_DOUBLE_EQ(ColumnJaccard({"a", "b", "c"}, {"b", "c", "d"}), 0.5);
+}
+
+TEST(ColumnJaccardTest, NormalizesBeforeComparing) {
+  // Links resolve and nulls drop before the comparison.
+  EXPECT_DOUBLE_EQ(ColumnJaccard({"[[A|x]]", "-"}, {"A"}), 1.0);
+}
+
+TEST(ColumnJaccardTest, EmptyColumns) {
+  EXPECT_DOUBLE_EQ(ColumnJaccard({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(ColumnJaccard({"-"}, {"n/a"}), 0.0);
+}
+
+TEST(MatchColumnsTest, IdenticalHeadersMatch) {
+  const auto prev = MakeVersion({"Name", "Year"}, {{"a"}, {"1"}});
+  const auto next = MakeVersion({"Year", "Name"}, {{"2"}, {"b"}});
+  const auto match = MatchColumns(prev, next);
+  ASSERT_EQ(match.size(), 2u);
+  EXPECT_EQ(match[0], 1);  // "Year" now first, was second.
+  EXPECT_EQ(match[1], 0);
+}
+
+TEST(MatchColumnsTest, NewColumnsUnmatched) {
+  const auto prev = MakeVersion({"A"}, {{"x"}});
+  const auto next = MakeVersion({"A", "B"}, {{"x"}, {"fresh"}});
+  const auto match = MatchColumns(prev, next);
+  EXPECT_EQ(match[0], 0);
+  EXPECT_EQ(match[1], -1);
+}
+
+TEST(MatchColumnsTest, RenamedColumnMatchedByValues) {
+  const auto prev =
+      MakeVersion({"Name"}, {{"alpha", "beta", "gamma", "delta"}});
+  const auto next =
+      MakeVersion({"Title"}, {{"alpha", "beta", "gamma", "delta", "eps"}});
+  const auto match = MatchColumns(prev, next, 0.4);
+  EXPECT_EQ(match[0], 0);
+}
+
+TEST(MatchColumnsTest, LowOverlapDoesNotMatch) {
+  const auto prev = MakeVersion({"Name"}, {{"a", "b", "c"}});
+  const auto next = MakeVersion({"Other"}, {{"x", "y", "z"}});
+  const auto match = MatchColumns(prev, next, 0.4);
+  EXPECT_EQ(match[0], -1);
+}
+
+TEST(MatchColumnsTest, DuplicateHeadersFallBackToValues) {
+  const auto prev =
+      MakeVersion({"Col", "Col"}, {{"a", "b", "c"}, {"x", "y", "z"}});
+  const auto next =
+      MakeVersion({"Col", "Col"}, {{"x", "y", "z"}, {"a", "b", "c"}});
+  const auto match = MatchColumns(prev, next, 0.4);
+  EXPECT_EQ(match[0], 1);
+  EXPECT_EQ(match[1], 0);
+}
+
+TEST(MatchColumnsTest, GreedyPicksBestOverlapFirst) {
+  // next[0] overlaps prev[0] more than next[1] does; each prev column can
+  // be used once.
+  const auto prev = MakeVersion({"X"}, {{"a", "b", "c", "d"}});
+  const auto next = MakeVersion(
+      {"Y", "Z"}, {{"a", "b", "c", "d"}, {"a", "b", "q", "r"}});
+  const auto match = MatchColumns(prev, next, 0.2);
+  EXPECT_EQ(match[0], 0);
+  EXPECT_EQ(match[1], -1);  // prev[0] already taken.
+}
+
+TEST(MatchColumnsTest, HeaderMatchBeatsValueMatch) {
+  // Header "A" matches even though the values moved to the other column.
+  const auto prev = MakeVersion({"A", "B"}, {{"1", "2"}, {"8", "9"}});
+  const auto next = MakeVersion({"A", "B"}, {{"8", "9"}, {"1", "2"}});
+  const auto match = MatchColumns(prev, next);
+  EXPECT_EQ(match[0], 0);
+  EXPECT_EQ(match[1], 1);
+}
+
+TEST(MatchColumnsTest, EmptyPreviousVersion) {
+  const RawTableVersion prev;
+  const auto next = MakeVersion({"A"}, {{"x"}});
+  const auto match = MatchColumns(prev, next);
+  EXPECT_EQ(match[0], -1);
+}
+
+TEST(MatchColumnsTest, ColumnDeletionLeavesPrevUnused) {
+  const auto prev = MakeVersion({"A", "B"}, {{"x"}, {"y"}});
+  const auto next = MakeVersion({"A"}, {{"x"}});
+  const auto match = MatchColumns(prev, next);
+  ASSERT_EQ(match.size(), 1u);
+  EXPECT_EQ(match[0], 0);
+}
+
+}  // namespace
+}  // namespace tind::wiki

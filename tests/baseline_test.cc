@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "baseline/k_many.h"
+#include "baseline/static_ind.h"
+#include "test_util.h"
+#include "tind/validator.h"
+
+namespace tind {
+namespace {
+
+using testutil::MakeDataset;
+
+Dataset SnapshotDataset() {
+  // Latest snapshot (day 99): 0:{1,2}, 1:{1,2,3}, 2:{9}, 3:{2}.
+  return MakeDataset(100, {
+                              {{0, ValueSet{1}}, {50, ValueSet{1, 2}}},
+                              {{0, ValueSet{1, 2, 3}}},
+                              {{10, ValueSet{9}}},
+                              {{0, ValueSet{7}}, {80, ValueSet{2}}},
+                          });
+}
+
+TEST(StaticIndTest, BuildDefaultsToLatestSnapshot) {
+  const Dataset dataset = SnapshotDataset();
+  StaticIndOptions opts;
+  opts.bloom_bits = 256;
+  auto d = StaticIndDiscovery::Build(dataset, opts);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ((*d)->snapshot(), 99);
+}
+
+TEST(StaticIndTest, RejectsBadOptions) {
+  const Dataset dataset = SnapshotDataset();
+  StaticIndOptions opts;
+  opts.bloom_bits = 100;
+  EXPECT_TRUE(StaticIndDiscovery::Build(dataset, opts).status().IsInvalidArgument());
+  opts.bloom_bits = 256;
+  opts.snapshot = 500;
+  EXPECT_TRUE(StaticIndDiscovery::Build(dataset, opts).status().IsInvalidArgument());
+}
+
+TEST(StaticIndTest, SearchAtLatestSnapshot) {
+  const Dataset dataset = SnapshotDataset();
+  StaticIndOptions opts;
+  opts.bloom_bits = 256;
+  auto d = StaticIndDiscovery::Build(dataset, opts);
+  ASSERT_TRUE(d.ok());
+  // Q = attr 0 holds {1,2} at day 99; contained in attr 1 only.
+  EXPECT_EQ((*d)->Search(dataset.attribute(0)),
+            (std::vector<AttributeId>{1}));
+  // Attr 3 holds {2} at day 99; contained in 0 and 1.
+  EXPECT_EQ((*d)->Search(dataset.attribute(3)),
+            (std::vector<AttributeId>{0, 1}));
+}
+
+TEST(StaticIndTest, SearchAtEarlierSnapshot) {
+  const Dataset dataset = SnapshotDataset();
+  StaticIndOptions opts;
+  opts.bloom_bits = 256;
+  opts.snapshot = 20;  // attr 0 = {1}, attr 3 = {7}.
+  auto d = StaticIndDiscovery::Build(dataset, opts);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ((*d)->Search(dataset.attribute(0)),
+            (std::vector<AttributeId>{1}));
+  EXPECT_TRUE((*d)->Search(dataset.attribute(3)).empty());
+}
+
+TEST(StaticIndTest, AllPairsSkipsEmptyLhs) {
+  const Dataset dataset = MakeDataset(
+      50, {
+              {{0, ValueSet{1}}},
+              {{0, ValueSet{1, 2}}},
+              {{0, ValueSet{3}}, {40, ValueSet()}},  // Empty at snapshot.
+          });
+  StaticIndOptions opts;
+  opts.bloom_bits = 256;
+  auto d = StaticIndDiscovery::Build(dataset, opts);
+  ASSERT_TRUE(d.ok());
+  const AllPairsResult result = (*d)->AllPairs();
+  const std::set<TindPair> pairs(result.pairs.begin(), result.pairs.end());
+  EXPECT_TRUE(pairs.count(TindPair{0, 1}));
+  // Attr 2 is empty at the snapshot: no trivial INDs emitted.
+  for (const TindPair& p : pairs) EXPECT_NE(p.lhs, 2u);
+}
+
+TEST(StaticIndTest, AllPairsParallelMatchesSerial) {
+  Rng rng(3);
+  Dataset dataset(TimeDomain(60), std::make_shared<ValueDictionary>());
+  for (size_t i = 0; i < 30; ++i) {
+    dataset.Add(testutil::RandomHistory(dataset.domain(), &rng, 10,
+                                        static_cast<AttributeId>(i)));
+  }
+  StaticIndOptions opts;
+  opts.bloom_bits = 512;
+  auto d = StaticIndDiscovery::Build(dataset, opts);
+  ASSERT_TRUE(d.ok());
+  ThreadPool pool(4);
+  EXPECT_EQ((*d)->AllPairs().pairs, (*d)->AllPairs(&pool).pairs);
+}
+
+TEST(KManyTest, BuildSamplesDistinctSnapshots) {
+  const Dataset dataset = SnapshotDataset();
+  KManyOptions opts;
+  opts.bloom_bits = 256;
+  opts.num_snapshots = 8;
+  auto km = KMany::Build(dataset, opts);
+  ASSERT_TRUE(km.ok());
+  const auto& snaps = (*km)->snapshots();
+  EXPECT_EQ(snaps.size(), 8u);
+  EXPECT_TRUE(std::is_sorted(snaps.begin(), snaps.end()));
+  EXPECT_EQ(std::set<Timestamp>(snaps.begin(), snaps.end()).size(), 8u);
+}
+
+TEST(KManyTest, SnapshotsCappedByDomain) {
+  const Dataset dataset = MakeDataset(5, {{{0, ValueSet{1}}}});
+  KManyOptions opts;
+  opts.bloom_bits = 256;
+  opts.num_snapshots = 99;
+  auto km = KMany::Build(dataset, opts);
+  ASSERT_TRUE(km.ok());
+  EXPECT_EQ((*km)->snapshots().size(), 5u);
+}
+
+TEST(KManyTest, SearchReturnsAllValidTinds) {
+  // k-MANY pruning is weak but must never lose a valid tIND.
+  Rng rng(9);
+  Dataset dataset(TimeDomain(80), std::make_shared<ValueDictionary>());
+  for (size_t i = 0; i < 30; ++i) {
+    dataset.Add(testutil::RandomHistory(dataset.domain(), &rng, 12,
+                                        static_cast<AttributeId>(i), 5, 5));
+  }
+  const ConstantWeight w(80);
+  KManyOptions opts;
+  opts.bloom_bits = 512;
+  opts.num_snapshots = 10;
+  auto km = KMany::Build(dataset, opts);
+  ASSERT_TRUE(km.ok());
+  const TindParams params{3.0, 2, &w};
+  for (AttributeId q = 0; q < 10; ++q) {
+    auto results = (*km)->Search(dataset.attribute(q), params);
+    ASSERT_TRUE(results.ok());
+    for (AttributeId a = 0; a < dataset.size(); ++a) {
+      if (a == q) continue;
+      const bool expected =
+          ValidateTindNaive(dataset.attribute(q), dataset.attribute(a), params,
+                            dataset.domain());
+      EXPECT_EQ(static_cast<bool>(std::count(results->begin(), results->end(),
+                                             a)),
+                expected)
+          << "q=" << q << " a=" << a;
+    }
+  }
+}
+
+TEST(KManyTest, QueryTracksAllCandidatesInMemory) {
+  const Dataset dataset = SnapshotDataset();
+  const ConstantWeight w(100);
+  KManyOptions opts;
+  opts.bloom_bits = 256;
+  opts.num_snapshots = 4;
+  // Matrices are not charged; the per-query violation array (4 attributes
+  // x 8 bytes = 32) must not fit.
+  MemoryBudget budget(16);
+  opts.memory = &budget;
+  auto km = KMany::Build(dataset, opts);
+  ASSERT_TRUE(km.ok());
+  const TindParams params{3.0, 0, &w};
+  const auto result = (*km)->Search(dataset.attribute(0), params);
+  EXPECT_TRUE(result.status().IsOutOfMemory());
+}
+
+TEST(KManyTest, MemoryFreedAfterQuery) {
+  const Dataset dataset = SnapshotDataset();
+  const ConstantWeight w(100);
+  KManyOptions opts;
+  opts.bloom_bits = 256;
+  opts.num_snapshots = 2;
+  MemoryBudget budget(0);  // Unlimited, but tracked.
+  opts.memory = &budget;
+  auto km = KMany::Build(dataset, opts);
+  ASSERT_TRUE(km.ok());
+  const size_t after_build = budget.used();
+  const TindParams params{3.0, 0, &w};
+  ASSERT_TRUE((*km)->Search(dataset.attribute(0), params).ok());
+  EXPECT_EQ(budget.used(), after_build);
+}
+
+TEST(KManyTest, StatsReportFullCandidateTracking) {
+  const Dataset dataset = SnapshotDataset();
+  const ConstantWeight w(100);
+  KManyOptions opts;
+  opts.bloom_bits = 256;
+  auto km = KMany::Build(dataset, opts);
+  ASSERT_TRUE(km.ok());
+  QueryStats stats;
+  const TindParams params{3.0, 0, &w};
+  ASSERT_TRUE((*km)->Search(dataset.attribute(0), params, &stats).ok());
+  // Unlike TindIndex, the initial candidate set is the whole dataset.
+  EXPECT_EQ(stats.initial_candidates, dataset.size());
+}
+
+}  // namespace
+}  // namespace tind

@@ -1,0 +1,237 @@
+#include "common/bitvector.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace tind {
+namespace {
+
+TEST(BitVectorTest, EmptyVector) {
+  BitVector v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(v.None());
+  EXPECT_EQ(v.Count(), 0u);
+}
+
+TEST(BitVectorTest, ConstructZeroFilled) {
+  BitVector v(130);
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_TRUE(v.None());
+  for (size_t i = 0; i < 130; ++i) EXPECT_FALSE(v.Get(i));
+}
+
+TEST(BitVectorTest, ConstructOneFilled) {
+  BitVector v(130, true);
+  EXPECT_EQ(v.Count(), 130u);
+  EXPECT_TRUE(v.All());
+  for (size_t i = 0; i < 130; ++i) EXPECT_TRUE(v.Get(i));
+}
+
+TEST(BitVectorTest, OneFilledTailIsMasked) {
+  // 130 = 2*64 + 2: the last word has 62 padding bits that must stay zero.
+  BitVector v(130, true);
+  EXPECT_EQ(v.words().back(), 0x3ULL);
+}
+
+TEST(BitVectorTest, SetGetClear) {
+  BitVector v(100);
+  v.Set(0);
+  v.Set(63);
+  v.Set(64);
+  v.Set(99);
+  EXPECT_TRUE(v.Get(0));
+  EXPECT_TRUE(v.Get(63));
+  EXPECT_TRUE(v.Get(64));
+  EXPECT_TRUE(v.Get(99));
+  EXPECT_FALSE(v.Get(1));
+  EXPECT_EQ(v.Count(), 4u);
+  v.Clear(63);
+  EXPECT_FALSE(v.Get(63));
+  EXPECT_EQ(v.Count(), 3u);
+}
+
+TEST(BitVectorTest, Assign) {
+  BitVector v(10);
+  v.Assign(3, true);
+  EXPECT_TRUE(v.Get(3));
+  v.Assign(3, false);
+  EXPECT_FALSE(v.Get(3));
+}
+
+TEST(BitVectorTest, SetAllClearAll) {
+  BitVector v(70);
+  v.SetAll();
+  EXPECT_TRUE(v.All());
+  v.ClearAll();
+  EXPECT_TRUE(v.None());
+}
+
+TEST(BitVectorTest, AndOperation) {
+  BitVector a(128), b(128);
+  a.Set(1);
+  a.Set(70);
+  a.Set(100);
+  b.Set(70);
+  b.Set(100);
+  b.Set(127);
+  a.And(b);
+  EXPECT_FALSE(a.Get(1));
+  EXPECT_TRUE(a.Get(70));
+  EXPECT_TRUE(a.Get(100));
+  EXPECT_FALSE(a.Get(127));
+}
+
+TEST(BitVectorTest, AndNotOperation) {
+  BitVector a(128), b(128);
+  a.Set(1);
+  a.Set(70);
+  b.Set(70);
+  a.AndNot(b);
+  EXPECT_TRUE(a.Get(1));
+  EXPECT_FALSE(a.Get(70));
+}
+
+TEST(BitVectorTest, OrXorOperations) {
+  BitVector a(64), b(64);
+  a.Set(1);
+  b.Set(2);
+  b.Set(1);
+  BitVector o = a;
+  o.Or(b);
+  EXPECT_EQ(o.Count(), 2u);
+  BitVector x = a;
+  x.Xor(b);
+  EXPECT_FALSE(x.Get(1));
+  EXPECT_TRUE(x.Get(2));
+}
+
+TEST(BitVectorTest, FlipMasksTail) {
+  BitVector v(66);
+  v.Set(0);
+  v.Flip();
+  EXPECT_FALSE(v.Get(0));
+  EXPECT_EQ(v.Count(), 65u);
+  v.Flip();
+  EXPECT_EQ(v.Count(), 1u);
+  EXPECT_TRUE(v.Get(0));
+}
+
+TEST(BitVectorTest, IsSubsetOf) {
+  BitVector a(200), b(200);
+  a.Set(5);
+  a.Set(150);
+  b.Set(5);
+  b.Set(150);
+  b.Set(199);
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+  BitVector empty(200);
+  EXPECT_TRUE(empty.IsSubsetOf(a));
+}
+
+TEST(BitVectorTest, Intersects) {
+  BitVector a(100), b(100);
+  a.Set(10);
+  b.Set(20);
+  EXPECT_FALSE(a.Intersects(b));
+  b.Set(10);
+  EXPECT_TRUE(a.Intersects(b));
+}
+
+TEST(BitVectorTest, FindNextSet) {
+  BitVector v(300);
+  v.Set(5);
+  v.Set(64);
+  v.Set(255);
+  EXPECT_EQ(v.FindNextSet(0), 5u);
+  EXPECT_EQ(v.FindNextSet(5), 5u);
+  EXPECT_EQ(v.FindNextSet(6), 64u);
+  EXPECT_EQ(v.FindNextSet(65), 255u);
+  EXPECT_EQ(v.FindNextSet(256), 300u);
+  EXPECT_EQ(v.FindNextSet(400), 300u);
+}
+
+TEST(BitVectorTest, ForEachSetVisitsAscending) {
+  BitVector v(500);
+  const std::vector<size_t> expected = {0, 63, 64, 65, 128, 499};
+  for (const size_t i : expected) v.Set(i);
+  std::vector<size_t> seen;
+  v.ForEachSet([&](size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(BitVectorTest, ToIndexVector) {
+  BitVector v(10);
+  v.Set(2);
+  v.Set(7);
+  EXPECT_EQ(v.ToIndexVector(), (std::vector<size_t>{2, 7}));
+}
+
+TEST(BitVectorTest, EqualityAndToString) {
+  BitVector a(4), b(4);
+  a.Set(1);
+  EXPECT_FALSE(a == b);
+  b.Set(1);
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.ToString(), "0100");
+}
+
+TEST(BitVectorTest, MemoryUsage) {
+  BitVector v(128);
+  EXPECT_EQ(v.MemoryUsageBytes(), 16u);
+  BitVector w(129);
+  EXPECT_EQ(w.MemoryUsageBytes(), 24u);
+}
+
+/// Property check against a reference boolean vector under random ops.
+TEST(BitVectorPropertyTest, MatchesReferenceImplementation) {
+  Rng rng(99);
+  const size_t n = 257;
+  BitVector v(n);
+  std::vector<bool> ref(n, false);
+  for (int step = 0; step < 2000; ++step) {
+    const size_t i = rng.Uniform(n);
+    switch (rng.Uniform(3)) {
+      case 0:
+        v.Set(i);
+        ref[i] = true;
+        break;
+      case 1:
+        v.Clear(i);
+        ref[i] = false;
+        break;
+      case 2:
+        ASSERT_EQ(v.Get(i), ref[i]) << "at step " << step;
+        break;
+    }
+  }
+  size_t ref_count = 0;
+  for (const bool b : ref) ref_count += b ? 1 : 0;
+  EXPECT_EQ(v.Count(), ref_count);
+}
+
+TEST(BitVectorPropertyTest, DeMorganHolds) {
+  Rng rng(123);
+  const size_t n = 190;
+  BitVector a(n), b(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.5)) a.Set(i);
+    if (rng.Bernoulli(0.5)) b.Set(i);
+  }
+  // ~(a | b) == ~a & ~b
+  BitVector lhs = a;
+  lhs.Or(b);
+  lhs.Flip();
+  BitVector rhs = a;
+  rhs.Flip();
+  BitVector nb = b;
+  nb.Flip();
+  rhs.And(nb);
+  EXPECT_EQ(lhs, rhs);
+}
+
+}  // namespace
+}  // namespace tind

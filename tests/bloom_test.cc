@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "bloom/bloom_filter.h"
+#include "bloom/bloom_matrix.h"
+#include "common/rng.h"
+
+namespace tind {
+namespace {
+
+TEST(BloomFilterTest, EmptyFilterContainsNothing) {
+  const BloomFilter bf(512, 3);
+  EXPECT_EQ(bf.CountSetBits(), 0u);
+  EXPECT_FALSE(bf.MightContain(7));
+  EXPECT_DOUBLE_EQ(bf.Density(), 0.0);
+}
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter bf(1024, 3);
+  for (ValueId v = 0; v < 100; ++v) bf.Add(v * 13 + 1);
+  for (ValueId v = 0; v < 100; ++v) EXPECT_TRUE(bf.MightContain(v * 13 + 1));
+}
+
+TEST(BloomFilterTest, LowFalsePositiveRateWhenSparse) {
+  BloomFilter bf(4096, 3);
+  for (ValueId v = 0; v < 28; ++v) bf.Add(v);  // Paper's avg cardinality.
+  int fp = 0;
+  for (ValueId v = 1000; v < 11000; ++v) fp += bf.MightContain(v) ? 1 : 0;
+  EXPECT_LT(fp, 50);  // << 0.5% at this density.
+}
+
+TEST(BloomFilterTest, FromValueSet) {
+  const ValueSet vs{1, 2, 3};
+  const BloomFilter bf = BloomFilter::FromValueSet(vs, 512, 2);
+  EXPECT_TRUE(bf.MightContain(1));
+  EXPECT_TRUE(bf.MightContain(2));
+  EXPECT_TRUE(bf.MightContain(3));
+  EXPECT_LE(bf.CountSetBits(), 6u);
+}
+
+TEST(BloomFilterTest, SubsetRelationPreserved) {
+  // The core MANY property: A ⊆ B implies h(A) bits ⊆ h(B) bits.
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<ValueId> big;
+    for (int i = 0; i < 40; ++i) big.push_back(static_cast<ValueId>(rng.Uniform(100000)));
+    std::vector<ValueId> small;
+    for (const ValueId v : big) {
+      if (rng.Bernoulli(0.4)) small.push_back(v);
+    }
+    const BloomFilter bf_big =
+        BloomFilter::FromValueSet(ValueSet::FromUnsorted(big), 1024, 3);
+    const BloomFilter bf_small =
+        BloomFilter::FromValueSet(ValueSet::FromUnsorted(small), 1024, 3);
+    EXPECT_TRUE(bf_small.IsSubsetOf(bf_big));
+  }
+}
+
+TEST(BloomFilterTest, NonSubsetUsuallyDetected) {
+  // Disjoint sets in a large filter should practically never appear
+  // contained.
+  const BloomFilter a =
+      BloomFilter::FromValueSet(ValueSet{1, 2, 3, 4, 5}, 4096, 3);
+  const BloomFilter b =
+      BloomFilter::FromValueSet(ValueSet{100, 200, 300}, 4096, 3);
+  EXPECT_FALSE(b.IsSubsetOf(a));
+}
+
+TEST(BloomFilterTest, DensityGrowsWithValues) {
+  BloomFilter bf(512, 3);
+  const double d0 = bf.Density();
+  for (ValueId v = 0; v < 50; ++v) bf.Add(v);
+  EXPECT_GT(bf.Density(), d0);
+  EXPECT_LE(bf.Density(), 1.0);
+}
+
+TEST(BloomFilterTest, MemoryUsage) {
+  const BloomFilter bf(4096, 3);
+  EXPECT_EQ(bf.MemoryUsageBytes(), 4096u / 8);
+}
+
+class BloomMatrixTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    matrix_ = BloomMatrix(512, 3, 5);
+    // Column value sets: 0:{1,2}, 1:{1,2,3}, 2:{2}, 3:{10,11}, 4:{}.
+    matrix_.SetColumn(0, ValueSet{1, 2});
+    matrix_.SetColumn(1, ValueSet{1, 2, 3});
+    matrix_.SetColumn(2, ValueSet{2});
+    matrix_.SetColumn(3, ValueSet{10, 11});
+  }
+  BloomMatrix matrix_;
+};
+
+TEST_F(BloomMatrixTest, Geometry) {
+  EXPECT_EQ(matrix_.num_bits(), 512u);
+  EXPECT_EQ(matrix_.num_hashes(), 3u);
+  EXPECT_EQ(matrix_.num_columns(), 5u);
+  EXPECT_EQ(matrix_.MemoryUsageBytes(), 512u * 8);  // 512 rows x 5->64 bits.
+}
+
+TEST_F(BloomMatrixTest, SupersetQueryFindsContainingColumns) {
+  const BloomFilter q = matrix_.MakeQueryFilter(ValueSet{1, 2});
+  BitVector candidates(5, true);
+  matrix_.QuerySupersets(q, &candidates);
+  EXPECT_TRUE(candidates.Get(0));
+  EXPECT_TRUE(candidates.Get(1));
+  EXPECT_FALSE(candidates.Get(2));
+  EXPECT_FALSE(candidates.Get(3));
+  EXPECT_FALSE(candidates.Get(4));
+}
+
+TEST_F(BloomMatrixTest, SupersetQueryRespectsIncomingCandidates) {
+  const BloomFilter q = matrix_.MakeQueryFilter(ValueSet{1, 2});
+  BitVector candidates(5);
+  candidates.Set(1);  // Only column 1 allowed in.
+  matrix_.QuerySupersets(q, &candidates);
+  EXPECT_FALSE(candidates.Get(0));
+  EXPECT_TRUE(candidates.Get(1));
+}
+
+TEST_F(BloomMatrixTest, EmptyQueryKeepsAllCandidates) {
+  const BloomFilter q = matrix_.MakeQueryFilter(ValueSet());
+  BitVector candidates(5, true);
+  matrix_.QuerySupersets(q, &candidates);
+  EXPECT_EQ(candidates.Count(), 5u);
+}
+
+TEST_F(BloomMatrixTest, SubsetQueryFindsContainedColumns) {
+  // Which columns are subsets of {1,2,3}? 0, 1, 2 and the empty 4.
+  const BloomFilter q = matrix_.MakeQueryFilter(ValueSet{1, 2, 3});
+  BitVector candidates(5, true);
+  matrix_.QuerySubsets(q, &candidates);
+  EXPECT_TRUE(candidates.Get(0));
+  EXPECT_TRUE(candidates.Get(1));
+  EXPECT_TRUE(candidates.Get(2));
+  EXPECT_FALSE(candidates.Get(3));
+  EXPECT_TRUE(candidates.Get(4));
+}
+
+TEST_F(BloomMatrixTest, ColumnContains) {
+  const BloomFilter q = matrix_.MakeQueryFilter(ValueSet{1, 2});
+  EXPECT_TRUE(matrix_.ColumnContains(q, 0));
+  EXPECT_TRUE(matrix_.ColumnContains(q, 1));
+  EXPECT_FALSE(matrix_.ColumnContains(q, 3));
+}
+
+/// Randomized agreement with exact set logic: Bloom answers must be a
+/// superset of the true answers (no false negatives) in both directions.
+TEST(BloomMatrixPropertyTest, NeverDropsTrueAnswers) {
+  Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n_cols = 30;
+    std::vector<ValueSet> sets;
+    BloomMatrix matrix(1024, 3, n_cols);
+    for (size_t c = 0; c < n_cols; ++c) {
+      std::vector<ValueId> vals;
+      const size_t card = 1 + rng.Uniform(20);
+      for (size_t i = 0; i < card; ++i) {
+        vals.push_back(static_cast<ValueId>(rng.Uniform(60)));
+      }
+      sets.push_back(ValueSet::FromUnsorted(std::move(vals)));
+      matrix.SetColumn(c, sets.back());
+    }
+    std::vector<ValueId> qvals;
+    for (size_t i = 0; i < 5; ++i) {
+      qvals.push_back(static_cast<ValueId>(rng.Uniform(60)));
+    }
+    const ValueSet query = ValueSet::FromUnsorted(std::move(qvals));
+    const BloomFilter qf = matrix.MakeQueryFilter(query);
+
+    BitVector supersets(n_cols, true);
+    matrix.QuerySupersets(qf, &supersets);
+    BitVector subsets(n_cols, true);
+    matrix.QuerySubsets(qf, &subsets);
+    for (size_t c = 0; c < n_cols; ++c) {
+      if (query.IsSubsetOf(sets[c])) {
+        EXPECT_TRUE(supersets.Get(c)) << "trial " << trial << " col " << c;
+      }
+      if (sets[c].IsSubsetOf(query)) {
+        EXPECT_TRUE(subsets.Get(c)) << "trial " << trial << " col " << c;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tind

@@ -1,0 +1,143 @@
+#include "wiki/corpus_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_util.h"
+#include "wiki/generator.h"
+
+namespace tind::wiki {
+namespace {
+
+TEST(EscapeTest, RoundTrip) {
+  const std::string nasty = "a|b%c\nd\re";
+  auto back = UnescapeField(EscapeField(nasty));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, nasty);
+  EXPECT_EQ(EscapeField(nasty).find('\n'), std::string::npos);
+  EXPECT_EQ(EscapeField(nasty).find('|'), std::string::npos);
+}
+
+TEST(EscapeTest, PlainStringUnchanged) {
+  EXPECT_EQ(EscapeField("hello world"), "hello world");
+}
+
+TEST(EscapeTest, BadEscapesRejected) {
+  EXPECT_TRUE(UnescapeField("%").status().IsIOError());
+  EXPECT_TRUE(UnescapeField("%2").status().IsIOError());
+  EXPECT_TRUE(UnescapeField("%ZZ").status().IsIOError());
+}
+
+TEST(CorpusIoTest, RoundTripSmallDataset) {
+  Dataset dataset(TimeDomain(50), std::make_shared<ValueDictionary>());
+  ValueDictionary* dict = dataset.mutable_dictionary();
+  const ValueId a = dict->Intern("alpha");
+  const ValueId b = dict->Intern("beta|with pipe");
+  AttributeHistoryBuilder builder(
+      0, AttributeMeta{"Page|1", "tbl", "Col\nX"}, dataset.domain());
+  ASSERT_TRUE(builder.AddVersion(3, ValueSet{a}).ok());
+  ASSERT_TRUE(builder.AddVersion(10, ValueSet{a, b}).ok());
+  dataset.Add(std::move(*builder.Finish()));
+
+  GroundTruth truth;
+  truth.AddGenuine("Page|1/tbl/Col\nX", "other");
+
+  std::stringstream ss;
+  ASSERT_TRUE(WriteDataset(dataset, &truth, ss).ok());
+  auto loaded = ReadDataset(ss);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->dataset.domain().num_timestamps(), 50);
+  ASSERT_EQ(loaded->dataset.size(), 1u);
+  const AttributeHistory& h = loaded->dataset.attribute(0);
+  EXPECT_EQ(h.meta().page, "Page|1");
+  EXPECT_EQ(h.meta().column, "Col\nX");
+  EXPECT_EQ(h.num_versions(), 2u);
+  EXPECT_EQ(h.change_timestamps(), (std::vector<Timestamp>{3, 10}));
+  EXPECT_EQ(loaded->dataset.dictionary().GetString(b), "beta|with pipe");
+  EXPECT_EQ(h.VersionAt(10), (ValueSet{a, b}));
+  EXPECT_TRUE(loaded->ground_truth.IsGenuine("Page|1/tbl/Col\nX", "other"));
+}
+
+TEST(CorpusIoTest, RoundTripGeneratedDataset) {
+  GeneratorOptions opts;
+  opts.seed = 3;
+  opts.num_days = 400;
+  opts.num_families = 4;
+  opts.num_noise_attributes = 20;
+  opts.num_catchall_attributes = 1;
+  auto generated = WikiGenerator(opts).GenerateDataset();
+  ASSERT_TRUE(generated.ok());
+
+  std::stringstream ss;
+  ASSERT_TRUE(
+      WriteDataset(generated->dataset, &generated->ground_truth, ss).ok());
+  auto loaded = ReadDataset(ss);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->dataset.size(), generated->dataset.size());
+  for (size_t i = 0; i < loaded->dataset.size(); ++i) {
+    const auto& orig = generated->dataset.attribute(static_cast<AttributeId>(i));
+    const auto& back = loaded->dataset.attribute(static_cast<AttributeId>(i));
+    ASSERT_EQ(orig.change_timestamps(), back.change_timestamps()) << i;
+    ASSERT_EQ(orig.num_versions(), back.num_versions()) << i;
+    ASSERT_EQ(orig.meta().FullName(), back.meta().FullName()) << i;
+    for (size_t v = 0; v < orig.num_versions(); ++v) {
+      // Value ids may be renumbered only if dictionaries differ; the writer
+      // preserves ids, so they must match exactly.
+      ASSERT_EQ(orig.versions()[v], back.versions()[v]) << i << " v" << v;
+    }
+  }
+  EXPECT_EQ(loaded->ground_truth.pairs(), generated->ground_truth.pairs());
+}
+
+TEST(CorpusIoTest, NoGroundTruthSection) {
+  Dataset ds(TimeDomain(10), std::make_shared<ValueDictionary>());
+  const ValueId v = ds.mutable_dictionary()->Intern("x");
+  AttributeHistoryBuilder builder(0, {}, ds.domain());
+  ASSERT_TRUE(builder.AddVersion(0, ValueSet{v}).ok());
+  ds.Add(std::move(*builder.Finish()));
+  std::stringstream ss;
+  ASSERT_TRUE(WriteDataset(ds, nullptr, ss).ok());
+  auto loaded = ReadDataset(ss);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->ground_truth.size(), 0u);
+}
+
+TEST(CorpusIoTest, CorruptInputsRejected) {
+  {
+    std::stringstream ss("garbage");
+    EXPECT_TRUE(ReadDataset(ss).status().IsIOError());
+  }
+  {
+    std::stringstream ss("TIND-DATASET 1\ndomain -5\n");
+    EXPECT_TRUE(ReadDataset(ss).status().IsIOError());
+  }
+  {
+    std::stringstream ss("TIND-DATASET 1\ndomain 10\nvalues 2\nonly-one\n");
+    EXPECT_TRUE(ReadDataset(ss).status().IsIOError());
+  }
+  {
+    // Value id out of range.
+    std::stringstream ss(
+        "TIND-DATASET 1\ndomain 10\nvalues 1\nv0\nattributes 1\n"
+        "A p|t|c 1\nV 0 1 7\n");
+    EXPECT_TRUE(ReadDataset(ss).status().IsIOError());
+  }
+}
+
+TEST(CorpusIoTest, FileRoundTrip) {
+  Dataset ds(TimeDomain(10), std::make_shared<ValueDictionary>());
+  const ValueId v = ds.mutable_dictionary()->Intern("x");
+  AttributeHistoryBuilder builder(0, {}, ds.domain());
+  ASSERT_TRUE(builder.AddVersion(2, ValueSet{v}).ok());
+  ds.Add(std::move(*builder.Finish()));
+  const std::string path = ::testing::TempDir() + "/tind_corpus_io_test.txt";
+  ASSERT_TRUE(WriteDatasetFile(ds, nullptr, path).ok());
+  auto loaded = ReadDatasetFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->dataset.size(), 1u);
+  EXPECT_TRUE(ReadDatasetFile("/nonexistent/nowhere.txt").status().IsIOError());
+}
+
+}  // namespace
+}  // namespace tind::wiki

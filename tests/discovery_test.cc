@@ -1,0 +1,107 @@
+#include "tind/discovery.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_util.h"
+#include "tind/validator.h"
+
+namespace tind {
+namespace {
+
+class DiscoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(17);
+    dataset_ = Dataset(TimeDomain(90), std::make_shared<ValueDictionary>());
+    for (size_t i = 0; i < 35; ++i) {
+      dataset_.Add(testutil::RandomHistory(dataset_.domain(), &rng, 12,
+                                           static_cast<AttributeId>(i), 5, 5));
+    }
+    weight_ = std::make_unique<ConstantWeight>(90);
+    TindIndexOptions opts;
+    opts.bloom_bits = 512;
+    opts.num_hashes = 2;
+    opts.num_slices = 4;
+    opts.delta = 4;
+    opts.epsilon = 3.0;
+    opts.weight = weight_.get();
+    auto index = TindIndex::Build(dataset_, opts);
+    ASSERT_TRUE(index.ok());
+    index_ = std::move(*index);
+  }
+
+  std::set<TindPair> NaiveAllPairs(const TindParams& params) const {
+    std::set<TindPair> expected;
+    for (AttributeId a = 0; a < dataset_.size(); ++a) {
+      for (AttributeId b = 0; b < dataset_.size(); ++b) {
+        if (a == b) continue;
+        if (ValidateTindNaive(dataset_.attribute(a), dataset_.attribute(b),
+                              params, dataset_.domain())) {
+          expected.insert(TindPair{a, b});
+        }
+      }
+    }
+    return expected;
+  }
+
+  Dataset dataset_;
+  std::unique_ptr<ConstantWeight> weight_;
+  std::unique_ptr<TindIndex> index_;
+};
+
+TEST_F(DiscoveryTest, SequentialMatchesNaive) {
+  const TindParams params{3.0, 2, weight_.get()};
+  const AllPairsResult result = DiscoverAllTinds(*index_, params, nullptr);
+  const std::set<TindPair> expected = NaiveAllPairs(params);
+  EXPECT_EQ(std::set<TindPair>(result.pairs.begin(), result.pairs.end()),
+            expected);
+  EXPECT_EQ(result.num_queries, dataset_.size());
+  EXPECT_GE(result.elapsed_seconds, 0.0);
+}
+
+TEST_F(DiscoveryTest, ParallelMatchesSequential) {
+  ThreadPool pool(4);
+  const TindParams params{3.0, 2, weight_.get()};
+  const AllPairsResult serial = DiscoverAllTinds(*index_, params, nullptr);
+  const AllPairsResult parallel = DiscoverAllTinds(*index_, params, &pool);
+  EXPECT_EQ(serial.pairs, parallel.pairs);
+}
+
+TEST_F(DiscoveryTest, PairsSortedAndUnique) {
+  const TindParams params{3.0, 2, weight_.get()};
+  const AllPairsResult result = DiscoverAllTinds(*index_, params, nullptr);
+  for (size_t i = 1; i < result.pairs.size(); ++i) {
+    EXPECT_TRUE(result.pairs[i - 1] < result.pairs[i]);
+  }
+}
+
+TEST_F(DiscoveryTest, NoSelfPairs) {
+  const TindParams params{90.0, 4, weight_.get()};  // Everything included.
+  const AllPairsResult result = DiscoverAllTinds(*index_, params, nullptr);
+  for (const TindPair& p : result.pairs) EXPECT_NE(p.lhs, p.rhs);
+  // With eps = total weight, every ordered pair holds.
+  EXPECT_EQ(result.pairs.size(), dataset_.size() * (dataset_.size() - 1));
+}
+
+TEST_F(DiscoveryTest, StrictSubsetOfRelaxed) {
+  const TindParams strict{0.0, 0, weight_.get()};
+  const TindParams relaxed{3.0, 2, weight_.get()};
+  const AllPairsResult s = DiscoverAllTinds(*index_, strict, nullptr);
+  const AllPairsResult r = DiscoverAllTinds(*index_, relaxed, nullptr);
+  const std::set<TindPair> relaxed_set(r.pairs.begin(), r.pairs.end());
+  for (const TindPair& p : s.pairs) {
+    EXPECT_TRUE(relaxed_set.count(p)) << p.lhs << " in " << p.rhs;
+  }
+}
+
+TEST(TindPairTest, Ordering) {
+  EXPECT_TRUE((TindPair{1, 2}) < (TindPair{1, 3}));
+  EXPECT_TRUE((TindPair{1, 9}) < (TindPair{2, 0}));
+  EXPECT_TRUE((TindPair{1, 2}) == (TindPair{1, 2}));
+  EXPECT_FALSE((TindPair{1, 2}) == (TindPair{2, 1}));
+}
+
+}  // namespace
+}  // namespace tind

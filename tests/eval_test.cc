@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include "eval/buckets.h"
+#include "eval/grid_search.h"
+#include "eval/precision_recall.h"
+#include "eval/runtime_stats.h"
+#include "test_util.h"
+
+namespace tind {
+namespace {
+
+TEST(RuntimeStatsTest, EmptyStats) {
+  RuntimeStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.Mean(), 0.0);
+  EXPECT_EQ(s.Median(), 0.0);
+}
+
+TEST(RuntimeStatsTest, BasicMoments) {
+  RuntimeStats s;
+  for (const double v : {1.0, 2.0, 3.0, 4.0, 5.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 5.0);
+  EXPECT_NEAR(s.StdDev(), std::sqrt(2.5), 1e-12);
+}
+
+TEST(RuntimeStatsTest, Percentiles) {
+  RuntimeStats s;
+  for (int i = 1; i <= 100; ++i) s.Add(i);
+  EXPECT_NEAR(s.Percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(s.Percentile(100), 100.0, 1e-9);
+  EXPECT_NEAR(s.Percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.Percentile(95), 95.05, 0.1);
+}
+
+TEST(RuntimeStatsTest, FractionBelow) {
+  RuntimeStats s;
+  for (const double v : {10.0, 20.0, 30.0, 200.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.FractionBelow(100.0), 0.75);
+  EXPECT_DOUBLE_EQ(s.FractionBelow(10.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.FractionBelow(1000.0), 1.0);
+}
+
+TEST(RuntimeStatsTest, SummaryString) {
+  RuntimeStats s;
+  s.Add(1.0);
+  EXPECT_NE(s.Summary().find("n=1"), std::string::npos);
+}
+
+TEST(PrecisionRecallTest, PerfectPrediction) {
+  const std::set<IdPair> truth{{0, 1}, {2, 3}};
+  const std::vector<IdPair> predicted{{0, 1}, {2, 3}};
+  const PrecisionRecall pr = ComputePrecisionRecall(predicted, truth);
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+  EXPECT_DOUBLE_EQ(pr.F1(), 1.0);
+}
+
+TEST(PrecisionRecallTest, PartialPrediction) {
+  const std::set<IdPair> truth{{0, 1}, {2, 3}, {4, 5}, {6, 7}};
+  const std::vector<IdPair> predicted{{0, 1}, {9, 9}};
+  const PrecisionRecall pr = ComputePrecisionRecall(predicted, truth);
+  EXPECT_DOUBLE_EQ(pr.precision, 0.5);
+  EXPECT_DOUBLE_EQ(pr.recall, 0.25);
+  EXPECT_EQ(pr.true_positives, 1u);
+}
+
+TEST(PrecisionRecallTest, EmptyPrediction) {
+  const std::set<IdPair> truth{{0, 1}};
+  const PrecisionRecall pr = ComputePrecisionRecall({}, truth);
+  EXPECT_DOUBLE_EQ(pr.precision, 0.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 0.0);
+  EXPECT_DOUBLE_EQ(pr.F1(), 0.0);
+}
+
+TEST(PrecisionRecallTest, CandidateUniverseRestriction) {
+  const std::set<IdPair> truth{{0, 1}, {2, 3}};
+  const std::set<IdPair> universe{{0, 1}, {8, 9}};
+  const std::vector<IdPair> predicted{{0, 1}, {2, 3}, {8, 9}};
+  const PrecisionRecall pr =
+      ComputePrecisionRecall(predicted, truth, &universe);
+  // {2,3} is outside the universe: neither predicted nor relevant.
+  EXPECT_EQ(pr.predicted, 2u);
+  EXPECT_EQ(pr.relevant, 1u);
+  EXPECT_DOUBLE_EQ(pr.precision, 0.5);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+}
+
+TEST(ParetoFrontTest, KeepsOnlyDominantPoints) {
+  std::vector<PrPoint> points{
+      {0.9, 0.1, "a"}, {0.5, 0.5, "b"}, {0.6, 0.4, "c"},
+      {0.2, 0.9, "d"}, {0.1, 0.2, "e"},  // Dominated by b/c.
+  };
+  const auto front = ParetoFront(points);
+  ASSERT_EQ(front.size(), 4u);
+  EXPECT_EQ(front[0].label, "a");
+  EXPECT_EQ(front[1].label, "c");
+  EXPECT_EQ(front[2].label, "b");
+  EXPECT_EQ(front[3].label, "d");
+  // Ascending recall, descending precision.
+  for (size_t i = 1; i < front.size(); ++i) {
+    EXPECT_GE(front[i].recall, front[i - 1].recall);
+    EXPECT_LE(front[i].precision, front[i - 1].precision);
+  }
+}
+
+TEST(ParetoFrontTest, EmptyAndSingle) {
+  EXPECT_TRUE(ParetoFront({}).empty());
+  const auto front = ParetoFront({{0.5, 0.5, "only"}});
+  ASSERT_EQ(front.size(), 1u);
+}
+
+TEST(BucketsTest, BucketBoundaries) {
+  EXPECT_EQ(BucketForChanges(4), ChangeBucket::kLow);
+  EXPECT_EQ(BucketForChanges(7), ChangeBucket::kLow);
+  EXPECT_EQ(BucketForChanges(8), ChangeBucket::kMid);
+  EXPECT_EQ(BucketForChanges(15), ChangeBucket::kMid);
+  EXPECT_EQ(BucketForChanges(16), ChangeBucket::kHigh);
+  EXPECT_EQ(BucketForChanges(1000), ChangeBucket::kHigh);
+  EXPECT_STREQ(ChangeBucketToString(ChangeBucket::kLow), "[4,8)");
+  EXPECT_STREQ(ChangeBucketToString(ChangeBucket::kHigh), "[16,inf)");
+}
+
+TEST(BucketsTest, TableComputation) {
+  // Attribute change counts: id0: 5 changes (6 versions), id1: 10, id2: 20.
+  Dataset dataset(TimeDomain(200), std::make_shared<ValueDictionary>());
+  const auto add_attr = [&](AttributeId id, size_t changes) {
+    AttributeHistoryBuilder b(id, {}, dataset.domain());
+    for (size_t v = 0; v <= changes; ++v) {
+      EXPECT_TRUE(
+          b.AddVersion(static_cast<Timestamp>(v * 3), ValueSet{static_cast<ValueId>(v)})
+              .ok());
+    }
+    dataset.Add(std::move(*b.Finish()));
+  };
+  add_attr(0, 5);
+  add_attr(1, 10);
+  add_attr(2, 20);
+
+  const std::vector<IdPair> pairs{{0, 1}, {0, 2}, {1, 2}, {2, 2}};
+  const std::set<IdPair> truth{{0, 1}, {2, 2}};
+  const auto cells = ComputeBucketTable(dataset, pairs, truth, 100, 7);
+  ASSERT_EQ(cells.size(), 9u);
+  // Cell (low, mid) = {0,1}: 1 pair, genuine.
+  const BucketCell& low_mid = cells[0 * 3 + 1];
+  EXPECT_EQ(low_mid.total, 1u);
+  EXPECT_EQ(low_mid.genuine, 1u);
+  EXPECT_DOUBLE_EQ(low_mid.TpRate(), 1.0);
+  // Cell (low, high) = {0,2}: 1 pair, not genuine.
+  EXPECT_EQ(cells[0 * 3 + 2].total, 1u);
+  EXPECT_EQ(cells[0 * 3 + 2].genuine, 0u);
+  // Cell (high, high) = {2,2}: genuine.
+  EXPECT_DOUBLE_EQ(cells[2 * 3 + 2].TpRate(), 1.0);
+  // Empty cell.
+  EXPECT_EQ(cells[1 * 3 + 0].total, 0u);
+  EXPECT_EQ(cells[1 * 3 + 0].sampled, 0u);
+}
+
+TEST(BucketsTest, SamplingCapsAnnotation) {
+  Dataset dataset(TimeDomain(100), std::make_shared<ValueDictionary>());
+  AttributeHistoryBuilder b(0, {}, dataset.domain());
+  for (int v = 0; v < 6; ++v) {
+    EXPECT_TRUE(b.AddVersion(v * 5, ValueSet{static_cast<ValueId>(v)}).ok());
+  }
+  dataset.Add(std::move(*b.Finish()));
+  std::vector<IdPair> pairs;
+  for (int i = 0; i < 50; ++i) pairs.push_back({0, 0});
+  const auto cells = ComputeBucketTable(dataset, pairs, {}, 10, 3);
+  EXPECT_EQ(cells[0].total, 50u);
+  EXPECT_EQ(cells[0].sampled, 10u);
+}
+
+TEST(GridSearchTest, VariantNames) {
+  EXPECT_STREQ(TindVariantToString(TindVariant::kStatic), "static");
+  EXPECT_STREQ(TindVariantToString(TindVariant::kStrict), "strict");
+  EXPECT_STREQ(TindVariantToString(TindVariant::kWeighted), "w-eps-delta");
+}
+
+TEST(GridSearchTest, ClassifiesAndEvaluates) {
+  // Dataset: pair (0,1) strictly valid; pair (2,1) violated for 5 days.
+  Dataset dataset = testutil::MakeDataset(
+      100, {
+               {{0, ValueSet{1}}},
+               {{0, ValueSet{1, 2, 9}}},
+               {{0, ValueSet{2}}, {50, ValueSet{2, 3}}, {55, ValueSet{2}}},
+           });
+  const std::vector<LabeledPair> labelled{
+      {{0, 1}, true},
+      {{2, 1}, false},
+  };
+  GridSearchOptions opts;
+  opts.epsilons = {0, 10};
+  opts.deltas = {0};
+  opts.decay_bases = {1.0};
+  const auto points = RunGridSearch(dataset, labelled, opts);
+  // 2 eps x 1 delta x 1 base + static = 3 points.
+  ASSERT_EQ(points.size(), 3u);
+  // Strict point: predicts only (0,1): precision 1, recall 1.
+  const GridPoint& strict = points[0];
+  EXPECT_EQ(strict.variant, TindVariant::kStrict);
+  EXPECT_DOUBLE_EQ(strict.pr.precision, 1.0);
+  EXPECT_DOUBLE_EQ(strict.pr.recall, 1.0);
+  // eps=10 point: predicts both: precision 0.5, recall 1.
+  const GridPoint& relaxed = points[1];
+  EXPECT_EQ(relaxed.variant, TindVariant::kEpsilon);
+  EXPECT_DOUBLE_EQ(relaxed.pr.precision, 0.5);
+  // Static point: predicts everything.
+  const GridPoint& stat = points.back();
+  EXPECT_EQ(stat.variant, TindVariant::kStatic);
+  EXPECT_DOUBLE_EQ(stat.pr.precision, 0.5);
+  EXPECT_DOUBLE_EQ(stat.pr.recall, 1.0);
+}
+
+TEST(GridSearchTest, WeightedVariantUsesFractions) {
+  Dataset dataset = testutil::MakeDataset(
+      50, {
+              {{0, ValueSet{1}}},
+              {{0, ValueSet{1, 2}}},
+          });
+  const std::vector<LabeledPair> labelled{{{0, 1}, true}};
+  GridSearchOptions opts;
+  opts.epsilons = {0};
+  opts.deltas = {0, 3};
+  opts.decay_bases = {0.95};
+  opts.epsilon_fractions = {0, 0.01};
+  const auto points = RunGridSearch(dataset, labelled, opts);
+  // 2 fractions x 2 deltas + static.
+  ASSERT_EQ(points.size(), 5u);
+  for (size_t i = 0; i + 1 < points.size(); ++i) {
+    EXPECT_EQ(points[i].variant, TindVariant::kWeighted);
+    EXPECT_DOUBLE_EQ(points[i].pr.recall, 1.0);
+  }
+}
+
+TEST(GridSearchTest, ParallelMatchesSerial) {
+  Rng rng(5);
+  Dataset dataset(TimeDomain(80), std::make_shared<ValueDictionary>());
+  for (size_t i = 0; i < 12; ++i) {
+    dataset.Add(testutil::RandomHistory(dataset.domain(), &rng, 15,
+                                        static_cast<AttributeId>(i)));
+  }
+  std::vector<LabeledPair> labelled;
+  for (AttributeId a = 0; a < 6; ++a) {
+    labelled.push_back({{a, static_cast<AttributeId>(a + 6)}, a % 2 == 0});
+  }
+  GridSearchOptions serial_opts;
+  serial_opts.epsilons = {0, 5};
+  serial_opts.deltas = {0, 2};
+  serial_opts.decay_bases = {1.0, 0.98};
+  GridSearchOptions parallel_opts = serial_opts;
+  ThreadPool pool(4);
+  parallel_opts.pool = &pool;
+  const auto a = RunGridSearch(dataset, labelled, serial_opts);
+  const auto b = RunGridSearch(dataset, labelled, parallel_opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].pr.precision, b[i].pr.precision) << i;
+    EXPECT_DOUBLE_EQ(a[i].pr.recall, b[i].pr.recall) << i;
+  }
+}
+
+TEST(GridPointTest, LabelFormatting) {
+  GridPoint p;
+  p.variant = TindVariant::kEpsilonDelta;
+  p.epsilon = 3;
+  p.delta = 7;
+  p.decay_base = 1.0;
+  EXPECT_EQ(p.Label(), "eps-delta-relaxed eps=3 delta=7 a=1");
+}
+
+}  // namespace
+}  // namespace tind

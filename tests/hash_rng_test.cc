@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/memory_budget.h"
+#include "common/rng.h"
+
+namespace tind {
+namespace {
+
+TEST(HashTest, SplitMixIsDeterministic) {
+  EXPECT_EQ(SplitMix64(1), SplitMix64(1));
+  EXPECT_NE(SplitMix64(1), SplitMix64(2));
+}
+
+TEST(HashTest, SplitMixAvalanche) {
+  // Flipping one input bit should flip roughly half the output bits.
+  int total_flips = 0;
+  const int trials = 64;
+  for (int bit = 0; bit < trials; ++bit) {
+    const uint64_t a = SplitMix64(0x12345678ULL);
+    const uint64_t b = SplitMix64(0x12345678ULL ^ (1ULL << bit));
+    total_flips += __builtin_popcountll(a ^ b);
+  }
+  const double avg = static_cast<double>(total_flips) / trials;
+  EXPECT_GT(avg, 24.0);
+  EXPECT_LT(avg, 40.0);
+}
+
+TEST(HashTest, HashStringDistinguishes) {
+  EXPECT_EQ(HashString("abc"), HashString("abc"));
+  EXPECT_NE(HashString("abc"), HashString("abd"));
+  EXPECT_NE(HashString(""), HashString(" "));
+}
+
+TEST(HashTest, HashCombineOrderSensitive) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+TEST(HashTest, DoubleHashSecondStreamIsOdd) {
+  for (uint64_t v = 0; v < 100; ++v) {
+    EXPECT_EQ(DoubleHash::FromValue(v).h2 & 1ULL, 1ULL);
+  }
+}
+
+TEST(HashTest, DoubleHashProbesStayInRange) {
+  const uint64_t m = 1024;
+  const DoubleHash h = DoubleHash::FromValue(777);
+  for (uint32_t i = 0; i < 50; ++i) {
+    EXPECT_LT(h.Probe(i, m), m);
+  }
+}
+
+TEST(HashTest, DoubleHashProbesSpread) {
+  const uint64_t m = 4096;
+  const DoubleHash h = DoubleHash::FromValue(42);
+  std::set<uint64_t> positions;
+  for (uint32_t i = 0; i < 8; ++i) positions.insert(h.Probe(i, m));
+  // With an odd stride mod a power of two, all 8 probes are distinct.
+  EXPECT_EQ(positions.size(), 8u);
+}
+
+TEST(HashTest, IsPowerOfTwo) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(4096));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_FALSE(IsPowerOfTwo(4097));
+}
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(5), b(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  Rng c(6);
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+  EXPECT_EQ(rng.Uniform(1), 0u);
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(2);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(4);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, PoissonMean) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 5000; ++i) sum += static_cast<double>(rng.Poisson(6.5));
+  EXPECT_NEAR(sum / 5000, 6.5, 0.3);
+}
+
+TEST(RngTest, GeometricMean) {
+  Rng rng(6);
+  // Mean failures before success = (1-p)/p = 3 for p = 0.25.
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    sum += static_cast<double>(rng.Geometric(0.25));
+  }
+  EXPECT_NEAR(sum / 20000, 3.0, 0.15);
+  EXPECT_EQ(rng.Geometric(1.0), 0u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(7);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(8);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto sample = rng.SampleWithoutReplacement(100, 20);
+    ASSERT_EQ(sample.size(), 20u);
+    std::set<size_t> distinct(sample.begin(), sample.end());
+    EXPECT_EQ(distinct.size(), 20u);
+    for (const size_t s : sample) EXPECT_LT(s, 100u);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFull) {
+  Rng rng(9);
+  const auto sample = rng.SampleWithoutReplacement(10, 10);
+  std::set<size_t> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), 10u);
+}
+
+TEST(RngTest, WeightedIndexFollowsWeights) {
+  Rng rng(10);
+  const std::vector<double> weights{1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 20000; ++i) ++counts[rng.WeightedIndex(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[0] / 20000.0, 0.25, 0.02);
+  EXPECT_NEAR(counts[2] / 20000.0, 0.75, 0.02);
+}
+
+TEST(ZipfSamplerTest, RankZeroMostPopular) {
+  Rng rng(11);
+  ZipfSampler zipf(100, 1.2);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Sample(&rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[90]);
+}
+
+TEST(ZipfSamplerTest, SamplesInRange) {
+  Rng rng(12);
+  ZipfSampler zipf(7, 0.8);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.Sample(&rng), 7u);
+}
+
+TEST(MemoryBudgetTest, UnlimitedByDefault) {
+  MemoryBudget budget;
+  EXPECT_TRUE(budget.Allocate(1ULL << 40).ok());
+  EXPECT_EQ(budget.used(), 1ULL << 40);
+}
+
+TEST(MemoryBudgetTest, EnforcesCap) {
+  MemoryBudget budget(100);
+  EXPECT_TRUE(budget.Allocate(60).ok());
+  EXPECT_TRUE(budget.Allocate(40).ok());
+  const Status s = budget.Allocate(1);
+  EXPECT_TRUE(s.IsOutOfMemory());
+  EXPECT_EQ(budget.used(), 100u);
+}
+
+TEST(MemoryBudgetTest, FreeRestoresHeadroom) {
+  MemoryBudget budget(100);
+  ASSERT_TRUE(budget.Allocate(100).ok());
+  budget.Free(50);
+  EXPECT_TRUE(budget.Allocate(50).ok());
+  EXPECT_TRUE(budget.Allocate(1).IsOutOfMemory());
+}
+
+}  // namespace
+}  // namespace tind

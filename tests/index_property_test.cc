@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <tuple>
+
+#include "test_util.h"
+#include "tind/index.h"
+#include "tind/validator.h"
+
+namespace tind {
+namespace {
+
+/// End-to-end exactness property: for random datasets and any sound
+/// (ε, δ, m, k, strategy) combination, index-based search must return
+/// EXACTLY the attributes the naive validator accepts — the Bloom pruning
+/// may only remove work, never answers.
+class IndexExactnessTest
+    : public ::testing::TestWithParam<
+          std::tuple<uint64_t, size_t, size_t, int64_t, double, SliceStrategy>> {
+};
+
+TEST_P(IndexExactnessTest, SearchMatchesNaiveScan) {
+  const auto [seed, bloom_bits, num_slices, delta, eps, strategy] = GetParam();
+  Rng rng(seed);
+  const int64_t n_days = 120;
+  Dataset dataset(TimeDomain(n_days), std::make_shared<ValueDictionary>());
+  const size_t n_attrs = 40;
+  for (size_t i = 0; i < n_attrs; ++i) {
+    dataset.Add(testutil::RandomHistory(dataset.domain(), &rng, 25,
+                                        static_cast<AttributeId>(i), 6, 8));
+  }
+  const ConstantWeight w(n_days);
+  TindIndexOptions opts;
+  opts.bloom_bits = bloom_bits;
+  opts.num_hashes = 2;
+  opts.num_slices = num_slices;
+  opts.delta = delta;
+  opts.epsilon = eps;
+  opts.strategy = strategy;
+  opts.weight = &w;
+  opts.seed = seed * 31 + 7;
+  auto index_result = TindIndex::Build(dataset, opts);
+  ASSERT_TRUE(index_result.ok());
+  const TindIndex& index = **index_result;
+
+  const TindParams params{eps, delta, &w};
+  for (AttributeId q = 0; q < 10; ++q) {
+    const auto results = index.Search(dataset.attribute(q), params);
+    std::vector<AttributeId> expected;
+    for (AttributeId a = 0; a < n_attrs; ++a) {
+      if (a == q) continue;
+      if (ValidateTindNaive(dataset.attribute(q), dataset.attribute(a), params,
+                            dataset.domain())) {
+        expected.push_back(a);
+      }
+    }
+    ASSERT_EQ(results, expected)
+        << "q=" << q << " seed=" << seed << " m=" << bloom_bits
+        << " k=" << num_slices << " delta=" << delta << " eps=" << eps;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IndexExactnessTest,
+    ::testing::Combine(::testing::Values<uint64_t>(1, 2),
+                       ::testing::Values<size_t>(128, 512),
+                       ::testing::Values<size_t>(0, 3, 8),
+                       ::testing::Values<int64_t>(0, 5),
+                       ::testing::Values(0.0, 4.0),
+                       ::testing::Values(SliceStrategy::kRandom,
+                                         SliceStrategy::kWeightedRandom)));
+
+/// Queries may use smaller δ/ε than the index was built for (Section 4.4) —
+/// results must stay exact.
+class IndexParameterDeviationTest
+    : public ::testing::TestWithParam<std::tuple<int64_t, double>> {};
+
+TEST_P(IndexParameterDeviationTest, SmallerQueryParamsStayExact) {
+  const auto [query_delta, query_eps] = GetParam();
+  Rng rng(77);
+  const int64_t n_days = 100;
+  Dataset dataset(TimeDomain(n_days), std::make_shared<ValueDictionary>());
+  for (size_t i = 0; i < 30; ++i) {
+    dataset.Add(testutil::RandomHistory(dataset.domain(), &rng, 20,
+                                        static_cast<AttributeId>(i), 6, 6));
+  }
+  const ConstantWeight w(n_days);
+  TindIndexOptions opts;
+  opts.bloom_bits = 256;
+  opts.num_hashes = 2;
+  opts.num_slices = 4;
+  opts.delta = 8;     // Generous build-time values.
+  opts.epsilon = 10.0;
+  opts.weight = &w;
+  auto index = TindIndex::Build(dataset, opts);
+  ASSERT_TRUE(index.ok());
+
+  const TindParams params{query_eps, query_delta, &w};
+  for (AttributeId q = 0; q < 8; ++q) {
+    const auto forward = (*index)->Search(dataset.attribute(q), params);
+    const auto reverse = (*index)->ReverseSearch(dataset.attribute(q), params);
+    for (AttributeId a = 0; a < dataset.size(); ++a) {
+      if (a == q) continue;
+      EXPECT_EQ(static_cast<bool>(std::count(forward.begin(), forward.end(), a)),
+                ValidateTindNaive(dataset.attribute(q), dataset.attribute(a),
+                                  params, dataset.domain()))
+          << "forward q=" << q << " a=" << a;
+      EXPECT_EQ(static_cast<bool>(std::count(reverse.begin(), reverse.end(), a)),
+                ValidateTindNaive(dataset.attribute(a), dataset.attribute(q),
+                                  params, dataset.domain()))
+          << "reverse q=" << q << " a=" << a;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Deviations, IndexParameterDeviationTest,
+                         ::testing::Combine(::testing::Values<int64_t>(0, 2, 8),
+                                            ::testing::Values(0.0, 3.0, 10.0)));
+
+/// Different weight functions at query time against an index built with the
+/// constant weight (M_T is weight-agnostic; slices only prune).
+TEST(IndexWeightDeviationTest, DecayWeightQueriesExact) {
+  Rng rng(42);
+  const int64_t n_days = 150;
+  Dataset dataset(TimeDomain(n_days), std::make_shared<ValueDictionary>());
+  for (size_t i = 0; i < 25; ++i) {
+    dataset.Add(testutil::RandomHistory(dataset.domain(), &rng, 18,
+                                        static_cast<AttributeId>(i), 7, 6));
+  }
+  const ConstantWeight build_w(n_days);
+  TindIndexOptions opts;
+  opts.bloom_bits = 512;
+  opts.num_hashes = 2;
+  opts.num_slices = 5;
+  opts.delta = 4;
+  opts.epsilon = 3.0;
+  opts.weight = &build_w;
+  auto index = TindIndex::Build(dataset, opts);
+  ASSERT_TRUE(index.ok());
+
+  const ExponentialDecayWeight query_w(n_days, 0.97);
+  const TindParams params{1.5, 2, &query_w};
+  for (AttributeId q = 0; q < 10; ++q) {
+    const auto results = (*index)->Search(dataset.attribute(q), params);
+    for (AttributeId a = 0; a < dataset.size(); ++a) {
+      if (a == q) continue;
+      EXPECT_EQ(static_cast<bool>(std::count(results.begin(), results.end(), a)),
+                ValidateTindNaive(dataset.attribute(q), dataset.attribute(a),
+                                  params, dataset.domain()))
+          << "q=" << q << " a=" << a;
+    }
+  }
+}
+
+/// More tINDs must be found as ε or δ grow (Figure 8's monotonicity).
+TEST(IndexMonotonicityTest, ResultCountMonotoneInRelaxation) {
+  Rng rng(55);
+  const int64_t n_days = 100;
+  Dataset dataset(TimeDomain(n_days), std::make_shared<ValueDictionary>());
+  for (size_t i = 0; i < 50; ++i) {
+    dataset.Add(testutil::RandomHistory(dataset.domain(), &rng, 15,
+                                        static_cast<AttributeId>(i), 5, 5));
+  }
+  const ConstantWeight w(n_days);
+  TindIndexOptions opts;
+  opts.bloom_bits = 512;
+  opts.num_hashes = 2;
+  opts.num_slices = 4;
+  opts.delta = 16;
+  opts.epsilon = 20.0;
+  opts.weight = &w;
+  auto index = TindIndex::Build(dataset, opts);
+  ASSERT_TRUE(index.ok());
+
+  size_t prev = 0;
+  for (const double eps : {0.0, 2.0, 8.0, 20.0}) {
+    size_t total = 0;
+    const TindParams params{eps, 0, &w};
+    for (AttributeId q = 0; q < 20; ++q) {
+      total += (*index)->Search(dataset.attribute(q), params).size();
+    }
+    EXPECT_GE(total, prev) << "eps " << eps;
+    prev = total;
+  }
+  prev = 0;
+  for (const int64_t delta : {0, 2, 8, 16}) {
+    size_t total = 0;
+    const TindParams params{2.0, delta, &w};
+    for (AttributeId q = 0; q < 20; ++q) {
+      total += (*index)->Search(dataset.attribute(q), params).size();
+    }
+    EXPECT_GE(total, prev) << "delta " << delta;
+    prev = total;
+  }
+}
+
+}  // namespace
+}  // namespace tind

@@ -1,0 +1,276 @@
+/// End-to-end integration: generator -> (raw -> preprocessing) -> index ->
+/// search / reverse / all-pairs / baselines / evaluation, exercising the
+/// whole pipeline the way the experiment harnesses do.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "baseline/k_many.h"
+#include "baseline/static_ind.h"
+#include "eval/grid_search.h"
+#include "eval/precision_recall.h"
+#include "tind/discovery.h"
+#include "tind/index.h"
+#include "tind/validator.h"
+#include "wiki/corpus_io.h"
+#include "wiki/generator.h"
+#include "wiki/preprocess.h"
+
+namespace tind {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    wiki::GeneratorOptions opts;
+    opts.seed = 1234;
+    opts.num_days = 800;
+    opts.num_families = 10;
+    opts.num_noise_attributes = 60;
+    opts.num_catchall_attributes = 3;
+    opts.shared_vocabulary = 150;
+    opts.entities_per_family_pool = 120;
+    auto generated = wiki::WikiGenerator(opts).GenerateDataset();
+    ASSERT_TRUE(generated.ok());
+    generated_ = new wiki::GeneratedDataset(std::move(*generated));
+    weight_ = new ConstantWeight(generated_->dataset.domain().num_timestamps());
+
+    TindIndexOptions index_opts;
+    index_opts.bloom_bits = 1024;
+    index_opts.num_hashes = 3;
+    index_opts.num_slices = 8;
+    index_opts.delta = 7;
+    index_opts.epsilon = 3.0;
+    index_opts.weight = weight_;
+    auto index = TindIndex::Build(generated_->dataset, index_opts);
+    ASSERT_TRUE(index.ok());
+    index_ = index->release();
+  }
+
+  static void TearDownTestSuite() {
+    delete index_;
+    delete weight_;
+    delete generated_;
+    index_ = nullptr;
+    weight_ = nullptr;
+    generated_ = nullptr;
+  }
+
+  const Dataset& dataset() const { return generated_->dataset; }
+
+  static wiki::GeneratedDataset* generated_;
+  static ConstantWeight* weight_;
+  static TindIndex* index_;
+};
+
+wiki::GeneratedDataset* IntegrationTest::generated_ = nullptr;
+ConstantWeight* IntegrationTest::weight_ = nullptr;
+TindIndex* IntegrationTest::index_ = nullptr;
+
+TEST_F(IntegrationTest, SearchExactOnGeneratedCorpus) {
+  const TindParams params{3.0, 7, weight_};
+  // Spot-check 12 queries against the naive oracle over the full corpus.
+  for (AttributeId q = 0; q < 12; ++q) {
+    const auto results = index_->Search(dataset().attribute(q), params);
+    std::vector<AttributeId> expected;
+    for (AttributeId a = 0; a < dataset().size(); ++a) {
+      if (a == q) continue;
+      if (ValidateTind(dataset().attribute(q), dataset().attribute(a), params,
+                       dataset().domain())) {
+        expected.push_back(a);
+      }
+    }
+    ASSERT_EQ(results, expected) << "query " << q;
+  }
+}
+
+TEST_F(IntegrationTest, PruningFunnelIsEffective) {
+  const TindParams params{3.0, 7, weight_};
+  size_t total_candidates = 0, total_validations = 0;
+  for (AttributeId q = 0; q < 50; ++q) {
+    QueryStats stats;
+    (void)index_->Search(dataset().attribute(q), params, &stats);
+    total_candidates += dataset().size() - 1;
+    total_validations += stats.validations;
+  }
+  // The index must prune the vast majority of candidates before exact
+  // validation — this is its entire reason to exist.
+  EXPECT_LT(total_validations, total_candidates / 5);
+}
+
+TEST_F(IntegrationTest, AllPairsFindsPlantedInclusions) {
+  ThreadPool pool(4);
+  const auto truth_ids =
+      generated_->ground_truth.ToIdPairs(generated_->attribute_names);
+  ASSERT_GT(truth_ids.size(), 0u);
+  const std::set<IdPair> truth(truth_ids.begin(), truth_ids.end());
+
+  const auto recall_at = [&](double eps, int64_t delta) {
+    const TindParams params{eps, delta, weight_};
+    const AllPairsResult all = DiscoverAllTinds(*index_, params, &pool);
+    std::vector<IdPair> predicted;
+    predicted.reserve(all.pairs.size());
+    for (const TindPair& p : all.pairs) predicted.push_back({p.lhs, p.rhs});
+    return ComputePrecisionRecall(predicted, truth).recall;
+  };
+  // A generous relaxation recovers the majority of planted inclusions
+  // (only long-lived spelling variants stay out of reach)...
+  EXPECT_GT(recall_at(8.0, 14), 0.5);
+  // ...the paper's default operating point recovers a substantial share...
+  EXPECT_GT(recall_at(3.0, 7), 0.25);
+  // ...and strict tINDs recover far less (the Fig. 15 strict point).
+  EXPECT_LT(recall_at(0.0, 0), recall_at(3.0, 7));
+}
+
+TEST_F(IntegrationTest, TindDiscoveryMorePreciseThanStatic) {
+  // The paper's headline claim (Section 5.5): among static INDs at the
+  // latest snapshot, the tIND-valid ones are genuine far more often.
+  StaticIndOptions static_opts;
+  static_opts.bloom_bits = 1024;
+  auto static_discovery = StaticIndDiscovery::Build(dataset(), static_opts);
+  ASSERT_TRUE(static_discovery.ok());
+  ThreadPool pool(4);
+  const AllPairsResult static_inds = (*static_discovery)->AllPairs(&pool);
+  ASSERT_GT(static_inds.pairs.size(), 10u);
+
+  const auto truth_ids =
+      generated_->ground_truth.ToIdPairs(generated_->attribute_names);
+  const std::set<IdPair> truth(truth_ids.begin(), truth_ids.end());
+
+  const TindParams params{3.0, 7, weight_};
+  size_t static_tp = 0, tind_predicted = 0, tind_tp = 0;
+  for (const TindPair& p : static_inds.pairs) {
+    const bool genuine = truth.count({p.lhs, p.rhs}) > 0;
+    static_tp += genuine ? 1 : 0;
+    if (ValidateTind(dataset().attribute(p.lhs), dataset().attribute(p.rhs),
+                     params, dataset().domain())) {
+      ++tind_predicted;
+      tind_tp += genuine ? 1 : 0;
+    }
+  }
+  ASSERT_GT(tind_predicted, 0u);
+  const double static_precision =
+      static_cast<double>(static_tp) / static_inds.pairs.size();
+  const double tind_precision =
+      static_cast<double>(tind_tp) / tind_predicted;
+  EXPECT_GT(tind_precision, static_precision)
+      << "tind " << tind_precision << " vs static " << static_precision;
+}
+
+TEST_F(IntegrationTest, KManySoundOnGeneratedCorpus) {
+  KManyOptions opts;
+  opts.bloom_bits = 1024;
+  opts.num_snapshots = 8;
+  auto km = KMany::Build(dataset(), opts);
+  ASSERT_TRUE(km.ok());
+  const TindParams params{3.0, 0, weight_};
+  for (AttributeId q = 0; q < 6; ++q) {
+    auto km_results = (*km)->Search(dataset().attribute(q), params);
+    ASSERT_TRUE(km_results.ok());
+    const auto index_results = index_->Search(dataset().attribute(q), params);
+    EXPECT_EQ(*km_results, index_results) << "query " << q;
+  }
+}
+
+TEST_F(IntegrationTest, GridSearchShowsRelaxationBenefit) {
+  // Build a labelled sample from static INDs and verify the Fig. 15 shape:
+  // some relaxed setting beats the static baseline's precision.
+  StaticIndOptions static_opts;
+  static_opts.bloom_bits = 1024;
+  auto static_discovery = StaticIndDiscovery::Build(dataset(), static_opts);
+  ASSERT_TRUE(static_discovery.ok());
+  ThreadPool pool(4);
+  const AllPairsResult static_inds = (*static_discovery)->AllPairs(&pool);
+  const auto truth_ids =
+      generated_->ground_truth.ToIdPairs(generated_->attribute_names);
+  const std::set<IdPair> truth(truth_ids.begin(), truth_ids.end());
+
+  std::vector<LabeledPair> labelled;
+  for (size_t i = 0; i < static_inds.pairs.size() && labelled.size() < 400;
+       ++i) {
+    const TindPair& p = static_inds.pairs[i];
+    labelled.push_back({{p.lhs, p.rhs}, truth.count({p.lhs, p.rhs}) > 0});
+  }
+  ASSERT_GT(labelled.size(), 20u);
+
+  GridSearchOptions grid;
+  grid.epsilons = {0, 3, 10};
+  grid.deltas = {0, 7};
+  grid.decay_bases = {1.0};
+  grid.pool = &pool;
+  const auto points = RunGridSearch(dataset(), labelled, grid);
+  double static_precision = 0, best_precision = 0;
+  for (const GridPoint& p : points) {
+    if (p.variant == TindVariant::kStatic) {
+      static_precision = p.pr.precision;
+    } else if (p.pr.predicted > 0) {
+      best_precision = std::max(best_precision, p.pr.precision);
+    }
+  }
+  EXPECT_GT(best_precision, static_precision);
+}
+
+TEST_F(IntegrationTest, RawPipelineIndexRoundTrip) {
+  // Small raw corpus through the full pipeline, then index and query it.
+  wiki::GeneratorOptions opts;
+  opts.seed = 99;
+  opts.num_days = 400;
+  opts.num_families = 4;
+  opts.num_noise_attributes = 15;
+  opts.num_catchall_attributes = 1;
+  opts.shared_vocabulary = 80;
+  auto raw = wiki::WikiGenerator(opts).GenerateRawCorpus();
+  ASSERT_TRUE(raw.ok());
+  auto processed = wiki::PreprocessRawCorpus(raw->raw, wiki::PreprocessOptions());
+  ASSERT_TRUE(processed.ok());
+  ASSERT_GT(processed->dataset.size(), 5u);
+
+  const ConstantWeight w(processed->dataset.domain().num_timestamps());
+  TindIndexOptions index_opts;
+  index_opts.bloom_bits = 512;
+  index_opts.num_slices = 4;
+  index_opts.delta = 7;
+  index_opts.epsilon = 3.0;
+  index_opts.weight = &w;
+  auto index = TindIndex::Build(processed->dataset, index_opts);
+  ASSERT_TRUE(index.ok());
+  const TindParams params{3.0, 7, &w};
+  for (AttributeId q = 0; q < std::min<size_t>(8, processed->dataset.size());
+       ++q) {
+    const auto results =
+        (*index)->Search(processed->dataset.attribute(q), params);
+    for (const AttributeId a : results) {
+      EXPECT_TRUE(ValidateTindNaive(processed->dataset.attribute(q),
+                                    processed->dataset.attribute(a), params,
+                                    processed->dataset.domain()));
+    }
+  }
+}
+
+TEST_F(IntegrationTest, SerializationPreservesQueryResults) {
+  std::stringstream ss;
+  ASSERT_TRUE(
+      wiki::WriteDataset(dataset(), &generated_->ground_truth, ss).ok());
+  auto loaded = wiki::ReadDataset(ss);
+  ASSERT_TRUE(loaded.ok());
+  const ConstantWeight w(loaded->dataset.domain().num_timestamps());
+  TindIndexOptions opts;
+  opts.bloom_bits = 1024;
+  opts.num_slices = 8;
+  opts.delta = 7;
+  opts.epsilon = 3.0;
+  opts.weight = &w;
+  auto index2 = TindIndex::Build(loaded->dataset, opts);
+  ASSERT_TRUE(index2.ok());
+  const TindParams params{3.0, 7, &w};
+  for (AttributeId q = 0; q < 10; ++q) {
+    EXPECT_EQ(index_->Search(dataset().attribute(q), params),
+              (*index2)->Search(loaded->dataset.attribute(q), params))
+        << "query " << q;
+  }
+}
+
+}  // namespace
+}  // namespace tind

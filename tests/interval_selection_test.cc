@@ -1,0 +1,194 @@
+#include "tind/interval_selection.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace tind {
+namespace {
+
+TEST(IntervalLengthTest, ConstantWeightGivesEpsilonPlusOne) {
+  const TimeDomain domain(1000);
+  const ConstantWeight w(1000);
+  // Target sum = eps + 1; with unit weights that is eps+1 days.
+  EXPECT_EQ(IntervalLengthAt(w, domain, 0, 3.0), 4);
+  EXPECT_EQ(IntervalLengthAt(w, domain, 500, 0.0), 1);
+  EXPECT_EQ(IntervalLengthAt(w, domain, 0, 9.5), 11);
+}
+
+TEST(IntervalLengthTest, ClampsAtDomainEnd) {
+  const TimeDomain domain(100);
+  const ConstantWeight w(100);
+  EXPECT_EQ(IntervalLengthAt(w, domain, 98, 5.0), 2);  // Only 2 days left.
+}
+
+TEST(IntervalLengthTest, DecayingWeightsNeedLongerPastIntervals) {
+  const int64_t n = 2000;
+  const TimeDomain domain(n);
+  const ExponentialDecayWeight w(n, 0.995);
+  const int64_t early = IntervalLengthAt(w, domain, 100, 3.0);
+  const int64_t late = IntervalLengthAt(w, domain, n - 200, 3.0);
+  // Early (low-weight) intervals must be longer to reach the same summed
+  // weight (Section 4.4.2).
+  EXPECT_GT(early, late);
+  // The returned length actually reaches the target where possible.
+  EXPECT_GE(w.Sum(Interval{n - 200, n - 200 + late - 1}), 4.0 - 1e-9);
+}
+
+class IntervalSelectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(5);
+    dataset_ = Dataset(TimeDomain(500), std::make_shared<ValueDictionary>());
+    for (int i = 0; i < 30; ++i) {
+      dataset_.Add(testutil::RandomHistory(dataset_.domain(), &rng, 50,
+                                           static_cast<AttributeId>(i)));
+    }
+  }
+  Dataset dataset_;
+};
+
+TEST_F(IntervalSelectionTest, RandomSelectionDisjointAndSized) {
+  const ConstantWeight w(500);
+  IntervalSelectionOptions opts;
+  opts.strategy = SliceStrategy::kRandom;
+  opts.num_intervals = 8;
+  opts.epsilon = 3.0;
+  const auto intervals = SelectIndexIntervals(dataset_, w, opts);
+  ASSERT_EQ(intervals.size(), 8u);
+  for (size_t i = 0; i < intervals.size(); ++i) {
+    EXPECT_EQ(intervals[i].Length(), 4);
+    EXPECT_GE(intervals[i].begin, 0);
+    EXPECT_LT(intervals[i].end, 500);
+    for (size_t j = i + 1; j < intervals.size(); ++j) {
+      EXPECT_FALSE(intervals[i].Intersects(intervals[j]));
+    }
+  }
+  // Sorted by start.
+  for (size_t i = 1; i < intervals.size(); ++i) {
+    EXPECT_LT(intervals[i - 1].begin, intervals[i].begin);
+  }
+}
+
+TEST_F(IntervalSelectionTest, DeltaDisjointSpacing) {
+  const ConstantWeight w(500);
+  IntervalSelectionOptions opts;
+  opts.num_intervals = 6;
+  opts.epsilon = 3.0;
+  opts.delta_disjoint = 10;
+  const auto intervals = SelectIndexIntervals(dataset_, w, opts);
+  ASSERT_GE(intervals.size(), 2u);
+  for (size_t i = 0; i < intervals.size(); ++i) {
+    for (size_t j = i + 1; j < intervals.size(); ++j) {
+      EXPECT_FALSE(intervals[i].Expanded(10).Intersects(
+          intervals[j].Expanded(10)));
+    }
+  }
+}
+
+TEST_F(IntervalSelectionTest, DeterministicInSeed) {
+  const ConstantWeight w(500);
+  IntervalSelectionOptions opts;
+  opts.num_intervals = 5;
+  opts.seed = 99;
+  const auto a = SelectIndexIntervals(dataset_, w, opts);
+  const auto b = SelectIndexIntervals(dataset_, w, opts);
+  EXPECT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  opts.seed = 100;
+  const auto c = SelectIndexIntervals(dataset_, w, opts);
+  bool any_diff = c.size() != a.size();
+  for (size_t i = 0; !any_diff && i < a.size(); ++i) {
+    any_diff = !(a[i] == c[i]);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_F(IntervalSelectionTest, WeightedRandomSelectsDisjoint) {
+  const ConstantWeight w(500);
+  IntervalSelectionOptions opts;
+  opts.strategy = SliceStrategy::kWeightedRandom;
+  opts.num_intervals = 6;
+  opts.epsilon = 3.0;
+  opts.candidate_starts = 64;
+  const auto intervals = SelectIndexIntervals(dataset_, w, opts);
+  ASSERT_GE(intervals.size(), 2u);
+  for (size_t i = 0; i < intervals.size(); ++i) {
+    for (size_t j = i + 1; j < intervals.size(); ++j) {
+      EXPECT_FALSE(intervals[i].Intersects(intervals[j]));
+    }
+  }
+}
+
+TEST_F(IntervalSelectionTest, WeightedRandomPrefersDenseRegions) {
+  // Build a dataset where all value activity is in days [400, 499].
+  Dataset dense(TimeDomain(500), std::make_shared<ValueDictionary>());
+  Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    AttributeHistoryBuilder b(static_cast<AttributeId>(i), {}, dense.domain());
+    // Constant tiny set early, rich churn late.
+    EXPECT_TRUE(b.AddVersion(0, ValueSet{0}).ok());
+    for (Timestamp t = 400; t < 499; t += 9) {
+      std::vector<ValueId> vals;
+      for (int v = 0; v < 12; ++v) {
+        vals.push_back(static_cast<ValueId>(rng.Uniform(500)));
+      }
+      EXPECT_TRUE(b.AddVersion(t, ValueSet::FromUnsorted(std::move(vals))).ok());
+    }
+    dense.Add(std::move(*b.Finish()));
+  }
+  const ConstantWeight w(500);
+  IntervalSelectionOptions opts;
+  opts.strategy = SliceStrategy::kWeightedRandom;
+  opts.num_intervals = 3;
+  opts.epsilon = 3.0;
+  opts.candidate_starts = 100;
+  const auto intervals = SelectIndexIntervals(dense, w, opts);
+  ASSERT_GE(intervals.size(), 1u);
+  size_t in_dense_region = 0;
+  for (const Interval& i : intervals) {
+    if (i.begin >= 350) ++in_dense_region;
+  }
+  EXPECT_GE(in_dense_region, intervals.size() - 1);
+}
+
+TEST_F(IntervalSelectionTest, ZeroIntervalsRequested) {
+  const ConstantWeight w(500);
+  IntervalSelectionOptions opts;
+  opts.num_intervals = 0;
+  EXPECT_TRUE(SelectIndexIntervals(dataset_, w, opts).empty());
+}
+
+TEST_F(IntervalSelectionTest, MoreIntervalsThanFitReturnsFewer) {
+  const ConstantWeight w(500);
+  IntervalSelectionOptions opts;
+  opts.num_intervals = 1000;  // 1000 disjoint length-4 intervals don't fit.
+  opts.epsilon = 3.0;
+  const auto intervals = SelectIndexIntervals(dataset_, w, opts);
+  EXPECT_LT(intervals.size(), 1000u);
+  EXPECT_GT(intervals.size(), 10u);
+}
+
+TEST(PruningPowerTest, CountsDistinctValuesPerDay) {
+  Dataset dataset(TimeDomain(100), std::make_shared<ValueDictionary>());
+  dataset.Add(testutil::MakeHistory(dataset.domain(),
+                                    {{0, ValueSet{1, 2, 3}}}, 0));
+  dataset.Add(testutil::MakeHistory(dataset.domain(),
+                                    {{0, ValueSet{1}}, {50, ValueSet{4, 5}}},
+                                    1));
+  const std::vector<size_t> sample{0, 1};
+  // Interval [0,9]: attr0 has 3 distinct, attr1 has 1 -> 4/10.
+  EXPECT_DOUBLE_EQ(EstimatePruningPower(dataset, sample, Interval{0, 9}), 0.4);
+  // Interval [45,54]: attr0 3, attr1 {1,4,5} = 3 -> 6/10.
+  EXPECT_DOUBLE_EQ(EstimatePruningPower(dataset, sample, Interval{45, 54}),
+                   0.6);
+}
+
+TEST(SliceStrategyTest, Names) {
+  EXPECT_STREQ(SliceStrategyToString(SliceStrategy::kRandom), "random");
+  EXPECT_STREQ(SliceStrategyToString(SliceStrategy::kWeightedRandom),
+               "weighted-random");
+}
+
+}  // namespace
+}  // namespace tind

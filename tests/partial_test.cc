@@ -1,0 +1,148 @@
+#include "tind/partial.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "test_util.h"
+#include "tind/validator.h"
+
+namespace tind {
+namespace {
+
+using testutil::MakeHistory;
+
+TEST(DeltaCoverageTest, FractionOfContainedValues) {
+  const TimeDomain domain(10);
+  const auto q = MakeHistory(domain, {{0, ValueSet{1, 2, 3, 4}}});
+  const auto a = MakeHistory(domain, {{0, ValueSet{1, 2}}});
+  EXPECT_DOUBLE_EQ(DeltaCoverageAt(q, a, 5, 0, domain), 0.5);
+}
+
+TEST(DeltaCoverageTest, EmptyQueryFullyCovered) {
+  const TimeDomain domain(10);
+  const auto q = MakeHistory(domain, {{5, ValueSet{1}}});
+  const auto a = MakeHistory(domain, {{0, ValueSet{9}}});
+  EXPECT_DOUBLE_EQ(DeltaCoverageAt(q, a, 0, 0, domain), 1.0);  // Pre-birth.
+}
+
+TEST(DeltaCoverageTest, DeltaWindowWidensCoverage) {
+  const TimeDomain domain(10);
+  const auto q = MakeHistory(domain, {{0, ValueSet{1, 2}}});
+  const auto a = MakeHistory(domain, {{0, ValueSet{1}}, {5, ValueSet{2}}});
+  EXPECT_DOUBLE_EQ(DeltaCoverageAt(q, a, 4, 0, domain), 0.5);
+  EXPECT_DOUBLE_EQ(DeltaCoverageAt(q, a, 4, 1, domain), 1.0);
+}
+
+TEST(PartialTindTest, CoverageOneEqualsExactTind) {
+  const TimeDomain domain(30);
+  const ConstantWeight w(30);
+  const auto q = MakeHistory(
+      domain, {{0, ValueSet{1, 2}}, {10, ValueSet{1, 9}}, {20, ValueSet{1}}});
+  const auto a = MakeHistory(domain, {{0, ValueSet{1, 2, 3}}});
+  for (const double eps : {0.0, 5.0, 30.0}) {
+    for (const int64_t delta : {0, 3}) {
+      const TindParams base{eps, delta, &w};
+      const PartialTindParams params{base, 1.0};
+      EXPECT_EQ(ValidatePartialTind(q, a, params, domain),
+                ValidateTind(q, a, base, domain))
+          << "eps=" << eps << " delta=" << delta;
+    }
+  }
+}
+
+TEST(PartialTindTest, SpellingVariantAbsorbedByCoverage) {
+  // The Section 3.3 scenario: one value of Q uses a representation A never
+  // adopts (USA vs United States). Exact tINDs fail at any ε below the full
+  // violated weight; coverage 0.75 absorbs it entirely.
+  const TimeDomain domain(100);
+  const ConstantWeight w(100);
+  // Q = {USA(5), a, b, c} always; A = {United States(9), a, b, c} always.
+  const auto q = MakeHistory(domain, {{0, ValueSet{5, 1, 2, 3}}});
+  const auto a = MakeHistory(domain, {{0, ValueSet{9, 1, 2, 3}}});
+  const TindParams base{3.0, 7, &w};
+  EXPECT_FALSE(ValidateTind(q, a, base, domain));
+  EXPECT_TRUE(ValidatePartialTind(q, a, {base, 0.75}, domain));
+  EXPECT_FALSE(ValidatePartialTind(q, a, {base, 0.80}, domain));
+}
+
+TEST(PartialTindTest, ViolationWeightMatchesThreshold) {
+  const TimeDomain domain(50);
+  const ConstantWeight w(50);
+  // Q: 2 values, one missing from A during days 20..29.
+  const auto q = MakeHistory(domain, {{0, ValueSet{1, 2}}});
+  const auto a = MakeHistory(domain, {{0, ValueSet{1, 2}},
+                                      {20, ValueSet{1}},
+                                      {30, ValueSet{1, 2}}});
+  // Coverage 1.0: 10 violated days; coverage 0.5: none.
+  EXPECT_DOUBLE_EQ(ComputePartialViolationWeight(q, a, 0, 1.0, w, domain),
+                   10.0);
+  EXPECT_DOUBLE_EQ(ComputePartialViolationWeight(q, a, 0, 0.5, w, domain),
+                   0.0);
+}
+
+TEST(PartialTindTest, CoverageMonotone) {
+  Rng rng(31);
+  const TimeDomain domain(60);
+  const ConstantWeight w(60);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto q = testutil::RandomHistory(domain, &rng, 12, 0);
+    const auto a = testutil::RandomHistory(domain, &rng, 12, 1);
+    double prev = -1;
+    for (const double coverage : {1.0, 0.8, 0.5, 0.2}) {
+      const double v =
+          ComputePartialViolationWeight(q, a, 2, coverage, w, domain);
+      if (prev >= 0) {
+        EXPECT_LE(v, prev + 1e-9) << "trial " << trial << " cov " << coverage;
+      }
+      prev = v;
+    }
+  }
+}
+
+/// Property: the interval sweep must agree with the per-timestamp oracle.
+class PartialEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int64_t, double, double>> {
+};
+
+TEST_P(PartialEquivalenceTest, SweepMatchesNaive) {
+  const auto [seed, delta, eps, coverage] = GetParam();
+  Rng rng(static_cast<uint64_t>(seed) * 511 + 3);
+  const TimeDomain domain(70);
+  const ConstantWeight w(70);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto q = testutil::RandomHistory(domain, &rng, 10, 0);
+    const auto a = testutil::RandomHistory(domain, &rng, 10, 1);
+    const PartialTindParams params{TindParams{eps, delta, &w}, coverage};
+    ASSERT_EQ(ValidatePartialTind(q, a, params, domain),
+              ValidatePartialTindNaive(q, a, params, domain))
+        << "seed=" << seed << " trial=" << trial << " delta=" << delta
+        << " eps=" << eps << " coverage=" << coverage;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PartialEquivalenceTest,
+    ::testing::Combine(::testing::Values(1, 2),
+                       ::testing::Values<int64_t>(0, 2, 7),
+                       ::testing::Values(0.0, 3.0),
+                       ::testing::Values(1.0, 0.75, 0.5)));
+
+TEST(PartialTindTest, GeneralizesExactOnRandomPairs) {
+  // Lower coverage can only accept more pairs.
+  Rng rng(77);
+  const TimeDomain domain(80);
+  const ConstantWeight w(80);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto q = testutil::RandomHistory(domain, &rng, 10, 0);
+    const auto a = testutil::RandomHistory(domain, &rng, 10, 1);
+    const TindParams base{2.0, 3, &w};
+    if (ValidateTind(q, a, base, domain)) {
+      EXPECT_TRUE(ValidatePartialTind(q, a, {base, 0.6}, domain))
+          << "trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tind

@@ -1,0 +1,115 @@
+#include "tind/required_values.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "temporal/weights.h"
+
+namespace tind {
+namespace {
+
+using testutil::MakeHistory;
+
+TEST(RequiredValuesTest, AllValuesRequiredAtEpsilonZero) {
+  const TimeDomain domain(10);
+  const ConstantWeight w(10);
+  // Value 1 present days 0-9, value 2 present days 5-9.
+  const auto h = MakeHistory(domain, {{0, ValueSet{1}}, {5, ValueSet{1, 2}}});
+  const ValueSet r = ComputeRequiredValues(h, w, 0.0);
+  EXPECT_EQ(r, (ValueSet{1, 2}));
+}
+
+TEST(RequiredValuesTest, ShortLivedValuesNotRequired) {
+  const TimeDomain domain(100);
+  const ConstantWeight w(100);
+  // Value 2 present only for days 50..52 (3 days of weight).
+  const auto h = MakeHistory(
+      domain, {{0, ValueSet{1}}, {50, ValueSet{1, 2}}, {53, ValueSet{1}}});
+  EXPECT_EQ(ComputeRequiredValues(h, w, 3.0), (ValueSet{1}));
+  EXPECT_EQ(ComputeRequiredValues(h, w, 2.9), (ValueSet{1, 2}));
+}
+
+TEST(RequiredValuesTest, ThresholdIsStrict) {
+  const TimeDomain domain(10);
+  const ConstantWeight w(10);
+  // Value 7 present exactly 3 days (5,6,7).
+  const auto h = MakeHistory(
+      domain, {{0, ValueSet{1}}, {5, ValueSet{1, 7}}, {8, ValueSet{1}}});
+  // w_v == 3 is NOT > 3, so not required at eps = 3.
+  const ValueSet r3 = ComputeRequiredValues(h, w, 3.0);
+  EXPECT_FALSE(r3.Contains(7));
+  EXPECT_TRUE(r3.Contains(1));
+}
+
+TEST(RequiredValuesTest, NonContiguousOccurrencesAccumulate) {
+  const TimeDomain domain(20);
+  const ConstantWeight w(20);
+  // Value 9: days 2-3 (2 days) and days 10-12 (3 days) -> 5 total.
+  const auto h = MakeHistory(domain, {{0, ValueSet{1}},
+                                      {2, ValueSet{1, 9}},
+                                      {4, ValueSet{1}},
+                                      {10, ValueSet{1, 9}},
+                                      {13, ValueSet{1}}});
+  EXPECT_TRUE(ComputeRequiredValues(h, w, 4.9).Contains(9));
+  EXPECT_FALSE(ComputeRequiredValues(h, w, 5.0).Contains(9));
+}
+
+TEST(RequiredValuesTest, HugeEpsilonRequiresNothing) {
+  const TimeDomain domain(10);
+  const ConstantWeight w(10);
+  const auto h = MakeHistory(domain, {{0, ValueSet{1, 2, 3}}});
+  EXPECT_TRUE(ComputeRequiredValues(h, w, 1000).empty());
+}
+
+TEST(RequiredValuesTest, DecayWeightDiscountsOldValues) {
+  const int64_t n = 1000;
+  const TimeDomain domain(n);
+  const ExponentialDecayWeight w(n, 0.99);
+  // Value 5: present days 0..99 only (ancient). Value 6: days 900..999.
+  const auto h = MakeHistory(
+      domain,
+      {{0, ValueSet{1, 5}}, {100, ValueSet{1}}, {900, ValueSet{1, 6}}});
+  const double old_weight = w.Sum(Interval{0, 99});
+  const double recent_weight = w.Sum(Interval{900, 999});
+  ASSERT_LT(old_weight, 0.01);
+  ASSERT_GT(recent_weight, 50.0);
+  const ValueSet r = ComputeRequiredValues(h, w, 1.0);
+  EXPECT_FALSE(r.Contains(5));  // Ancient presence below budget.
+  EXPECT_TRUE(r.Contains(6));
+  EXPECT_TRUE(r.Contains(1));
+}
+
+TEST(RequiredValuesTest, LateBirthShortensOccupancy) {
+  const TimeDomain domain(100);
+  const ConstantWeight w(100);
+  const auto h = MakeHistory(domain, {{98, ValueSet{4}}});
+  // Only 2 days of existence: required iff eps < 2.
+  EXPECT_TRUE(ComputeRequiredValues(h, w, 1.9).Contains(4));
+  EXPECT_FALSE(ComputeRequiredValues(h, w, 2.0).Contains(4));
+}
+
+TEST(RequiredValuesTest, RequiredValuesAreSubsetOfAllValues) {
+  Rng rng(5);
+  const TimeDomain domain(200);
+  const ConstantWeight w(200);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto h = testutil::RandomHistory(domain, &rng, 40);
+    const ValueSet r = ComputeRequiredValues(h, w, 10.0);
+    EXPECT_TRUE(r.IsSubsetOf(h.AllValues()));
+  }
+}
+
+TEST(RequiredValuesTest, MonotoneInEpsilon) {
+  Rng rng(6);
+  const TimeDomain domain(150);
+  const ConstantWeight w(150);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto h = testutil::RandomHistory(domain, &rng, 30);
+    const ValueSet r_small = ComputeRequiredValues(h, w, 2.0);
+    const ValueSet r_large = ComputeRequiredValues(h, w, 20.0);
+    EXPECT_TRUE(r_large.IsSubsetOf(r_small));
+  }
+}
+
+}  // namespace
+}  // namespace tind

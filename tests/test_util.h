@@ -1,0 +1,80 @@
+#ifndef TIND_TESTS_TEST_UTIL_H_
+#define TIND_TESTS_TEST_UTIL_H_
+
+/// Shared helpers for building tiny attribute histories and datasets in
+/// tests.
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "temporal/attribute_history.h"
+#include "temporal/dataset.h"
+
+namespace tind::testutil {
+
+/// Builds a history from (timestamp, value set) pairs.
+inline AttributeHistory MakeHistory(
+    const TimeDomain& domain,
+    const std::vector<std::pair<Timestamp, ValueSet>>& versions,
+    AttributeId id = 0) {
+  AttributeHistoryBuilder b(id, AttributeMeta{"p", "t", "c" + std::to_string(id)},
+                            domain);
+  for (const auto& [ts, values] : versions) {
+    const Status st = b.AddVersion(ts, values);
+    if (!st.ok()) std::abort();
+  }
+  auto result = b.Finish();
+  if (!result.ok()) std::abort();
+  return std::move(result).ValueOrDie();
+}
+
+/// Builds a dataset from per-attribute version lists.
+inline Dataset MakeDataset(
+    int64_t num_days,
+    const std::vector<std::vector<std::pair<Timestamp, ValueSet>>>& attrs) {
+  Dataset dataset(TimeDomain(num_days), std::make_shared<ValueDictionary>());
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    dataset.Add(MakeHistory(dataset.domain(), attrs[i],
+                            static_cast<AttributeId>(i)));
+  }
+  return dataset;
+}
+
+/// Generates a random history over values [0, value_universe).
+inline AttributeHistory RandomHistory(const TimeDomain& domain, Rng* rng,
+                                      size_t value_universe, AttributeId id = 0,
+                                      size_t max_versions = 8,
+                                      size_t max_cardinality = 6) {
+  const int64_t n = domain.num_timestamps();
+  const size_t n_versions = 1 + rng->Uniform(max_versions);
+  std::vector<Timestamp> ts;
+  for (size_t i = 0; i < n_versions; ++i) {
+    ts.push_back(static_cast<Timestamp>(rng->Uniform(n)));
+  }
+  std::sort(ts.begin(), ts.end());
+  ts.erase(std::unique(ts.begin(), ts.end()), ts.end());
+  AttributeHistoryBuilder b(id, {}, domain);
+  bool added = false;
+  for (const Timestamp t : ts) {
+    std::vector<ValueId> vals;
+    const size_t card = rng->Uniform(max_cardinality + 1);
+    for (size_t i = 0; i < card; ++i) {
+      vals.push_back(static_cast<ValueId>(rng->Uniform(value_universe)));
+    }
+    const Status st = b.AddVersion(t, ValueSet::FromUnsorted(std::move(vals)));
+    if (st.ok()) added = true;
+  }
+  if (!added || b.num_versions() == 0) {
+    // Guarantee at least one version.
+    (void)b.AddVersion(domain.last(), ValueSet{0});
+  }
+  auto result = b.Finish();
+  if (!result.ok()) std::abort();
+  return std::move(result).ValueOrDie();
+}
+
+}  // namespace tind::testutil
+
+#endif  // TIND_TESTS_TEST_UTIL_H_

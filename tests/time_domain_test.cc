@@ -1,0 +1,102 @@
+#include "temporal/time_domain.h"
+
+#include <gtest/gtest.h>
+
+namespace tind {
+namespace {
+
+TEST(IntervalTest, LengthAndContains) {
+  const Interval i{3, 7};
+  EXPECT_EQ(i.Length(), 5);
+  EXPECT_TRUE(i.Contains(3));
+  EXPECT_TRUE(i.Contains(7));
+  EXPECT_FALSE(i.Contains(2));
+  EXPECT_FALSE(i.Contains(8));
+}
+
+TEST(IntervalTest, SinglePointInterval) {
+  const Interval i{4, 4};
+  EXPECT_EQ(i.Length(), 1);
+  EXPECT_TRUE(i.Contains(4));
+}
+
+TEST(IntervalTest, Intersects) {
+  EXPECT_TRUE((Interval{0, 5}).Intersects(Interval{5, 9}));
+  EXPECT_TRUE((Interval{0, 5}).Intersects(Interval{2, 3}));
+  EXPECT_FALSE((Interval{0, 5}).Intersects(Interval{6, 9}));
+  EXPECT_TRUE((Interval{2, 3}).Intersects(Interval{0, 10}));
+}
+
+TEST(IntervalTest, Within) {
+  EXPECT_TRUE((Interval{2, 3}).Within(Interval{0, 10}));
+  EXPECT_TRUE((Interval{0, 10}).Within(Interval{0, 10}));
+  EXPECT_FALSE((Interval{0, 11}).Within(Interval{0, 10}));
+}
+
+TEST(IntervalTest, Expanded) {
+  const Interval i = Interval{5, 8}.Expanded(3);
+  EXPECT_EQ(i.begin, 2);
+  EXPECT_EQ(i.end, 11);
+  // Expansion may go negative; clamping is the domain's job.
+  EXPECT_EQ((Interval{1, 2}).Expanded(5).begin, -4);
+}
+
+TEST(IntervalTest, EqualityAndToString) {
+  EXPECT_EQ((Interval{1, 2}), (Interval{1, 2}));
+  EXPECT_FALSE((Interval{1, 2}) == (Interval{1, 3}));
+  EXPECT_EQ((Interval{1, 2}).ToString(), "[1, 2]");
+}
+
+TEST(TimeDomainTest, Bounds) {
+  const TimeDomain d(100);
+  EXPECT_EQ(d.num_timestamps(), 100);
+  EXPECT_EQ(d.first(), 0);
+  EXPECT_EQ(d.last(), 99);
+  EXPECT_TRUE(d.Contains(0));
+  EXPECT_TRUE(d.Contains(99));
+  EXPECT_FALSE(d.Contains(-1));
+  EXPECT_FALSE(d.Contains(100));
+}
+
+TEST(TimeDomainTest, ClampTimestamp) {
+  const TimeDomain d(10);
+  EXPECT_EQ(d.Clamp(Timestamp{-5}), 0);
+  EXPECT_EQ(d.Clamp(Timestamp{5}), 5);
+  EXPECT_EQ(d.Clamp(Timestamp{15}), 9);
+}
+
+TEST(TimeDomainTest, ClampInterval) {
+  const TimeDomain d(10);
+  const Interval c = d.Clamp(Interval{-3, 12});
+  EXPECT_EQ(c.begin, 0);
+  EXPECT_EQ(c.end, 9);
+}
+
+TEST(TimeDomainTest, Whole) {
+  const TimeDomain d(42);
+  EXPECT_EQ(d.Whole(), (Interval{0, 41}));
+}
+
+TEST(TimeDomainTest, DateRendering) {
+  // Epoch day 0 == 2001-01-01 (start of the paper's Wikipedia window).
+  const TimeDomain d(10000);
+  EXPECT_EQ(d.ToDateString(0), "2001-01-01");
+  EXPECT_EQ(d.ToDateString(30), "2001-01-31");
+  EXPECT_EQ(d.ToDateString(31), "2001-02-01");
+  EXPECT_EQ(d.ToDateString(365), "2002-01-01");
+  // 2004 is a leap year: Feb 29 exists.
+  // 2004-02-29 = 3 years (1096 days incl. leap 2004? check: 2001,2002,2003
+  // are 365 each = 1095 days to 2004-01-01; +31 (Jan) + 28 = 1154 -> Feb 29.
+  EXPECT_EQ(d.ToDateString(1095), "2004-01-01");
+  EXPECT_EQ(d.ToDateString(1095 + 31 + 28), "2004-02-29");
+  EXPECT_EQ(d.ToDateString(1095 + 31 + 29), "2004-03-01");
+}
+
+TEST(TimeDomainTest, SixteenYearWindowEndsLate2017) {
+  // The paper's window: early 2001 to late 2017, ~6130 days.
+  const TimeDomain d(6130);
+  EXPECT_EQ(d.ToDateString(d.last()).substr(0, 4), "2017");
+}
+
+}  // namespace
+}  // namespace tind

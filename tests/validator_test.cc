@@ -1,0 +1,213 @@
+#include "tind/validator.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace tind {
+namespace {
+
+using testutil::MakeHistory;
+
+class ValidatorTest : public ::testing::Test {
+ protected:
+  TindParams Params(double eps, int64_t delta, const WeightFunction* w) {
+    return TindParams{eps, delta, w};
+  }
+};
+
+TEST_F(ValidatorTest, PaperFigure2StrictTind) {
+  // Figure 2 (A): Q always contained in A -> strict tIND holds.
+  const TimeDomain domain(3);
+  const ConstantWeight w(3);
+  // Values: GER=0, ITA=1, POL=2, HUN=3.
+  const auto q = MakeHistory(domain, {{0, ValueSet{0}}, {2, ValueSet{0, 2}}});
+  const auto a = MakeHistory(
+      domain, {{0, ValueSet{0, 1}}, {2, ValueSet{0, 2, 3}}});
+  EXPECT_TRUE(ValidateTind(q, a, Params(0, 0, &w), domain));
+  EXPECT_TRUE(ValidateTindNaive(q, a, Params(0, 0, &w), domain));
+}
+
+TEST_F(ValidatorTest, PaperFigure2EpsilonRelaxed) {
+  // Figure 2 (B): violation at exactly one of three timestamps; valid for
+  // eps >= 1 (constant weight 1), invalid for eps = 0.
+  const TimeDomain domain(3);
+  const ConstantWeight w(3);
+  const auto q = MakeHistory(
+      domain, {{0, ValueSet{0}}, {1, ValueSet{0, 2}}, {2, ValueSet{0}}});
+  const auto a = MakeHistory(domain, {{0, ValueSet{0, 1}}});
+  EXPECT_FALSE(ValidateTind(q, a, Params(0, 0, &w), domain));
+  EXPECT_TRUE(ValidateTind(q, a, Params(1, 0, &w), domain));
+  EXPECT_DOUBLE_EQ(ComputeViolationWeight(q, a, 0, w, domain), 1.0);
+}
+
+TEST_F(ValidatorTest, PaperFigure2DeltaContainment) {
+  // Figure 2 (C): Q[2] needs POL which A held only at timestamp 1; delta=1
+  // rescues it.
+  const TimeDomain domain(3);
+  const ConstantWeight w(3);
+  const auto q = MakeHistory(domain, {{0, ValueSet{0}}, {2, ValueSet{0, 2}}});
+  const auto a = MakeHistory(
+      domain, {{0, ValueSet{0}}, {1, ValueSet{0, 2}}, {2, ValueSet{0, 3}}});
+  EXPECT_FALSE(ValidateTind(q, a, Params(0, 0, &w), domain));
+  EXPECT_TRUE(ValidateTind(q, a, Params(0, 1, &w), domain));
+  EXPECT_TRUE(ValidateTindNaive(q, a, Params(0, 1, &w), domain));
+}
+
+TEST_F(ValidatorTest, EmptyQueryAlwaysContained) {
+  const TimeDomain domain(50);
+  const ConstantWeight w(50);
+  // Q exists only from day 40 on; before that it is unobservable (empty).
+  const auto q = MakeHistory(domain, {{40, ValueSet{1}}});
+  const auto a = MakeHistory(domain, {{0, ValueSet{1, 2}}});
+  EXPECT_TRUE(ValidateTind(q, a, Params(0, 0, &w), domain));
+}
+
+TEST_F(ValidatorTest, QueryBornBeforeRhs) {
+  const TimeDomain domain(50);
+  const ConstantWeight w(50);
+  const auto q = MakeHistory(domain, {{0, ValueSet{1}}});
+  const auto a = MakeHistory(domain, {{10, ValueSet{1, 2}}});
+  // Violated days 0..9 (A unobservable), contained afterwards.
+  EXPECT_DOUBLE_EQ(ComputeViolationWeight(q, a, 0, w, domain), 10.0);
+  EXPECT_FALSE(ValidateTind(q, a, Params(9, 0, &w), domain));
+  EXPECT_TRUE(ValidateTind(q, a, Params(10, 0, &w), domain));
+  // Delta reaches forward into A's existence: with delta=3 days 7..9 are
+  // delta-contained, leaving 7 violated days.
+  EXPECT_DOUBLE_EQ(ComputeViolationWeight(q, a, 3, w, domain), 7.0);
+}
+
+TEST_F(ValidatorTest, ViolationAtBoundaryEpsilonEquality) {
+  const TimeDomain domain(10);
+  const ConstantWeight w(10);
+  // Q holds value 9 on days 4..6 (3 days); A never has it.
+  const auto q = MakeHistory(
+      domain, {{0, ValueSet{1}}, {4, ValueSet{1, 9}}, {7, ValueSet{1}}});
+  const auto a = MakeHistory(domain, {{0, ValueSet{1, 2}}});
+  EXPECT_DOUBLE_EQ(ComputeViolationWeight(q, a, 0, w, domain), 3.0);
+  // Validity allows violation == eps exactly.
+  EXPECT_TRUE(ValidateTind(q, a, Params(3.0, 0, &w), domain));
+  EXPECT_FALSE(ValidateTind(q, a, Params(2.99, 0, &w), domain));
+}
+
+TEST_F(ValidatorTest, DeltaWindowClampedAtDomainEdges) {
+  const TimeDomain domain(5);
+  const ConstantWeight w(5);
+  const auto q = MakeHistory(domain, {{0, ValueSet{7}}});
+  const auto a = MakeHistory(domain, {{4, ValueSet{7}}});
+  // Value 7 appears in A only at day 4; with delta=4 every day of Q sees it.
+  EXPECT_TRUE(ValidateTind(q, a, Params(0, 4, &w), domain));
+  EXPECT_FALSE(ValidateTind(q, a, Params(0, 3, &w), domain));
+}
+
+TEST_F(ValidatorTest, RemovalLagRescuedByDelta) {
+  // Parent removes a value at day 20, child keeps it until day 23.
+  const TimeDomain domain(40);
+  const ConstantWeight w(40);
+  const auto child = MakeHistory(
+      domain, {{0, ValueSet{1, 2}}, {23, ValueSet{1}}});
+  const auto parent = MakeHistory(
+      domain, {{0, ValueSet{1, 2, 3}}, {20, ValueSet{1, 3}}});
+  EXPECT_DOUBLE_EQ(ComputeViolationWeight(child, parent, 0, w, domain), 3.0);
+  // delta=3: for t in [20,22], parent had value 2 at t-delta <= 19.
+  EXPECT_TRUE(ValidateTind(child, parent, Params(0, 3, &w), domain));
+  EXPECT_FALSE(ValidateTind(child, parent, Params(0, 2, &w), domain));
+}
+
+TEST_F(ValidatorTest, IsDeltaContainedSpotChecks) {
+  const TimeDomain domain(10);
+  const auto q = MakeHistory(domain, {{0, ValueSet{5}}});
+  const auto a = MakeHistory(domain, {{3, ValueSet{5}}, {5, ValueSet{6}}});
+  EXPECT_FALSE(IsDeltaContained(q, a, 0, 2, domain));
+  EXPECT_TRUE(IsDeltaContained(q, a, 1, 2, domain));
+  EXPECT_TRUE(IsDeltaContained(q, a, 4, 0, domain));
+  EXPECT_TRUE(IsDeltaContained(q, a, 5, 1, domain));   // A[[4,6]] = {5,6}.
+  EXPECT_FALSE(IsDeltaContained(q, a, 7, 1, domain));  // A[[6,8]] = {6}.
+}
+
+TEST_F(ValidatorTest, IsDeltaContainedUsesWindowUnion) {
+  const TimeDomain domain(10);
+  const auto q = MakeHistory(domain, {{0, ValueSet{5, 6}}});
+  const auto a = MakeHistory(domain, {{0, ValueSet{5}}, {4, ValueSet{6}}});
+  // At t=3 with delta=1 the window [2,4] holds {5} ∪ {6}.
+  EXPECT_TRUE(IsDeltaContained(q, a, 3, 1, domain));
+  // At t=1 with delta=1 the window [0,2] holds only {5}.
+  EXPECT_FALSE(IsDeltaContained(q, a, 1, 1, domain));
+}
+
+TEST_F(ValidatorTest, WeightedViolationUsesWeightFunction) {
+  const int64_t n = 100;
+  const TimeDomain domain(n);
+  const ExponentialDecayWeight w(n, 0.9);
+  // Q violated on days 0..9 only (A born day 10).
+  const auto q = MakeHistory(domain, {{0, ValueSet{1}}});
+  const auto a = MakeHistory(domain, {{10, ValueSet{1}}});
+  const double expected = w.Sum(Interval{0, 9});
+  EXPECT_NEAR(ComputeViolationWeight(q, a, 0, w, domain), expected, 1e-9);
+  TindParams params{expected + 1e-6, 0, &w};
+  EXPECT_TRUE(ValidateTind(q, a, params, domain));
+  TindParams tight{expected * 0.5, 0, &w};
+  EXPECT_FALSE(ValidateTind(q, a, tight, domain));
+}
+
+TEST_F(ValidatorTest, SelfInclusionAlwaysValid) {
+  const TimeDomain domain(30);
+  const ConstantWeight w(30);
+  const auto q = MakeHistory(
+      domain, {{0, ValueSet{1, 2}}, {10, ValueSet{3}}, {20, ValueSet{1, 9}}});
+  EXPECT_TRUE(ValidateTind(q, q, Params(0, 0, &w), domain));
+}
+
+TEST_F(ValidatorTest, StrictTindDemandsAllTimestamps) {
+  const TimeDomain domain(100);
+  const ConstantWeight w(100);
+  // Single-day violation at day 99 (the last day).
+  const auto q = MakeHistory(domain, {{0, ValueSet{1}}, {99, ValueSet{1, 2}}});
+  const auto a = MakeHistory(domain, {{0, ValueSet{1}}});
+  EXPECT_FALSE(ValidateTind(q, a, Params(0, 0, &w), domain));
+  EXPECT_TRUE(ValidateTind(q, a, Params(1, 0, &w), domain));
+}
+
+TEST_F(ValidatorTest, NaiveAgreesOnPaperExamples) {
+  const TimeDomain domain(3);
+  const ConstantWeight w(3);
+  const auto q = MakeHistory(
+      domain, {{0, ValueSet{0}}, {1, ValueSet{0, 2}}, {2, ValueSet{0}}});
+  const auto a = MakeHistory(domain, {{0, ValueSet{0, 1}}});
+  for (const double eps : {0.0, 0.5, 1.0, 2.0}) {
+    for (const int64_t delta : {0, 1, 2}) {
+      const TindParams p{eps, delta, &w};
+      EXPECT_EQ(ValidateTind(q, a, p, domain),
+                ValidateTindNaive(q, a, p, domain))
+          << "eps=" << eps << " delta=" << delta;
+    }
+  }
+}
+
+TEST_F(ValidatorTest, RelaxedTindsAreNotTransitive) {
+  // Section 3.4: ε-relaxed tINDs are not transitive because violations need
+  // not be temporally aligned. Q ⊆_{1/3} A (violated at t2 only) and
+  // A ⊆_{1/3} B (violated at t0 only), yet Q ⊆ B is violated at both.
+  const TimeDomain domain(3);
+  const auto rel = MakeRelativeWeight(3);
+  // Values: q=0, z=1, y=2.
+  const auto q = MakeHistory(domain, {{0, ValueSet{0}}});
+  const auto a = MakeHistory(domain, {{0, ValueSet{0}}, {2, ValueSet{1}}});
+  const auto b = MakeHistory(
+      domain, {{0, ValueSet{2}}, {1, ValueSet{0, 1}}, {2, ValueSet{1}}});
+  const TindParams p{1.0 / 3, 0, rel.get()};
+  EXPECT_TRUE(ValidateTind(q, a, p, domain));
+  EXPECT_TRUE(ValidateTind(a, b, p, domain));
+  EXPECT_FALSE(ValidateTind(q, b, p, domain));
+}
+
+TEST_F(ValidatorTest, ViolationWeightZeroForValidStrict) {
+  const TimeDomain domain(20);
+  const ConstantWeight w(20);
+  const auto q = MakeHistory(domain, {{0, ValueSet{1}}});
+  const auto a = MakeHistory(domain, {{0, ValueSet{1, 2}}});
+  EXPECT_DOUBLE_EQ(ComputeViolationWeight(q, a, 0, w, domain), 0.0);
+}
+
+}  // namespace
+}  // namespace tind

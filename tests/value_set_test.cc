@@ -1,0 +1,129 @@
+#include "temporal/value_set.h"
+
+#include <gtest/gtest.h>
+
+#include "temporal/value_dictionary.h"
+
+namespace tind {
+namespace {
+
+TEST(ValueDictionaryTest, InternAssignsDenseIds) {
+  ValueDictionary dict;
+  EXPECT_EQ(dict.Intern("a"), 0u);
+  EXPECT_EQ(dict.Intern("b"), 1u);
+  EXPECT_EQ(dict.Intern("a"), 0u);
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(ValueDictionaryTest, GetStringRoundTrips) {
+  ValueDictionary dict;
+  const ValueId id = dict.Intern("Pokémon Red");
+  EXPECT_EQ(dict.GetString(id), "Pokémon Red");
+}
+
+TEST(ValueDictionaryTest, LookupWithoutIntern) {
+  ValueDictionary dict;
+  dict.Intern("x");
+  EXPECT_EQ(dict.Lookup("x"), 0u);
+  EXPECT_EQ(dict.Lookup("y"), kInvalidValueId);
+}
+
+TEST(ValueDictionaryTest, EmptyStringIsInternable) {
+  ValueDictionary dict;
+  EXPECT_EQ(dict.Intern(""), 0u);
+  EXPECT_EQ(dict.Lookup(""), 0u);
+}
+
+TEST(ValueDictionaryTest, MemoryUsageGrows) {
+  ValueDictionary dict;
+  const size_t before = dict.MemoryUsageBytes();
+  for (int i = 0; i < 100; ++i) dict.Intern("value " + std::to_string(i));
+  EXPECT_GT(dict.MemoryUsageBytes(), before);
+}
+
+TEST(ValueSetTest, FromUnsortedSortsAndDedupes) {
+  const ValueSet s = ValueSet::FromUnsorted({5, 1, 3, 1, 5});
+  EXPECT_EQ(s.values(), (std::vector<ValueId>{1, 3, 5}));
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(ValueSetTest, InitializerList) {
+  const ValueSet s{4, 2, 2};
+  EXPECT_EQ(s.values(), (std::vector<ValueId>{2, 4}));
+}
+
+TEST(ValueSetTest, EmptySet) {
+  const ValueSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(&ValueSet::Empty(), &ValueSet::Empty());
+  EXPECT_TRUE(ValueSet::Empty().empty());
+}
+
+TEST(ValueSetTest, Contains) {
+  const ValueSet s{1, 5, 9};
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_FALSE(s.Contains(4));
+}
+
+TEST(ValueSetTest, SubsetRules) {
+  const ValueSet small{1, 3};
+  const ValueSet big{1, 2, 3, 4};
+  EXPECT_TRUE(small.IsSubsetOf(big));
+  EXPECT_FALSE(big.IsSubsetOf(small));
+  EXPECT_TRUE(small.IsSubsetOf(small));
+  EXPECT_TRUE(ValueSet().IsSubsetOf(small));
+  EXPECT_TRUE(ValueSet().IsSubsetOf(ValueSet()));
+  EXPECT_FALSE(small.IsSubsetOf(ValueSet()));
+}
+
+TEST(ValueSetTest, SubsetEarlySizeReject) {
+  const ValueSet a{1, 2, 3};
+  const ValueSet b{1, 2};
+  EXPECT_FALSE(a.IsSubsetOf(b));
+}
+
+TEST(ValueSetTest, Intersects) {
+  EXPECT_TRUE((ValueSet{1, 2}).Intersects(ValueSet{2, 3}));
+  EXPECT_FALSE((ValueSet{1, 2}).Intersects(ValueSet{3, 4}));
+  EXPECT_FALSE(ValueSet().Intersects(ValueSet{1}));
+}
+
+TEST(ValueSetTest, UnionIntersectionDifference) {
+  const ValueSet a{1, 2, 3};
+  const ValueSet b{3, 4};
+  EXPECT_EQ(a.Union(b), (ValueSet{1, 2, 3, 4}));
+  EXPECT_EQ(a.Intersection(b), (ValueSet{3}));
+  EXPECT_EQ(a.Difference(b), (ValueSet{1, 2}));
+  EXPECT_EQ(b.Difference(a), (ValueSet{4}));
+}
+
+TEST(ValueSetTest, UnionOfMany) {
+  const ValueSet a{1, 2};
+  const ValueSet b{2, 3};
+  const ValueSet c{9};
+  EXPECT_EQ(ValueSet::UnionOf({&a, &b, &c}), (ValueSet{1, 2, 3, 9}));
+  EXPECT_EQ(ValueSet::UnionOf({}), ValueSet());
+}
+
+TEST(ValueSetTest, EqualityAndToString) {
+  ValueDictionary dict;
+  const ValueId usa = dict.Intern("USA");
+  const ValueId ger = dict.Intern("GER");
+  const ValueSet s{usa, ger};
+  EXPECT_EQ(s.ToString(dict), "{USA, GER}");
+  EXPECT_EQ(s, (ValueSet{ger, usa}));
+  EXPECT_NE(s, (ValueSet{usa}));
+}
+
+TEST(ValueSetTest, SetAlgebraLaws) {
+  const ValueSet a{1, 4, 6, 9};
+  const ValueSet b{2, 4, 9};
+  // A ∩ B ⊆ A ⊆ A ∪ B.
+  EXPECT_TRUE(a.Intersection(b).IsSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a.Union(b)));
+  // (A \ B) ∪ (A ∩ B) == A.
+  EXPECT_EQ(a.Difference(b).Union(a.Intersection(b)), a);
+}
+
+}  // namespace
+}  // namespace tind

@@ -1,0 +1,156 @@
+#include "temporal/weights.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+namespace tind {
+namespace {
+
+/// Reference: sum weights timestamp by timestamp.
+double NaiveSum(const WeightFunction& w, const Interval& i) {
+  double sum = 0;
+  for (Timestamp t = i.begin; t <= i.end; ++t) sum += w.At(t);
+  return sum;
+}
+
+TEST(ConstantWeightTest, UnitWeights) {
+  const ConstantWeight w(100);
+  EXPECT_DOUBLE_EQ(w.At(0), 1.0);
+  EXPECT_DOUBLE_EQ(w.At(99), 1.0);
+  EXPECT_DOUBLE_EQ(w.Sum(Interval{10, 19}), 10.0);
+  EXPECT_DOUBLE_EQ(w.Total(), 100.0);
+}
+
+TEST(ConstantWeightTest, ScaledWeights) {
+  const ConstantWeight w(10, 0.5);
+  EXPECT_DOUBLE_EQ(w.Sum(Interval{0, 9}), 5.0);
+}
+
+TEST(ConstantWeightTest, RelativeWeightSumsToOne) {
+  const auto w = MakeRelativeWeight(250);
+  EXPECT_NEAR(w->Total(), 1.0, 1e-12);
+  EXPECT_NEAR(w->At(0), 1.0 / 250, 1e-15);
+}
+
+TEST(ConstantWeightTest, ToString) {
+  EXPECT_EQ(ConstantWeight(10, 1.0).ToString(), "constant(c=1)");
+}
+
+TEST(ExponentialDecayWeightTest, MostRecentHasWeightOne) {
+  const ExponentialDecayWeight w(100, 0.9);
+  EXPECT_NEAR(w.At(99), 1.0, 1e-12);
+  EXPECT_NEAR(w.At(98), 0.9, 1e-12);
+  EXPECT_NEAR(w.At(0), std::pow(0.9, 99), 1e-12);
+}
+
+TEST(ExponentialDecayWeightTest, ClosedFormMatchesNaive) {
+  const ExponentialDecayWeight w(200, 0.97);
+  for (const auto& i :
+       {Interval{0, 199}, Interval{0, 0}, Interval{199, 199}, Interval{50, 120},
+        Interval{0, 1}, Interval{198, 199}}) {
+    EXPECT_NEAR(w.Sum(i), NaiveSum(w, i), 1e-9) << i.ToString();
+  }
+}
+
+TEST(ExponentialDecayWeightTest, TotalIsGeometricSeries) {
+  const ExponentialDecayWeight w(50, 0.5);
+  // Σ_{k=0}^{49} 0.5^k = 2 - 2^-49.
+  EXPECT_NEAR(w.Total(), 2.0, 1e-9);
+}
+
+TEST(ExponentialDecayWeightTest, DecayMakesPastCheap) {
+  const ExponentialDecayWeight w(1000, 0.99);
+  // A 10-day violation long ago weighs much less than a recent one.
+  const double past = w.Sum(Interval{0, 9});
+  const double recent = w.Sum(Interval{990, 999});
+  EXPECT_LT(past, recent * 0.01);
+}
+
+TEST(LinearDecayWeightTest, WeightsGrowTowardPresent) {
+  const LinearDecayWeight w(10);
+  EXPECT_NEAR(w.At(0), 0.1, 1e-12);
+  EXPECT_NEAR(w.At(9), 1.0, 1e-12);
+  EXPECT_LT(w.At(3), w.At(7));
+}
+
+TEST(LinearDecayWeightTest, ClosedFormMatchesNaive) {
+  const LinearDecayWeight w(77);
+  for (const auto& i :
+       {Interval{0, 76}, Interval{0, 0}, Interval{76, 76}, Interval{10, 30}}) {
+    EXPECT_NEAR(w.Sum(i), NaiveSum(w, i), 1e-9) << i.ToString();
+  }
+}
+
+TEST(PiecewiseConstantWeightTest, SegmentsApply) {
+  // Ignore the first 10 days entirely, weight 1 afterwards — the "known
+  // data quality period" use-case of Section 3.3.
+  const PiecewiseConstantWeight w({{Interval{0, 9}, 0.0},
+                                   {Interval{10, 19}, 1.0},
+                                   {Interval{20, 29}, 2.0}});
+  EXPECT_DOUBLE_EQ(w.At(5), 0.0);
+  EXPECT_DOUBLE_EQ(w.At(10), 1.0);
+  EXPECT_DOUBLE_EQ(w.At(19), 1.0);
+  EXPECT_DOUBLE_EQ(w.At(25), 2.0);
+}
+
+TEST(PiecewiseConstantWeightTest, SumsAcrossSegments) {
+  const PiecewiseConstantWeight w({{Interval{0, 9}, 0.0},
+                                   {Interval{10, 19}, 1.0},
+                                   {Interval{20, 29}, 2.0}});
+  EXPECT_DOUBLE_EQ(w.Sum(Interval{0, 29}), 30.0);
+  EXPECT_DOUBLE_EQ(w.Sum(Interval{5, 14}), 5.0);
+  EXPECT_DOUBLE_EQ(w.Sum(Interval{15, 24}), 15.0);
+  EXPECT_DOUBLE_EQ(w.Total(), 30.0);
+}
+
+TEST(PiecewiseConstantWeightTest, MatchesNaive) {
+  const PiecewiseConstantWeight w({{Interval{0, 3}, 0.5},
+                                   {Interval{4, 4}, 3.0},
+                                   {Interval{5, 19}, 0.25}});
+  for (Timestamp b = 0; b < 20; ++b) {
+    for (Timestamp e = b; e < 20; ++e) {
+      EXPECT_NEAR(w.Sum(Interval{b, e}), NaiveSum(w, Interval{b, e}), 1e-12);
+    }
+  }
+}
+
+/// Parameterized consistency sweep: every built-in weight function must
+/// satisfy Sum == Σ At over arbitrary intervals.
+class WeightConsistencyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(WeightConsistencyTest, SumMatchesNaive) {
+  const auto [which, begin, len] = GetParam();
+  const int64_t n = 120;
+  std::unique_ptr<WeightFunction> w;
+  switch (which) {
+    case 0:
+      w = std::make_unique<ConstantWeight>(n);
+      break;
+    case 1:
+      w = std::make_unique<ExponentialDecayWeight>(n, 0.95);
+      break;
+    case 2:
+      w = std::make_unique<LinearDecayWeight>(n);
+      break;
+    case 3:
+      w = MakeRelativeWeight(n);
+      break;
+    default:
+      w = std::make_unique<ExponentialDecayWeight>(n, 0.999);
+  }
+  const Interval i{begin, std::min<Timestamp>(begin + len, n - 1)};
+  EXPECT_NEAR(w->Sum(i), NaiveSum(*w, i), 1e-9)
+      << w->ToString() << " over " << i.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWeights, WeightConsistencyTest,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),
+                       ::testing::Values(0, 1, 37, 119),
+                       ::testing::Values(0, 1, 13, 80)));
+
+}  // namespace
+}  // namespace tind

@@ -1,0 +1,118 @@
+#include "wiki/wikitext.h"
+
+#include <gtest/gtest.h>
+
+namespace tind::wiki {
+namespace {
+
+TEST(TrimTest, TrimsWhitespace) {
+  EXPECT_EQ(Trim("  a b  "), "a b");
+  EXPECT_EQ(Trim("\t x \n"), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("abc"), "abc");
+}
+
+TEST(ResolveLinksTest, SimpleLink) {
+  EXPECT_EQ(ResolveLinks("[[Pokémon Red]]"), "Pokémon Red");
+}
+
+TEST(ResolveLinksTest, LinkWithLabelResolvesToTitle) {
+  EXPECT_EQ(ResolveLinks("[[Pokémon Red|Red]]"), "Pokémon Red");
+  EXPECT_EQ(ResolveLinks("[[United States|USA]]"), "United States");
+}
+
+TEST(ResolveLinksTest, TextAroundLinksPreserved) {
+  EXPECT_EQ(ResolveLinks("see [[A|a]] and [[B]]!"), "see A and B!");
+}
+
+TEST(ResolveLinksTest, PlainTextUntouched) {
+  EXPECT_EQ(ResolveLinks("no links here"), "no links here");
+}
+
+TEST(ResolveLinksTest, MalformedMarkupKept) {
+  EXPECT_EQ(ResolveLinks("[[unclosed"), "[[unclosed");
+  EXPECT_EQ(ResolveLinks("a [[x"), "a [[x");
+}
+
+TEST(ResolveLinksTest, TitleWhitespaceTrimmed) {
+  EXPECT_EQ(ResolveLinks("[[ Page Title |label]]"), "Page Title");
+}
+
+TEST(ResolveLinksTest, EmptyInput) {
+  EXPECT_EQ(ResolveLinks(""), "");
+}
+
+TEST(IsNullValueTest, CommonSpellings) {
+  EXPECT_TRUE(IsNullValue(""));
+  EXPECT_TRUE(IsNullValue("   "));
+  EXPECT_TRUE(IsNullValue("-"));
+  EXPECT_TRUE(IsNullValue("--"));
+  EXPECT_TRUE(IsNullValue("?"));
+  EXPECT_TRUE(IsNullValue("n/a"));
+  EXPECT_TRUE(IsNullValue("N/A"));
+  EXPECT_TRUE(IsNullValue("NA"));
+  EXPECT_TRUE(IsNullValue("None"));
+  EXPECT_TRUE(IsNullValue("null"));
+  EXPECT_TRUE(IsNullValue("TBA"));
+  EXPECT_TRUE(IsNullValue("tbd"));
+  EXPECT_TRUE(IsNullValue("Unknown"));
+  EXPECT_TRUE(IsNullValue("\xE2\x80\x93"));  // en dash
+  EXPECT_TRUE(IsNullValue("\xE2\x80\x94"));  // em dash
+}
+
+TEST(IsNullValueTest, RealValuesNotNull) {
+  EXPECT_FALSE(IsNullValue("USA"));
+  EXPECT_FALSE(IsNullValue("0"));
+  EXPECT_FALSE(IsNullValue("none at all"));
+  EXPECT_FALSE(IsNullValue("Nandor"));
+}
+
+TEST(IsNumericValueTest, Integers) {
+  EXPECT_TRUE(IsNumericValue("42"));
+  EXPECT_TRUE(IsNumericValue("-7"));
+  EXPECT_TRUE(IsNumericValue("+13"));
+  EXPECT_TRUE(IsNumericValue(" 1996 "));
+}
+
+TEST(IsNumericValueTest, DecimalsAndSeparators) {
+  EXPECT_TRUE(IsNumericValue("3.14"));
+  EXPECT_TRUE(IsNumericValue("1,234,567"));
+  EXPECT_TRUE(IsNumericValue("1,234.56"));
+}
+
+TEST(IsNumericValueTest, CurrencyAndPercent) {
+  EXPECT_TRUE(IsNumericValue("$100"));
+  EXPECT_TRUE(IsNumericValue("50%"));
+  EXPECT_TRUE(IsNumericValue("\xE2\x82\xAC" "99"));  // €99
+  EXPECT_TRUE(IsNumericValue("\xC2\xA3" "10"));      // £10
+}
+
+TEST(IsNumericValueTest, NonNumbers) {
+  EXPECT_FALSE(IsNumericValue("abc"));
+  EXPECT_FALSE(IsNumericValue("12a"));
+  EXPECT_FALSE(IsNumericValue(""));
+  EXPECT_FALSE(IsNumericValue("-"));
+  EXPECT_FALSE(IsNumericValue("1.2.3"));
+  EXPECT_FALSE(IsNumericValue(",123"));
+  EXPECT_FALSE(IsNumericValue("$"));
+  EXPECT_FALSE(IsNumericValue("Pokémon 2"));
+}
+
+TEST(NormalizeCellTest, FullPipeline) {
+  EXPECT_EQ(NormalizeCell("  [[United States|USA]] "), "United States");
+  EXPECT_EQ(NormalizeCell("plain"), "plain");
+  EXPECT_EQ(NormalizeCell(" - "), "");
+  EXPECT_EQ(NormalizeCell("n/a"), "");
+  EXPECT_EQ(NormalizeCell("[[X|n/a-looking label]]"), "X");
+}
+
+TEST(MakeLinkTest, RoundTripsThroughResolve) {
+  EXPECT_EQ(MakeLink("Page"), "[[Page]]");
+  EXPECT_EQ(MakeLink("Page", "label"), "[[Page|label]]");
+  EXPECT_EQ(MakeLink("Page", "Page"), "[[Page]]");  // Same label collapses.
+  EXPECT_EQ(ResolveLinks(MakeLink("A B", "x")), "A B");
+}
+
+}  // namespace
+}  // namespace tind::wiki
