@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_allpairs.dir/bench_allpairs.cc.o"
+  "CMakeFiles/bench_allpairs.dir/bench_allpairs.cc.o.d"
+  "CMakeFiles/bench_allpairs.dir/bench_util.cc.o"
+  "CMakeFiles/bench_allpairs.dir/bench_util.cc.o.d"
+  "bench_allpairs"
+  "bench_allpairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_allpairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bloom_micro.dir/bench_bloom_micro.cc.o"
+  "CMakeFiles/bench_bloom_micro.dir/bench_bloom_micro.cc.o.d"
+  "CMakeFiles/bench_bloom_micro.dir/bench_util.cc.o"
+  "CMakeFiles/bench_bloom_micro.dir/bench_util.cc.o.d"
+  "bench_bloom_micro"
+  "bench_bloom_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bloom_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

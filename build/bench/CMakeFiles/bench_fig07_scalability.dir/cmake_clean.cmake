@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_scalability.dir/bench_fig07_scalability.cc.o"
+  "CMakeFiles/bench_fig07_scalability.dir/bench_fig07_scalability.cc.o.d"
+  "CMakeFiles/bench_fig07_scalability.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig07_scalability.dir/bench_util.cc.o.d"
+  "bench_fig07_scalability"
+  "bench_fig07_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

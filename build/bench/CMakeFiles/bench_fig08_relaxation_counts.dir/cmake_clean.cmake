@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_relaxation_counts.dir/bench_fig08_relaxation_counts.cc.o"
+  "CMakeFiles/bench_fig08_relaxation_counts.dir/bench_fig08_relaxation_counts.cc.o.d"
+  "CMakeFiles/bench_fig08_relaxation_counts.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig08_relaxation_counts.dir/bench_util.cc.o.d"
+  "bench_fig08_relaxation_counts"
+  "bench_fig08_relaxation_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_relaxation_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

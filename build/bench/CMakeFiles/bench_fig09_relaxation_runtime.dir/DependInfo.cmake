@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig09_relaxation_runtime.cc" "bench/CMakeFiles/bench_fig09_relaxation_runtime.dir/bench_fig09_relaxation_runtime.cc.o" "gcc" "bench/CMakeFiles/bench_fig09_relaxation_runtime.dir/bench_fig09_relaxation_runtime.cc.o.d"
+  "/root/repo/bench/bench_util.cc" "bench/CMakeFiles/bench_fig09_relaxation_runtime.dir/bench_util.cc.o" "gcc" "bench/CMakeFiles/bench_fig09_relaxation_runtime.dir/bench_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/tind_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/wiki/CMakeFiles/tind_wiki.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/tind_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/tind/CMakeFiles/tind_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bloom/CMakeFiles/tind_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/temporal/CMakeFiles/tind_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tind_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_relaxation_runtime.dir/bench_fig09_relaxation_runtime.cc.o"
+  "CMakeFiles/bench_fig09_relaxation_runtime.dir/bench_fig09_relaxation_runtime.cc.o.d"
+  "CMakeFiles/bench_fig09_relaxation_runtime.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig09_relaxation_runtime.dir/bench_util.cc.o.d"
+  "bench_fig09_relaxation_runtime"
+  "bench_fig09_relaxation_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_relaxation_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

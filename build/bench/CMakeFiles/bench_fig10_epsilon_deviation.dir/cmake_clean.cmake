@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_epsilon_deviation.dir/bench_fig10_epsilon_deviation.cc.o"
+  "CMakeFiles/bench_fig10_epsilon_deviation.dir/bench_fig10_epsilon_deviation.cc.o.d"
+  "CMakeFiles/bench_fig10_epsilon_deviation.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig10_epsilon_deviation.dir/bench_util.cc.o.d"
+  "bench_fig10_epsilon_deviation"
+  "bench_fig10_epsilon_deviation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_epsilon_deviation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

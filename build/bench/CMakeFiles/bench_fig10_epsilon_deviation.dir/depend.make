@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig10_epsilon_deviation.
+# This may be replaced when dependencies are built.

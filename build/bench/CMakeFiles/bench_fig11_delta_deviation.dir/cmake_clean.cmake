@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_delta_deviation.dir/bench_fig11_delta_deviation.cc.o"
+  "CMakeFiles/bench_fig11_delta_deviation.dir/bench_fig11_delta_deviation.cc.o.d"
+  "CMakeFiles/bench_fig11_delta_deviation.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig11_delta_deviation.dir/bench_util.cc.o.d"
+  "bench_fig11_delta_deviation"
+  "bench_fig11_delta_deviation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_delta_deviation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

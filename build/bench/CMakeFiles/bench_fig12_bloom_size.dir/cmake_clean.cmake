@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_bloom_size.dir/bench_fig12_bloom_size.cc.o"
+  "CMakeFiles/bench_fig12_bloom_size.dir/bench_fig12_bloom_size.cc.o.d"
+  "CMakeFiles/bench_fig12_bloom_size.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig12_bloom_size.dir/bench_util.cc.o.d"
+  "bench_fig12_bloom_size"
+  "bench_fig12_bloom_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_bloom_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_time_slices_search.dir/bench_fig13_time_slices_search.cc.o"
+  "CMakeFiles/bench_fig13_time_slices_search.dir/bench_fig13_time_slices_search.cc.o.d"
+  "CMakeFiles/bench_fig13_time_slices_search.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig13_time_slices_search.dir/bench_util.cc.o.d"
+  "bench_fig13_time_slices_search"
+  "bench_fig13_time_slices_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_time_slices_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

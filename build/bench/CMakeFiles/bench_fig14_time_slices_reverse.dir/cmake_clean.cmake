@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_time_slices_reverse.dir/bench_fig14_time_slices_reverse.cc.o"
+  "CMakeFiles/bench_fig14_time_slices_reverse.dir/bench_fig14_time_slices_reverse.cc.o.d"
+  "CMakeFiles/bench_fig14_time_slices_reverse.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig14_time_slices_reverse.dir/bench_util.cc.o.d"
+  "bench_fig14_time_slices_reverse"
+  "bench_fig14_time_slices_reverse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_time_slices_reverse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

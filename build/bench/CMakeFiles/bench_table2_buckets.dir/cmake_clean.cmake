@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_buckets.dir/bench_table2_buckets.cc.o"
+  "CMakeFiles/bench_table2_buckets.dir/bench_table2_buckets.cc.o.d"
+  "CMakeFiles/bench_table2_buckets.dir/bench_util.cc.o"
+  "CMakeFiles/bench_table2_buckets.dir/bench_util.cc.o.d"
+  "bench_table2_buckets"
+  "bench_table2_buckets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_buckets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_validation_micro.dir/bench_util.cc.o"
+  "CMakeFiles/bench_validation_micro.dir/bench_util.cc.o.d"
+  "CMakeFiles/bench_validation_micro.dir/bench_validation_micro.cc.o"
+  "CMakeFiles/bench_validation_micro.dir/bench_validation_micro.cc.o.d"
+  "bench_validation_micro"
+  "bench_validation_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_validation_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

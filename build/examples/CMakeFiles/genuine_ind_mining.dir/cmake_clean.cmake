@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genuine_ind_mining.dir/genuine_ind_mining.cpp.o"
+  "CMakeFiles/genuine_ind_mining.dir/genuine_ind_mining.cpp.o.d"
+  "genuine_ind_mining"
+  "genuine_ind_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genuine_ind_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for genuine_ind_mining.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reverse_search.dir/reverse_search.cpp.o"
+  "CMakeFiles/reverse_search.dir/reverse_search.cpp.o.d"
+  "reverse_search"
+  "reverse_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reverse_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiki_exploration.dir/wiki_exploration.cpp.o"
+  "CMakeFiles/wiki_exploration.dir/wiki_exploration.cpp.o.d"
+  "wiki_exploration"
+  "wiki_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiki_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/k_many.cc" "src/baseline/CMakeFiles/tind_baseline.dir/k_many.cc.o" "gcc" "src/baseline/CMakeFiles/tind_baseline.dir/k_many.cc.o.d"
+  "/root/repo/src/baseline/static_ind.cc" "src/baseline/CMakeFiles/tind_baseline.dir/static_ind.cc.o" "gcc" "src/baseline/CMakeFiles/tind_baseline.dir/static_ind.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tind/CMakeFiles/tind_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bloom/CMakeFiles/tind_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/temporal/CMakeFiles/tind_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tind_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tind_baseline.dir/k_many.cc.o"
+  "CMakeFiles/tind_baseline.dir/k_many.cc.o.d"
+  "CMakeFiles/tind_baseline.dir/static_ind.cc.o"
+  "CMakeFiles/tind_baseline.dir/static_ind.cc.o.d"
+  "libtind_baseline.a"
+  "libtind_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tind_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tind_bloom.dir/bloom_filter.cc.o"
+  "CMakeFiles/tind_bloom.dir/bloom_filter.cc.o.d"
+  "CMakeFiles/tind_bloom.dir/bloom_matrix.cc.o"
+  "CMakeFiles/tind_bloom.dir/bloom_matrix.cc.o.d"
+  "libtind_bloom.a"
+  "libtind_bloom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tind_bloom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tind_common.dir/bitvector.cc.o"
+  "CMakeFiles/tind_common.dir/bitvector.cc.o.d"
+  "CMakeFiles/tind_common.dir/flags.cc.o"
+  "CMakeFiles/tind_common.dir/flags.cc.o.d"
+  "CMakeFiles/tind_common.dir/status.cc.o"
+  "CMakeFiles/tind_common.dir/status.cc.o.d"
+  "CMakeFiles/tind_common.dir/table_printer.cc.o"
+  "CMakeFiles/tind_common.dir/table_printer.cc.o.d"
+  "CMakeFiles/tind_common.dir/thread_pool.cc.o"
+  "CMakeFiles/tind_common.dir/thread_pool.cc.o.d"
+  "libtind_common.a"
+  "libtind_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tind_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/buckets.cc" "src/eval/CMakeFiles/tind_eval.dir/buckets.cc.o" "gcc" "src/eval/CMakeFiles/tind_eval.dir/buckets.cc.o.d"
+  "/root/repo/src/eval/grid_search.cc" "src/eval/CMakeFiles/tind_eval.dir/grid_search.cc.o" "gcc" "src/eval/CMakeFiles/tind_eval.dir/grid_search.cc.o.d"
+  "/root/repo/src/eval/precision_recall.cc" "src/eval/CMakeFiles/tind_eval.dir/precision_recall.cc.o" "gcc" "src/eval/CMakeFiles/tind_eval.dir/precision_recall.cc.o.d"
+  "/root/repo/src/eval/runtime_stats.cc" "src/eval/CMakeFiles/tind_eval.dir/runtime_stats.cc.o" "gcc" "src/eval/CMakeFiles/tind_eval.dir/runtime_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tind/CMakeFiles/tind_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/tind_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/wiki/CMakeFiles/tind_wiki.dir/DependInfo.cmake"
+  "/root/repo/build/src/bloom/CMakeFiles/tind_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/temporal/CMakeFiles/tind_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tind_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tind_eval.dir/buckets.cc.o"
+  "CMakeFiles/tind_eval.dir/buckets.cc.o.d"
+  "CMakeFiles/tind_eval.dir/grid_search.cc.o"
+  "CMakeFiles/tind_eval.dir/grid_search.cc.o.d"
+  "CMakeFiles/tind_eval.dir/precision_recall.cc.o"
+  "CMakeFiles/tind_eval.dir/precision_recall.cc.o.d"
+  "CMakeFiles/tind_eval.dir/runtime_stats.cc.o"
+  "CMakeFiles/tind_eval.dir/runtime_stats.cc.o.d"
+  "libtind_eval.a"
+  "libtind_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tind_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

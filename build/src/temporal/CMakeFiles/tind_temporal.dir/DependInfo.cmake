@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/temporal/attribute_history.cc" "src/temporal/CMakeFiles/tind_temporal.dir/attribute_history.cc.o" "gcc" "src/temporal/CMakeFiles/tind_temporal.dir/attribute_history.cc.o.d"
+  "/root/repo/src/temporal/dataset.cc" "src/temporal/CMakeFiles/tind_temporal.dir/dataset.cc.o" "gcc" "src/temporal/CMakeFiles/tind_temporal.dir/dataset.cc.o.d"
+  "/root/repo/src/temporal/time_domain.cc" "src/temporal/CMakeFiles/tind_temporal.dir/time_domain.cc.o" "gcc" "src/temporal/CMakeFiles/tind_temporal.dir/time_domain.cc.o.d"
+  "/root/repo/src/temporal/value_dictionary.cc" "src/temporal/CMakeFiles/tind_temporal.dir/value_dictionary.cc.o" "gcc" "src/temporal/CMakeFiles/tind_temporal.dir/value_dictionary.cc.o.d"
+  "/root/repo/src/temporal/value_set.cc" "src/temporal/CMakeFiles/tind_temporal.dir/value_set.cc.o" "gcc" "src/temporal/CMakeFiles/tind_temporal.dir/value_set.cc.o.d"
+  "/root/repo/src/temporal/weights.cc" "src/temporal/CMakeFiles/tind_temporal.dir/weights.cc.o" "gcc" "src/temporal/CMakeFiles/tind_temporal.dir/weights.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tind_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tind_temporal.dir/attribute_history.cc.o"
+  "CMakeFiles/tind_temporal.dir/attribute_history.cc.o.d"
+  "CMakeFiles/tind_temporal.dir/dataset.cc.o"
+  "CMakeFiles/tind_temporal.dir/dataset.cc.o.d"
+  "CMakeFiles/tind_temporal.dir/time_domain.cc.o"
+  "CMakeFiles/tind_temporal.dir/time_domain.cc.o.d"
+  "CMakeFiles/tind_temporal.dir/value_dictionary.cc.o"
+  "CMakeFiles/tind_temporal.dir/value_dictionary.cc.o.d"
+  "CMakeFiles/tind_temporal.dir/value_set.cc.o"
+  "CMakeFiles/tind_temporal.dir/value_set.cc.o.d"
+  "CMakeFiles/tind_temporal.dir/weights.cc.o"
+  "CMakeFiles/tind_temporal.dir/weights.cc.o.d"
+  "libtind_temporal.a"
+  "libtind_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tind_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tind/discovery.cc" "src/tind/CMakeFiles/tind_core.dir/discovery.cc.o" "gcc" "src/tind/CMakeFiles/tind_core.dir/discovery.cc.o.d"
+  "/root/repo/src/tind/index.cc" "src/tind/CMakeFiles/tind_core.dir/index.cc.o" "gcc" "src/tind/CMakeFiles/tind_core.dir/index.cc.o.d"
+  "/root/repo/src/tind/interval_selection.cc" "src/tind/CMakeFiles/tind_core.dir/interval_selection.cc.o" "gcc" "src/tind/CMakeFiles/tind_core.dir/interval_selection.cc.o.d"
+  "/root/repo/src/tind/partial.cc" "src/tind/CMakeFiles/tind_core.dir/partial.cc.o" "gcc" "src/tind/CMakeFiles/tind_core.dir/partial.cc.o.d"
+  "/root/repo/src/tind/required_values.cc" "src/tind/CMakeFiles/tind_core.dir/required_values.cc.o" "gcc" "src/tind/CMakeFiles/tind_core.dir/required_values.cc.o.d"
+  "/root/repo/src/tind/validator.cc" "src/tind/CMakeFiles/tind_core.dir/validator.cc.o" "gcc" "src/tind/CMakeFiles/tind_core.dir/validator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tind_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/temporal/CMakeFiles/tind_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/bloom/CMakeFiles/tind_bloom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

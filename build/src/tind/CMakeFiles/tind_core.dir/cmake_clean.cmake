@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tind_core.dir/discovery.cc.o"
+  "CMakeFiles/tind_core.dir/discovery.cc.o.d"
+  "CMakeFiles/tind_core.dir/index.cc.o"
+  "CMakeFiles/tind_core.dir/index.cc.o.d"
+  "CMakeFiles/tind_core.dir/interval_selection.cc.o"
+  "CMakeFiles/tind_core.dir/interval_selection.cc.o.d"
+  "CMakeFiles/tind_core.dir/partial.cc.o"
+  "CMakeFiles/tind_core.dir/partial.cc.o.d"
+  "CMakeFiles/tind_core.dir/required_values.cc.o"
+  "CMakeFiles/tind_core.dir/required_values.cc.o.d"
+  "CMakeFiles/tind_core.dir/validator.cc.o"
+  "CMakeFiles/tind_core.dir/validator.cc.o.d"
+  "libtind_core.a"
+  "libtind_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tind_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

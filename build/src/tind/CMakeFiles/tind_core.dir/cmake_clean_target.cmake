@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtind_core.a"
+)

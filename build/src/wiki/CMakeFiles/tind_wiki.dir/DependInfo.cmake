@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wiki/attribute_matching.cc" "src/wiki/CMakeFiles/tind_wiki.dir/attribute_matching.cc.o" "gcc" "src/wiki/CMakeFiles/tind_wiki.dir/attribute_matching.cc.o.d"
+  "/root/repo/src/wiki/corpus_io.cc" "src/wiki/CMakeFiles/tind_wiki.dir/corpus_io.cc.o" "gcc" "src/wiki/CMakeFiles/tind_wiki.dir/corpus_io.cc.o.d"
+  "/root/repo/src/wiki/generator.cc" "src/wiki/CMakeFiles/tind_wiki.dir/generator.cc.o" "gcc" "src/wiki/CMakeFiles/tind_wiki.dir/generator.cc.o.d"
+  "/root/repo/src/wiki/preprocess.cc" "src/wiki/CMakeFiles/tind_wiki.dir/preprocess.cc.o" "gcc" "src/wiki/CMakeFiles/tind_wiki.dir/preprocess.cc.o.d"
+  "/root/repo/src/wiki/raw_table.cc" "src/wiki/CMakeFiles/tind_wiki.dir/raw_table.cc.o" "gcc" "src/wiki/CMakeFiles/tind_wiki.dir/raw_table.cc.o.d"
+  "/root/repo/src/wiki/wikitext.cc" "src/wiki/CMakeFiles/tind_wiki.dir/wikitext.cc.o" "gcc" "src/wiki/CMakeFiles/tind_wiki.dir/wikitext.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tind/CMakeFiles/tind_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bloom/CMakeFiles/tind_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/temporal/CMakeFiles/tind_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tind_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tind_wiki.dir/attribute_matching.cc.o"
+  "CMakeFiles/tind_wiki.dir/attribute_matching.cc.o.d"
+  "CMakeFiles/tind_wiki.dir/corpus_io.cc.o"
+  "CMakeFiles/tind_wiki.dir/corpus_io.cc.o.d"
+  "CMakeFiles/tind_wiki.dir/generator.cc.o"
+  "CMakeFiles/tind_wiki.dir/generator.cc.o.d"
+  "CMakeFiles/tind_wiki.dir/preprocess.cc.o"
+  "CMakeFiles/tind_wiki.dir/preprocess.cc.o.d"
+  "CMakeFiles/tind_wiki.dir/raw_table.cc.o"
+  "CMakeFiles/tind_wiki.dir/raw_table.cc.o.d"
+  "CMakeFiles/tind_wiki.dir/wikitext.cc.o"
+  "CMakeFiles/tind_wiki.dir/wikitext.cc.o.d"
+  "libtind_wiki.a"
+  "libtind_wiki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tind_wiki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attribute_history_test.dir/attribute_history_test.cc.o"
+  "CMakeFiles/attribute_history_test.dir/attribute_history_test.cc.o.d"
+  "attribute_history_test"
+  "attribute_history_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attribute_history_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attribute_matching_test.dir/attribute_matching_test.cc.o"
+  "CMakeFiles/attribute_matching_test.dir/attribute_matching_test.cc.o.d"
+  "attribute_matching_test"
+  "attribute_matching_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attribute_matching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flags_table_test.dir/flags_table_test.cc.o"
+  "CMakeFiles/flags_table_test.dir/flags_table_test.cc.o.d"
+  "flags_table_test"
+  "flags_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flags_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hash_rng_test.dir/hash_rng_test.cc.o"
+  "CMakeFiles/hash_rng_test.dir/hash_rng_test.cc.o.d"
+  "hash_rng_test"
+  "hash_rng_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hash_rng_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

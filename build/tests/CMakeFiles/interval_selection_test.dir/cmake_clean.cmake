@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interval_selection_test.dir/interval_selection_test.cc.o"
+  "CMakeFiles/interval_selection_test.dir/interval_selection_test.cc.o.d"
+  "interval_selection_test"
+  "interval_selection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interval_selection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

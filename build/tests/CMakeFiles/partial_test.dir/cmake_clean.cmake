@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_test.dir/partial_test.cc.o"
+  "CMakeFiles/partial_test.dir/partial_test.cc.o.d"
+  "partial_test"
+  "partial_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

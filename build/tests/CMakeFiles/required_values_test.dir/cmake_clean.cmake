@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/required_values_test.dir/required_values_test.cc.o"
+  "CMakeFiles/required_values_test.dir/required_values_test.cc.o.d"
+  "required_values_test"
+  "required_values_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/required_values_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_domain_test.dir/time_domain_test.cc.o"
+  "CMakeFiles/time_domain_test.dir/time_domain_test.cc.o.d"
+  "time_domain_test"
+  "time_domain_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_domain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

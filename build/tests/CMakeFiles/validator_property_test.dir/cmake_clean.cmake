@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validator_property_test.dir/validator_property_test.cc.o"
+  "CMakeFiles/validator_property_test.dir/validator_property_test.cc.o.d"
+  "validator_property_test"
+  "validator_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validator_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

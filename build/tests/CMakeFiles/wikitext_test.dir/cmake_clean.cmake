@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wikitext_test.dir/wikitext_test.cc.o"
+  "CMakeFiles/wikitext_test.dir/wikitext_test.cc.o.d"
+  "wikitext_test"
+  "wikitext_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wikitext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
