@@ -68,5 +68,5 @@ int Run(const Flags& flags) {
 }  // namespace tind
 
 int main(int argc, char** argv) {
-  return tind::Run(tind::Flags::Parse(argc, argv));
+  return tind::bench::RunHarness(argc, argv, tind::Run);
 }

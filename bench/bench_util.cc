@@ -6,8 +6,55 @@
 
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
 
 namespace tind::bench {
+
+void InitMetrics(const Flags& flags) {
+  if (flags.Has("metrics_json") || flags.Has("metrics_csv") ||
+      flags.GetBool("metrics", false)) {
+    obs::MetricsRegistry::Global().set_enabled(true);
+  }
+}
+
+void FinishMetrics(const Flags& flags) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  if (!registry.enabled()) return;
+  const std::string json_path = flags.GetString("metrics_json", "");
+  if (!json_path.empty()) {
+    if (registry.WriteJsonFile(json_path)) {
+      std::printf("metrics written to %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write metrics to %s\n",
+                   json_path.c_str());
+    }
+  }
+  const std::string csv_path = flags.GetString("metrics_csv", "");
+  if (!csv_path.empty()) {
+    std::FILE* f = std::fopen(csv_path.c_str(), "w");
+    if (f != nullptr) {
+      const std::string csv = registry.ToCsv();
+      std::fwrite(csv.data(), 1, csv.size(), f);
+      std::fclose(f);
+      std::printf("metrics written to %s\n", csv_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write metrics to %s\n",
+                   csv_path.c_str());
+    }
+  }
+  if (json_path.empty() && csv_path.empty()) {
+    // --metrics with no file: dump to stdout for quick inspection.
+    std::printf("%s\n", registry.ToJsonString().c_str());
+  }
+}
+
+int RunHarness(int argc, char** argv, int (*run)(const Flags&)) {
+  const Flags flags = Flags::Parse(argc, argv);
+  InitMetrics(flags);
+  const int rc = run(flags);
+  FinishMetrics(flags);
+  return rc;
+}
 
 wiki::GeneratorOptions ScaledOptions(size_t target_attributes, int64_t days,
                                      uint64_t seed) {

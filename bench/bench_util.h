@@ -3,9 +3,12 @@
 
 /// \file bench_util.h
 /// Shared plumbing for the experiment harnesses: corpus construction scaled
-/// to a target attribute count, query sampling, and result-table printing.
-/// Every harness accepts flags to re-run at paper scale:
+/// to a target attribute count, query sampling, result-table printing, and
+/// the observability hookup. Every harness accepts flags to re-run at paper
+/// scale:
 ///   --attributes=N --days=N --queries=N --seed=N --csv
+/// and exports the metrics registry (per-phase spans, probe counters) with:
+///   --metrics_json=out.json   or   --metrics_csv=out.csv
 
 #include <cstdint>
 #include <string>
@@ -18,6 +21,16 @@
 #include "wiki/generator.h"
 
 namespace tind::bench {
+
+/// Standard harness entry point: parses argv, enables the global metrics
+/// registry when --metrics_json/--metrics_csv/--metrics is present, invokes
+/// `run`, exports the registry, and returns `run`'s exit code. Metrics stay
+/// fully disabled (zero overhead) unless one of those flags was passed.
+int RunHarness(int argc, char** argv, int (*run)(const Flags&));
+
+/// The pieces of RunHarness, for harnesses with their own main shape.
+void InitMetrics(const Flags& flags);
+void FinishMetrics(const Flags& flags);
 
 /// Scales the generator so the surviving corpus lands near
 /// `target_attributes` with the §5.1 mix of genuine families, noise, and

@@ -5,7 +5,7 @@
 /// signal of genuineness than single-snapshot validity. Optionally saves
 /// the dataset and discovered pairs.
 ///
-/// Flags: --attributes=N --days=N --seed=N --eps=E --delta=D
+/// Flags: --attributes=N --days=N --seed=N --eps=E --delta=D --metrics_json=f
 ///        --save_dataset=path
 
 #include <cstdio>
@@ -13,6 +13,7 @@
 
 #include "baseline/static_ind.h"
 #include "common/flags.h"
+#include "obs/metrics.h"
 #include "common/thread_pool.h"
 #include "eval/precision_recall.h"
 #include "tind/discovery.h"
@@ -24,6 +25,10 @@ using namespace tind;  // NOLINT(build/namespaces) — example brevity.
 
 int main(int argc, char** argv) {
   const Flags flags = Flags::Parse(argc, argv);
+  const std::string metrics_path = flags.GetString("metrics_json", "");
+  if (!metrics_path.empty()) {
+    obs::MetricsRegistry::Global().set_enabled(true);
+  }
   wiki::GeneratorOptions gen_opts;
   gen_opts.seed = static_cast<uint64_t>(flags.GetInt("seed", 5));
   gen_opts.num_days = flags.GetInt("days", 2000);
@@ -105,6 +110,10 @@ int main(int argc, char** argv) {
                 dataset.attribute(p.lhs).meta().FullName().c_str(),
                 dataset.attribute(p.rhs).meta().FullName().c_str());
     if (++shown >= 5) break;
+  }
+  if (!metrics_path.empty() &&
+      obs::MetricsRegistry::Global().WriteJsonFile(metrics_path)) {
+    std::printf("metrics written to %s\n", metrics_path.c_str());
   }
   return 0;
 }

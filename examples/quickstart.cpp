@@ -8,6 +8,8 @@
 #include <cstdio>
 #include <memory>
 
+#include "common/flags.h"
+#include "obs/metrics.h"
 #include "temporal/dataset.h"
 #include "tind/index.h"
 #include "tind/validator.h"
@@ -41,7 +43,15 @@ AttributeHistory MakeAttribute(Dataset* dataset, const std::string& page,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Pass --metrics_json=out.json to capture per-phase spans and probe
+  // counters for everything this example does.
+  const Flags flags = Flags::Parse(argc, argv);
+  const std::string metrics_path = flags.GetString("metrics_json", "");
+  if (!metrics_path.empty()) {
+    obs::MetricsRegistry::Global().set_enabled(true);
+  }
+
   // 100 daily snapshots.
   Dataset dataset(TimeDomain(100), std::make_shared<ValueDictionary>());
 
@@ -120,5 +130,10 @@ int main() {
   std::printf("Game in Junichi-Masuda/Works: %s (violated weight %.1f of "
               "allowed %.1f)\n",
               valid ? "valid tIND" : "not a tIND", violation, params.epsilon);
+
+  if (!metrics_path.empty() &&
+      obs::MetricsRegistry::Global().WriteJsonFile(metrics_path)) {
+    std::printf("metrics written to %s\n", metrics_path.c_str());
+  }
   return 0;
 }

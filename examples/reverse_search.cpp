@@ -4,12 +4,13 @@
 /// that one index answers both directions and that queries may deviate to
 /// smaller (ε, δ) than the index was built for.
 ///
-/// Flags: --attributes=N --days=N --seed=N
+/// Flags: --attributes=N --days=N --seed=N --metrics_json=out.json
 
 #include <cstdio>
 
 #include "common/flags.h"
 #include "eval/runtime_stats.h"
+#include "obs/metrics.h"
 #include "tind/index.h"
 #include "wiki/generator.h"
 
@@ -17,6 +18,10 @@ using namespace tind;  // NOLINT(build/namespaces) — example brevity.
 
 int main(int argc, char** argv) {
   const Flags flags = Flags::Parse(argc, argv);
+  const std::string metrics_path = flags.GetString("metrics_json", "");
+  if (!metrics_path.empty()) {
+    obs::MetricsRegistry::Global().set_enabled(true);
+  }
   wiki::GeneratorOptions gen_opts;
   gen_opts.seed = static_cast<uint64_t>(flags.GetInt("seed", 23));
   gen_opts.num_days = flags.GetInt("days", 1500);
@@ -89,6 +94,10 @@ int main(int argc, char** argv) {
   if (forward_ms.count() > 0) {
     std::printf("\nforward latency: %s\nreverse latency: %s\n",
                 forward_ms.Summary().c_str(), reverse_ms.Summary().c_str());
+  }
+  if (!metrics_path.empty() &&
+      obs::MetricsRegistry::Global().WriteJsonFile(metrics_path)) {
+    std::printf("metrics written to %s\n", metrics_path.c_str());
   }
   return 0;
 }

@@ -5,11 +5,12 @@
 /// filters, column matching), build the index once, and then answer tIND
 /// searches for a set of query columns at interactive latency.
 ///
-/// Flags: --attributes=N --days=N --seed=N --queries=N
+/// Flags: --attributes=N --days=N --seed=N --queries=N --metrics_json=f
 
 #include <cstdio>
 
 #include "common/flags.h"
+#include "obs/metrics.h"
 #include "common/stopwatch.h"
 #include "eval/runtime_stats.h"
 #include "tind/index.h"
@@ -20,6 +21,10 @@ using namespace tind;  // NOLINT(build/namespaces) — example brevity.
 
 int main(int argc, char** argv) {
   const Flags flags = Flags::Parse(argc, argv);
+  const std::string metrics_path = flags.GetString("metrics_json", "");
+  if (!metrics_path.empty()) {
+    obs::MetricsRegistry::Global().set_enabled(true);
+  }
   wiki::GeneratorOptions gen_opts;
   gen_opts.seed = static_cast<uint64_t>(flags.GetInt("seed", 11));
   gen_opts.num_days = flags.GetInt("days", 1200);
@@ -104,6 +109,10 @@ int main(int argc, char** argv) {
   if (latencies.count() > 0) {
     std::printf("interactive latency over %zu queries: %s ms\n",
                 latencies.count(), latencies.Summary().c_str());
+  }
+  if (!metrics_path.empty() &&
+      obs::MetricsRegistry::Global().WriteJsonFile(metrics_path)) {
+    std::printf("metrics written to %s\n", metrics_path.c_str());
   }
   return 0;
 }

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
+
 namespace tind {
 
 BloomMatrix::BloomMatrix(size_t num_bits, uint32_t num_hashes,
@@ -15,6 +17,8 @@ BloomMatrix::BloomMatrix(size_t num_bits, uint32_t num_hashes,
 
 void BloomMatrix::SetColumn(size_t column, const ValueSet& values) {
   assert(column < num_columns_);
+  TIND_OBS_COUNTER_ADD("bloom/columns_set", 1);
+  TIND_OBS_COUNTER_ADD("bloom/values_inserted", values.size());
   const uint64_t m = num_bits_;
   for (const ValueId v : values.values()) {
     const DoubleHash h = DoubleHash::FromValue(v);
@@ -28,6 +32,8 @@ void BloomMatrix::QuerySupersets(const BloomFilter& query,
                                  BitVector* candidates) const {
   assert(query.num_bits() == num_bits_);
   assert(candidates->size() == num_columns_);
+  TIND_OBS_COUNTER_ADD("bloom/superset_queries", 1);
+  TIND_OBS_COUNTER_ADD("bloom/superset_rows_probed", query.bits().Count());
   query.bits().ForEachSet([&](size_t row) {
     candidates->And(rows_[row]);
   });
@@ -37,6 +43,9 @@ void BloomMatrix::QuerySubsets(const BloomFilter& query,
                                BitVector* candidates) const {
   assert(query.num_bits() == num_bits_);
   assert(candidates->size() == num_columns_);
+  TIND_OBS_COUNTER_ADD("bloom/subset_queries", 1);
+  TIND_OBS_COUNTER_ADD("bloom/subset_rows_probed",
+                       num_bits_ - query.bits().Count());
   const BitVector& qbits = query.bits();
   for (size_t row = 0; row < num_bits_; ++row) {
     if (!qbits.Get(row)) candidates->AndNot(rows_[row]);
@@ -56,6 +65,14 @@ size_t BloomMatrix::MemoryUsageBytes() const {
   size_t bytes = 0;
   for (const auto& row : rows_) bytes += row.MemoryUsageBytes();
   return bytes;
+}
+
+double BloomMatrix::FillRatio() const {
+  if (num_bits_ == 0 || num_columns_ == 0) return 0;
+  size_t set_bits = 0;
+  for (const auto& row : rows_) set_bits += row.Count();
+  return static_cast<double>(set_bits) /
+         static_cast<double>(num_bits_ * num_columns_);
 }
 
 }  // namespace tind

@@ -56,6 +56,11 @@ class BloomMatrix {
   /// Bytes used by the bit rows: num_bits * num_columns / 8.
   size_t MemoryUsageBytes() const;
 
+  /// Fraction of set bits over the whole matrix in [0, 1] — the Bloom bit
+  /// density. Densities near 1 mean the filters are saturated and prune
+  /// nothing; the observability layer exports this per index stage.
+  double FillRatio() const;
+
  private:
   size_t num_bits_ = 0;
   uint32_t num_hashes_ = 0;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace tind {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -23,16 +25,33 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+void ThreadPool::Enqueue(std::function<void()> task) {
+  size_t depth;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+    depth = tasks_.size();
+  }
+  TIND_OBS_COUNTER_ADD("thread_pool/tasks_submitted", 1);
+  TIND_OBS_GAUGE_SET("thread_pool/queue_depth", depth);
+  TIND_OBS_GAUGE_MAX("thread_pool/queue_depth_peak", depth);
+  cv_.notify_one();
+}
+
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
+    size_t depth;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
+      depth = tasks_.size();
     }
+    TIND_OBS_GAUGE_SET("thread_pool/queue_depth", depth);
+    TIND_OBS_COUNTER_ADD("thread_pool/tasks_executed", 1);
     task();
   }
 }
@@ -40,6 +59,8 @@ void ThreadPool::WorkerLoop() {
 void ThreadPool::ParallelFor(size_t begin, size_t end,
                              const std::function<void(size_t)>& fn) {
   if (begin >= end) return;
+  TIND_OBS_COUNTER_ADD("thread_pool/parallel_for_calls", 1);
+  TIND_OBS_COUNTER_ADD("thread_pool/parallel_for_items", end - begin);
   const size_t n = end - begin;
   const size_t num_chunks = std::min(n, num_threads() * 4);
   if (num_chunks <= 1) {

@@ -37,11 +37,7 @@ class ThreadPool {
     using R = std::invoke_result_t<Fn>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
     std::future<R> future = task->get_future();
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      tasks_.emplace([task] { (*task)(); });
-    }
-    cv_.notify_one();
+    Enqueue([task] { (*task)(); });
     return future;
   }
 
@@ -53,6 +49,9 @@ class ThreadPool {
                    const std::function<void(size_t)>& fn);
 
  private:
+  /// Non-template push path: takes the lock, records queue-depth metrics,
+  /// and wakes one worker.
+  void Enqueue(std::function<void()> task);
   void WorkerLoop();
 
   std::vector<std::thread> workers_;

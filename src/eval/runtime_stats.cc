@@ -56,6 +56,16 @@ double RuntimeStats::StdDev() const {
   return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
 }
 
+void RuntimeStats::PublishTo(obs::MetricsRegistry* registry,
+                             const std::string& name) const {
+  obs::Histogram* histogram = registry->GetHistogram(name);
+  for (const double v : samples_) histogram->Observe(v);
+  registry->GetGauge(name + "/mean")->Set(Mean());
+  registry->GetGauge(name + "/p50")->Set(Median());
+  registry->GetGauge(name + "/p95")->Set(Percentile(95));
+  registry->GetGauge(name + "/max")->Set(Max());
+}
+
 std::string RuntimeStats::Summary() const {
   char buf[160];
   std::snprintf(buf, sizeof(buf),

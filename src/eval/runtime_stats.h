@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace tind {
 
 /// \brief Accumulates individual sample values (e.g. per-query ms).
@@ -31,6 +33,14 @@ class RuntimeStats {
 
   /// "mean=.. median=.. p95=.. max=.." one-liner.
   std::string Summary() const;
+
+  /// Publishes the distribution into `registry` under `name`: every sample
+  /// feeds the fixed-bucket histogram `name`, and the exact (sample-based)
+  /// summary statistics are exported as gauges `name/mean`, `name/p50`,
+  /// `name/p95`, and `name/max` — the registry histogram's own percentiles
+  /// are bucket-interpolated, so the exact ones ride along for reports.
+  void PublishTo(obs::MetricsRegistry* registry,
+                 const std::string& name) const;
 
   const std::vector<double>& samples() const { return samples_; }
 

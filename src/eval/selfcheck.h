@@ -1,0 +1,66 @@
+#ifndef TIND_EVAL_SELFCHECK_H_
+#define TIND_EVAL_SELFCHECK_H_
+
+/// \file selfcheck.h
+/// End-to-end self-check over a small synthetic corpus: generate → index →
+/// forward search → reverse search → all-pairs discovery, each phase
+/// cross-validated against the brute-force oracle and timed through the
+/// observability registry. The result is a machine-readable JSON report
+/// (correctness verdicts + the full metrics export) that CI archives per PR
+/// and diffs across runs — the `tind_selfcheck` binary is a thin wrapper
+/// around RunSelfCheck().
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace tind::eval {
+
+struct SelfCheckOptions {
+  /// Approximate corpus size; the generator is scaled so the surviving
+  /// attribute count lands nearby.
+  size_t target_attributes = 150;
+  int64_t num_days = 500;
+  /// Forward/reverse queries cross-checked against the brute-force oracle.
+  size_t oracle_queries = 6;
+  uint64_t seed = 7;
+
+  // Index geometry: small enough to keep the check fast, big enough that
+  // every pruning stage actually fires.
+  size_t bloom_bits = 1024;
+  size_t num_slices = 8;
+  double epsilon = 3.0;
+  int64_t delta = 7;
+
+  /// Run the all-pairs discovery phase (the slowest part).
+  bool run_discovery = true;
+  /// Parallelize discovery on the default thread pool so the thread-pool
+  /// metrics get exercised too.
+  bool use_thread_pool = true;
+};
+
+struct SelfCheckReport {
+  bool ok = false;
+  /// First failed check's description; empty when ok.
+  std::string failure;
+  size_t num_attributes = 0;
+  size_t discovered_pairs = 0;
+  /// The full report document: {"ok", "corpus", "checks", "results",
+  /// "metrics"} where "metrics" is the registry export with per-phase span
+  /// timings and probe counters.
+  std::string json;
+  /// One-line human summary for terminal output.
+  std::string summary;
+};
+
+/// Runs the self-check. Enables and resets the *global* metrics registry for
+/// the duration (restoring the previous enabled state), so callers get a
+/// report scoped to this run. Returns an error Status only for setup
+/// failures (generation / index build); check failures come back with
+/// ok=false and a populated report.
+Result<SelfCheckReport> RunSelfCheck(const SelfCheckOptions& options);
+
+}  // namespace tind::eval
+
+#endif  // TIND_EVAL_SELFCHECK_H_

@@ -1,0 +1,378 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tind::obs {
+
+void JsonValue::Set(std::string key, JsonValue v) {
+  for (auto& [k, existing] : members_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(v));
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const JsonValue* JsonValue::FindPath(std::string_view dotted_path) const {
+  const JsonValue* node = this;
+  while (!dotted_path.empty()) {
+    const size_t dot = dotted_path.find('.');
+    const std::string_view key = dotted_path.substr(0, dot);
+    node = node->Find(key);
+    if (node == nullptr) return nullptr;
+    if (dot == std::string_view::npos) break;
+    dotted_path.remove_prefix(dot + 1);
+  }
+  return node;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Formats a double the shortest way that still round-trips: integers up to
+/// 2^53 print without a fraction, everything else uses %.17g.
+void AppendNumber(std::string* out, double d) {
+  if (!std::isfinite(d)) {
+    // JSON has no Infinity/NaN; export as null like most serializers do.
+    *out += "null";
+    return;
+  }
+  if (d == std::floor(d) && std::abs(d) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+    *out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  *out += buf;
+}
+
+void AppendNewlineIndent(std::string* out, int indent, int depth) {
+  if (indent < 0) return;
+  out->push_back('\n');
+  out->append(static_cast<size_t>(indent * depth), ' ');
+}
+
+}  // namespace
+
+void JsonValue::DumpTo(std::string* out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull: *out += "null"; break;
+    case Type::kBool: *out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: AppendNumber(out, number_); break;
+    case Type::kString:
+      out->push_back('"');
+      *out += JsonEscape(string_);
+      out->push_back('"');
+      break;
+    case Type::kArray: {
+      if (elements_.empty()) {
+        *out += "[]";
+        break;
+      }
+      out->push_back('[');
+      for (size_t i = 0; i < elements_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        AppendNewlineIndent(out, indent, depth + 1);
+        elements_[i].DumpTo(out, indent, depth + 1);
+      }
+      AppendNewlineIndent(out, indent, depth);
+      out->push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      if (members_.empty()) {
+        *out += "{}";
+        break;
+      }
+      out->push_back('{');
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        AppendNewlineIndent(out, indent, depth + 1);
+        out->push_back('"');
+        *out += JsonEscape(members_[i].first);
+        *out += indent < 0 ? "\":" : "\": ";
+        members_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      AppendNewlineIndent(out, indent, depth);
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view with a cursor.
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  std::optional<JsonValue> ParseDocument() {
+    SkipWhitespace();
+    std::optional<JsonValue> v = ParseValue(/*depth=*/0);
+    if (!v.has_value()) return std::nullopt;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      Fail("trailing characters after document");
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void Fail(const std::string& what) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = what + " at byte " + std::to_string(pos_);
+    }
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxDepth) {
+      Fail("nesting too deep");
+      return std::nullopt;
+    }
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      Fail("unexpected end of input");
+      return std::nullopt;
+    }
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(depth);
+    if (c == '[') return ParseArray(depth);
+    if (c == '"') {
+      std::optional<std::string> s = ParseString();
+      if (!s.has_value()) return std::nullopt;
+      return JsonValue(std::move(*s));
+    }
+    if (ConsumeLiteral("true")) return JsonValue(true);
+    if (ConsumeLiteral("false")) return JsonValue(false);
+    if (ConsumeLiteral("null")) return JsonValue();
+    return ParseNumber();
+  }
+
+  std::optional<JsonValue> ParseObject(int depth) {
+    ++pos_;  // '{'
+    JsonValue obj = JsonValue::Object();
+    SkipWhitespace();
+    if (Consume('}')) return obj;
+    while (true) {
+      SkipWhitespace();
+      std::optional<std::string> key = ParseString();
+      if (!key.has_value()) return std::nullopt;
+      SkipWhitespace();
+      if (!Consume(':')) {
+        Fail("expected ':' in object");
+        return std::nullopt;
+      }
+      std::optional<JsonValue> v = ParseValue(depth + 1);
+      if (!v.has_value()) return std::nullopt;
+      obj.Set(std::move(*key), std::move(*v));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return obj;
+      Fail("expected ',' or '}' in object");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> ParseArray(int depth) {
+    ++pos_;  // '['
+    JsonValue arr = JsonValue::Array();
+    SkipWhitespace();
+    if (Consume(']')) return arr;
+    while (true) {
+      std::optional<JsonValue> v = ParseValue(depth + 1);
+      if (!v.has_value()) return std::nullopt;
+      arr.Append(std::move(*v));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return arr;
+      Fail("expected ',' or ']' in array");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<std::string> ParseString() {
+    if (!Consume('"')) {
+      Fail("expected string");
+      return std::nullopt;
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            Fail("truncated \\u escape");
+            return std::nullopt;
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              Fail("bad hex digit in \\u escape");
+              return std::nullopt;
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not needed
+          // by our exporters; a lone surrogate encodes as-is).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          Fail("bad escape character");
+          return std::nullopt;
+      }
+    }
+    Fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    bool any_digits = false;
+    const auto eat_digits = [&] {
+      while (pos_ < text_.size() && std::isdigit(
+                 static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        any_digits = true;
+      }
+    };
+    eat_digits();
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      eat_digits();
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+        ++pos_;
+      }
+      eat_digits();
+    }
+    if (!any_digits) {
+      Fail("expected value");
+      return std::nullopt;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    return JsonValue(std::strtod(token.c_str(), nullptr));
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<JsonValue> JsonValue::Parse(std::string_view text,
+                                          std::string* error) {
+  if (error != nullptr) error->clear();
+  return Parser(text, error).ParseDocument();
+}
+
+}  // namespace tind::obs

@@ -1,0 +1,125 @@
+#ifndef TIND_OBS_JSON_H_
+#define TIND_OBS_JSON_H_
+
+/// \file json.h
+/// A deliberately small JSON document type for the observability subsystem:
+/// the metrics exporters serialize through it, tind_selfcheck emits reports
+/// with it, and the tests parse those reports back to sanity-check them.
+/// Objects preserve insertion order so exported metric files diff cleanly
+/// across runs — CI archives and compares them.
+///
+/// This is not a general-purpose JSON library: numbers are doubles (with
+/// exact round-tripping for integers up to 2^53, which covers every counter
+/// the registry can realistically accumulate), and parse errors report a
+/// byte offset rather than line/column.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tind::obs {
+
+/// \brief A JSON document node (null / bool / number / string / array /
+/// object).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+  JsonValue(bool b) : type_(Type::kBool), bool_(b) {}  // NOLINT(runtime/explicit)
+  JsonValue(double d) : type_(Type::kNumber), number_(d) {}  // NOLINT
+  JsonValue(int64_t i)  // NOLINT(runtime/explicit)
+      : type_(Type::kNumber), number_(static_cast<double>(i)) {}
+  JsonValue(uint64_t u)  // NOLINT(runtime/explicit)
+      : type_(Type::kNumber), number_(static_cast<double>(u)) {}
+  JsonValue(std::string s)  // NOLINT(runtime/explicit)
+      : type_(Type::kString), string_(std::move(s)) {}
+  JsonValue(const char* s) : type_(Type::kString), string_(s) {}  // NOLINT
+
+  static JsonValue Array() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  double AsDouble(double fallback = 0) const {
+    return is_number() ? number_ : fallback;
+  }
+  int64_t AsInt(int64_t fallback = 0) const {
+    return is_number() ? static_cast<int64_t>(number_) : fallback;
+  }
+  const std::string& AsString() const { return string_; }
+
+  /// Array element / element count (empty for non-arrays except objects,
+  /// where size() is the number of keys).
+  size_t size() const {
+    return is_object() ? members_.size() : elements_.size();
+  }
+  const JsonValue& at(size_t i) const { return elements_[i]; }
+
+  /// Appends to an array (the value must be an array).
+  void Append(JsonValue v) { elements_.push_back(std::move(v)); }
+
+  /// Sets `key` on an object, replacing an existing entry in place so the
+  /// original insertion order is kept.
+  void Set(std::string key, JsonValue v);
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Dotted-path convenience: Find("metrics.counters") descends two levels.
+  /// Metric names themselves contain '/', never '.', so the separator is
+  /// unambiguous.
+  const JsonValue* FindPath(std::string_view dotted_path) const;
+
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Serializes; `indent` < 0 gives the compact single-line form, otherwise
+  /// pretty-printed with `indent` spaces per level.
+  std::string Dump(int indent = -1) const;
+
+  /// Parses a complete document (trailing non-whitespace is an error).
+  /// Returns nullopt on malformed input; `error` (optional) receives a
+  /// message with the byte offset.
+  static std::optional<JsonValue> Parse(std::string_view text,
+                                        std::string* error = nullptr);
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> elements_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Escapes a string for embedding in JSON output (quotes not included).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace tind::obs
+
+#endif  // TIND_OBS_JSON_H_

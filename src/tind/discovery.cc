@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
 
 namespace tind {
 
@@ -11,6 +12,8 @@ AllPairsResult DiscoverAllTinds(const TindIndex& index, const TindParams& params
   const Dataset& dataset = index.dataset();
   const size_t n = dataset.size();
   Stopwatch timer;
+  TIND_OBS_SCOPED_TIMER("discover_all_pairs");
+  TIND_OBS_COUNTER_ADD("discover/queries", n);
   std::vector<std::vector<AttributeId>> per_query(n);
   std::atomic<size_t> total_validations{0};
   const auto run_query = [&](size_t q) {
@@ -40,6 +43,8 @@ AllPairsResult DiscoverAllTinds(const TindIndex& index, const TindParams& params
   // Per-query results are ascending in rhs and queries are visited in
   // ascending lhs order, so the concatenation is already (lhs, rhs)-sorted.
   result.elapsed_seconds = timer.ElapsedSeconds();
+  TIND_OBS_COUNTER_ADD("discover/pairs", result.pairs.size());
+  TIND_OBS_COUNTER_ADD("discover/validations", result.total_validations);
   return result;
 }
 

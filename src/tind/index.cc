@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
 #include "tind/required_values.h"
 #include "tind/validator.h"
 
@@ -39,43 +40,63 @@ Result<std::unique_ptr<TindIndex>> TindIndex::Build(
   index->dataset_ = &dataset;
   index->options_ = options;
 
+  TIND_OBS_SCOPED_TIMER("index_build");
+  TIND_OBS_COUNTER_ADD("index/builds", 1);
   const size_t n_attrs = dataset.size();
   // M_T over the full history value sets (constructible with no parameter
   // knowledge at all — Section 4.2.1).
-  index->full_matrix_ =
-      BloomMatrix(options.bloom_bits, options.num_hashes, n_attrs);
-  TIND_RETURN_IF_ERROR(AccountMatrix(options.memory, index->full_matrix_));
-  for (size_t c = 0; c < n_attrs; ++c) {
-    index->full_matrix_.SetColumn(
-        c, dataset.attribute(static_cast<AttributeId>(c)).AllValues());
+  {
+    TIND_OBS_SCOPED_TIMER("m_t");
+    index->full_matrix_ =
+        BloomMatrix(options.bloom_bits, options.num_hashes, n_attrs);
+    TIND_RETURN_IF_ERROR(AccountMatrix(options.memory, index->full_matrix_));
+    for (size_t c = 0; c < n_attrs; ++c) {
+      index->full_matrix_.SetColumn(
+          c, dataset.attribute(static_cast<AttributeId>(c)).AllValues());
+    }
+    TIND_OBS_GAUGE_SET("index/m_t_fill_ratio",
+                       index->full_matrix_.FillRatio());
   }
 
   // Time slices: δ-expanded interval value sets per attribute.
-  IntervalSelectionOptions sel;
-  sel.strategy = options.strategy;
-  sel.num_intervals = options.num_slices;
-  sel.epsilon = options.epsilon;
-  sel.delta_disjoint = options.build_reverse_index ? options.delta : 0;
-  sel.seed = options.seed;
-  index->slice_intervals_ =
-      SelectIndexIntervals(dataset, *options.weight, sel);
-  index->slice_matrices_.reserve(index->slice_intervals_.size());
-  for (const Interval& interval : index->slice_intervals_) {
-    BloomMatrix matrix(options.bloom_bits, options.num_hashes, n_attrs);
-    TIND_RETURN_IF_ERROR(AccountMatrix(options.memory, matrix));
-    const Interval expanded =
-        dataset.domain().Clamp(interval.Expanded(options.delta));
-    for (size_t c = 0; c < n_attrs; ++c) {
-      matrix.SetColumn(
-          c,
-          dataset.attribute(static_cast<AttributeId>(c)).UnionInInterval(expanded));
+  {
+    TIND_OBS_SCOPED_TIMER("slices");
+    IntervalSelectionOptions sel;
+    sel.strategy = options.strategy;
+    sel.num_intervals = options.num_slices;
+    sel.epsilon = options.epsilon;
+    sel.delta_disjoint = options.build_reverse_index ? options.delta : 0;
+    sel.seed = options.seed;
+    index->slice_intervals_ =
+        SelectIndexIntervals(dataset, *options.weight, sel);
+    index->slice_matrices_.reserve(index->slice_intervals_.size());
+    for (const Interval& interval : index->slice_intervals_) {
+      BloomMatrix matrix(options.bloom_bits, options.num_hashes, n_attrs);
+      TIND_RETURN_IF_ERROR(AccountMatrix(options.memory, matrix));
+      const Interval expanded =
+          dataset.domain().Clamp(interval.Expanded(options.delta));
+      for (size_t c = 0; c < n_attrs; ++c) {
+        matrix.SetColumn(
+            c,
+            dataset.attribute(static_cast<AttributeId>(c)).UnionInInterval(expanded));
+      }
+      index->slice_matrices_.push_back(std::move(matrix));
     }
-    index->slice_matrices_.push_back(std::move(matrix));
+    if (!index->slice_matrices_.empty()) {
+      double fill = 0;
+      for (const BloomMatrix& m : index->slice_matrices_) {
+        fill += m.FillRatio();
+      }
+      TIND_OBS_GAUGE_SET(
+          "index/slice_fill_ratio_avg",
+          fill / static_cast<double>(index->slice_matrices_.size()));
+    }
   }
 
   // M_R over required values, for reverse queries (Section 4.5). Unlike
   // M_T, this bakes in the build-time (ε, w).
   if (options.build_reverse_index) {
+    TIND_OBS_SCOPED_TIMER("m_r");
     index->reverse_matrix_ =
         BloomMatrix(options.bloom_bits, options.num_hashes, n_attrs);
     TIND_RETURN_IF_ERROR(AccountMatrix(options.memory, index->reverse_matrix_));
@@ -86,7 +107,10 @@ Result<std::unique_ptr<TindIndex>> TindIndex::Build(
       index->reverse_matrix_.SetColumn(c, required);
     }
     index->has_reverse_ = true;
+    TIND_OBS_GAUGE_SET("index/m_r_fill_ratio",
+                       index->reverse_matrix_.FillRatio());
   }
+  TIND_OBS_GAUGE_SET("index/memory_bytes", index->MemoryUsageBytes());
   return index;
 }
 
@@ -98,8 +122,11 @@ void TindIndex::PruneWithSlices(const AttributeHistory& query,
   // k-MANY, which must track all |D| candidates.
   std::unordered_map<AttributeId, double> violations;
   BitVector slice_candidates(candidates->size());
+  size_t slice_probes = 0;
+  size_t violation_updates = 0;
+  size_t pruned = 0;
   for (size_t j = 0; j < slice_matrices_.size(); ++j) {
-    if (candidates->None()) return;
+    if (candidates->None()) break;
     const Interval& interval = slice_intervals_[j];
     const BloomMatrix& matrix = slice_matrices_[j];
     const auto [first, last] = query.VersionRangeInInterval(interval);
@@ -115,6 +142,7 @@ void TindIndex::PruneWithSlices(const AttributeHistory& query,
       const BloomFilter filter = matrix.MakeQueryFilter(version);
       slice_candidates = *candidates;
       matrix.QuerySupersets(filter, &slice_candidates);
+      ++slice_probes;
       // PV = C ∧ ¬C_ij: candidates that failed this version's containment.
       BitVector partial = *candidates;
       partial.AndNot(slice_candidates);
@@ -123,22 +151,30 @@ void TindIndex::PruneWithSlices(const AttributeHistory& query,
       partial.ForEachSet([&](size_t c) {
         double& vio = violations[static_cast<AttributeId>(c)];
         vio += weight;
+        ++violation_updates;
         if (vio > params.epsilon + kViolationTolerance) {
           candidates->Clear(c);  // Pruned (Algorithm 1, line 14).
+          ++pruned;
         }
       });
     }
   }
+  TIND_OBS_COUNTER_ADD("search/slice_probes", slice_probes);
+  TIND_OBS_COUNTER_ADD("search/partial_violation_updates", violation_updates);
+  TIND_OBS_COUNTER_ADD("search/slice_pruned_candidates", pruned);
 }
 
 void TindIndex::PruneReverseWithSlices(const AttributeHistory& query,
                                        const TindParams& params,
                                        BitVector* candidates) const {
   std::unordered_map<AttributeId, double> violations;
+  size_t slice_probes = 0;
+  size_t violation_updates = 0;
+  size_t pruned = 0;
   const size_t slices_to_use =
       std::min(options_.reverse_slices, slice_matrices_.size());
   for (size_t j = 0; j < slices_to_use; ++j) {
-    if (candidates->None()) return;
+    if (candidates->None()) break;
     const Interval& interval = slice_intervals_[j];
     const BloomMatrix& matrix = slice_matrices_[j];
     // Columns hold A[I^δ]; the query side is expanded by a further δ so a
@@ -150,6 +186,7 @@ void TindIndex::PruneReverseWithSlices(const AttributeHistory& query,
     const BloomFilter filter = matrix.MakeQueryFilter(query_values);
     BitVector slice_candidates = *candidates;
     matrix.QuerySubsets(filter, &slice_candidates);
+    ++slice_probes;
     BitVector partial = *candidates;
     partial.AndNot(slice_candidates);
     if (partial.None()) continue;
@@ -174,16 +211,25 @@ void TindIndex::PruneReverseWithSlices(const AttributeHistory& query,
       if (min_weight <= 0) return;
       double& vio = violations[static_cast<AttributeId>(c)];
       vio += min_weight;
-      if (vio > params.epsilon + kViolationTolerance) candidates->Clear(c);
+      ++violation_updates;
+      if (vio > params.epsilon + kViolationTolerance) {
+        candidates->Clear(c);
+        ++pruned;
+      }
     });
   }
+  TIND_OBS_COUNTER_ADD("reverse/slice_probes", slice_probes);
+  TIND_OBS_COUNTER_ADD("reverse/partial_violation_updates", violation_updates);
+  TIND_OBS_COUNTER_ADD("reverse/slice_pruned_candidates", pruned);
 }
 
 std::vector<AttributeId> TindIndex::ValidateCandidates(
     const AttributeHistory& query, const TindParams& params,
     const BitVector& candidates, bool forward, QueryStats* stats,
     ThreadPool* pool) const {
+  TIND_OBS_SCOPED_TIMER("validate");
   const std::vector<size_t> ids = candidates.ToIndexVector();
+  TIND_OBS_COUNTER_ADD("search/validations", ids.size());
   if (stats != nullptr) stats->validations = ids.size();
   std::vector<char> valid(ids.size(), 0);
   const auto validate_one = [&](size_t i) {
@@ -213,6 +259,8 @@ std::vector<AttributeId> TindIndex::Search(const AttributeHistory& query,
                                            ThreadPool* pool) const {
   Stopwatch timer;
   assert(params.weight != nullptr);
+  TIND_OBS_SCOPED_TIMER("search");
+  TIND_OBS_COUNTER_ADD("search/queries", 1);
   BitVector candidates(dataset_->size(), /*fill=*/true);
   // Exclude the query itself when it is an indexed attribute: reflexive
   // tINDs hold trivially.
@@ -224,33 +272,44 @@ std::vector<AttributeId> TindIndex::Search(const AttributeHistory& query,
   // Stage 1: required values against M_T (sound for every ε, w, δ).
   const ValueSet required =
       ComputeRequiredValues(query, *params.weight, params.epsilon);
-  if (!required.empty()) {
-    const BloomFilter filter = full_matrix_.MakeQueryFilter(required);
-    full_matrix_.QuerySupersets(filter, &candidates);
+  {
+    TIND_OBS_SCOPED_TIMER("m_t_probe");
+    if (!required.empty()) {
+      const BloomFilter filter = full_matrix_.MakeQueryFilter(required);
+      full_matrix_.QuerySupersets(filter, &candidates);
+    }
   }
   if (stats != nullptr) {
     stats->used_prefilter = !required.empty();
     stats->initial_candidates = candidates.Count();
   }
+  TIND_OBS_COUNTER_ADD("search/candidates_after_m_t", candidates.Count());
 
   // Stage 2: time slices — only sound if the query's δ does not exceed the
   // build δ (Section 4.4).
   const bool slices_usable = params.delta <= options_.delta;
-  if (slices_usable) PruneWithSlices(query, params, &candidates);
+  {
+    TIND_OBS_SCOPED_TIMER("slice_prune");
+    if (slices_usable) PruneWithSlices(query, params, &candidates);
+  }
   if (stats != nullptr) {
     stats->used_slices = slices_usable;
     stats->after_slices = candidates.Count();
   }
+  TIND_OBS_COUNTER_ADD("search/candidates_after_slices", candidates.Count());
 
   // Stage 3: exact required-values recheck to shed Bloom false positives
   // before the expensive temporal validation (Algorithm 1, line 16).
-  if (!required.empty()) {
-    candidates.ForEachSet([&](size_t c) {
-      if (!required.IsSubsetOf(
-              dataset_->attribute(static_cast<AttributeId>(c)).AllValues())) {
-        candidates.Clear(c);
-      }
-    });
+  {
+    TIND_OBS_SCOPED_TIMER("exact_recheck");
+    if (!required.empty()) {
+      candidates.ForEachSet([&](size_t c) {
+        if (!required.IsSubsetOf(
+                dataset_->attribute(static_cast<AttributeId>(c)).AllValues())) {
+          candidates.Clear(c);
+        }
+      });
+    }
   }
   if (stats != nullptr) stats->after_exact_check = candidates.Count();
 
@@ -267,6 +326,8 @@ std::vector<AttributeId> TindIndex::ReverseSearch(const AttributeHistory& query,
                                                   ThreadPool* pool) const {
   Stopwatch timer;
   assert(params.weight != nullptr);
+  TIND_OBS_SCOPED_TIMER("reverse_search");
+  TIND_OBS_COUNTER_ADD("reverse/queries", 1);
   BitVector candidates(dataset_->size(), /*fill=*/true);
   if (query.id() < dataset_->size() &&
       &dataset_->attribute(query.id()) == &query) {
@@ -277,33 +338,43 @@ std::vector<AttributeId> TindIndex::ReverseSearch(const AttributeHistory& query,
   // not exceed the ε the required values were built with (Section 4.5).
   const bool prefilter_usable =
       has_reverse_ && params.epsilon <= options_.epsilon + kViolationTolerance;
-  if (prefilter_usable) {
-    const BloomFilter filter =
-        reverse_matrix_.MakeQueryFilter(query.AllValues());
-    reverse_matrix_.QuerySubsets(filter, &candidates);
+  {
+    TIND_OBS_SCOPED_TIMER("m_r_probe");
+    if (prefilter_usable) {
+      const BloomFilter filter =
+          reverse_matrix_.MakeQueryFilter(query.AllValues());
+      reverse_matrix_.QuerySubsets(filter, &candidates);
+    }
   }
   if (stats != nullptr) {
     stats->used_prefilter = prefilter_usable;
     stats->initial_candidates = candidates.Count();
   }
+  TIND_OBS_COUNTER_ADD("reverse/candidates_after_m_r", candidates.Count());
 
   // Stage 2: time slices with minimum-violation accounting.
   const bool slices_usable = params.delta <= options_.delta;
-  if (slices_usable) PruneReverseWithSlices(query, params, &candidates);
+  {
+    TIND_OBS_SCOPED_TIMER("slice_prune");
+    if (slices_usable) PruneReverseWithSlices(query, params, &candidates);
+  }
   if (stats != nullptr) {
     stats->used_slices = slices_usable;
     stats->after_slices = candidates.Count();
   }
 
   // Stage 3: exact recheck — R(A) must truly be contained in Q[T].
-  if (prefilter_usable) {
-    const ValueSet& query_all = query.AllValues();
-    candidates.ForEachSet([&](size_t c) {
-      const ValueSet required = ComputeRequiredValues(
-          dataset_->attribute(static_cast<AttributeId>(c)), *options_.weight,
-          options_.epsilon);
-      if (!required.IsSubsetOf(query_all)) candidates.Clear(c);
-    });
+  {
+    TIND_OBS_SCOPED_TIMER("exact_recheck");
+    if (prefilter_usable) {
+      const ValueSet& query_all = query.AllValues();
+      candidates.ForEachSet([&](size_t c) {
+        const ValueSet required = ComputeRequiredValues(
+            dataset_->attribute(static_cast<AttributeId>(c)), *options_.weight,
+            options_.epsilon);
+        if (!required.IsSubsetOf(query_all)) candidates.Clear(c);
+      });
+    }
   }
   if (stats != nullptr) stats->after_exact_check = candidates.Count();
 

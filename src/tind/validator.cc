@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace tind {
 
 namespace {
@@ -135,9 +137,12 @@ bool IsDeltaContained(const AttributeHistory& q, const AttributeHistory& a,
 
 bool ValidateTind(const AttributeHistory& q, const AttributeHistory& a,
                   const TindParams& params, const TimeDomain& domain) {
+  TIND_OBS_COUNTER_ADD("validate/calls", 1);
   double violation = 0.0;
   bool valid = true;
+  size_t violated_intervals = 0;
   SweepViolations(q, a, params.delta, domain, [&](const Interval& i) {
+    ++violated_intervals;
     violation += params.weight->Sum(i);
     if (violation > params.epsilon + kViolationTolerance) {
       valid = false;
@@ -145,6 +150,14 @@ bool ValidateTind(const AttributeHistory& q, const AttributeHistory& a,
     }
     return true;
   });
+  TIND_OBS_COUNTER_ADD("validate/violated_intervals", violated_intervals);
+  // Two call sites, not a ternary name: the macro caches the metric pointer
+  // per call site and requires a fixed literal.
+  if (valid) {
+    TIND_OBS_COUNTER_ADD("validate/accepted", 1);
+  } else {
+    TIND_OBS_COUNTER_ADD("validate/rejected", 1);
+  }
   return valid;
 }
 

@@ -1,0 +1,98 @@
+#include "eval/selfcheck.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace tind::eval {
+namespace {
+
+SelfCheckOptions SmallOptions() {
+  SelfCheckOptions options;
+  options.target_attributes = 80;
+  options.num_days = 300;
+  options.oracle_queries = 4;
+  options.seed = 11;
+  return options;
+}
+
+TEST(SelfCheckTest, PassesOnSmallCorpusAndEmitsParsableReport) {
+  const auto report = RunSelfCheck(SmallOptions());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->ok) << report->failure;
+  EXPECT_GT(report->num_attributes, 0u);
+  EXPECT_FALSE(report->summary.empty());
+
+  std::string error;
+  const auto doc = obs::JsonValue::Parse(report->json, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  ASSERT_NE(doc->Find("ok"), nullptr);
+  EXPECT_TRUE(doc->Find("ok")->AsBool());
+
+  // Every oracle/funnel check is listed, and all passed.
+  const obs::JsonValue* checks = doc->Find("checks");
+  ASSERT_NE(checks, nullptr);
+  ASSERT_TRUE(checks->is_array());
+  EXPECT_GT(checks->size(), 0u);
+  for (size_t i = 0; i < checks->size(); ++i) {
+    const obs::JsonValue* passed = checks->at(i).Find("ok");
+    ASSERT_NE(passed, nullptr);
+    EXPECT_TRUE(passed->AsBool())
+        << checks->at(i).Find("name")->AsString();
+  }
+}
+
+#if !TIND_OBS_DISABLED
+TEST(SelfCheckTest, ReportCarriesPhaseTimingsAndProbeCounters) {
+  const auto report = RunSelfCheck(SmallOptions());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const auto doc = obs::JsonValue::Parse(report->json);
+  ASSERT_TRUE(doc.has_value());
+
+  // Per-phase span timings: index build (with its sub-phases), the M_T
+  // probe, and the time-slice search stage must all be present with at
+  // least one recorded observation and a non-negative total.
+  for (const char* span :
+       {"span/index_build", "span/index_build/m_t", "span/index_build/slices",
+        "span/search", "span/search/m_t_probe", "span/search/slice_prune"}) {
+    const obs::JsonValue* hist =
+        doc->FindPath("metrics.histograms")->Find(span);
+    ASSERT_NE(hist, nullptr) << span;
+    EXPECT_GE(hist->Find("count")->AsInt(), 1) << span;
+    EXPECT_GE(hist->Find("sum")->AsDouble(), 0.0) << span;
+  }
+
+  // Probe counters from the Bloom matrix and slice pruning.
+  const obs::JsonValue* counters = doc->FindPath("metrics.counters");
+  ASSERT_NE(counters, nullptr);
+  for (const char* counter :
+       {"bloom/superset_queries", "bloom/superset_rows_probed",
+        "search/queries", "search/slice_probes", "validate/calls"}) {
+    const obs::JsonValue* value = counters->Find(counter);
+    ASSERT_NE(value, nullptr) << counter;
+    EXPECT_GT(value->AsInt(), 0) << counter;
+  }
+
+  // The corpus block reflects the options we passed.
+  EXPECT_EQ(doc->FindPath("corpus.seed")->AsInt(), 11);
+  EXPECT_EQ(doc->FindPath("corpus.days")->AsInt(), 300);
+}
+#endif  // !TIND_OBS_DISABLED
+
+TEST(SelfCheckTest, RestoresGlobalRegistryEnabledState) {
+  obs::MetricsRegistry& global = obs::MetricsRegistry::Global();
+  const bool before = global.enabled();
+  global.set_enabled(false);
+  SelfCheckOptions options = SmallOptions();
+  options.run_discovery = false;  // Keep this one quick.
+  const auto report = RunSelfCheck(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(global.enabled());
+  global.set_enabled(before);
+}
+
+}  // namespace
+}  // namespace tind::eval

@@ -1,0 +1,71 @@
+/// tind_selfcheck: end-to-end smoke + observability report over a small
+/// synthetic corpus. CI runs this on every PR, archives the JSON, and diffs
+/// per-phase timings and probe counters across runs.
+///
+///   tind_selfcheck --metrics_json=out.json
+///   tind_selfcheck --attributes=300 --days=800 --queries=10 --seed=11
+///
+/// Exit status: 0 when every check passed, 1 otherwise (setup failures
+/// print the Status and also exit 1).
+
+#include <cstdio>
+#include <string>
+
+#include "common/flags.h"
+#include "eval/selfcheck.h"
+
+int main(int argc, char** argv) {
+  const tind::Flags flags = tind::Flags::Parse(argc, argv);
+
+  tind::eval::SelfCheckOptions options;
+  options.target_attributes = static_cast<size_t>(
+      flags.GetInt("attributes",
+                   static_cast<int64_t>(options.target_attributes)));
+  options.num_days = flags.GetInt("days", options.num_days);
+  options.oracle_queries = static_cast<size_t>(
+      flags.GetInt("queries", static_cast<int64_t>(options.oracle_queries)));
+  options.seed = static_cast<uint64_t>(
+      flags.GetInt("seed", static_cast<int64_t>(options.seed)));
+  options.bloom_bits = static_cast<size_t>(
+      flags.GetInt("bloom_bits", static_cast<int64_t>(options.bloom_bits)));
+  options.num_slices = static_cast<size_t>(
+      flags.GetInt("slices", static_cast<int64_t>(options.num_slices)));
+  options.epsilon = flags.GetDouble("eps", options.epsilon);
+  options.delta = flags.GetInt("delta", options.delta);
+  options.run_discovery = flags.GetBool("discovery", true);
+  options.use_thread_pool = flags.GetBool("threads", true);
+
+  auto report = tind::eval::RunSelfCheck(options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "selfcheck setup failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+
+  const std::string path = flags.GetString("metrics_json", "");
+  if (!path.empty()) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+      return 1;
+    }
+    std::fwrite(report->json.data(), 1, report->json.size(), f);
+    std::fputc('\n', f);
+    if (std::fclose(f) != 0) {
+      std::fprintf(stderr, "error writing %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("metrics report written to %s\n", path.c_str());
+  } else {
+    // No output file requested: print the report so the run is still useful
+    // in a terminal or a CI log.
+    std::printf("%s\n", report->json.c_str());
+  }
+
+  std::printf("%s\n", report->summary.c_str());
+  if (!report->ok) {
+    std::fprintf(stderr, "first failure: %s\n", report->failure.c_str());
+    return 1;
+  }
+  return 0;
+}
