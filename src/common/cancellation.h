@@ -1,0 +1,33 @@
+#ifndef TIND_COMMON_CANCELLATION_H_
+#define TIND_COMMON_CANCELLATION_H_
+
+/// \file cancellation.h
+/// Cooperative cancellation for long-running parallel work. A
+/// CancellationToken is a cheap, copyable handle to a shared flag: the
+/// initiator calls Cancel() (e.g. from a signal handler thread or a
+/// deadline watcher) and workers poll cancelled() between units of work.
+/// Cancellation is advisory — already-started units run to completion, so
+/// data structures are never observed half-written.
+
+#include <atomic>
+#include <memory>
+
+namespace tind {
+
+/// \brief Copyable handle to a shared cancellation flag.
+class CancellationToken {
+ public:
+  CancellationToken() : state_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Requests cancellation. Idempotent, safe from any thread.
+  void Cancel() { state_->store(true, std::memory_order_release); }
+
+  bool cancelled() const { return state_->load(std::memory_order_acquire); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> state_;
+};
+
+}  // namespace tind
+
+#endif  // TIND_COMMON_CANCELLATION_H_

@@ -1,0 +1,64 @@
+#ifndef TIND_COMMON_CRC32_H_
+#define TIND_COMMON_CRC32_H_
+
+/// \file crc32.h
+/// Streaming CRC-32 (IEEE 802.3, the zlib polynomial) used to footer corpus
+/// files and discovery checkpoints so truncation and bit rot are detected at
+/// load time instead of surfacing as silently wrong results. Table-driven,
+/// byte-at-a-time — integrity checking is nowhere near the hot path.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace tind {
+
+namespace internal {
+
+constexpr std::array<uint32_t, 256> MakeCrc32Table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<uint32_t, 256> kCrc32Table = MakeCrc32Table();
+
+}  // namespace internal
+
+/// \brief Incremental CRC-32 accumulator.
+class Crc32 {
+ public:
+  void Update(std::string_view bytes) {
+    uint32_t c = ~crc_;
+    for (const char ch : bytes) {
+      c = internal::kCrc32Table[(c ^ static_cast<unsigned char>(ch)) & 0xFF] ^
+          (c >> 8);
+    }
+    crc_ = ~c;
+  }
+  void Update(char byte) { Update(std::string_view(&byte, 1)); }
+
+  uint32_t value() const { return crc_; }
+  void Reset() { crc_ = 0; }
+
+ private:
+  uint32_t crc_ = 0;
+};
+
+/// One-shot convenience.
+inline uint32_t Crc32Of(std::string_view bytes) {
+  Crc32 crc;
+  crc.Update(bytes);
+  return crc.value();
+}
+
+}  // namespace tind
+
+#endif  // TIND_COMMON_CRC32_H_

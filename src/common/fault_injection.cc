@@ -1,0 +1,106 @@
+#include "common/fault_injection.h"
+
+#include <cstdlib>
+
+#include "common/hash.h"
+#include "obs/metrics.h"
+
+namespace tind {
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector injector;
+  return injector;
+}
+
+Status FaultInjector::Configure(const std::string& spec, uint64_t seed) {
+  std::map<std::string, double, std::less<>> probabilities;
+  double default_probability = -1;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(start, comma - start);
+    start = comma + 1;
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("fault spec entry needs point=prob: '" +
+                                     entry + "'");
+    }
+    const std::string point = entry.substr(0, eq);
+    char* end = nullptr;
+    const double prob = std::strtod(entry.c_str() + eq + 1, &end);
+    if (end == entry.c_str() + eq + 1 || *end != '\0' || prob < 0 ||
+        prob > 1) {
+      return Status::InvalidArgument(
+          "fault probability must be in [0,1]: '" + entry + "'");
+    }
+    if (point == "*") {
+      default_probability = prob;
+    } else {
+      probabilities[point] = prob;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  probabilities_ = std::move(probabilities);
+  default_probability_ = default_probability;
+  seed_ = seed;
+  points_.clear();
+  total_fired_.store(0, std::memory_order_relaxed);
+  enabled_.store(!probabilities_.empty() || default_probability_ >= 0,
+                 std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status FaultInjector::ConfigureFromEnv() {
+  const char* spec = std::getenv("TIND_FAULT_SPEC");
+  if (spec == nullptr || spec[0] == '\0') return Status::OK();
+  const char* seed_env = std::getenv("TIND_FAULT_SEED");
+  const uint64_t seed =
+      seed_env == nullptr ? 0 : std::strtoull(seed_env, nullptr, 10);
+  return Configure(spec, seed);
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  enabled_.store(false, std::memory_order_relaxed);
+  probabilities_.clear();
+  default_probability_ = -1;
+  points_.clear();
+  total_fired_.store(0, std::memory_order_relaxed);
+}
+
+bool FaultInjector::ShouldFire(std::string_view point) {
+  if (!enabled()) return false;
+  uint64_t hit;
+  double prob;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = probabilities_.find(point);
+    prob = it != probabilities_.end() ? it->second : default_probability_;
+    if (prob <= 0) return false;
+    hit = points_[std::string(point)].hits++;
+  }
+  // The decision is a pure function of (seed, point, hit index): map the
+  // mixed hash to [0, 1) and compare against the configured probability.
+  const uint64_t mixed =
+      HashCombine(HashCombine(SplitMix64(seed_), HashString(point)), hit);
+  const double draw =
+      static_cast<double>(mixed >> 11) * 0x1.0p-53;  // 53 mantissa bits.
+  if (draw >= prob) return false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++points_[std::string(point)].fired;
+  }
+  total_fired_.fetch_add(1, std::memory_order_relaxed);
+  TIND_OBS_COUNTER_ADD("fault/injected_total", 1);
+  return true;
+}
+
+uint64_t FaultInjector::fired(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.fired;
+}
+
+}  // namespace tind

@@ -1,0 +1,94 @@
+#ifndef TIND_COMMON_FAULT_INJECTION_H_
+#define TIND_COMMON_FAULT_INJECTION_H_
+
+/// \file fault_injection.h
+/// Deterministic, seeded fault injection for chaos testing the long-running
+/// pipeline paths (corpus I/O, thread-pool tasks, index allocation,
+/// discovery checkpointing). Production code marks *injection points* with
+/// TIND_FAULT_POINT("subsystem/event"); a disabled injector costs one
+/// relaxed atomic-bool load per point, and building with
+/// -DTIND_ENABLE_FAULT_INJECTION=OFF compiles every point down to `false`
+/// so Release binaries carry no chaos machinery at all.
+///
+/// Firing is a pure function of (seed, point name, per-point hit index), so
+/// a chaos run is bit-for-bit reproducible from its seed: the N-th arrival
+/// at a given point either always fires or never fires for that seed.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace tind {
+
+/// \brief Process-wide registry of named fault points with seeded,
+/// deterministic firing decisions. Thread-safe.
+class FaultInjector {
+ public:
+  /// The instance consulted by the TIND_FAULT_POINT macro.
+  static FaultInjector& Global();
+
+  /// Arms the injector. `spec` is a comma-separated list of
+  /// `point=probability` entries, e.g.
+  /// "corpus_io/read=0.02,thread_pool/task=0.01"; the point name "*" gives
+  /// a default probability for every point not listed explicitly.
+  /// Probabilities must be in [0, 1]. Resets all hit counters.
+  Status Configure(const std::string& spec, uint64_t seed);
+
+  /// Arms from the TIND_FAULT_SPEC / TIND_FAULT_SEED environment variables;
+  /// no-op (and OK) when TIND_FAULT_SPEC is unset or empty.
+  Status ConfigureFromEnv();
+
+  /// Disarms the injector and clears the spec and all counters.
+  void Reset();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Decides whether this arrival at `point` fires, deterministically from
+  /// (seed, point, arrival index). Records fired faults in the
+  /// "fault/injected_total" obs counter and per-point tallies.
+  bool ShouldFire(std::string_view point);
+
+  /// Total faults fired since the last Configure/Reset.
+  uint64_t total_fired() const {
+    return total_fired_.load(std::memory_order_relaxed);
+  }
+  /// Faults fired at one specific point since the last Configure/Reset.
+  uint64_t fired(std::string_view point) const;
+  uint64_t seed() const { return seed_; }
+
+ private:
+  struct PointState {
+    uint64_t hits = 0;
+    uint64_t fired = 0;
+  };
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::map<std::string, double, std::less<>> probabilities_;
+  double default_probability_ = -1;  ///< < 0 means unlisted points never fire.
+  std::map<std::string, PointState, std::less<>> points_;
+  uint64_t seed_ = 0;
+  std::atomic<uint64_t> total_fired_{0};
+};
+
+}  // namespace tind
+
+#ifndef TIND_FAULT_INJECTION_DISABLED
+#define TIND_FAULT_INJECTION_DISABLED 0
+#endif
+
+#if !TIND_FAULT_INJECTION_DISABLED
+/// True when the armed global injector decides this arrival should fail.
+#define TIND_FAULT_POINT(name)                      \
+  (::tind::FaultInjector::Global().enabled() &&     \
+   ::tind::FaultInjector::Global().ShouldFire(name))
+#else
+#define TIND_FAULT_POINT(name) false
+#endif
+
+#endif  // TIND_COMMON_FAULT_INJECTION_H_

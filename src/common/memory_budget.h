@@ -13,6 +13,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace tind {
 
@@ -24,17 +25,22 @@ class MemoryBudget {
       : capacity_(capacity_bytes) {}
 
   /// Reserves `bytes`; fails with OutOfMemory if the cap would be exceeded.
+  /// Rejections are tallied in the "memory/budget_rejections" obs counter.
   Status Allocate(size_t bytes) {
     size_t current = used_.load(std::memory_order_relaxed);
     while (true) {
-      const size_t next = current + bytes;
-      if (capacity_ != 0 && next > capacity_) {
+      // Guard with subtraction so `current + bytes` can never wrap size_t
+      // and slip past the cap. `current > capacity_` cannot happen through
+      // this API but keeps the arithmetic safe against misuse of Free().
+      if (capacity_ != 0 &&
+          (current > capacity_ || bytes > capacity_ - current)) {
+        TIND_OBS_COUNTER_ADD("memory/budget_rejections", 1);
         return Status::OutOfMemory(
             "memory budget exceeded: used " + std::to_string(current) +
             " + requested " + std::to_string(bytes) + " > capacity " +
             std::to_string(capacity_));
       }
-      if (used_.compare_exchange_weak(current, next,
+      if (used_.compare_exchange_weak(current, current + bytes,
                                       std::memory_order_relaxed)) {
         return Status::OK();
       }
@@ -50,6 +56,57 @@ class MemoryBudget {
  private:
   const size_t capacity_;
   std::atomic<size_t> used_{0};
+};
+
+/// \brief RAII tracker for bytes reserved from a MemoryBudget.
+///
+/// Accumulates reservations and releases the total on destruction, so a
+/// build path that fails halfway (or an index being destroyed) returns its
+/// bytes to the budget automatically. A default-constructed or
+/// null-budget reservation is a no-op accountant.
+class MemoryReservation {
+ public:
+  MemoryReservation() = default;
+  explicit MemoryReservation(MemoryBudget* budget) : budget_(budget) {}
+  ~MemoryReservation() { Release(); }
+
+  MemoryReservation(const MemoryReservation&) = delete;
+  MemoryReservation& operator=(const MemoryReservation&) = delete;
+  MemoryReservation(MemoryReservation&& other) noexcept
+      : budget_(other.budget_), bytes_(other.bytes_) {
+    other.budget_ = nullptr;
+    other.bytes_ = 0;
+  }
+  MemoryReservation& operator=(MemoryReservation&& other) noexcept {
+    if (this != &other) {
+      Release();
+      budget_ = other.budget_;
+      bytes_ = other.bytes_;
+      other.budget_ = nullptr;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+
+  /// Reserves `bytes` more from the budget (no-op success without one).
+  Status Reserve(size_t bytes) {
+    if (budget_ == nullptr) return Status::OK();
+    TIND_RETURN_IF_ERROR(budget_->Allocate(bytes));
+    bytes_ += bytes;
+    return Status::OK();
+  }
+
+  /// Returns everything reserved so far to the budget.
+  void Release() {
+    if (budget_ != nullptr && bytes_ > 0) budget_->Free(bytes_);
+    bytes_ = 0;
+  }
+
+  size_t bytes() const { return bytes_; }
+
+ private:
+  MemoryBudget* budget_ = nullptr;
+  size_t bytes_ = 0;
 };
 
 }  // namespace tind

@@ -20,6 +20,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Failed precondition";
     case StatusCode::kInternal:
       return "Internal error";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

@@ -24,6 +24,7 @@ enum class StatusCode : unsigned char {
   kIOError = 5,
   kFailedPrecondition = 6,
   kInternal = 7,
+  kCancelled = 8,
 };
 
 /// Returns a human-readable name for a status code, e.g. "Invalid argument".
@@ -66,6 +67,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -82,6 +86,7 @@ class Status {
   bool IsIOError() const { return code() == StatusCode::kIOError; }
   bool IsFailedPrecondition() const { return code() == StatusCode::kFailedPrecondition; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

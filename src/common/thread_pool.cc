@@ -1,7 +1,12 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <stdexcept>
 
+#include "common/fault_injection.h"
 #include "obs/metrics.h"
 
 namespace tind {
@@ -38,6 +43,11 @@ void ThreadPool::Enqueue(std::function<void()> task) {
   cv_.notify_one();
 }
 
+void ThreadPool::ReportDetachedException(const char* what) {
+  std::fprintf(stderr, "tind::ThreadPool: detached task threw: %s\n", what);
+  TIND_OBS_COUNTER_ADD("thread_pool/detached_exceptions", 1);
+}
+
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
@@ -52,38 +62,87 @@ void ThreadPool::WorkerLoop() {
     }
     TIND_OBS_GAUGE_SET("thread_pool/queue_depth", depth);
     TIND_OBS_COUNTER_ADD("thread_pool/tasks_executed", 1);
-    task();
+    // Task wrappers (packaged_task, the SubmitDetached shim) capture user
+    // exceptions themselves; this catch keeps a throwing wrapper from
+    // killing the worker (std::terminate) and reports it instead.
+    try {
+      task();
+    } catch (const std::exception& e) {
+      ReportDetachedException(e.what());
+    } catch (...) {
+      ReportDetachedException("non-std exception");
+    }
   }
 }
 
 void ThreadPool::ParallelFor(size_t begin, size_t end,
-                             const std::function<void(size_t)>& fn) {
+                             const std::function<void(size_t)>& fn,
+                             const CancellationToken* cancel) {
   if (begin >= end) return;
   TIND_OBS_COUNTER_ADD("thread_pool/parallel_for_calls", 1);
   TIND_OBS_COUNTER_ADD("thread_pool/parallel_for_items", end - begin);
   const size_t n = end - begin;
   const size_t num_chunks = std::min(n, num_threads() * 4);
+
+  // Shared failure state: the first exception wins, and its arrival (or a
+  // cancellation) makes every chunk bail at the next index boundary.
+  std::atomic<bool> abort{false};
+  std::exception_ptr first_exception;
+  std::mutex exception_mutex;
+  const auto should_stop = [&] {
+    return abort.load(std::memory_order_relaxed) ||
+           (cancel != nullptr && cancel->cancelled());
+  };
+  const auto run_index = [&](size_t i) {
+    if (TIND_FAULT_POINT("thread_pool/task")) {
+      throw std::runtime_error("injected fault: thread_pool/task");
+    }
+    if (TIND_FAULT_POINT("thread_pool/slow_task")) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    fn(i);
+  };
+
   if (num_chunks <= 1) {
-    for (size_t i = begin; i < end; ++i) fn(i);
+    for (size_t i = begin; i < end && !should_stop(); ++i) run_index(i);
     return;
   }
   const size_t chunk = (n + num_chunks - 1) / num_chunks;
   std::atomic<size_t> next{begin};
-  std::vector<std::future<void>> futures;
-  futures.reserve(num_chunks);
-  auto worker = [&] {
-    while (true) {
+  // Never throws: exceptions are parked in first_exception so that every
+  // queued copy of this lambda outlives the frame it captures by reference.
+  const auto worker = [&] {
+    while (!should_stop()) {
       const size_t lo = next.fetch_add(chunk);
       if (lo >= end) return;
       const size_t hi = std::min(end, lo + chunk);
-      for (size_t i = lo; i < hi; ++i) fn(i);
+      try {
+        for (size_t i = lo; i < hi; ++i) {
+          if (should_stop()) return;
+          run_index(i);
+        }
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(exception_mutex);
+          if (!first_exception) first_exception = std::current_exception();
+        }
+        abort.store(true, std::memory_order_relaxed);
+        return;
+      }
     }
   };
+  std::vector<std::future<void>> futures;
+  futures.reserve(num_chunks - 1);
   // Keep one share of the work on the calling thread so ParallelFor makes
   // progress even if all workers are busy with other submissions.
   for (size_t c = 1; c < num_chunks; ++c) futures.push_back(Submit(worker));
   worker();
+  // Drain unconditionally — the chunk lambdas reference this frame.
   for (auto& f : futures) f.get();
+  if (first_exception) {
+    TIND_OBS_COUNTER_ADD("thread_pool/parallel_for_exceptions", 1);
+    std::rethrow_exception(first_exception);
+  }
 }
 
 ThreadPool* DefaultThreadPool() {

@@ -6,6 +6,21 @@
 /// all-pairs problem, whole queries (the paper parallelizes over queries —
 /// Section 4.2.2). Also provides a ParallelFor convenience with static
 /// chunking, which matches the embarrassingly parallel shape of our loops.
+///
+/// Failure semantics:
+///  * Submit: the returned future owns the task's outcome. An exception
+///    thrown by the task is captured and rethrown from future::get(); a
+///    future that is discarded without get() silently discards the
+///    exception too — use SubmitDetached for fire-and-forget work.
+///  * SubmitDetached: a task whose exception escapes is reported to stderr
+///    and counted ("thread_pool/detached_exceptions") instead of vanishing.
+///  * ParallelFor: the first exception thrown by any chunk is captured,
+///    remaining chunks stop at the next index boundary, all in-flight work
+///    drains, and the exception is rethrown on the calling thread — no
+///    worker dies, no index is half-processed without the caller knowing.
+///  * Cancellation: pass a CancellationToken to ParallelFor to stop at the
+///    next index boundary; cancelled ranges simply leave the remaining
+///    indices unvisited (the caller checks the token to distinguish).
 
 #include <atomic>
 #include <condition_variable>
@@ -16,6 +31,8 @@
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/cancellation.h"
 
 namespace tind {
 
@@ -31,7 +48,8 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
-  /// Enqueues a task; the returned future yields its result.
+  /// Enqueues a task; the returned future yields its result (or rethrows
+  /// the task's exception). Discarding the future discards any exception.
   template <typename Fn>
   auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
     using R = std::invoke_result_t<Fn>;
@@ -41,18 +59,38 @@ class ThreadPool {
     return future;
   }
 
+  /// Fire-and-forget variant for tasks whose result nobody awaits. Unlike a
+  /// dropped Submit future, an escaping exception is loudly reported
+  /// (stderr + "thread_pool/detached_exceptions" counter) instead of lost.
+  template <typename Fn>
+  void SubmitDetached(Fn&& fn) {
+    Enqueue([f = std::forward<Fn>(fn)]() mutable {
+      try {
+        f();
+      } catch (const std::exception& e) {
+        ReportDetachedException(e.what());
+      } catch (...) {
+        ReportDetachedException("non-std exception");
+      }
+    });
+  }
+
   /// Runs `fn(i)` for all i in [begin, end), distributing contiguous chunks
-  /// over the pool. Blocks until every index has been processed. The calling
-  /// thread participates, so the pool may be used reentrantly from `fn` only
-  /// if no chunk blocks on another chunk.
+  /// over the pool. Blocks until every index has been processed, a chunk
+  /// throws (first exception rethrown here after all chunks drain), or
+  /// `cancel` is triggered (remaining indices are skipped). The calling
+  /// thread participates, so the pool may be used reentrantly from `fn`
+  /// only if no chunk blocks on another chunk.
   void ParallelFor(size_t begin, size_t end,
-                   const std::function<void(size_t)>& fn);
+                   const std::function<void(size_t)>& fn,
+                   const CancellationToken* cancel = nullptr);
 
  private:
   /// Non-template push path: takes the lock, records queue-depth metrics,
   /// and wakes one worker.
   void Enqueue(std::function<void()> task);
   void WorkerLoop();
+  static void ReportDetachedException(const char* what);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;

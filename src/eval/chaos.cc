@@ -1,0 +1,455 @@
+#include "eval/chaos.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include "common/fault_injection.h"
+#include "common/memory_budget.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "temporal/weights.h"
+#include "tind/discovery.h"
+#include "tind/index.h"
+#include "wiki/corpus_io.h"
+#include "wiki/generator.h"
+
+namespace tind::eval {
+
+namespace {
+
+/// Mirrors selfcheck's corpus scaling: tiny, but with every attribute class
+/// represented so discovery finds a non-trivial pair set to compare against.
+wiki::GeneratorOptions ScaledGeneratorOptions(const ChaosOptions& opts) {
+  wiki::GeneratorOptions gen;
+  gen.seed = opts.seed;
+  gen.num_days = opts.num_days;
+  gen.num_families = std::max<size_t>(2, opts.target_attributes / 14);
+  gen.num_noise_attributes =
+      std::max<size_t>(8, opts.target_attributes * 45 / 100);
+  gen.num_drifter_attributes =
+      std::max<size_t>(4, opts.target_attributes * 18 / 100);
+  gen.num_catchall_attributes = 2;
+  gen.shared_vocabulary = std::max<size_t>(150, opts.target_attributes / 4);
+  gen.entities_per_family_pool = 120;
+  return gen;
+}
+
+/// Collects per-check verdicts and remembers the first failure.
+class CheckList {
+ public:
+  void Record(const std::string& name, bool ok, std::string detail = "") {
+    obs::JsonValue check = obs::JsonValue::Object();
+    check.Set("name", obs::JsonValue(name));
+    check.Set("ok", obs::JsonValue(ok));
+    if (!detail.empty()) check.Set("detail", obs::JsonValue(detail));
+    checks_.Append(std::move(check));
+    if (!ok && first_failure_.empty()) {
+      first_failure_ = detail.empty() ? name : name + ": " + detail;
+    }
+  }
+
+  bool all_ok() const { return first_failure_.empty(); }
+  const std::string& first_failure() const { return first_failure_; }
+  obs::JsonValue&& TakeJson() { return std::move(checks_); }
+
+ private:
+  obs::JsonValue checks_ = obs::JsonValue::Array();
+  std::string first_failure_;
+};
+
+/// Restores the metrics registry's enabled flag and disarms the fault
+/// injector on scope exit, whatever path the check takes out.
+class ChaosScopeGuard {
+ public:
+  ChaosScopeGuard() : previous_(obs::MetricsRegistry::Global().enabled()) {}
+  ~ChaosScopeGuard() {
+    FaultInjector::Global().Reset();
+    obs::MetricsRegistry::Global().set_enabled(previous_);
+  }
+
+ private:
+  bool previous_;
+};
+
+bool FileExists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+std::string PairsDiff(size_t got, size_t want) {
+  return std::to_string(got) + " pairs vs baseline " + std::to_string(want);
+}
+
+}  // namespace
+
+Result<ChaosReport> RunChaosCheck(const ChaosOptions& options) {
+#if TIND_FAULT_INJECTION_DISABLED
+  (void)options;
+  return Status::FailedPrecondition(
+      "this binary was built with TIND_ENABLE_FAULT_INJECTION=OFF; "
+      "chaos checks need the fault points compiled in");
+#else
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  FaultInjector& injector = FaultInjector::Global();
+  ChaosScopeGuard scope_guard;
+  registry.Reset();
+  registry.set_enabled(true);
+  injector.Reset();
+
+  Stopwatch total;
+  CheckList checks;
+  const std::string prob = std::to_string(options.fault_probability);
+  const std::string tag = std::to_string(options.seed);
+  const std::string corpus_path =
+      options.work_dir + "/chaos-corpus-" + tag + ".txt";
+  const std::string ckpt_path = options.work_dir + "/chaos-ckpt-" + tag;
+
+#if defined(__unix__) || defined(__APPLE__)
+  // Scratch files land under work_dir; create it so a fresh --work_dir does
+  // not masquerade as an I/O fault.
+  if (::mkdir(options.work_dir.c_str(), 0777) != 0 && errno != EEXIST) {
+    return Status::IOError("cannot create work_dir " + options.work_dir +
+                           ": " + std::strerror(errno));
+  }
+#endif
+
+  // ---- Stage 0: fault-free baseline -------------------------------------
+  wiki::GeneratedDataset generated;
+  {
+    auto result =
+        wiki::WikiGenerator(ScaledGeneratorOptions(options)).GenerateDataset();
+    TIND_RETURN_IF_ERROR(result.status());
+    generated = std::move(*result);
+  }
+  const Dataset& dataset = generated.dataset;
+  if (dataset.size() < 8) {
+    return Status::FailedPrecondition(
+        "chaos corpus too small: " + std::to_string(dataset.size()) +
+        " attributes survived generation");
+  }
+  const ConstantWeight weight(dataset.domain().num_timestamps());
+  const TindParams params{/*epsilon=*/3.0, /*delta=*/7, &weight};
+  TindIndexOptions index_options;
+  index_options.bloom_bits = 1024;
+  index_options.num_slices = 8;
+  index_options.delta = params.delta;
+  index_options.epsilon = params.epsilon;
+  index_options.weight = &weight;
+  auto built = TindIndex::Build(dataset, index_options);
+  TIND_RETURN_IF_ERROR(built.status());
+  const TindIndex& index = **built;
+
+  AllPairsResult baseline;
+  {
+    // Sequential on purpose: no threads may exist before the fork stage.
+    auto result = DiscoverAllTinds(index, params, DiscoveryOptions{});
+    TIND_RETURN_IF_ERROR(result.status());
+    baseline = std::move(*result);
+  }
+  checks.Record("baseline_found_pairs", !baseline.pairs.empty(),
+                "fault-free discovery found no pairs to compare against");
+
+  // ---- Stage 1: kill/resume (fork + SIGKILL) ----------------------------
+#if defined(__unix__) || defined(__APPLE__)
+  if (options.run_kill_resume) {
+    std::remove(ckpt_path.c_str());
+    bool child_killed = false;
+    std::string stage_failure;
+    for (int attempt = 0; attempt < 8 && !child_killed; ++attempt) {
+      const pid_t pid = ::fork();
+      if (pid < 0) {
+        stage_failure = std::string("fork failed: ") + std::strerror(errno);
+        break;
+      }
+      if (pid == 0) {
+        // Child: arm the power-loss fault and run checkpointed discovery.
+        // _exit (not exit) so the parent's atexit/streams are untouched.
+        const Status armed = injector.Configure(
+            "discovery/die=" + prob, options.seed + static_cast<uint64_t>(attempt));
+        if (!armed.ok()) ::_exit(3);
+        DiscoveryOptions child_opts;
+        child_opts.checkpoint_path = ckpt_path;
+        child_opts.checkpoint_interval = 4;
+        auto child_run = DiscoverAllTinds(index, params, child_opts);
+        ::_exit(child_run.ok() ? 0 : 2);
+      }
+      int wstatus = 0;
+      if (::waitpid(pid, &wstatus, 0) != pid) {
+        stage_failure = std::string("waitpid failed: ") + std::strerror(errno);
+        break;
+      }
+      if (WIFSIGNALED(wstatus) && WTERMSIG(wstatus) == SIGKILL) {
+        // Only count attempts that also left a checkpoint behind: a child
+        // killed before its first checkpoint proves nothing about resume.
+        if (FileExists(ckpt_path)) {
+          child_killed = true;
+        }
+      } else if (WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0) {
+        // The die fault never fired for this seed; a successful run deletes
+        // its checkpoint. Try the next seed.
+        std::remove(ckpt_path.c_str());
+      } else {
+        stage_failure = "unexpected child status " + std::to_string(wstatus);
+        break;
+      }
+    }
+    checks.Record("kill_resume_child_killed_with_checkpoint", child_killed,
+                  stage_failure.empty()
+                      ? (child_killed ? "" : "no attempt left a checkpoint")
+                      : stage_failure);
+    if (child_killed) {
+      injector.Reset();
+      DiscoveryOptions resume_opts;
+      resume_opts.checkpoint_path = ckpt_path;
+      resume_opts.checkpoint_interval = 4;
+      auto resumed = DiscoverAllTinds(index, params, resume_opts);
+      checks.Record("kill_resume_resume_ok", resumed.ok(),
+                    resumed.ok() ? "" : resumed.status().ToString());
+      if (resumed.ok()) {
+        checks.Record("kill_resume_pairs_match_baseline",
+                      resumed->pairs == baseline.pairs,
+                      PairsDiff(resumed->pairs.size(), baseline.pairs.size()));
+        checks.Record(
+            "kill_resume_restored_queries",
+            resumed->resumed_queries > 0,
+            "resume ran from scratch despite a checkpoint being present");
+        checks.Record("kill_resume_checkpoint_deleted_after_success",
+                      !FileExists(ckpt_path));
+      }
+    }
+    std::remove(ckpt_path.c_str());
+  }
+#endif  // defined(__unix__) || defined(__APPLE__)
+
+  // ---- Stage 2: corpus I/O faults ---------------------------------------
+  {
+    injector.Reset();
+    const Status written =
+        wiki::WriteDatasetFile(dataset, &generated.ground_truth, corpus_path);
+    TIND_RETURN_IF_ERROR(written);
+
+    // Injected atomic-write failure must not clobber the existing file.
+    TIND_RETURN_IF_ERROR(injector.Configure("corpus_io/write=1", options.seed));
+    const Status chaos_write =
+        wiki::WriteDatasetFile(dataset, &generated.ground_truth, corpus_path);
+    checks.Record("corpus_write_fault_surfaces_as_error", !chaos_write.ok(),
+                  chaos_write.ok() ? "injected write fault was swallowed" : "");
+    injector.Reset();
+    auto clean = wiki::ReadDatasetFile(corpus_path);
+    checks.Record(
+        "corpus_survives_failed_write",
+        clean.ok() && clean->dataset.size() == dataset.size(),
+        clean.ok() ? "" : clean.status().ToString());
+
+    // Strict read: any injected record fault must abort with an error.
+    TIND_RETURN_IF_ERROR(
+        injector.Configure("corpus_io/read=" + prob, options.seed));
+    auto strict = wiki::ReadDatasetFile(corpus_path);
+    const uint64_t strict_fired = injector.fired("corpus_io/read");
+    checks.Record("corpus_strict_read_faults_surface",
+                  strict_fired == 0 ? strict.ok() : !strict.ok(),
+                  "fired=" + std::to_string(strict_fired) + " status=" +
+                      strict.status().ToString());
+
+    // Lenient read: the same faults must be skipped and counted, not fatal.
+    TIND_RETURN_IF_ERROR(
+        injector.Configure("corpus_io/read=" + prob, options.seed));
+    wiki::ReadOptions lenient;
+    lenient.strict = false;
+    auto salvaged = wiki::ReadDatasetFile(corpus_path, lenient);
+    const uint64_t lenient_fired = injector.fired("corpus_io/read");
+    checks.Record("corpus_lenient_read_survives_faults", salvaged.ok(),
+                  salvaged.ok() ? "" : salvaged.status().ToString());
+    if (salvaged.ok()) {
+      checks.Record(
+          "corpus_lenient_skip_count_matches_faults",
+          salvaged->skipped_records == lenient_fired,
+          "skipped " + std::to_string(salvaged->skipped_records) +
+              " records, fired " + std::to_string(lenient_fired) + " faults");
+    }
+    injector.Reset();
+
+    // Truncation (no injector needed): lenient salvages, strict refuses.
+    std::string full;
+    {
+      std::ifstream in(corpus_path, std::ios::binary);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      full = buf.str();
+    }
+    const std::string truncated_path = corpus_path + ".truncated";
+    {
+      std::ofstream out(truncated_path, std::ios::binary | std::ios::trunc);
+      out.write(full.data(),
+                static_cast<std::streamsize>(full.size() * 6 / 10));
+    }
+    auto strict_trunc = wiki::ReadDatasetFile(truncated_path);
+    checks.Record("corpus_strict_rejects_truncation", !strict_trunc.ok());
+    auto lenient_trunc = wiki::ReadDatasetFile(truncated_path, lenient);
+    checks.Record("corpus_lenient_salvages_truncation",
+                  lenient_trunc.ok() && lenient_trunc->truncated,
+                  lenient_trunc.ok() ? "truncated flag not set"
+                                     : lenient_trunc.status().ToString());
+    std::remove(truncated_path.c_str());
+  }
+
+  // ---- Stage 3: thread-pool task faults ---------------------------------
+  {
+    ThreadPool pool(4);
+    TIND_RETURN_IF_ERROR(
+        injector.Configure("thread_pool/task=" + prob, options.seed));
+    DiscoveryOptions pool_opts;
+    pool_opts.pool = &pool;
+    auto chaotic = DiscoverAllTinds(index, params, pool_opts);
+    const uint64_t task_fired = injector.fired("thread_pool/task");
+    if (task_fired > 0) {
+      checks.Record("thread_pool_fault_degrades_to_internal",
+                    !chaotic.ok() && chaotic.status().IsInternal(),
+                    chaotic.status().ToString());
+    } else {
+      checks.Record("thread_pool_no_fault_matches_baseline",
+                    chaotic.ok() && chaotic->pairs == baseline.pairs);
+    }
+    // Slow tasks must never change the result, only the timing.
+    TIND_RETURN_IF_ERROR(
+        injector.Configure("thread_pool/slow_task=0.2", options.seed));
+    auto slowed = DiscoverAllTinds(index, params, pool_opts);
+    checks.Record("thread_pool_slow_tasks_keep_result",
+                  slowed.ok() && slowed->pairs == baseline.pairs,
+                  slowed.ok()
+                      ? PairsDiff(slowed->pairs.size(), baseline.pairs.size())
+                      : slowed.status().ToString());
+    injector.Reset();
+  }
+
+  // ---- Stage 4: memory-budget exhaustion --------------------------------
+  {
+    MemoryBudget tiny(1024);
+    TindIndexOptions capped = index_options;
+    capped.memory = &tiny;
+    auto capped_build = TindIndex::Build(dataset, capped);
+    checks.Record("index_build_over_budget_is_oom",
+                  !capped_build.ok() && capped_build.status().IsOutOfMemory(),
+                  capped_build.ok() ? "build succeeded under a 1KB cap"
+                                    : capped_build.status().ToString());
+    checks.Record("index_build_budget_released_on_failure", tiny.used() == 0,
+                  std::to_string(tiny.used()) + " bytes leaked");
+
+    TIND_RETURN_IF_ERROR(injector.Configure("index/alloc=1", options.seed));
+    auto alloc_fault = TindIndex::Build(dataset, index_options);
+    checks.Record("index_alloc_fault_is_oom",
+                  !alloc_fault.ok() && alloc_fault.status().IsOutOfMemory(),
+                  alloc_fault.ok() ? "injected alloc fault was swallowed"
+                                   : alloc_fault.status().ToString());
+    injector.Reset();
+
+    const size_t result_bytes = baseline.pairs.size() * sizeof(AttributeId);
+    if (result_bytes >= 8) {
+      MemoryBudget half(std::max<size_t>(1, result_bytes / 2));
+      std::remove(ckpt_path.c_str());
+      DiscoveryOptions capped_opts;
+      capped_opts.memory = &half;
+      capped_opts.checkpoint_path = ckpt_path;
+      capped_opts.checkpoint_interval = 4;
+      auto capped_run = DiscoverAllTinds(index, params, capped_opts);
+      checks.Record("discovery_over_budget_is_oom",
+                    !capped_run.ok() && capped_run.status().IsOutOfMemory(),
+                    capped_run.ok() ? "discovery fit in half its result size"
+                                    : capped_run.status().ToString());
+      checks.Record("discovery_budget_released_on_failure", half.used() == 0,
+                    std::to_string(half.used()) + " bytes leaked");
+      checks.Record("discovery_oom_leaves_checkpoint", FileExists(ckpt_path));
+      std::remove(ckpt_path.c_str());
+    }
+  }
+
+  // ---- Stage 5: preempt + resume ----------------------------------------
+  {
+    std::remove(ckpt_path.c_str());
+    TIND_RETURN_IF_ERROR(
+        injector.Configure("discovery/preempt=" + prob, options.seed));
+    DiscoveryOptions preempt_opts;
+    preempt_opts.checkpoint_path = ckpt_path;
+    preempt_opts.checkpoint_interval = 4;
+    auto preempted = DiscoverAllTinds(index, params, preempt_opts);
+    const uint64_t preempt_fired = injector.fired("discovery/preempt");
+    injector.Reset();
+    if (preempt_fired > 0) {
+      checks.Record("preempt_fault_is_cancelled",
+                    !preempted.ok() && preempted.status().IsCancelled(),
+                    preempted.status().ToString());
+      auto resumed = DiscoverAllTinds(index, params, preempt_opts);
+      checks.Record(
+          "preempt_resume_matches_baseline",
+          resumed.ok() && resumed->pairs == baseline.pairs,
+          resumed.ok() ? PairsDiff(resumed->pairs.size(), baseline.pairs.size())
+                       : resumed.status().ToString());
+    } else {
+      checks.Record("preempt_no_fault_matches_baseline",
+                    preempted.ok() && preempted->pairs == baseline.pairs);
+    }
+    std::remove(ckpt_path.c_str());
+  }
+  std::remove(corpus_path.c_str());
+
+  // ---- Metric assertions -------------------------------------------------
+#if !TIND_OBS_DISABLED
+  checks.Record("metric_faults_injected_counted",
+                registry.GetCounter("fault/injected_total")->value() > 0,
+                "no fault firing reached the obs registry");
+  checks.Record(
+      "metric_checkpoints_written_counted",
+      registry.GetCounter("discovery/checkpoints_written")->value() > 0);
+  checks.Record("metric_budget_rejections_counted",
+                registry.GetCounter("memory/budget_rejections")->value() > 0);
+#endif  // !TIND_OBS_DISABLED
+
+  ChaosReport report;
+  report.ok = checks.all_ok();
+  report.failure = checks.first_failure();
+  // Configure/Reset clear the injector's own tallies between stages; the
+  // registry counter spans the whole run.
+#if !TIND_OBS_DISABLED
+  report.faults_injected =
+      registry.GetCounter("fault/injected_total")->value();
+#endif
+
+  obs::JsonValue root = obs::JsonValue::Object();
+  root.Set("ok", obs::JsonValue(report.ok));
+  obs::JsonValue setup = obs::JsonValue::Object();
+  setup.Set("attributes",
+            obs::JsonValue(static_cast<uint64_t>(dataset.size())));
+  setup.Set("baseline_pairs",
+            obs::JsonValue(static_cast<uint64_t>(baseline.pairs.size())));
+  setup.Set("seed", obs::JsonValue(options.seed));
+  setup.Set("fault_probability", obs::JsonValue(options.fault_probability));
+  root.Set("setup", std::move(setup));
+  root.Set("checks", checks.TakeJson());
+  root.Set("metrics", registry.ToJson());
+  report.json = root.Dump(2);
+
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "chaos %s: seed %llu, %zu baseline pairs, %.2fs",
+                report.ok ? "OK" : "FAILED",
+                static_cast<unsigned long long>(options.seed),
+                baseline.pairs.size(), total.ElapsedSeconds());
+  report.summary = buf;
+  return report;
+#endif  // TIND_FAULT_INJECTION_DISABLED
+}
+
+}  // namespace tind::eval

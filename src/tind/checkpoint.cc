@@ -1,0 +1,152 @@
+#include "tind/checkpoint.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "common/crc32.h"
+#include "common/fault_injection.h"
+
+namespace tind {
+
+namespace {
+
+Status ErrAt(const std::string& path, size_t line, const std::string& msg) {
+  return Status::IOError(path + " line " + std::to_string(line) + ": " + msg);
+}
+
+}  // namespace
+
+Status SaveDiscoveryCheckpoint(const DiscoveryCheckpoint& checkpoint,
+                               const std::string& path) {
+  if (TIND_FAULT_POINT("discovery/checkpoint_write")) {
+    return Status::IOError("injected fault: discovery/checkpoint_write (" +
+                           path + ")");
+  }
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::trunc);
+    if (!file.is_open()) return Status::IOError("cannot open " + tmp);
+    Crc32 crc;
+    std::string line;
+    const auto emit = [&](const std::string& s) {
+      crc.Update(s);
+      crc.Update('\n');
+      file << s << '\n';
+    };
+    emit("TIND-CKPT 1 " + std::to_string(checkpoint.num_queries));
+    for (const auto& [query, rhs_list] : checkpoint.completed) {
+      line = "Q ";
+      line += std::to_string(query);
+      line += ' ';
+      line += std::to_string(rhs_list.size());
+      for (const AttributeId rhs : rhs_list) {
+        line += ' ';
+        line += std::to_string(rhs);
+      }
+      emit(line);
+    }
+    char footer[24];
+    std::snprintf(footer, sizeof(footer), "footer %08x", crc.value());
+    file << footer << '\n';
+    file.flush();
+    if (!file.good()) {
+      file.close();
+      std::remove(tmp.c_str());
+      return Status::IOError("write failed on " + tmp);
+    }
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  const int fd = ::open(tmp.c_str(), O_WRONLY);
+  if (fd < 0 || ::fsync(fd) != 0) {
+    const std::string err = std::strerror(errno);
+    if (fd >= 0) ::close(fd);
+    std::remove(tmp.c_str());
+    return Status::IOError("fsync " + tmp + " failed: " + err);
+  }
+  ::close(fd);
+#endif
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string err = std::strerror(errno);
+    std::remove(tmp.c_str());
+    return Status::IOError("rename " + tmp + " -> " + path + " failed: " + err);
+  }
+  return Status::OK();
+}
+
+Result<DiscoveryCheckpoint> LoadDiscoveryCheckpoint(const std::string& path) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::NotFound("no checkpoint at " + path);
+  }
+  DiscoveryCheckpoint checkpoint;
+  Crc32 crc;
+  uint32_t crc_before_line = 0;
+  std::string line;
+  size_t line_number = 0;
+  const auto next = [&]() -> bool {
+    if (!std::getline(file, line)) return false;
+    ++line_number;
+    crc_before_line = crc.value();
+    crc.Update(line);
+    crc.Update('\n');
+    return true;
+  };
+  if (!next()) return ErrAt(path, 1, "empty checkpoint");
+  {
+    std::istringstream ls(line);
+    std::string magic;
+    int version = 0;
+    if (!(ls >> magic >> version >> checkpoint.num_queries) ||
+        magic != "TIND-CKPT" || version != 1) {
+      return ErrAt(path, line_number, "bad checkpoint header: " + line);
+    }
+  }
+  bool saw_footer = false;
+  while (next()) {
+    if (line.rfind("footer ", 0) == 0) {
+      char* end = nullptr;
+      const unsigned long claimed = std::strtoul(line.c_str() + 7, &end, 16);
+      if (end == line.c_str() + 7 || *end != '\0' ||
+          static_cast<uint32_t>(claimed) != crc_before_line) {
+        return ErrAt(path, line_number, "checkpoint CRC mismatch");
+      }
+      saw_footer = true;
+      break;
+    }
+    std::istringstream ls(line);
+    std::string tag;
+    uint64_t query = 0;
+    size_t count = 0;
+    if (!(ls >> tag >> query >> count) || tag != "Q" ||
+        query >= checkpoint.num_queries) {
+      return ErrAt(path, line_number, "bad checkpoint record: " + line);
+    }
+    std::vector<AttributeId> rhs_list(count);
+    for (size_t i = 0; i < count; ++i) {
+      if (!(ls >> rhs_list[i])) {
+        return ErrAt(path, line_number, "bad checkpoint record: " + line);
+      }
+    }
+    checkpoint.completed.emplace_back(static_cast<AttributeId>(query),
+                                      std::move(rhs_list));
+  }
+  if (!saw_footer) {
+    return ErrAt(path, line_number + 1,
+                 "truncated checkpoint: missing footer");
+  }
+  return checkpoint;
+}
+
+void RemoveDiscoveryCheckpoint(const std::string& path) {
+  std::remove(path.c_str());
+}
+
+}  // namespace tind

@@ -1,0 +1,50 @@
+#ifndef TIND_TIND_CHECKPOINT_H_
+#define TIND_TIND_CHECKPOINT_H_
+
+/// \file checkpoint.h
+/// Sidecar checkpoint files for all-pairs discovery. A checkpoint records
+/// which queries have completed and the pairs they found, so a killed run
+/// (OOM, SIGKILL, preemption) restarts from the last checkpoint instead of
+/// from scratch. Files are written atomically (temp + fsync + rename) and
+/// carry a CRC footer, so a crash mid-write leaves the previous checkpoint
+/// intact and a corrupt file is detected at load time.
+///
+/// Format (line-oriented):
+///
+///   TIND-CKPT 1 <num_queries>
+///   Q <query-id> <count> <rhs-id> ...      one line per completed query
+///   footer <crc32-hex>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "temporal/dataset.h"
+
+namespace tind {
+
+/// Completed-query state persisted between discovery runs.
+struct DiscoveryCheckpoint {
+  /// Total query count of the run (guards resuming against a different
+  /// dataset).
+  size_t num_queries = 0;
+  /// (query id, its result list) for every completed query.
+  std::vector<std::pair<AttributeId, std::vector<AttributeId>>> completed;
+};
+
+/// Writes `checkpoint` to `path` atomically.
+Status SaveDiscoveryCheckpoint(const DiscoveryCheckpoint& checkpoint,
+                               const std::string& path);
+
+/// Loads a checkpoint written by SaveDiscoveryCheckpoint. NotFound when the
+/// file does not exist; IOError (with a line number) when it is corrupt or
+/// truncated — callers typically treat both as "start fresh".
+Result<DiscoveryCheckpoint> LoadDiscoveryCheckpoint(const std::string& path);
+
+/// Deletes the checkpoint file if present (after a successful run).
+void RemoveDiscoveryCheckpoint(const std::string& path);
+
+}  // namespace tind
+
+#endif  // TIND_TIND_CHECKPOINT_H_

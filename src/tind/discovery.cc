@@ -1,37 +1,223 @@
 #include "tind/discovery.h"
 
 #include <atomic>
+#include <csignal>
+#include <mutex>
+#include <stdexcept>
 
+#include "common/fault_injection.h"
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
+#include "tind/checkpoint.h"
 
 namespace tind {
 
+namespace {
+
+/// Snapshots the completed queries for a checkpoint write. Caller holds the
+/// discovery state lock.
+DiscoveryCheckpoint MakeCheckpoint(
+    size_t n, const std::vector<char>& done,
+    const std::vector<std::vector<AttributeId>>& per_query) {
+  DiscoveryCheckpoint checkpoint;
+  checkpoint.num_queries = n;
+  for (size_t q = 0; q < n; ++q) {
+    if (done[q]) {
+      checkpoint.completed.emplace_back(static_cast<AttributeId>(q),
+                                        per_query[q]);
+    }
+  }
+  return checkpoint;
+}
+
+/// Returns accumulated result bytes to the budget on every exit path.
+struct BudgetGuard {
+  MemoryBudget* budget;
+  const std::atomic<size_t>* bytes;
+  ~BudgetGuard() {
+    if (budget != nullptr) budget->Free(bytes->load());
+  }
+};
+
+}  // namespace
+
 AllPairsResult DiscoverAllTinds(const TindIndex& index, const TindParams& params,
                                 ThreadPool* pool) {
+  DiscoveryOptions options;
+  options.pool = pool;
+  auto result = DiscoverAllTinds(index, params, options);
+  if (!result.ok()) {
+    // With no cancellation, budget, or checkpointing configured the
+    // options overload can only fail on a throwing task; preserve the
+    // legacy exception contract for that case.
+    throw std::runtime_error(result.status().ToString());
+  }
+  return std::move(*result);
+}
+
+Result<AllPairsResult> DiscoverAllTinds(const TindIndex& index,
+                                        const TindParams& params,
+                                        const DiscoveryOptions& options) {
   const Dataset& dataset = index.dataset();
   const size_t n = dataset.size();
   Stopwatch timer;
   TIND_OBS_SCOPED_TIMER("discover_all_pairs");
-  TIND_OBS_COUNTER_ADD("discover/queries", n);
+
   std::vector<std::vector<AttributeId>> per_query(n);
+  std::vector<char> done(n, 0);
+  size_t resumed = 0;
+  if (!options.checkpoint_path.empty()) {
+    auto loaded = LoadDiscoveryCheckpoint(options.checkpoint_path);
+    if (loaded.ok() && loaded->num_queries == n) {
+      for (auto& [q, rhs_list] : loaded->completed) {
+        if (q < n && !done[q]) {
+          per_query[q] = std::move(rhs_list);
+          done[q] = 1;
+          ++resumed;
+        }
+      }
+      TIND_OBS_COUNTER_ADD("discovery/resumed_queries", resumed);
+    } else if (!loaded.ok() && !loaded.status().IsNotFound()) {
+      // Corrupt checkpoint: start fresh rather than fail the whole run.
+      TIND_OBS_COUNTER_ADD("discovery/checkpoints_corrupt", 1);
+    }
+  }
+  TIND_OBS_COUNTER_ADD("discover/queries", n - resumed);
+
+  // Shared run state. `internal_cancel` trips on user cancellation, budget
+  // exhaustion, or an injected preemption, and stops ParallelFor at the
+  // next index boundary.
+  CancellationToken internal_cancel;
+  std::atomic<bool> user_cancelled{false};
   std::atomic<size_t> total_validations{0};
+  std::atomic<size_t> reserved_bytes{0};
+  BudgetGuard budget_guard{options.memory, &reserved_bytes};
+  std::mutex state_mutex;
+  Status oom_status;             // Guarded by state_mutex until the join.
+  size_t completed = resumed;    // Guarded by state_mutex.
+  size_t since_checkpoint = 0;   // Guarded by state_mutex.
+  std::atomic<size_t> checkpoints_written{0};
+  std::atomic<size_t> checkpoint_failures{0};
+
+  const auto record_checkpoint_write = [&](const Status& written) {
+    if (written.ok()) {
+      checkpoints_written.fetch_add(1);
+      TIND_OBS_COUNTER_ADD("discovery/checkpoints_written", 1);
+    } else {
+      // Non-fatal: the run only loses resume granularity.
+      checkpoint_failures.fetch_add(1);
+      TIND_OBS_COUNTER_ADD("discovery/checkpoint_failures", 1);
+    }
+  };
+
   const auto run_query = [&](size_t q) {
+    if (done[q]) return;  // Restored from the checkpoint.
+    if (options.cancel != nullptr && options.cancel->cancelled()) {
+      user_cancelled.store(true, std::memory_order_relaxed);
+      internal_cancel.Cancel();
+      return;
+    }
+    // Chaos-only: an injected preemption behaves like an external stop
+    // request, and an injected die simulates power loss — the checkpoint on
+    // disk must carry the recovery on its own.
+    if (TIND_FAULT_POINT("discovery/preempt")) {
+      user_cancelled.store(true, std::memory_order_relaxed);
+      internal_cancel.Cancel();
+      return;
+    }
+    if (TIND_FAULT_POINT("discovery/die")) std::raise(SIGKILL);
     QueryStats stats;
     // Per-query validation stays sequential: with many concurrent queries,
     // nesting validation parallelism only adds contention.
-    per_query[q] = index.Search(dataset.attribute(static_cast<AttributeId>(q)),
-                                params, &stats, /*pool=*/nullptr);
+    std::vector<AttributeId> rhs_list =
+        index.Search(dataset.attribute(static_cast<AttributeId>(q)), params,
+                     &stats, /*pool=*/nullptr);
     total_validations.fetch_add(stats.validations, std::memory_order_relaxed);
+    if (options.memory != nullptr) {
+      const size_t bytes = rhs_list.size() * sizeof(AttributeId);
+      const Status reserve = options.memory->Allocate(bytes);
+      if (!reserve.ok()) {
+        {
+          std::lock_guard<std::mutex> lock(state_mutex);
+          if (oom_status.ok()) oom_status = reserve;
+        }
+        internal_cancel.Cancel();
+        return;
+      }
+      reserved_bytes.fetch_add(bytes, std::memory_order_relaxed);
+    }
+    bool write_checkpoint = false;
+    DiscoveryCheckpoint snapshot;
+    {
+      std::lock_guard<std::mutex> lock(state_mutex);
+      per_query[q] = std::move(rhs_list);
+      done[q] = 1;
+      ++completed;
+      if (!options.checkpoint_path.empty() &&
+          ++since_checkpoint >= options.checkpoint_interval) {
+        since_checkpoint = 0;
+        snapshot = MakeCheckpoint(n, done, per_query);
+        write_checkpoint = true;
+      }
+    }
+    if (write_checkpoint) {
+      record_checkpoint_write(
+          SaveDiscoveryCheckpoint(snapshot, options.checkpoint_path));
+    }
   };
-  if (pool != nullptr) {
-    pool->ParallelFor(0, n, run_query);
-  } else {
-    for (size_t q = 0; q < n; ++q) run_query(q);
+
+  const auto write_final_checkpoint = [&] {
+    if (options.checkpoint_path.empty()) return;
+    DiscoveryCheckpoint snapshot;
+    {
+      std::lock_guard<std::mutex> lock(state_mutex);
+      snapshot = MakeCheckpoint(n, done, per_query);
+    }
+    record_checkpoint_write(
+        SaveDiscoveryCheckpoint(snapshot, options.checkpoint_path));
+  };
+
+  try {
+    if (options.pool != nullptr) {
+      options.pool->ParallelFor(0, n, run_query, &internal_cancel);
+    } else {
+      for (size_t q = 0; q < n && !internal_cancel.cancelled(); ++q) {
+        run_query(q);
+      }
+    }
+  } catch (const std::exception& e) {
+    // A query task threw (ParallelFor rethrows the first exception after
+    // draining). Preserve completed work, degrade to a Status.
+    write_final_checkpoint();
+    return Status::Internal(std::string("discovery query task failed: ") +
+                            e.what());
   }
+
+  if (!oom_status.ok()) {
+    write_final_checkpoint();
+    return Status::OutOfMemory(
+        oom_status.message() + " (discovery stopped after " +
+        std::to_string(completed) + "/" + std::to_string(n) +
+        " queries; result bytes reserved: " +
+        std::to_string(reserved_bytes.load()) + ")");
+  }
+  if (user_cancelled.load() ||
+      (options.cancel != nullptr && options.cancel->cancelled())) {
+    write_final_checkpoint();
+    return Status::Cancelled(
+        "discovery cancelled after " + std::to_string(completed) + "/" +
+        std::to_string(n) + " queries" +
+        (options.checkpoint_path.empty()
+             ? ""
+             : "; checkpoint at " + options.checkpoint_path));
+  }
+
   AllPairsResult result;
   result.num_queries = n;
   result.total_validations = total_validations.load();
+  result.resumed_queries = resumed;
+  result.checkpoints_written = checkpoints_written.load();
+  result.checkpoint_failures = checkpoint_failures.load();
   size_t total_pairs = 0;
   for (const auto& rhs_list : per_query) total_pairs += rhs_list.size();
   result.pairs.reserve(total_pairs);
@@ -45,6 +231,10 @@ AllPairsResult DiscoverAllTinds(const TindIndex& index, const TindParams& params
   result.elapsed_seconds = timer.ElapsedSeconds();
   TIND_OBS_COUNTER_ADD("discover/pairs", result.pairs.size());
   TIND_OBS_COUNTER_ADD("discover/validations", result.total_validations);
+  // The run completed: the sidecar has served its purpose.
+  if (!options.checkpoint_path.empty()) {
+    RemoveDiscoveryCheckpoint(options.checkpoint_path);
+  }
   return result;
 }
 

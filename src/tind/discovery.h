@@ -7,10 +7,20 @@
 /// index. As the paper notes (Section 4.2.2), it is superior to parallelize
 /// the *queries* rather than the per-query validations, which is what this
 /// driver does.
+///
+/// Fault tolerance: the options-based overload supports cooperative
+/// cancellation, byte budgeting of the accumulated result set (the k-MANY
+/// failure mode of Figure 7, reported as OutOfMemory instead of dying), and
+/// periodic checkpoints to a sidecar file so a killed run resumes from the
+/// last checkpoint and still produces the identical sorted pair set.
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "common/cancellation.h"
+#include "common/memory_budget.h"
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "temporal/dataset.h"
 #include "tind/index.h"
@@ -36,12 +46,45 @@ struct AllPairsResult {
   double elapsed_seconds = 0;   ///< Query time, excluding index build.
   size_t num_queries = 0;
   size_t total_validations = 0;  ///< Exact validations across all queries.
+  size_t resumed_queries = 0;    ///< Queries restored from the checkpoint.
+  size_t checkpoints_written = 0;
+  /// Checkpoint writes that failed (non-fatal: the run continues and only
+  /// loses resume granularity). Also counted in
+  /// "discovery/checkpoint_failures".
+  size_t checkpoint_failures = 0;
+};
+
+/// Fault-tolerance and execution knobs for DiscoverAllTinds.
+struct DiscoveryOptions {
+  ThreadPool* pool = nullptr;  ///< nullptr = sequential.
+  /// Cooperative cancellation: the run stops at the next query boundary,
+  /// writes a final checkpoint (if checkpointing), and returns Cancelled.
+  const CancellationToken* cancel = nullptr;
+  /// Accounts the accumulated per-query result bytes; exceeding the cap
+  /// stops the run with OutOfMemory (after a final checkpoint). The
+  /// reservation is released before returning — the budget bounds the
+  /// run's transient footprint, mirroring the paper's k-MANY OOM analysis.
+  MemoryBudget* memory = nullptr;
+  /// Sidecar checkpoint file; empty disables checkpointing. An existing
+  /// valid checkpoint is resumed from; a corrupt one is ignored (fresh
+  /// start). Deleted after a successful complete run.
+  std::string checkpoint_path;
+  /// Completed queries between checkpoint writes.
+  size_t checkpoint_interval = 64;
 };
 
 /// Discovers all tINDs in the index's dataset by running one search per
 /// attribute, parallelized over queries on `pool` (nullptr = sequential).
 AllPairsResult DiscoverAllTinds(const TindIndex& index, const TindParams& params,
                                 ThreadPool* pool = nullptr);
+
+/// Fault-tolerant variant. Error statuses:
+///  * Cancelled — `options.cancel` fired; progress is in the checkpoint.
+///  * OutOfMemory — `options.memory` cap hit; progress is in the checkpoint.
+///  * Internal — a query task threw (first exception's message).
+Result<AllPairsResult> DiscoverAllTinds(const TindIndex& index,
+                                        const TindParams& params,
+                                        const DiscoveryOptions& options);
 
 }  // namespace tind
 

@@ -5,22 +5,13 @@
 #include <cassert>
 #include <unordered_map>
 
+#include "common/fault_injection.h"
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
 #include "tind/required_values.h"
 #include "tind/validator.h"
 
 namespace tind {
-
-namespace {
-
-/// Accounts matrix bytes against the optional budget.
-Status AccountMatrix(MemoryBudget* memory, const BloomMatrix& matrix) {
-  if (memory == nullptr) return Status::OK();
-  return memory->Allocate(matrix.MemoryUsageBytes());
-}
-
-}  // namespace
 
 Result<std::unique_ptr<TindIndex>> TindIndex::Build(
     const Dataset& dataset, const TindIndexOptions& options) {
@@ -39,23 +30,52 @@ Result<std::unique_ptr<TindIndex>> TindIndex::Build(
   auto index = std::unique_ptr<TindIndex>(new TindIndex());
   index->dataset_ = &dataset;
   index->options_ = options;
+  index->reservation_ = MemoryReservation(options.memory);
 
   TIND_OBS_SCOPED_TIMER("index_build");
   TIND_OBS_COUNTER_ADD("index/builds", 1);
   const size_t n_attrs = dataset.size();
+
+  // Per-phase byte accounting. On budget exhaustion the error carries the
+  // phase breakdown and reservation_'s destructor (via the unique_ptr going
+  // out of scope) returns everything to the budget — Build never crashes on
+  // a cap, it reports OutOfMemory.
+  size_t m_t_bytes = 0;
+  size_t slices_bytes = 0;
+  size_t m_r_bytes = 0;
+  const auto breakdown = [&]() {
+    return " (accounted so far: m_t=" + std::to_string(m_t_bytes) +
+           "B, slices=" + std::to_string(slices_bytes) +
+           "B, m_r=" + std::to_string(m_r_bytes) + "B)";
+  };
+  const auto account = [&](const BloomMatrix& matrix,
+                           size_t* phase_bytes) -> Status {
+    const size_t bytes = matrix.MemoryUsageBytes();
+    if (TIND_FAULT_POINT("index/alloc")) {
+      TIND_OBS_COUNTER_ADD("memory/budget_rejections", 1);
+      return Status::OutOfMemory("injected fault: index/alloc" + breakdown());
+    }
+    const Status reserved = index->reservation_.Reserve(bytes);
+    if (!reserved.ok()) {
+      return Status::OutOfMemory(reserved.message() + breakdown());
+    }
+    *phase_bytes += bytes;
+    return Status::OK();
+  };
   // M_T over the full history value sets (constructible with no parameter
   // knowledge at all — Section 4.2.1).
   {
     TIND_OBS_SCOPED_TIMER("m_t");
     index->full_matrix_ =
         BloomMatrix(options.bloom_bits, options.num_hashes, n_attrs);
-    TIND_RETURN_IF_ERROR(AccountMatrix(options.memory, index->full_matrix_));
+    TIND_RETURN_IF_ERROR(account(index->full_matrix_, &m_t_bytes));
     for (size_t c = 0; c < n_attrs; ++c) {
       index->full_matrix_.SetColumn(
           c, dataset.attribute(static_cast<AttributeId>(c)).AllValues());
     }
     TIND_OBS_GAUGE_SET("index/m_t_fill_ratio",
                        index->full_matrix_.FillRatio());
+    TIND_OBS_GAUGE_SET("memory/index_m_t_bytes", m_t_bytes);
   }
 
   // Time slices: δ-expanded interval value sets per attribute.
@@ -72,7 +92,7 @@ Result<std::unique_ptr<TindIndex>> TindIndex::Build(
     index->slice_matrices_.reserve(index->slice_intervals_.size());
     for (const Interval& interval : index->slice_intervals_) {
       BloomMatrix matrix(options.bloom_bits, options.num_hashes, n_attrs);
-      TIND_RETURN_IF_ERROR(AccountMatrix(options.memory, matrix));
+      TIND_RETURN_IF_ERROR(account(matrix, &slices_bytes));
       const Interval expanded =
           dataset.domain().Clamp(interval.Expanded(options.delta));
       for (size_t c = 0; c < n_attrs; ++c) {
@@ -91,6 +111,7 @@ Result<std::unique_ptr<TindIndex>> TindIndex::Build(
           "index/slice_fill_ratio_avg",
           fill / static_cast<double>(index->slice_matrices_.size()));
     }
+    TIND_OBS_GAUGE_SET("memory/index_slices_bytes", slices_bytes);
   }
 
   // M_R over required values, for reverse queries (Section 4.5). Unlike
@@ -99,7 +120,7 @@ Result<std::unique_ptr<TindIndex>> TindIndex::Build(
     TIND_OBS_SCOPED_TIMER("m_r");
     index->reverse_matrix_ =
         BloomMatrix(options.bloom_bits, options.num_hashes, n_attrs);
-    TIND_RETURN_IF_ERROR(AccountMatrix(options.memory, index->reverse_matrix_));
+    TIND_RETURN_IF_ERROR(account(index->reverse_matrix_, &m_r_bytes));
     for (size_t c = 0; c < n_attrs; ++c) {
       const ValueSet required = ComputeRequiredValues(
           dataset.attribute(static_cast<AttributeId>(c)), *options.weight,
@@ -109,6 +130,7 @@ Result<std::unique_ptr<TindIndex>> TindIndex::Build(
     index->has_reverse_ = true;
     TIND_OBS_GAUGE_SET("index/m_r_fill_ratio",
                        index->reverse_matrix_.FillRatio());
+    TIND_OBS_GAUGE_SET("memory/index_m_r_bytes", m_r_bytes);
   }
   TIND_OBS_GAUGE_SET("index/memory_bytes", index->MemoryUsageBytes());
   return index;

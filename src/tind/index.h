@@ -129,6 +129,8 @@ class TindIndex {
 
   const Dataset* dataset_ = nullptr;
   TindIndexOptions options_;
+  /// Bytes accounted against options_.memory; returned on destruction.
+  MemoryReservation reservation_;
   BloomMatrix full_matrix_;  ///< M_T over A[T].
   std::vector<Interval> slice_intervals_;
   std::vector<BloomMatrix> slice_matrices_;  ///< M_{I_j} over A[I_j^δ].

@@ -17,10 +17,30 @@
 ///   A <page>|<table>|<column> <num_versions>
 ///   V <timestamp> <cardinality> <value-id> ...   x num_versions
 ///
-/// and, optionally, the planted ground truth:
+/// optionally the planted ground truth:
 ///
 ///   genuine <count>
 ///   G <lhs full name>|<rhs full name>
+///
+/// and always a trailing integrity footer:
+///
+///   footer <crc32-hex>
+///
+/// where the CRC-32 covers every byte before the footer line. A missing
+/// footer means the file was truncated (e.g. a killed writer on a
+/// non-atomic filesystem); a mismatching one means bit rot. WriteDatasetFile
+/// is atomic: it writes `<path>.tmp`, fsyncs, then renames over `path`, so
+/// readers never observe a partially written corpus.
+///
+/// Failure reporting: every parse error is an IOError prefixed with the
+/// 1-based line number ("line 42: bad version line: ..."). In lenient mode
+/// (ReadOptions::strict = false) record-level corruption — a bad attribute
+/// or genuine-pair record, or an unparsable dictionary value — is skipped
+/// and counted instead of aborting, and truncation returns the salvageable
+/// prefix; file-level corruption (bad header / section lines) still fails.
+/// The CRC is verified in strict mode only — skipped records make the
+/// checksum meaningless, so lenient mode detects truncation via the footer's
+/// presence and salvages what it can.
 
 #include <iosfwd>
 #include <string>
@@ -31,24 +51,40 @@
 
 namespace tind::wiki {
 
-/// Writes a dataset (and, if non-null, its ground truth) to a stream.
+/// Writes a dataset (and, if non-null, its ground truth) to a stream,
+/// including the CRC footer.
 Status WriteDataset(const Dataset& dataset, const GroundTruth* ground_truth,
                     std::ostream& os);
 
-/// Convenience: writes to a file path.
+/// Convenience: writes to a file path, atomically (temp file + fsync +
+/// rename). On failure the destination is left untouched.
 Status WriteDatasetFile(const Dataset& dataset, const GroundTruth* ground_truth,
                         const std::string& path);
+
+/// How ReadDataset treats corrupt input.
+struct ReadOptions {
+  /// true: any corruption aborts with a line-numbered IOError.
+  /// false: record-level corruption is skipped and counted; truncation
+  /// yields the salvageable prefix with `truncated` set.
+  bool strict = true;
+};
 
 struct LoadedDataset {
   Dataset dataset;
   GroundTruth ground_truth;  ///< Empty if the file carried none.
+  /// Corrupt records skipped (lenient mode only; always 0 in strict mode).
+  size_t skipped_records = 0;
+  /// Lenient mode: the file ended before its footer (data may be missing).
+  bool truncated = false;
 };
 
 /// Reads a dataset written by WriteDataset.
-Result<LoadedDataset> ReadDataset(std::istream& is);
+Result<LoadedDataset> ReadDataset(std::istream& is,
+                                  const ReadOptions& options = {});
 
 /// Convenience: reads from a file path.
-Result<LoadedDataset> ReadDatasetFile(const std::string& path);
+Result<LoadedDataset> ReadDatasetFile(const std::string& path,
+                                      const ReadOptions& options = {});
 
 /// Percent-escaping helpers (exposed for tests).
 std::string EscapeField(const std::string& s);

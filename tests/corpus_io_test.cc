@@ -2,13 +2,64 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "test_util.h"
 #include "wiki/generator.h"
 
 namespace tind::wiki {
 namespace {
+
+/// A canonical fixture whose numbered lines the corruption tests mutate:
+///
+///    1  TIND-DATASET 1
+///    2  domain 10
+///    3  values 2
+///    4  alpha
+///    5  beta
+///    6  attributes 2
+///    7  A p0|t|c 1
+///    8  V 0 1 0
+///    9  A p1|t|c 1
+///   10  V 0 2 0 1
+///   11  genuine 1
+///   12  G x|y
+///   13  footer <crc>
+std::vector<std::string> FixtureLines() {
+  Dataset ds(TimeDomain(10), std::make_shared<ValueDictionary>());
+  const ValueId a = ds.mutable_dictionary()->Intern("alpha");
+  const ValueId b = ds.mutable_dictionary()->Intern("beta");
+  AttributeHistoryBuilder b0(0, AttributeMeta{"p0", "t", "c"}, ds.domain());
+  EXPECT_TRUE(b0.AddVersion(0, ValueSet{a}).ok());
+  ds.Add(std::move(*b0.Finish()));
+  AttributeHistoryBuilder b1(1, AttributeMeta{"p1", "t", "c"}, ds.domain());
+  EXPECT_TRUE(b1.AddVersion(0, ValueSet{a, b}).ok());
+  ds.Add(std::move(*b1.Finish()));
+  GroundTruth truth;
+  truth.AddGenuine("x", "y");
+  std::stringstream ss;
+  EXPECT_TRUE(WriteDataset(ds, &truth, ss).ok());
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(ss, line)) lines.push_back(line);
+  EXPECT_EQ(lines.size(), 13u);
+  return lines;
+}
+
+Result<LoadedDataset> ParseLines(const std::vector<std::string>& lines,
+                                 bool strict) {
+  std::string joined;
+  for (const auto& line : lines) {
+    joined += line;
+    joined += '\n';
+  }
+  std::stringstream ss(joined);
+  ReadOptions options;
+  options.strict = strict;
+  return ReadDataset(ss, options);
+}
 
 TEST(EscapeTest, RoundTrip) {
   const std::string nasty = "a|b%c\nd\re";
@@ -137,6 +188,152 @@ TEST(CorpusIoTest, FileRoundTrip) {
   ASSERT_TRUE(loaded.ok());
   EXPECT_EQ(loaded->dataset.size(), 1u);
   EXPECT_TRUE(ReadDatasetFile("/nonexistent/nowhere.txt").status().IsIOError());
+}
+
+TEST(CorpusCorruptionTest, TruncationAfterFirstAttribute) {
+  std::vector<std::string> lines = FixtureLines();
+  lines.resize(8);  // Ends right after attribute 0's version line.
+  const auto strict = ParseLines(lines, /*strict=*/true);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_NE(strict.status().message().find("line 9:"), std::string::npos)
+      << strict.status().ToString();
+  const auto lenient = ParseLines(lines, /*strict=*/false);
+  ASSERT_TRUE(lenient.ok()) << lenient.status().ToString();
+  EXPECT_TRUE(lenient->truncated);
+  EXPECT_EQ(lenient->skipped_records, 1u);  // Attribute 1 never arrived.
+  EXPECT_EQ(lenient->dataset.size(), 1u);   // Attribute 0 was salvaged.
+}
+
+TEST(CorpusCorruptionTest, BadEscapeInAttributeName) {
+  std::vector<std::string> lines = FixtureLines();
+  lines[6] = "A p%ZZ|t|c 1";
+  const auto strict = ParseLines(lines, /*strict=*/true);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_NE(strict.status().message().find("line 7:"), std::string::npos)
+      << strict.status().ToString();
+  EXPECT_NE(strict.status().message().find("escape"), std::string::npos);
+  const auto lenient = ParseLines(lines, /*strict=*/false);
+  ASSERT_TRUE(lenient.ok()) << lenient.status().ToString();
+  EXPECT_FALSE(lenient->truncated);
+  EXPECT_EQ(lenient->skipped_records, 1u);
+  ASSERT_EQ(lenient->dataset.size(), 1u);
+  EXPECT_EQ(lenient->dataset.attribute(0).meta().page, "p1");
+}
+
+TEST(CorpusCorruptionTest, WrongVersionCount) {
+  std::vector<std::string> lines = FixtureLines();
+  lines[6] = "A p0|t|c 2";  // Claims two versions; only one follows.
+  const auto strict = ParseLines(lines, /*strict=*/true);
+  ASSERT_FALSE(strict.ok());
+  // The error lands on the line that failed to be a version line: line 9.
+  EXPECT_NE(strict.status().message().find("line 9:"), std::string::npos)
+      << strict.status().ToString();
+  EXPECT_NE(strict.status().message().find("version"), std::string::npos);
+  const auto lenient = ParseLines(lines, /*strict=*/false);
+  ASSERT_TRUE(lenient.ok()) << lenient.status().ToString();
+  EXPECT_EQ(lenient->skipped_records, 1u);
+  ASSERT_EQ(lenient->dataset.size(), 1u);  // Resynced on attribute 1.
+  EXPECT_EQ(lenient->dataset.attribute(0).meta().page, "p1");
+}
+
+TEST(CorpusCorruptionTest, ValueIdOutOfRange) {
+  std::vector<std::string> lines = FixtureLines();
+  lines[7] = "V 0 1 7";  // The dictionary has only ids 0 and 1.
+  const auto strict = ParseLines(lines, /*strict=*/true);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_NE(strict.status().message().find("line 8:"), std::string::npos)
+      << strict.status().ToString();
+  EXPECT_NE(strict.status().message().find("value id"), std::string::npos);
+  const auto lenient = ParseLines(lines, /*strict=*/false);
+  ASSERT_TRUE(lenient.ok()) << lenient.status().ToString();
+  EXPECT_EQ(lenient->skipped_records, 1u);
+  EXPECT_EQ(lenient->dataset.size(), 1u);
+}
+
+TEST(CorpusCorruptionTest, GarbageHeaderFailsEvenLeniently) {
+  std::vector<std::string> lines = FixtureLines();
+  lines[0] = "NOT-A-DATASET";
+  for (const bool strict : {true, false}) {
+    const auto result = ParseLines(lines, strict);
+    ASSERT_FALSE(result.ok()) << "strict=" << strict;
+    EXPECT_NE(result.status().message().find("line 1:"), std::string::npos)
+        << result.status().ToString();
+  }
+}
+
+TEST(CorpusCorruptionTest, BitRotCaughtByCrcInStrictMode) {
+  std::vector<std::string> lines = FixtureLines();
+  lines[3] = "alphb";  // One flipped byte; still a parseable value.
+  const auto strict = ParseLines(lines, /*strict=*/true);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_NE(strict.status().message().find("line 13:"), std::string::npos)
+      << strict.status().ToString();
+  EXPECT_NE(strict.status().message().find("CRC mismatch"), std::string::npos);
+  // Lenient mode cannot use the CRC (skips falsify it); the flipped value
+  // parses, so the read succeeds.
+  const auto lenient = ParseLines(lines, /*strict=*/false);
+  EXPECT_TRUE(lenient.ok()) << lenient.status().ToString();
+}
+
+TEST(CorpusCorruptionTest, TrailingDataAfterFooter) {
+  std::vector<std::string> lines = FixtureLines();
+  lines.push_back("extra junk");
+  const auto strict = ParseLines(lines, /*strict=*/true);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_NE(strict.status().message().find("line 14:"), std::string::npos)
+      << strict.status().ToString();
+  EXPECT_TRUE(ParseLines(lines, /*strict=*/false).ok());
+}
+
+TEST(CorpusCorruptionTest, BadGenuinePair) {
+  std::vector<std::string> lines = FixtureLines();
+  lines[11] = "G onlyonefield";
+  const auto strict = ParseLines(lines, /*strict=*/true);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_NE(strict.status().message().find("line 12:"), std::string::npos)
+      << strict.status().ToString();
+  const auto lenient = ParseLines(lines, /*strict=*/false);
+  ASSERT_TRUE(lenient.ok()) << lenient.status().ToString();
+  EXPECT_EQ(lenient->skipped_records, 1u);
+  EXPECT_EQ(lenient->ground_truth.size(), 0u);
+}
+
+TEST(CorpusCorruptionTest, GenuineSectionShorterThanDeclared) {
+  std::vector<std::string> lines = FixtureLines();
+  lines[10] = "genuine 3";  // Only one pair follows.
+  const auto strict = ParseLines(lines, /*strict=*/true);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_NE(strict.status().message().find("line 13:"), std::string::npos)
+      << strict.status().ToString();
+  const auto lenient = ParseLines(lines, /*strict=*/false);
+  ASSERT_TRUE(lenient.ok()) << lenient.status().ToString();
+  EXPECT_EQ(lenient->skipped_records, 2u);
+  EXPECT_EQ(lenient->ground_truth.size(), 1u);
+}
+
+TEST(CorpusCorruptionTest, MissingFooterIsTruncation) {
+  std::vector<std::string> lines = FixtureLines();
+  lines.pop_back();
+  const auto strict = ParseLines(lines, /*strict=*/true);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_NE(strict.status().message().find("footer"), std::string::npos);
+  const auto lenient = ParseLines(lines, /*strict=*/false);
+  ASSERT_TRUE(lenient.ok()) << lenient.status().ToString();
+  EXPECT_TRUE(lenient->truncated);
+  EXPECT_EQ(lenient->dataset.size(), 2u);  // All data was still present.
+}
+
+TEST(CorpusIoTest, AtomicWriteLeavesNoTempFile) {
+  Dataset ds(TimeDomain(10), std::make_shared<ValueDictionary>());
+  const ValueId v = ds.mutable_dictionary()->Intern("x");
+  AttributeHistoryBuilder builder(0, {}, ds.domain());
+  ASSERT_TRUE(builder.AddVersion(2, ValueSet{v}).ok());
+  ds.Add(std::move(*builder.Finish()));
+  const std::string path = ::testing::TempDir() + "/tind_corpus_atomic.txt";
+  ASSERT_TRUE(WriteDatasetFile(ds, nullptr, path).ok());
+  EXPECT_TRUE(std::ifstream(path).good());
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  std::remove(path.c_str());
 }
 
 }  // namespace

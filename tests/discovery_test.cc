@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <set>
 
+#include "common/fault_injection.h"
 #include "test_util.h"
+#include "tind/checkpoint.h"
 #include "tind/validator.h"
 
 namespace tind {
@@ -94,6 +98,180 @@ TEST_F(DiscoveryTest, StrictSubsetOfRelaxed) {
   for (const TindPair& p : s.pairs) {
     EXPECT_TRUE(relaxed_set.count(p)) << p.lhs << " in " << p.rhs;
   }
+}
+
+TEST_F(DiscoveryTest, OptionsOverloadMatchesLegacy) {
+  const TindParams params{3.0, 2, weight_.get()};
+  const AllPairsResult legacy = DiscoverAllTinds(*index_, params, nullptr);
+  auto result = DiscoverAllTinds(*index_, params, DiscoveryOptions{});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->pairs, legacy.pairs);
+  EXPECT_EQ(result->resumed_queries, 0u);
+  EXPECT_EQ(result->checkpoints_written, 0u);
+}
+
+TEST_F(DiscoveryTest, PreCancelledTokenStopsImmediately) {
+  const TindParams params{3.0, 2, weight_.get()};
+  CancellationToken cancel;
+  cancel.Cancel();
+  DiscoveryOptions options;
+  options.cancel = &cancel;
+  auto result = DiscoverAllTinds(*index_, params, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCancelled()) << result.status().ToString();
+}
+
+TEST_F(DiscoveryTest, MemoryBudgetOverflowIsOutOfMemoryAndReleased) {
+  const TindParams params{90.0, 4, weight_.get()};  // Maximal result set.
+  MemoryBudget budget(16);  // Room for four result ids in total.
+  DiscoveryOptions options;
+  options.memory = &budget;
+  auto result = DiscoverAllTinds(*index_, params, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsOutOfMemory()) << result.status().ToString();
+  EXPECT_EQ(budget.used(), 0u);  // The reservation was returned.
+}
+
+TEST_F(DiscoveryTest, CheckpointWrittenAndDeletedOnSuccess) {
+  const TindParams params{3.0, 2, weight_.get()};
+  const std::string path = ::testing::TempDir() + "disc-success-ckpt";
+  std::remove(path.c_str());
+  DiscoveryOptions options;
+  options.checkpoint_path = path;
+  options.checkpoint_interval = 4;
+  auto result = DiscoverAllTinds(*index_, params, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->checkpoints_written, 0u);
+  EXPECT_EQ(result->checkpoint_failures, 0u);
+  EXPECT_FALSE(std::ifstream(path).good()) << "checkpoint not cleaned up";
+}
+
+TEST_F(DiscoveryTest, ResumeFromCheckpointProducesIdenticalPairs) {
+  const TindParams params{3.0, 2, weight_.get()};
+  const AllPairsResult baseline = DiscoverAllTinds(*index_, params, nullptr);
+
+  // Simulate a killed run: persist a checkpoint carrying the first 20
+  // queries' results, then resume. The resumed run must skip those queries
+  // and still produce a pair set bit-identical to the uninterrupted one.
+  DiscoveryCheckpoint checkpoint;
+  checkpoint.num_queries = dataset_.size();
+  for (AttributeId q = 0; q < 20; ++q) {
+    std::vector<AttributeId> rhs =
+        index_->Search(dataset_.attribute(q), params);
+    checkpoint.completed.emplace_back(q, std::move(rhs));
+  }
+  const std::string path = ::testing::TempDir() + "disc-resume-ckpt";
+  ASSERT_TRUE(SaveDiscoveryCheckpoint(checkpoint, path).ok());
+
+  DiscoveryOptions options;
+  options.checkpoint_path = path;
+  auto resumed = DiscoverAllTinds(*index_, params, options);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(resumed->resumed_queries, 20u);
+  EXPECT_EQ(resumed->pairs, baseline.pairs);
+  std::remove(path.c_str());
+}
+
+TEST_F(DiscoveryTest, CorruptCheckpointIsIgnoredNotFatal) {
+  const TindParams params{3.0, 2, weight_.get()};
+  const AllPairsResult baseline = DiscoverAllTinds(*index_, params, nullptr);
+  const std::string path = ::testing::TempDir() + "disc-corrupt-ckpt";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "TIND-CKPT 1 9999\nnot a record at all\n";
+  }
+  DiscoveryOptions options;
+  options.checkpoint_path = path;
+  auto result = DiscoverAllTinds(*index_, params, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->resumed_queries, 0u);
+  EXPECT_EQ(result->pairs, baseline.pairs);
+  std::remove(path.c_str());
+}
+
+TEST_F(DiscoveryTest, ParallelWithOptionsMatchesSequential) {
+  ThreadPool pool(4);
+  const TindParams params{3.0, 2, weight_.get()};
+  const AllPairsResult baseline = DiscoverAllTinds(*index_, params, nullptr);
+  DiscoveryOptions options;
+  options.pool = &pool;
+  options.checkpoint_path = ::testing::TempDir() + "disc-par-ckpt";
+  options.checkpoint_interval = 8;
+  auto result = DiscoverAllTinds(*index_, params, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->pairs, baseline.pairs);
+}
+
+#if !TIND_FAULT_INJECTION_DISABLED
+TEST_F(DiscoveryTest, InjectedPreemptionThenResumeMatchesBaseline) {
+  const TindParams params{3.0, 2, weight_.get()};
+  const AllPairsResult baseline = DiscoverAllTinds(*index_, params, nullptr);
+  const std::string path = ::testing::TempDir() + "disc-preempt-ckpt";
+  std::remove(path.c_str());
+
+  ASSERT_TRUE(
+      FaultInjector::Global().Configure("discovery/preempt=0.2", 5).ok());
+  DiscoveryOptions options;
+  options.checkpoint_path = path;
+  options.checkpoint_interval = 4;
+  auto preempted = DiscoverAllTinds(*index_, params, options);
+  const uint64_t fired = FaultInjector::Global().fired("discovery/preempt");
+  FaultInjector::Global().Reset();
+  ASSERT_GT(fired, 0u) << "seed never fired; pick another";
+  ASSERT_FALSE(preempted.ok());
+  EXPECT_TRUE(preempted.status().IsCancelled())
+      << preempted.status().ToString();
+
+  auto resumed = DiscoverAllTinds(*index_, params, options);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(resumed->pairs, baseline.pairs);
+  std::remove(path.c_str());
+}
+#endif  // !TIND_FAULT_INJECTION_DISABLED
+
+TEST(CheckpointTest, SaveLoadRoundTrip) {
+  DiscoveryCheckpoint checkpoint;
+  checkpoint.num_queries = 10;
+  checkpoint.completed.emplace_back(0, std::vector<AttributeId>{1, 2, 3});
+  checkpoint.completed.emplace_back(4, std::vector<AttributeId>{});
+  checkpoint.completed.emplace_back(9, std::vector<AttributeId>{0});
+  const std::string path = ::testing::TempDir() + "ckpt-roundtrip";
+  ASSERT_TRUE(SaveDiscoveryCheckpoint(checkpoint, path).ok());
+  auto loaded = LoadDiscoveryCheckpoint(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_queries, checkpoint.num_queries);
+  EXPECT_EQ(loaded->completed, checkpoint.completed);
+  RemoveDiscoveryCheckpoint(path);
+  EXPECT_TRUE(LoadDiscoveryCheckpoint(path).status().IsNotFound());
+}
+
+TEST(CheckpointTest, DetectsTruncationAndBitRot) {
+  DiscoveryCheckpoint checkpoint;
+  checkpoint.num_queries = 5;
+  checkpoint.completed.emplace_back(1, std::vector<AttributeId>{2, 3});
+  const std::string path = ::testing::TempDir() + "ckpt-corrupt";
+  ASSERT_TRUE(SaveDiscoveryCheckpoint(checkpoint, path).ok());
+  std::string contents;
+  {
+    std::ifstream in(path);
+    std::getline(in, contents, '\0');
+  }
+  {  // Drop the footer: truncation.
+    std::ofstream out(path, std::ios::trunc);
+    out << contents.substr(0, contents.find("footer"));
+  }
+  auto truncated = LoadDiscoveryCheckpoint(path);
+  EXPECT_FALSE(truncated.ok());
+  EXPECT_TRUE(truncated.status().IsIOError());
+  {  // Flip one payload byte: CRC mismatch.
+    std::string tampered = contents;
+    tampered[tampered.find("Q 1") + 2] = '2';
+    std::ofstream out(path, std::ios::trunc);
+    out << tampered;
+  }
+  auto tampered = LoadDiscoveryCheckpoint(path);
+  EXPECT_FALSE(tampered.ok());
+  std::remove(path.c_str());
 }
 
 TEST(TindPairTest, Ordering) {

@@ -1,0 +1,141 @@
+#include "common/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+namespace tind {
+namespace {
+
+/// Disarms the global injector around each test.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().Reset(); }
+  void TearDown() override { FaultInjector::Global().Reset(); }
+};
+
+TEST_F(FaultInjectionTest, DisabledByDefault) {
+  EXPECT_FALSE(FaultInjector::Global().enabled());
+  EXPECT_FALSE(TIND_FAULT_POINT("some/point"));
+  EXPECT_EQ(FaultInjector::Global().total_fired(), 0u);
+}
+
+TEST_F(FaultInjectionTest, ConfigureParsesSpec) {
+  auto& injector = FaultInjector::Global();
+  ASSERT_TRUE(injector.Configure("a/b=0.5,c/d=1", 7).ok());
+  EXPECT_TRUE(injector.enabled());
+  EXPECT_EQ(injector.seed(), 7u);
+}
+
+TEST_F(FaultInjectionTest, ConfigureRejectsBadSpecs) {
+  auto& injector = FaultInjector::Global();
+  EXPECT_FALSE(injector.Configure("a/b", 1).ok());
+  EXPECT_FALSE(injector.Configure("a/b=1.5", 1).ok());
+  EXPECT_FALSE(injector.Configure("a/b=-0.1", 1).ok());
+  EXPECT_FALSE(injector.Configure("=0.5", 1).ok());
+  EXPECT_FALSE(injector.Configure("a/b=zebra", 1).ok());
+  // A failed Configure leaves the injector disarmed.
+  EXPECT_FALSE(injector.enabled());
+}
+
+#if TIND_FAULT_INJECTION_DISABLED
+
+TEST_F(FaultInjectionTest, CompiledOutPointsNeverFireEvenWhenArmed) {
+  auto& injector = FaultInjector::Global();
+  ASSERT_TRUE(injector.Configure("io/fail=1", 3).ok());
+  for (int i = 0; i < 20; ++i) EXPECT_FALSE(TIND_FAULT_POINT("io/fail"));
+  EXPECT_EQ(injector.total_fired(), 0u);
+}
+
+#else  // TIND_FAULT_INJECTION_DISABLED
+
+TEST_F(FaultInjectionTest, ProbabilityOneAlwaysFires) {
+  auto& injector = FaultInjector::Global();
+  ASSERT_TRUE(injector.Configure("io/fail=1", 3).ok());
+  for (int i = 0; i < 20; ++i) EXPECT_TRUE(TIND_FAULT_POINT("io/fail"));
+  EXPECT_EQ(injector.fired("io/fail"), 20u);
+  EXPECT_EQ(injector.total_fired(), 20u);
+}
+
+TEST_F(FaultInjectionTest, ProbabilityZeroNeverFires) {
+  auto& injector = FaultInjector::Global();
+  ASSERT_TRUE(injector.Configure("io/fail=0", 3).ok());
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(TIND_FAULT_POINT("io/fail"));
+  EXPECT_EQ(injector.total_fired(), 0u);
+}
+
+TEST_F(FaultInjectionTest, UnlistedPointsNeverFire) {
+  auto& injector = FaultInjector::Global();
+  ASSERT_TRUE(injector.Configure("io/fail=1", 3).ok());
+  for (int i = 0; i < 50; ++i) EXPECT_FALSE(TIND_FAULT_POINT("other/point"));
+}
+
+TEST_F(FaultInjectionTest, WildcardAppliesToUnlistedPoints) {
+  auto& injector = FaultInjector::Global();
+  ASSERT_TRUE(injector.Configure("*=1,quiet/point=0", 3).ok());
+  EXPECT_TRUE(TIND_FAULT_POINT("any/point"));
+  EXPECT_FALSE(TIND_FAULT_POINT("quiet/point"));
+}
+
+TEST_F(FaultInjectionTest, FiringIsDeterministicInSeed) {
+  auto& injector = FaultInjector::Global();
+  const auto run = [&](uint64_t seed) {
+    EXPECT_TRUE(injector.Configure("p/q=0.3", seed).ok());
+    std::vector<bool> decisions;
+    for (int i = 0; i < 200; ++i) decisions.push_back(TIND_FAULT_POINT("p/q"));
+    return decisions;
+  };
+  const std::vector<bool> first = run(11);
+  const std::vector<bool> again = run(11);
+  const std::vector<bool> other = run(12);
+  EXPECT_EQ(first, again);
+  EXPECT_NE(first, other);  // Astronomically unlikely to collide.
+}
+
+TEST_F(FaultInjectionTest, IntermediateProbabilityFiresSometimes) {
+  auto& injector = FaultInjector::Global();
+  ASSERT_TRUE(injector.Configure("p/q=0.5", 99).ok());
+  size_t fired = 0;
+  for (int i = 0; i < 400; ++i) {
+    if (TIND_FAULT_POINT("p/q")) ++fired;
+  }
+  // A fair-ish coin over 400 draws: bounds are loose on purpose.
+  EXPECT_GT(fired, 100u);
+  EXPECT_LT(fired, 300u);
+}
+
+TEST_F(FaultInjectionTest, ResetDisarmsAndClearsCounters) {
+  auto& injector = FaultInjector::Global();
+  ASSERT_TRUE(injector.Configure("io/fail=1", 3).ok());
+  EXPECT_TRUE(TIND_FAULT_POINT("io/fail"));
+  injector.Reset();
+  EXPECT_FALSE(injector.enabled());
+  EXPECT_EQ(injector.total_fired(), 0u);
+  EXPECT_EQ(injector.fired("io/fail"), 0u);
+  EXPECT_FALSE(TIND_FAULT_POINT("io/fail"));
+}
+
+#endif  // TIND_FAULT_INJECTION_DISABLED
+
+TEST_F(FaultInjectionTest, ConfigureFromEnvNoOpWhenUnset) {
+  ::unsetenv("TIND_FAULT_SPEC");
+  EXPECT_TRUE(FaultInjector::Global().ConfigureFromEnv().ok());
+  EXPECT_FALSE(FaultInjector::Global().enabled());
+}
+
+TEST_F(FaultInjectionTest, ConfigureFromEnvArmsInjector) {
+  ::setenv("TIND_FAULT_SPEC", "env/point=1", 1);
+  ::setenv("TIND_FAULT_SEED", "21", 1);
+  EXPECT_TRUE(FaultInjector::Global().ConfigureFromEnv().ok());
+  EXPECT_TRUE(FaultInjector::Global().enabled());
+  EXPECT_EQ(FaultInjector::Global().seed(), 21u);
+#if !TIND_FAULT_INJECTION_DISABLED
+  EXPECT_TRUE(TIND_FAULT_POINT("env/point"));
+#endif
+  ::unsetenv("TIND_FAULT_SPEC");
+  ::unsetenv("TIND_FAULT_SEED");
+}
+
+}  // namespace
+}  // namespace tind

@@ -1,0 +1,111 @@
+#include "common/memory_budget.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <limits>
+#include <thread>
+#include <vector>
+
+namespace tind {
+namespace {
+
+TEST(MemoryBudgetTest, UnlimitedByDefault) {
+  MemoryBudget budget;
+  EXPECT_TRUE(budget.Allocate(std::numeric_limits<size_t>::max()).ok());
+  EXPECT_EQ(budget.capacity(), 0u);
+}
+
+TEST(MemoryBudgetTest, AllocateWithinCapacity) {
+  MemoryBudget budget(100);
+  EXPECT_TRUE(budget.Allocate(60).ok());
+  EXPECT_TRUE(budget.Allocate(40).ok());
+  EXPECT_EQ(budget.used(), 100u);
+  EXPECT_FALSE(budget.Allocate(1).ok());
+}
+
+TEST(MemoryBudgetTest, RejectionIsOutOfMemoryAndLeavesUsageIntact) {
+  MemoryBudget budget(100);
+  ASSERT_TRUE(budget.Allocate(90).ok());
+  const Status rejected = budget.Allocate(20);
+  EXPECT_TRUE(rejected.IsOutOfMemory());
+  EXPECT_EQ(budget.used(), 90u);
+}
+
+TEST(MemoryBudgetTest, FreeReturnsBytes) {
+  MemoryBudget budget(100);
+  ASSERT_TRUE(budget.Allocate(100).ok());
+  budget.Free(50);
+  EXPECT_TRUE(budget.Allocate(50).ok());
+  EXPECT_EQ(budget.used(), 100u);
+}
+
+TEST(MemoryBudgetTest, HugeRequestCannotWrapAroundTheCap) {
+  // Regression: `used + bytes` used to be computed directly, so a request
+  // near SIZE_MAX wrapped around and slipped past the capacity check.
+  MemoryBudget budget(100);
+  ASSERT_TRUE(budget.Allocate(50).ok());
+  const Status huge = budget.Allocate(std::numeric_limits<size_t>::max() - 10);
+  EXPECT_TRUE(huge.IsOutOfMemory());
+  EXPECT_EQ(budget.used(), 50u);
+}
+
+TEST(MemoryBudgetTest, ConcurrentAllocationsNeverExceedCapacity) {
+  MemoryBudget budget(1000);
+  std::vector<std::thread> threads;
+  std::atomic<size_t> granted{0};
+  threads.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        if (budget.Allocate(1).ok()) granted.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(granted.load(), 1000u);
+  EXPECT_EQ(budget.used(), 1000u);
+}
+
+TEST(MemoryReservationTest, ReleasesOnDestruction) {
+  MemoryBudget budget(100);
+  {
+    MemoryReservation reservation(&budget);
+    ASSERT_TRUE(reservation.Reserve(30).ok());
+    ASSERT_TRUE(reservation.Reserve(20).ok());
+    EXPECT_EQ(reservation.bytes(), 50u);
+    EXPECT_EQ(budget.used(), 50u);
+  }
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(MemoryReservationTest, FailedReserveDoesNotAccumulate) {
+  MemoryBudget budget(40);
+  MemoryReservation reservation(&budget);
+  ASSERT_TRUE(reservation.Reserve(30).ok());
+  EXPECT_FALSE(reservation.Reserve(30).ok());
+  EXPECT_EQ(reservation.bytes(), 30u);
+  EXPECT_EQ(budget.used(), 30u);
+}
+
+TEST(MemoryReservationTest, MoveTransfersOwnership) {
+  MemoryBudget budget(100);
+  MemoryReservation first(&budget);
+  ASSERT_TRUE(first.Reserve(40).ok());
+  MemoryReservation second = std::move(first);
+  EXPECT_EQ(second.bytes(), 40u);
+  EXPECT_EQ(first.bytes(), 0u);  // NOLINT(bugprone-use-after-move)
+  first.Release();               // Must be a no-op, not a double free.
+  EXPECT_EQ(budget.used(), 40u);
+  second.Release();
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(MemoryReservationTest, NullBudgetIsNoOp) {
+  MemoryReservation reservation;
+  EXPECT_TRUE(reservation.Reserve(1 << 30).ok());
+  reservation.Release();
+}
+
+}  // namespace
+}  // namespace tind

@@ -5,11 +5,17 @@
 #include <cmath>
 #include <cstdint>
 #include <future>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/fault_injection.h"
+#include "common/memory_budget.h"
 #include "common/thread_pool.h"
 #include "obs/json.h"
+#include "test_util.h"
+#include "tind/discovery.h"
+#include "wiki/corpus_io.h"
 
 namespace tind::obs {
 namespace {
@@ -292,6 +298,74 @@ TEST(MacroTest, GatedByGlobalEnabledFlag) {
   EXPECT_FALSE(evaluated);
 #endif
 }
+
+#if !TIND_OBS_DISABLED
+/// End-to-end coverage of the robustness counters: each one must be fed by
+/// its real producer, not just registered.
+TEST(RobustnessMetricsTest, ProducersFeedTheGlobalRegistry) {
+  EnabledGuard guard;
+  MetricsRegistry& global = MetricsRegistry::Global();
+  global.Reset();
+  global.set_enabled(true);
+
+  // memory/budget_rejections: a capped budget refusing an allocation.
+  tind::MemoryBudget budget(10);
+  EXPECT_FALSE(budget.Allocate(20).ok());
+  EXPECT_GE(global.GetCounter("memory/budget_rejections")->value(), 1u);
+
+  // corpus_io/records_skipped: a lenient read skipping a corrupt record.
+  {
+    std::stringstream ss(
+        "TIND-DATASET 1\ndomain 5\nvalues 1\nx\nattributes 1\n"
+        "A bad\nfooter deadbeef\n");
+    tind::wiki::ReadOptions lenient;
+    lenient.strict = false;
+    auto loaded = tind::wiki::ReadDataset(ss, lenient);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(loaded->skipped_records, 1u);
+  }
+  EXPECT_GE(global.GetCounter("corpus_io/records_skipped")->value(), 1u);
+
+#if !TIND_FAULT_INJECTION_DISABLED
+  // fault/injected_total: an armed injection point firing.
+  ASSERT_TRUE(
+      tind::FaultInjector::Global().Configure("metrics_test/fire=1", 1).ok());
+  EXPECT_TRUE(TIND_FAULT_POINT("metrics_test/fire"));
+  tind::FaultInjector::Global().Reset();
+  EXPECT_GE(global.GetCounter("fault/injected_total")->value(), 1u);
+#endif  // !TIND_FAULT_INJECTION_DISABLED
+
+  // discovery/checkpoints_written: a checkpointed all-pairs run.
+  {
+    tind::Rng rng(5);
+    tind::Dataset dataset(tind::TimeDomain(60),
+                          std::make_shared<tind::ValueDictionary>());
+    for (size_t i = 0; i < 10; ++i) {
+      dataset.Add(tind::testutil::RandomHistory(
+          dataset.domain(), &rng, 8, static_cast<tind::AttributeId>(i), 4, 4));
+    }
+    tind::ConstantWeight weight(60);
+    tind::TindIndexOptions opts;
+    opts.bloom_bits = 256;
+    opts.num_hashes = 2;
+    opts.num_slices = 2;
+    opts.weight = &weight;
+    auto index = tind::TindIndex::Build(dataset, opts);
+    ASSERT_TRUE(index.ok()) << index.status().ToString();
+    tind::DiscoveryOptions discovery;
+    discovery.checkpoint_path =
+        ::testing::TempDir() + "metrics-robustness-ckpt";
+    discovery.checkpoint_interval = 1;
+    const tind::TindParams params{3.0, 2, &weight};
+    auto result = tind::DiscoverAllTinds(**index, params, discovery);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_GT(result->checkpoints_written, 0u);
+  }
+  EXPECT_GE(global.GetCounter("discovery/checkpoints_written")->value(), 1u);
+
+  global.Reset();
+}
+#endif  // !TIND_OBS_DISABLED
 
 }  // namespace
 }  // namespace tind::obs

@@ -102,5 +102,88 @@ TEST(ThreadPoolTest, DefaultThreadPoolSingleton) {
   EXPECT_GE(DefaultThreadPool()->num_threads(), 1u);
 }
 
+TEST(ThreadPoolTest, ParallelForRethrowsFirstException) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  try {
+    pool.ParallelFor(0, 1000, [&](size_t i) {
+      calls.fetch_add(1);
+      if (i == 137) throw std::runtime_error("index 137 failed");
+    });
+    FAIL() << "ParallelFor swallowed the task exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "index 137 failed");
+  }
+  // The failing index ran; later chunks may have been skipped but the pool
+  // must still be usable afterwards.
+  EXPECT_GE(calls.load(), 1);
+  std::atomic<int> after{0};
+  pool.ParallelFor(0, 100, [&](size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForStopsEarlyAfterException) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  EXPECT_THROW(pool.ParallelFor(0, 100000,
+                                [&](size_t i) {
+                                  calls.fetch_add(1);
+                                  if (i == 0) throw std::runtime_error("x");
+                                }),
+               std::runtime_error);
+  // Index 0 is in the calling thread's first chunk, so the abort flag is up
+  // long before 100k indices complete.
+  EXPECT_LT(calls.load(), 100000);
+}
+
+TEST(ThreadPoolTest, ParallelForCancellationStopsAtIndexBoundary) {
+  ThreadPool pool(2);
+  CancellationToken cancel;
+  cancel.Cancel();
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, 10000, [&](size_t) { calls.fetch_add(1); }, &cancel);
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, ParallelForCancellationMidRun) {
+  ThreadPool pool(2);
+  CancellationToken cancel;
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, 100000, [&](size_t i) {
+    calls.fetch_add(1);
+    if (i == 10) cancel.Cancel();
+  }, &cancel);
+  EXPECT_GE(calls.load(), 1);
+  EXPECT_LT(calls.load(), 100000);
+}
+
+TEST(ThreadPoolTest, SubmitDetachedDoesNotLoseTheTask) {
+  ThreadPool pool(2);
+  std::promise<int> result;
+  auto future = result.get_future();
+  pool.SubmitDetached([&] { result.set_value(7); });
+  EXPECT_EQ(future.get(), 7);
+}
+
+TEST(ThreadPoolTest, SubmitDetachedSurvivesThrowingTask) {
+  // Regression: a throwing task whose Submit future was discarded used to
+  // strand the exception in the shared state; with a detached submit the
+  // exception must be reported and the pool must keep working.
+  ThreadPool pool(1);
+  pool.SubmitDetached([] { throw std::runtime_error("detached boom"); });
+  pool.SubmitDetached([] { throw 42; });  // Non-std exceptions too.
+  auto f = pool.Submit([] { return 1; });
+  EXPECT_EQ(f.get(), 1);
+}
+
+TEST(CancellationTokenTest, SharedState) {
+  CancellationToken token;
+  EXPECT_FALSE(token.cancelled());
+  CancellationToken copy = token;
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(copy.cancelled());
+}
+
 }  // namespace
 }  // namespace tind
