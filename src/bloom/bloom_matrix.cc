@@ -54,10 +54,21 @@ void BloomMatrix::QuerySubsets(const BloomFilter& query,
 
 bool BloomMatrix::ColumnContains(const BloomFilter& query,
                                  size_t column) const {
+  const BitVector& qbits = query.bits();
   bool contained = true;
-  query.bits().ForEachSet([&](size_t row) {
-    if (!rows_[row].Get(column)) contained = false;
-  });
+  size_t rows_probed = 0;
+  // Stop at the first missing row: one clear bit already refutes containment,
+  // so scanning the remaining set rows is pure waste (dense query filters
+  // made this the dominant cost of the exact Bloom recheck).
+  for (size_t row = qbits.FindNextSet(0); row < qbits.size();
+       row = qbits.FindNextSet(row + 1)) {
+    ++rows_probed;
+    if (!rows_[row].Get(column)) {
+      contained = false;
+      break;
+    }
+  }
+  TIND_OBS_COUNTER_ADD("bloom/column_contains_rows_probed", rows_probed);
   return contained;
 }
 

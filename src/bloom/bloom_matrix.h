@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "bloom/bloom_batch.h"
 #include "bloom/bloom_filter.h"
 #include "common/bitvector.h"
 
@@ -49,8 +50,28 @@ class BloomMatrix {
   /// more expensive — Section 4.5).
   void QuerySubsets(const BloomFilter& query, BitVector* candidates) const;
 
+  /// Batched QuerySupersets: narrows every probe's candidate vector exactly
+  /// as `n` individual QuerySupersets calls would, but streams the matrix
+  /// once per group of up to kBloomBatchGroupSize probes using the blocked
+  /// kernel described in bloom_batch.h. Probe candidate vectors must be
+  /// distinct. Any `n` is accepted (chunked into groups internally).
+  void QuerySupersetsBatch(const BloomProbe* probes, size_t n) const;
+  void QuerySupersetsBatch(const std::vector<BloomProbe>& probes) const {
+    QuerySupersetsBatch(probes.data(), probes.size());
+  }
+
+  /// Batched QuerySubsets — the reverse-search direction, where batching
+  /// pays the most: every probe touches nearly all m rows, so the group
+  /// shares one scan of the matrix instead of one per probe.
+  void QuerySubsetsBatch(const BloomProbe* probes, size_t n) const;
+  void QuerySubsetsBatch(const std::vector<BloomProbe>& probes) const {
+    QuerySubsetsBatch(probes.data(), probes.size());
+  }
+
   /// Exact Bloom-level subset recheck for one column: true iff column
-  /// `column`'s filter contains all set bits of `query`.
+  /// `column`'s filter contains all set bits of `query`. Stops probing at
+  /// the first missing row ("bloom/column_contains_rows_probed" counts the
+  /// rows actually touched).
   bool ColumnContains(const BloomFilter& query, size_t column) const;
 
   /// Bytes used by the bit rows: num_bits * num_columns / 8.
@@ -62,6 +83,10 @@ class BloomMatrix {
   double FillRatio() const;
 
  private:
+  /// Blocked group kernel shared by both batch directions (≤ 64 probes);
+  /// `subsets` selects AND-NOT over the rows where the filter bit is zero.
+  void BatchGroupKernel(const BloomProbe* probes, size_t n, bool subsets) const;
+
   size_t num_bits_ = 0;
   uint32_t num_hashes_ = 0;
   size_t num_columns_ = 0;

@@ -150,4 +150,21 @@ ThreadPool* DefaultThreadPool() {
   return &pool;
 }
 
+std::vector<IndexRange> PlanBatchShards(size_t total, size_t num_workers,
+                                        size_t max_shard) {
+  std::vector<IndexRange> shards;
+  if (total == 0) return shards;
+  if (max_shard == 0) max_shard = 1;
+  size_t shard = max_shard;
+  if (num_workers > 1) {
+    const size_t per_worker = (total + num_workers - 1) / num_workers;
+    shard = std::clamp<size_t>(per_worker, 1, max_shard);
+  }
+  shards.reserve((total + shard - 1) / shard);
+  for (size_t lo = 0; lo < total; lo += shard) {
+    shards.push_back(IndexRange{lo, std::min(total, lo + shard)});
+  }
+  return shards;
+}
+
 }  // namespace tind

@@ -102,6 +102,27 @@ class ThreadPool {
 /// Global default pool, sized to hardware concurrency. Lazily constructed.
 ThreadPool* DefaultThreadPool();
 
+/// Half-open index range [begin, end) — one shard of a batched workload.
+struct IndexRange {
+  size_t begin = 0;
+  size_t end = 0;
+
+  size_t size() const { return end - begin; }
+  bool operator==(const IndexRange& o) const {
+    return begin == o.begin && end == o.end;
+  }
+};
+
+/// Plans contiguous shards of [0, total) for batch execution: each shard is
+/// at most `max_shard` items (the amortization width of a batch group, e.g.
+/// kBloomBatchGroupSize), and when whole-`max_shard` shards would leave some
+/// of `num_workers` idle, the shard size shrinks to ceil(total/num_workers)
+/// so every worker gets one. Shards tile [0, total) exactly, in order —
+/// batch consumers rely on that for deterministic per-index bookkeeping.
+/// Returns an empty vector when total == 0.
+std::vector<IndexRange> PlanBatchShards(size_t total, size_t num_workers,
+                                        size_t max_shard);
+
 }  // namespace tind
 
 #endif  // TIND_COMMON_THREAD_POOL_H_

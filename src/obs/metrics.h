@@ -250,6 +250,20 @@ class ScopedTimer {
     }                                                                      \
   } while (0)
 
+/// Like TIND_OBS_OBSERVE but supplies explicit bucket bounds on first
+/// registration — for size/count distributions (batch group sizes, probe
+/// fan-outs) where the default latency bounds are meaningless. `bounds` is
+/// evaluated once per call site, and only if that call site registers first.
+#define TIND_OBS_OBSERVE_BOUNDS(name, value, bounds)                       \
+  do {                                                                     \
+    if (::tind::obs::MetricsRegistry::Global().enabled()) {                \
+      static ::tind::obs::Histogram* tind_obs_hist_ =                      \
+          ::tind::obs::MetricsRegistry::Global().GetHistogram(name,        \
+                                                              (bounds));   \
+      tind_obs_hist_->Observe(static_cast<double>(value));                 \
+    }                                                                      \
+  } while (0)
+
 #else  // TIND_OBS_DISABLED
 
 #define TIND_OBS_SCOPED_TIMER(label) static_cast<void>(0)
@@ -257,6 +271,7 @@ class ScopedTimer {
 #define TIND_OBS_GAUGE_SET(name, value) static_cast<void>(0)
 #define TIND_OBS_GAUGE_MAX(name, value) static_cast<void>(0)
 #define TIND_OBS_OBSERVE(name, value) static_cast<void>(0)
+#define TIND_OBS_OBSERVE_BOUNDS(name, value, bounds) static_cast<void>(0)
 
 #endif  // TIND_OBS_DISABLED
 

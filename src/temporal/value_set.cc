@@ -32,6 +32,18 @@ bool ValueSet::Contains(ValueId v) const {
 
 bool ValueSet::IsSubsetOf(const ValueSet& other) const {
   if (values_.size() > other.values_.size()) return false;
+  // Lopsided case (small query set against a huge attribute set, the common
+  // shape of the exact recheck): binary-search each element from the last
+  // hit instead of merging through the big side, O(k log n) vs O(n).
+  if (values_.size() * 16 < other.values_.size()) {
+    auto lo = other.values_.begin();
+    for (const ValueId v : values_) {
+      lo = std::lower_bound(lo, other.values_.end(), v);
+      if (lo == other.values_.end() || *lo != v) return false;
+      ++lo;
+    }
+    return true;
+  }
   return std::includes(other.values_.begin(), other.values_.end(),
                        values_.begin(), values_.end());
 }

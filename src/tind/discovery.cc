@@ -1,5 +1,6 @@
 #include "tind/discovery.h"
 
+#include <algorithm>
 #include <atomic>
 #include <csignal>
 #include <mutex>
@@ -110,28 +111,14 @@ Result<AllPairsResult> DiscoverAllTinds(const TindIndex& index,
     }
   };
 
-  const auto run_query = [&](size_t q) {
-    if (done[q]) return;  // Restored from the checkpoint.
-    if (options.cancel != nullptr && options.cancel->cancelled()) {
-      user_cancelled.store(true, std::memory_order_relaxed);
-      internal_cancel.Cancel();
-      return;
-    }
-    // Chaos-only: an injected preemption behaves like an external stop
-    // request, and an injected die simulates power loss — the checkpoint on
-    // disk must carry the recovery on its own.
-    if (TIND_FAULT_POINT("discovery/preempt")) {
-      user_cancelled.store(true, std::memory_order_relaxed);
-      internal_cancel.Cancel();
-      return;
-    }
-    if (TIND_FAULT_POINT("discovery/die")) std::raise(SIGKILL);
-    QueryStats stats;
-    // Per-query validation stays sequential: with many concurrent queries,
-    // nesting validation parallelism only adds contention.
-    std::vector<AttributeId> rhs_list =
-        index.Search(dataset.attribute(static_cast<AttributeId>(q)), params,
-                     &stats, /*pool=*/nullptr);
+  // Records one answered query: validation count, result-byte budgeting,
+  // and checkpoint cadence — the same per-query bookkeeping the pre-batch
+  // driver did, replayed in ascending query order after each batch.
+  // Returns false when the budget is exhausted (the run stops and the
+  // remaining answers of the batch are discarded, exactly as if those
+  // queries had never run).
+  const auto record_result = [&](size_t q, std::vector<AttributeId> rhs_list,
+                                 const QueryStats& stats) {
     total_validations.fetch_add(stats.validations, std::memory_order_relaxed);
     if (options.memory != nullptr) {
       const size_t bytes = rhs_list.size() * sizeof(AttributeId);
@@ -142,7 +129,7 @@ Result<AllPairsResult> DiscoverAllTinds(const TindIndex& index,
           if (oom_status.ok()) oom_status = reserve;
         }
         internal_cancel.Cancel();
-        return;
+        return false;
       }
       reserved_bytes.fetch_add(bytes, std::memory_order_relaxed);
     }
@@ -164,6 +151,7 @@ Result<AllPairsResult> DiscoverAllTinds(const TindIndex& index,
       record_checkpoint_write(
           SaveDiscoveryCheckpoint(snapshot, options.checkpoint_path));
     }
+    return true;
   };
 
   const auto write_final_checkpoint = [&] {
@@ -177,12 +165,60 @@ Result<AllPairsResult> DiscoverAllTinds(const TindIndex& index,
         SaveDiscoveryCheckpoint(snapshot, options.checkpoint_path));
   };
 
+  // Window pending queries into batches and answer each window with one
+  // BatchSearch call (sharded across the pool inside the index). Stop
+  // checks — user cancellation and the chaos fault points — are evaluated
+  // per query while the window's results are *replayed in ascending query
+  // order*, before that query's result is recorded. This keeps the
+  // pre-batch driver's recovery semantics: when a stop or injected death
+  // fires at query q, exactly the queries before q are completed and
+  // checkpointed per cadence, and the window's remaining answers are
+  // discarded as if those queries had never run. (The batch may have
+  // computed them already — wasted work, never wrong state.)
+  const size_t workers =
+      options.pool != nullptr ? options.pool->num_threads() : 1;
+  const size_t window =
+      std::max<size_t>(1, options.batch_size) * std::max<size_t>(1, workers);
+  std::vector<const AttributeHistory*> pending;
+  std::vector<size_t> pending_ids;
+  std::vector<QueryStats> batch_stats;
   try {
-    if (options.pool != nullptr) {
-      options.pool->ParallelFor(0, n, run_query, &internal_cancel);
-    } else {
-      for (size_t q = 0; q < n && !internal_cancel.cancelled(); ++q) {
-        run_query(q);
+    for (size_t base = 0; base < n && !internal_cancel.cancelled();
+         base += window) {
+      const size_t end = std::min(n, base + window);
+      pending.clear();
+      pending_ids.clear();
+      for (size_t q = base; q < end; ++q) {
+        if (done[q]) continue;  // Restored from the checkpoint.
+        pending.push_back(&dataset.attribute(static_cast<AttributeId>(q)));
+        pending_ids.push_back(q);
+      }
+      if (pending.empty()) continue;
+      TIND_OBS_COUNTER_ADD("discovery/batches", 1);
+      // Per-query validation stays sequential inside the batch groups: with
+      // many concurrent queries, nesting validation parallelism only adds
+      // contention.
+      std::vector<std::vector<AttributeId>> answers =
+          index.BatchSearch(pending, params, &batch_stats, options.pool);
+      for (size_t i = 0; i < pending_ids.size(); ++i) {
+        if (options.cancel != nullptr && options.cancel->cancelled()) {
+          user_cancelled.store(true, std::memory_order_relaxed);
+          internal_cancel.Cancel();
+          break;
+        }
+        // Chaos-only: an injected preemption behaves like an external stop
+        // request, and an injected die simulates power loss — the
+        // checkpoint on disk must carry the recovery on its own.
+        if (TIND_FAULT_POINT("discovery/preempt")) {
+          user_cancelled.store(true, std::memory_order_relaxed);
+          internal_cancel.Cancel();
+          break;
+        }
+        if (TIND_FAULT_POINT("discovery/die")) std::raise(SIGKILL);
+        if (!record_result(pending_ids[i], std::move(answers[i]),
+                           batch_stats[i])) {
+          break;
+        }
       }
     }
   } catch (const std::exception& e) {

@@ -6,7 +6,9 @@
 /// A ⊆_{w,ε,δ} B within a dataset by querying each attribute against the
 /// index. As the paper notes (Section 4.2.2), it is superior to parallelize
 /// the *queries* rather than the per-query validations, which is what this
-/// driver does.
+/// driver does — by windowing pending queries into TindIndex::BatchSearch
+/// batches, so the Bloom matrices are streamed once per group of queries
+/// instead of once per query.
 ///
 /// Fault tolerance: the options-based overload supports cooperative
 /// cancellation, byte budgeting of the accumulated result set (the k-MANY
@@ -71,6 +73,14 @@ struct DiscoveryOptions {
   std::string checkpoint_path;
   /// Completed queries between checkpoint writes.
   size_t checkpoint_interval = 64;
+  /// Queries answered per TindIndex::BatchSearch group (0 behaves as 1).
+  /// The driver windows pending queries into batch_size * pool-width
+  /// chunks; cancellation, fault injection, budgeting, and checkpointing
+  /// all keep their per-query granularity (evaluated while a window's
+  /// results are replayed in query order, so a stop at query q leaves
+  /// exactly the pre-q queries completed) — only the index probing is
+  /// amortized. kBloomBatchGroupSize is the natural maximum.
+  size_t batch_size = 64;
 };
 
 /// Discovers all tINDs in the index's dataset by running one search per

@@ -406,6 +406,423 @@ std::vector<AttributeId> TindIndex::ReverseSearch(const AttributeHistory& query,
   return results;
 }
 
+namespace {
+
+/// One planned slice probe of a batch group: query `b`'s filter for one
+/// version (forward) or one slice window (reverse), plus the candidate
+/// snapshot the kernel narrows in place. Snapshots are taken at the top of
+/// the slice; that is equivalent to the sequential code's per-version
+/// seeding because candidates only ever lose bits within a slice, so for
+/// the surviving set C ⊆ S:  C ∧ ¬(S ∧ rows) = C ∧ ¬rows — the partial
+/// violation sets come out identical.
+struct BatchSliceTask {
+  size_t b = 0;
+  double weight = 0;  ///< Violation weight to add per failing candidate.
+  BloomFilter filter;
+  BitVector cand;
+};
+
+/// Bucket bounds for the group-size histogram: 1, 2, 4, ..., 64.
+const std::vector<double>& GroupSizeBounds() {
+  static const std::vector<double> bounds =
+      obs::ExponentialBuckets(1, 2, 7);
+  return bounds;
+}
+
+}  // namespace
+
+void TindIndex::BatchPruneWithSlices(const AttributeHistory* const* queries,
+                                     size_t n, const TindParams& params,
+                                     BitVector* candidates) const {
+  std::vector<std::unordered_map<AttributeId, double>> violations(n);
+  std::vector<BatchSliceTask> tasks;
+  std::vector<BloomProbe> probes;
+  size_t total_tasks = 0;
+  size_t violation_updates = 0;
+  size_t pruned = 0;
+  for (size_t j = 0; j < slice_matrices_.size(); ++j) {
+    const Interval& interval = slice_intervals_[j];
+    const BloomMatrix& matrix = slice_matrices_[j];
+    // Plan: every valid (query, version) pair of this slice becomes one
+    // probe. Skipping dead queries here matches the sequential loop, which
+    // only checks for emptiness at the top of each slice.
+    tasks.clear();
+    for (size_t b = 0; b < n; ++b) {
+      if (candidates[b].None()) continue;
+      const AttributeHistory& query = *queries[b];
+      const auto [first, last] = query.VersionRangeInInterval(interval);
+      for (int64_t v = first; v <= last; ++v) {
+        const ValueSet& version = query.versions()[static_cast<size_t>(v)];
+        if (version.empty()) continue;
+        const Interval validity = query.ValidityInterval(v);
+        const Interval clipped{std::max(validity.begin, interval.begin),
+                               std::min(validity.end, interval.end)};
+        if (clipped.begin > clipped.end) continue;
+        BatchSliceTask task;
+        task.b = b;
+        task.weight = params.weight->Sum(clipped);
+        task.filter = matrix.MakeQueryFilter(version);
+        task.cand = candidates[b];
+        tasks.push_back(std::move(task));
+      }
+    }
+    if (tasks.empty()) continue;
+    total_tasks += tasks.size();
+    probes.clear();
+    for (BatchSliceTask& t : tasks) {
+      probes.push_back(BloomProbe{&t.filter, &t.cand});
+    }
+    matrix.QuerySupersetsBatch(probes.data(), probes.size());
+    // Replay the violation bookkeeping in planning order — per query that
+    // is exactly the sequential version order, and queries do not interact.
+    for (const BatchSliceTask& t : tasks) {
+      BitVector partial = candidates[t.b];
+      partial.AndNot(t.cand);
+      if (partial.None()) continue;
+      partial.ForEachSet([&](size_t c) {
+        double& vio = violations[t.b][static_cast<AttributeId>(c)];
+        vio += t.weight;
+        ++violation_updates;
+        if (vio > params.epsilon + kViolationTolerance) {
+          candidates[t.b].Clear(c);
+          ++pruned;
+        }
+      });
+    }
+  }
+  TIND_OBS_COUNTER_ADD("index/batch_slice_tasks", total_tasks);
+  TIND_OBS_COUNTER_ADD("index/batch_violation_updates", violation_updates);
+  TIND_OBS_COUNTER_ADD("index/batch_slice_pruned", pruned);
+}
+
+void TindIndex::BatchPruneReverseWithSlices(
+    const AttributeHistory* const* queries, size_t n, const TindParams& params,
+    BitVector* candidates) const {
+  std::vector<std::unordered_map<AttributeId, double>> violations(n);
+  std::vector<BatchSliceTask> tasks;
+  std::vector<BloomProbe> probes;
+  size_t total_tasks = 0;
+  size_t violation_updates = 0;
+  size_t pruned = 0;
+  size_t min_weights_computed = 0;
+  size_t min_weights_reused = 0;
+  // Scratch for the per-slice minimum-weight cache (Figure 6). The minimum
+  // version-subinterval weight of a candidate depends only on the candidate
+  // and the slice interval — not on the query — so one computation serves
+  // every query of the group.
+  std::vector<double> min_weight(dataset_->size(), 0);
+  std::vector<char> min_weight_ready(dataset_->size(), 0);
+  const size_t slices_to_use =
+      std::min(options_.reverse_slices, slice_matrices_.size());
+  for (size_t j = 0; j < slices_to_use; ++j) {
+    const Interval& interval = slice_intervals_[j];
+    const BloomMatrix& matrix = slice_matrices_[j];
+    const Interval query_window =
+        dataset_->domain().Clamp(interval.Expanded(2 * options_.delta));
+    tasks.clear();
+    for (size_t b = 0; b < n; ++b) {
+      if (candidates[b].None()) continue;
+      const ValueSet query_values = queries[b]->UnionInInterval(query_window);
+      BatchSliceTask task;
+      task.b = b;
+      task.filter = matrix.MakeQueryFilter(query_values);
+      task.cand = candidates[b];
+      tasks.push_back(std::move(task));
+    }
+    if (tasks.empty()) continue;
+    total_tasks += tasks.size();
+    probes.clear();
+    for (BatchSliceTask& t : tasks) {
+      probes.push_back(BloomProbe{&t.filter, &t.cand});
+    }
+    matrix.QuerySubsetsBatch(probes.data(), probes.size());
+    const Interval expanded =
+        dataset_->domain().Clamp(interval.Expanded(options_.delta));
+    std::fill(min_weight_ready.begin(), min_weight_ready.end(), 0);
+    const auto min_weight_for = [&](size_t c) {
+      if (min_weight_ready[c]) {
+        ++min_weights_reused;
+        return min_weight[c];
+      }
+      min_weight_ready[c] = 1;
+      ++min_weights_computed;
+      const AttributeHistory& a =
+          dataset_->attribute(static_cast<AttributeId>(c));
+      const auto [first, last] = a.VersionRangeInInterval(expanded);
+      double min_w = -1;
+      for (int64_t v = first; v <= last; ++v) {
+        const Interval validity = a.ValidityInterval(v);
+        const Interval clipped{std::max(validity.begin, expanded.begin),
+                               std::min(validity.end, expanded.end)};
+        if (clipped.begin > clipped.end) continue;
+        const double w = params.weight->Sum(clipped);
+        if (min_w < 0 || w < min_w) min_w = w;
+      }
+      min_weight[c] = min_w;
+      return min_w;
+    };
+    for (const BatchSliceTask& t : tasks) {
+      BitVector partial = candidates[t.b];
+      partial.AndNot(t.cand);
+      if (partial.None()) continue;
+      partial.ForEachSet([&](size_t c) {
+        // min_weight <= 0 covers both "no version in the window" (-1) and
+        // zero-weight sub-intervals; neither can prove a violation.
+        const double w = min_weight_for(c);
+        if (w <= 0) return;
+        double& vio = violations[t.b][static_cast<AttributeId>(c)];
+        vio += w;
+        ++violation_updates;
+        if (vio > params.epsilon + kViolationTolerance) {
+          candidates[t.b].Clear(c);
+          ++pruned;
+        }
+      });
+    }
+  }
+  TIND_OBS_COUNTER_ADD("index/batch_reverse_slice_tasks", total_tasks);
+  TIND_OBS_COUNTER_ADD("index/batch_violation_updates", violation_updates);
+  TIND_OBS_COUNTER_ADD("index/batch_slice_pruned", pruned);
+  TIND_OBS_COUNTER_ADD("index/batch_min_weights_computed", min_weights_computed);
+  TIND_OBS_COUNTER_ADD("index/batch_min_weights_reused", min_weights_reused);
+}
+
+void TindIndex::BatchForwardGroup(const AttributeHistory* const* queries,
+                                  size_t n, const TindParams& params,
+                                  QueryStats* stats,
+                                  std::vector<AttributeId>* results) const {
+  Stopwatch timer;
+  TIND_OBS_SCOPED_TIMER("batch_search_group");
+  TIND_OBS_OBSERVE_BOUNDS("index/batch_group_size", n, GroupSizeBounds());
+
+  std::vector<BitVector> candidates;
+  candidates.reserve(n);
+  for (size_t b = 0; b < n; ++b) {
+    candidates.emplace_back(dataset_->size(), /*fill=*/true);
+    const AttributeHistory& query = *queries[b];
+    if (query.id() < dataset_->size() &&
+        &dataset_->attribute(query.id()) == &query) {
+      candidates[b].Clear(query.id());
+    }
+  }
+
+  // Stage 1: required values against M_T, one group probe for all queries.
+  std::vector<ValueSet> required(n);
+  std::vector<BloomFilter> filters;
+  filters.reserve(n);  // Probes hold pointers into this; no reallocation.
+  std::vector<BloomProbe> probes;
+  for (size_t b = 0; b < n; ++b) {
+    required[b] =
+        ComputeRequiredValues(*queries[b], *params.weight, params.epsilon);
+    if (required[b].empty()) continue;
+    filters.push_back(full_matrix_.MakeQueryFilter(required[b]));
+    probes.push_back(BloomProbe{&filters.back(), &candidates[b]});
+  }
+  {
+    TIND_OBS_SCOPED_TIMER("m_t_probe");
+    full_matrix_.QuerySupersetsBatch(probes.data(), probes.size());
+  }
+  if (stats != nullptr) {
+    for (size_t b = 0; b < n; ++b) {
+      stats[b].used_prefilter = !required[b].empty();
+      stats[b].initial_candidates = candidates[b].Count();
+    }
+  }
+
+  // Stage 2: shared slice pruning.
+  const bool slices_usable = params.delta <= options_.delta;
+  {
+    TIND_OBS_SCOPED_TIMER("slice_prune");
+    if (slices_usable) {
+      BatchPruneWithSlices(queries, n, params, candidates.data());
+    }
+  }
+  if (stats != nullptr) {
+    for (size_t b = 0; b < n; ++b) {
+      stats[b].used_slices = slices_usable;
+      stats[b].after_slices = candidates[b].Count();
+    }
+  }
+
+  // Stages 3+4 are per-query, identical to Search().
+  for (size_t b = 0; b < n; ++b) {
+    if (!required[b].empty()) {
+      candidates[b].ForEachSet([&](size_t c) {
+        if (!required[b].IsSubsetOf(
+                dataset_->attribute(static_cast<AttributeId>(c)).AllValues())) {
+          candidates[b].Clear(c);
+        }
+      });
+    }
+    if (stats != nullptr) stats[b].after_exact_check = candidates[b].Count();
+    results[b] = ValidateCandidates(*queries[b], params, candidates[b],
+                                    /*forward=*/true,
+                                    stats != nullptr ? &stats[b] : nullptr,
+                                    /*pool=*/nullptr);
+  }
+  if (stats != nullptr && n > 0) {
+    // Per-query wall time is not separable inside a shared scan; report
+    // each query's equal share of the group.
+    const double per_query_ms = timer.ElapsedMillis() / static_cast<double>(n);
+    for (size_t b = 0; b < n; ++b) stats[b].elapsed_ms = per_query_ms;
+  }
+}
+
+void TindIndex::BatchReverseGroup(const AttributeHistory* const* queries,
+                                  size_t n, const TindParams& params,
+                                  QueryStats* stats,
+                                  std::vector<AttributeId>* results) const {
+  Stopwatch timer;
+  TIND_OBS_SCOPED_TIMER("batch_reverse_group");
+  TIND_OBS_OBSERVE_BOUNDS("index/batch_group_size", n, GroupSizeBounds());
+
+  std::vector<BitVector> candidates;
+  candidates.reserve(n);
+  for (size_t b = 0; b < n; ++b) {
+    candidates.emplace_back(dataset_->size(), /*fill=*/true);
+    const AttributeHistory& query = *queries[b];
+    if (query.id() < dataset_->size() &&
+        &dataset_->attribute(query.id()) == &query) {
+      candidates[b].Clear(query.id());
+    }
+  }
+
+  // Stage 1: M_R subset probes, one group scan. Usability is a property of
+  // (params, build options), so it is uniform across the group.
+  const bool prefilter_usable =
+      has_reverse_ && params.epsilon <= options_.epsilon + kViolationTolerance;
+  if (prefilter_usable) {
+    TIND_OBS_SCOPED_TIMER("m_r_probe");
+    std::vector<BloomFilter> filters;
+    filters.reserve(n);
+    std::vector<BloomProbe> probes;
+    probes.reserve(n);
+    for (size_t b = 0; b < n; ++b) {
+      filters.push_back(reverse_matrix_.MakeQueryFilter(queries[b]->AllValues()));
+      probes.push_back(BloomProbe{&filters.back(), &candidates[b]});
+    }
+    reverse_matrix_.QuerySubsetsBatch(probes.data(), probes.size());
+  }
+  if (stats != nullptr) {
+    for (size_t b = 0; b < n; ++b) {
+      stats[b].used_prefilter = prefilter_usable;
+      stats[b].initial_candidates = candidates[b].Count();
+    }
+  }
+
+  // Stage 2: shared reverse slice pruning.
+  const bool slices_usable = params.delta <= options_.delta;
+  {
+    TIND_OBS_SCOPED_TIMER("slice_prune");
+    if (slices_usable) {
+      BatchPruneReverseWithSlices(queries, n, params, candidates.data());
+    }
+  }
+  if (stats != nullptr) {
+    for (size_t b = 0; b < n; ++b) {
+      stats[b].used_slices = slices_usable;
+      stats[b].after_slices = candidates[b].Count();
+    }
+  }
+
+  // Stage 3: exact recheck. R_{ε,w}(A) depends only on the candidate and
+  // the build parameters, so compute it once per surviving candidate and
+  // test it against every query of the group.
+  if (prefilter_usable) {
+    TIND_OBS_SCOPED_TIMER("exact_recheck");
+    std::unordered_map<size_t, ValueSet> required_cache;
+    size_t required_reused = 0;
+    for (size_t b = 0; b < n; ++b) {
+      const ValueSet& query_all = queries[b]->AllValues();
+      candidates[b].ForEachSet([&](size_t c) {
+        auto it = required_cache.find(c);
+        if (it == required_cache.end()) {
+          it = required_cache
+                   .emplace(c, ComputeRequiredValues(
+                                   dataset_->attribute(
+                                       static_cast<AttributeId>(c)),
+                                   *options_.weight, options_.epsilon))
+                   .first;
+        } else {
+          ++required_reused;
+        }
+        if (!it->second.IsSubsetOf(query_all)) candidates[b].Clear(c);
+      });
+    }
+    TIND_OBS_COUNTER_ADD("index/batch_required_values_computed",
+                         required_cache.size());
+    TIND_OBS_COUNTER_ADD("index/batch_required_values_reused", required_reused);
+  }
+  for (size_t b = 0; b < n; ++b) {
+    if (stats != nullptr) stats[b].after_exact_check = candidates[b].Count();
+    results[b] = ValidateCandidates(*queries[b], params, candidates[b],
+                                    /*forward=*/false,
+                                    stats != nullptr ? &stats[b] : nullptr,
+                                    /*pool=*/nullptr);
+  }
+  if (stats != nullptr && n > 0) {
+    const double per_query_ms = timer.ElapsedMillis() / static_cast<double>(n);
+    for (size_t b = 0; b < n; ++b) stats[b].elapsed_ms = per_query_ms;
+  }
+}
+
+std::vector<std::vector<AttributeId>> TindIndex::BatchExecute(
+    const std::vector<const AttributeHistory*>& queries,
+    const TindParams& params, std::vector<QueryStats>* stats, ThreadPool* pool,
+    bool forward) const {
+  assert(params.weight != nullptr);
+  const size_t n = queries.size();
+  std::vector<std::vector<AttributeId>> results(n);
+  if (stats != nullptr) stats->assign(n, QueryStats{});
+  if (n == 0) return results;
+  const size_t workers = pool != nullptr ? pool->num_threads() : 1;
+  const std::vector<IndexRange> shards =
+      PlanBatchShards(n, workers, kBloomBatchGroupSize);
+  TIND_OBS_COUNTER_ADD("index/batch_calls", 1);
+  TIND_OBS_COUNTER_ADD("index/batch_shards", shards.size());
+  const auto run_shard = [&](size_t s) {
+    const IndexRange& range = shards[s];
+    // A shard never exceeds kBloomBatchGroupSize, but tolerate larger ones
+    // by re-chunking rather than assuming the planner's cap.
+    for (size_t lo = range.begin; lo < range.end;
+         lo += kBloomBatchGroupSize) {
+      const size_t g = std::min(kBloomBatchGroupSize, range.end - lo);
+      QueryStats* group_stats = stats != nullptr ? stats->data() + lo : nullptr;
+      if (forward) {
+        BatchForwardGroup(queries.data() + lo, g, params, group_stats,
+                          results.data() + lo);
+      } else {
+        BatchReverseGroup(queries.data() + lo, g, params, group_stats,
+                          results.data() + lo);
+      }
+    }
+  };
+  if (pool != nullptr && shards.size() > 1) {
+    pool->ParallelFor(0, shards.size(), run_shard);
+  } else {
+    for (size_t s = 0; s < shards.size(); ++s) run_shard(s);
+  }
+  return results;
+}
+
+std::vector<std::vector<AttributeId>> TindIndex::BatchSearch(
+    const std::vector<const AttributeHistory*>& queries,
+    const TindParams& params, std::vector<QueryStats>* stats,
+    ThreadPool* pool) const {
+  TIND_OBS_SCOPED_TIMER("batch_search");
+  TIND_OBS_COUNTER_ADD("index/batch_queries", queries.size());
+  return BatchExecute(queries, params, stats, pool, /*forward=*/true);
+}
+
+std::vector<std::vector<AttributeId>> TindIndex::BatchReverseSearch(
+    const std::vector<const AttributeHistory*>& queries,
+    const TindParams& params, std::vector<QueryStats>* stats,
+    ThreadPool* pool) const {
+  TIND_OBS_SCOPED_TIMER("batch_reverse_search");
+  TIND_OBS_COUNTER_ADD("index/batch_reverse_queries", queries.size());
+  return BatchExecute(queries, params, stats, pool, /*forward=*/false);
+}
+
 size_t TindIndex::MemoryUsageBytes() const {
   size_t bytes = full_matrix_.MemoryUsageBytes();
   for (const auto& m : slice_matrices_) bytes += m.MemoryUsageBytes();

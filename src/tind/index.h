@@ -101,6 +101,35 @@ class TindIndex {
                                          QueryStats* stats = nullptr,
                                          ThreadPool* pool = nullptr) const;
 
+  /// Batched tIND search: answers `queries` with exactly the results (and
+  /// candidate-funnel QueryStats) that `queries.size()` independent Search()
+  /// calls would produce, but plans the required-value filters and slice
+  /// probes of up to kBloomBatchGroupSize queries together so M_T and each
+  /// slice matrix are streamed once per probe group instead of once per
+  /// probe (bloom_batch.h describes the kernel). The batch differential
+  /// test enforces the equivalence on randomized corpora.
+  ///
+  /// Query pointers must not be null and must outlive the call; duplicate
+  /// queries are fine. If `stats` is non-null it is resized to
+  /// queries.size(); elapsed_ms is each query's equal share of its group's
+  /// wall time (per-query timing is not separable inside a shared scan).
+  /// If `pool` is non-null the batch is sharded across its workers
+  /// (PlanBatchShards); results are identical either way.
+  std::vector<std::vector<AttributeId>> BatchSearch(
+      const std::vector<const AttributeHistory*>& queries,
+      const TindParams& params, std::vector<QueryStats>* stats = nullptr,
+      ThreadPool* pool = nullptr) const;
+
+  /// Batched reverse search — same contract as BatchSearch relative to
+  /// looped ReverseSearch(). Batching pays the most here: subset probes
+  /// touch nearly every row of M_R, and the per-candidate minimum-violation
+  /// weights and required-value sets of the recheck stage are shared across
+  /// the whole group instead of recomputed per query.
+  std::vector<std::vector<AttributeId>> BatchReverseSearch(
+      const std::vector<const AttributeHistory*>& queries,
+      const TindParams& params, std::vector<QueryStats>* stats = nullptr,
+      ThreadPool* pool = nullptr) const;
+
   /// Total bytes held in Bloom matrices ((k+1 [+1]) * m * |D| / 8).
   size_t MemoryUsageBytes() const;
 
@@ -126,6 +155,41 @@ class TindIndex {
                                               const BitVector& candidates,
                                               bool forward, QueryStats* stats,
                                               ThreadPool* pool) const;
+
+  /// Shared batch driver: shards the batch (across `pool` when given), then
+  /// runs the group pipeline per shard.
+  std::vector<std::vector<AttributeId>> BatchExecute(
+      const std::vector<const AttributeHistory*>& queries,
+      const TindParams& params, std::vector<QueryStats>* stats,
+      ThreadPool* pool, bool forward) const;
+
+  /// One group (≤ kBloomBatchGroupSize queries) of the forward batch
+  /// pipeline: M_T group probe → shared slice planning → exact recheck →
+  /// validation, writing results[b] / stats[b] per query.
+  void BatchForwardGroup(const AttributeHistory* const* queries, size_t n,
+                         const TindParams& params, QueryStats* stats,
+                         std::vector<AttributeId>* results) const;
+
+  /// One group of the reverse batch pipeline (M_R subset probes, shared
+  /// minimum-violation weights, shared required-value recheck).
+  void BatchReverseGroup(const AttributeHistory* const* queries, size_t n,
+                         const TindParams& params, QueryStats* stats,
+                         std::vector<AttributeId>* results) const;
+
+  /// Slice-stage pruning for a forward group: decodes each query's slice
+  /// versions once, probes all (query, version) filters of a slice as one
+  /// batch, then replays the partial-violation bookkeeping per query.
+  void BatchPruneWithSlices(const AttributeHistory* const* queries, size_t n,
+                            const TindParams& params,
+                            BitVector* candidates) const;
+
+  /// Reverse slice pruning for a group, with the per-candidate minimum
+  /// version-subinterval weight (Figure 6) computed once per slice and
+  /// shared across every query of the group — it does not depend on the
+  /// query, only on the candidate attribute and the slice interval.
+  void BatchPruneReverseWithSlices(const AttributeHistory* const* queries,
+                                   size_t n, const TindParams& params,
+                                   BitVector* candidates) const;
 
   const Dataset* dataset_ = nullptr;
   TindIndexOptions options_;

@@ -1,7 +1,6 @@
 #include "tind/validator.h"
 
 #include <algorithm>
-#include <unordered_map>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -13,11 +12,36 @@ namespace {
 /// \brief Sliding multiset of the values of A's versions intersecting
 /// [ts-δ, ts+δ]. AdvanceTo must be called with non-decreasing ts; each
 /// version of A enters and leaves at most once over a whole sweep.
+///
+/// Only values that appear somewhere in Q can ever be asked for by
+/// ContainsAll, so the window tracks counts for Q's value universe alone —
+/// a candidate with huge versions (the corpus catch-alls, the worst and
+/// most common validation case) costs one sorted intersection per version
+/// instead of hashing every value it holds into a map.
 class DeltaWindow {
  public:
-  DeltaWindow(const AttributeHistory& a, int64_t delta)
+  DeltaWindow(const AttributeHistory& q, const AttributeHistory& a,
+              int64_t delta)
       : a_(a), delta_(delta) {
-    counts_.reserve(64);
+    std::vector<const ValueSet*> q_versions;
+    q_versions.reserve(q.num_versions());
+    for (const ValueSet& v : q.versions()) q_versions.push_back(&v);
+    universe_ = ValueSet::UnionOf(q_versions);
+    counts_.assign(universe_.size(), 0);
+    // Each Q version is a subset of the universe; resolve its values to
+    // universe slots once so the per-interval containment check is a flat
+    // count lookup.
+    version_slots_.resize(q.num_versions());
+    const auto& u = universe_.values();
+    for (size_t vi = 0; vi < q.num_versions(); ++vi) {
+      const auto& vals = q.versions()[vi].values();
+      version_slots_[vi].reserve(vals.size());
+      for (const ValueId v : vals) {
+        const auto it = std::lower_bound(u.begin(), u.end(), v);
+        version_slots_[vi].push_back(
+            static_cast<uint32_t>(it - u.begin()));
+      }
+    }
   }
 
   void AdvanceTo(Timestamp ts) {
@@ -26,37 +50,64 @@ class DeltaWindow {
     // Versions enter once their first valid timestamp is <= ts + δ.
     while (next_enter_ < num_versions &&
            change_ts[static_cast<size_t>(next_enter_)] <= ts + delta_) {
-      AddVersion(next_enter_);
+      UpdateVersion(next_enter_, +1);
       ++next_enter_;
     }
     // Versions leave once their last valid timestamp is < ts - δ.
     while (first_in_window_ < next_enter_ &&
            a_.ValidityInterval(first_in_window_).end < ts - delta_) {
-      RemoveVersion(first_in_window_);
+      UpdateVersion(first_in_window_, -1);
       ++first_in_window_;
     }
   }
 
-  /// True iff every value of `q_version` is present in the window.
-  bool ContainsAll(const ValueSet& q_version) const {
-    if (q_version.empty()) return true;
-    if (counts_.empty()) return false;
-    for (const ValueId v : q_version.values()) {
-      if (counts_.find(v) == counts_.end()) return false;
+  /// True iff every value of Q's version `q_version` (by index) is present
+  /// in the window.
+  bool ContainsAll(size_t q_version) const {
+    for (const uint32_t slot : version_slots_[q_version]) {
+      if (counts_[slot] == 0) return false;
     }
     return true;
   }
 
  private:
-  void AddVersion(int64_t idx) {
-    for (const ValueId v : a_.versions()[static_cast<size_t>(idx)].values()) {
-      ++counts_[v];
-    }
-  }
-  void RemoveVersion(int64_t idx) {
-    for (const ValueId v : a_.versions()[static_cast<size_t>(idx)].values()) {
-      const auto it = counts_.find(v);
-      if (--(it->second) == 0) counts_.erase(it);
+  /// Applies `delta` to the count of every universe value present in A's
+  /// version `idx`. Enter and leave enumerate the identical intersection,
+  /// so the counts stay balanced.
+  void UpdateVersion(int64_t idx, int delta) {
+    const auto& u = universe_.values();
+    const auto& av = a_.versions()[static_cast<size_t>(idx)].values();
+    if (u.empty() || av.empty()) return;
+    // Adaptive intersection: binary-search the big side when the sizes are
+    // lopsided (catch-all versions dwarf a query's universe), otherwise a
+    // linear merge.
+    if (u.size() * 8 < av.size()) {
+      auto lo = av.begin();
+      for (size_t i = 0; i < u.size(); ++i) {
+        lo = std::lower_bound(lo, av.end(), u[i]);
+        if (lo == av.end()) break;
+        if (*lo == u[i]) counts_[i] += delta;
+      }
+    } else if (av.size() * 8 < u.size()) {
+      auto lo = u.begin();
+      for (const ValueId v : av) {
+        lo = std::lower_bound(lo, u.end(), v);
+        if (lo == u.end()) break;
+        if (*lo == v) counts_[static_cast<size_t>(lo - u.begin())] += delta;
+      }
+    } else {
+      auto a_it = av.begin();
+      for (size_t i = 0; i < u.size() && a_it != av.end();) {
+        if (u[i] == *a_it) {
+          counts_[i] += delta;
+          ++i;
+          ++a_it;
+        } else if (u[i] < *a_it) {
+          ++i;
+        } else {
+          ++a_it;
+        }
+      }
     }
   }
 
@@ -64,7 +115,9 @@ class DeltaWindow {
   const int64_t delta_;
   int64_t next_enter_ = 0;       ///< First version not yet entered.
   int64_t first_in_window_ = 0;  ///< First version still in the window.
-  std::unordered_map<ValueId, int> counts_;
+  ValueSet universe_;            ///< Union of all Q versions, sorted.
+  std::vector<std::vector<uint32_t>> version_slots_;
+  std::vector<int> counts_;      ///< Window multiplicity per universe slot.
 };
 
 /// Assembles the sorted interval boundaries of Algorithm 2 (line 2):
@@ -103,7 +156,7 @@ void SweepViolations(const AttributeHistory& q, const AttributeHistory& a,
   const int64_t n = domain.num_timestamps();
   if (q.num_versions() == 0 || n == 0) return;
   const std::vector<Timestamp> boundaries = CollectBoundaries(q, a, delta, n);
-  DeltaWindow window(a, delta);
+  DeltaWindow window(q, a, delta);
   // Index of Q's version valid at the current boundary.
   int64_t q_version = -1;
   const auto& q_change_ts = q.change_timestamps();
@@ -116,9 +169,8 @@ void SweepViolations(const AttributeHistory& q, const AttributeHistory& a,
       ++q_version;
     }
     // begin >= q.birth(), so q_version is valid here.
-    const ValueSet& q_values = q.versions()[static_cast<size_t>(q_version)];
     window.AdvanceTo(begin);
-    if (!window.ContainsAll(q_values)) {
+    if (!window.ContainsAll(static_cast<size_t>(q_version))) {
       if (!on_violation(Interval{begin, end})) return;
     }
   }

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "bloom/bloom_batch.h"
 #include "bloom/bloom_filter.h"
 #include "bloom/bloom_matrix.h"
 #include "common/rng.h"
+#include "obs/metrics.h"
 
 namespace tind {
 namespace {
@@ -181,6 +185,143 @@ TEST(BloomMatrixPropertyTest, NeverDropsTrueAnswers) {
       }
     }
   }
+}
+
+/// Builds a random matrix + query filters and checks the batch kernels
+/// word-for-word against the scalar reference. The geometry is chosen to
+/// stress the kernel's boundaries: column counts that are not multiples of
+/// 64, batch sizes straddling the 64-probe group, all-zero query filters
+/// (supersets keep everything; subsets AND-NOT every row), and full-fill
+/// matrices whose saturated rows defeat the early exits.
+class BloomBatchPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BloomBatchPropertyTest, BatchMatchesScalarReference) {
+  Rng rng(GetParam());
+  // Deliberately awkward column counts (not multiples of the 64-bit word)
+  // and enough columns to span several kBloomBatchBlockWords blocks.
+  const size_t n_cols = 70 + rng.Uniform(1500);
+  const size_t n_bits = 256;
+  BloomMatrix matrix(n_bits, 3, n_cols);
+  const bool full_fill = rng.Bernoulli(0.25);
+  for (size_t c = 0; c < n_cols; ++c) {
+    std::vector<ValueId> vals;
+    const size_t card = full_fill ? 200 : rng.Uniform(12);
+    for (size_t i = 0; i < card; ++i) {
+      vals.push_back(static_cast<ValueId>(rng.Uniform(500)));
+    }
+    matrix.SetColumn(c, ValueSet::FromUnsorted(std::move(vals)));
+  }
+  for (const size_t batch : {size_t{1}, size_t{63}, size_t{64}, size_t{65},
+                             size_t{130}}) {
+    std::vector<BloomFilter> filters;
+    filters.reserve(batch);
+    std::vector<BitVector> batch_cand;
+    std::vector<BitVector> scalar_cand;
+    for (size_t b = 0; b < batch; ++b) {
+      std::vector<ValueId> vals;
+      // Mix empty (all-zero filter), tiny, and large query sets.
+      const size_t card = b % 7 == 0 ? 0 : rng.Uniform(30);
+      for (size_t i = 0; i < card; ++i) {
+        vals.push_back(static_cast<ValueId>(rng.Uniform(500)));
+      }
+      filters.push_back(
+          matrix.MakeQueryFilter(ValueSet::FromUnsorted(std::move(vals))));
+      // Random (not all-true) incoming candidates: the kernels must narrow
+      // whatever they are given, like the scalar calls do.
+      BitVector cand(n_cols);
+      for (size_t c = 0; c < n_cols; ++c) {
+        if (rng.Bernoulli(0.8)) cand.Set(c);
+      }
+      scalar_cand.push_back(cand);
+      batch_cand.push_back(std::move(cand));
+    }
+    for (const bool subsets : {false, true}) {
+      std::vector<BitVector> batch_out = batch_cand;
+      std::vector<BloomProbe> probes;
+      for (size_t b = 0; b < batch; ++b) {
+        probes.push_back(BloomProbe{&filters[b], &batch_out[b]});
+      }
+      std::vector<BitVector> scalar_out = scalar_cand;
+      if (subsets) {
+        matrix.QuerySubsetsBatch(probes);
+        for (size_t b = 0; b < batch; ++b) {
+          matrix.QuerySubsets(filters[b], &scalar_out[b]);
+        }
+      } else {
+        matrix.QuerySupersetsBatch(probes);
+        for (size_t b = 0; b < batch; ++b) {
+          matrix.QuerySupersets(filters[b], &scalar_out[b]);
+        }
+      }
+      for (size_t b = 0; b < batch; ++b) {
+        for (size_t c = 0; c < n_cols; ++c) {
+          ASSERT_EQ(batch_out[b].Get(c), scalar_out[b].Get(c))
+              << (subsets ? "subsets" : "supersets") << " batch=" << batch
+              << " b=" << b << " col=" << c << " n_cols=" << n_cols
+              << " full_fill=" << full_fill;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMatrices, BloomBatchPropertyTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+TEST(BloomBatchTest, ZeroProbesIsANoOp) {
+  const BloomMatrix matrix(128, 2, 10);
+  matrix.QuerySupersetsBatch(nullptr, 0);
+  matrix.QuerySubsetsBatch(nullptr, 0);
+}
+
+/// Restores the global metrics enabled flag.
+class MetricsEnabledGuard {
+ public:
+  MetricsEnabledGuard() : previous_(obs::MetricsRegistry::Global().enabled()) {
+    obs::MetricsRegistry::Global().set_enabled(true);
+  }
+  ~MetricsEnabledGuard() {
+    obs::MetricsRegistry::Global().set_enabled(previous_);
+  }
+
+ private:
+  bool previous_;
+};
+
+/// Regression for the ColumnContains early exit: a miss must stop probing
+/// at the first absent row instead of walking every set bit of the query
+/// filter. Observed via the "bloom/column_contains_rows_probed" counter,
+/// so the test has nothing to measure when metrics are compiled out.
+TEST(ColumnContainsRegressionTest, EarlyExitsOnMiss) {
+#if TIND_OBS_DISABLED
+  GTEST_SKIP() << "probe counting requires TIND_ENABLE_METRICS=ON";
+#else
+  MetricsEnabledGuard metrics;
+  BloomMatrix matrix(512, 3, 2);
+  // Column 0 stays empty (every row zero); column 1 contains the query.
+  std::vector<ValueId> vals;
+  for (ValueId v = 0; v < 30; ++v) vals.push_back(v);
+  const ValueSet values = ValueSet::FromUnsorted(std::move(vals));
+  matrix.SetColumn(1, values);
+  const BloomFilter query = matrix.MakeQueryFilter(values);
+  const size_t query_bits = query.CountSetBits();
+  ASSERT_GT(query_bits, 10u);
+
+  obs::Counter* probed = obs::MetricsRegistry::Global().GetCounter(
+      "bloom/column_contains_rows_probed");
+  const uint64_t before_miss = probed->value();
+  EXPECT_FALSE(matrix.ColumnContains(query, 0));
+  const uint64_t miss_probes = probed->value() - before_miss;
+  // Column 0 misses on the very first set row of the query.
+  EXPECT_EQ(miss_probes, 1u);
+
+  const uint64_t before_hit = probed->value();
+  EXPECT_TRUE(matrix.ColumnContains(query, 1));
+  const uint64_t hit_probes = probed->value() - before_hit;
+  // A hit has no early exit: every set bit of the query filter is probed.
+  EXPECT_EQ(hit_probes, query_bits);
+  EXPECT_LT(miss_probes, hit_probes);
+#endif
 }
 
 }  // namespace

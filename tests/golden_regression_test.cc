@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "temporal/weights.h"
+#include "tind/index.h"
+#include "wiki/generator.h"
+
+/// \file golden_regression_test.cc
+/// Pins the full batch pipeline output on a fixed generator corpus to a
+/// checked-in golden file. Any change to the generator, the index build,
+/// the Bloom hashing, or the batch execution path that alters a single
+/// result shows up as a readable diff here instead of a silent behavior
+/// drift.
+///
+/// Regenerating the fixture (after an INTENDED behavior change):
+///   TIND_REGEN_GOLDEN=1 ./build/tests/golden_regression_test
+/// then inspect the diff of tests/golden/batch_golden_expected.txt and
+/// commit it together with the change that explains it. The test fails
+/// while regenerating so a stale TIND_REGEN_GOLDEN cannot pass CI.
+
+namespace tind {
+namespace {
+
+/// The golden file lives in the source tree; TIND_SOURCE_DIR is injected by
+/// tests/CMakeLists.txt.
+std::string GoldenPath() {
+  return std::string(TIND_SOURCE_DIR) +
+         "/tests/golden/batch_golden_expected.txt";
+}
+
+/// Renders one "direction query: rhs,rhs,..." line per query, both
+/// directions, with the funnel counters that the differential test proves
+/// equal to the looped path — so this file also pins the funnel shape.
+std::string RenderGolden() {
+  wiki::GeneratorOptions gen;
+  gen.seed = 424242;
+  gen.num_days = 120;
+  gen.num_families = 3;
+  gen.num_noise_attributes = 14;
+  gen.num_drifter_attributes = 6;
+  gen.num_catchall_attributes = 2;
+  gen.shared_vocabulary = 100;
+  gen.entities_per_family_pool = 60;
+  auto generated = wiki::WikiGenerator(gen).GenerateDataset();
+  if (!generated.ok()) std::abort();
+  const Dataset& dataset = generated->dataset;
+
+  const ConstantWeight w(dataset.domain().num_timestamps());
+  TindIndexOptions opts;
+  opts.bloom_bits = 512;
+  opts.num_hashes = 2;
+  opts.num_slices = 6;
+  opts.delta = 7;
+  opts.epsilon = 3.0;
+  opts.build_reverse_index = true;
+  opts.reverse_slices = 2;
+  opts.weight = &w;
+  opts.seed = 99;
+  auto built = TindIndex::Build(dataset, opts);
+  if (!built.ok()) std::abort();
+  const TindIndex& index = **built;
+  const TindParams params{3.0, 7, &w};
+
+  std::vector<const AttributeHistory*> queries;
+  for (size_t q = 0; q < dataset.size(); ++q) {
+    queries.push_back(&dataset.attribute(static_cast<AttributeId>(q)));
+  }
+  std::ostringstream out;
+  out << "# Batch pipeline golden: generator seed " << gen.seed << ", "
+      << dataset.size() << " attributes, eps=3 delta=7 const weight.\n";
+  out << "# Regenerate: TIND_REGEN_GOLDEN=1 ./golden_regression_test\n";
+  for (const bool forward : {true, false}) {
+    std::vector<QueryStats> stats;
+    const auto results = forward
+                             ? index.BatchSearch(queries, params, &stats)
+                             : index.BatchReverseSearch(queries, params, &stats);
+    for (size_t q = 0; q < results.size(); ++q) {
+      out << (forward ? "F" : "R") << " " << q << " funnel="
+          << stats[q].initial_candidates << "/" << stats[q].after_slices << "/"
+          << stats[q].after_exact_check << "/" << stats[q].num_results << ":";
+      for (size_t i = 0; i < results[q].size(); ++i) {
+        out << (i == 0 ? " " : ",") << results[q][i];
+      }
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+TEST(GoldenRegressionTest, BatchPipelineMatchesGoldenFile) {
+  const std::string actual = RenderGolden();
+  if (std::getenv("TIND_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(GoldenPath(), std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << GoldenPath();
+    out << actual;
+    out.close();
+    FAIL() << "regenerated " << GoldenPath()
+           << "; unset TIND_REGEN_GOLDEN and rerun to verify";
+  }
+  std::ifstream in(GoldenPath());
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << GoldenPath()
+      << " — regenerate with TIND_REGEN_GOLDEN=1 (see file header)";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  // Line-by-line so a drift points at the exact query.
+  std::istringstream actual_lines(actual);
+  std::istringstream expected_lines(expected.str());
+  std::string a, e;
+  size_t line = 0;
+  while (true) {
+    const bool has_a = static_cast<bool>(std::getline(actual_lines, a));
+    const bool has_e = static_cast<bool>(std::getline(expected_lines, e));
+    ++line;
+    if (!has_a && !has_e) break;
+    ASSERT_TRUE(has_a) << "golden has extra line " << line << ": " << e;
+    ASSERT_TRUE(has_e) << "output has extra line " << line << ": " << a;
+    ASSERT_EQ(a, e) << "golden mismatch at line " << line;
+  }
+}
+
+}  // namespace
+}  // namespace tind

@@ -55,6 +55,29 @@ TEST(GaugeTest, SetAddUpdateMax) {
   EXPECT_DOUBLE_EQ(g->value(), 7.0);
 }
 
+TEST(ObserveBoundsMacroTest, UsesExplicitBucketsAndGates) {
+  EnabledGuard guard;
+  MetricsRegistry::Global().set_enabled(false);
+  // Disabled: the macro must not register the histogram or evaluate buckets.
+  TIND_OBS_OBSERVE_BOUNDS("test/obs_bounds_gated", 5.0,
+                          ExponentialBuckets(1, 2, 7));
+  MetricsRegistry::Global().set_enabled(true);
+  for (const double v : {1.0, 3.0, 64.0, 100.0}) {
+    TIND_OBS_OBSERVE_BOUNDS("test/obs_bounds_macro", v,
+                            ExponentialBuckets(1, 2, 7));
+  }
+  Histogram* h =
+      MetricsRegistry::Global().GetHistogram("test/obs_bounds_macro");
+  ASSERT_NE(h, nullptr);
+  // The explicit bounds won over the default latency bounds.
+  EXPECT_EQ(h->bounds(), ExponentialBuckets(1, 2, 7));
+  EXPECT_EQ(h->count(), 4u);
+  EXPECT_DOUBLE_EQ(h->max(), 100.0);
+  const auto buckets = h->BucketCounts();
+  ASSERT_EQ(buckets.size(), 8u);
+  EXPECT_EQ(buckets.back(), 1u);  // 100 overflows the last bound (64).
+}
+
 TEST(HistogramTest, CountSumMinMaxMean) {
   MetricsRegistry registry;
   Histogram* h = registry.GetHistogram("test/hist", {1.0, 10.0, 100.0});

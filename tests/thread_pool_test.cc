@@ -176,6 +176,59 @@ TEST(ThreadPoolTest, SubmitDetachedSurvivesThrowingTask) {
   EXPECT_EQ(f.get(), 1);
 }
 
+TEST(PlanBatchShardsTest, EmptyAndSingle) {
+  EXPECT_TRUE(PlanBatchShards(0, 4, 64).empty());
+  const auto one = PlanBatchShards(1, 4, 64);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], (IndexRange{0, 1}));
+}
+
+TEST(PlanBatchShardsTest, SequentialUsesFullGroups) {
+  // One worker: no reason to split below the amortization width.
+  const auto shards = PlanBatchShards(200, 1, 64);
+  ASSERT_EQ(shards.size(), 4u);
+  EXPECT_EQ(shards[0], (IndexRange{0, 64}));
+  EXPECT_EQ(shards[1], (IndexRange{64, 128}));
+  EXPECT_EQ(shards[2], (IndexRange{128, 192}));
+  EXPECT_EQ(shards[3], (IndexRange{192, 200}));
+}
+
+TEST(PlanBatchShardsTest, ShrinksToKeepWorkersBusy) {
+  // 100 items over 4 workers: whole-64 shards would use only 2 workers, so
+  // the planner shrinks to ceil(100/4) = 25.
+  const auto shards = PlanBatchShards(100, 4, 64);
+  ASSERT_EQ(shards.size(), 4u);
+  for (size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(shards[s], (IndexRange{s * 25, (s + 1) * 25}));
+  }
+}
+
+TEST(PlanBatchShardsTest, NeverExceedsMaxShardAndTilesExactly) {
+  for (const size_t total : {1u, 17u, 63u, 64u, 65u, 100u, 1000u}) {
+    for (const size_t workers : {1u, 2u, 7u, 16u}) {
+      for (const size_t max_shard : {1u, 8u, 64u}) {
+        const auto shards = PlanBatchShards(total, workers, max_shard);
+        size_t expected_begin = 0;
+        for (const IndexRange& r : shards) {
+          EXPECT_EQ(r.begin, expected_begin);
+          EXPECT_GT(r.size(), 0u);
+          EXPECT_LE(r.size(), max_shard);
+          expected_begin = r.end;
+        }
+        EXPECT_EQ(expected_begin, total)
+            << "total=" << total << " workers=" << workers
+            << " max_shard=" << max_shard;
+      }
+    }
+  }
+}
+
+TEST(PlanBatchShardsTest, ZeroMaxShardBehavesAsOne) {
+  const auto shards = PlanBatchShards(3, 1, 0);
+  ASSERT_EQ(shards.size(), 3u);
+  for (size_t s = 0; s < 3; ++s) EXPECT_EQ(shards[s].size(), 1u);
+}
+
 TEST(CancellationTokenTest, SharedState) {
   CancellationToken token;
   EXPECT_FALSE(token.cancelled());
