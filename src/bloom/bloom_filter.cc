@@ -1,6 +1,9 @@
 #include "bloom/bloom_filter.h"
 
+#include <algorithm>
 #include <cassert>
+
+#include "common/simd.h"
 
 namespace tind {
 
@@ -26,7 +29,25 @@ void BloomFilter::Add(ValueId value) {
 }
 
 void BloomFilter::AddAll(const ValueSet& values) {
-  for (const ValueId v : values.values()) Add(v);
+  // Batch the h1/h2 derivation so the SIMD backend can hash several values
+  // per iteration (8 at a time under AVX-512); setting the probe bits stays
+  // scalar because the positions scatter across the filter.
+  const std::vector<ValueId>& vals = values.values();
+  const simd::WordOps& ops = simd::Ops();
+  const uint64_t m = bits_.size();
+  uint64_t h1[64];
+  uint64_t h2[64];
+  for (size_t i = 0; i < vals.size(); i += 64) {
+    const size_t chunk = std::min<size_t>(64, vals.size() - i);
+    ops.double_hash_many(vals.data() + i, chunk, h1, h2);
+    for (size_t j = 0; j < chunk; ++j) {
+      for (uint32_t k = 0; k < num_hashes_; ++k) {
+        const uint64_t probe =
+            (h1[j] + static_cast<uint64_t>(k) * h2[j]) & (m - 1);
+        bits_.Set(static_cast<size_t>(probe));
+      }
+    }
+  }
 }
 
 bool BloomFilter::MightContain(ValueId value) const {

@@ -1,7 +1,9 @@
 #include "bloom/bloom_matrix.h"
 
+#include <algorithm>
 #include <cassert>
 
+#include "common/simd.h"
 #include "obs/metrics.h"
 
 namespace tind {
@@ -20,10 +22,21 @@ void BloomMatrix::SetColumn(size_t column, const ValueSet& values) {
   TIND_OBS_COUNTER_ADD("bloom/columns_set", 1);
   TIND_OBS_COUNTER_ADD("bloom/values_inserted", values.size());
   const uint64_t m = num_bits_;
-  for (const ValueId v : values.values()) {
-    const DoubleHash h = DoubleHash::FromValue(v);
-    for (uint32_t i = 0; i < num_hashes_; ++i) {
-      rows_[static_cast<size_t>(h.Probe(i, m))].Set(column);
+  // Hash in batches so the SIMD backend can compute several h1/h2 pairs per
+  // iteration; the probe expansion stays scalar (scattered row writes).
+  const std::vector<ValueId>& vals = values.values();
+  const simd::WordOps& ops = simd::Ops();
+  uint64_t h1[64];
+  uint64_t h2[64];
+  for (size_t i = 0; i < vals.size(); i += 64) {
+    const size_t chunk = std::min<size_t>(64, vals.size() - i);
+    ops.double_hash_many(vals.data() + i, chunk, h1, h2);
+    for (size_t j = 0; j < chunk; ++j) {
+      for (uint32_t k = 0; k < num_hashes_; ++k) {
+        const uint64_t probe =
+            (h1[j] + static_cast<uint64_t>(k) * h2[j]) & (m - 1);
+        rows_[static_cast<size_t>(probe)].Set(column);
+      }
     }
   }
 }
@@ -53,17 +66,19 @@ void BloomMatrix::QuerySubsets(const BloomFilter& query,
 }
 
 bool BloomMatrix::ColumnContains(const BloomFilter& query,
-                                 size_t column) const {
+                                 ColumnProbe probe) const {
   const BitVector& qbits = query.bits();
   bool contained = true;
   size_t rows_probed = 0;
   // Stop at the first missing row: one clear bit already refutes containment,
   // so scanning the remaining set rows is pure waste (dense query filters
-  // made this the dominant cost of the exact Bloom recheck).
+  // made this the dominant cost of the exact Bloom recheck). The column's
+  // word index and bit mask are precomputed (ColumnProbe), so the loop body
+  // is a single load-AND per row.
   for (size_t row = qbits.FindNextSet(0); row < qbits.size();
        row = qbits.FindNextSet(row + 1)) {
     ++rows_probed;
-    if (!rows_[row].Get(column)) {
+    if ((rows_[row].words()[probe.word] & probe.mask) == 0) {
       contained = false;
       break;
     }

@@ -18,6 +18,20 @@
 
 namespace tind {
 
+/// \brief Precomputed word index + bit mask of one matrix column.
+///
+/// ColumnContains tests the same column bit in every probed row; hoisting the
+/// index arithmetic out of the row loop (and letting batch planners prepare
+/// it once per column) leaves a single load-AND per row.
+struct ColumnProbe {
+  size_t word;
+  uint64_t mask;
+};
+
+inline ColumnProbe MakeColumnProbe(size_t column) {
+  return ColumnProbe{column >> 6, 1ULL << (column & 63)};
+}
+
 /// \brief num_bits × num_columns bit matrix of attribute Bloom filters.
 class BloomMatrix {
  public:
@@ -72,7 +86,14 @@ class BloomMatrix {
   /// `column`'s filter contains all set bits of `query`. Stops probing at
   /// the first missing row ("bloom/column_contains_rows_probed" counts the
   /// rows actually touched).
-  bool ColumnContains(const BloomFilter& query, size_t column) const;
+  bool ColumnContains(const BloomFilter& query, size_t column) const {
+    return ColumnContains(query, MakeColumnProbe(column));
+  }
+
+  /// Same recheck with the column word/mask prepared by the caller — batch
+  /// planners that recheck one column against many queries hoist
+  /// MakeColumnProbe out of their loop.
+  bool ColumnContains(const BloomFilter& query, ColumnProbe probe) const;
 
   /// Bytes used by the bit rows: num_bits * num_columns / 8.
   size_t MemoryUsageBytes() const;

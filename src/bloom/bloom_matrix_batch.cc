@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "bloom/bloom_matrix.h"
+#include "common/aligned_vector.h"
+#include "common/simd.h"
 #include "obs/metrics.h"
 
 namespace tind {
@@ -66,7 +68,16 @@ void BloomMatrix::BatchGroupKernel(const BloomProbe* probes, size_t n,
     });
   }
 
-  const size_t words = (num_columns_ + 63) / 64;
+  // Iterate the *padded* word range of the candidate/row vectors: padding is
+  // zero by BitVector invariant, the padded count is a multiple of
+  // kSimdAlignWords, and w0 advances by 16 — so every block width `bw` is a
+  // whole number of SIMD lanes and kernels never need a scalar tail. Block
+  // starts are 128-byte offsets into 64-byte-aligned storage, so all loads
+  // are aligned. Zero/nonzero "any" results (all that steers alive masks and
+  // early exits) are identical across backends, which keeps candidates and
+  // QueryStats bit-identical whatever ISA runs the inner loops.
+  const simd::WordOps& ops = simd::Ops();
+  const size_t words = PadWordCount((num_columns_ + 63) / 64);
   size_t rows_visited = 0;
   size_t word_ops = 0;
   size_t blocks_skipped = 0;
@@ -79,9 +90,7 @@ void BloomMatrix::BatchGroupKernel(const BloomProbe* probes, size_t n,
     uint64_t alive = 0;
     for (size_t b = 0; b < n; ++b) {
       const uint64_t* cw = probes[b].candidates->words().data() + w0;
-      uint64_t any = 0;
-      for (size_t i = 0; i < bw; ++i) any |= cw[i];
-      if (any != 0) alive |= 1ULL << b;
+      if (ops.or_reduce(cw, bw) != 0) alive |= 1ULL << b;
     }
     if (alive == 0) {
       ++blocks_skipped;
@@ -94,18 +103,8 @@ void BloomMatrix::BatchGroupKernel(const BloomProbe* probes, size_t n,
         const size_t b = static_cast<size_t>(__builtin_ctzll(m));
         m &= m - 1;
         uint64_t* cw = probes[b].candidates->mutable_words().data() + w0;
-        uint64_t any = 0;
-        if (subsets) {
-          for (size_t i = 0; i < bw; ++i) {
-            cw[i] &= ~rw[i];
-            any |= cw[i];
-          }
-        } else {
-          for (size_t i = 0; i < bw; ++i) {
-            cw[i] &= rw[i];
-            any |= cw[i];
-          }
-        }
+        const uint64_t any = subsets ? ops.andnot_words_any(cw, rw, bw)
+                                     : ops.and_words_any(cw, rw, bw);
         word_ops += bw;
         if (any == 0) {
           alive &= ~(1ULL << b);

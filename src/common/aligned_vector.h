@@ -1,0 +1,81 @@
+#ifndef TIND_COMMON_ALIGNED_VECTOR_H_
+#define TIND_COMMON_ALIGNED_VECTOR_H_
+
+/// \file aligned_vector.h
+/// Cache-line-aligned word storage for the SIMD kernel layer. Every hot
+/// bit-vector in the system (BitVector words, and through it the BloomMatrix
+/// rows and batch candidate vectors) is allocated on a 64-byte boundary and
+/// padded to a whole number of 64-byte groups, so the per-ISA kernels in
+/// simd_kernels_*.cc can issue aligned full-width loads and stores with no
+/// tail special-casing inside the hot loop (see DESIGN.md §10).
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace tind {
+
+/// Alignment of all SIMD-kernel word buffers: one cache line, which is also
+/// the width of a 512-bit vector register.
+inline constexpr std::size_t kSimdAlignBytes = 64;
+
+/// kSimdAlignBytes expressed in 64-bit words (8). Word buffers are padded to
+/// a multiple of this, and the kernels require their word counts to be one.
+inline constexpr std::size_t kSimdAlignWords =
+    kSimdAlignBytes / sizeof(std::uint64_t);
+
+/// \brief Minimal std::allocator drop-in with a fixed over-alignment.
+///
+/// Uses the aligned operator new/delete pair (C++17), so it composes with
+/// sanitizers and custom global allocators.
+template <typename T, std::size_t Alignment>
+class AlignedAllocator {
+  static_assert(Alignment >= alignof(T), "Alignment must not under-align T");
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two");
+
+ public:
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}  // NOLINT
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return false;
+  }
+};
+
+/// The word container shared by BitVector and the Bloom kernels: 64-bit
+/// words on a 64-byte boundary.
+using WordVector =
+    std::vector<std::uint64_t, AlignedAllocator<std::uint64_t, kSimdAlignBytes>>;
+
+/// Rounds a word count up to a whole number of kSimdAlignWords groups.
+constexpr std::size_t PadWordCount(std::size_t words) {
+  return (words + kSimdAlignWords - 1) & ~(kSimdAlignWords - 1);
+}
+
+}  // namespace tind
+
+#endif  // TIND_COMMON_ALIGNED_VECTOR_H_

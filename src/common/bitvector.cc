@@ -2,6 +2,16 @@
 
 #include <cassert>
 
+#include "common/simd.h"
+
+// Padding-stays-zero is a class invariant (see bitvector.h); every mutating
+// operation re-checks it in debug builds.
+#ifndef NDEBUG
+#define TIND_BV_CHECK_PADDING() assert(PaddingIsZero())
+#else
+#define TIND_BV_CHECK_PADDING() ((void)0)
+#endif
+
 namespace tind {
 
 namespace {
@@ -9,20 +19,32 @@ constexpr size_t WordCount(size_t bits) { return (bits + 63) / 64; }
 }  // namespace
 
 BitVector::BitVector(size_t size, bool fill)
-    : size_(size), words_(WordCount(size), fill ? ~0ULL : 0ULL) {
+    : size_(size), words_(PadWordCount(WordCount(size)), fill ? ~0ULL : 0ULL) {
   if (fill) MaskTail();
+  TIND_BV_CHECK_PADDING();
 }
 
 void BitVector::MaskTail() {
+  const size_t nw = num_words();
   const size_t rem = size_ & 63;
-  if (rem != 0 && !words_.empty()) {
-    words_.back() &= (1ULL << rem) - 1;
+  if (rem != 0 && nw != 0) {
+    words_[nw - 1] &= (1ULL << rem) - 1;
   }
+  for (size_t i = nw; i < words_.size(); ++i) words_[i] = 0;
+}
+
+bool BitVector::PaddingIsZero() const {
+  for (size_t i = num_words(); i < words_.size(); ++i) {
+    if (words_[i] != 0) return false;
+  }
+  return true;
 }
 
 void BitVector::SetAll() {
-  for (auto& w : words_) w = ~0ULL;
+  const size_t nw = num_words();
+  for (size_t i = 0; i < nw; ++i) words_[i] = ~0ULL;
   MaskTail();
+  TIND_BV_CHECK_PADDING();
 }
 
 void BitVector::ClearAll() {
@@ -31,47 +53,51 @@ void BitVector::ClearAll() {
 
 void BitVector::And(const BitVector& other) {
   assert(size_ == other.size_);
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  simd::Ops().and_words(words_.data(), other.words_.data(), words_.size());
+  TIND_BV_CHECK_PADDING();
 }
 
 void BitVector::AndNot(const BitVector& other) {
   assert(size_ == other.size_);
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  simd::Ops().andnot_words(words_.data(), other.words_.data(), words_.size());
+  TIND_BV_CHECK_PADDING();
 }
 
 void BitVector::Or(const BitVector& other) {
   assert(size_ == other.size_);
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  simd::Ops().or_words(words_.data(), other.words_.data(), words_.size());
+  TIND_BV_CHECK_PADDING();
 }
 
 void BitVector::Xor(const BitVector& other) {
   assert(size_ == other.size_);
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  simd::Ops().xor_words(words_.data(), other.words_.data(), words_.size());
+  TIND_BV_CHECK_PADDING();
 }
 
 void BitVector::Flip() {
-  for (auto& w : words_) w = ~w;
+  const size_t nw = num_words();
+  for (size_t i = 0; i < nw; ++i) words_[i] = ~words_[i];
   MaskTail();
+  TIND_BV_CHECK_PADDING();
 }
 
 size_t BitVector::Count() const {
-  size_t count = 0;
-  for (uint64_t w : words_) count += static_cast<size_t>(__builtin_popcountll(w));
-  return count;
+  // Padding words are zero by invariant, so counting the padded range is
+  // exact and keeps the kernel tail-free.
+  return simd::Ops().popcount_words(words_.data(), words_.size());
 }
 
 bool BitVector::None() const {
-  for (uint64_t w : words_) {
-    if (w != 0) return false;
-  }
-  return true;
+  return simd::Ops().or_reduce(words_.data(), words_.size()) == 0;
 }
 
 bool BitVector::All() const { return Count() == size_; }
 
 bool BitVector::IsSubsetOf(const BitVector& other) const {
   assert(size_ == other.size_);
-  for (size_t i = 0; i < words_.size(); ++i) {
+  const size_t nw = num_words();
+  for (size_t i = 0; i < nw; ++i) {
     if ((words_[i] & ~other.words_[i]) != 0) return false;
   }
   return true;
@@ -79,7 +105,8 @@ bool BitVector::IsSubsetOf(const BitVector& other) const {
 
 bool BitVector::Intersects(const BitVector& other) const {
   assert(size_ == other.size_);
-  for (size_t i = 0; i < words_.size(); ++i) {
+  const size_t nw = num_words();
+  for (size_t i = 0; i < nw; ++i) {
     if ((words_[i] & other.words_[i]) != 0) return true;
   }
   return false;
@@ -87,6 +114,7 @@ bool BitVector::Intersects(const BitVector& other) const {
 
 size_t BitVector::FindNextSet(size_t from) const {
   if (from >= size_) return size_;
+  const size_t nw = num_words();
   size_t w = from >> 6;
   uint64_t word = words_[w] & (~0ULL << (from & 63));
   while (true) {
@@ -94,7 +122,7 @@ size_t BitVector::FindNextSet(size_t from) const {
       const size_t idx = w * 64 + static_cast<size_t>(__builtin_ctzll(word));
       return idx < size_ ? idx : size_;
     }
-    if (++w >= words_.size()) return size_;
+    if (++w >= nw) return size_;
     word = words_[w];
   }
 }

@@ -5,11 +5,20 @@
 /// A dense, word-packed bit vector tuned for the candidate bookkeeping of the
 /// tIND index: bulk AND / AND-NOT with other vectors (the Bloom-matrix row
 /// operations of Algorithm 1), popcounts, and fast iteration over set bits.
+///
+/// Storage is 64-byte aligned and padded to a multiple of kSimdAlignWords
+/// words so the SIMD kernels (common/simd.h) can use aligned full-lane loads
+/// with no tail special-casing. Padding words beyond size() are an invariant:
+/// they are always zero. Every mutating operation preserves this (and debug
+/// builds assert it), which is what makes popcounts over the padded range
+/// exact and vector AND/ANDNOT against equally-padded operands safe.
 
 #include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "common/aligned_vector.h"
 
 namespace tind {
 
@@ -26,6 +35,11 @@ class BitVector {
 
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
+
+  /// Number of words that carry live bits: ceil(size / 64).
+  size_t num_words() const { return (size_ + 63) >> 6; }
+  /// Number of allocated words including alignment padding.
+  size_t padded_words() const { return words_.size(); }
 
   bool Get(size_t i) const {
     return (words_[i >> 6] >> (i & 63)) & 1ULL;
@@ -73,7 +87,8 @@ class BitVector {
   /// Invokes `fn(index)` for every set bit in ascending order.
   template <typename Fn>
   void ForEachSet(Fn&& fn) const {
-    for (size_t w = 0; w < words_.size(); ++w) {
+    const size_t nw = num_words();
+    for (size_t w = 0; w < nw; ++w) {
       uint64_t word = words_[w];
       while (word != 0) {
         const int bit = __builtin_ctzll(word);
@@ -86,11 +101,17 @@ class BitVector {
   /// Collects the indices of all set bits.
   std::vector<size_t> ToIndexVector() const;
 
-  /// Raw word access (for serialization and tests).
-  const std::vector<uint64_t>& words() const { return words_; }
-  std::vector<uint64_t>& mutable_words() { return words_; }
+  /// Raw word access (for serialization, kernels, and tests). The storage is
+  /// 64-byte aligned and includes the zero padding words; mutators that write
+  /// through mutable_words() must keep padding beyond size() zero.
+  const WordVector& words() const { return words_; }
+  WordVector& mutable_words() { return words_; }
 
-  /// Heap bytes used by the word storage.
+  /// True iff every padding word beyond size() is zero. This is a class
+  /// invariant; the check exists for debug asserts and tests.
+  bool PaddingIsZero() const;
+
+  /// Heap bytes used by the word storage (including alignment padding).
   size_t MemoryUsageBytes() const { return words_.size() * sizeof(uint64_t); }
 
   /// "0101..." debug rendering (LSB first), capped at 256 bits.
@@ -101,12 +122,12 @@ class BitVector {
   }
 
  private:
-  /// Zeroes the unused high bits of the last word so Count()/All() stay
-  /// correct after Flip().
+  /// Zeroes the unused high bits of the last live word and all padding words
+  /// so Count()/All() stay correct after Flip()/SetAll().
   void MaskTail();
 
   size_t size_ = 0;
-  std::vector<uint64_t> words_;
+  WordVector words_;
 };
 
 }  // namespace tind

@@ -1,0 +1,234 @@
+#include "common/simd.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/simd_kernels.h"
+
+namespace tind::simd {
+namespace {
+
+/// Why the active backend was chosen — recorded for SelectionLog().
+enum class SelectionSource {
+  kAuto,
+  kEnvForceScalar,
+  kEnvNamedBackend,
+  kForced,
+};
+
+std::atomic<const WordOps*> g_forced{nullptr};
+std::atomic<SelectionSource> g_env_source{SelectionSource::kAuto};
+
+// __builtin_cpu_supports requires a literal argument, hence one function per
+// feature instead of a parameterized helper.
+#if defined(__x86_64__) || defined(_M_X64)
+bool CpuHasSse2() { return __builtin_cpu_supports("sse2"); }
+bool CpuHasAvx2() { return __builtin_cpu_supports("avx2"); }
+bool CpuHasAvx512Set() {
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512bw") &&
+         __builtin_cpu_supports("avx512vl") &&
+         __builtin_cpu_supports("avx512dq");
+}
+bool CpuHasVpopcntdq() { return __builtin_cpu_supports("avx512vpopcntdq"); }
+#else
+bool CpuHasSse2() { return false; }
+bool CpuHasAvx2() { return false; }
+bool CpuHasAvx512Set() { return false; }
+bool CpuHasVpopcntdq() { return false; }
+#endif
+
+/// Environment-variable override, evaluated once at first dispatch.
+const WordOps* ResolveFromEnv() {
+  const char* force_scalar = std::getenv("TIND_FORCE_SCALAR");
+  if (force_scalar != nullptr && *force_scalar != '\0' &&
+      std::strcmp(force_scalar, "0") != 0) {
+    g_env_source.store(SelectionSource::kEnvForceScalar,
+                       std::memory_order_relaxed);
+    return internal::GetScalarOps();
+  }
+  const char* named = std::getenv("TIND_SIMD_BACKEND");
+  if (named != nullptr && *named != '\0') {
+    Backend backend;
+    const WordOps* ops =
+        BackendFromName(named, &backend) ? OpsFor(backend) : nullptr;
+    if (ops != nullptr) {
+      g_env_source.store(SelectionSource::kEnvNamedBackend,
+                         std::memory_order_relaxed);
+      return ops;
+    }
+    std::fprintf(stderr,
+                 "tind: TIND_SIMD_BACKEND=%s is not available on this "
+                 "build/CPU; using auto dispatch\n",
+                 named);
+  }
+  return OpsFor(DetectBestBackend());
+}
+
+const WordOps* EnvOps() {
+  // Magic static: the env lookup and CPU detection run exactly once,
+  // thread-safely, at first dispatch.
+  static const WordOps* ops = ResolveFromEnv();
+  return ops;
+}
+
+}  // namespace
+
+const WordOps& Ops() {
+  const WordOps* forced = g_forced.load(std::memory_order_acquire);
+  return forced != nullptr ? *forced : *EnvOps();
+}
+
+Backend ActiveBackend() { return Ops().backend; }
+
+Backend DetectBestBackend() {
+#if defined(TIND_SIMD_HAVE_AVX512)
+  if (CpuHasAvx512Set()) return Backend::kAvx512;
+#endif
+#if defined(TIND_SIMD_HAVE_AVX2)
+  if (CpuHasAvx2()) return Backend::kAvx2;
+#endif
+#if defined(TIND_SIMD_HAVE_SSE2)
+  if (CpuHasSse2()) return Backend::kSse2;
+#endif
+#if defined(TIND_SIMD_HAVE_NEON)
+  return Backend::kNeon;
+#endif
+  return Backend::kScalar;
+}
+
+const WordOps* OpsFor(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return internal::GetScalarOps();
+    case Backend::kSse2:
+#if defined(TIND_SIMD_HAVE_SSE2)
+      if (CpuHasSse2()) return internal::GetSse2Ops();
+#endif
+      return nullptr;
+    case Backend::kAvx2:
+#if defined(TIND_SIMD_HAVE_AVX2)
+      if (CpuHasAvx2()) return internal::GetAvx2Ops();
+#endif
+      return nullptr;
+    case Backend::kAvx512:
+#if defined(TIND_SIMD_HAVE_AVX512)
+      if (CpuHasAvx512Set()) return internal::GetAvx512Ops();
+#endif
+      return nullptr;
+    case Backend::kNeon:
+#if defined(TIND_SIMD_HAVE_NEON)
+      return internal::GetNeonOps();
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+std::vector<Backend> AvailableBackends() {
+  std::vector<Backend> backends;
+  for (const Backend b : {Backend::kScalar, Backend::kSse2, Backend::kAvx2,
+                          Backend::kAvx512, Backend::kNeon}) {
+    if (OpsFor(b) != nullptr) backends.push_back(b);
+  }
+  return backends;
+}
+
+bool ForceBackend(Backend backend) {
+  const WordOps* ops = OpsFor(backend);
+  if (ops == nullptr) return false;
+  g_forced.store(ops, std::memory_order_release);
+  return true;
+}
+
+void ClearForcedBackend() {
+  g_forced.store(nullptr, std::memory_order_release);
+}
+
+std::string_view BackendName(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kSse2:
+      return "sse2";
+    case Backend::kAvx2:
+      return "avx2";
+    case Backend::kAvx512:
+      return "avx512";
+    case Backend::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+bool BackendFromName(std::string_view name, Backend* out) {
+  for (const Backend b : {Backend::kScalar, Backend::kSse2, Backend::kAvx2,
+                          Backend::kAvx512, Backend::kNeon}) {
+    if (name == BackendName(b)) {
+      *out = b;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string SelectionLog() {
+  std::string log;
+  log += "simd: cpu features: sse2=";
+  log += CpuHasSse2() ? '1' : '0';
+  log += " avx2=";
+  log += CpuHasAvx2() ? '1' : '0';
+  log += " avx512(f,bw,vl,dq)=";
+  log += CpuHasAvx512Set() ? '1' : '0';
+  log += " avx512vpopcntdq=";
+  log += CpuHasVpopcntdq() ? '1' : '0';
+#if defined(__aarch64__)
+  log += " neon=1";
+#endif
+  log += "\nsimd: compiled backends:";
+  log += " scalar";
+#if defined(TIND_SIMD_HAVE_SSE2)
+  log += " sse2";
+#endif
+#if defined(TIND_SIMD_HAVE_AVX2)
+  log += " avx2";
+#endif
+#if defined(TIND_SIMD_HAVE_AVX512)
+  log += " avx512";
+#endif
+#if defined(TIND_SIMD_HAVE_NEON)
+  log += " neon";
+#endif
+  log += "\nsimd: available backends:";
+  for (const Backend b : AvailableBackends()) {
+    log += ' ';
+    log += BackendName(b);
+  }
+  // Resolve the dispatch (if not already resolved) so the reported source
+  // matches what the process actually runs with.
+  const Backend active = ActiveBackend();
+  log += "\nsimd: active backend: ";
+  log += BackendName(active);
+  if (g_forced.load(std::memory_order_acquire) != nullptr) {
+    log += " (forced programmatically)";
+  } else {
+    switch (g_env_source.load(std::memory_order_relaxed)) {
+      case SelectionSource::kEnvForceScalar:
+        log += " (forced by TIND_FORCE_SCALAR)";
+        break;
+      case SelectionSource::kEnvNamedBackend:
+        log += " (selected by TIND_SIMD_BACKEND)";
+        break;
+      default:
+        log += " (auto)";
+        break;
+    }
+  }
+  log += '\n';
+  return log;
+}
+
+}  // namespace tind::simd

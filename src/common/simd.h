@@ -1,0 +1,130 @@
+#ifndef TIND_COMMON_SIMD_H_
+#define TIND_COMMON_SIMD_H_
+
+/// \file simd.h
+/// Runtime-dispatched SIMD word kernels — the execution layer under every
+/// Bloom-matrix hot loop (DESIGN.md §10).
+///
+/// The system compiles one translation unit per ISA (scalar, SSE2, AVX2,
+/// AVX-512 on x86-64; NEON on aarch64), each built with per-file arch flags,
+/// and picks the widest backend the running CPU supports at first use. The
+/// scalar backend is always compiled and is the reference semantics: every
+/// other backend must produce bit-identical results (the differential tests
+/// force each backend in turn and compare against scalar).
+///
+/// Contract shared by all word kernels except DoubleHashMany:
+///  * pointers are kSimdAlignBytes-aligned (BitVector/WordVector guarantee
+///    this),
+///  * `n` is a multiple of kSimdAlignWords (buffers are padded, so the hot
+///    loops have no tail special-casing — padding words are zero and stay
+///    zero under AND/AND-NOT/OR/XOR against other padded buffers).
+///
+/// Overrides, strongest first:
+///  1. ForceBackend() / ClearForcedBackend() — programmatic, for tests and
+///     benchmarks that sweep backends.
+///  2. TIND_FORCE_SCALAR env var (non-empty, not "0") — pins the scalar
+///     reference backend; the CI sanitizer legs use this.
+///  3. TIND_SIMD_BACKEND env var (scalar|sse2|avx2|avx512|neon) — picks a
+///     specific backend; falls back to auto with a stderr note when the
+///     named backend is unavailable.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/aligned_vector.h"
+
+namespace tind::simd {
+
+/// Identifies one compiled kernel set. Numeric values are stable — they are
+/// exported as the "bloom/simd_backend" gauge.
+enum class Backend : int {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+  kAvx512 = 3,
+  kNeon = 4,
+};
+
+/// \brief One backend's kernel table. All functions are stateless and
+/// thread-safe; the struct instances have static storage duration, so a
+/// `const WordOps*` never dangles.
+struct WordOps {
+  Backend backend;
+  const char* name;
+
+  /// dst[i] &= src[i].
+  void (*and_words)(uint64_t* dst, const uint64_t* src, size_t n);
+  /// dst[i] &= ~src[i].
+  void (*andnot_words)(uint64_t* dst, const uint64_t* src, size_t n);
+  /// dst[i] |= src[i].
+  void (*or_words)(uint64_t* dst, const uint64_t* src, size_t n);
+  /// dst[i] ^= src[i].
+  void (*xor_words)(uint64_t* dst, const uint64_t* src, size_t n);
+
+  /// dst[i] &= src[i]; returns 0 iff every dst word is zero afterwards
+  /// (nonzero return values are otherwise unspecified). Drives the batch
+  /// kernel's probe-death early exit.
+  uint64_t (*and_words_any)(uint64_t* dst, const uint64_t* src, size_t n);
+  /// dst[i] &= ~src[i]; same return contract as and_words_any.
+  uint64_t (*andnot_words_any)(uint64_t* dst, const uint64_t* src, size_t n);
+
+  /// Returns 0 iff p[0..n) are all zero (nonzero otherwise, value
+  /// unspecified). Drives the dead-block early exit.
+  uint64_t (*or_reduce)(const uint64_t* p, size_t n);
+
+  /// Total set bits in p[0..n). Exact.
+  size_t (*popcount_words)(const uint64_t* p, size_t n);
+
+  /// Batched Kirsch–Mitzenmacher base hashes: for each value v,
+  /// h1[j] = SplitMix64(v) and h2[j] = SplitMix64(v ^ seed) | 1, exactly as
+  /// DoubleHash::FromValue computes them. Unlike the word kernels, `n` is
+  /// arbitrary and no alignment is required (the kernel owns its tail).
+  void (*double_hash_many)(const uint32_t* values, size_t n, uint64_t* h1,
+                           uint64_t* h2);
+};
+
+/// The active backend's kernels. First call resolves the dispatch (CPU
+/// detection + env overrides) and caches it; afterwards this is one atomic
+/// load. Never fails — the scalar backend always exists.
+const WordOps& Ops();
+
+/// Convenience: Ops().backend.
+Backend ActiveBackend();
+
+/// The widest backend this binary compiled in *and* the running CPU
+/// supports, ignoring every override.
+Backend DetectBestBackend();
+
+/// Kernel table for a specific backend, or nullptr when that backend was
+/// not compiled in or the CPU lacks it.
+const WordOps* OpsFor(Backend backend);
+
+/// Every backend usable right now (compiled in + CPU-supported), widest
+/// last. Always contains kScalar.
+std::vector<Backend> AvailableBackends();
+
+/// Programmatically pins `backend` (wins over env vars). Returns false and
+/// changes nothing when the backend is unavailable. Tests and benchmarks
+/// must pair this with ClearForcedBackend().
+bool ForceBackend(Backend backend);
+
+/// Drops the ForceBackend() override; dispatch returns to env/auto.
+void ClearForcedBackend();
+
+/// Stable lower-case name ("scalar", "sse2", "avx2", "avx512", "neon").
+std::string_view BackendName(Backend backend);
+
+/// Inverse of BackendName; false when `name` matches no backend.
+bool BackendFromName(std::string_view name, Backend* out);
+
+/// Multi-line human-readable record of CPU features, compiled backends, and
+/// the active selection with its reason — CI uploads this as the
+/// backend-selection artifact.
+std::string SelectionLog();
+
+}  // namespace tind::simd
+
+#endif  // TIND_COMMON_SIMD_H_

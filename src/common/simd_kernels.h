@@ -1,0 +1,33 @@
+#ifndef TIND_COMMON_SIMD_KERNELS_H_
+#define TIND_COMMON_SIMD_KERNELS_H_
+
+/// \file simd_kernels.h
+/// Private registration surface between simd.cc (the dispatcher) and the
+/// per-ISA kernel translation units. Each TIND_SIMD_HAVE_* macro is defined
+/// by src/common/CMakeLists.txt exactly when the matching TU is compiled
+/// into tind_common with its per-file arch flags, so simd.cc only ever
+/// references getters that link.
+
+#include "common/simd.h"
+
+namespace tind::simd::internal {
+
+/// Always compiled; the reference semantics.
+const WordOps* GetScalarOps();
+
+#if defined(TIND_SIMD_HAVE_SSE2)
+const WordOps* GetSse2Ops();
+#endif
+#if defined(TIND_SIMD_HAVE_AVX2)
+const WordOps* GetAvx2Ops();
+#endif
+#if defined(TIND_SIMD_HAVE_AVX512)
+const WordOps* GetAvx512Ops();
+#endif
+#if defined(TIND_SIMD_HAVE_NEON)
+const WordOps* GetNeonOps();
+#endif
+
+}  // namespace tind::simd::internal
+
+#endif  // TIND_COMMON_SIMD_KERNELS_H_

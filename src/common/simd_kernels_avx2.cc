@@ -1,0 +1,174 @@
+/// \file simd_kernels_avx2.cc
+/// AVX2 backend: 256-bit lanes. Compiled with -mavx2 -mpopcnt (per-file
+/// flags from src/common/CMakeLists.txt); only dispatched to when the
+/// running CPU reports AVX2. Buffers are 64-byte aligned and padded to
+/// multiples of 8 words, so every kernel runs whole 4-word lanes, tail-free.
+
+#if defined(__x86_64__) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/aligned_vector.h"
+#include "common/hash.h"
+#include "common/simd_kernels.h"
+
+namespace tind::simd::internal {
+namespace {
+
+inline void CheckContract(const uint64_t* dst, const uint64_t* src, size_t n) {
+  assert(n % kSimdAlignWords == 0);
+  assert(reinterpret_cast<uintptr_t>(dst) % kSimdAlignBytes == 0);
+  assert(src == nullptr ||
+         reinterpret_cast<uintptr_t>(src) % kSimdAlignBytes == 0);
+  (void)dst;
+  (void)src;
+  (void)n;
+}
+
+void AndWords(uint64_t* dst, const uint64_t* src, size_t n) {
+  CheckContract(dst, src, n);
+  for (size_t i = 0; i < n; i += 4) {
+    const __m256i a =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i b =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(dst + i),
+                       _mm256_and_si256(a, b));
+  }
+}
+
+void AndNotWords(uint64_t* dst, const uint64_t* src, size_t n) {
+  CheckContract(dst, src, n);
+  for (size_t i = 0; i < n; i += 4) {
+    const __m256i a =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i b =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(src + i));
+    // _mm256_andnot_si256 computes ~first & second.
+    _mm256_store_si256(reinterpret_cast<__m256i*>(dst + i),
+                       _mm256_andnot_si256(b, a));
+  }
+}
+
+void OrWords(uint64_t* dst, const uint64_t* src, size_t n) {
+  CheckContract(dst, src, n);
+  for (size_t i = 0; i < n; i += 4) {
+    const __m256i a =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i b =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(dst + i),
+                       _mm256_or_si256(a, b));
+  }
+}
+
+void XorWords(uint64_t* dst, const uint64_t* src, size_t n) {
+  CheckContract(dst, src, n);
+  for (size_t i = 0; i < n; i += 4) {
+    const __m256i a =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i b =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(dst + i),
+                       _mm256_xor_si256(a, b));
+  }
+}
+
+inline uint64_t ReduceAny(__m256i acc) {
+  return _mm256_testz_si256(acc, acc) ? 0 : 1;
+}
+
+uint64_t AndWordsAny(uint64_t* dst, const uint64_t* src, size_t n) {
+  CheckContract(dst, src, n);
+  __m256i acc = _mm256_setzero_si256();
+  for (size_t i = 0; i < n; i += 4) {
+    const __m256i a =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i b =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i r = _mm256_and_si256(a, b);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(dst + i), r);
+    acc = _mm256_or_si256(acc, r);
+  }
+  return ReduceAny(acc);
+}
+
+uint64_t AndNotWordsAny(uint64_t* dst, const uint64_t* src, size_t n) {
+  CheckContract(dst, src, n);
+  __m256i acc = _mm256_setzero_si256();
+  for (size_t i = 0; i < n; i += 4) {
+    const __m256i a =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i b =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i r = _mm256_andnot_si256(b, a);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(dst + i), r);
+    acc = _mm256_or_si256(acc, r);
+  }
+  return ReduceAny(acc);
+}
+
+uint64_t OrReduce(const uint64_t* p, size_t n) {
+  CheckContract(p, nullptr, n);
+  __m256i acc = _mm256_setzero_si256();
+  for (size_t i = 0; i < n; i += 4) {
+    acc = _mm256_or_si256(
+        acc, _mm256_load_si256(reinterpret_cast<const __m256i*>(p + i)));
+  }
+  return ReduceAny(acc);
+}
+
+size_t PopcountWords(const uint64_t* p, size_t n) {
+  CheckContract(p, nullptr, n);
+  // Four independent POPCNT chains (this TU is compiled with -mpopcnt);
+  // the AND/ANDNOT scans are the bandwidth win, popcount just must not lag.
+  size_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+  for (size_t i = 0; i < n; i += 4) {
+    c0 += static_cast<size_t>(__builtin_popcountll(p[i]));
+    c1 += static_cast<size_t>(__builtin_popcountll(p[i + 1]));
+    c2 += static_cast<size_t>(__builtin_popcountll(p[i + 2]));
+    c3 += static_cast<size_t>(__builtin_popcountll(p[i + 3]));
+  }
+  return c0 + c1 + c2 + c3;
+}
+
+void DoubleHashMany(const uint32_t* values, size_t n, uint64_t* h1,
+                    uint64_t* h2) {
+  // AVX2 lacks a 64-bit lane multiply, so the SplitMix64 chain stays
+  // scalar; four-way pipelining hides the two multiply latencies per value.
+  size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    for (size_t k = 0; k < 4; ++k) {
+      const uint64_t v = values[j + k];
+      h1[j + k] = SplitMix64(v);
+      h2[j + k] = SplitMix64(v ^ 0xA5A5A5A5A5A5A5A5ULL) | 1ULL;
+    }
+  }
+  for (; j < n; ++j) {
+    const uint64_t v = values[j];
+    h1[j] = SplitMix64(v);
+    h2[j] = SplitMix64(v ^ 0xA5A5A5A5A5A5A5A5ULL) | 1ULL;
+  }
+}
+
+}  // namespace
+
+const WordOps* GetAvx2Ops() {
+  static const WordOps ops = {
+      Backend::kAvx2, "avx2",
+      AndWords,       AndNotWords,
+      OrWords,        XorWords,
+      AndWordsAny,    AndNotWordsAny,
+      OrReduce,       PopcountWords,
+      DoubleHashMany,
+  };
+  return &ops;
+}
+
+}  // namespace tind::simd::internal
+
+#endif  // defined(__x86_64__) && defined(__AVX2__)

@@ -1,0 +1,188 @@
+/// \file simd_kernels_avx512.cc
+/// AVX-512 backend: 512-bit lanes — one 16-word batch block is exactly two
+/// registers. Compiled with -mavx512f -mavx512bw -mavx512vl -mavx512dq
+/// (per-file flags); dispatched to only when the CPU reports all four. The
+/// VPOPCNTDQ popcount and the 8-wide SplitMix64 hash use function-level
+/// target attributes so the rest of the TU stays runnable on any
+/// AVX-512F+DQ part.
+
+#if defined(__x86_64__) && defined(__AVX512F__) && defined(__AVX512DQ__)
+
+#include <immintrin.h>
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/aligned_vector.h"
+#include "common/hash.h"
+#include "common/simd_kernels.h"
+
+namespace tind::simd::internal {
+namespace {
+
+inline void CheckContract(const uint64_t* dst, const uint64_t* src, size_t n) {
+  assert(n % kSimdAlignWords == 0);
+  assert(reinterpret_cast<uintptr_t>(dst) % kSimdAlignBytes == 0);
+  assert(src == nullptr ||
+         reinterpret_cast<uintptr_t>(src) % kSimdAlignBytes == 0);
+  (void)dst;
+  (void)src;
+  (void)n;
+}
+
+void AndWords(uint64_t* dst, const uint64_t* src, size_t n) {
+  CheckContract(dst, src, n);
+  for (size_t i = 0; i < n; i += 8) {
+    const __m512i a = _mm512_load_si512(dst + i);
+    const __m512i b = _mm512_load_si512(src + i);
+    _mm512_store_si512(dst + i, _mm512_and_si512(a, b));
+  }
+}
+
+void AndNotWords(uint64_t* dst, const uint64_t* src, size_t n) {
+  CheckContract(dst, src, n);
+  for (size_t i = 0; i < n; i += 8) {
+    const __m512i a = _mm512_load_si512(dst + i);
+    const __m512i b = _mm512_load_si512(src + i);
+    // _mm512_andnot_si512 computes ~first & second.
+    _mm512_store_si512(dst + i, _mm512_andnot_si512(b, a));
+  }
+}
+
+void OrWords(uint64_t* dst, const uint64_t* src, size_t n) {
+  CheckContract(dst, src, n);
+  for (size_t i = 0; i < n; i += 8) {
+    const __m512i a = _mm512_load_si512(dst + i);
+    const __m512i b = _mm512_load_si512(src + i);
+    _mm512_store_si512(dst + i, _mm512_or_si512(a, b));
+  }
+}
+
+void XorWords(uint64_t* dst, const uint64_t* src, size_t n) {
+  CheckContract(dst, src, n);
+  for (size_t i = 0; i < n; i += 8) {
+    const __m512i a = _mm512_load_si512(dst + i);
+    const __m512i b = _mm512_load_si512(src + i);
+    _mm512_store_si512(dst + i, _mm512_xor_si512(a, b));
+  }
+}
+
+inline uint64_t ReduceAny(__m512i acc) {
+  // kortest-style zero test: compare-ne against zero yields a lane mask.
+  return _mm512_test_epi64_mask(acc, acc) != 0 ? 1 : 0;
+}
+
+uint64_t AndWordsAny(uint64_t* dst, const uint64_t* src, size_t n) {
+  CheckContract(dst, src, n);
+  __m512i acc = _mm512_setzero_si512();
+  for (size_t i = 0; i < n; i += 8) {
+    const __m512i a = _mm512_load_si512(dst + i);
+    const __m512i b = _mm512_load_si512(src + i);
+    const __m512i r = _mm512_and_si512(a, b);
+    _mm512_store_si512(dst + i, r);
+    acc = _mm512_or_si512(acc, r);
+  }
+  return ReduceAny(acc);
+}
+
+uint64_t AndNotWordsAny(uint64_t* dst, const uint64_t* src, size_t n) {
+  CheckContract(dst, src, n);
+  __m512i acc = _mm512_setzero_si512();
+  for (size_t i = 0; i < n; i += 8) {
+    const __m512i a = _mm512_load_si512(dst + i);
+    const __m512i b = _mm512_load_si512(src + i);
+    const __m512i r = _mm512_andnot_si512(b, a);
+    _mm512_store_si512(dst + i, r);
+    acc = _mm512_or_si512(acc, r);
+  }
+  return ReduceAny(acc);
+}
+
+uint64_t OrReduce(const uint64_t* p, size_t n) {
+  CheckContract(p, nullptr, n);
+  __m512i acc = _mm512_setzero_si512();
+  for (size_t i = 0; i < n; i += 8) {
+    acc = _mm512_or_si512(acc, _mm512_load_si512(p + i));
+  }
+  return ReduceAny(acc);
+}
+
+size_t PopcountWordsScalar(const uint64_t* p, size_t n) {
+  size_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+  for (size_t i = 0; i < n; i += 4) {
+    c0 += static_cast<size_t>(__builtin_popcountll(p[i]));
+    c1 += static_cast<size_t>(__builtin_popcountll(p[i + 1]));
+    c2 += static_cast<size_t>(__builtin_popcountll(p[i + 2]));
+    c3 += static_cast<size_t>(__builtin_popcountll(p[i + 3]));
+  }
+  return c0 + c1 + c2 + c3;
+}
+
+/// VPOPCNTDQ path (Ice Lake+): eight 64-bit popcounts per instruction.
+/// Guarded by a function-level target attribute and only installed in the
+/// ops table when the CPU reports the extension.
+__attribute__((target("avx512f,avx512vpopcntdq"))) size_t
+PopcountWordsVpopcnt(const uint64_t* p, size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  for (size_t i = 0; i < n; i += 8) {
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(_mm512_load_si512(p + i)));
+  }
+  return static_cast<size_t>(_mm512_reduce_add_epi64(acc));
+}
+
+size_t PopcountWords(const uint64_t* p, size_t n) {
+  CheckContract(p, nullptr, n);
+  static const bool kHaveVpopcnt = __builtin_cpu_supports("avx512vpopcntdq");
+  return kHaveVpopcnt ? PopcountWordsVpopcnt(p, n) : PopcountWordsScalar(p, n);
+}
+
+/// 8-wide SplitMix64: the finalizer is add/shift/xor/multiply, all of which
+/// have 64-bit lane forms under AVX-512DQ (VPMULLQ for the multiplies).
+inline __m512i SplitMix64x8(__m512i x) {
+  x = _mm512_add_epi64(x, _mm512_set1_epi64(0x9E3779B97F4A7C15ULL));
+  x = _mm512_mullo_epi64(_mm512_xor_si512(x, _mm512_srli_epi64(x, 30)),
+                         _mm512_set1_epi64(0xBF58476D1CE4E5B9ULL));
+  x = _mm512_mullo_epi64(_mm512_xor_si512(x, _mm512_srli_epi64(x, 27)),
+                         _mm512_set1_epi64(0x94D049BB133111EBULL));
+  return _mm512_xor_si512(x, _mm512_srli_epi64(x, 31));
+}
+
+void DoubleHashMany(const uint32_t* values, size_t n, uint64_t* h1,
+                    uint64_t* h2) {
+  size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m512i v = _mm512_cvtepu32_epi64(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(values + j)));
+    const __m512i a = SplitMix64x8(v);
+    const __m512i b = _mm512_or_si512(
+        SplitMix64x8(
+            _mm512_xor_si512(v, _mm512_set1_epi64(0xA5A5A5A5A5A5A5A5ULL))),
+        _mm512_set1_epi64(1));
+    _mm512_storeu_si512(h1 + j, a);
+    _mm512_storeu_si512(h2 + j, b);
+  }
+  for (; j < n; ++j) {
+    const uint64_t v = values[j];
+    h1[j] = SplitMix64(v);
+    h2[j] = SplitMix64(v ^ 0xA5A5A5A5A5A5A5A5ULL) | 1ULL;
+  }
+}
+
+}  // namespace
+
+const WordOps* GetAvx512Ops() {
+  static const WordOps ops = {
+      Backend::kAvx512, "avx512",
+      AndWords,         AndNotWords,
+      OrWords,          XorWords,
+      AndWordsAny,      AndNotWordsAny,
+      OrReduce,         PopcountWords,
+      DoubleHashMany,
+  };
+  return &ops;
+}
+
+}  // namespace tind::simd::internal
+
+#endif  // defined(__x86_64__) && defined(__AVX512F__) && defined(__AVX512DQ__)

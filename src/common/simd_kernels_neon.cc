@@ -1,0 +1,142 @@
+/// \file simd_kernels_neon.cc
+/// NEON backend for aarch64: 128-bit lanes. NEON is architecturally baseline
+/// on AArch64, so this TU needs no extra arch flags and the backend is
+/// always available there. Buffers are 64-byte aligned and padded to
+/// multiples of 8 words, so every kernel runs whole 2-word lanes, tail-free.
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/aligned_vector.h"
+#include "common/hash.h"
+#include "common/simd_kernels.h"
+
+namespace tind::simd::internal {
+namespace {
+
+inline void CheckContract(const uint64_t* dst, const uint64_t* src, size_t n) {
+  assert(n % kSimdAlignWords == 0);
+  assert(reinterpret_cast<uintptr_t>(dst) % kSimdAlignBytes == 0);
+  assert(src == nullptr ||
+         reinterpret_cast<uintptr_t>(src) % kSimdAlignBytes == 0);
+  (void)dst;
+  (void)src;
+  (void)n;
+}
+
+void AndWords(uint64_t* dst, const uint64_t* src, size_t n) {
+  CheckContract(dst, src, n);
+  for (size_t i = 0; i < n; i += 2) {
+    vst1q_u64(dst + i, vandq_u64(vld1q_u64(dst + i), vld1q_u64(src + i)));
+  }
+}
+
+void AndNotWords(uint64_t* dst, const uint64_t* src, size_t n) {
+  CheckContract(dst, src, n);
+  for (size_t i = 0; i < n; i += 2) {
+    // vbicq_u64(a, b) computes a & ~b.
+    vst1q_u64(dst + i, vbicq_u64(vld1q_u64(dst + i), vld1q_u64(src + i)));
+  }
+}
+
+void OrWords(uint64_t* dst, const uint64_t* src, size_t n) {
+  CheckContract(dst, src, n);
+  for (size_t i = 0; i < n; i += 2) {
+    vst1q_u64(dst + i, vorrq_u64(vld1q_u64(dst + i), vld1q_u64(src + i)));
+  }
+}
+
+void XorWords(uint64_t* dst, const uint64_t* src, size_t n) {
+  CheckContract(dst, src, n);
+  for (size_t i = 0; i < n; i += 2) {
+    vst1q_u64(dst + i, veorq_u64(vld1q_u64(dst + i), vld1q_u64(src + i)));
+  }
+}
+
+inline uint64_t ReduceAny(uint64x2_t acc) {
+  return vgetq_lane_u64(acc, 0) | vgetq_lane_u64(acc, 1);
+}
+
+uint64_t AndWordsAny(uint64_t* dst, const uint64_t* src, size_t n) {
+  CheckContract(dst, src, n);
+  uint64x2_t acc = vdupq_n_u64(0);
+  for (size_t i = 0; i < n; i += 2) {
+    const uint64x2_t r = vandq_u64(vld1q_u64(dst + i), vld1q_u64(src + i));
+    vst1q_u64(dst + i, r);
+    acc = vorrq_u64(acc, r);
+  }
+  return ReduceAny(acc);
+}
+
+uint64_t AndNotWordsAny(uint64_t* dst, const uint64_t* src, size_t n) {
+  CheckContract(dst, src, n);
+  uint64x2_t acc = vdupq_n_u64(0);
+  for (size_t i = 0; i < n; i += 2) {
+    const uint64x2_t r = vbicq_u64(vld1q_u64(dst + i), vld1q_u64(src + i));
+    vst1q_u64(dst + i, r);
+    acc = vorrq_u64(acc, r);
+  }
+  return ReduceAny(acc);
+}
+
+uint64_t OrReduce(const uint64_t* p, size_t n) {
+  CheckContract(p, nullptr, n);
+  uint64x2_t acc = vdupq_n_u64(0);
+  for (size_t i = 0; i < n; i += 2) {
+    acc = vorrq_u64(acc, vld1q_u64(p + i));
+  }
+  return ReduceAny(acc);
+}
+
+size_t PopcountWords(const uint64_t* p, size_t n) {
+  CheckContract(p, nullptr, n);
+  // AArch64 has no scalar popcount; CNT over bytes plus a horizontal add
+  // is the canonical sequence.
+  size_t count = 0;
+  for (size_t i = 0; i < n; i += 2) {
+    const uint8x16_t bytes = vcntq_u8(vreinterpretq_u8_u64(vld1q_u64(p + i)));
+    count += static_cast<size_t>(vaddvq_u8(bytes));
+  }
+  return count;
+}
+
+void DoubleHashMany(const uint32_t* values, size_t n, uint64_t* h1,
+                    uint64_t* h2) {
+  // No 64-bit lane multiply on NEON; pipeline the scalar chain 4 wide.
+  size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    for (size_t k = 0; k < 4; ++k) {
+      const uint64_t v = values[j + k];
+      h1[j + k] = SplitMix64(v);
+      h2[j + k] = SplitMix64(v ^ 0xA5A5A5A5A5A5A5A5ULL) | 1ULL;
+    }
+  }
+  for (; j < n; ++j) {
+    const uint64_t v = values[j];
+    h1[j] = SplitMix64(v);
+    h2[j] = SplitMix64(v ^ 0xA5A5A5A5A5A5A5A5ULL) | 1ULL;
+  }
+}
+
+}  // namespace
+
+const WordOps* GetNeonOps() {
+  static const WordOps ops = {
+      Backend::kNeon, "neon",
+      AndWords,       AndNotWords,
+      OrWords,        XorWords,
+      AndWordsAny,    AndNotWordsAny,
+      OrReduce,       PopcountWords,
+      DoubleHashMany,
+  };
+  return &ops;
+}
+
+}  // namespace tind::simd::internal
+
+#endif  // defined(__aarch64__)

@@ -1,0 +1,87 @@
+/// \file simd_kernels_scalar.cc
+/// The scalar reference backend: one 64-bit word at a time, no intrinsics.
+/// Every vector backend is differentially tested against these kernels; keep
+/// them obviously correct rather than clever.
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/hash.h"
+#include "common/simd_kernels.h"
+
+namespace tind::simd::internal {
+namespace {
+
+void AndWords(uint64_t* dst, const uint64_t* src, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] &= src[i];
+}
+
+void AndNotWords(uint64_t* dst, const uint64_t* src, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] &= ~src[i];
+}
+
+void OrWords(uint64_t* dst, const uint64_t* src, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] |= src[i];
+}
+
+void XorWords(uint64_t* dst, const uint64_t* src, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+}
+
+uint64_t AndWordsAny(uint64_t* dst, const uint64_t* src, size_t n) {
+  uint64_t any = 0;
+  for (size_t i = 0; i < n; ++i) {
+    dst[i] &= src[i];
+    any |= dst[i];
+  }
+  return any;
+}
+
+uint64_t AndNotWordsAny(uint64_t* dst, const uint64_t* src, size_t n) {
+  uint64_t any = 0;
+  for (size_t i = 0; i < n; ++i) {
+    dst[i] &= ~src[i];
+    any |= dst[i];
+  }
+  return any;
+}
+
+uint64_t OrReduce(const uint64_t* p, size_t n) {
+  uint64_t any = 0;
+  for (size_t i = 0; i < n; ++i) any |= p[i];
+  return any;
+}
+
+size_t PopcountWords(const uint64_t* p, size_t n) {
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    count += static_cast<size_t>(__builtin_popcountll(p[i]));
+  }
+  return count;
+}
+
+void DoubleHashMany(const uint32_t* values, size_t n, uint64_t* h1,
+                    uint64_t* h2) {
+  for (size_t j = 0; j < n; ++j) {
+    const uint64_t v = values[j];
+    h1[j] = SplitMix64(v);
+    h2[j] = SplitMix64(v ^ 0xA5A5A5A5A5A5A5A5ULL) | 1ULL;
+  }
+}
+
+}  // namespace
+
+const WordOps* GetScalarOps() {
+  static const WordOps ops = {
+      Backend::kScalar, "scalar",
+      AndWords,         AndNotWords,
+      OrWords,          XorWords,
+      AndWordsAny,      AndNotWordsAny,
+      OrReduce,         PopcountWords,
+      DoubleHashMany,
+  };
+  return &ops;
+}
+
+}  // namespace tind::simd::internal

@@ -1,0 +1,161 @@
+/// \file simd_kernels_sse2.cc
+/// SSE2 backend: 128-bit lanes, the x86-64 baseline ISA (always available
+/// there, so this TU needs no extra arch flags). Word buffers are 64-byte
+/// aligned and padded to multiples of 8 words, so each kernel runs whole
+/// 2-word lanes with no tail.
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <emmintrin.h>
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/aligned_vector.h"
+#include "common/hash.h"
+#include "common/simd_kernels.h"
+
+namespace tind::simd::internal {
+namespace {
+
+inline void CheckContract(const uint64_t* dst, const uint64_t* src, size_t n) {
+  assert(n % kSimdAlignWords == 0);
+  assert(reinterpret_cast<uintptr_t>(dst) % kSimdAlignBytes == 0);
+  assert(src == nullptr ||
+         reinterpret_cast<uintptr_t>(src) % kSimdAlignBytes == 0);
+  (void)dst;
+  (void)src;
+  (void)n;
+}
+
+void AndWords(uint64_t* dst, const uint64_t* src, size_t n) {
+  CheckContract(dst, src, n);
+  for (size_t i = 0; i < n; i += 2) {
+    const __m128i a = _mm_load_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i b = _mm_load_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm_store_si128(reinterpret_cast<__m128i*>(dst + i), _mm_and_si128(a, b));
+  }
+}
+
+void AndNotWords(uint64_t* dst, const uint64_t* src, size_t n) {
+  CheckContract(dst, src, n);
+  for (size_t i = 0; i < n; i += 2) {
+    const __m128i a = _mm_load_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i b = _mm_load_si128(reinterpret_cast<const __m128i*>(src + i));
+    // _mm_andnot_si128 computes ~first & second.
+    _mm_store_si128(reinterpret_cast<__m128i*>(dst + i),
+                    _mm_andnot_si128(b, a));
+  }
+}
+
+void OrWords(uint64_t* dst, const uint64_t* src, size_t n) {
+  CheckContract(dst, src, n);
+  for (size_t i = 0; i < n; i += 2) {
+    const __m128i a = _mm_load_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i b = _mm_load_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm_store_si128(reinterpret_cast<__m128i*>(dst + i), _mm_or_si128(a, b));
+  }
+}
+
+void XorWords(uint64_t* dst, const uint64_t* src, size_t n) {
+  CheckContract(dst, src, n);
+  for (size_t i = 0; i < n; i += 2) {
+    const __m128i a = _mm_load_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i b = _mm_load_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm_store_si128(reinterpret_cast<__m128i*>(dst + i), _mm_xor_si128(a, b));
+  }
+}
+
+inline uint64_t ReduceAny(__m128i acc) {
+  return static_cast<uint64_t>(_mm_cvtsi128_si64(acc)) |
+         static_cast<uint64_t>(
+             _mm_cvtsi128_si64(_mm_unpackhi_epi64(acc, acc)));
+}
+
+uint64_t AndWordsAny(uint64_t* dst, const uint64_t* src, size_t n) {
+  CheckContract(dst, src, n);
+  __m128i acc = _mm_setzero_si128();
+  for (size_t i = 0; i < n; i += 2) {
+    const __m128i a = _mm_load_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i b = _mm_load_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i r = _mm_and_si128(a, b);
+    _mm_store_si128(reinterpret_cast<__m128i*>(dst + i), r);
+    acc = _mm_or_si128(acc, r);
+  }
+  return ReduceAny(acc);
+}
+
+uint64_t AndNotWordsAny(uint64_t* dst, const uint64_t* src, size_t n) {
+  CheckContract(dst, src, n);
+  __m128i acc = _mm_setzero_si128();
+  for (size_t i = 0; i < n; i += 2) {
+    const __m128i a = _mm_load_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i b = _mm_load_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i r = _mm_andnot_si128(b, a);
+    _mm_store_si128(reinterpret_cast<__m128i*>(dst + i), r);
+    acc = _mm_or_si128(acc, r);
+  }
+  return ReduceAny(acc);
+}
+
+uint64_t OrReduce(const uint64_t* p, size_t n) {
+  CheckContract(p, nullptr, n);
+  __m128i acc = _mm_setzero_si128();
+  for (size_t i = 0; i < n; i += 2) {
+    acc = _mm_or_si128(acc,
+                       _mm_load_si128(reinterpret_cast<const __m128i*>(p + i)));
+  }
+  return ReduceAny(acc);
+}
+
+size_t PopcountWords(const uint64_t* p, size_t n) {
+  CheckContract(p, nullptr, n);
+  // SSE2 has no popcount instruction; an unrolled builtin loop keeps the
+  // result exact and lets the compiler schedule the four chains in parallel.
+  size_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+  for (size_t i = 0; i < n; i += 4) {
+    c0 += static_cast<size_t>(__builtin_popcountll(p[i]));
+    c1 += static_cast<size_t>(__builtin_popcountll(p[i + 1]));
+    c2 += static_cast<size_t>(__builtin_popcountll(p[i + 2]));
+    c3 += static_cast<size_t>(__builtin_popcountll(p[i + 3]));
+  }
+  return c0 + c1 + c2 + c3;
+}
+
+void DoubleHashMany(const uint32_t* values, size_t n, uint64_t* h1,
+                    uint64_t* h2) {
+  // 64-bit multiplies do not vectorize profitably on bare SSE2; a 4-wide
+  // software-pipelined scalar loop still hides the multiply latency.
+  size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    for (size_t k = 0; k < 4; ++k) {
+      const uint64_t v = values[j + k];
+      h1[j + k] = SplitMix64(v);
+      h2[j + k] = SplitMix64(v ^ 0xA5A5A5A5A5A5A5A5ULL) | 1ULL;
+    }
+  }
+  for (; j < n; ++j) {
+    const uint64_t v = values[j];
+    h1[j] = SplitMix64(v);
+    h2[j] = SplitMix64(v ^ 0xA5A5A5A5A5A5A5A5ULL) | 1ULL;
+  }
+}
+
+}  // namespace
+
+const WordOps* GetSse2Ops() {
+  static const WordOps ops = {
+      Backend::kSse2, "sse2",
+      AndWords,       AndNotWords,
+      OrWords,        XorWords,
+      AndWordsAny,    AndNotWordsAny,
+      OrReduce,       PopcountWords,
+      DoubleHashMany,
+  };
+  return &ops;
+}
+
+}  // namespace tind::simd::internal
+
+#endif  // defined(__x86_64__) || defined(_M_X64)

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/fault_injection.h"
+#include "common/simd.h"
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
 #include "tind/required_values.h"
@@ -34,6 +35,11 @@ Result<std::unique_ptr<TindIndex>> TindIndex::Build(
 
   TIND_OBS_SCOPED_TIMER("index_build");
   TIND_OBS_COUNTER_ADD("index/builds", 1);
+  // Which SIMD backend runs the Bloom kernels (simd::Backend enum value:
+  // 0=scalar 1=sse2 2=avx2 3=avx512 4=neon) — recorded so perf regressions
+  // can be correlated with dispatch decisions.
+  TIND_OBS_GAUGE_SET("bloom/simd_backend",
+                     static_cast<int64_t>(simd::ActiveBackend()));
   const size_t n_attrs = dataset.size();
 
   // Per-phase byte accounting. On budget exhaustion the error carries the

@@ -30,9 +30,12 @@ TEST(BitVectorTest, ConstructOneFilled) {
 }
 
 TEST(BitVectorTest, OneFilledTailIsMasked) {
-  // 130 = 2*64 + 2: the last word has 62 padding bits that must stay zero.
+  // 130 = 2*64 + 2: the last live word has 62 tail bits that must stay zero,
+  // and the alignment padding words beyond it must be all-zero too.
   BitVector v(130, true);
-  EXPECT_EQ(v.words().back(), 0x3ULL);
+  EXPECT_EQ(v.num_words(), 3u);
+  EXPECT_EQ(v.words()[2], 0x3ULL);
+  EXPECT_TRUE(v.PaddingIsZero());
 }
 
 TEST(BitVectorTest, SetGetClear) {
@@ -180,10 +183,12 @@ TEST(BitVectorTest, EqualityAndToString) {
 }
 
 TEST(BitVectorTest, MemoryUsage) {
+  // Storage is padded to whole 64-byte groups for the SIMD kernels: anything
+  // up to 512 bits occupies one group, 513 bits spills into a second.
   BitVector v(128);
-  EXPECT_EQ(v.MemoryUsageBytes(), 16u);
-  BitVector w(129);
-  EXPECT_EQ(w.MemoryUsageBytes(), 24u);
+  EXPECT_EQ(v.MemoryUsageBytes(), 64u);
+  BitVector w(513);
+  EXPECT_EQ(w.MemoryUsageBytes(), 128u);
 }
 
 /// Property check against a reference boolean vector under random ops.

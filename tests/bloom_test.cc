@@ -99,7 +99,8 @@ TEST_F(BloomMatrixTest, Geometry) {
   EXPECT_EQ(matrix_.num_bits(), 512u);
   EXPECT_EQ(matrix_.num_hashes(), 3u);
   EXPECT_EQ(matrix_.num_columns(), 5u);
-  EXPECT_EQ(matrix_.MemoryUsageBytes(), 512u * 8);  // 512 rows x 5->64 bits.
+  // 512 rows x 5 columns -> one 64-byte-aligned padded group per row.
+  EXPECT_EQ(matrix_.MemoryUsageBytes(), 512u * 64);
 }
 
 TEST_F(BloomMatrixTest, SupersetQueryFindsContainingColumns) {

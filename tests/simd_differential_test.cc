@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bloom/bloom_matrix.h"
+#include "common/rng.h"
+#include "common/simd.h"
+#include "temporal/weights.h"
+#include "tind/index.h"
+#include "wiki/generator.h"
+
+/// \file simd_differential_test.cc
+/// Backend differential proof: every SIMD backend this binary compiled in
+/// and this CPU supports must produce bit-identical results to the scalar
+/// reference backend — on ragged BloomMatrix shapes straddling the word and
+/// block boundaries, and on full index query funnels (results and
+/// QueryStats) over generator corpora. Backends are pinned with
+/// simd::ForceBackend, exactly how the CI forced-scalar legs pin scalar via
+/// TIND_FORCE_SCALAR.
+
+namespace tind {
+namespace {
+
+/// Restores auto dispatch even when an assertion fails mid-test.
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(simd::Backend backend)
+      : forced_(simd::ForceBackend(backend)) {}
+  ~ScopedBackend() { simd::ClearForcedBackend(); }
+  bool forced() const { return forced_; }
+
+ private:
+  bool forced_;
+};
+
+ValueSet RandomValueSet(Rng* rng, size_t max_values, uint32_t universe) {
+  std::vector<ValueId> values;
+  const size_t n = 1 + rng->Uniform(max_values);
+  values.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    values.push_back(static_cast<ValueId>(rng->Uniform(universe)));
+  }
+  return ValueSet::FromUnsorted(std::move(values));
+}
+
+/// Ragged matrix shapes: column counts straddling the 64-bit word boundary,
+/// the 16-word (1024-column) block boundary, and the 8-word padding group.
+TEST(SimdMatrixDifferentialTest, RaggedShapesMatchScalarBitExactly) {
+  Rng rng(314159);
+  for (const size_t num_bits : {size_t{64}, size_t{256}}) {
+    for (const size_t num_columns :
+         {size_t{1}, size_t{5}, size_t{63}, size_t{64}, size_t{65},
+          size_t{100}, size_t{512}, size_t{1000}, size_t{1024},
+          size_t{1030}}) {
+      // One matrix, built once: SetColumn hashing is backend-independent by
+      // the DoubleHashManyMatchesReference property, so all backends query
+      // identical bits.
+      BloomMatrix matrix(num_bits, /*num_hashes=*/2, num_columns);
+      std::vector<ValueSet> column_sets;
+      column_sets.reserve(num_columns);
+      for (size_t c = 0; c < num_columns; ++c) {
+        column_sets.push_back(RandomValueSet(&rng, 30, 500));
+        matrix.SetColumn(c, column_sets.back());
+      }
+      std::vector<BloomFilter> queries;
+      for (int q = 0; q < 8; ++q) {
+        queries.push_back(
+            matrix.MakeQueryFilter(RandomValueSet(&rng, 10, 500)));
+      }
+
+      // Scalar reference answers for singles, batches, and ColumnContains.
+      std::vector<BitVector> want_super, want_sub, want_bsuper, want_bsub;
+      std::vector<std::vector<bool>> want_contains;
+      {
+        ScopedBackend guard(simd::Backend::kScalar);
+        ASSERT_TRUE(guard.forced());
+        for (const BloomFilter& q : queries) {
+          BitVector super(num_columns, true), sub(num_columns, true);
+          matrix.QuerySupersets(q, &super);
+          matrix.QuerySubsets(q, &sub);
+          want_super.push_back(std::move(super));
+          want_sub.push_back(std::move(sub));
+          std::vector<bool> contains;
+          for (size_t c = 0; c < num_columns; ++c) {
+            contains.push_back(matrix.ColumnContains(q, c));
+          }
+          want_contains.push_back(std::move(contains));
+        }
+        std::vector<BitVector> cand(queries.size(),
+                                    BitVector(num_columns, true));
+        std::vector<BloomProbe> probes;
+        for (size_t i = 0; i < queries.size(); ++i) {
+          probes.push_back(BloomProbe{&queries[i], &cand[i]});
+        }
+        matrix.QuerySupersetsBatch(probes);
+        want_bsuper = cand;
+        for (auto& c : cand) c = BitVector(num_columns, true);
+        matrix.QuerySubsetsBatch(probes);
+        want_bsub = cand;
+      }
+
+      for (const simd::Backend backend : simd::AvailableBackends()) {
+        ScopedBackend guard(backend);
+        ASSERT_TRUE(guard.forced());
+        const std::string context =
+            std::string("backend=") + std::string(simd::BackendName(backend)) +
+            " bits=" + std::to_string(num_bits) +
+            " cols=" + std::to_string(num_columns);
+        for (size_t i = 0; i < queries.size(); ++i) {
+          BitVector super(num_columns, true), sub(num_columns, true);
+          matrix.QuerySupersets(queries[i], &super);
+          matrix.QuerySubsets(queries[i], &sub);
+          EXPECT_TRUE(super == want_super[i]) << context << " supersets " << i;
+          EXPECT_TRUE(sub == want_sub[i]) << context << " subsets " << i;
+          for (size_t c = 0; c < num_columns; ++c) {
+            EXPECT_EQ(matrix.ColumnContains(queries[i], c),
+                      want_contains[i][c])
+                << context << " contains q=" << i << " c=" << c;
+          }
+        }
+        std::vector<BitVector> cand(queries.size(),
+                                    BitVector(num_columns, true));
+        std::vector<BloomProbe> probes;
+        for (size_t i = 0; i < queries.size(); ++i) {
+          probes.push_back(BloomProbe{&queries[i], &cand[i]});
+        }
+        matrix.QuerySupersetsBatch(probes);
+        for (size_t i = 0; i < queries.size(); ++i) {
+          EXPECT_TRUE(cand[i] == want_bsuper[i])
+              << context << " batch supersets " << i;
+          cand[i] = BitVector(num_columns, true);
+        }
+        matrix.QuerySubsetsBatch(probes);
+        for (size_t i = 0; i < queries.size(); ++i) {
+          EXPECT_TRUE(cand[i] == want_bsub[i])
+              << context << " batch subsets " << i;
+        }
+      }
+    }
+  }
+}
+
+void ExpectSameFunnel(const QueryStats& got, const QueryStats& want,
+                      const std::string& context) {
+  EXPECT_EQ(got.initial_candidates, want.initial_candidates) << context;
+  EXPECT_EQ(got.after_slices, want.after_slices) << context;
+  EXPECT_EQ(got.after_exact_check, want.after_exact_check) << context;
+  EXPECT_EQ(got.num_results, want.num_results) << context;
+  EXPECT_EQ(got.validations, want.validations) << context;
+  EXPECT_EQ(got.used_slices, want.used_slices) << context;
+  EXPECT_EQ(got.used_prefilter, want.used_prefilter) << context;
+}
+
+wiki::GeneratedDataset MakeCorpus(uint64_t seed) {
+  wiki::GeneratorOptions gen;
+  gen.seed = seed;
+  gen.num_days = 120;
+  gen.num_families = 3;
+  gen.num_noise_attributes = 14;
+  gen.num_drifter_attributes = 6;
+  gen.num_catchall_attributes = 2;
+  gen.shared_vocabulary = 100;
+  gen.entities_per_family_pool = 60;
+  auto generated = wiki::WikiGenerator(gen).GenerateDataset();
+  if (!generated.ok()) std::abort();
+  return std::move(*generated);
+}
+
+struct GridPoint {
+  double epsilon;
+  int64_t delta;
+};
+
+constexpr GridPoint kGrid[] = {
+    {0.0, 0},   // Strict tIND.
+    {3.0, 7},   // The paper's operating point (within build params).
+};
+
+/// Full-funnel differential: for each available backend, every Search /
+/// ReverseSearch / batch variant must return the same attribute lists and
+/// the same QueryStats as the scalar-forced run.
+TEST(SimdIndexDifferentialTest, QueryFunnelsMatchScalarOnEveryBackend) {
+  for (const uint64_t seed : {uint64_t{11}, uint64_t{12}}) {
+    const wiki::GeneratedDataset corpus = MakeCorpus(seed);
+    const Dataset& dataset = corpus.dataset;
+    const int64_t n_days = dataset.domain().num_timestamps();
+    const ConstantWeight w(n_days);
+
+    TindIndexOptions opts;
+    opts.bloom_bits = 512;
+    opts.num_hashes = 2;
+    opts.num_slices = 6;
+    opts.delta = 7;
+    opts.epsilon = 3.0;
+    opts.build_reverse_index = true;
+    opts.reverse_slices = 2;
+    opts.weight = &w;
+    opts.seed = seed * 13 + 1;
+    auto built = TindIndex::Build(dataset, opts);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    const TindIndex& index = **built;
+    const size_t n_attrs = dataset.size();
+
+    for (const GridPoint& point : kGrid) {
+      const TindParams params{point.epsilon, point.delta, &w};
+      for (const bool forward : {true, false}) {
+        // Scalar reference funnels.
+        std::vector<std::vector<AttributeId>> want(n_attrs);
+        std::vector<QueryStats> want_stats(n_attrs);
+        {
+          ScopedBackend guard(simd::Backend::kScalar);
+          ASSERT_TRUE(guard.forced());
+          for (size_t q = 0; q < n_attrs; ++q) {
+            const AttributeHistory& query =
+                dataset.attribute(static_cast<AttributeId>(q));
+            want[q] = forward
+                          ? index.Search(query, params, &want_stats[q])
+                          : index.ReverseSearch(query, params, &want_stats[q]);
+          }
+        }
+        for (const simd::Backend backend : simd::AvailableBackends()) {
+          ScopedBackend guard(backend);
+          ASSERT_TRUE(guard.forced());
+          const std::string base =
+              "seed=" + std::to_string(seed) + " backend=" +
+              std::string(simd::BackendName(backend)) +
+              " eps=" + std::to_string(point.epsilon) +
+              (forward ? " forward" : " reverse");
+          std::vector<const AttributeHistory*> queries;
+          for (size_t q = 0; q < n_attrs; ++q) {
+            const AttributeHistory& query =
+                dataset.attribute(static_cast<AttributeId>(q));
+            queries.push_back(&query);
+            QueryStats stats;
+            const auto got = forward
+                                 ? index.Search(query, params, &stats)
+                                 : index.ReverseSearch(query, params, &stats);
+            EXPECT_EQ(got, want[q]) << base << " q=" << q;
+            ExpectSameFunnel(stats, want_stats[q],
+                             base + " q=" + std::to_string(q));
+          }
+          std::vector<QueryStats> batch_stats;
+          const auto batch =
+              forward ? index.BatchSearch(queries, params, &batch_stats)
+                      : index.BatchReverseSearch(queries, params, &batch_stats);
+          ASSERT_EQ(batch.size(), n_attrs);
+          for (size_t q = 0; q < n_attrs; ++q) {
+            EXPECT_EQ(batch[q], want[q]) << base << " batch q=" << q;
+            ExpectSameFunnel(batch_stats[q], want_stats[q],
+                             base + " batch q=" + std::to_string(q));
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tind

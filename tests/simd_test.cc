@@ -1,0 +1,288 @@
+#include "common/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/aligned_vector.h"
+#include "common/bitvector.h"
+#include "common/hash.h"
+#include "common/rng.h"
+
+/// \file simd_test.cc
+/// Dispatch-layer tests plus kernel property tests: every backend the binary
+/// compiled in and the CPU supports must agree bit-for-bit with the scalar
+/// reference on random padded buffers, and BitVector must uphold its
+/// padding-stays-zero / 64-byte-alignment invariants through every mutating
+/// operation.
+
+namespace tind {
+namespace {
+
+/// Pins a backend for the enclosing scope and always restores auto dispatch,
+/// so a failing assertion cannot leak a forced backend into later tests.
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(simd::Backend backend)
+      : forced_(simd::ForceBackend(backend)) {}
+  ~ScopedBackend() { simd::ClearForcedBackend(); }
+  bool forced() const { return forced_; }
+
+ private:
+  bool forced_;
+};
+
+WordVector RandomWords(Rng* rng, size_t n, double zero_fraction = 0.0) {
+  WordVector v(n);
+  for (auto& w : v) {
+    w = rng->Bernoulli(zero_fraction) ? 0 : rng->Next();
+  }
+  return v;
+}
+
+TEST(SimdDispatchTest, ScalarAlwaysAvailable) {
+  const std::vector<simd::Backend> backends = simd::AvailableBackends();
+  ASSERT_FALSE(backends.empty());
+  EXPECT_EQ(backends.front(), simd::Backend::kScalar);
+  EXPECT_NE(simd::OpsFor(simd::Backend::kScalar), nullptr);
+}
+
+TEST(SimdDispatchTest, NamesRoundTrip) {
+  for (const simd::Backend b : simd::AvailableBackends()) {
+    simd::Backend parsed;
+    ASSERT_TRUE(simd::BackendFromName(simd::BackendName(b), &parsed));
+    EXPECT_EQ(parsed, b);
+  }
+  simd::Backend parsed;
+  EXPECT_FALSE(simd::BackendFromName("mmx", &parsed));
+  EXPECT_FALSE(simd::BackendFromName("", &parsed));
+}
+
+TEST(SimdDispatchTest, ForceBackendWinsAndClears) {
+  const simd::Backend before = simd::ActiveBackend();
+  for (const simd::Backend b : simd::AvailableBackends()) {
+    ScopedBackend guard(b);
+    ASSERT_TRUE(guard.forced());
+    EXPECT_EQ(simd::ActiveBackend(), b);
+    EXPECT_EQ(simd::Ops().backend, b);
+  }
+  EXPECT_EQ(simd::ActiveBackend(), before);
+}
+
+TEST(SimdDispatchTest, OpsForUnavailableBackendIsNull) {
+#if defined(__x86_64__)
+  EXPECT_EQ(simd::OpsFor(simd::Backend::kNeon), nullptr);
+  EXPECT_FALSE(simd::ForceBackend(simd::Backend::kNeon));
+#else
+  EXPECT_EQ(simd::OpsFor(simd::Backend::kSse2), nullptr);
+  EXPECT_FALSE(simd::ForceBackend(simd::Backend::kSse2));
+#endif
+}
+
+TEST(SimdDispatchTest, SelectionLogMentionsActiveBackend) {
+  const std::string log = simd::SelectionLog();
+  EXPECT_NE(log.find("active backend: "), std::string::npos);
+  EXPECT_NE(log.find(simd::BackendName(simd::ActiveBackend())),
+            std::string::npos);
+  EXPECT_NE(log.find("compiled backends:"), std::string::npos);
+}
+
+TEST(SimdDispatchTest, DetectBestBackendIsAvailable) {
+  EXPECT_NE(simd::OpsFor(simd::DetectBestBackend()), nullptr);
+}
+
+/// Word-kernel equivalence against the scalar reference, across buffer sizes
+/// (all multiples of kSimdAlignWords, per the kernel contract) and zero
+/// densities (so the any/or_reduce zero classification is exercised on both
+/// sides).
+TEST(SimdKernelPropertyTest, AllBackendsMatchScalar) {
+  const simd::WordOps* scalar = simd::OpsFor(simd::Backend::kScalar);
+  ASSERT_NE(scalar, nullptr);
+  Rng rng(2024);
+  for (const simd::Backend b : simd::AvailableBackends()) {
+    const simd::WordOps* ops = simd::OpsFor(b);
+    ASSERT_NE(ops, nullptr);
+    for (const size_t n : {size_t{8}, size_t{16}, size_t{24}, size_t{64},
+                           size_t{256}}) {
+      for (const double zero_fraction : {0.0, 0.5, 1.0}) {
+        for (int round = 0; round < 8; ++round) {
+          const WordVector a = RandomWords(&rng, n, zero_fraction);
+          const WordVector src = RandomWords(&rng, n, zero_fraction);
+          const std::string context = std::string("backend=") +
+                                      std::string(simd::BackendName(b)) +
+                                      " n=" + std::to_string(n);
+
+          WordVector got = a, want = a;
+          ops->and_words(got.data(), src.data(), n);
+          scalar->and_words(want.data(), src.data(), n);
+          EXPECT_EQ(got, want) << context << " and_words";
+
+          got = a;
+          want = a;
+          ops->andnot_words(got.data(), src.data(), n);
+          scalar->andnot_words(want.data(), src.data(), n);
+          EXPECT_EQ(got, want) << context << " andnot_words";
+
+          got = a;
+          want = a;
+          ops->or_words(got.data(), src.data(), n);
+          scalar->or_words(want.data(), src.data(), n);
+          EXPECT_EQ(got, want) << context << " or_words";
+
+          got = a;
+          want = a;
+          ops->xor_words(got.data(), src.data(), n);
+          scalar->xor_words(want.data(), src.data(), n);
+          EXPECT_EQ(got, want) << context << " xor_words";
+
+          got = a;
+          want = a;
+          const uint64_t got_any = ops->and_words_any(got.data(), src.data(), n);
+          const uint64_t want_any =
+              scalar->and_words_any(want.data(), src.data(), n);
+          EXPECT_EQ(got, want) << context << " and_words_any";
+          EXPECT_EQ(got_any == 0, want_any == 0) << context << " and_words_any";
+
+          got = a;
+          want = a;
+          const uint64_t got_nany =
+              ops->andnot_words_any(got.data(), src.data(), n);
+          const uint64_t want_nany =
+              scalar->andnot_words_any(want.data(), src.data(), n);
+          EXPECT_EQ(got, want) << context << " andnot_words_any";
+          EXPECT_EQ(got_nany == 0, want_nany == 0)
+              << context << " andnot_words_any";
+
+          EXPECT_EQ(ops->or_reduce(a.data(), n) == 0,
+                    scalar->or_reduce(a.data(), n) == 0)
+              << context << " or_reduce";
+          EXPECT_EQ(ops->popcount_words(a.data(), n),
+                    scalar->popcount_words(a.data(), n))
+              << context << " popcount_words";
+        }
+      }
+    }
+  }
+}
+
+/// double_hash_many must reproduce DoubleHash::FromValue exactly for every
+/// backend, including ragged lengths (it is the one kernel with no
+/// size/alignment contract).
+TEST(SimdKernelPropertyTest, DoubleHashManyMatchesReference) {
+  Rng rng(7);
+  for (const simd::Backend b : simd::AvailableBackends()) {
+    const simd::WordOps* ops = simd::OpsFor(b);
+    ASSERT_NE(ops, nullptr);
+    for (const size_t n : {size_t{0}, size_t{1}, size_t{3}, size_t{7},
+                           size_t{8}, size_t{9}, size_t{64}, size_t{65},
+                           size_t{200}}) {
+      std::vector<uint32_t> values(n);
+      for (auto& v : values) v = static_cast<uint32_t>(rng.Next());
+      std::vector<uint64_t> h1(n), h2(n);
+      ops->double_hash_many(values.data(), n, h1.data(), h2.data());
+      for (size_t i = 0; i < n; ++i) {
+        const DoubleHash want = DoubleHash::FromValue(values[i]);
+        EXPECT_EQ(h1[i], want.h1)
+            << simd::BackendName(b) << " n=" << n << " i=" << i;
+        EXPECT_EQ(h2[i], want.h2)
+            << simd::BackendName(b) << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+/// BitVector invariants under the SIMD-routed operations: padding beyond
+/// size() stays zero after every mutating op, storage is 64-byte aligned and
+/// padded, and results match a std::vector<bool> reference.
+TEST(SimdBitVectorTest, AlignmentAndPadding) {
+  for (const size_t bits : {size_t{1}, size_t{64}, size_t{100}, size_t{512},
+                            size_t{513}, size_t{1000}}) {
+    BitVector v(bits, true);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(v.words().data()) % kSimdAlignBytes,
+              0u)
+        << bits;
+    EXPECT_EQ(v.words().size() % kSimdAlignWords, 0u) << bits;
+    EXPECT_TRUE(v.PaddingIsZero()) << bits;
+    v.Flip();
+    EXPECT_TRUE(v.PaddingIsZero()) << bits << " after Flip";
+    v.SetAll();
+    EXPECT_TRUE(v.PaddingIsZero()) << bits << " after SetAll";
+    EXPECT_EQ(v.Count(), bits) << bits;
+    BitVector other(bits, true);
+    v.Xor(other);
+    EXPECT_TRUE(v.PaddingIsZero()) << bits << " after Xor";
+    EXPECT_TRUE(v.None()) << bits;
+    v.Or(other);
+    EXPECT_TRUE(v.PaddingIsZero()) << bits << " after Or";
+    v.AndNot(other);
+    EXPECT_TRUE(v.PaddingIsZero()) << bits << " after AndNot";
+    v.And(other);
+    EXPECT_TRUE(v.PaddingIsZero()) << bits << " after And";
+  }
+}
+
+TEST(SimdBitVectorTest, OpsMatchReferenceOnEveryBackend) {
+  Rng rng(41);
+  const size_t n = 777;  // Deliberately not a multiple of 64.
+  for (const simd::Backend backend : simd::AvailableBackends()) {
+    ScopedBackend guard(backend);
+    ASSERT_TRUE(guard.forced());
+    BitVector a(n), b(n);
+    std::vector<bool> ra(n, false), rb(n, false);
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.Bernoulli(0.4)) {
+        a.Set(i);
+        ra[i] = true;
+      }
+      if (rng.Bernoulli(0.4)) {
+        b.Set(i);
+        rb[i] = true;
+      }
+    }
+    const auto check = [&](const BitVector& got, const std::vector<bool>& want,
+                           const char* op) {
+      size_t want_count = 0;
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(got.Get(i), want[i])
+            << simd::BackendName(backend) << " " << op << " bit " << i;
+        want_count += want[i] ? 1 : 0;
+      }
+      EXPECT_EQ(got.Count(), want_count)
+          << simd::BackendName(backend) << " " << op;
+      EXPECT_TRUE(got.PaddingIsZero())
+          << simd::BackendName(backend) << " " << op;
+    };
+
+    BitVector t = a;
+    std::vector<bool> rt = ra;
+    t.And(b);
+    for (size_t i = 0; i < n; ++i) rt[i] = rt[i] && rb[i];
+    check(t, rt, "And");
+
+    t = a;
+    rt = ra;
+    t.AndNot(b);
+    for (size_t i = 0; i < n; ++i) rt[i] = rt[i] && !rb[i];
+    check(t, rt, "AndNot");
+
+    t = a;
+    rt = ra;
+    t.Or(b);
+    for (size_t i = 0; i < n; ++i) rt[i] = rt[i] || rb[i];
+    check(t, rt, "Or");
+
+    t = a;
+    rt = ra;
+    t.Xor(b);
+    for (size_t i = 0; i < n; ++i) rt[i] = rt[i] != rb[i];
+    check(t, rt, "Xor");
+
+    EXPECT_FALSE(a.None());
+    EXPECT_TRUE(BitVector(n).None());
+  }
+}
+
+}  // namespace
+}  // namespace tind
