@@ -17,8 +17,25 @@ BloomMatrix::BloomMatrix(size_t num_bits, uint32_t num_hashes,
   assert(IsPowerOfTwo(num_bits));
 }
 
+BloomMatrix BloomMatrix::FromBorrowedRows(size_t num_bits, uint32_t num_hashes,
+                                          size_t num_columns,
+                                          const uint64_t* planes) {
+  assert(IsPowerOfTwo(num_bits));
+  BloomMatrix m;
+  m.num_bits_ = num_bits;
+  m.num_hashes_ = num_hashes;
+  m.num_columns_ = num_columns;
+  const size_t row_words = PadWordCount((num_columns + 63) / 64);
+  m.rows_.reserve(num_bits);
+  for (size_t r = 0; r < num_bits; ++r) {
+    m.rows_.push_back(BitVector::Borrow(num_columns, planes + r * row_words));
+  }
+  return m;
+}
+
 void BloomMatrix::SetColumn(size_t column, const ValueSet& values) {
   assert(column < num_columns_);
+  assert(!borrowed());
   TIND_OBS_COUNTER_ADD("bloom/columns_set", 1);
   TIND_OBS_COUNTER_ADD("bloom/values_inserted", values.size());
   const uint64_t m = num_bits_;

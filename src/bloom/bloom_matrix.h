@@ -39,9 +39,28 @@ class BloomMatrix {
   /// Creates an all-zero matrix for `num_columns` attributes.
   BloomMatrix(size_t num_bits, uint32_t num_hashes, size_t num_columns);
 
+  /// Wraps a fully built matrix whose bit planes live in external read-only
+  /// storage (the snapshot loader's mmap'd sections). `planes` must hold
+  /// `num_bits` consecutive rows of `PadWordCount(ceil(num_columns / 64))`
+  /// words each, 64-byte aligned, with the padding-is-zero invariant intact —
+  /// exactly the in-memory row layout, so the SIMD/batch kernels read the
+  /// mapped words directly with zero copies. The storage must outlive the
+  /// matrix; SetColumn is not allowed on a borrowed matrix.
+  static BloomMatrix FromBorrowedRows(size_t num_bits, uint32_t num_hashes,
+                                      size_t num_columns,
+                                      const uint64_t* planes);
+
   size_t num_bits() const { return num_bits_; }
   uint32_t num_hashes() const { return num_hashes_; }
   size_t num_columns() const { return num_columns_; }
+  bool empty() const { return num_bits_ == 0; }
+
+  /// True iff the bit planes are borrowed from external storage.
+  bool borrowed() const { return !rows_.empty() && rows_[0].borrowed(); }
+
+  /// Read access to one bit plane (row `i` holds Bloom bit i of every
+  /// column) — the snapshot writer serializes planes through this.
+  const BitVector& row(size_t i) const { return rows_[i]; }
 
   /// Inserts `values` as the Bloom filter of column `column`.
   void SetColumn(size_t column, const ValueSet& values);

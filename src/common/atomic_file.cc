@@ -1,0 +1,55 @@
+#include "common/atomic_file.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace tind {
+
+Status WriteFileAtomic(const std::string& path,
+                       const std::function<Status(std::ostream&)>& producer,
+                       bool binary) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ios::openmode mode = std::ios::trunc;
+    if (binary) mode |= std::ios::binary;
+    std::ofstream file(tmp, mode);
+    if (!file.is_open()) return Status::IOError("cannot open " + tmp);
+    Status written = producer(file);
+    file.flush();
+    if (written.ok() && !file.good()) {
+      written = Status::IOError("write failed on " + tmp);
+    }
+    if (!written.ok()) {
+      file.close();
+      std::remove(tmp.c_str());
+      return written;
+    }
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  // Durability before visibility: the rename must not be reachable before
+  // the temp file's bytes are.
+  const int fd = ::open(tmp.c_str(), O_WRONLY);
+  if (fd < 0 || ::fsync(fd) != 0) {
+    const std::string err = std::strerror(errno);
+    if (fd >= 0) ::close(fd);
+    std::remove(tmp.c_str());
+    return Status::IOError("fsync " + tmp + " failed: " + err);
+  }
+  ::close(fd);
+#endif
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string err = std::strerror(errno);
+    std::remove(tmp.c_str());
+    return Status::IOError("rename " + tmp + " -> " + path + " failed: " + err);
+  }
+  return Status::OK();
+}
+
+}  // namespace tind

@@ -1,0 +1,33 @@
+#ifndef TIND_COMMON_ATOMIC_FILE_H_
+#define TIND_COMMON_ATOMIC_FILE_H_
+
+/// \file atomic_file.h
+/// Crash-safe file publishing shared by the corpus writer, the discovery
+/// checkpointer, and the index snapshot writer: content is produced into a
+/// sibling `<path>.tmp`, flushed and fsync'd, then renamed over the
+/// destination. A writer that dies at any point leaves either the old file or
+/// no file under the real name — never a torn one. Callers layer their own
+/// integrity footers (CRC-32) on top so torn *reads* (e.g. from a different
+/// filesystem snapshot) are also detectable.
+
+#include <functional>
+#include <ostream>
+#include <string>
+
+#include "common/status.h"
+
+namespace tind {
+
+/// \brief Atomically replaces `path` with the bytes `producer` writes.
+///
+/// Opens `<path>.tmp` (truncating; in binary mode when `binary` is true),
+/// invokes `producer` on the stream, flushes, fsyncs (on POSIX), and renames
+/// onto `path`. On any failure — including a non-OK status from `producer` —
+/// the temp file is removed and the original `path` is left untouched.
+Status WriteFileAtomic(const std::string& path,
+                       const std::function<Status(std::ostream&)>& producer,
+                       bool binary = false);
+
+}  // namespace tind
+
+#endif  // TIND_COMMON_ATOMIC_FILE_H_

@@ -1,6 +1,8 @@
 #include "common/bitvector.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstdint>
 
 #include "common/simd.h"
 
@@ -24,7 +26,17 @@ BitVector::BitVector(size_t size, bool fill)
   TIND_BV_CHECK_PADDING();
 }
 
+BitVector BitVector::Borrow(size_t size, const uint64_t* words) {
+  assert(reinterpret_cast<uintptr_t>(words) % kSimdAlignBytes == 0);
+  BitVector v;
+  v.size_ = size;
+  v.external_ = words;
+  v.external_words_ = PadWordCount(WordCount(size));
+  return v;
+}
+
 void BitVector::MaskTail() {
+  assert(!borrowed());
   const size_t nw = num_words();
   const size_t rem = size_ & 63;
   if (rem != 0 && nw != 0) {
@@ -34,13 +46,20 @@ void BitVector::MaskTail() {
 }
 
 bool BitVector::PaddingIsZero() const {
-  for (size_t i = num_words(); i < words_.size(); ++i) {
-    if (words_[i] != 0) return false;
+  const uint64_t* w = word_data();
+  const size_t nw = num_words();
+  const size_t rem = size_ & 63;
+  if (rem != 0 && nw != 0 && (w[nw - 1] & ~((1ULL << rem) - 1)) != 0) {
+    return false;
+  }
+  for (size_t i = nw; i < padded_words(); ++i) {
+    if (w[i] != 0) return false;
   }
   return true;
 }
 
 void BitVector::SetAll() {
+  assert(!borrowed());
   const size_t nw = num_words();
   for (size_t i = 0; i < nw; ++i) words_[i] = ~0ULL;
   MaskTail();
@@ -48,34 +67,40 @@ void BitVector::SetAll() {
 }
 
 void BitVector::ClearAll() {
+  assert(!borrowed());
   for (auto& w : words_) w = 0;
 }
 
 void BitVector::And(const BitVector& other) {
   assert(size_ == other.size_);
-  simd::Ops().and_words(words_.data(), other.words_.data(), words_.size());
+  assert(!borrowed());
+  simd::Ops().and_words(words_.data(), other.word_data(), words_.size());
   TIND_BV_CHECK_PADDING();
 }
 
 void BitVector::AndNot(const BitVector& other) {
   assert(size_ == other.size_);
-  simd::Ops().andnot_words(words_.data(), other.words_.data(), words_.size());
+  assert(!borrowed());
+  simd::Ops().andnot_words(words_.data(), other.word_data(), words_.size());
   TIND_BV_CHECK_PADDING();
 }
 
 void BitVector::Or(const BitVector& other) {
   assert(size_ == other.size_);
-  simd::Ops().or_words(words_.data(), other.words_.data(), words_.size());
+  assert(!borrowed());
+  simd::Ops().or_words(words_.data(), other.word_data(), words_.size());
   TIND_BV_CHECK_PADDING();
 }
 
 void BitVector::Xor(const BitVector& other) {
   assert(size_ == other.size_);
-  simd::Ops().xor_words(words_.data(), other.words_.data(), words_.size());
+  assert(!borrowed());
+  simd::Ops().xor_words(words_.data(), other.word_data(), words_.size());
   TIND_BV_CHECK_PADDING();
 }
 
 void BitVector::Flip() {
+  assert(!borrowed());
   const size_t nw = num_words();
   for (size_t i = 0; i < nw; ++i) words_[i] = ~words_[i];
   MaskTail();
@@ -85,45 +110,50 @@ void BitVector::Flip() {
 size_t BitVector::Count() const {
   // Padding words are zero by invariant, so counting the padded range is
   // exact and keeps the kernel tail-free.
-  return simd::Ops().popcount_words(words_.data(), words_.size());
+  return simd::Ops().popcount_words(word_data(), padded_words());
 }
 
 bool BitVector::None() const {
-  return simd::Ops().or_reduce(words_.data(), words_.size()) == 0;
+  return simd::Ops().or_reduce(word_data(), padded_words()) == 0;
 }
 
 bool BitVector::All() const { return Count() == size_; }
 
 bool BitVector::IsSubsetOf(const BitVector& other) const {
   assert(size_ == other.size_);
+  const uint64_t* a = word_data();
+  const uint64_t* b = other.word_data();
   const size_t nw = num_words();
   for (size_t i = 0; i < nw; ++i) {
-    if ((words_[i] & ~other.words_[i]) != 0) return false;
+    if ((a[i] & ~b[i]) != 0) return false;
   }
   return true;
 }
 
 bool BitVector::Intersects(const BitVector& other) const {
   assert(size_ == other.size_);
+  const uint64_t* a = word_data();
+  const uint64_t* b = other.word_data();
   const size_t nw = num_words();
   for (size_t i = 0; i < nw; ++i) {
-    if ((words_[i] & other.words_[i]) != 0) return true;
+    if ((a[i] & b[i]) != 0) return true;
   }
   return false;
 }
 
 size_t BitVector::FindNextSet(size_t from) const {
   if (from >= size_) return size_;
+  const uint64_t* w_data = word_data();
   const size_t nw = num_words();
   size_t w = from >> 6;
-  uint64_t word = words_[w] & (~0ULL << (from & 63));
+  uint64_t word = w_data[w] & (~0ULL << (from & 63));
   while (true) {
     if (word != 0) {
       const size_t idx = w * 64 + static_cast<size_t>(__builtin_ctzll(word));
       return idx < size_ ? idx : size_;
     }
     if (++w >= nw) return size_;
-    word = words_[w];
+    word = w_data[w];
   }
 }
 
@@ -141,6 +171,12 @@ std::string BitVector::ToString() const {
   for (size_t i = 0; i < limit; ++i) s.push_back(Get(i) ? '1' : '0');
   if (limit < size_) s += "...";
   return s;
+}
+
+bool BitVector::operator==(const BitVector& other) const {
+  if (size_ != other.size_) return false;
+  const size_t nw = num_words();
+  return std::equal(word_data(), word_data() + nw, other.word_data());
 }
 
 }  // namespace tind

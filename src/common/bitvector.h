@@ -12,7 +12,15 @@
 /// they are always zero. Every mutating operation preserves this (and debug
 /// builds assert it), which is what makes popcounts over the padded range
 /// exact and vector AND/ANDNOT against equally-padded operands safe.
+///
+/// A BitVector either owns its words or borrows them read-only from external
+/// storage (Borrow()) — the snapshot loader wraps mmap'd bit planes this way
+/// so a reloaded Bloom matrix feeds the same kernels with zero copies. A
+/// borrowed vector supports every read operation; mutators assert (debug) and
+/// must not be called. Copying a borrowed vector copies the view, not the
+/// bits, so the external storage must outlive all copies.
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -21,6 +29,26 @@
 #include "common/aligned_vector.h"
 
 namespace tind {
+
+/// \brief Read-only view of a bit vector's word storage (live + padding
+/// words). Mirrors the subset of the std::vector interface the kernels and
+/// tests use; valid only while the owning BitVector (or the external storage
+/// it borrows) is alive.
+class WordSpan {
+ public:
+  WordSpan(const uint64_t* data, size_t size) : data_(data), size_(size) {}
+
+  const uint64_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  uint64_t operator[](size_t i) const { return data_[i]; }
+  const uint64_t* begin() const { return data_; }
+  const uint64_t* end() const { return data_ + size_; }
+
+ private:
+  const uint64_t* data_;
+  size_t size_;
+};
 
 /// \brief Fixed-size vector of bits packed into 64-bit words.
 ///
@@ -33,19 +61,37 @@ class BitVector {
   /// Creates a vector of `size` bits, all initialized to `fill`.
   explicit BitVector(size_t size, bool fill = false);
 
+  /// Wraps `size` bits stored in `words` (read-only, not copied). `words`
+  /// must point to `PadWordCount(ceil(size / 64))` words, be 64-byte aligned,
+  /// and satisfy the padding-is-zero invariant (bits at and beyond `size` are
+  /// zero) — the snapshot loader validates this before wrapping mmap'd
+  /// planes. The storage must outlive the returned vector and all copies.
+  static BitVector Borrow(size_t size, const uint64_t* words);
+
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
+  /// True iff this vector is a read-only view over external storage.
+  bool borrowed() const { return external_ != nullptr; }
+
   /// Number of words that carry live bits: ceil(size / 64).
   size_t num_words() const { return (size_ + 63) >> 6; }
-  /// Number of allocated words including alignment padding.
-  size_t padded_words() const { return words_.size(); }
+  /// Number of stored words including alignment padding.
+  size_t padded_words() const {
+    return external_ != nullptr ? external_words_ : words_.size();
+  }
 
   bool Get(size_t i) const {
-    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+    return (word_data()[i >> 6] >> (i & 63)) & 1ULL;
   }
-  void Set(size_t i) { words_[i >> 6] |= (1ULL << (i & 63)); }
-  void Clear(size_t i) { words_[i >> 6] &= ~(1ULL << (i & 63)); }
+  void Set(size_t i) {
+    assert(!borrowed());
+    words_[i >> 6] |= (1ULL << (i & 63));
+  }
+  void Clear(size_t i) {
+    assert(!borrowed());
+    words_[i >> 6] &= ~(1ULL << (i & 63));
+  }
   void Assign(size_t i, bool value) {
     if (value) {
       Set(i);
@@ -88,8 +134,9 @@ class BitVector {
   template <typename Fn>
   void ForEachSet(Fn&& fn) const {
     const size_t nw = num_words();
+    const uint64_t* w_data = word_data();
     for (size_t w = 0; w < nw; ++w) {
-      uint64_t word = words_[w];
+      uint64_t word = w_data[w];
       while (word != 0) {
         const int bit = __builtin_ctzll(word);
         fn(w * 64 + static_cast<size_t>(bit));
@@ -102,32 +149,48 @@ class BitVector {
   std::vector<size_t> ToIndexVector() const;
 
   /// Raw word access (for serialization, kernels, and tests). The storage is
-  /// 64-byte aligned and includes the zero padding words; mutators that write
-  /// through mutable_words() must keep padding beyond size() zero.
-  const WordVector& words() const { return words_; }
-  WordVector& mutable_words() { return words_; }
+  /// 64-byte aligned and includes the zero padding words.
+  WordSpan words() const { return WordSpan(word_data(), padded_words()); }
 
-  /// True iff every padding word beyond size() is zero. This is a class
-  /// invariant; the check exists for debug asserts and tests.
+  /// Mutable word storage; only valid for owned vectors. Writers must keep
+  /// padding beyond size() zero.
+  WordVector& mutable_words() {
+    assert(!borrowed());
+    return words_;
+  }
+
+  /// True iff every padding word beyond size() is zero (including the unused
+  /// high bits of the last live word). This is a class invariant for owned
+  /// vectors; the snapshot loader re-validates it on borrowed planes.
   bool PaddingIsZero() const;
 
-  /// Heap bytes used by the word storage (including alignment padding).
-  size_t MemoryUsageBytes() const { return words_.size() * sizeof(uint64_t); }
+  /// Bytes used by the word storage (including alignment padding). For
+  /// borrowed vectors this is the mapped size, so a snapshot-loaded matrix
+  /// reports the same footprint as a freshly built one.
+  size_t MemoryUsageBytes() const {
+    return padded_words() * sizeof(uint64_t);
+  }
 
   /// "0101..." debug rendering (LSB first), capped at 256 bits.
   std::string ToString() const;
 
-  bool operator==(const BitVector& other) const {
-    return size_ == other.size_ && words_ == other.words_;
-  }
+  /// Content equality (owned and borrowed vectors compare by bits).
+  bool operator==(const BitVector& other) const;
 
  private:
+  const uint64_t* word_data() const {
+    return external_ != nullptr ? external_ : words_.data();
+  }
+
   /// Zeroes the unused high bits of the last live word and all padding words
   /// so Count()/All() stay correct after Flip()/SetAll().
   void MaskTail();
 
   size_t size_ = 0;
   WordVector words_;
+  // Non-null for borrowed (read-only view) vectors; words_ is empty then.
+  const uint64_t* external_ = nullptr;
+  size_t external_words_ = 0;
 };
 
 }  // namespace tind

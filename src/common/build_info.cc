@@ -1,0 +1,45 @@
+#include "common/build_info.h"
+
+#include "common/simd.h"
+
+#ifndef TIND_GIT_REVISION
+#define TIND_GIT_REVISION "unknown"
+#endif
+
+#define TIND_STRINGIFY_IMPL(x) #x
+#define TIND_STRINGIFY(x) TIND_STRINGIFY_IMPL(x)
+
+namespace tind {
+
+const char* BuildGitRevision() { return TIND_GIT_REVISION; }
+
+const char* BuildCompiler() {
+#if defined(__clang__)
+  return "clang " TIND_STRINGIFY(__clang_major__) "." TIND_STRINGIFY(
+      __clang_minor__) "." TIND_STRINGIFY(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  return "gcc " TIND_STRINGIFY(__GNUC__) "." TIND_STRINGIFY(
+      __GNUC_MINOR__) "." TIND_STRINGIFY(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown-compiler";
+#endif
+}
+
+std::string BuildInfoString() {
+  std::string s = "tind ";
+  s += BuildGitRevision();
+  s += ' ';
+  s += BuildCompiler();
+  s += " simd=";
+  s += simd::BackendName(simd::ActiveBackend());
+  return s;
+}
+
+std::string BuildInfoReport() {
+  std::string s = BuildInfoString();
+  s += '\n';
+  s += simd::SelectionLog();
+  return s;
+}
+
+}  // namespace tind

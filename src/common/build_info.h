@@ -1,0 +1,31 @@
+#ifndef TIND_COMMON_BUILD_INFO_H_
+#define TIND_COMMON_BUILD_INFO_H_
+
+/// \file build_info.h
+/// Identifies the producing build: git revision (captured at CMake configure
+/// time), compiler, and the SIMD backend the dispatcher selected at runtime.
+/// Every tools/ binary exposes this via --build_info, and snapshot manifests
+/// embed the same string so an artifact names the build that wrote it.
+
+#include <string>
+
+namespace tind {
+
+/// Git revision the build was configured from ("unknown" outside a checkout).
+/// Captured at configure time, so a stale build dir can lag HEAD.
+const char* BuildGitRevision();
+
+/// Compiler name and version, e.g. "gcc 13.2.0".
+const char* BuildCompiler();
+
+/// One-line build identification: "tind <git> <compiler> simd=<backend>".
+/// The SIMD backend reflects the *current* runtime dispatch decision.
+std::string BuildInfoString();
+
+/// Multi-line --build_info rendering: BuildInfoString() plus the full SIMD
+/// SelectionLog (detected ISAs, environment overrides, chosen backend).
+std::string BuildInfoReport();
+
+}  // namespace tind
+
+#endif  // TIND_COMMON_BUILD_INFO_H_

@@ -3,13 +3,17 @@
 
 /// \file crc32.h
 /// Streaming CRC-32 (IEEE 802.3, the zlib polynomial) used to footer corpus
-/// files and discovery checkpoints so truncation and bit rot are detected at
-/// load time instead of surfacing as silently wrong results. Table-driven,
-/// byte-at-a-time — integrity checking is nowhere near the hot path.
+/// files and discovery checkpoints, and to checksum every section of index
+/// snapshots — including the multi-megabyte Bloom bit planes a load verifies
+/// before trusting them. Slicing-by-8: eight derived tables let the inner
+/// loop consume 8 bytes per iteration instead of 1, which keeps a full-plane
+/// verification pass an order of magnitude cheaper than the index rebuild it
+/// replaces. Same polynomial and values as the classic byte-at-a-time form.
 
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <string_view>
 
 namespace tind {
@@ -30,16 +34,51 @@ constexpr std::array<uint32_t, 256> MakeCrc32Table() {
 
 inline constexpr std::array<uint32_t, 256> kCrc32Table = MakeCrc32Table();
 
+/// kCrc32Slices[0] is the classic table; kCrc32Slices[j][b] is the CRC of
+/// byte b followed by j zero bytes, so 8 table lookups advance the state
+/// over 8 input bytes at once.
+constexpr std::array<std::array<uint32_t, 256>, 8> MakeCrc32Slices() {
+  std::array<std::array<uint32_t, 256>, 8> slices{};
+  slices[0] = MakeCrc32Table();
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = slices[0][i];
+    for (int j = 1; j < 8; ++j) {
+      c = slices[0][c & 0xFF] ^ (c >> 8);
+      slices[j][i] = c;
+    }
+  }
+  return slices;
+}
+
+inline constexpr std::array<std::array<uint32_t, 256>, 8> kCrc32Slices =
+    MakeCrc32Slices();
+
 }  // namespace internal
 
 /// \brief Incremental CRC-32 accumulator.
 class Crc32 {
  public:
   void Update(std::string_view bytes) {
+    const auto& t = internal::kCrc32Slices;
+    const unsigned char* p =
+        reinterpret_cast<const unsigned char*>(bytes.data());
+    size_t n = bytes.size();
     uint32_t c = ~crc_;
-    for (const char ch : bytes) {
-      c = internal::kCrc32Table[(c ^ static_cast<unsigned char>(ch)) & 0xFF] ^
-          (c >> 8);
+    while (n >= 8) {
+      // Little-endian-independent: bytes are folded by position, not by
+      // loading a word, so the digest matches the byte-at-a-time form
+      // everywhere.
+      c ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+      c = t[7][c & 0xFF] ^ t[6][(c >> 8) & 0xFF] ^ t[5][(c >> 16) & 0xFF] ^
+          t[4][(c >> 24) & 0xFF] ^ t[3][p[4]] ^ t[2][p[5]] ^ t[1][p[6]] ^
+          t[0][p[7]];
+      p += 8;
+      n -= 8;
+    }
+    while (n-- > 0) {
+      c = t[0][(c ^ *p++) & 0xFF] ^ (c >> 8);
     }
     crc_ = ~c;
   }

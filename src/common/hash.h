@@ -40,6 +40,41 @@ inline uint64_t HashString(std::string_view s) {
   return SplitMix64(h);
 }
 
+/// Order-sensitive bulk digest over a 64-bit word sequence: one multiply
+/// per word instead of the ~six a HashCombine chain costs per element.
+/// Weaker mid-stream diffusion than HashCombine (high bits only reach low
+/// bits through the shift-xor and the final SplitMix64), which is exactly
+/// enough for content-identity digests over large arrays — the snapshot
+/// corpus check hashes millions of elements and must not rival the index
+/// rebuild it is guarding against. Not a substitute for HashUint64 where
+/// per-element avalanche matters (Bloom probing, interning).
+inline uint64_t HashU64Span(const uint64_t* data, size_t count) {
+  uint64_t h = SplitMix64(0x5350414EULL ^ count);  // "SPAN"
+  for (size_t i = 0; i < count; ++i) {
+    h = (h ^ data[i]) * 0xFF51AFD7ED558CCDULL;
+    h ^= h >> 29;
+  }
+  return SplitMix64(h);
+}
+
+/// HashU64Span over 32-bit elements, packed two per word by value (not by
+/// memory reinterpretation), so the digest is byte-order independent.
+inline uint64_t HashU32Span(const uint32_t* data, size_t count) {
+  uint64_t h = SplitMix64(0x5350414E32ULL ^ count);
+  size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    const uint64_t w = static_cast<uint64_t>(data[i]) |
+                       (static_cast<uint64_t>(data[i + 1]) << 32);
+    h = (h ^ w) * 0xFF51AFD7ED558CCDULL;
+    h ^= h >> 29;
+  }
+  if (i < count) {
+    h = (h ^ data[i]) * 0xFF51AFD7ED558CCDULL;
+    h ^= h >> 29;
+  }
+  return SplitMix64(h);
+}
+
 /// \brief Double-hashing scheme (Kirsch–Mitzenmacher) for Bloom filters.
 ///
 /// Derives the i-th probe position from two base hashes:

@@ -18,6 +18,7 @@
 
 #include "common/fault_injection.h"
 #include "common/memory_budget.h"
+#include "snapshot/snapshot.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
@@ -404,6 +405,69 @@ Result<ChaosReport> RunChaosCheck(const ChaosOptions& options) {
     std::remove(ckpt_path.c_str());
   }
   std::remove(corpus_path.c_str());
+
+  // ---- Stage 6: snapshot persistence ------------------------------------
+  {
+    const std::string snap_path =
+        options.work_dir + "/chaos-index-" + tag + ".tsnap";
+    std::remove(snap_path.c_str());
+    const Status saved = index.SaveSnapshot(snap_path);
+    checks.Record("snapshot_save_succeeds", saved.ok(), saved.ToString());
+
+    // An injected write fault must fail cleanly and leave the published
+    // artifact untouched (the atomic writer never exposes a partial file).
+    TIND_RETURN_IF_ERROR(injector.Configure("snapshot/write=1", options.seed));
+    const Status faulted = index.SaveSnapshot(snap_path);
+    injector.Reset();
+    checks.Record("snapshot_write_fault_is_io_error",
+                  !faulted.ok() && faulted.IsIOError(), faulted.ToString());
+    checks.Record("snapshot_survives_faulted_rewrite",
+                  snapshot::VerifySnapshot(snap_path).ok());
+
+    SnapshotLoadOptions load_options;
+    load_options.weight = &weight;
+    auto loaded = TindIndex::LoadSnapshot(dataset, snap_path, load_options);
+    checks.Record("snapshot_load_succeeds", loaded.ok(),
+                  loaded.status().ToString());
+    if (loaded.ok()) {
+      auto replay = DiscoverAllTinds(**loaded, params, DiscoveryOptions{});
+      checks.Record(
+          "snapshot_load_matches_baseline",
+          replay.ok() && replay->pairs == baseline.pairs,
+          replay.ok() ? PairsDiff(replay->pairs.size(), baseline.pairs.size())
+                      : replay.status().ToString());
+    }
+
+    // Corrupt artifacts must come back as typed errors, never crashes.
+    std::string snap_bytes;
+    {
+      std::ifstream in(snap_path, std::ios::binary);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      snap_bytes = buf.str();
+    }
+    const std::string bad_path = snap_path + ".bad";
+    const auto load_is_typed = [&]() {
+      auto bad = TindIndex::LoadSnapshot(dataset, bad_path, load_options);
+      return !bad.ok() &&
+             (bad.status().IsIOError() || bad.status().IsInvalidArgument());
+    };
+    {
+      std::ofstream out(bad_path, std::ios::binary | std::ios::trunc);
+      out.write(snap_bytes.data(),
+                static_cast<std::streamsize>(snap_bytes.size() / 2));
+    }
+    checks.Record("snapshot_truncation_is_typed_error", load_is_typed());
+    {
+      std::string flipped = snap_bytes;
+      flipped[flipped.size() / 2] ^= 0x20;
+      std::ofstream out(bad_path, std::ios::binary | std::ios::trunc);
+      out.write(flipped.data(), static_cast<std::streamsize>(flipped.size()));
+    }
+    checks.Record("snapshot_bit_flip_is_typed_error", load_is_typed());
+    std::remove(bad_path.c_str());
+    std::remove(snap_path.c_str());
+  }
 
   // ---- Metric assertions -------------------------------------------------
 #if !TIND_OBS_DISABLED

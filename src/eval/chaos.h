@@ -18,7 +18,12 @@
 ///  5. memory-budget exhaustion in index build and discovery (must degrade
 ///     to OutOfMemory, with the budget fully released afterwards),
 ///  6. preempt/resume: an injected cancellation mid-discovery, then a
-///     fault-free resume that must reproduce the baseline.
+///     fault-free resume that must reproduce the baseline,
+///  7. snapshot persistence: an injected snapshot-write fault must fail
+///     cleanly with the previously published artifact intact, a clean
+///     mmap load must reproduce the baseline discovery exactly, and
+///     truncated or bit-flipped snapshots must be rejected with typed
+///     errors.
 ///
 /// Requires a binary built with TIND_ENABLE_FAULT_INJECTION=ON; reports
 /// FailedPrecondition otherwise.

@@ -1,0 +1,95 @@
+#include "snapshot/mapped_file.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define TIND_SNAPSHOT_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#include <cstdio>
+#endif
+
+namespace tind::snapshot {
+
+MappedFile::~MappedFile() {
+#if TIND_SNAPSHOT_HAVE_MMAP
+  if (mmapped_ && data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+    return;
+  }
+#endif
+  if (data_ != nullptr) std::free(const_cast<uint8_t*>(data_));
+}
+
+Result<std::shared_ptr<MappedFile>> MappedFile::Open(const std::string& path) {
+  auto file = std::shared_ptr<MappedFile>(new MappedFile());
+  file->path_ = path;
+#if TIND_SNAPSHOT_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    const std::string err = std::strerror(errno);
+    if (errno == ENOENT) {
+      return Status::NotFound("no snapshot at " + path);
+    }
+    return Status::IOError("open " + path + " failed: " + err);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("stat " + path + " failed: " + err);
+  }
+  file->size_ = static_cast<size_t>(st.st_size);
+  if (file->size_ == 0) {
+    ::close(fd);
+    return file;
+  }
+  void* map = ::mmap(nullptr, file->size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (map == MAP_FAILED) {
+    return Status::IOError("mmap " + path + " failed: " +
+                           std::strerror(errno));
+  }
+  file->data_ = static_cast<const uint8_t*>(map);
+  file->mmapped_ = true;
+  return file;
+#else
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("no snapshot at " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long end = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (end < 0) {
+    std::fclose(f);
+    return Status::IOError("cannot size " + path);
+  }
+  file->size_ = static_cast<size_t>(end);
+  if (file->size_ > 0) {
+    // 64-byte alignment mirrors the mmap path's page alignment so the
+    // kernels' aligned-load contract holds either way.
+    void* buf = std::aligned_alloc(64, (file->size_ + 63) & ~size_t{63});
+    if (buf == nullptr) {
+      std::fclose(f);
+      return Status::OutOfMemory("cannot buffer " + path);
+    }
+    const size_t read = std::fread(buf, 1, file->size_, f);
+    if (read != file->size_) {
+      std::free(buf);
+      std::fclose(f);
+      return Status::IOError("short read on " + path);
+    }
+    file->data_ = static_cast<const uint8_t*>(buf);
+  }
+  std::fclose(f);
+  return file;
+#endif
+}
+
+}  // namespace tind::snapshot

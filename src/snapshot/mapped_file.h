@@ -1,0 +1,49 @@
+#ifndef TIND_SNAPSHOT_MAPPED_FILE_H_
+#define TIND_SNAPSHOT_MAPPED_FILE_H_
+
+/// \file mapped_file.h
+/// Read-only memory mapping of a snapshot file. The mapping is shared
+/// (MAP_SHARED-equivalent page cache reuse via PROT_READ/MAP_PRIVATE of an
+/// unmodified file), so N serving processes loading the same snapshot share
+/// one physical copy of the bit planes. On platforms without mmap the file
+/// is read into a 64-byte-aligned heap buffer instead — same interface,
+/// no zero-copy.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace tind::snapshot {
+
+/// \brief RAII read-only view of a whole file.
+class MappedFile {
+ public:
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Maps `path` read-only. NotFound when the file does not exist, IOError
+  /// on open/stat/map failures. An empty file maps successfully with
+  /// size() == 0.
+  static Result<std::shared_ptr<MappedFile>> Open(const std::string& path);
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  MappedFile() = default;
+
+  std::string path_;
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  bool mmapped_ = false;
+};
+
+}  // namespace tind::snapshot
+
+#endif  // TIND_SNAPSHOT_MAPPED_FILE_H_

@@ -1,0 +1,482 @@
+/// \file snapshot_reader.cc
+/// TindIndex::LoadSnapshot plus the dataset-free inspection entry points
+/// (ReadSnapshotInfo / VerifySnapshot). The structural ladder is shared:
+/// map → header (magic, CRC, version, endianness, geometry) → section table
+/// (bounds, CRC) → per-section payloads. Only after every rung holds does the
+/// loader wrap the mapped bit planes in borrowed BloomMatrix views — the
+/// kernels then probe the file's pages directly, zero-copy.
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "snapshot/mapped_file.h"
+#include "snapshot/snapshot.h"
+#include "snapshot/snapshot_format.h"
+#include "tind/index.h"
+
+namespace tind::snapshot {
+
+namespace {
+
+/// Mapped file with its decoded header and section table; the raw payload
+/// bytes stay in the mapping.
+struct ParsedSnapshot {
+  std::shared_ptr<MappedFile> file;
+  FileHeader header;
+  std::vector<SectionEntry> table;
+
+  const uint8_t* SectionData(const SectionEntry& entry) const {
+    return file->data() + entry.offset;
+  }
+};
+
+/// Header + section-table ladder. Every exit is a typed error: NotFound for
+/// a missing file, IOError for anything structurally wrong with the bytes,
+/// FailedPrecondition for a well-formed file this build cannot consume
+/// (format version, endianness, word size).
+Result<ParsedSnapshot> ParseStructure(const std::string& path) {
+  ParsedSnapshot parsed;
+  TIND_ASSIGN_OR_RETURN(parsed.file, MappedFile::Open(path));
+  const MappedFile& file = *parsed.file;
+  if (file.size() < sizeof(FileHeader)) {
+    return Status::IOError("snapshot " + path + " too short for a header (" +
+                           std::to_string(file.size()) + " bytes)");
+  }
+  std::memcpy(&parsed.header, file.data(), sizeof(FileHeader));
+  const FileHeader& h = parsed.header;
+  if (h.magic != kMagic) {
+    return Status::IOError("not a tIND snapshot: " + path);
+  }
+  if (HeaderCrc(h) != h.header_crc) {
+    return Status::IOError("snapshot header CRC mismatch in " + path);
+  }
+  if (h.format_version != kFormatVersion) {
+    return Status::FailedPrecondition(
+        "snapshot format version " + std::to_string(h.format_version) +
+        " unsupported (this build reads version " +
+        std::to_string(kFormatVersion) + "): " + path);
+  }
+  if (h.endian_mark != kEndianMark) {
+    return Status::FailedPrecondition(
+        "snapshot " + path + " was written on a different-endian host");
+  }
+  if (h.word_bits != kWordBits || h.align_bytes != kSectionAlign) {
+    return Status::FailedPrecondition(
+        "snapshot " + path + " uses word_bits=" + std::to_string(h.word_bits) +
+        " align=" + std::to_string(h.align_bytes) + "; this build requires " +
+        std::to_string(kWordBits) + "/" + std::to_string(kSectionAlign));
+  }
+  if (h.file_size != file.size()) {
+    return Status::IOError("snapshot " + path + " truncated: header says " +
+                           std::to_string(h.file_size) + " bytes, file has " +
+                           std::to_string(file.size()));
+  }
+  const uint64_t table_bytes =
+      static_cast<uint64_t>(h.section_count) * sizeof(SectionEntry);
+  if (sizeof(FileHeader) + table_bytes > file.size()) {
+    return Status::IOError("snapshot " + path +
+                           " truncated inside the section table");
+  }
+  parsed.table.resize(h.section_count);
+  std::memcpy(parsed.table.data(), file.data() + sizeof(FileHeader),
+              table_bytes);
+  const uint32_t table_crc = Crc32Of(std::string_view(
+      reinterpret_cast<const char*>(file.data() + sizeof(FileHeader)),
+      table_bytes));
+  if (table_crc != h.section_table_crc) {
+    return Status::IOError("snapshot section table CRC mismatch in " + path);
+  }
+  for (const SectionEntry& entry : parsed.table) {
+    if (entry.offset % kSectionAlign != 0) {
+      return Status::IOError("section " + SectionName(entry.id) +
+                             " misaligned at offset " +
+                             std::to_string(entry.offset) + " in " + path);
+    }
+    if (entry.offset > file.size() || entry.size > file.size() - entry.offset) {
+      return Status::IOError("section " + SectionName(entry.id) +
+                             " extends past the end of " + path);
+    }
+  }
+  return parsed;
+}
+
+const SectionEntry* FindSection(const ParsedSnapshot& parsed, uint32_t id) {
+  for (const SectionEntry& entry : parsed.table) {
+    if (entry.id == id) return &entry;
+  }
+  return nullptr;
+}
+
+Status CheckSectionCrc(const ParsedSnapshot& parsed,
+                       const SectionEntry& entry) {
+  const uint32_t crc = Crc32Of(std::string_view(
+      reinterpret_cast<const char*>(parsed.SectionData(entry)), entry.size));
+  if (crc != entry.crc32) {
+    return Status::IOError("section " + SectionName(entry.id) +
+                           " CRC mismatch in " + parsed.file->path() +
+                           " (payload corrupt)");
+  }
+  return Status::OK();
+}
+
+struct Manifest {
+  ManifestFixed fixed;
+  std::string weight_description;
+  std::string producer;
+};
+
+/// Reconstructs the TindIndexOptions the manifest describes. `weight` and
+/// `memory` are left null; epsilon is restored from its exact bit pattern.
+Result<TindIndexOptions> OptionsFromManifest(const ManifestFixed& m) {
+  TindIndexOptions options;
+  options.bloom_bits = m.bloom_bits;
+  options.num_hashes = m.num_hashes;
+  options.num_slices = m.num_slices;
+  options.delta = m.delta;
+  std::memcpy(&options.epsilon, &m.epsilon_bits, sizeof(double));
+  if (m.strategy > static_cast<uint32_t>(SliceStrategy::kWeightedRandom)) {
+    return Status::InvalidArgument("snapshot manifest names unknown slice strategy " +
+                                   std::to_string(m.strategy));
+  }
+  options.strategy = static_cast<SliceStrategy>(m.strategy);
+  options.seed = m.seed;
+  options.build_reverse_index = m.build_reverse_index != 0;
+  options.reverse_slices = m.reverse_slices;
+  options.weight = nullptr;
+  options.memory = nullptr;
+  return options;
+}
+
+/// Parses and self-checks the manifest section. The stored options hash is
+/// recomputed from the decoded fields; with the payload CRC already valid, a
+/// mismatch means the manifest lies about itself → IOError.
+Result<Manifest> ParseManifest(const ParsedSnapshot& parsed) {
+  const SectionEntry* entry = FindSection(parsed, kSectionManifest);
+  if (entry == nullptr) {
+    return Status::IOError("snapshot " + parsed.file->path() +
+                           " has no manifest section");
+  }
+  TIND_RETURN_IF_ERROR(CheckSectionCrc(parsed, *entry));
+  ByteReader reader(parsed.SectionData(*entry), entry->size);
+  Manifest manifest;
+  TIND_RETURN_IF_ERROR(reader.ReadPod(&manifest.fixed, "manifest"));
+  TIND_RETURN_IF_ERROR(
+      reader.ReadString(&manifest.weight_description, "weight description"));
+  TIND_RETURN_IF_ERROR(reader.ReadString(&manifest.producer, "producer"));
+  TIND_ASSIGN_OR_RETURN(const TindIndexOptions options,
+                        OptionsFromManifest(manifest.fixed));
+  const uint64_t recomputed =
+      ComputeOptionsHash(options, manifest.weight_description);
+  if (recomputed != manifest.fixed.options_hash) {
+    return Status::IOError("snapshot manifest options hash mismatch in " +
+                           parsed.file->path() + " (manifest corrupt)");
+  }
+  const bool flag_reverse = (parsed.header.flags & kFlagHasReverse) != 0;
+  if (flag_reverse != (manifest.fixed.build_reverse_index != 0)) {
+    return Status::IOError(
+        "snapshot header reverse flag disagrees with manifest in " +
+        parsed.file->path());
+  }
+  return manifest;
+}
+
+/// Structural validation of one matrix section against the manifest, then a
+/// zero-copy borrowed view over its planes. The planes sit
+/// sizeof(MatrixHeader) == 64 bytes into the (64-byte-aligned) section, so
+/// every plane satisfies the kernels' alignment contract in place.
+Result<BloomMatrix> LoadMatrix(const ParsedSnapshot& parsed,
+                               const SectionEntry& entry,
+                               const ManifestFixed& manifest) {
+  const std::string name = SectionName(entry.id);
+  if (entry.size < sizeof(MatrixHeader)) {
+    return Status::IOError("section " + name + " too short for a matrix header");
+  }
+  MatrixHeader h;
+  std::memcpy(&h, parsed.SectionData(entry), sizeof(MatrixHeader));
+  if (h.num_bits != manifest.bloom_bits) {
+    return Status::IOError("section " + name + " has " +
+                           std::to_string(h.num_bits) +
+                           " bit planes, manifest says " +
+                           std::to_string(manifest.bloom_bits));
+  }
+  if (h.num_columns != manifest.num_attributes) {
+    return Status::IOError("section " + name + " has " +
+                           std::to_string(h.num_columns) +
+                           " columns, manifest says " +
+                           std::to_string(manifest.num_attributes));
+  }
+  if (h.num_hashes != manifest.num_hashes) {
+    return Status::IOError("section " + name + " hash count disagrees with manifest");
+  }
+  const uint64_t row_words = PadWordCount((h.num_columns + 63) / 64);
+  if (h.row_words != row_words ||
+      h.plane_bytes != h.num_bits * row_words * sizeof(uint64_t) ||
+      entry.size != sizeof(MatrixHeader) + h.plane_bytes) {
+    return Status::IOError("section " + name + " geometry is inconsistent");
+  }
+  const uint64_t* planes = reinterpret_cast<const uint64_t*>(
+      parsed.SectionData(entry) + sizeof(MatrixHeader));
+  BloomMatrix matrix = BloomMatrix::FromBorrowedRows(
+      h.num_bits, h.num_hashes, h.num_columns, planes);
+  // Padding words (and the tail bits of the last live word) must be zero —
+  // the SIMD kernels fold them into every probe. Cheap relative to the CRC
+  // pass and kept even when verify_checksums is off.
+  for (size_t r = 0; r < matrix.num_bits(); ++r) {
+    if (!matrix.row(r).PaddingIsZero()) {
+      return Status::IOError("section " + name + " plane " + std::to_string(r) +
+                             " has nonzero padding bits");
+    }
+  }
+  return matrix;
+}
+
+}  // namespace
+
+Result<SnapshotInfo> ReadSnapshotInfo(const std::string& path) {
+  TIND_ASSIGN_OR_RETURN(const ParsedSnapshot parsed, ParseStructure(path));
+  TIND_ASSIGN_OR_RETURN(const Manifest manifest, ParseManifest(parsed));
+  SnapshotInfo info;
+  info.format_version = parsed.header.format_version;
+  info.file_size = parsed.header.file_size;
+  info.has_reverse = (parsed.header.flags & kFlagHasReverse) != 0;
+  info.options_hash = manifest.fixed.options_hash;
+  info.corpus_digest = manifest.fixed.corpus_digest;
+  TIND_ASSIGN_OR_RETURN(info.options, OptionsFromManifest(manifest.fixed));
+  info.weight_description = manifest.weight_description;
+  info.producer = manifest.producer;
+  info.num_attributes = manifest.fixed.num_attributes;
+  info.num_timestamps = manifest.fixed.num_timestamps;
+  info.epoch_day = manifest.fixed.epoch_day;
+  info.dictionary_size = manifest.fixed.dictionary_size;
+  info.sections.reserve(parsed.table.size());
+  for (const SectionEntry& entry : parsed.table) {
+    SectionInfo s;
+    s.id = entry.id;
+    s.name = SectionName(entry.id);
+    s.offset = entry.offset;
+    s.size = entry.size;
+    s.crc32 = entry.crc32;
+    info.sections.push_back(std::move(s));
+  }
+  return info;
+}
+
+Status VerifySnapshot(const std::string& path) {
+  TIND_ASSIGN_OR_RETURN(const ParsedSnapshot parsed, ParseStructure(path));
+  for (const SectionEntry& entry : parsed.table) {
+    TIND_RETURN_IF_ERROR(CheckSectionCrc(parsed, entry));
+  }
+  TIND_ASSIGN_OR_RETURN(const Manifest manifest, ParseManifest(parsed));
+  // Matrix geometry must be loadable, not merely checksummed.
+  for (const SectionEntry& entry : parsed.table) {
+    if (entry.id == kSectionMatrixFull || entry.id == kSectionMatrixReverse ||
+        entry.id >= kSectionMatrixSliceBase) {
+      TIND_RETURN_IF_ERROR(LoadMatrix(parsed, entry, manifest.fixed).status());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tind::snapshot
+
+namespace tind {
+
+Result<std::unique_ptr<TindIndex>> TindIndex::LoadSnapshot(
+    const Dataset& dataset, const std::string& path,
+    const SnapshotLoadOptions& load_options) {
+  using snapshot::ByteReader;
+  using snapshot::SectionEntry;
+
+  Stopwatch watch;
+  TIND_OBS_SCOPED_TIMER("snapshot_load");
+  if (load_options.weight == nullptr) {
+    return Status::InvalidArgument(
+        "SnapshotLoadOptions.weight must be the build weight function");
+  }
+
+  TIND_ASSIGN_OR_RETURN(const snapshot::ParsedSnapshot parsed,
+                        snapshot::ParseStructure(path));
+  if (load_options.verify_checksums) {
+    for (const SectionEntry& entry : parsed.table) {
+      TIND_RETURN_IF_ERROR(snapshot::CheckSectionCrc(parsed, entry));
+    }
+  }
+  TIND_ASSIGN_OR_RETURN(const snapshot::Manifest manifest,
+                        snapshot::ParseManifest(parsed));
+  const snapshot::ManifestFixed& m = manifest.fixed;
+
+  // Compatibility gates, cheapest first. The dimension checks always run —
+  // they catch an obviously wrong dataset even with digest verification off.
+  if (manifest.weight_description != load_options.weight->ToString()) {
+    return Status::FailedPrecondition(
+        "snapshot was built with weight \"" + manifest.weight_description +
+        "\" but load supplied \"" + load_options.weight->ToString() + "\"");
+  }
+  if (m.num_attributes != dataset.size() ||
+      m.num_timestamps != dataset.domain().num_timestamps() ||
+      m.epoch_day != dataset.domain().epoch_day() ||
+      m.dictionary_size != dataset.dictionary().size()) {
+    return Status::FailedPrecondition(
+        "snapshot corpus shape (attrs=" + std::to_string(m.num_attributes) +
+        ", timestamps=" + std::to_string(m.num_timestamps) +
+        ", dict=" + std::to_string(m.dictionary_size) +
+        ") does not match the supplied dataset");
+  }
+  if (load_options.verify_corpus_digest &&
+      snapshot::ComputeCorpusDigest(dataset) != m.corpus_digest) {
+    return Status::FailedPrecondition(
+        "snapshot corpus digest does not match the supplied dataset (same "
+        "shape, different content); rebuild or load the matching corpus");
+  }
+
+  auto index = std::unique_ptr<TindIndex>(new TindIndex());
+  index->dataset_ = &dataset;
+  TIND_ASSIGN_OR_RETURN(index->options_,
+                        snapshot::OptionsFromManifest(m));
+  index->options_.weight = load_options.weight;
+  index->options_.memory = load_options.memory;
+  index->has_reverse_ = m.build_reverse_index != 0;
+
+  // Slice intervals.
+  {
+    const SectionEntry* entry =
+        snapshot::FindSection(parsed, snapshot::kSectionSliceIntervals);
+    if (entry == nullptr) {
+      return Status::IOError("snapshot " + path + " has no slice_intervals section");
+    }
+    ByteReader reader(parsed.SectionData(*entry), entry->size);
+    uint64_t count = 0;
+    TIND_RETURN_IF_ERROR(reader.ReadPod(&count, "slice interval count"));
+    if (count > static_cast<uint64_t>(m.num_timestamps)) {
+      return Status::InvalidArgument(
+          "snapshot names " + std::to_string(count) +
+          " slice intervals over a " + std::to_string(m.num_timestamps) +
+          "-timestamp domain");
+    }
+    index->slice_intervals_.reserve(count);
+    for (uint64_t j = 0; j < count; ++j) {
+      int64_t begin = 0;
+      int64_t end = 0;
+      TIND_RETURN_IF_ERROR(reader.ReadPod(&begin, "slice interval begin"));
+      TIND_RETURN_IF_ERROR(reader.ReadPod(&end, "slice interval end"));
+      index->slice_intervals_.push_back(Interval{begin, end});
+    }
+    if (reader.remaining() != 0) {
+      return Status::InvalidArgument(
+          "trailing bytes after slice intervals in " + path);
+    }
+  }
+
+  // Matrices: M_T, one per slice interval, and (optionally) M_R.
+  const auto load_matrix = [&](uint32_t id, BloomMatrix* out) -> Status {
+    const SectionEntry* entry = snapshot::FindSection(parsed, id);
+    if (entry == nullptr) {
+      return Status::IOError("snapshot " + path + " has no " +
+                             snapshot::SectionName(id) + " section");
+    }
+    TIND_ASSIGN_OR_RETURN(*out, snapshot::LoadMatrix(parsed, *entry, m));
+    return Status::OK();
+  };
+  TIND_RETURN_IF_ERROR(
+      load_matrix(snapshot::kSectionMatrixFull, &index->full_matrix_));
+  index->slice_matrices_.resize(index->slice_intervals_.size());
+  for (size_t j = 0; j < index->slice_matrices_.size(); ++j) {
+    TIND_RETURN_IF_ERROR(load_matrix(
+        static_cast<uint32_t>(snapshot::kSectionMatrixSliceBase + j),
+        &index->slice_matrices_[j]));
+  }
+  if (index->has_reverse_) {
+    TIND_RETURN_IF_ERROR(
+        load_matrix(snapshot::kSectionMatrixReverse, &index->reverse_matrix_));
+  }
+
+  // Reverse-stage caches. These restore the exact ValueSets and double bit
+  // patterns Build() computed, so the loaded index's reverse weights and
+  // rechecks are bit-identical without touching the histories.
+  if (index->has_reverse_) {
+    const SectionEntry* entry =
+        snapshot::FindSection(parsed, snapshot::kSectionRequiredValues);
+    if (entry == nullptr) {
+      return Status::IOError("snapshot " + path + " has no required_values section");
+    }
+    ByteReader reader(parsed.SectionData(*entry), entry->size);
+    uint64_t count = 0;
+    TIND_RETURN_IF_ERROR(reader.ReadPod(&count, "required-value set count"));
+    if (count != dataset.size()) {
+      return Status::InvalidArgument(
+          "required_values section covers " + std::to_string(count) +
+          " attributes, dataset has " + std::to_string(dataset.size()));
+    }
+    index->required_values_.reserve(count);
+    for (uint64_t c = 0; c < count; ++c) {
+      uint64_t n = 0;
+      TIND_RETURN_IF_ERROR(reader.ReadPod(&n, "required-value set size"));
+      std::vector<ValueId> values(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        TIND_RETURN_IF_ERROR(reader.ReadPod(&values[i], "required value"));
+        if (i > 0 && values[i] <= values[i - 1]) {
+          return Status::InvalidArgument(
+              "required-value set " + std::to_string(c) +
+              " is not sorted/unique in " + path);
+        }
+      }
+      index->required_values_.push_back(ValueSet::FromSorted(std::move(values)));
+    }
+
+    const SectionEntry* weights_entry =
+        snapshot::FindSection(parsed, snapshot::kSectionMinWeights);
+    if (weights_entry == nullptr) {
+      return Status::IOError("snapshot " + path + " has no min_weights section");
+    }
+    ByteReader wr(parsed.SectionData(*weights_entry), weights_entry->size);
+    uint64_t rows = 0;
+    uint64_t cols = 0;
+    TIND_RETURN_IF_ERROR(wr.ReadPod(&rows, "min-weight slice count"));
+    TIND_RETURN_IF_ERROR(wr.ReadPod(&cols, "min-weight column count"));
+    if (cols != dataset.size() ||
+        rows > index->slice_intervals_.size()) {
+      return Status::InvalidArgument(
+          "min_weights section shape (" + std::to_string(rows) + "x" +
+          std::to_string(cols) + ") is inconsistent in " + path);
+    }
+    index->reverse_min_weights_.resize(rows);
+    for (uint64_t j = 0; j < rows; ++j) {
+      std::vector<double>& row = index->reverse_min_weights_[j];
+      row.resize(cols);
+      for (uint64_t c = 0; c < cols; ++c) {
+        uint64_t bits = 0;
+        TIND_RETURN_IF_ERROR(wr.ReadPod(&bits, "min weight"));
+        std::memcpy(&row[c], &bits, sizeof(double));
+      }
+    }
+    if (wr.remaining() != 0) {
+      return Status::InvalidArgument("trailing bytes after min weights in " + path);
+    }
+  }
+
+  // The mapped planes are accounted against the budget exactly like built
+  // planes (MemoryUsageBytes reports the same figure for borrowed rows):
+  // resident-set pressure is real either way once the kernels touch them.
+  index->reservation_ = MemoryReservation(load_options.memory);
+  {
+    const Status reserved =
+        index->reservation_.Reserve(index->MemoryUsageBytes());
+    if (!reserved.ok()) {
+      return Status::OutOfMemory(reserved.message() +
+                                 " (while mapping snapshot " + path + ")");
+    }
+  }
+  index->snapshot_storage_ = parsed.file;
+
+  TIND_OBS_COUNTER_ADD("snapshot/loads", 1);
+  TIND_OBS_COUNTER_ADD("snapshot/mapped_bytes", parsed.file->size());
+  TIND_OBS_GAUGE_SET("snapshot/load_ms",
+                     static_cast<int64_t>(watch.ElapsedMillis()));
+  return index;
+}
+
+}  // namespace tind

@@ -1,0 +1,267 @@
+/// \file snapshot_writer.cc
+/// TindIndex::SaveSnapshot — serializes a built index into the versioned
+/// section format of snapshot_format.h. Small sections (manifest, caches,
+/// metadata) are assembled in memory; matrix planes are streamed row by row
+/// directly from the in-memory BitVectors, whose padded word layout is the
+/// on-disk layout. Publication is atomic (common/atomic_file.h), and every
+/// section's CRC-32 lands in the table before any payload byte, so a reader
+/// never has to trust an unverified length or plane.
+
+#include <algorithm>
+#include <cstring>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/atomic_file.h"
+#include "common/build_info.h"
+#include "common/crc32.h"
+#include "common/fault_injection.h"
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "snapshot/snapshot.h"
+#include "snapshot/snapshot_format.h"
+#include "tind/index.h"
+
+namespace tind {
+
+namespace {
+
+using snapshot::AlignUp;
+using snapshot::AppendPodT;
+using snapshot::AppendString;
+using snapshot::FileHeader;
+using snapshot::ManifestFixed;
+using snapshot::MatrixHeader;
+using snapshot::SectionEntry;
+
+struct PendingSection {
+  uint32_t id = 0;
+  std::string payload;             ///< Small sections: full payload bytes.
+  const BloomMatrix* matrix = nullptr;  ///< Matrix sections: streamed rows.
+  MatrixHeader matrix_header;
+  uint64_t size = 0;
+  uint32_t crc = 0;
+};
+
+MatrixHeader MakeMatrixHeader(const BloomMatrix& matrix) {
+  MatrixHeader h;
+  h.num_bits = matrix.num_bits();
+  h.num_columns = matrix.num_columns();
+  h.row_words = PadWordCount((matrix.num_columns() + 63) / 64);
+  h.plane_bytes = h.num_bits * h.row_words * sizeof(uint64_t);
+  h.num_hashes = matrix.num_hashes();
+  return h;
+}
+
+std::string_view RowBytes(const BitVector& row) {
+  const WordSpan words = row.words();
+  return std::string_view(reinterpret_cast<const char*>(words.data()),
+                          words.size() * sizeof(uint64_t));
+}
+
+PendingSection MakeMatrixSection(uint32_t id, const BloomMatrix& matrix) {
+  PendingSection s;
+  s.id = id;
+  s.matrix = &matrix;
+  s.matrix_header = MakeMatrixHeader(matrix);
+  s.size = sizeof(MatrixHeader) + s.matrix_header.plane_bytes;
+  Crc32 crc;
+  crc.Update(std::string_view(
+      reinterpret_cast<const char*>(&s.matrix_header), sizeof(MatrixHeader)));
+  for (size_t r = 0; r < matrix.num_bits(); ++r) {
+    crc.Update(RowBytes(matrix.row(r)));
+  }
+  s.crc = crc.value();
+  return s;
+}
+
+PendingSection MakeSmallSection(uint32_t id, std::string payload) {
+  PendingSection s;
+  s.id = id;
+  s.payload = std::move(payload);
+  s.size = s.payload.size();
+  s.crc = Crc32Of(s.payload);
+  return s;
+}
+
+}  // namespace
+
+Status TindIndex::SaveSnapshot(const std::string& path) const {
+  TIND_OBS_SCOPED_TIMER("snapshot_save");
+  if (TIND_FAULT_POINT("snapshot/write")) {
+    return Status::IOError("injected fault: snapshot/write (" + path + ")");
+  }
+  if (dataset_ == nullptr) {
+    return Status::FailedPrecondition("index has no dataset; nothing to save");
+  }
+
+  const std::string weight_desc = options_.weight->ToString();
+  const std::string producer = BuildInfoString();
+
+  // Manifest.
+  ManifestFixed manifest;
+  manifest.options_hash = snapshot::ComputeOptionsHash(options_, weight_desc);
+  manifest.corpus_digest = snapshot::ComputeCorpusDigest(*dataset_);
+  manifest.bloom_bits = options_.bloom_bits;
+  manifest.num_slices = options_.num_slices;
+  manifest.reverse_slices = options_.reverse_slices;
+  manifest.seed = options_.seed;
+  std::memcpy(&manifest.epsilon_bits, &options_.epsilon, sizeof(double));
+  manifest.delta = options_.delta;
+  manifest.num_attributes = dataset_->size();
+  manifest.num_timestamps = dataset_->domain().num_timestamps();
+  manifest.epoch_day = dataset_->domain().epoch_day();
+  manifest.dictionary_size = dataset_->dictionary().size();
+  manifest.num_hashes = options_.num_hashes;
+  manifest.strategy = static_cast<uint32_t>(options_.strategy);
+  manifest.build_reverse_index = has_reverse_ ? 1 : 0;
+  std::string manifest_bytes;
+  AppendPodT(&manifest_bytes, manifest);
+  AppendString(&manifest_bytes, weight_desc);
+  AppendString(&manifest_bytes, producer);
+
+  // Dictionary (positional ids — round-tripping preserves every ValueId).
+  std::string dict_bytes;
+  dataset_->dictionary().SerializeTo(&dict_bytes);
+
+  // Attribute metadata: enough for inspect tooling and sanity checks; the
+  // full histories stay in the corpus file (LoadSnapshot takes the Dataset).
+  std::string meta_bytes;
+  AppendPodT(&meta_bytes, static_cast<uint64_t>(dataset_->size()));
+  for (const AttributeHistory& attr : dataset_->attributes()) {
+    AppendString(&meta_bytes, attr.meta().page);
+    AppendString(&meta_bytes, attr.meta().table);
+    AppendString(&meta_bytes, attr.meta().column);
+    AppendPodT(&meta_bytes, static_cast<uint64_t>(attr.num_versions()));
+  }
+
+  // Slice intervals.
+  std::string intervals_bytes;
+  AppendPodT(&intervals_bytes, static_cast<uint64_t>(slice_intervals_.size()));
+  for (const Interval& interval : slice_intervals_) {
+    AppendPodT(&intervals_bytes, static_cast<int64_t>(interval.begin));
+    AppendPodT(&intervals_bytes, static_cast<int64_t>(interval.end));
+  }
+
+  std::vector<PendingSection> sections;
+  sections.push_back(
+      MakeSmallSection(snapshot::kSectionManifest, std::move(manifest_bytes)));
+  sections.push_back(
+      MakeSmallSection(snapshot::kSectionDictionary, std::move(dict_bytes)));
+  sections.push_back(
+      MakeSmallSection(snapshot::kSectionAttributeMeta, std::move(meta_bytes)));
+  sections.push_back(MakeSmallSection(snapshot::kSectionSliceIntervals,
+                                      std::move(intervals_bytes)));
+
+  if (has_reverse_) {
+    // Required-value cache: R_{ε,w}(A) per attribute at the build (ε, w).
+    std::string required_bytes;
+    AppendPodT(&required_bytes, static_cast<uint64_t>(required_values_.size()));
+    for (const ValueSet& values : required_values_) {
+      AppendPodT(&required_bytes, static_cast<uint64_t>(values.size()));
+      for (const ValueId id : values.values()) {
+        AppendPodT(&required_bytes, id);
+      }
+    }
+    sections.push_back(MakeSmallSection(snapshot::kSectionRequiredValues,
+                                        std::move(required_bytes)));
+
+    // Minimum-weight cache, doubles persisted as exact bit patterns so the
+    // loaded index adds bit-identical violation weights.
+    std::string weights_bytes;
+    AppendPodT(&weights_bytes,
+               static_cast<uint64_t>(reverse_min_weights_.size()));
+    AppendPodT(&weights_bytes, static_cast<uint64_t>(dataset_->size()));
+    for (const std::vector<double>& row : reverse_min_weights_) {
+      for (const double w : row) {
+        uint64_t bits = 0;
+        std::memcpy(&bits, &w, sizeof(bits));
+        AppendPodT(&weights_bytes, bits);
+      }
+    }
+    sections.push_back(MakeSmallSection(snapshot::kSectionMinWeights,
+                                        std::move(weights_bytes)));
+  }
+
+  sections.push_back(
+      MakeMatrixSection(snapshot::kSectionMatrixFull, full_matrix_));
+  for (size_t j = 0; j < slice_matrices_.size(); ++j) {
+    sections.push_back(MakeMatrixSection(
+        static_cast<uint32_t>(snapshot::kSectionMatrixSliceBase + j),
+        slice_matrices_[j]));
+  }
+  if (has_reverse_) {
+    sections.push_back(
+        MakeMatrixSection(snapshot::kSectionMatrixReverse, reverse_matrix_));
+  }
+
+  // Layout: every section starts 64-byte aligned so matrix planes (which
+  // begin sizeof(MatrixHeader) == 64 bytes into their section) stay aligned
+  // for the zero-copy kernels.
+  std::vector<SectionEntry> table(sections.size());
+  uint64_t offset = AlignUp(sizeof(FileHeader) +
+                            sections.size() * sizeof(SectionEntry));
+  for (size_t i = 0; i < sections.size(); ++i) {
+    table[i].id = sections[i].id;
+    table[i].offset = offset;
+    table[i].size = sections[i].size;
+    table[i].crc32 = sections[i].crc;
+    offset = AlignUp(offset + sections[i].size);
+  }
+  const uint64_t file_size = offset;
+
+  FileHeader header;
+  header.section_count = static_cast<uint32_t>(sections.size());
+  header.flags = has_reverse_ ? snapshot::kFlagHasReverse : 0;
+  header.file_size = file_size;
+  header.section_table_crc = Crc32Of(std::string_view(
+      reinterpret_cast<const char*>(table.data()),
+      table.size() * sizeof(SectionEntry)));
+  header.header_crc = snapshot::HeaderCrc(header);
+
+  const Status written = WriteFileAtomic(
+      path,
+      [&](std::ostream& os) {
+        uint64_t pos = 0;
+        const auto put = [&](const void* p, size_t n) {
+          os.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+          pos += n;
+        };
+        const auto pad_to = [&](uint64_t target) {
+          static const char zeros[snapshot::kSectionAlign] = {};
+          while (pos < target) {
+            const size_t n =
+                std::min<uint64_t>(sizeof(zeros), target - pos);
+            put(zeros, n);
+          }
+        };
+        put(&header, sizeof(header));
+        put(table.data(), table.size() * sizeof(SectionEntry));
+        for (size_t i = 0; i < sections.size(); ++i) {
+          pad_to(table[i].offset);
+          const PendingSection& s = sections[i];
+          if (s.matrix != nullptr) {
+            put(&s.matrix_header, sizeof(MatrixHeader));
+            for (size_t r = 0; r < s.matrix->num_bits(); ++r) {
+              const std::string_view row = RowBytes(s.matrix->row(r));
+              put(row.data(), row.size());
+            }
+          } else {
+            put(s.payload.data(), s.payload.size());
+          }
+        }
+        pad_to(file_size);
+        if (!os.good()) return Status::IOError("stream write failed");
+        return Status::OK();
+      },
+      /*binary=*/true);
+  if (!written.ok()) return written;
+
+  TIND_OBS_COUNTER_ADD("snapshot/writes", 1);
+  TIND_OBS_COUNTER_ADD("snapshot/write_bytes", file_size);
+  TIND_OBS_COUNTER_ADD("snapshot/sections_written", sections.size());
+  return Status::OK();
+}
+
+}  // namespace tind

@@ -58,6 +58,9 @@ class TimeDomain {
       : num_timestamps_(num_timestamps), epoch_day_(epoch_day) {}
 
   int64_t num_timestamps() const { return num_timestamps_; }
+  /// The epoch anchor (days since 2001-01-01); snapshot manifests persist it
+  /// so a reloaded domain renders the same dates.
+  int64_t epoch_day() const { return epoch_day_; }
   Timestamp first() const { return 0; }
   Timestamp last() const { return num_timestamps_ - 1; }
 

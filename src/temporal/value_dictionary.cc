@@ -1,6 +1,22 @@
 #include "temporal/value_dictionary.h"
 
+#include <cstring>
+
+#include "common/hash.h"
+
 namespace tind {
+
+namespace {
+
+void AppendU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+}  // namespace
 
 ValueId ValueDictionary::Intern(std::string_view value) {
   const auto it = index_.find(value);
@@ -14,6 +30,59 @@ ValueId ValueDictionary::Intern(std::string_view value) {
 ValueId ValueDictionary::Lookup(std::string_view value) const {
   const auto it = index_.find(value);
   return it == index_.end() ? kInvalidValueId : it->second;
+}
+
+void ValueDictionary::SerializeTo(std::string* out) const {
+  AppendU64(out, strings_.size());
+  for (const auto& s : strings_) {
+    AppendU32(out, static_cast<uint32_t>(s.size()));
+    out->append(s);
+  }
+}
+
+Result<ValueDictionary> ValueDictionary::Deserialize(std::string_view bytes) {
+  size_t pos = 0;
+  const auto remaining = [&] { return bytes.size() - pos; };
+  if (remaining() < sizeof(uint64_t)) {
+    return Status::InvalidArgument("dictionary blob truncated in entry count");
+  }
+  uint64_t count = 0;
+  std::memcpy(&count, bytes.data() + pos, sizeof(count));
+  pos += sizeof(count);
+  ValueDictionary dict;
+  dict.strings_.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    if (remaining() < sizeof(uint32_t)) {
+      return Status::InvalidArgument("dictionary blob truncated in entry " +
+                                     std::to_string(i) + " length");
+    }
+    uint32_t len = 0;
+    std::memcpy(&len, bytes.data() + pos, sizeof(len));
+    pos += sizeof(len);
+    if (remaining() < len) {
+      return Status::InvalidArgument("dictionary blob truncated in entry " +
+                                     std::to_string(i) + " payload");
+    }
+    const ValueId id = dict.Intern(bytes.substr(pos, len));
+    if (id != static_cast<ValueId>(i)) {
+      return Status::InvalidArgument(
+          "dictionary blob contains duplicate string at entry " +
+          std::to_string(i));
+    }
+    pos += len;
+  }
+  if (pos != bytes.size()) {
+    return Status::InvalidArgument("dictionary blob has " +
+                                   std::to_string(bytes.size() - pos) +
+                                   " trailing bytes");
+  }
+  return dict;
+}
+
+uint64_t ValueDictionary::ContentDigest() const {
+  uint64_t h = HashUint64(strings_.size());
+  for (const auto& s : strings_) h = HashCombine(h, HashString(s));
+  return h;
 }
 
 size_t ValueDictionary::MemoryUsageBytes() const {

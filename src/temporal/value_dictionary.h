@@ -13,6 +13,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
+
 namespace tind {
 
 /// Dense identifier of an interned string value.
@@ -41,6 +43,20 @@ class ValueDictionary {
 
   /// Approximate heap usage (strings + map overhead).
   size_t MemoryUsageBytes() const;
+
+  /// Appends a binary rendering of the dictionary to `out`: u64 entry count
+  /// followed by (u32 length, bytes) per string in id order. Ids are
+  /// positional, so round-tripping preserves every ValueId.
+  void SerializeTo(std::string* out) const;
+
+  /// Parses a SerializeTo() blob. Returns InvalidArgument on truncated or
+  /// malformed input (all reads are bounds-checked).
+  static Result<ValueDictionary> Deserialize(std::string_view bytes);
+
+  /// Order-sensitive 64-bit digest of the interned strings; equal iff two
+  /// dictionaries intern the same strings with the same ids. Snapshot
+  /// manifests fold this into the corpus digest.
+  uint64_t ContentDigest() const;
 
  private:
   struct TransparentHash {

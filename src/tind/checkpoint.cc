@@ -6,11 +6,7 @@
 #include <fstream>
 #include <sstream>
 
-#if defined(__unix__) || defined(__APPLE__)
-#include <fcntl.h>
-#include <unistd.h>
-#endif
-
+#include "common/atomic_file.h"
 #include "common/crc32.h"
 #include "common/fault_injection.h"
 
@@ -30,10 +26,7 @@ Status SaveDiscoveryCheckpoint(const DiscoveryCheckpoint& checkpoint,
     return Status::IOError("injected fault: discovery/checkpoint_write (" +
                            path + ")");
   }
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream file(tmp, std::ios::trunc);
-    if (!file.is_open()) return Status::IOError("cannot open " + tmp);
+  return WriteFileAtomic(path, [&](std::ostream& file) {
     Crc32 crc;
     std::string line;
     const auto emit = [&](const std::string& s) {
@@ -56,29 +49,8 @@ Status SaveDiscoveryCheckpoint(const DiscoveryCheckpoint& checkpoint,
     char footer[24];
     std::snprintf(footer, sizeof(footer), "footer %08x", crc.value());
     file << footer << '\n';
-    file.flush();
-    if (!file.good()) {
-      file.close();
-      std::remove(tmp.c_str());
-      return Status::IOError("write failed on " + tmp);
-    }
-  }
-#if defined(__unix__) || defined(__APPLE__)
-  const int fd = ::open(tmp.c_str(), O_WRONLY);
-  if (fd < 0 || ::fsync(fd) != 0) {
-    const std::string err = std::strerror(errno);
-    if (fd >= 0) ::close(fd);
-    std::remove(tmp.c_str());
-    return Status::IOError("fsync " + tmp + " failed: " + err);
-  }
-  ::close(fd);
-#endif
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    const std::string err = std::strerror(errno);
-    std::remove(tmp.c_str());
-    return Status::IOError("rename " + tmp + " -> " + path + " failed: " + err);
-  }
-  return Status::OK();
+    return Status::OK();
+  });
 }
 
 Result<DiscoveryCheckpoint> LoadDiscoveryCheckpoint(const std::string& path) {

@@ -127,11 +127,13 @@ Result<std::unique_ptr<TindIndex>> TindIndex::Build(
     index->reverse_matrix_ =
         BloomMatrix(options.bloom_bits, options.num_hashes, n_attrs);
     TIND_RETURN_IF_ERROR(account(index->reverse_matrix_, &m_r_bytes));
+    // The required-value and minimum-weight caches double as the M_R column
+    // sets here and as the reverse query stages' lookup tables later (they
+    // are also what SaveSnapshot persists, so a loaded index answers with
+    // bit-identical weights).
+    index->BuildReverseCaches();
     for (size_t c = 0; c < n_attrs; ++c) {
-      const ValueSet required = ComputeRequiredValues(
-          dataset.attribute(static_cast<AttributeId>(c)), *options.weight,
-          options.epsilon);
-      index->reverse_matrix_.SetColumn(c, required);
+      index->reverse_matrix_.SetColumn(c, index->required_values_[c]);
     }
     index->has_reverse_ = true;
     TIND_OBS_GAUGE_SET("index/m_r_fill_ratio",
@@ -140,6 +142,46 @@ Result<std::unique_ptr<TindIndex>> TindIndex::Build(
   }
   TIND_OBS_GAUGE_SET("index/memory_bytes", index->MemoryUsageBytes());
   return index;
+}
+
+void TindIndex::BuildReverseCaches() {
+  const size_t n_attrs = dataset_->size();
+  required_values_.clear();
+  required_values_.reserve(n_attrs);
+  for (size_t c = 0; c < n_attrs; ++c) {
+    required_values_.push_back(ComputeRequiredValues(
+        dataset_->attribute(static_cast<AttributeId>(c)), *options_.weight,
+        options_.epsilon));
+  }
+  // Minimum version-subinterval weights (Figure 6) for the slices reverse
+  // queries probe. The weight depends only on (attribute, slice, build w),
+  // never on the query, so it is a build-time table; the summation order
+  // matches the on-the-fly loop below exactly, which keeps cached and
+  // uncached paths bit-identical.
+  const size_t slices_to_use =
+      std::min(options_.reverse_slices, slice_intervals_.size());
+  reverse_min_weights_.assign(slices_to_use, {});
+  for (size_t j = 0; j < slices_to_use; ++j) {
+    const Interval expanded =
+        dataset_->domain().Clamp(slice_intervals_[j].Expanded(options_.delta));
+    std::vector<double>& row = reverse_min_weights_[j];
+    row.assign(n_attrs, -1.0);
+    for (size_t c = 0; c < n_attrs; ++c) {
+      const AttributeHistory& a =
+          dataset_->attribute(static_cast<AttributeId>(c));
+      const auto [first, last] = a.VersionRangeInInterval(expanded);
+      double min_w = -1;
+      for (int64_t v = first; v <= last; ++v) {
+        const Interval validity = a.ValidityInterval(v);
+        const Interval clipped{std::max(validity.begin, expanded.begin),
+                               std::min(validity.end, expanded.end)};
+        if (clipped.begin > clipped.end) continue;
+        const double w = options_.weight->Sum(clipped);
+        if (min_w < 0 || w < min_w) min_w = w;
+      }
+      row[c] = min_w;
+    }
+  }
 }
 
 void TindIndex::PruneWithSlices(const AttributeHistory& query,
@@ -199,6 +241,11 @@ void TindIndex::PruneReverseWithSlices(const AttributeHistory& query,
   size_t slice_probes = 0;
   size_t violation_updates = 0;
   size_t pruned = 0;
+  size_t min_weights_cached = 0;
+  // The build-time minimum-weight table is only valid for the weight object
+  // the index was built with; other weights fall back to on-the-fly sums
+  // (bit-identical either way, since the cache was filled by the same loop).
+  const bool weights_cached = params.weight == options_.weight;
   const size_t slices_to_use =
       std::min(options_.reverse_slices, slice_matrices_.size());
   for (size_t j = 0; j < slices_to_use; ++j) {
@@ -223,18 +270,22 @@ void TindIndex::PruneReverseWithSlices(const AttributeHistory& query,
     partial.ForEachSet([&](size_t c) {
       // The Bloom filters cannot reveal *which* version of A violated, so
       // only the minimum version-subinterval weight may be added (Figure 6).
-      const AttributeHistory& a =
-          dataset_->attribute(static_cast<AttributeId>(c));
-      const auto [first, last] = a.VersionRangeInInterval(expanded);
-      if (last < first) return;
       double min_weight = -1;
-      for (int64_t v = first; v <= last; ++v) {
-        const Interval validity = a.ValidityInterval(v);
-        const Interval clipped{std::max(validity.begin, expanded.begin),
-                               std::min(validity.end, expanded.end)};
-        if (clipped.begin > clipped.end) continue;
-        const double w = params.weight->Sum(clipped);
-        if (min_weight < 0 || w < min_weight) min_weight = w;
+      if (weights_cached && j < reverse_min_weights_.size()) {
+        min_weight = reverse_min_weights_[j][c];
+        ++min_weights_cached;
+      } else {
+        const AttributeHistory& a =
+            dataset_->attribute(static_cast<AttributeId>(c));
+        const auto [first, last] = a.VersionRangeInInterval(expanded);
+        for (int64_t v = first; v <= last; ++v) {
+          const Interval validity = a.ValidityInterval(v);
+          const Interval clipped{std::max(validity.begin, expanded.begin),
+                                 std::min(validity.end, expanded.end)};
+          if (clipped.begin > clipped.end) continue;
+          const double w = params.weight->Sum(clipped);
+          if (min_weight < 0 || w < min_weight) min_weight = w;
+        }
       }
       if (min_weight <= 0) return;
       double& vio = violations[static_cast<AttributeId>(c)];
@@ -249,6 +300,7 @@ void TindIndex::PruneReverseWithSlices(const AttributeHistory& query,
   TIND_OBS_COUNTER_ADD("reverse/slice_probes", slice_probes);
   TIND_OBS_COUNTER_ADD("reverse/partial_violation_updates", violation_updates);
   TIND_OBS_COUNTER_ADD("reverse/slice_pruned_candidates", pruned);
+  TIND_OBS_COUNTER_ADD("reverse/min_weights_cached", min_weights_cached);
 }
 
 std::vector<AttributeId> TindIndex::ValidateCandidates(
@@ -395,12 +447,12 @@ std::vector<AttributeId> TindIndex::ReverseSearch(const AttributeHistory& query,
   {
     TIND_OBS_SCOPED_TIMER("exact_recheck");
     if (prefilter_usable) {
+      // The recheck always evaluates at the build (ε, w) — exactly what
+      // required_values_ holds (it is populated whenever has_reverse_ is).
+      assert(required_values_.size() == dataset_->size());
       const ValueSet& query_all = query.AllValues();
       candidates.ForEachSet([&](size_t c) {
-        const ValueSet required = ComputeRequiredValues(
-            dataset_->attribute(static_cast<AttributeId>(c)), *options_.weight,
-            options_.epsilon);
-        if (!required.IsSubsetOf(query_all)) candidates.Clear(c);
+        if (!required_values_[c].IsSubsetOf(query_all)) candidates.Clear(c);
       });
     }
   }
@@ -545,7 +597,17 @@ void TindIndex::BatchPruneReverseWithSlices(
     const Interval expanded =
         dataset_->domain().Clamp(interval.Expanded(options_.delta));
     std::fill(min_weight_ready.begin(), min_weight_ready.end(), 0);
+    // Prefer the build-time table (valid only for the build weight object);
+    // the per-call scratch cache remains the fallback for other weights.
+    const std::vector<double>* build_cache =
+        (params.weight == options_.weight && j < reverse_min_weights_.size())
+            ? &reverse_min_weights_[j]
+            : nullptr;
     const auto min_weight_for = [&](size_t c) {
+      if (build_cache != nullptr) {
+        ++min_weights_reused;
+        return (*build_cache)[c];
+      }
       if (min_weight_ready[c]) {
         ++min_weights_reused;
         return min_weight[c];
@@ -736,27 +798,17 @@ void TindIndex::BatchReverseGroup(const AttributeHistory* const* queries,
   // test it against every query of the group.
   if (prefilter_usable) {
     TIND_OBS_SCOPED_TIMER("exact_recheck");
-    std::unordered_map<size_t, ValueSet> required_cache;
+    // R_{ε,w}(A) at the build parameters is the required_values_ table built
+    // (or snapshot-restored) with the index — no per-call recomputation.
+    assert(required_values_.size() == dataset_->size());
     size_t required_reused = 0;
     for (size_t b = 0; b < n; ++b) {
       const ValueSet& query_all = queries[b]->AllValues();
       candidates[b].ForEachSet([&](size_t c) {
-        auto it = required_cache.find(c);
-        if (it == required_cache.end()) {
-          it = required_cache
-                   .emplace(c, ComputeRequiredValues(
-                                   dataset_->attribute(
-                                       static_cast<AttributeId>(c)),
-                                   *options_.weight, options_.epsilon))
-                   .first;
-        } else {
-          ++required_reused;
-        }
-        if (!it->second.IsSubsetOf(query_all)) candidates[b].Clear(c);
+        ++required_reused;
+        if (!required_values_[c].IsSubsetOf(query_all)) candidates[b].Clear(c);
       });
     }
-    TIND_OBS_COUNTER_ADD("index/batch_required_values_computed",
-                         required_cache.size());
     TIND_OBS_COUNTER_ADD("index/batch_required_values_reused", required_reused);
   }
   for (size_t b = 0; b < n; ++b) {

@@ -57,6 +57,24 @@ struct TindIndexOptions {
   MemoryBudget* memory = nullptr;
 };
 
+/// Load-time configuration for TindIndex::LoadSnapshot (src/snapshot).
+struct SnapshotLoadOptions {
+  /// Weight function the index was built with; not owned, must outlive the
+  /// index. LoadSnapshot rejects the snapshot (FailedPrecondition) when its
+  /// ToString() differs from the weight description in the manifest.
+  const WeightFunction* weight = nullptr;
+  /// Optional byte accounting; the mapped matrix bytes are reserved against
+  /// it exactly as Build() reserves heap bytes.
+  MemoryBudget* memory = nullptr;
+  /// Verify the CRC-32 of every section (including the large matrix planes)
+  /// before trusting the file. Cheap relative to a rebuild; disable only for
+  /// repeated loads of an already-verified artifact.
+  bool verify_checksums = true;
+  /// Verify the manifest's corpus digest against `dataset`. Disable only
+  /// when the caller has already established corpus identity.
+  bool verify_corpus_digest = true;
+};
+
 /// Per-query diagnostics (candidate funnel + timing).
 struct QueryStats {
   size_t initial_candidates = 0;  ///< After M_T (or M_R) pruning.
@@ -133,6 +151,31 @@ class TindIndex {
   /// Total bytes held in Bloom matrices ((k+1 [+1]) * m * |D| / 8).
   size_t MemoryUsageBytes() const;
 
+  /// Persists the fully built index as a versioned binary snapshot at
+  /// `path` (atomic temp+fsync+rename, per-section CRC-32): bit planes,
+  /// slice intervals, required-value/min-weight caches, dictionary, time
+  /// domain, and attribute metadata, under a self-describing manifest.
+  ///
+  /// Defined in the tind_snapshot library (src/snapshot/); link it to use.
+  Status SaveSnapshot(const std::string& path) const;
+
+  /// Reloads a SaveSnapshot() artifact via mmap with zero-copy Bloom-matrix
+  /// views: the mapped planes feed the SIMD/batch kernels directly, so a
+  /// load costs file mapping plus integrity checks instead of a rebuild.
+  /// `dataset` must be the corpus the snapshot was built over (the exact
+  /// validation stages read full version histories, which the snapshot does
+  /// not duplicate); a manifest digest mismatch is a FailedPrecondition.
+  /// The loaded index answers Search/ReverseSearch/BatchSearch bit-
+  /// identically (results and QueryStats) to the index Build() returned.
+  ///
+  /// Defined in the tind_snapshot library (src/snapshot/); link it to use.
+  static Result<std::unique_ptr<TindIndex>> LoadSnapshot(
+      const Dataset& dataset, const std::string& path,
+      const SnapshotLoadOptions& options);
+
+  /// True iff the Bloom planes are borrowed from a mapped snapshot.
+  bool loaded_from_snapshot() const { return snapshot_storage_ != nullptr; }
+
  private:
   TindIndex() = default;
 
@@ -191,6 +234,12 @@ class TindIndex {
                                    size_t n, const TindParams& params,
                                    BitVector* candidates) const;
 
+  /// Populates required_values_ / reverse_min_weights_ from the dataset and
+  /// build parameters. Shared by Build() and (indirectly, for validation in
+  /// tests) the snapshot loader, which normally restores the caches from the
+  /// file instead of recomputing them.
+  void BuildReverseCaches();
+
   const Dataset* dataset_ = nullptr;
   TindIndexOptions options_;
   /// Bytes accounted against options_.memory; returned on destruction.
@@ -200,6 +249,22 @@ class TindIndex {
   std::vector<BloomMatrix> slice_matrices_;  ///< M_{I_j} over A[I_j^δ].
   BloomMatrix reverse_matrix_;               ///< M_R over R_{ε,w}(A).
   bool has_reverse_ = false;
+
+  /// R_{ε,w}(A) per attribute at the build (ε, w) — the column sets of M_R.
+  /// Reverse stage-3 rechecks always evaluate at the build parameters, so
+  /// this cache replaces a ComputeRequiredValues call per candidate per
+  /// query. Empty when has_reverse_ is false. Persisted in snapshots.
+  std::vector<ValueSet> required_values_;
+  /// Minimum version-subinterval weight (Figure 6) per reverse slice j and
+  /// attribute, under the build weight; -1 when the attribute has no version
+  /// in the δ-expanded slice. Valid for queries whose params.weight is the
+  /// build weight object; other weights fall back to on-the-fly computation.
+  /// Persisted in snapshots as exact double bit patterns.
+  std::vector<std::vector<double>> reverse_min_weights_;
+
+  /// Keeps the mmap'd snapshot alive for the index's lifetime (type-erased
+  /// so index.h does not depend on the snapshot library's headers).
+  std::shared_ptr<void> snapshot_storage_;
 };
 
 }  // namespace tind

@@ -7,11 +7,7 @@
 #include <sstream>
 #include <vector>
 
-#if defined(__unix__) || defined(__APPLE__)
-#include <fcntl.h>
-#include <unistd.h>
-#endif
-
+#include "common/atomic_file.h"
 #include "common/crc32.h"
 #include "common/fault_injection.h"
 #include "obs/metrics.h"
@@ -318,40 +314,11 @@ Status WriteDatasetFile(const Dataset& dataset, const GroundTruth* ground_truth,
   if (TIND_FAULT_POINT("corpus_io/write")) {
     return Status::IOError("injected fault: corpus_io/write (" + path + ")");
   }
-  // Atomic publish: write a sibling temp file, fsync it, then rename over
-  // the destination, so a crashed writer never leaves a half-written corpus
-  // under the real name.
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream file(tmp, std::ios::trunc);
-    if (!file.is_open()) return Status::IOError("cannot open " + tmp);
-    Status written = WriteDataset(dataset, ground_truth, file);
-    file.flush();
-    if (written.ok() && !file.good()) {
-      written = Status::IOError("write failed on " + tmp);
-    }
-    if (!written.ok()) {
-      file.close();
-      std::remove(tmp.c_str());
-      return written;
-    }
-  }
-#if defined(__unix__) || defined(__APPLE__)
-  const int fd = ::open(tmp.c_str(), O_WRONLY);
-  if (fd < 0 || ::fsync(fd) != 0) {
-    const std::string err = std::strerror(errno);
-    if (fd >= 0) ::close(fd);
-    std::remove(tmp.c_str());
-    return Status::IOError("fsync " + tmp + " failed: " + err);
-  }
-  ::close(fd);
-#endif
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    const std::string err = std::strerror(errno);
-    std::remove(tmp.c_str());
-    return Status::IOError("rename " + tmp + " -> " + path + " failed: " + err);
-  }
-  return Status::OK();
+  // Atomic publish (common/atomic_file.h): a crashed writer never leaves a
+  // half-written corpus under the real name.
+  return WriteFileAtomic(path, [&](std::ostream& os) {
+    return WriteDataset(dataset, ground_truth, os);
+  });
 }
 
 Result<LoadedDataset> ReadDataset(std::istream& is,

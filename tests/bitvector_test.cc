@@ -218,6 +218,56 @@ TEST(BitVectorPropertyTest, MatchesReferenceImplementation) {
   EXPECT_EQ(v.Count(), ref_count);
 }
 
+TEST(BitVectorBorrowTest, BorrowedViewReadsExternalWords) {
+  // Borrow an owned vector's storage: same aligned layout the snapshot
+  // loader sees over mmap'd planes.
+  BitVector owned(130);
+  owned.Set(0);
+  owned.Set(64);
+  owned.Set(129);
+  const BitVector view = BitVector::Borrow(owned.size(), owned.words().data());
+  EXPECT_TRUE(view.borrowed());
+  EXPECT_FALSE(owned.borrowed());
+  EXPECT_EQ(view.size(), owned.size());
+  EXPECT_EQ(view.padded_words(), owned.padded_words());
+  EXPECT_TRUE(view.Get(0));
+  EXPECT_TRUE(view.Get(64));
+  EXPECT_TRUE(view.Get(129));
+  EXPECT_FALSE(view.Get(1));
+  EXPECT_EQ(view.Count(), 3u);
+  EXPECT_EQ(view.ToIndexVector(), owned.ToIndexVector());
+  EXPECT_TRUE(view.PaddingIsZero());
+  // Equality is content-based, not storage-based.
+  EXPECT_EQ(view, owned);
+  // The view tracks writes through the owner (it aliases, not copies).
+  owned.Set(1);
+  EXPECT_TRUE(view.Get(1));
+}
+
+TEST(BitVectorBorrowTest, BorrowedViewWorksAsBinaryOperand) {
+  BitVector a(200), b(200);
+  for (size_t i = 0; i < 200; i += 3) a.Set(i);
+  for (size_t i = 0; i < 200; i += 5) b.Set(i);
+  const BitVector view = BitVector::Borrow(b.size(), b.words().data());
+
+  BitVector anded = a;
+  anded.And(view);
+  BitVector expected = a;
+  expected.And(b);
+  EXPECT_EQ(anded, expected);
+  EXPECT_TRUE(view.IsSubsetOf(BitVector(200, true)));
+  EXPECT_TRUE(view.Intersects(a));  // Both contain 0.
+}
+
+TEST(BitVectorBorrowTest, CopyOfBorrowedViewStillBorrows) {
+  BitVector owned(77, true);
+  const BitVector view = BitVector::Borrow(owned.size(), owned.words().data());
+  const BitVector copy = view;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_TRUE(copy.borrowed());
+  EXPECT_EQ(copy.Count(), 77u);
+  EXPECT_EQ(copy.words().data(), owned.words().data());
+}
+
 TEST(BitVectorPropertyTest, DeMorganHolds) {
   Rng rng(123);
   const size_t n = 190;

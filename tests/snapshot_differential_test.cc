@@ -1,0 +1,155 @@
+/// Build-vs-load differential: a snapshot-loaded TindIndex must answer
+/// Search / ReverseSearch / BatchSearch / BatchReverseSearch with results
+/// AND QueryStats (everything but wall time) identical to the index Build()
+/// returned — across an (ε, δ, weight) grid that exercises every pruning
+/// stage, on every available SIMD backend including forced scalar. The
+/// loaded index probes mmap'd borrowed planes while the built one probes
+/// heap planes, so this is the proof that the zero-copy path is not merely
+/// approximately right.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/simd.h"
+#include "temporal/weights.h"
+#include "tind/index.h"
+#include "wiki/generator.h"
+
+namespace tind {
+namespace {
+
+void ExpectSameStats(const QueryStats& loaded, const QueryStats& built,
+                     const std::string& context) {
+  EXPECT_EQ(loaded.initial_candidates, built.initial_candidates) << context;
+  EXPECT_EQ(loaded.after_slices, built.after_slices) << context;
+  EXPECT_EQ(loaded.after_exact_check, built.after_exact_check) << context;
+  EXPECT_EQ(loaded.num_results, built.num_results) << context;
+  EXPECT_EQ(loaded.validations, built.validations) << context;
+  EXPECT_EQ(loaded.used_slices, built.used_slices) << context;
+  EXPECT_EQ(loaded.used_prefilter, built.used_prefilter) << context;
+}
+
+struct GridPoint {
+  double epsilon;
+  int64_t delta;
+  bool decay_weight;
+};
+
+// Strict; the build operating point; beyond build ε/δ (slices + M_R are
+// skipped — the skip decision itself must round-trip).
+constexpr GridPoint kGrid[] = {
+    {0.0, 0, false},
+    {3.0, 5, false},
+    {6.0, 9, true},
+};
+
+class SnapshotDifferentialTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void TearDown() override { simd::ClearForcedBackend(); }
+};
+
+TEST_P(SnapshotDifferentialTest, LoadedIndexIsBitIdentical) {
+  const uint64_t seed = GetParam();
+  wiki::GeneratorOptions gen;
+  gen.seed = seed;
+  gen.num_days = 150;
+  gen.num_families = 3;
+  gen.num_noise_attributes = 18;
+  gen.num_drifter_attributes = 8;
+  gen.num_catchall_attributes = 2;
+  gen.shared_vocabulary = 120;
+  gen.entities_per_family_pool = 80;
+  auto corpus = wiki::WikiGenerator(gen).GenerateDataset();
+  ASSERT_TRUE(corpus.ok());
+  const Dataset& dataset = corpus->dataset;
+  const int64_t n_days = dataset.domain().num_timestamps();
+  const ConstantWeight const_w(n_days);
+  const ExponentialDecayWeight decay_w(n_days, 0.98);
+
+  TindIndexOptions opts;
+  opts.bloom_bits = 512;
+  opts.num_hashes = 2;
+  opts.num_slices = 6;
+  opts.delta = 5;
+  opts.epsilon = 3.0;
+  opts.build_reverse_index = true;
+  opts.reverse_slices = 2;
+  opts.weight = &const_w;
+  opts.seed = seed * 13 + 1;
+  auto built = TindIndex::Build(dataset, opts);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+
+  const std::string path = ::testing::TempDir() + "/tind_snapshot_diff_" +
+                           std::to_string(seed) + ".tsnap";
+  ASSERT_TRUE((*built)->SaveSnapshot(path).ok());
+  SnapshotLoadOptions load_options;
+  load_options.weight = &const_w;
+  auto loaded = TindIndex::LoadSnapshot(dataset, path, load_options);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  std::remove(path.c_str());
+  ASSERT_TRUE((*loaded)->loaded_from_snapshot());
+
+  const size_t n_attrs = dataset.size();
+  std::vector<const AttributeHistory*> batch;
+  for (size_t q = 0; q < n_attrs; ++q) {
+    batch.push_back(&dataset.attribute(static_cast<AttributeId>(q)));
+  }
+
+  for (const simd::Backend backend : simd::AvailableBackends()) {
+    ASSERT_TRUE(simd::ForceBackend(backend));
+    const std::string backend_name(simd::BackendName(backend));
+    for (const GridPoint& point : kGrid) {
+      const WeightFunction* w =
+          point.decay_weight ? static_cast<const WeightFunction*>(&decay_w)
+                             : &const_w;
+      const TindParams params{point.epsilon, point.delta, w};
+      const std::string grid_ctx = backend_name + " eps=" +
+                                   std::to_string(point.epsilon) +
+                                   " delta=" + std::to_string(point.delta);
+
+      for (size_t q = 0; q < n_attrs; ++q) {
+        const AttributeHistory& query =
+            dataset.attribute(static_cast<AttributeId>(q));
+        const std::string ctx = grid_ctx + " q=" + std::to_string(q);
+        QueryStats bs, ls;
+        EXPECT_EQ((*loaded)->Search(query, params, &ls),
+                  (*built)->Search(query, params, &bs))
+            << "forward " << ctx;
+        ExpectSameStats(ls, bs, "forward " + ctx);
+        QueryStats brs, lrs;
+        EXPECT_EQ((*loaded)->ReverseSearch(query, params, &lrs),
+                  (*built)->ReverseSearch(query, params, &brs))
+            << "reverse " << ctx;
+        ExpectSameStats(lrs, brs, "reverse " + ctx);
+      }
+
+      std::vector<QueryStats> built_stats, loaded_stats;
+      EXPECT_EQ((*loaded)->BatchSearch(batch, params, &loaded_stats),
+                (*built)->BatchSearch(batch, params, &built_stats))
+          << "batch forward " << grid_ctx;
+      ASSERT_EQ(loaded_stats.size(), built_stats.size());
+      for (size_t q = 0; q < built_stats.size(); ++q) {
+        ExpectSameStats(loaded_stats[q], built_stats[q],
+                        "batch forward " + grid_ctx + " q=" + std::to_string(q));
+      }
+      EXPECT_EQ((*loaded)->BatchReverseSearch(batch, params, &loaded_stats),
+                (*built)->BatchReverseSearch(batch, params, &built_stats))
+          << "batch reverse " << grid_ctx;
+      ASSERT_EQ(loaded_stats.size(), built_stats.size());
+      for (size_t q = 0; q < built_stats.size(); ++q) {
+        ExpectSameStats(loaded_stats[q], built_stats[q],
+                        "batch reverse " + grid_ctx + " q=" + std::to_string(q));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotDifferentialTest,
+                         ::testing::Values(3u, 11u));
+
+}  // namespace
+}  // namespace tind

@@ -1,0 +1,371 @@
+/// Snapshot round-trip, manifest, and corruption tests (src/snapshot/).
+///
+/// The corruption battery is the load-bearing half: a snapshot is trusted
+/// storage feeding zero-copy kernel views, so every malformed input — short
+/// files, truncation at each section boundary, flipped payload bytes,
+/// cross-endian or future-version headers — must surface as a *typed* error
+/// (NotFound / IOError / InvalidArgument / FailedPrecondition), never a
+/// crash or a silently wrong index.
+
+#include "snapshot/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "snapshot/snapshot_format.h"
+#include "temporal/weights.h"
+#include "tind/index.h"
+#include "wiki/generator.h"
+
+namespace tind {
+namespace {
+
+wiki::GeneratedDataset MakeCorpus(uint64_t seed) {
+  wiki::GeneratorOptions gen;
+  gen.seed = seed;
+  gen.num_days = 120;
+  gen.num_families = 3;
+  gen.num_noise_attributes = 14;
+  gen.num_drifter_attributes = 6;
+  gen.shared_vocabulary = 100;
+  gen.entities_per_family_pool = 60;
+  auto generated = wiki::WikiGenerator(gen).GenerateDataset();
+  if (!generated.ok()) std::abort();
+  return std::move(*generated);
+}
+
+TindIndexOptions SmallOptions(const WeightFunction* weight) {
+  TindIndexOptions opts;
+  opts.bloom_bits = 256;
+  opts.num_hashes = 2;
+  opts.num_slices = 4;
+  opts.delta = 5;
+  opts.epsilon = 3.0;
+  opts.build_reverse_index = true;
+  opts.reverse_slices = 2;
+  opts.weight = weight;
+  return opts;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(is),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    corpus_ = MakeCorpus(17);
+    weight_ = std::make_unique<ConstantWeight>(
+        corpus_.dataset.domain().num_timestamps());
+    auto built = TindIndex::Build(corpus_.dataset, SmallOptions(weight_.get()));
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    index_ = std::move(*built);
+    path_ = ::testing::TempDir() + "/tind_snapshot_test.tsnap";
+    std::remove(path_.c_str());
+  }
+
+  void TearDown() override {
+    std::remove(path_.c_str());
+    FaultInjector::Global().Reset();
+  }
+
+  SnapshotLoadOptions LoadOptions() const {
+    SnapshotLoadOptions o;
+    o.weight = weight_.get();
+    return o;
+  }
+
+  wiki::GeneratedDataset corpus_;
+  std::unique_ptr<ConstantWeight> weight_;
+  std::unique_ptr<TindIndex> index_;
+  std::string path_;
+};
+
+TEST_F(SnapshotTest, RoundTripMatchesBuiltIndex) {
+  ASSERT_TRUE(index_->SaveSnapshot(path_).ok());
+  auto loaded = TindIndex::LoadSnapshot(corpus_.dataset, path_, LoadOptions());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE((*loaded)->loaded_from_snapshot());
+  EXPECT_FALSE(index_->loaded_from_snapshot());
+  EXPECT_EQ((*loaded)->MemoryUsageBytes(), index_->MemoryUsageBytes());
+  EXPECT_EQ((*loaded)->slice_intervals(), index_->slice_intervals());
+
+  const TindParams params{3.0, 5, weight_.get()};
+  for (size_t q = 0; q < corpus_.dataset.size(); ++q) {
+    const AttributeHistory& query =
+        corpus_.dataset.attribute(static_cast<AttributeId>(q));
+    EXPECT_EQ(index_->Search(query, params), (*loaded)->Search(query, params))
+        << "forward query " << q;
+    EXPECT_EQ(index_->ReverseSearch(query, params),
+              (*loaded)->ReverseSearch(query, params))
+        << "reverse query " << q;
+  }
+}
+
+TEST_F(SnapshotTest, SaveWithoutReverseIndexRoundTrips) {
+  TindIndexOptions opts = SmallOptions(weight_.get());
+  opts.build_reverse_index = false;
+  auto built = TindIndex::Build(corpus_.dataset, opts);
+  ASSERT_TRUE(built.ok());
+  ASSERT_TRUE((*built)->SaveSnapshot(path_).ok());
+
+  auto info = snapshot::ReadSnapshotInfo(path_);
+  ASSERT_TRUE(info.ok());
+  EXPECT_FALSE(info->has_reverse);
+
+  auto loaded = TindIndex::LoadSnapshot(corpus_.dataset, path_, LoadOptions());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const TindParams params{3.0, 5, weight_.get()};
+  const AttributeHistory& query = corpus_.dataset.attribute(0);
+  EXPECT_EQ((*built)->Search(query, params), (*loaded)->Search(query, params));
+}
+
+TEST_F(SnapshotTest, InfoReportsManifest) {
+  ASSERT_TRUE(index_->SaveSnapshot(path_).ok());
+  auto info = snapshot::ReadSnapshotInfo(path_);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->format_version, snapshot::kFormatVersion);
+  EXPECT_TRUE(info->has_reverse);
+  EXPECT_EQ(info->num_attributes, corpus_.dataset.size());
+  EXPECT_EQ(info->num_timestamps, corpus_.dataset.domain().num_timestamps());
+  EXPECT_EQ(info->dictionary_size, corpus_.dataset.dictionary().size());
+  EXPECT_EQ(info->options.bloom_bits, 256u);
+  EXPECT_EQ(info->options.num_hashes, 2u);
+  EXPECT_EQ(info->options.num_slices, 4u);
+  EXPECT_EQ(info->options.delta, 5);
+  EXPECT_DOUBLE_EQ(info->options.epsilon, 3.0);
+  EXPECT_EQ(info->weight_description, weight_->ToString());
+  EXPECT_FALSE(info->producer.empty());
+  EXPECT_EQ(info->corpus_digest,
+            snapshot::ComputeCorpusDigest(corpus_.dataset));
+  // Manifest, dictionary, meta, intervals, caches, M_T, 4 slices, M_R.
+  EXPECT_EQ(info->sections.size(), 6u + 1u + 4u + 1u);
+  EXPECT_TRUE(snapshot::VerifySnapshot(path_).ok());
+}
+
+TEST_F(SnapshotTest, MissingFileIsNotFound) {
+  auto loaded = TindIndex::LoadSnapshot(corpus_.dataset,
+                                        path_ + ".does_not_exist",
+                                        LoadOptions());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsNotFound()) << loaded.status().ToString();
+}
+
+TEST_F(SnapshotTest, NullWeightIsInvalidArgument) {
+  ASSERT_TRUE(index_->SaveSnapshot(path_).ok());
+  SnapshotLoadOptions options;
+  auto loaded = TindIndex::LoadSnapshot(corpus_.dataset, path_, options);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsInvalidArgument());
+}
+
+TEST_F(SnapshotTest, WrongWeightIsFailedPrecondition) {
+  ASSERT_TRUE(index_->SaveSnapshot(path_).ok());
+  const ExponentialDecayWeight other(
+      corpus_.dataset.domain().num_timestamps(), 0.98);
+  SnapshotLoadOptions options;
+  options.weight = &other;
+  auto loaded = TindIndex::LoadSnapshot(corpus_.dataset, path_, options);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsFailedPrecondition())
+      << loaded.status().ToString();
+}
+
+TEST_F(SnapshotTest, WrongCorpusIsFailedPrecondition) {
+  ASSERT_TRUE(index_->SaveSnapshot(path_).ok());
+  // Same generator shape, different seed: same domain length, different
+  // content — only the digest can tell them apart.
+  wiki::GeneratedDataset other = MakeCorpus(18);
+  SnapshotLoadOptions options = LoadOptions();
+  auto loaded = TindIndex::LoadSnapshot(other.dataset, path_, options);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsFailedPrecondition())
+      << loaded.status().ToString();
+
+  // With digest verification off, the cheap shape checks still gate: a
+  // different-sized corpus is rejected...
+  options.verify_corpus_digest = false;
+  wiki::GeneratorOptions small;
+  small.seed = 5;
+  small.num_days = 120;
+  small.num_families = 1;
+  small.num_noise_attributes = 3;
+  small.num_drifter_attributes = 0;
+  auto tiny = wiki::WikiGenerator(small).GenerateDataset();
+  ASSERT_TRUE(tiny.ok());
+  auto shape_mismatch =
+      TindIndex::LoadSnapshot(tiny->dataset, path_, options);
+  ASSERT_FALSE(shape_mismatch.ok());
+  EXPECT_TRUE(shape_mismatch.status().IsFailedPrecondition());
+}
+
+TEST_F(SnapshotTest, InjectedWriteFaultLeavesExistingSnapshotIntact) {
+  ASSERT_TRUE(index_->SaveSnapshot(path_).ok());
+  const std::string before = ReadFileBytes(path_);
+
+  ASSERT_TRUE(FaultInjector::Global().Configure("snapshot/write=1", 7).ok());
+  const Status faulted = index_->SaveSnapshot(path_);
+  FaultInjector::Global().Reset();
+  ASSERT_FALSE(faulted.ok());
+  EXPECT_TRUE(faulted.IsIOError()) << faulted.ToString();
+
+  EXPECT_EQ(ReadFileBytes(path_), before);
+  EXPECT_TRUE(snapshot::VerifySnapshot(path_).ok());
+}
+
+/// Every prefix that ends exactly at a section boundary (plus the header and
+/// table boundaries) must be rejected with a typed error.
+TEST_F(SnapshotTest, TruncationAtEverySectionBoundaryIsTyped) {
+  ASSERT_TRUE(index_->SaveSnapshot(path_).ok());
+  const std::string bytes = ReadFileBytes(path_);
+  auto info = snapshot::ReadSnapshotInfo(path_);
+  ASSERT_TRUE(info.ok());
+
+  std::vector<size_t> cuts = {0, 10, sizeof(snapshot::FileHeader)};
+  for (const snapshot::SectionInfo& s : info->sections) {
+    cuts.push_back(s.offset);
+    cuts.push_back(s.offset + s.size / 2);
+    cuts.push_back(s.offset + s.size);
+  }
+  const std::string truncated_path = path_ + ".trunc";
+  for (const size_t cut : cuts) {
+    if (cut >= bytes.size()) continue;
+    WriteFileBytes(truncated_path, bytes.substr(0, cut));
+    auto loaded =
+        TindIndex::LoadSnapshot(corpus_.dataset, truncated_path, LoadOptions());
+    ASSERT_FALSE(loaded.ok()) << "cut at " << cut << " was accepted";
+    EXPECT_TRUE(loaded.status().IsIOError() ||
+                loaded.status().IsInvalidArgument())
+        << "cut at " << cut << ": " << loaded.status().ToString();
+    EXPECT_FALSE(snapshot::VerifySnapshot(truncated_path).ok())
+        << "cut at " << cut;
+  }
+  std::remove(truncated_path.c_str());
+}
+
+/// One flipped byte in the middle of every section must fail the CRC pass.
+TEST_F(SnapshotTest, FlippedByteInEverySectionFailsChecksum) {
+  ASSERT_TRUE(index_->SaveSnapshot(path_).ok());
+  const std::string bytes = ReadFileBytes(path_);
+  auto info = snapshot::ReadSnapshotInfo(path_);
+  ASSERT_TRUE(info.ok());
+
+  const std::string corrupt_path = path_ + ".flip";
+  for (const snapshot::SectionInfo& s : info->sections) {
+    ASSERT_GT(s.size, 0u);
+    std::string corrupt = bytes;
+    corrupt[s.offset + s.size / 2] ^= 0x40;
+    WriteFileBytes(corrupt_path, corrupt);
+    auto loaded =
+        TindIndex::LoadSnapshot(corpus_.dataset, corrupt_path, LoadOptions());
+    ASSERT_FALSE(loaded.ok()) << "flip in " << s.name << " was accepted";
+    EXPECT_TRUE(loaded.status().IsIOError() ||
+                loaded.status().IsInvalidArgument())
+        << s.name << ": " << loaded.status().ToString();
+    EXPECT_FALSE(snapshot::VerifySnapshot(corrupt_path).ok()) << s.name;
+  }
+  std::remove(corrupt_path.c_str());
+}
+
+/// Patches one FileHeader field, fixes up the header CRC so only that field
+/// is wrong, and expects the given rejection.
+void ExpectHeaderFieldRejected(const std::string& base_bytes,
+                               const std::string& path, size_t field_offset,
+                               uint32_t new_value, bool want_precondition,
+                               const Dataset& dataset,
+                               const SnapshotLoadOptions& options) {
+  std::string corrupt = base_bytes;
+  std::memcpy(corrupt.data() + field_offset, &new_value, sizeof(new_value));
+  snapshot::FileHeader header;
+  std::memcpy(&header, corrupt.data(), sizeof(header));
+  header.header_crc = snapshot::HeaderCrc(header);
+  std::memcpy(corrupt.data(), &header, sizeof(header));
+  WriteFileBytes(path, corrupt);
+
+  auto loaded = TindIndex::LoadSnapshot(dataset, path, options);
+  ASSERT_FALSE(loaded.ok());
+  if (want_precondition) {
+    EXPECT_TRUE(loaded.status().IsFailedPrecondition())
+        << loaded.status().ToString();
+  } else {
+    EXPECT_TRUE(loaded.status().IsIOError()) << loaded.status().ToString();
+  }
+}
+
+TEST_F(SnapshotTest, IncompatibleHeadersAreFailedPrecondition) {
+  ASSERT_TRUE(index_->SaveSnapshot(path_).ok());
+  const std::string bytes = ReadFileBytes(path_);
+  const std::string patched = path_ + ".patched";
+
+  // Offsets within FileHeader: magic 0, version 8, endian 12, word_bits 16.
+  ExpectHeaderFieldRejected(bytes, patched, 8, snapshot::kFormatVersion + 1,
+                            /*want_precondition=*/true, corpus_.dataset,
+                            LoadOptions());
+  ExpectHeaderFieldRejected(bytes, patched, 12, 0x04030201,
+                            /*want_precondition=*/true, corpus_.dataset,
+                            LoadOptions());
+  ExpectHeaderFieldRejected(bytes, patched, 16, 32,
+                            /*want_precondition=*/true, corpus_.dataset,
+                            LoadOptions());
+
+  // A wrong magic (not a snapshot at all) is an IOError, as is a header
+  // whose CRC does not match its bytes.
+  std::string bad_magic = bytes;
+  bad_magic[0] ^= 0xFF;
+  WriteFileBytes(patched, bad_magic);
+  auto loaded = TindIndex::LoadSnapshot(corpus_.dataset, patched, LoadOptions());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsIOError());
+
+  std::string bad_crc = bytes;
+  bad_crc[9] ^= 0x01;  // Version byte, CRC left stale.
+  WriteFileBytes(patched, bad_crc);
+  loaded = TindIndex::LoadSnapshot(corpus_.dataset, patched, LoadOptions());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsIOError());
+
+  std::remove(patched.c_str());
+}
+
+TEST_F(SnapshotTest, ChecksumVerificationCanBeSkipped) {
+  ASSERT_TRUE(index_->SaveSnapshot(path_).ok());
+  SnapshotLoadOptions options = LoadOptions();
+  options.verify_checksums = false;
+  auto loaded = TindIndex::LoadSnapshot(corpus_.dataset, path_, options);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const TindParams params{3.0, 5, weight_.get()};
+  const AttributeHistory& query = corpus_.dataset.attribute(0);
+  EXPECT_EQ(index_->Search(query, params), (*loaded)->Search(query, params));
+}
+
+TEST_F(SnapshotTest, MemoryBudgetIsEnforcedOnLoad) {
+  ASSERT_TRUE(index_->SaveSnapshot(path_).ok());
+  MemoryBudget tight(index_->MemoryUsageBytes() / 2);
+  SnapshotLoadOptions options = LoadOptions();
+  options.memory = &tight;
+  auto loaded = TindIndex::LoadSnapshot(corpus_.dataset, path_, options);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsOutOfMemory()) << loaded.status().ToString();
+
+  MemoryBudget roomy(4 * index_->MemoryUsageBytes());
+  options.memory = &roomy;
+  auto ok = TindIndex::LoadSnapshot(corpus_.dataset, path_, options);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(roomy.used(), (*ok)->MemoryUsageBytes());
+}
+
+}  // namespace
+}  // namespace tind

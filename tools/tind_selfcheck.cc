@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <string>
 
+#include "common/build_info.h"
 #include "common/flags.h"
 #include "eval/chaos.h"
 #include "eval/selfcheck.h"
@@ -82,6 +83,10 @@ int RunChaosMode(const tind::Flags& flags) {
 
 int main(int argc, char** argv) {
   const tind::Flags flags = tind::Flags::Parse(argc, argv);
+  if (flags.GetBool("build_info", false)) {
+    std::printf("%s\n", tind::BuildInfoReport().c_str());
+    return 0;
+  }
   if (flags.GetBool("chaos", false)) return RunChaosMode(flags);
 
   tind::eval::SelfCheckOptions options;
