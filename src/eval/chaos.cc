@@ -22,6 +22,7 @@
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
+#include "scenario/scenario.h"
 #include "temporal/weights.h"
 #include "tind/discovery.h"
 #include "tind/index.h"
@@ -128,8 +129,27 @@ Result<ChaosReport> RunChaosCheck(const ChaosOptions& options) {
 #endif
 
   // ---- Stage 0: fault-free baseline -------------------------------------
+  // The corpus shape comes from the scenario spec when one is named (the CI
+  // chaos matrix runs the bursty planted-cluster spec), else from the
+  // target_attributes/num_days defaults.
   wiki::GeneratedDataset generated;
-  {
+  double query_epsilon = 3.0;
+  int64_t query_delta = 7;
+  size_t bloom_bits = 1024;
+  size_t num_slices = 8;
+  std::string corpus_label;
+  if (!options.scenario.empty()) {
+    auto spec = scenario::ResolveScenario(options.scenario);
+    TIND_RETURN_IF_ERROR(spec.status());
+    auto result = scenario::MaterializeCorpus(*spec);
+    TIND_RETURN_IF_ERROR(result.status());
+    generated = std::move(*result);
+    query_epsilon = spec->index.epsilon;
+    query_delta = spec->index.delta;
+    bloom_bits = spec->index.bloom_bits;
+    num_slices = spec->index.num_slices;
+    corpus_label = spec->name;
+  } else {
     auto result =
         wiki::WikiGenerator(ScaledGeneratorOptions(options)).GenerateDataset();
     TIND_RETURN_IF_ERROR(result.status());
@@ -142,10 +162,10 @@ Result<ChaosReport> RunChaosCheck(const ChaosOptions& options) {
         " attributes survived generation");
   }
   const ConstantWeight weight(dataset.domain().num_timestamps());
-  const TindParams params{/*epsilon=*/3.0, /*delta=*/7, &weight};
+  const TindParams params{query_epsilon, query_delta, &weight};
   TindIndexOptions index_options;
-  index_options.bloom_bits = 1024;
-  index_options.num_slices = 8;
+  index_options.bloom_bits = bloom_bits;
+  index_options.num_slices = num_slices;
   index_options.delta = params.delta;
   index_options.epsilon = params.epsilon;
   index_options.weight = &weight;
@@ -500,6 +520,9 @@ Result<ChaosReport> RunChaosCheck(const ChaosOptions& options) {
             obs::JsonValue(static_cast<uint64_t>(baseline.pairs.size())));
   setup.Set("seed", obs::JsonValue(options.seed));
   setup.Set("fault_probability", obs::JsonValue(options.fault_probability));
+  if (!corpus_label.empty()) {
+    setup.Set("scenario", obs::JsonValue(corpus_label));
+  }
   root.Set("setup", std::move(setup));
   root.Set("checks", checks.TakeJson());
   root.Set("metrics", registry.ToJson());

@@ -49,6 +49,14 @@ struct ChaosOptions {
   /// Run the fork+SIGKILL stage. Must be disabled in multi-threaded hosts
   /// (e.g. test binaries that already spun up pools): the stage forks.
   bool run_kill_resume = true;
+  /// Optional scenario shape: a builtin scenario name or spec-file path
+  /// (scenario::ResolveScenario). When non-empty, the stage-0 corpus, the
+  /// index geometry, and the query (ε, δ) come from the spec instead of the
+  /// target_attributes/num_days defaults, so every fault stage exercises a
+  /// non-default corpus shape (CI runs the bursty planted-cluster spec).
+  /// target_attributes/num_days are ignored; `seed` still drives the
+  /// injector (the corpus uses the spec's own seed).
+  std::string scenario;
 };
 
 struct ChaosReport {

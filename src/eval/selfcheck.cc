@@ -9,6 +9,7 @@
 #include "common/thread_pool.h"
 #include "eval/runtime_stats.h"
 #include "obs/metrics.h"
+#include "scenario/scenario_run.h"
 #include "temporal/weights.h"
 #include "tind/discovery.h"
 #include "tind/index.h"
@@ -226,6 +227,35 @@ Result<SelfCheckReport> RunSelfCheck(const SelfCheckOptions& options) {
                 registry.GetCounter("validate/calls")->value() > 0);
 #endif  // !TIND_OBS_DISABLED
 
+  // Phase 6: scenario stage — run a named scenario end to end and gate on
+  // its precision/recall floors against the planted ground truth. Placed
+  // after the metric checks on purpose: the stage builds a second index,
+  // which would otherwise break the span/index_build count assertion.
+  obs::JsonValue scenario_row;
+  if (!options.scenario.empty()) {
+    auto spec = scenario::ResolveScenario(options.scenario);
+    checks.Record("scenario_spec_resolves", spec.ok(),
+                  spec.ok() ? "" : spec.status().ToString());
+    if (spec.ok()) {
+      scenario::ScenarioRunOptions run_options;
+      run_options.pool =
+          options.use_thread_pool ? DefaultThreadPool() : nullptr;
+      run_options.run_traffic = false;  // Quality stage, not a perf stage.
+      auto run = scenario::RunScenario(*spec, run_options);
+      checks.Record("scenario_run_ok", run.ok(),
+                    run.ok() ? "" : run.status().ToString());
+      if (run.ok()) {
+        checks.Record(
+            "scenario_has_planted_truth(" + spec->name + ")",
+            spec->corpus.cluster_fraction <= 0.0 || run->planted_pairs > 0,
+            "cluster_fraction > 0 but no planted pair survived the filters");
+        checks.Record("scenario_floors_hold(" + spec->name + ")",
+                      run->floors_ok, run->floor_failure);
+        scenario_row = std::move(run->json);
+      }
+    }
+  }
+
   SelfCheckReport report;
   report.ok = checks.all_ok();
   report.failure = checks.first_failure();
@@ -243,6 +273,7 @@ Result<SelfCheckReport> RunSelfCheck(const SelfCheckOptions& options) {
                  static_cast<uint64_t>(generated.ground_truth.size())));
   root.Set("corpus", std::move(corpus));
   root.Set("checks", checks.TakeJson());
+  if (!scenario_row.is_null()) root.Set("scenario", std::move(scenario_row));
   obs::JsonValue results = obs::JsonValue::Object();
   results.Set("discovered_pairs",
               obs::JsonValue(static_cast<uint64_t>(discovered_pairs)));

@@ -38,6 +38,14 @@ struct SelfCheckOptions {
   /// Parallelize discovery on the default thread pool so the thread-pool
   /// metrics get exercised too.
   bool use_thread_pool = true;
+
+  /// Optional scenario stage: a builtin scenario name or spec-file path
+  /// (scenario::ResolveScenario). When non-empty the check additionally runs
+  /// the scenario end to end — materialize corpus, build index at the spec's
+  /// geometry, discover, score precision/recall against the planted ground
+  /// truth — and fails if the spec's floors are breached. Empty skips the
+  /// stage (the default: the stage costs a second full discovery).
+  std::string scenario;
 };
 
 struct SelfCheckReport {

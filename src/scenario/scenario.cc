@@ -1,0 +1,659 @@
+#include "scenario/scenario.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "common/atomic_file.h"
+#include "common/rng.h"
+
+namespace tind::scenario {
+
+namespace {
+
+Status BadSpec(const std::string& message) {
+  return Status::InvalidArgument("scenario spec: " + message);
+}
+
+bool InUnit(double v) { return v >= 0.0 && v <= 1.0; }
+
+/// Seeds above 2^53 would not survive the JSON number round-trip (numbers
+/// are doubles); reject them at validation instead of at a confusing
+/// mismatch later.
+constexpr uint64_t kMaxExactSeed = uint64_t{1} << 53;
+
+// ---------------------------------------------------------------------------
+// Strict JSON field readers. Each reader checks the node type and records
+// the dotted field name in the error, so a typo in a committed spec file
+// fails with "scenario spec: corpus.zipf_skwe: unknown key" instead of
+// silently keeping a default.
+// ---------------------------------------------------------------------------
+
+Status ReadDouble(const obs::JsonValue& v, const std::string& field,
+                  double* out) {
+  if (!v.is_number()) return BadSpec(field + ": expected a number");
+  *out = v.AsDouble();
+  return Status::OK();
+}
+
+Status ReadSize(const obs::JsonValue& v, const std::string& field,
+                size_t* out) {
+  if (!v.is_number() || v.AsDouble() < 0 ||
+      v.AsDouble() != std::floor(v.AsDouble())) {
+    return BadSpec(field + ": expected a non-negative integer");
+  }
+  *out = static_cast<size_t>(v.AsDouble());
+  return Status::OK();
+}
+
+Status ReadInt64(const obs::JsonValue& v, const std::string& field,
+                 int64_t* out) {
+  if (!v.is_number() || v.AsDouble() != std::floor(v.AsDouble())) {
+    return BadSpec(field + ": expected an integer");
+  }
+  *out = v.AsInt();
+  return Status::OK();
+}
+
+Status ReadString(const obs::JsonValue& v, const std::string& field,
+                  std::string* out) {
+  if (!v.is_string()) return BadSpec(field + ": expected a string");
+  *out = v.AsString();
+  return Status::OK();
+}
+
+Status ReadCorpus(const obs::JsonValue& json, CorpusSpec* corpus) {
+  if (!json.is_object()) return BadSpec("corpus: expected an object");
+  for (const auto& [key, value] : json.members()) {
+    const std::string field = "corpus." + key;
+    Status st = Status::OK();
+    if (key == "attributes") {
+      st = ReadSize(value, field, &corpus->attributes);
+    } else if (key == "days") {
+      st = ReadInt64(value, field, &corpus->days);
+    } else if (key == "zipf_skew") {
+      st = ReadDouble(value, field, &corpus->zipf_skew);
+    } else if (key == "burstiness") {
+      st = ReadDouble(value, field, &corpus->burstiness);
+    } else if (key == "cluster_fraction") {
+      st = ReadDouble(value, field, &corpus->cluster_fraction);
+    } else if (key == "noise_fraction") {
+      st = ReadDouble(value, field, &corpus->noise_fraction);
+    } else if (key == "drifter_fraction") {
+      st = ReadDouble(value, field, &corpus->drifter_fraction);
+    } else if (key == "adversarial_fraction") {
+      st = ReadDouble(value, field, &corpus->adversarial_fraction);
+    } else if (key == "chain_probability") {
+      st = ReadDouble(value, field, &corpus->chain_probability);
+    } else if (key == "error_rate") {
+      st = ReadDouble(value, field, &corpus->error_rate);
+    } else if (key == "unlinked_variant_probability") {
+      st = ReadDouble(value, field, &corpus->unlinked_variant_probability);
+    } else if (key == "adversarial_cardinality") {
+      st = ReadSize(value, field, &corpus->adversarial_cardinality);
+    } else if (key == "adversarial_churn") {
+      st = ReadDouble(value, field, &corpus->adversarial_churn);
+    } else if (key == "shared_vocabulary") {
+      st = ReadSize(value, field, &corpus->shared_vocabulary);
+    } else {
+      st = BadSpec(field + ": unknown key");
+    }
+    TIND_RETURN_IF_ERROR(st);
+  }
+  return Status::OK();
+}
+
+Status ReadTraffic(const obs::JsonValue& json, TrafficSpec* traffic) {
+  if (!json.is_object()) return BadSpec("traffic: expected an object");
+  for (const auto& [key, value] : json.members()) {
+    const std::string field = "traffic." + key;
+    Status st = Status::OK();
+    if (key == "queries") {
+      st = ReadSize(value, field, &traffic->queries);
+    } else if (key == "hot_fraction") {
+      st = ReadDouble(value, field, &traffic->hot_fraction);
+    } else if (key == "hot_set_fraction") {
+      st = ReadDouble(value, field, &traffic->hot_set_fraction);
+    } else if (key == "reverse_fraction") {
+      st = ReadDouble(value, field, &traffic->reverse_fraction);
+    } else if (key == "batch_sizes") {
+      if (!value.is_array()) {
+        st = BadSpec(field + ": expected an array");
+      } else {
+        traffic->batch_sizes.clear();
+        for (size_t i = 0; i < value.size() && st.ok(); ++i) {
+          int64_t size = 0;
+          st = ReadInt64(value.at(i), field, &size);
+          traffic->batch_sizes.push_back(size);
+        }
+      }
+    } else if (key == "batch_weights") {
+      if (!value.is_array()) {
+        st = BadSpec(field + ": expected an array");
+      } else {
+        traffic->batch_weights.clear();
+        for (size_t i = 0; i < value.size() && st.ok(); ++i) {
+          double weight = 0;
+          st = ReadDouble(value.at(i), field, &weight);
+          traffic->batch_weights.push_back(weight);
+        }
+      }
+    } else {
+      st = BadSpec(field + ": unknown key");
+    }
+    TIND_RETURN_IF_ERROR(st);
+  }
+  return Status::OK();
+}
+
+Status ReadIndex(const obs::JsonValue& json, IndexSpec* index) {
+  if (!json.is_object()) return BadSpec("index: expected an object");
+  for (const auto& [key, value] : json.members()) {
+    const std::string field = "index." + key;
+    Status st = Status::OK();
+    if (key == "bloom_bits") {
+      st = ReadSize(value, field, &index->bloom_bits);
+    } else if (key == "num_slices") {
+      st = ReadSize(value, field, &index->num_slices);
+    } else if (key == "epsilon") {
+      st = ReadDouble(value, field, &index->epsilon);
+    } else if (key == "delta") {
+      st = ReadInt64(value, field, &index->delta);
+    } else {
+      st = BadSpec(field + ": unknown key");
+    }
+    TIND_RETURN_IF_ERROR(st);
+  }
+  return Status::OK();
+}
+
+Status ReadFloors(const obs::JsonValue& json, ScenarioSpec* spec) {
+  if (!json.is_object()) return BadSpec("floors: expected an object");
+  for (const auto& [key, value] : json.members()) {
+    const std::string field = "floors." + key;
+    Status st = Status::OK();
+    if (key == "precision") {
+      st = ReadDouble(value, field, &spec->min_precision);
+    } else if (key == "recall") {
+      st = ReadDouble(value, field, &spec->min_recall);
+    } else {
+      st = BadSpec(field + ": unknown key");
+    }
+    TIND_RETURN_IF_ERROR(st);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidateSpec(const ScenarioSpec& spec) {
+  if (spec.name.empty()) return BadSpec("name must be non-empty");
+  for (const char c : spec.name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-' && c != '_') {
+      return BadSpec("name '" + spec.name +
+                     "' must match [a-zA-Z0-9_-]+ (it doubles as a file stem)");
+    }
+  }
+  if (spec.seed >= kMaxExactSeed) {
+    return BadSpec("seed must be < 2^53 to round-trip through JSON exactly");
+  }
+  const CorpusSpec& c = spec.corpus;
+  if (c.attributes < 20) {
+    return BadSpec("corpus.attributes must be >= 20 (the survival filters "
+                   "would leave a degenerate corpus)");
+  }
+  if (c.days < 10) return BadSpec("corpus.days must be >= 10");
+  if (!InUnit(c.cluster_fraction) || !InUnit(c.noise_fraction) ||
+      !InUnit(c.drifter_fraction) || !InUnit(c.adversarial_fraction)) {
+    return BadSpec("corpus class-mix fractions must be in [0, 1]");
+  }
+  const double mix = c.cluster_fraction + c.noise_fraction +
+                     c.drifter_fraction + c.adversarial_fraction;
+  if (mix <= 0.0) {
+    return BadSpec("corpus class-mix fractions sum to zero: nothing to "
+                   "generate");
+  }
+  if (mix > 1.25) {
+    return BadSpec("corpus class-mix fractions sum to " +
+                   std::to_string(mix) +
+                   "; must be <= 1.25 (fractions of the attribute target)");
+  }
+  if (c.burstiness < 0.0 || c.burstiness >= 1.0) {
+    return BadSpec("corpus.burstiness must be in [0, 1)");
+  }
+  if (c.zipf_skew < 0.0) return BadSpec("corpus.zipf_skew must be >= 0");
+  if (!InUnit(c.chain_probability) ||
+      !InUnit(c.unlinked_variant_probability)) {
+    return BadSpec("corpus cluster probabilities must be in [0, 1]");
+  }
+  if (c.error_rate < 0.0) return BadSpec("corpus.error_rate must be >= 0");
+  if (c.adversarial_fraction > 0.0 && c.adversarial_cardinality == 0) {
+    return BadSpec("corpus.adversarial_cardinality must be > 0 when "
+                   "adversarial attributes are requested");
+  }
+  if (c.adversarial_churn < 0.0) {
+    return BadSpec("corpus.adversarial_churn must be >= 0");
+  }
+
+  const TrafficSpec& t = spec.traffic;
+  if (t.queries == 0) return BadSpec("traffic.queries must be > 0");
+  if (!InUnit(t.hot_fraction) || !InUnit(t.hot_set_fraction) ||
+      !InUnit(t.reverse_fraction)) {
+    return BadSpec("traffic fractions must be in [0, 1]");
+  }
+  if (t.hot_fraction > 0.0 && t.hot_set_fraction <= 0.0) {
+    return BadSpec("traffic.hot_set_fraction must be > 0 when hot traffic "
+                   "is requested");
+  }
+  if (t.batch_sizes.empty()) {
+    return BadSpec("traffic.batch_sizes must be non-empty");
+  }
+  for (const int64_t b : t.batch_sizes) {
+    if (b < 1 || b > 4096) {
+      return BadSpec("traffic.batch_sizes entries must be in [1, 4096]");
+    }
+  }
+  if (!t.batch_weights.empty()) {
+    if (t.batch_weights.size() != t.batch_sizes.size()) {
+      return BadSpec("traffic.batch_weights must match batch_sizes in length");
+    }
+    double sum = 0;
+    for (const double w : t.batch_weights) {
+      if (w < 0.0) return BadSpec("traffic.batch_weights must be >= 0");
+      sum += w;
+    }
+    if (sum <= 0.0) {
+      return BadSpec("traffic.batch_weights must sum to a positive value");
+    }
+  }
+
+  const IndexSpec& i = spec.index;
+  if (i.bloom_bits < 64 || (i.bloom_bits & (i.bloom_bits - 1)) != 0) {
+    return BadSpec("index.bloom_bits must be a power of two >= 64");
+  }
+  if (i.num_slices == 0) return BadSpec("index.num_slices must be > 0");
+  if (i.epsilon < 0.0) return BadSpec("index.epsilon must be >= 0");
+  if (i.delta < 0) return BadSpec("index.delta must be >= 0");
+
+  if (!InUnit(spec.min_precision) || !InUnit(spec.min_recall)) {
+    return BadSpec("floors must be in [0, 1]");
+  }
+  // The floors gate discovery quality against planted clusters; without any
+  // planted structure they can never be met.
+  if ((spec.min_precision > 0.0 || spec.min_recall > 0.0) &&
+      c.cluster_fraction <= 0.0) {
+    return BadSpec("precision/recall floors require cluster_fraction > 0 "
+                   "(no planted ground truth otherwise)");
+  }
+  return Status::OK();
+}
+
+obs::JsonValue ToJson(const ScenarioSpec& spec) {
+  obs::JsonValue root = obs::JsonValue::Object();
+  root.Set("name", obs::JsonValue(spec.name));
+  root.Set("description", obs::JsonValue(spec.description));
+  root.Set("seed", obs::JsonValue(spec.seed));
+
+  obs::JsonValue corpus = obs::JsonValue::Object();
+  const CorpusSpec& c = spec.corpus;
+  corpus.Set("attributes", obs::JsonValue(uint64_t{c.attributes}));
+  corpus.Set("days", obs::JsonValue(c.days));
+  corpus.Set("zipf_skew", obs::JsonValue(c.zipf_skew));
+  corpus.Set("burstiness", obs::JsonValue(c.burstiness));
+  corpus.Set("cluster_fraction", obs::JsonValue(c.cluster_fraction));
+  corpus.Set("noise_fraction", obs::JsonValue(c.noise_fraction));
+  corpus.Set("drifter_fraction", obs::JsonValue(c.drifter_fraction));
+  corpus.Set("adversarial_fraction", obs::JsonValue(c.adversarial_fraction));
+  corpus.Set("chain_probability", obs::JsonValue(c.chain_probability));
+  corpus.Set("error_rate", obs::JsonValue(c.error_rate));
+  corpus.Set("unlinked_variant_probability",
+             obs::JsonValue(c.unlinked_variant_probability));
+  corpus.Set("adversarial_cardinality",
+             obs::JsonValue(uint64_t{c.adversarial_cardinality}));
+  corpus.Set("adversarial_churn", obs::JsonValue(c.adversarial_churn));
+  corpus.Set("shared_vocabulary",
+             obs::JsonValue(uint64_t{c.shared_vocabulary}));
+  root.Set("corpus", std::move(corpus));
+
+  obs::JsonValue traffic = obs::JsonValue::Object();
+  const TrafficSpec& t = spec.traffic;
+  traffic.Set("queries", obs::JsonValue(uint64_t{t.queries}));
+  traffic.Set("hot_fraction", obs::JsonValue(t.hot_fraction));
+  traffic.Set("hot_set_fraction", obs::JsonValue(t.hot_set_fraction));
+  traffic.Set("reverse_fraction", obs::JsonValue(t.reverse_fraction));
+  obs::JsonValue sizes = obs::JsonValue::Array();
+  for (const int64_t b : t.batch_sizes) sizes.Append(obs::JsonValue(b));
+  traffic.Set("batch_sizes", std::move(sizes));
+  if (!t.batch_weights.empty()) {
+    obs::JsonValue weights = obs::JsonValue::Array();
+    for (const double w : t.batch_weights) weights.Append(obs::JsonValue(w));
+    traffic.Set("batch_weights", std::move(weights));
+  }
+  root.Set("traffic", std::move(traffic));
+
+  obs::JsonValue index = obs::JsonValue::Object();
+  index.Set("bloom_bits", obs::JsonValue(uint64_t{spec.index.bloom_bits}));
+  index.Set("num_slices", obs::JsonValue(uint64_t{spec.index.num_slices}));
+  index.Set("epsilon", obs::JsonValue(spec.index.epsilon));
+  index.Set("delta", obs::JsonValue(spec.index.delta));
+  root.Set("index", std::move(index));
+
+  obs::JsonValue floors = obs::JsonValue::Object();
+  floors.Set("precision", obs::JsonValue(spec.min_precision));
+  floors.Set("recall", obs::JsonValue(spec.min_recall));
+  root.Set("floors", std::move(floors));
+  return root;
+}
+
+Result<ScenarioSpec> FromJson(const obs::JsonValue& json) {
+  if (!json.is_object()) return BadSpec("document must be an object");
+  ScenarioSpec spec;
+  for (const auto& [key, value] : json.members()) {
+    Status st = Status::OK();
+    if (key == "name") {
+      st = ReadString(value, "name", &spec.name);
+    } else if (key == "description") {
+      st = ReadString(value, "description", &spec.description);
+    } else if (key == "seed") {
+      size_t seed = 0;
+      st = ReadSize(value, "seed", &seed);
+      spec.seed = seed;
+    } else if (key == "corpus") {
+      st = ReadCorpus(value, &spec.corpus);
+    } else if (key == "traffic") {
+      st = ReadTraffic(value, &spec.traffic);
+    } else if (key == "index") {
+      st = ReadIndex(value, &spec.index);
+    } else if (key == "floors") {
+      st = ReadFloors(value, &spec);
+    } else {
+      st = BadSpec(key + ": unknown key");
+    }
+    TIND_RETURN_IF_ERROR(st);
+  }
+  TIND_RETURN_IF_ERROR(ValidateSpec(spec));
+  return spec;
+}
+
+Result<ScenarioSpec> ParseSpec(std::string_view text) {
+  std::string error;
+  auto json = obs::JsonValue::Parse(text, &error);
+  if (!json.has_value()) {
+    return BadSpec("JSON parse error: " + error);
+  }
+  return FromJson(*json);
+}
+
+Result<ScenarioSpec> LoadSpecFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    return Status::NotFound("cannot open scenario spec " + path);
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  auto spec = ParseSpec(contents.str());
+  if (!spec.ok()) {
+    return Status(spec.status().code(),
+                  path + ": " + std::string(spec.status().message()));
+  }
+  return spec;
+}
+
+Status WriteSpecFile(const ScenarioSpec& spec, const std::string& path) {
+  TIND_RETURN_IF_ERROR(ValidateSpec(spec));
+  return WriteFileAtomic(path, [&](std::ostream& out) {
+    out << ToJson(spec).Dump(2) << "\n";
+    return Status::OK();
+  });
+}
+
+const std::vector<ScenarioSpec>& BuiltinScenarios() {
+  static const std::vector<ScenarioSpec>* scenarios = [] {
+    auto* list = new std::vector<ScenarioSpec>();
+
+    {
+      ScenarioSpec s;
+      s.name = "baseline-small";
+      s.description =
+          "The default Section-5.1 class mix (clusters, Zipf noise, "
+          "drifters, registries) at CI scale; the reference point every "
+          "other scenario deviates from.";
+      s.seed = 7;
+      s.corpus.attributes = 400;
+      s.corpus.days = 400;
+      s.traffic.queries = 256;
+      s.traffic.batch_sizes = {1, 8, 64};
+      s.min_precision = 0.0;
+      s.min_recall = 0.0;
+      list->push_back(std::move(s));
+    }
+
+    {
+      ScenarioSpec s;
+      s.name = "planted-clusters";
+      s.description =
+          "Dense planted tIND clusters (deep chains, few spurious "
+          "attributes) evaluated at lenient eps/delta: the ground-truth "
+          "recovery gate. Precision/recall floors are enforced in CI.";
+      s.seed = 11;
+      s.corpus.attributes = 320;
+      s.corpus.days = 500;
+      s.corpus.cluster_fraction = 0.70;
+      s.corpus.noise_fraction = 0.15;
+      s.corpus.drifter_fraction = 0.05;
+      s.corpus.chain_probability = 0.60;
+      s.corpus.error_rate = 0.04;
+      s.corpus.unlinked_variant_probability = 0.0;
+      s.index.epsilon = 6.0;
+      s.index.delta = 10;
+      s.traffic.queries = 192;
+      s.traffic.batch_sizes = {64};
+      // Measured 1.000 / 0.784 on the seeded corpus; floors leave slack for
+      // libm variation across toolchains (see tests/scenario_test.cc).
+      s.min_precision = 0.80;
+      s.min_recall = 0.60;
+      list->push_back(std::move(s));
+    }
+
+    {
+      ScenarioSpec s;
+      s.name = "adversarial-bloom";
+      s.description =
+          "A quarter of the corpus churns through never-repeated tokens, "
+          "saturating their M_T columns while the filters are kept small: "
+          "probe selectivity collapses but answers must stay exact.";
+      s.seed = 13;
+      s.corpus.attributes = 300;
+      s.corpus.days = 400;
+      s.corpus.cluster_fraction = 0.30;
+      s.corpus.noise_fraction = 0.30;
+      s.corpus.drifter_fraction = 0.10;
+      s.corpus.adversarial_fraction = 0.25;
+      s.corpus.adversarial_cardinality = 48;
+      s.corpus.adversarial_churn = 64.0;
+      s.index.bloom_bits = 1024;
+      s.traffic.queries = 192;
+      s.traffic.batch_sizes = {8, 64};
+      // Measured 1.000 / 0.453: the strict default (ε=3, δ=7) params leave
+      // recall modest here — the gate is that precision holds while the
+      // saturated columns flood the candidate stage.
+      s.min_precision = 0.60;
+      s.min_recall = 0.35;
+      list->push_back(std::move(s));
+    }
+
+    {
+      ScenarioSpec s;
+      s.name = "zipf-hot-traffic";
+      s.description =
+          "Heavily skewed value popularity plus CDN-style query traffic: "
+          "90% of queries hit a Zipf-ranked 2% hot set, mixed batch sizes, "
+          "one reverse search in four.";
+      s.seed = 17;
+      s.corpus.attributes = 400;
+      s.corpus.days = 400;
+      s.corpus.zipf_skew = 1.2;
+      s.traffic.queries = 512;
+      s.traffic.hot_fraction = 0.90;
+      s.traffic.hot_set_fraction = 0.02;
+      s.traffic.batch_sizes = {8, 64};
+      s.traffic.batch_weights = {1.0, 3.0};
+      list->push_back(std::move(s));
+    }
+
+    {
+      ScenarioSpec s;
+      s.name = "bursty-clusters";
+      s.description =
+          "Planted clusters whose edits arrive in bursts instead of "
+          "uniformly: version runs defeat uniform slice placement. The "
+          "chaos job runs its fault stages on this shape.";
+      s.seed = 23;
+      s.corpus.attributes = 300;
+      s.corpus.days = 500;
+      s.corpus.burstiness = 0.85;
+      s.corpus.cluster_fraction = 0.50;
+      s.corpus.noise_fraction = 0.30;
+      s.corpus.drifter_fraction = 0.10;
+      s.index.epsilon = 6.0;
+      s.index.delta = 10;
+      s.traffic.queries = 192;
+      s.traffic.batch_sizes = {64};
+      // Measured 0.981 / 0.598 on the seeded corpus.
+      s.min_precision = 0.40;
+      s.min_recall = 0.50;
+      list->push_back(std::move(s));
+    }
+
+    for (const ScenarioSpec& s : *list) {
+      // Builtins must always satisfy their own contract.
+      const Status st = ValidateSpec(s);
+      (void)st;
+      assert(st.ok());
+    }
+    return list;
+  }();
+  return *scenarios;
+}
+
+const ScenarioSpec* FindBuiltinScenario(std::string_view name) {
+  for (const ScenarioSpec& s : BuiltinScenarios()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+Result<ScenarioSpec> ResolveScenario(const std::string& name_or_path) {
+  if (const ScenarioSpec* builtin = FindBuiltinScenario(name_or_path)) {
+    return *builtin;
+  }
+  auto from_file = LoadSpecFile(name_or_path);
+  if (from_file.status().IsNotFound()) {
+    std::string names;
+    for (const ScenarioSpec& s : BuiltinScenarios()) {
+      if (!names.empty()) names += ", ";
+      names += s.name;
+    }
+    return Status::NotFound("'" + name_or_path +
+                            "' is neither a builtin scenario (" + names +
+                            ") nor a readable spec file");
+  }
+  return from_file;
+}
+
+wiki::GeneratorOptions ToGeneratorOptions(const ScenarioSpec& spec) {
+  const CorpusSpec& c = spec.corpus;
+  const auto scaled = [&](double fraction, size_t divisor, size_t floor) {
+    const double raw =
+        static_cast<double>(c.attributes) * fraction / static_cast<double>(divisor);
+    return fraction > 0.0
+               ? std::max<size_t>(floor, static_cast<size_t>(raw))
+               : 0;
+  };
+  wiki::GeneratorOptions gen;
+  gen.seed = spec.seed;
+  gen.num_days = c.days;
+  // A family yields ~5 attributes (root + children + chains) with the
+  // default chain probability; deeper chains yield more, which keeps the
+  // planted share roughly proportional either way.
+  gen.num_families = scaled(c.cluster_fraction, 5, 1);
+  gen.num_noise_attributes = scaled(c.noise_fraction, 1, 4);
+  gen.num_drifter_attributes = scaled(c.drifter_fraction, 1, 2);
+  gen.num_adversarial_attributes = scaled(c.adversarial_fraction, 1, 1);
+  gen.num_catchall_attributes =
+      std::min<size_t>(48, std::max<size_t>(2, c.attributes / 160));
+  gen.shared_vocabulary =
+      c.shared_vocabulary != 0
+          ? c.shared_vocabulary
+          : std::max<size_t>(150, c.attributes / 4);
+  gen.entities_per_family_pool = 120;
+  gen.zipf_skew = c.zipf_skew;
+  gen.burstiness = c.burstiness;
+  gen.chain_probability = c.chain_probability;
+  gen.error_rate = c.error_rate;
+  gen.unlinked_variant_probability = c.unlinked_variant_probability;
+  gen.adversarial_cardinality = c.adversarial_cardinality;
+  gen.adversarial_changes_mean = c.adversarial_churn;
+  return gen;
+}
+
+Result<wiki::GeneratedDataset> MaterializeCorpus(const ScenarioSpec& spec) {
+  TIND_RETURN_IF_ERROR(ValidateSpec(spec));
+  return wiki::WikiGenerator(ToGeneratorOptions(spec)).GenerateDataset();
+}
+
+TrafficPlan BuildTrafficPlan(const ScenarioSpec& spec, size_t num_attributes) {
+  TrafficPlan plan;
+  if (num_attributes == 0) return plan;
+  const TrafficSpec& t = spec.traffic;
+  // Traffic draws from its own stream so corpus and traffic stay
+  // independently reproducible from the one seed.
+  Rng rng(spec.seed ^ 0xB10C7AFF1CULL);
+
+  // Hot set: a seeded shuffle ranks the attributes; the prefix is the hot
+  // set and a Zipf sampler over that prefix gives the head of the hot set
+  // most of the traffic.
+  std::vector<AttributeId> ranked(num_attributes);
+  for (size_t i = 0; i < num_attributes; ++i) {
+    ranked[i] = static_cast<AttributeId>(i);
+  }
+  rng.Shuffle(&ranked);
+  std::unique_ptr<ZipfSampler> hot_zipf;
+  if (t.hot_fraction > 0.0) {
+    plan.hot_set_size = std::max<size_t>(
+        1, static_cast<size_t>(static_cast<double>(num_attributes) *
+                               t.hot_set_fraction));
+    hot_zipf = std::make_unique<ZipfSampler>(plan.hot_set_size, 1.0);
+  }
+
+  std::vector<double> weights = t.batch_weights;
+  if (weights.empty()) weights.assign(t.batch_sizes.size(), 1.0);
+
+  while (plan.total_queries < t.queries) {
+    QueryBatch batch;
+    batch.forward = !rng.Bernoulli(t.reverse_fraction);
+    const size_t want = static_cast<size_t>(
+        t.batch_sizes[rng.WeightedIndex(weights)]);
+    const size_t size = std::min(want, t.queries - plan.total_queries);
+    batch.queries.reserve(size);
+    for (size_t i = 0; i < size; ++i) {
+      AttributeId id;
+      if (hot_zipf != nullptr && rng.Bernoulli(t.hot_fraction)) {
+        id = ranked[hot_zipf->Sample(&rng)];
+      } else {
+        id = static_cast<AttributeId>(rng.Uniform(num_attributes));
+      }
+      batch.queries.push_back(id);
+    }
+    plan.total_queries += size;
+    if (batch.forward) plan.forward_queries += size;
+    plan.batches.push_back(std::move(batch));
+  }
+  return plan;
+}
+
+}  // namespace tind::scenario

@@ -1,0 +1,194 @@
+#ifndef TIND_SCENARIO_SCENARIO_H_
+#define TIND_SCENARIO_SCENARIO_H_
+
+/// \file scenario.h
+/// The scenario factory: named, reproducible workload descriptions that
+/// compose *corpus* knobs (scale, skew, burstiness, planted tIND cluster
+/// structure with ground truth, adversarial Bloom-saturating attributes)
+/// with a *query-traffic* model (hot-set skew, batch-size mix,
+/// forward/reverse mix). A ScenarioSpec is deterministic in a single seed
+/// and serializes to/from a small JSON document, so a scenario is an
+/// artifact: committed under scenarios/, swept by CI, and reproduced
+/// bit-for-bit anywhere (DESIGN.md §12).
+///
+/// Every perf or correctness claim in the repo can then be evaluated over a
+/// grid of specs instead of the single default bench corpus — the paper's
+/// own methodology (Figures 7–15 sweep scale, relaxation, and data shape).
+///
+/// Layering: this library sits above the wiki generator and below eval /
+/// bench / tools. The runner (scenario_run.h) adds index build, discovery
+/// precision/recall against the planted truth, and traffic replay.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/json.h"
+#include "temporal/dataset.h"
+#include "wiki/generator.h"
+
+namespace tind::scenario {
+
+/// Corpus knobs. Class mix is expressed as fractions of the target
+/// attribute count so specs scale from 10^2 (CI) to 10^6 (paper-scale
+/// sweeps) by changing only `attributes`.
+struct CorpusSpec {
+  /// Target attribute count *before* the §5.1 survival filters; the
+  /// surviving corpus lands nearby (generation plants enough versions).
+  size_t attributes = 400;
+  int64_t days = 400;  ///< History length in daily timestamps.
+
+  /// Zipf skew of the shared value vocabulary (spurious-overlap pressure).
+  double zipf_skew = 0.9;
+  /// Change-rate burstiness in [0, 1): 0 = uniform event days, larger
+  /// values concentrate edits into bursts (see GeneratorOptions).
+  double burstiness = 0.0;
+
+  // Attribute-class mix (fractions of `attributes`; the remainder after
+  // clusters/noise/drifters/adversaries is registry catch-alls and slack).
+  /// Planted tIND cluster structure: genuine IND families whose pairs land
+  /// in the GroundTruth. This is the knob precision/recall floors gate on.
+  double cluster_fraction = 0.35;
+  double noise_fraction = 0.45;     ///< Zipf-popular churning noise.
+  double drifter_fraction = 0.18;   ///< Large historical union, small live set.
+  /// Adversarial Bloom-saturating attributes: endless fresh tokens drive
+  /// their M_T columns toward all-ones, collapsing probe selectivity.
+  double adversarial_fraction = 0.0;
+
+  /// Depth of the planted clusters: probability a derived attribute chains
+  /// its own child (deeper transitive ground-truth pairs).
+  double chain_probability = 0.35;
+  /// Transient erroneous-insert rate inside clusters (the ε stressor).
+  double error_rate = 0.06;
+  /// Long-lived spelling variants (permanently broken inclusions; bounds
+  /// achievable recall).
+  double unlinked_variant_probability = 0.01;
+
+  size_t adversarial_cardinality = 48;  ///< Live set size per adversary.
+  double adversarial_churn = 48.0;      ///< Mean rotation events per adversary.
+
+  /// Shared vocabulary size; 0 = auto-scale (max(150, attributes / 4)).
+  size_t shared_vocabulary = 0;
+
+  bool operator==(const CorpusSpec&) const = default;
+};
+
+/// Query-traffic knobs: what a serving workload looks like against the
+/// materialized corpus.
+struct TrafficSpec {
+  size_t queries = 256;  ///< Total queries per traffic replay.
+  /// Probability a query draws from the hot set (0 = uniform traffic).
+  double hot_fraction = 0.0;
+  /// Fraction of attributes forming the hot set (Zipf-ranked within it, so
+  /// the head of the hot set dominates — CDN-style skew).
+  double hot_set_fraction = 0.05;
+  /// Share of batches issued as reverse searches (A ⊆ Q direction).
+  double reverse_fraction = 0.25;
+  /// Batch-size mix: each batch's size is drawn from this list with
+  /// `batch_weights` (uniform when the weights are empty).
+  std::vector<int64_t> batch_sizes = {64};
+  std::vector<double> batch_weights;
+
+  bool operator==(const TrafficSpec&) const = default;
+};
+
+/// Index geometry the scenario is evaluated with.
+struct IndexSpec {
+  size_t bloom_bits = 2048;  ///< Must be a power of two.
+  size_t num_slices = 8;
+  double epsilon = 3.0;
+  int64_t delta = 7;
+
+  bool operator==(const IndexSpec&) const = default;
+};
+
+/// A complete scenario: corpus + traffic + index geometry + gate floors,
+/// all downstream of one seed.
+struct ScenarioSpec {
+  /// Artifact name: [a-zA-Z0-9_-]+; doubles as the registry key and the
+  /// scenarios/<name>.json file stem.
+  std::string name;
+  std::string description;
+  uint64_t seed = 7;
+  CorpusSpec corpus;
+  TrafficSpec traffic;
+  IndexSpec index;
+  /// Discovery-quality floors against the planted ground truth; 0 disables
+  /// the respective gate. CI's scenario-grid job fails when a floor breaks.
+  double min_precision = 0.0;
+  double min_recall = 0.0;
+
+  bool operator==(const ScenarioSpec&) const = default;
+};
+
+/// Rejects malformed specs (bad fractions, empty batch mix, non-power-of-two
+/// Bloom size, seed outside the JSON-exact integer range, ...) with
+/// InvalidArgument naming the offending field.
+Status ValidateSpec(const ScenarioSpec& spec);
+
+/// Serializes the full spec (insertion-ordered object; diffs cleanly).
+obs::JsonValue ToJson(const ScenarioSpec& spec);
+
+/// Strict deserialization: unknown keys and type mismatches are
+/// InvalidArgument (a typo in a committed spec must fail loudly, not
+/// silently fall back to a default). Absent keys keep their defaults. The
+/// result is validated before it is returned.
+Result<ScenarioSpec> FromJson(const obs::JsonValue& json);
+
+/// FromJson over a JSON text document.
+Result<ScenarioSpec> ParseSpec(std::string_view text);
+
+/// ParseSpec over a file's contents.
+Result<ScenarioSpec> LoadSpecFile(const std::string& path);
+
+/// Writes ToJson(spec) atomically (temp + fsync + rename).
+Status WriteSpecFile(const ScenarioSpec& spec, const std::string& path);
+
+/// The built-in named scenarios (all Validate cleanly; covered by tests):
+///   baseline-small     – the default §5.1-mix corpus at CI scale
+///   planted-clusters   – dense genuine-IND clusters, lenient ε/δ, the
+///                        precision/recall gate scenario
+///   adversarial-bloom  – saturated M_T columns, small filters; correctness
+///                        must hold while probe selectivity collapses
+///   zipf-hot-traffic   – skewed corpus + 90%-hot-set batched traffic
+///   bursty-clusters    – bursty change arrivals over planted clusters; the
+///                        chaos job's non-default corpus shape
+const std::vector<ScenarioSpec>& BuiltinScenarios();
+
+/// Builtin by name; nullptr when unknown.
+const ScenarioSpec* FindBuiltinScenario(std::string_view name);
+
+/// Resolves a builtin name or a spec-file path, in that order.
+Result<ScenarioSpec> ResolveScenario(const std::string& name_or_path);
+
+/// Maps the corpus knobs onto the generator (fractions → attribute-class
+/// counts, auto-scaled vocabulary, seed threading).
+wiki::GeneratorOptions ToGeneratorOptions(const ScenarioSpec& spec);
+
+/// Validates, then generates the corpus + planted ground truth.
+Result<wiki::GeneratedDataset> MaterializeCorpus(const ScenarioSpec& spec);
+
+/// One batch of the traffic plan, replayed through
+/// TindIndex::BatchSearch / BatchReverseSearch.
+struct QueryBatch {
+  bool forward = true;
+  std::vector<AttributeId> queries;
+};
+
+/// The fully materialized traffic of one scenario run: deterministic in
+/// (spec.seed, num_attributes).
+struct TrafficPlan {
+  std::vector<QueryBatch> batches;
+  size_t total_queries = 0;
+  size_t hot_set_size = 0;
+  size_t forward_queries = 0;
+};
+
+/// Expands the traffic model against a corpus of `num_attributes`.
+TrafficPlan BuildTrafficPlan(const ScenarioSpec& spec, size_t num_attributes);
+
+}  // namespace tind::scenario
+
+#endif  // TIND_SCENARIO_SCENARIO_H_

@@ -1,0 +1,203 @@
+#include "scenario/scenario_run.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "snapshot/snapshot.h"
+#include "temporal/weights.h"
+#include "tind/discovery.h"
+#include "tind/index.h"
+#include "tind/params.h"
+
+namespace tind::scenario {
+
+namespace {
+
+/// Replays the traffic plan once; returns total result ids delivered.
+size_t ReplayTraffic(const TindIndex& index, const Dataset& dataset,
+                     const TrafficPlan& plan, const TindParams& params,
+                     ThreadPool* pool) {
+  size_t total_results = 0;
+  std::vector<const AttributeHistory*> queries;
+  for (const QueryBatch& batch : plan.batches) {
+    queries.clear();
+    queries.reserve(batch.queries.size());
+    for (const AttributeId id : batch.queries) {
+      queries.push_back(&dataset.attribute(id));
+    }
+    const auto results =
+        batch.forward ? index.BatchSearch(queries, params, nullptr, pool)
+                      : index.BatchReverseSearch(queries, params, nullptr, pool);
+    for (const auto& r : results) total_results += r.size();
+  }
+  return total_results;
+}
+
+}  // namespace
+
+Result<ScenarioRunReport> RunScenario(const ScenarioSpec& spec,
+                                      const ScenarioRunOptions& options) {
+  TIND_RETURN_IF_ERROR(ValidateSpec(spec));
+
+  ScenarioRunReport report;
+  report.name = spec.name;
+  report.seed = spec.seed;
+
+  Stopwatch corpus_timer;
+  TIND_ASSIGN_OR_RETURN(wiki::GeneratedDataset corpus,
+                        MaterializeCorpus(spec));
+  report.corpus_seconds = corpus_timer.ElapsedSeconds();
+  report.num_attributes = corpus.dataset.size();
+  if (report.num_attributes < 2) {
+    return Status::FailedPrecondition(
+        "scenario '" + spec.name + "': corpus degenerated to " +
+        std::to_string(report.num_attributes) +
+        " surviving attributes; raise corpus.attributes or corpus.days");
+  }
+  report.corpus_digest = snapshot::ComputeCorpusDigest(corpus.dataset);
+
+  const ConstantWeight weight(corpus.dataset.domain().num_timestamps());
+  TindParams params;
+  params.epsilon = spec.index.epsilon;
+  params.delta = spec.index.delta;
+  params.weight = &weight;
+
+  TindIndexOptions index_options;
+  index_options.bloom_bits = spec.index.bloom_bits;
+  index_options.num_slices = spec.index.num_slices;
+  index_options.epsilon = spec.index.epsilon;
+  index_options.delta = spec.index.delta;
+  index_options.weight = &weight;
+  index_options.seed = spec.seed;
+
+  Stopwatch build_timer;
+  TIND_ASSIGN_OR_RETURN(std::unique_ptr<TindIndex> index,
+                        TindIndex::Build(corpus.dataset, index_options));
+  report.build_seconds = build_timer.ElapsedSeconds();
+
+  if (options.run_discovery) {
+    const AllPairsResult discovered =
+        DiscoverAllTinds(*index, params, options.pool);
+    report.discovery_seconds = discovered.elapsed_seconds;
+    report.discovered_pairs = discovered.pairs.size();
+
+    // Score against the planted truth. Inline precision/recall (instead of
+    // linking tind_eval) keeps the layering acyclic: eval sits above this
+    // library so selfcheck/chaos can run scenarios.
+    const std::set<std::pair<AttributeId, AttributeId>> truth =
+        corpus.ground_truth.ToIdPairs(corpus.attribute_names);
+    report.planted_pairs = truth.size();
+    for (const TindPair& pair : discovered.pairs) {
+      if (truth.count({pair.lhs, pair.rhs}) > 0) ++report.true_positives;
+    }
+    report.precision =
+        report.discovered_pairs == 0
+            ? 1.0
+            : static_cast<double>(report.true_positives) /
+                  static_cast<double>(report.discovered_pairs);
+    report.recall = report.planted_pairs == 0
+                        ? 1.0
+                        : static_cast<double>(report.true_positives) /
+                              static_cast<double>(report.planted_pairs);
+    report.f1 = (report.precision + report.recall) > 0
+                    ? 2.0 * report.precision * report.recall /
+                          (report.precision + report.recall)
+                    : 0.0;
+
+    if (spec.min_precision > 0.0 && report.precision < spec.min_precision) {
+      report.floors_ok = false;
+      report.floor_failure = "precision " + std::to_string(report.precision) +
+                             " < floor " + std::to_string(spec.min_precision);
+    }
+    if (spec.min_recall > 0.0 && report.recall < spec.min_recall) {
+      report.floors_ok = false;
+      if (!report.floor_failure.empty()) report.floor_failure += "; ";
+      report.floor_failure += "recall " + std::to_string(report.recall) +
+                              " < floor " + std::to_string(spec.min_recall);
+    }
+  }
+
+  if (options.run_traffic) {
+    const TrafficPlan plan = BuildTrafficPlan(spec, report.num_attributes);
+    report.traffic_queries = plan.total_queries;
+    report.traffic_batches = plan.batches.size();
+    const int repeats = std::max(1, options.traffic_repeats);
+    double best_seconds = 0;
+    for (int rep = 0; rep < repeats; ++rep) {
+      Stopwatch traffic_timer;
+      const size_t results = ReplayTraffic(*index, corpus.dataset, plan,
+                                           params, options.pool);
+      const double seconds = traffic_timer.ElapsedSeconds();
+      if (rep == 0 || seconds < best_seconds) best_seconds = seconds;
+      report.traffic_results = results;  // Identical every repeat.
+    }
+    report.traffic_seconds = best_seconds;
+    report.traffic_qps = best_seconds > 0
+                             ? static_cast<double>(plan.total_queries) /
+                                   best_seconds
+                             : 0.0;
+  }
+
+  obs::JsonValue row = obs::JsonValue::Object();
+  row.Set("scenario", obs::JsonValue(report.name));
+  row.Set("seed", obs::JsonValue(report.seed));
+  row.Set("spec", ToJson(spec));
+
+  obs::JsonValue corpus_json = obs::JsonValue::Object();
+  corpus_json.Set("attributes", obs::JsonValue(uint64_t{report.num_attributes}));
+  corpus_json.Set("digest", obs::JsonValue(std::to_string(report.corpus_digest)));
+  corpus_json.Set("scripts_total", obs::JsonValue(uint64_t{corpus.scripts_total}));
+  corpus_json.Set("scripts_filtered",
+                  obs::JsonValue(uint64_t{corpus.scripts_filtered}));
+  corpus_json.Set("seconds", obs::JsonValue(report.corpus_seconds));
+  row.Set("corpus", std::move(corpus_json));
+
+  obs::JsonValue index_json = obs::JsonValue::Object();
+  index_json.Set("bloom_bits", obs::JsonValue(uint64_t{spec.index.bloom_bits}));
+  index_json.Set("num_slices", obs::JsonValue(uint64_t{spec.index.num_slices}));
+  index_json.Set("build_seconds", obs::JsonValue(report.build_seconds));
+  index_json.Set("memory_bytes",
+                 obs::JsonValue(uint64_t{index->MemoryUsageBytes()}));
+  row.Set("index", std::move(index_json));
+
+  if (options.run_discovery) {
+    obs::JsonValue discovery = obs::JsonValue::Object();
+    discovery.Set("planted_pairs", obs::JsonValue(uint64_t{report.planted_pairs}));
+    discovery.Set("discovered_pairs",
+                  obs::JsonValue(uint64_t{report.discovered_pairs}));
+    discovery.Set("true_positives",
+                  obs::JsonValue(uint64_t{report.true_positives}));
+    discovery.Set("precision", obs::JsonValue(report.precision));
+    discovery.Set("recall", obs::JsonValue(report.recall));
+    discovery.Set("f1", obs::JsonValue(report.f1));
+    discovery.Set("seconds", obs::JsonValue(report.discovery_seconds));
+    row.Set("discovery", std::move(discovery));
+  }
+
+  if (options.run_traffic) {
+    obs::JsonValue traffic = obs::JsonValue::Object();
+    traffic.Set("queries", obs::JsonValue(uint64_t{report.traffic_queries}));
+    traffic.Set("batches", obs::JsonValue(uint64_t{report.traffic_batches}));
+    traffic.Set("results", obs::JsonValue(uint64_t{report.traffic_results}));
+    traffic.Set("seconds", obs::JsonValue(report.traffic_seconds));
+    traffic.Set("qps", obs::JsonValue(report.traffic_qps));
+    row.Set("traffic", std::move(traffic));
+  }
+
+  obs::JsonValue floors = obs::JsonValue::Object();
+  floors.Set("precision", obs::JsonValue(spec.min_precision));
+  floors.Set("recall", obs::JsonValue(spec.min_recall));
+  floors.Set("ok", obs::JsonValue(report.floors_ok));
+  if (!report.floors_ok) {
+    floors.Set("failure", obs::JsonValue(report.floor_failure));
+  }
+  row.Set("floors", std::move(floors));
+
+  report.json = std::move(row);
+  return report;
+}
+
+}  // namespace tind::scenario

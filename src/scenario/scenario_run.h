@@ -1,0 +1,78 @@
+#ifndef TIND_SCENARIO_SCENARIO_RUN_H_
+#define TIND_SCENARIO_SCENARIO_RUN_H_
+
+/// \file scenario_run.h
+/// End-to-end execution of one ScenarioSpec: materialize the corpus, build
+/// the index at the spec's geometry, discover all tINDs, score the result
+/// against the planted ground truth, replay the traffic plan through the
+/// batch engines, and gate on the spec's precision/recall floors. The JSON
+/// row a run emits is the unit CI archives (BENCH_scenarios.json) and
+/// compares across commits.
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "obs/json.h"
+#include "scenario/scenario.h"
+
+namespace tind::scenario {
+
+struct ScenarioRunOptions {
+  ThreadPool* pool = nullptr;  ///< nullptr = sequential discovery/validation.
+  bool run_discovery = true;   ///< Discovery + precision/recall scoring.
+  bool run_traffic = true;     ///< Traffic replay through BatchSearch.
+  /// Traffic replays per run; the reported time is the best, which damps CI
+  /// scheduling noise exactly like the bench harness's repeat loop.
+  int traffic_repeats = 1;
+};
+
+/// Everything one scenario run measured. `json` is the self-contained
+/// BENCH_scenarios.json row (also embedding the full spec for provenance).
+struct ScenarioRunReport {
+  std::string name;
+  uint64_t seed = 0;
+
+  // Corpus.
+  size_t num_attributes = 0;
+  uint64_t corpus_digest = 0;  ///< snapshot::ComputeCorpusDigest — the
+                               ///< determinism witness.
+
+  // Discovery quality against the planted truth.
+  size_t planted_pairs = 0;    ///< Ground-truth pairs among survivors.
+  size_t discovered_pairs = 0;
+  size_t true_positives = 0;
+  double precision = 0;
+  double recall = 0;
+  double f1 = 0;
+
+  // Timings (seconds).
+  double corpus_seconds = 0;
+  double build_seconds = 0;
+  double discovery_seconds = 0;
+  double traffic_seconds = 0;  ///< Best-of-repeats replay wall time.
+
+  // Traffic replay.
+  size_t traffic_queries = 0;
+  size_t traffic_batches = 0;
+  size_t traffic_results = 0;  ///< Total result ids across all queries.
+  double traffic_qps = 0;
+
+  // Floor gate.
+  bool floors_ok = true;
+  std::string floor_failure;  ///< Human-readable breach description.
+
+  obs::JsonValue json;
+};
+
+/// Runs `spec` to completion. Statuses other than OK mean the run could not
+/// execute (invalid spec, degenerate corpus); a floor breach is NOT an error
+/// status — it is reported via floors_ok/floor_failure so callers decide
+/// whether it is fatal (the CLI maps it to a non-zero exit).
+Result<ScenarioRunReport> RunScenario(const ScenarioSpec& spec,
+                                      const ScenarioRunOptions& options);
+
+}  // namespace tind::scenario
+
+#endif  // TIND_SCENARIO_SCENARIO_RUN_H_

@@ -12,6 +12,123 @@
 
 namespace tind::wiki {
 
+namespace {
+
+Status BadOptions(const std::string& message) {
+  return Status::InvalidArgument("generator options: " + message);
+}
+
+}  // namespace
+
+Status ValidateGeneratorOptions(const GeneratorOptions& o) {
+  if (o.num_days < 10) {
+    return BadOptions("num_days must be >= 10, got " +
+                      std::to_string(o.num_days));
+  }
+  const struct {
+    const char* name;
+    double value;
+  } probabilities[] = {
+      {"chain_probability", o.chain_probability},
+      {"add_event_probability", o.add_event_probability},
+      {"adoption_probability", o.adoption_probability},
+      {"lead_probability", o.lead_probability},
+      {"spontaneous_drop_probability", o.spontaneous_drop_probability},
+      {"unlinked_variant_probability", o.unlinked_variant_probability},
+      {"end_turbulence_probability", o.end_turbulence_probability},
+      {"pure_shared_noise_fraction", o.pure_shared_noise_fraction},
+      {"noise_shared_fraction", o.noise_shared_fraction},
+      {"link_probability", o.link_probability},
+      {"rename_header_probability", o.rename_header_probability},
+      {"sub_daily_vandalism_rate", o.sub_daily_vandalism_rate},
+      {"numeric_column_probability", o.numeric_column_probability},
+      {"null_cell_probability", o.null_cell_probability},
+  };
+  for (const auto& p : probabilities) {
+    if (p.value < 0.0 || p.value > 1.0) {
+      return BadOptions(std::string(p.name) + " must be in [0, 1], got " +
+                        std::to_string(p.value));
+    }
+  }
+  if (o.birth_fraction <= 0.0 || o.birth_fraction > 1.0) {
+    return BadOptions("birth_fraction must be in (0, 1], got " +
+                      std::to_string(o.birth_fraction));
+  }
+  if (o.burstiness < 0.0 || o.burstiness >= 1.0) {
+    return BadOptions("burstiness must be in [0, 1), got " +
+                      std::to_string(o.burstiness));
+  }
+  if (o.zipf_skew < 0.0) {
+    return BadOptions("zipf_skew must be >= 0");
+  }
+  if (o.error_rate < 0.0) {
+    return BadOptions("error_rate must be >= 0");
+  }
+  if (o.mean_update_lag_days < 0.0 || o.mean_removal_lag_days < 0.0 ||
+      o.mean_error_duration_days < 0.0) {
+    return BadOptions("propagation/error lag means must be >= 0");
+  }
+  if (o.subset_fraction_min > o.subset_fraction_max ||
+      o.subset_fraction_min < 0.0 || o.subset_fraction_max > 1.0) {
+    return BadOptions("subset fractions must satisfy 0 <= min <= max <= 1");
+  }
+  if (o.catchall_coverage_min > o.catchall_coverage_max ||
+      o.catchall_coverage_min < 0.0 || o.catchall_coverage_max > 1.0) {
+    return BadOptions("catchall coverage must satisfy 0 <= min <= max <= 1");
+  }
+  if (o.noise_cardinality_min > o.noise_cardinality_max) {
+    return BadOptions("noise_cardinality_min exceeds noise_cardinality_max");
+  }
+  if (o.drifter_cardinality_min > o.drifter_cardinality_max) {
+    return BadOptions(
+        "drifter_cardinality_min exceeds drifter_cardinality_max");
+  }
+  // Vocabulary sufficiency: every sampling loop below must be able to reach
+  // the cardinality it draws for, or generation would spin forever (or pick
+  // degenerate all-identical sets). The checks are conservative — they bound
+  // the worst attribute class each knob can produce.
+  const bool samples_shared_vocabulary =
+      o.num_families > 0 || o.num_noise_attributes > 0 ||
+      o.num_drifter_attributes > 0 || o.num_catchall_attributes > 0;
+  if (samples_shared_vocabulary && o.shared_vocabulary == 0) {
+    return BadOptions(
+        "shared_vocabulary must be > 0 when families, noise, drifter, or "
+        "catch-all attributes are requested");
+  }
+  if (o.num_noise_attributes > 0 &&
+      o.shared_vocabulary < o.noise_cardinality_max) {
+    return BadOptions(
+        "shared_vocabulary (" + std::to_string(o.shared_vocabulary) +
+        ") is smaller than noise_cardinality_max (" +
+        std::to_string(o.noise_cardinality_max) +
+        "): pure-shared noise attributes could never reach their cardinality");
+  }
+  if (o.num_drifter_attributes > 0 &&
+      o.shared_vocabulary < o.drifter_cardinality_max) {
+    return BadOptions(
+        "shared_vocabulary (" + std::to_string(o.shared_vocabulary) +
+        ") is smaller than drifter_cardinality_max (" +
+        std::to_string(o.drifter_cardinality_max) +
+        "): drifter attributes could never reach their cardinality");
+  }
+  if (o.num_catchall_attributes > 0 &&
+      static_cast<double>(o.shared_vocabulary) * o.catchall_coverage_min <
+          1.0) {
+    return BadOptions(
+        "catch-all registries would cover zero tokens: shared_vocabulary * "
+        "catchall_coverage_min < 1");
+  }
+  if (o.num_noise_attributes > 0 && o.noise_attributes_per_table == 0) {
+    return BadOptions("noise_attributes_per_table must be > 0");
+  }
+  if (o.num_adversarial_attributes > 0 && o.adversarial_cardinality == 0) {
+    return BadOptions(
+        "adversarial_cardinality must be > 0 when adversarial attributes are "
+        "requested");
+  }
+  return Status::OK();
+}
+
 std::set<std::pair<AttributeId, AttributeId>> GroundTruth::ToIdPairs(
     const std::vector<std::string>& attribute_names) const {
   std::unordered_map<std::string, AttributeId> by_name;
@@ -103,6 +220,7 @@ class ScriptBuilder {
     BuildCatchAlls();
     BuildNoise();
     BuildDrifters();
+    BuildAdversaries();
     return std::move(scripts_);
   }
 
@@ -114,7 +232,11 @@ class ScriptBuilder {
                1);
   }
 
-  /// Draws `count` distinct event days in (after, num_days).
+  /// Draws `count` distinct event days in (after, num_days). With
+  /// burstiness = 0 the days are uniform over the range (and the draw
+  /// sequence is byte-identical to the pre-burstiness generator); with
+  /// burstiness → 1 the same number of events collapses into ever fewer
+  /// burst clusters, each a geometric halo around a uniformly placed center.
   std::vector<int64_t> DrawEventDays(int64_t after, size_t count) {
     std::set<int64_t> days;
     const int64_t lo = after + 1;
@@ -122,6 +244,29 @@ class ScriptBuilder {
     if (lo > hi) return {};
     const size_t available = static_cast<size_t>(hi - lo + 1);
     const size_t want = std::min(count, available);
+    if (opts_.burstiness > 0.0 && want > 0) {
+      // Events per burst grows as 1 / (1 - burstiness): 0.5 → 2 events per
+      // burst, 0.9 → 10. Burst centers are uniform; members sit a geometric
+      // lag (mean 2 days) to either side of their center.
+      const size_t num_bursts = std::max<size_t>(
+          1, static_cast<size_t>(std::ceil(static_cast<double>(want) *
+                                           (1.0 - opts_.burstiness))));
+      std::vector<int64_t> centers;
+      centers.reserve(num_bursts);
+      for (size_t b = 0; b < num_bursts; ++b) {
+        centers.push_back(lo + static_cast<int64_t>(rng_.Uniform(available)));
+      }
+      size_t guard = 0;
+      while (days.size() < want && guard < want * 20 + 100) {
+        const int64_t center = centers[rng_.Uniform(centers.size())];
+        const int64_t offset = static_cast<int64_t>(rng_.Geometric(1.0 / 3.0));
+        const int64_t day = rng_.Bernoulli(0.5) ? center + offset
+                                                : center - offset;
+        days.insert(std::clamp(day, lo, hi));
+        ++guard;
+      }
+      return std::vector<int64_t>(days.begin(), days.end());
+    }
     size_t guard = 0;
     while (days.size() < want && guard < want * 20 + 100) {
       days.insert(lo + static_cast<int64_t>(rng_.Uniform(available)));
@@ -477,6 +622,53 @@ class ScriptBuilder {
     }
   }
 
+  void BuildAdversaries() {
+    // Bloom-saturating attributes: the live set stays modest (so the corpus
+    // filters keep them) but every token is fresh and never reused, so the
+    // historical union — the set M_T hashes into the attribute's column —
+    // grows without bound and the column fill factor heads toward 1. They
+    // are pure false-candidate mass: no planted inclusion involves them, so
+    // each one that survives a probe must be killed by slice pruning or
+    // exact validation.
+    for (size_t i = 0; i < opts_.num_adversarial_attributes; ++i) {
+      AttrScript script;
+      script.meta = AttributeMeta{"Adversary page " + std::to_string(i), "t",
+                                  "Churn"};
+      script.birth = DrawBirthDay();
+      size_t next_token = 0;
+      const auto fresh_token = [&] {
+        return "A" + std::to_string(i) + " Token " +
+               std::to_string(next_token++);
+      };
+      std::set<std::string> current;
+      for (size_t v = 0; v < opts_.adversarial_cardinality; ++v) {
+        current.insert(fresh_token());
+      }
+      script.initial_values.assign(current.begin(), current.end());
+      const size_t n_events =
+          4 + rng_.Poisson(opts_.adversarial_changes_mean);
+      for (const int64_t day : DrawEventDays(script.birth, n_events)) {
+        // Rotate a quarter of the live set per event, always onto
+        // never-seen tokens.
+        const size_t replacements =
+            std::max<size_t>(1, opts_.adversarial_cardinality / 4);
+        for (size_t r = 0; r < replacements; ++r) {
+          if (current.size() > 1) {
+            auto it = current.begin();
+            std::advance(it, rng_.Uniform(current.size()));
+            script.events.push_back(ValueEvent{day, false, *it});
+            current.erase(it);
+          }
+          std::string token = fresh_token();
+          current.insert(token);
+          script.events.push_back(ValueEvent{day, true, std::move(token)});
+        }
+      }
+      AssignOwnTable(&script);
+      scripts_.push_back(std::move(script));
+    }
+  }
+
   std::string SampleNoiseValue(double shared_fraction) {
     if (rng_.Bernoulli(shared_fraction) || opts_.num_families == 0) {
       return SampleSharedToken();
@@ -503,9 +695,7 @@ class ScriptBuilder {
 }  // namespace
 
 Result<GeneratedDataset> WikiGenerator::GenerateDataset() const {
-  if (options_.num_days < 10) {
-    return Status::InvalidArgument("num_days too small");
-  }
+  TIND_RETURN_IF_ERROR(ValidateGeneratorOptions(options_));
   GeneratedDataset out;
   ScriptBuilder builder(options_, &out.ground_truth);
   const std::vector<AttrScript> scripts = builder.Build();
@@ -564,9 +754,7 @@ std::string RenderCell(const std::string& value, bool is_entity, Rng* rng,
 }  // namespace
 
 Result<GeneratedRawCorpus> WikiGenerator::GenerateRawCorpus() const {
-  if (options_.num_days < 10) {
-    return Status::InvalidArgument("num_days too small");
-  }
+  TIND_RETURN_IF_ERROR(ValidateGeneratorOptions(options_));
   GeneratedRawCorpus out;
   ScriptBuilder builder(options_, &out.ground_truth);
   const std::vector<AttrScript> scripts = builder.Build();

@@ -102,6 +102,26 @@ struct GeneratorOptions {
   double catchall_coverage_min = 0.45;  ///< Fraction of the shared vocabulary.
   double catchall_coverage_max = 0.65;
 
+  // Adversarial Bloom saturation. These attributes cycle through an endless
+  // stream of fresh, never-repeated tokens, so their *historical* union — the
+  // value set behind their M_T column — grows far past the filter capacity
+  // and the column degrades toward all-ones. Every forward probe then passes
+  // them as candidates and the exact stages must reject them: answers stay
+  // correct (the scenario tests assert it) while probe selectivity collapses,
+  // which is exactly the worst case Section 4.3's false-positive analysis
+  // bounds. Off by default (0 attributes) so existing corpora are unchanged.
+  size_t num_adversarial_attributes = 0;
+  size_t adversarial_cardinality = 48;    ///< Live set size per version.
+  double adversarial_changes_mean = 48.0; ///< Full-rotation change events.
+
+  // Change-rate burstiness in [0, 1). 0 (default) draws event days uniformly
+  // over the attribute's lifetime; larger values concentrate the same number
+  // of events into ever fewer edit bursts (a real Wikipedia pattern: pages
+  // churn around news events). Bursty histories produce version runs that
+  // defeat uniform time-slice placement, the stressor for the interval
+  // selection of Section 4.4.
+  double burstiness = 0.0;
+
   // Temporal placement.
   double birth_fraction = 0.9;  ///< Births sqrt-biased in [0, num_days * this].
 
@@ -117,6 +137,14 @@ struct GeneratorOptions {
   size_t min_versions = 5;
   size_t min_median_cardinality = 5;
 };
+
+/// Rejects inconsistent knob combinations with InvalidArgument before any
+/// generation runs. Beyond range checks, this guards the combinations that
+/// would otherwise yield silently degenerate corpora (or non-terminating
+/// sampling loops): a shared vocabulary smaller than the cardinality the
+/// noise/drifter/catch-all attributes must reach, probabilities outside
+/// [0, 1], inverted min/max ranges. Both Generate paths call it.
+Status ValidateGeneratorOptions(const GeneratorOptions& options);
 
 /// \brief The planted genuine inclusions, keyed by attribute full names
 /// (page/table/column). Our stand-in for the paper's manual annotation of

@@ -143,6 +143,46 @@ TEST(GeneratorTest, RejectsTinyDomain) {
       WikiGenerator(opts).GenerateRawCorpus().status().IsInvalidArgument());
 }
 
+TEST(GeneratorTest, ValidateRejectsInconsistentKnobs) {
+  const auto rejects = [](void (*mutate)(GeneratorOptions*)) {
+    GeneratorOptions opts = SmallOptions();
+    mutate(&opts);
+    const Status st = ValidateGeneratorOptions(opts);
+    return !st.ok() && st.IsInvalidArgument();
+  };
+  EXPECT_TRUE(rejects([](GeneratorOptions* o) { o->chain_probability = 1.5; }));
+  EXPECT_TRUE(rejects([](GeneratorOptions* o) { o->burstiness = 1.0; }));
+  EXPECT_TRUE(rejects([](GeneratorOptions* o) { o->burstiness = -0.1; }));
+  EXPECT_TRUE(rejects([](GeneratorOptions* o) { o->zipf_skew = -1.0; }));
+  EXPECT_TRUE(rejects([](GeneratorOptions* o) { o->birth_fraction = 0.0; }));
+  EXPECT_TRUE(rejects([](GeneratorOptions* o) {
+    o->subset_fraction_min = 0.9;
+    o->subset_fraction_max = 0.5;
+  }));
+  EXPECT_TRUE(rejects([](GeneratorOptions* o) { o->shared_vocabulary = 0; }));
+  EXPECT_TRUE(rejects([](GeneratorOptions* o) {
+    o->num_noise_attributes = 10;
+    o->shared_vocabulary = o->noise_cardinality_max - 1;
+  }));
+  EXPECT_TRUE(rejects([](GeneratorOptions* o) {
+    o->num_adversarial_attributes = 4;
+    o->adversarial_cardinality = 0;
+  }));
+  EXPECT_TRUE(rejects([](GeneratorOptions* o) {
+    o->noise_attributes_per_table = 0;
+  }));
+}
+
+TEST(GeneratorTest, ValidateAcceptsDefaultsAndNewKnobs) {
+  EXPECT_TRUE(ValidateGeneratorOptions(SmallOptions()).ok());
+  GeneratorOptions opts = SmallOptions();
+  opts.burstiness = 0.9;
+  opts.num_adversarial_attributes = 8;
+  opts.adversarial_cardinality = 16;
+  opts.adversarial_changes_mean = 32.0;
+  EXPECT_TRUE(ValidateGeneratorOptions(opts).ok());
+}
+
 TEST(GeneratorRawTest, RevisionsStrictlyIncreasing) {
   auto result = WikiGenerator(SmallOptions()).GenerateRawCorpus();
   ASSERT_TRUE(result.ok());

@@ -1,0 +1,400 @@
+#include "scenario/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "scenario/scenario_run.h"
+#include "snapshot/snapshot.h"
+
+namespace tind::scenario {
+namespace {
+
+/// A small non-default spec that exercises every knob group at once: the
+/// round-trip and determinism tests must cover fields the builtins leave at
+/// their defaults (batch_weights, adversarial_*, burstiness, floors).
+ScenarioSpec FullSpec() {
+  ScenarioSpec spec;
+  spec.name = "test-full";
+  spec.description = "every knob off its default";
+  spec.seed = 1234567;
+  spec.corpus.attributes = 160;
+  spec.corpus.days = 250;
+  spec.corpus.zipf_skew = 1.1;
+  spec.corpus.burstiness = 0.7;
+  spec.corpus.cluster_fraction = 0.4;
+  spec.corpus.noise_fraction = 0.3;
+  spec.corpus.drifter_fraction = 0.1;
+  spec.corpus.adversarial_fraction = 0.1;
+  spec.corpus.chain_probability = 0.5;
+  spec.corpus.error_rate = 0.03;
+  spec.corpus.unlinked_variant_probability = 0.02;
+  spec.corpus.adversarial_cardinality = 32;
+  spec.corpus.adversarial_churn = 24.0;
+  spec.corpus.shared_vocabulary = 200;
+  spec.traffic.queries = 96;
+  spec.traffic.hot_fraction = 0.8;
+  spec.traffic.hot_set_fraction = 0.1;
+  spec.traffic.reverse_fraction = 0.4;
+  spec.traffic.batch_sizes = {1, 16, 64};
+  spec.traffic.batch_weights = {1.0, 2.0, 4.0};
+  spec.index.bloom_bits = 1024;
+  spec.index.num_slices = 4;
+  spec.index.epsilon = 5.0;
+  spec.index.delta = 9;
+  spec.min_precision = 0.5;
+  spec.min_recall = 0.2;
+  return spec;
+}
+
+TEST(ScenarioSpecTest, RoundTripFullSpec) {
+  const ScenarioSpec spec = FullSpec();
+  ASSERT_TRUE(ValidateSpec(spec).ok());
+  auto back = FromJson(ToJson(spec));
+  ASSERT_TRUE(back.ok()) << back.status().message();
+  EXPECT_EQ(*back, spec);
+}
+
+TEST(ScenarioSpecTest, RoundTripThroughText) {
+  const ScenarioSpec spec = FullSpec();
+  const std::string text = ToJson(spec).Dump(2);
+  auto back = ParseSpec(text);
+  ASSERT_TRUE(back.ok()) << back.status().message();
+  EXPECT_EQ(*back, spec);
+}
+
+TEST(ScenarioSpecTest, RoundTripAllBuiltins) {
+  for (const ScenarioSpec& spec : BuiltinScenarios()) {
+    auto back = FromJson(ToJson(spec));
+    ASSERT_TRUE(back.ok()) << spec.name << ": " << back.status().message();
+    EXPECT_EQ(*back, spec) << spec.name;
+  }
+}
+
+TEST(ScenarioSpecTest, RoundTripThroughFile) {
+  const ScenarioSpec spec = FullSpec();
+  const std::string path =
+      ::testing::TempDir() + "/scenario_round_trip_spec.json";
+  ASSERT_TRUE(WriteSpecFile(spec, path).ok());
+  auto back = LoadSpecFile(path);
+  ASSERT_TRUE(back.ok()) << back.status().message();
+  EXPECT_EQ(*back, spec);
+  std::remove(path.c_str());
+}
+
+TEST(ScenarioSpecTest, AbsentKeysKeepDefaults) {
+  auto spec = ParseSpec(R"({"name": "tiny", "seed": 3})");
+  ASSERT_TRUE(spec.ok()) << spec.status().message();
+  EXPECT_EQ(spec->name, "tiny");
+  EXPECT_EQ(spec->seed, 3u);
+  EXPECT_EQ(spec->corpus, CorpusSpec{});
+  EXPECT_EQ(spec->traffic, TrafficSpec{});
+  EXPECT_EQ(spec->index, IndexSpec{});
+}
+
+TEST(ScenarioSpecTest, UnknownKeyIsError) {
+  auto spec = ParseSpec(R"({"name": "x", "corpus": {"atributes": 100}})");
+  ASSERT_FALSE(spec.ok());
+  EXPECT_EQ(spec.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(spec.status().message().find("atributes"), std::string::npos)
+      << spec.status().message();
+}
+
+TEST(ScenarioSpecTest, TypeMismatchIsError) {
+  auto spec = ParseSpec(R"({"name": "x", "corpus": {"attributes": "many"}})");
+  ASSERT_FALSE(spec.ok());
+  EXPECT_EQ(spec.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ScenarioSpecTest, MalformedJsonIsError) {
+  EXPECT_FALSE(ParseSpec("{not json").ok());
+  EXPECT_FALSE(ParseSpec("[1, 2, 3]").ok());
+}
+
+TEST(ScenarioSpecTest, ValidateRejectsBadSpecs) {
+  const auto rejects = [](void (*mutate)(ScenarioSpec*)) {
+    ScenarioSpec spec = FullSpec();
+    mutate(&spec);
+    return !ValidateSpec(spec).ok();
+  };
+  EXPECT_TRUE(rejects([](ScenarioSpec* s) { s->name = ""; }));
+  EXPECT_TRUE(rejects([](ScenarioSpec* s) { s->name = "bad name!"; }));
+  EXPECT_TRUE(rejects([](ScenarioSpec* s) { s->corpus.attributes = 5; }));
+  EXPECT_TRUE(rejects([](ScenarioSpec* s) { s->corpus.days = 3; }));
+  EXPECT_TRUE(rejects([](ScenarioSpec* s) { s->corpus.burstiness = 1.0; }));
+  EXPECT_TRUE(rejects([](ScenarioSpec* s) { s->corpus.cluster_fraction = 1.5; }));
+  EXPECT_TRUE(rejects([](ScenarioSpec* s) {
+    s->corpus.cluster_fraction = 0.9;
+    s->corpus.noise_fraction = 0.9;  // Mix sums past the slack bound.
+  }));
+  EXPECT_TRUE(rejects([](ScenarioSpec* s) {
+    s->corpus.adversarial_fraction = 0.2;
+    s->corpus.adversarial_cardinality = 0;
+  }));
+  EXPECT_TRUE(rejects([](ScenarioSpec* s) { s->traffic.queries = 0; }));
+  EXPECT_TRUE(rejects([](ScenarioSpec* s) { s->traffic.batch_sizes.clear(); }));
+  EXPECT_TRUE(rejects([](ScenarioSpec* s) { s->traffic.batch_sizes = {0}; }));
+  EXPECT_TRUE(rejects([](ScenarioSpec* s) {
+    s->traffic.batch_weights = {1.0};  // Length mismatch vs batch_sizes.
+  }));
+  EXPECT_TRUE(rejects([](ScenarioSpec* s) {
+    s->traffic.hot_fraction = 0.5;
+    s->traffic.hot_set_fraction = 0.0;
+  }));
+  EXPECT_TRUE(rejects([](ScenarioSpec* s) { s->index.bloom_bits = 1000; }));
+  EXPECT_TRUE(rejects([](ScenarioSpec* s) { s->index.num_slices = 0; }));
+  EXPECT_TRUE(rejects([](ScenarioSpec* s) { s->min_precision = 1.5; }));
+  EXPECT_TRUE(rejects([](ScenarioSpec* s) {
+    s->corpus.cluster_fraction = 0.0;  // Floors need planted truth.
+  }));
+  EXPECT_TRUE(rejects([](ScenarioSpec* s) {
+    s->seed = (1ULL << 53) + 1;  // Outside the JSON-exact integer range.
+  }));
+}
+
+TEST(ScenarioSpecTest, BuiltinsAreValidAndFindable) {
+  const auto& builtins = BuiltinScenarios();
+  ASSERT_GE(builtins.size(), 4u);
+  std::set<std::string> names;
+  for (const ScenarioSpec& spec : builtins) {
+    EXPECT_TRUE(ValidateSpec(spec).ok()) << spec.name;
+    EXPECT_TRUE(names.insert(spec.name).second) << "duplicate " << spec.name;
+    const ScenarioSpec* found = FindBuiltinScenario(spec.name);
+    ASSERT_NE(found, nullptr) << spec.name;
+    EXPECT_EQ(*found, spec);
+  }
+  EXPECT_TRUE(names.count("planted-clusters"));
+  EXPECT_TRUE(names.count("adversarial-bloom"));
+  EXPECT_EQ(FindBuiltinScenario("no-such-scenario"), nullptr);
+}
+
+TEST(ScenarioSpecTest, ResolveBuiltinThenFileThenNotFound) {
+  auto builtin = ResolveScenario("baseline-small");
+  ASSERT_TRUE(builtin.ok());
+  EXPECT_EQ(builtin->name, "baseline-small");
+
+  const ScenarioSpec spec = FullSpec();
+  const std::string path = ::testing::TempDir() + "/scenario_resolve_spec.json";
+  ASSERT_TRUE(WriteSpecFile(spec, path).ok());
+  auto from_file = ResolveScenario(path);
+  ASSERT_TRUE(from_file.ok()) << from_file.status().message();
+  EXPECT_EQ(*from_file, spec);
+  std::remove(path.c_str());
+
+  auto missing = ResolveScenario("no-such-scenario");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_TRUE(missing.status().IsNotFound());
+  // The error should teach: it lists what *is* available.
+  EXPECT_NE(missing.status().message().find("baseline-small"),
+            std::string::npos)
+      << missing.status().message();
+}
+
+/// The committed scenarios/*.json artifacts must stay in lockstep with the
+/// builtin registry — CI runs the files, tests gate the registry, and a
+/// drifted pair would mean the two validate different workloads. Regenerate
+/// with `tind_scenario generate <name> --out=scenarios/<name>.json`
+/// (tests/README.md).
+TEST(ScenarioSpecTest, CommittedSpecFilesMatchBuiltins) {
+  for (const ScenarioSpec& spec : BuiltinScenarios()) {
+    const std::string path =
+        std::string(TIND_SOURCE_DIR) + "/scenarios/" + spec.name + ".json";
+    auto committed = LoadSpecFile(path);
+    ASSERT_TRUE(committed.ok()) << path << ": " << committed.status().message();
+    EXPECT_EQ(*committed, spec)
+        << spec.name << " drifted from its committed spec; regenerate "
+        << path;
+  }
+}
+
+ScenarioSpec SmallCorpusSpec(uint64_t seed = 7) {
+  ScenarioSpec spec = FullSpec();
+  spec.name = "test-small";
+  spec.seed = seed;
+  spec.corpus.attributes = 120;
+  spec.corpus.days = 200;
+  return spec;
+}
+
+TEST(ScenarioCorpusTest, MaterializeDeterministicInSeed) {
+  // The digest covers every version of every attribute, so equality here is
+  // bit-determinism of the whole corpus — including the burstiness and
+  // adversarial paths FullSpec turns on.
+  auto a = MaterializeCorpus(SmallCorpusSpec(11));
+  auto b = MaterializeCorpus(SmallCorpusSpec(11));
+  ASSERT_TRUE(a.ok()) << a.status().message();
+  ASSERT_TRUE(b.ok()) << b.status().message();
+  EXPECT_EQ(snapshot::ComputeCorpusDigest(a->dataset),
+            snapshot::ComputeCorpusDigest(b->dataset));
+  EXPECT_EQ(a->attribute_names, b->attribute_names);
+  EXPECT_EQ(a->ground_truth.pairs(), b->ground_truth.pairs());
+}
+
+TEST(ScenarioCorpusTest, MaterializeDiffersAcrossSeeds) {
+  auto a = MaterializeCorpus(SmallCorpusSpec(1));
+  auto b = MaterializeCorpus(SmallCorpusSpec(2));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(snapshot::ComputeCorpusDigest(a->dataset),
+            snapshot::ComputeCorpusDigest(b->dataset));
+}
+
+TEST(ScenarioCorpusTest, KnobsReachTheGenerator) {
+  const ScenarioSpec spec = FullSpec();
+  const wiki::GeneratorOptions opts = ToGeneratorOptions(spec);
+  EXPECT_EQ(opts.seed, spec.seed);
+  EXPECT_EQ(opts.num_days, spec.corpus.days);
+  EXPECT_EQ(opts.zipf_skew, spec.corpus.zipf_skew);
+  EXPECT_EQ(opts.burstiness, spec.corpus.burstiness);
+  EXPECT_EQ(opts.chain_probability, spec.corpus.chain_probability);
+  EXPECT_EQ(opts.error_rate, spec.corpus.error_rate);
+  EXPECT_EQ(opts.adversarial_cardinality, spec.corpus.adversarial_cardinality);
+  EXPECT_EQ(opts.adversarial_changes_mean, spec.corpus.adversarial_churn);
+  EXPECT_GT(opts.num_families, 0u);
+  EXPECT_GT(opts.num_adversarial_attributes, 0u);
+  EXPECT_EQ(opts.shared_vocabulary, spec.corpus.shared_vocabulary);
+  EXPECT_TRUE(wiki::ValidateGeneratorOptions(opts).ok());
+
+  // Every builtin must also map onto generator options that validate.
+  for (const ScenarioSpec& builtin : BuiltinScenarios()) {
+    EXPECT_TRUE(wiki::ValidateGeneratorOptions(ToGeneratorOptions(builtin)).ok())
+        << builtin.name;
+  }
+}
+
+TEST(ScenarioTrafficTest, PlanDeterministicInSeed) {
+  const ScenarioSpec spec = FullSpec();
+  const TrafficPlan a = BuildTrafficPlan(spec, 150);
+  const TrafficPlan b = BuildTrafficPlan(spec, 150);
+  ASSERT_EQ(a.batches.size(), b.batches.size());
+  for (size_t i = 0; i < a.batches.size(); ++i) {
+    EXPECT_EQ(a.batches[i].forward, b.batches[i].forward);
+    EXPECT_EQ(a.batches[i].queries, b.batches[i].queries);
+  }
+  EXPECT_EQ(a.total_queries, b.total_queries);
+  EXPECT_EQ(a.hot_set_size, b.hot_set_size);
+
+  ScenarioSpec other = spec;
+  other.seed = spec.seed + 1;
+  const TrafficPlan c = BuildTrafficPlan(other, 150);
+  bool identical = a.batches.size() == c.batches.size();
+  for (size_t i = 0; identical && i < a.batches.size(); ++i) {
+    identical = a.batches[i].forward == c.batches[i].forward &&
+                a.batches[i].queries == c.batches[i].queries;
+  }
+  EXPECT_FALSE(identical) << "traffic plan ignored the seed";
+}
+
+TEST(ScenarioTrafficTest, PlanHonoursTheSpec) {
+  ScenarioSpec spec = FullSpec();
+  spec.traffic.queries = 500;
+  const size_t num_attributes = 200;
+  const TrafficPlan plan = BuildTrafficPlan(spec, num_attributes);
+  EXPECT_EQ(plan.total_queries, spec.traffic.queries);
+  EXPECT_EQ(plan.hot_set_size,
+            static_cast<size_t>(num_attributes *
+                                spec.traffic.hot_set_fraction));
+  size_t counted = 0;
+  size_t forward = 0;
+  for (const QueryBatch& batch : plan.batches) {
+    ASSERT_FALSE(batch.queries.empty());
+    // Batch sizes come from the declared mix (the last batch may be trimmed
+    // to the remaining query budget).
+    const bool in_mix =
+        std::find(spec.traffic.batch_sizes.begin(),
+                  spec.traffic.batch_sizes.end(),
+                  static_cast<int64_t>(batch.queries.size())) !=
+        spec.traffic.batch_sizes.end();
+    EXPECT_TRUE(in_mix || &batch == &plan.batches.back())
+        << "batch of size " << batch.queries.size();
+    for (AttributeId id : batch.queries) {
+      EXPECT_LT(static_cast<size_t>(id), num_attributes);
+    }
+    counted += batch.queries.size();
+    if (batch.forward) forward += batch.queries.size();
+  }
+  EXPECT_EQ(counted, plan.total_queries);
+  EXPECT_EQ(forward, plan.forward_queries);
+  // reverse_fraction = 0.4 over 500 queries: both directions must appear.
+  EXPECT_GT(plan.forward_queries, 0u);
+  EXPECT_LT(plan.forward_queries, plan.total_queries);
+}
+
+TEST(ScenarioTrafficTest, HotTrafficConcentrates) {
+  ScenarioSpec spec = FullSpec();
+  spec.traffic.queries = 2000;
+  spec.traffic.hot_fraction = 1.0;
+  spec.traffic.hot_set_fraction = 0.05;
+  const size_t num_attributes = 400;
+  const TrafficPlan plan = BuildTrafficPlan(spec, num_attributes);
+  std::set<AttributeId> distinct;
+  for (const QueryBatch& batch : plan.batches) {
+    distinct.insert(batch.queries.begin(), batch.queries.end());
+  }
+  // All traffic is hot, so at most hot_set_size distinct attributes appear.
+  EXPECT_LE(distinct.size(), plan.hot_set_size);
+  EXPECT_GT(distinct.size(), 0u);
+}
+
+/// The property the whole factory exists for: pairs the generator plants as
+/// genuine tINDs are recovered by DiscoverAllTinds at lenient ε/δ. Run on a
+/// small planted-cluster grid to keep the test in tier-1 time.
+TEST(ScenarioDiscoveryTest, PlantedPairsAreRecovered) {
+  ScenarioSpec spec;
+  spec.name = "test-recovery";
+  spec.seed = 29;
+  spec.corpus.attributes = 140;
+  spec.corpus.days = 300;
+  spec.corpus.cluster_fraction = 0.7;
+  spec.corpus.noise_fraction = 0.15;
+  spec.corpus.drifter_fraction = 0.05;
+  spec.corpus.chain_probability = 0.6;
+  spec.corpus.error_rate = 0.04;
+  spec.corpus.unlinked_variant_probability = 0.0;
+  spec.index.bloom_bits = 2048;
+  spec.index.epsilon = 6.0;  // Lenient relaxation: planted errors forgiven.
+  spec.index.delta = 10;
+  spec.min_precision = 0.6;
+  spec.min_recall = 0.5;
+  ASSERT_TRUE(ValidateSpec(spec).ok());
+
+  ScenarioRunOptions options;
+  options.run_traffic = false;
+  auto report = RunScenario(spec, options);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_GT(report->planted_pairs, 0u);
+  EXPECT_GE(report->precision, spec.min_precision)
+      << report->true_positives << "/" << report->discovered_pairs;
+  EXPECT_GE(report->recall, spec.min_recall)
+      << report->true_positives << "/" << report->planted_pairs;
+  EXPECT_TRUE(report->floors_ok) << report->floor_failure;
+
+  // The report row is the BENCH_scenarios.json schema; spot-check the keys
+  // check_bench_json.py baselines rely on.
+  ASSERT_TRUE(report->json.is_object());
+  EXPECT_NE(report->json.Find("discovery"), nullptr);
+  EXPECT_NE(report->json.Find("floors"), nullptr);
+  EXPECT_NE(report->json.FindPath("corpus.digest"), nullptr);
+}
+
+TEST(ScenarioDiscoveryTest, RunReportsDeterministicDigest) {
+  ScenarioSpec spec = SmallCorpusSpec(31);
+  spec.min_precision = 0.0;
+  spec.min_recall = 0.0;
+  ScenarioRunOptions options;
+  options.run_traffic = false;
+  options.run_discovery = false;
+  auto a = RunScenario(spec, options);
+  auto b = RunScenario(spec, options);
+  ASSERT_TRUE(a.ok()) << a.status().message();
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->corpus_digest, b->corpus_digest);
+  EXPECT_NE(a->corpus_digest, 0u);
+}
+
+}  // namespace
+}  // namespace tind::scenario

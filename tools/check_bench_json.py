@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_*.json report against a committed baseline.
+
+A baseline file (bench/baselines/*.json) declares, per dotted path into the
+report, the expected type and a tolerance band:
+
+    {
+      "target": "BENCH_batch_query.json",
+      "rules": [
+        {"path": "attributes", "type": "number"},
+        {"path": "aggregate.speedup", "type": "number",
+         "baseline": 1.8, "min_ratio": 0.67},
+        {"path": "forward.batch[-1].qps", "type": "number", "min": 0},
+        {"path": "scenarios[scenario=planted-clusters].floors.ok",
+         "type": "bool", "equals": true}
+      ]
+    }
+
+Path segments descend objects by key; `name[3]` / `name[-1]` index into an
+array; `name[key=value]` selects the array element whose member `key` (or,
+one level down, `spec.key`) equals `value` — that is how a scenario row is
+picked out of BENCH_scenarios.json.
+
+Per rule:
+  type       expected JSON type: number | string | bool | array | object
+  min / max  absolute bounds on a number
+  baseline + min_ratio / max_ratio
+             relative band: actual >= baseline * min_ratio (and/or
+             <= baseline * max_ratio) — the committed number is the
+             reference measurement, the ratio is the tolerance
+  equals     exact value match (any JSON type)
+
+Every violated rule is reported (expected vs actual, in one readable table);
+exit status is 1 if any rule failed, 0 otherwise. Missing paths fail their
+rule unless "optional": true.
+
+Usage:
+    check_bench_json.py --report BENCH_batch_query.json \
+        --baseline bench/baselines/batch_query.json
+"""
+
+import argparse
+import json
+import re
+import sys
+
+_INDEX_RE = re.compile(r"^([^\[\]]+)\[([^\[\]]+)\]$")
+
+_TYPE_CHECKS = {
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "string": lambda v: isinstance(v, str),
+    "bool": lambda v: isinstance(v, bool),
+    "array": lambda v: isinstance(v, list),
+    "object": lambda v: isinstance(v, dict),
+}
+
+
+class PathError(Exception):
+    pass
+
+
+def _select(array, key, value):
+    """Array element whose `key` (or `spec.key`) member stringifies to value."""
+    for element in array:
+        if not isinstance(element, dict):
+            continue
+        candidate = element.get(key)
+        if candidate is None and isinstance(element.get("spec"), dict):
+            candidate = element["spec"].get(key)
+        if candidate is not None and str(candidate) == value:
+            return element
+    raise PathError(f"no array element with {key}={value}")
+
+
+def resolve(doc, path):
+    node = doc
+    for segment in path.split("."):
+        match = _INDEX_RE.match(segment)
+        key, index = (match.group(1), match.group(2)) if match else (segment, None)
+        if not isinstance(node, dict) or key not in node:
+            raise PathError(f"missing key '{key}'")
+        node = node[key]
+        if index is not None:
+            if not isinstance(node, list):
+                raise PathError(f"'{key}' is not an array")
+            if "=" in index:
+                sel_key, sel_value = index.split("=", 1)
+                node = _select(node, sel_key, sel_value)
+            else:
+                try:
+                    node = node[int(index)]
+                except (ValueError, IndexError) as e:
+                    raise PathError(f"bad index '{index}' into '{key}': {e}")
+    return node
+
+
+def check_rule(doc, rule):
+    """Returns a list of (expected, actual) failure descriptions."""
+    path = rule["path"]
+    try:
+        value = resolve(doc, path)
+    except PathError as e:
+        if rule.get("optional"):
+            return []
+        return [("path present", str(e))]
+
+    failures = []
+    expected_type = rule.get("type")
+    if expected_type is not None:
+        checker = _TYPE_CHECKS.get(expected_type)
+        if checker is None:
+            failures.append((f"known type (got rule type '{expected_type}')", ""))
+        elif not checker(value):
+            failures.append((f"type {expected_type}", f"{type(value).__name__} = {value!r}"))
+            return failures  # Bounds on a mistyped value only add noise.
+
+    if "equals" in rule and value != rule["equals"]:
+        failures.append((f"== {rule['equals']!r}", repr(value)))
+
+    numeric = _TYPE_CHECKS["number"](value)
+    for bound, op in (("min", lambda v, b: v >= b), ("max", lambda v, b: v <= b)):
+        if bound in rule:
+            if not numeric:
+                failures.append((f"{bound} {rule[bound]} (numeric)", repr(value)))
+            elif not op(value, rule[bound]):
+                failures.append((f"{bound} {rule[bound]}", f"{value:g}"))
+
+    if "baseline" in rule and numeric:
+        base = rule["baseline"]
+        if "min_ratio" in rule and value < base * rule["min_ratio"]:
+            failures.append(
+                (f">= {base:g} * {rule['min_ratio']:g} = {base * rule['min_ratio']:g}",
+                 f"{value:g}"))
+        if "max_ratio" in rule and value > base * rule["max_ratio"]:
+            failures.append(
+                (f"<= {base:g} * {rule['max_ratio']:g} = {base * rule['max_ratio']:g}",
+                 f"{value:g}"))
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--report", required=True, help="BENCH_*.json to validate")
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline with schema + tolerance rules")
+    args = parser.parse_args()
+
+    try:
+        with open(args.report) as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"FAIL: cannot read report {args.report}: {e}", file=sys.stderr)
+        return 1
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"FAIL: cannot read baseline {args.baseline}: {e}", file=sys.stderr)
+        return 1
+
+    rules = baseline.get("rules", [])
+    if not rules:
+        print(f"FAIL: baseline {args.baseline} has no rules", file=sys.stderr)
+        return 1
+
+    rows = []
+    failed = 0
+    for rule in rules:
+        failures = check_rule(report, rule)
+        if failures:
+            failed += 1
+            for expected, actual in failures:
+                rows.append((rule["path"], expected, actual, "FAIL"))
+        else:
+            rows.append((rule["path"], rule.get("type", "-"), "-", "ok"))
+
+    widths = [max(len(r[i]) for r in rows + [("path", "expected", "actual", "")])
+              for i in range(3)]
+    print(f"{args.report} vs {args.baseline}:")
+    print(f"  {'path':<{widths[0]}}  {'expected':<{widths[1]}}  "
+          f"{'actual':<{widths[2]}}  verdict")
+    for path, expected, actual, verdict in rows:
+        print(f"  {path:<{widths[0]}}  {expected:<{widths[1]}}  "
+              f"{actual:<{widths[2]}}  {verdict}")
+    if failed:
+        print(f"FAIL: {failed}/{len(rules)} rules violated", file=sys.stderr)
+        return 1
+    print(f"OK: {len(rules)} rules satisfied")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

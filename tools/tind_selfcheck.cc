@@ -4,6 +4,9 @@
 ///
 ///   tind_selfcheck --metrics_json=out.json
 ///   tind_selfcheck --attributes=300 --days=800 --queries=10 --seed=11
+///   tind_selfcheck --scenario=planted-clusters   # extra scenario stage:
+///       run the named scenario (or spec file) end to end and gate on its
+///       precision/recall floors against the planted ground truth
 ///
 /// Chaos mode runs the fault-injection harness instead (requires a build
 /// with TIND_ENABLE_FAULT_INJECTION=ON): every injected fault must surface
@@ -12,6 +15,8 @@
 ///
 ///   tind_selfcheck --chaos --seed=3 --fault_prob=0.05 --metrics_json=out.json
 ///   tind_selfcheck --chaos --no_kill_resume   # in hosts where fork is unsafe
+///   tind_selfcheck --chaos --scenario=bursty-clusters   # fault stages over
+///       a scenario-factory corpus shape instead of the default mix
 ///
 /// Exit status: 0 when every check passed, 1 otherwise (setup failures
 /// print the Status and also exit 1).
@@ -63,6 +68,7 @@ int RunChaosMode(const tind::Flags& flags) {
   options.run_kill_resume =
       !flags.GetBool("no_kill_resume", false) &&
       flags.GetBool("kill_resume", true);
+  options.scenario = flags.GetString("scenario", "");
 
   auto report = tind::eval::RunChaosCheck(options);
   if (!report.ok()) {
@@ -106,6 +112,7 @@ int main(int argc, char** argv) {
   options.delta = flags.GetInt("delta", options.delta);
   options.run_discovery = flags.GetBool("discovery", true);
   options.use_thread_pool = flags.GetBool("threads", true);
+  options.scenario = flags.GetString("scenario", "");
 
   auto report = tind::eval::RunSelfCheck(options);
   if (!report.ok()) {
