@@ -1,0 +1,116 @@
+#ifndef TIND_COMMON_BACKOFF_H_
+#define TIND_COMMON_BACKOFF_H_
+
+/// \file backoff.h
+/// Retry pacing for transient failures: exponential backoff with decorrelated
+/// jitter ("Exponential Backoff And Jitter", AWS Architecture Blog) and an
+/// optional overall deadline cap. Header-only and deterministic given a
+/// seeded Rng, so retry schedules are unit-testable and reproducible across
+/// chaos runs.
+///
+/// Used by the serving client (`src/serve/client.cc`) for reconnect/retry and
+/// by discovery's checkpoint-write path (`src/tind/discovery.cc`) to ride out
+/// transient sidecar I/O failures.
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace tind {
+
+/// Tuning knobs for ExponentialBackoff. Defaults suit a local RPC client:
+/// first retry after ~2ms, capped at 250ms per sleep.
+struct BackoffOptions {
+  /// Lower bound for every sleep and the base of the first one, in
+  /// microseconds. Must be >= 1.
+  uint64_t initial_us = 2000;
+  /// Upper bound for a single sleep, in microseconds.
+  uint64_t max_us = 250000;
+  /// Growth factor of the decorrelated-jitter recurrence. Each sleep is drawn
+  /// uniformly from [initial_us, prev * multiplier], so the *expected* delay
+  /// grows geometrically while consecutive clients decorrelate.
+  double multiplier = 3.0;
+  /// Hard cap on the retry budget: once cumulative sleep would exceed this,
+  /// NextDelayUs() reports exhaustion. 0 disables the cap.
+  uint64_t deadline_us = 0;
+  /// Maximum number of sleeps handed out. 0 disables the cap.
+  uint32_t max_retries = 0;
+};
+
+/// \brief Decorrelated-jitter backoff schedule.
+///
+/// Usage:
+///   ExponentialBackoff backoff(options, /*seed=*/run_seed);
+///   while (!attempt()) {
+///     uint64_t sleep_us;
+///     if (!backoff.NextDelayUs(&sleep_us)) break;  // budget exhausted
+///     SleepFor(sleep_us);
+///   }
+///
+/// Not thread-safe; one instance per retry loop.
+class ExponentialBackoff {
+ public:
+  explicit ExponentialBackoff(const BackoffOptions& options, uint64_t seed = 1)
+      : options_(options), rng_(seed) {
+    if (options_.initial_us == 0) options_.initial_us = 1;
+    if (options_.max_us < options_.initial_us)
+      options_.max_us = options_.initial_us;
+    if (options_.multiplier < 1.0) options_.multiplier = 1.0;
+    prev_us_ = options_.initial_us;
+  }
+
+  /// Produces the next sleep duration. Returns false — leaving `*delay_us`
+  /// untouched — once the retry count or the cumulative deadline budget is
+  /// exhausted; callers must then give up (or escalate).
+  bool NextDelayUs(uint64_t* delay_us) {
+    if (options_.max_retries != 0 && retries_ >= options_.max_retries)
+      return false;
+    // Decorrelated jitter: uniform in [initial, prev * multiplier], clamped.
+    const double upper_f =
+        static_cast<double>(prev_us_) * options_.multiplier;
+    uint64_t upper = upper_f >= static_cast<double>(options_.max_us)
+                         ? options_.max_us
+                         : static_cast<uint64_t>(upper_f);
+    upper = std::max(upper, options_.initial_us);
+    const uint64_t span = upper - options_.initial_us;
+    uint64_t next = options_.initial_us;
+    if (span > 0) next += rng_.Uniform(span + 1);
+    if (options_.deadline_us != 0) {
+      if (slept_us_ >= options_.deadline_us) return false;
+      // Trim the final sleep so the whole schedule fits the deadline budget.
+      next = std::min(next, options_.deadline_us - slept_us_);
+      if (next == 0) return false;
+    }
+    prev_us_ = next;
+    slept_us_ += next;
+    ++retries_;
+    *delay_us = next;
+    return true;
+  }
+
+  /// Number of delays handed out so far.
+  uint32_t retries() const { return retries_; }
+  /// Total microseconds of sleep handed out so far.
+  uint64_t total_delay_us() const { return slept_us_; }
+
+  /// Resets the schedule to its initial state (e.g. after a success, so the
+  /// next failure starts from `initial_us` again). The RNG stream continues —
+  /// it is not re-seeded — so schedules stay decorrelated across episodes.
+  void Reset() {
+    prev_us_ = options_.initial_us;
+    slept_us_ = 0;
+    retries_ = 0;
+  }
+
+ private:
+  BackoffOptions options_;
+  Rng rng_;
+  uint64_t prev_us_ = 0;
+  uint64_t slept_us_ = 0;
+  uint32_t retries_ = 0;
+};
+
+}  // namespace tind
+
+#endif  // TIND_COMMON_BACKOFF_H_

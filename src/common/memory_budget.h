@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "common/status.h"
@@ -25,7 +26,9 @@ class MemoryBudget {
       : capacity_(capacity_bytes) {}
 
   /// Reserves `bytes`; fails with OutOfMemory if the cap would be exceeded.
-  /// Rejections are tallied in the "memory/budget_rejections" obs counter.
+  /// Rejections are tallied exactly in `rejections()` (always on, used by the
+  /// serving admission controller) and in the "memory/budget_rejections" obs
+  /// counter (only when metrics are enabled).
   Status Allocate(size_t bytes) {
     size_t current = used_.load(std::memory_order_relaxed);
     while (true) {
@@ -34,6 +37,17 @@ class MemoryBudget {
       // this API but keeps the arithmetic safe against misuse of Free().
       if (capacity_ != 0 &&
           (current > capacity_ || bytes > capacity_ - current)) {
+        // `current` may be stale: a failed compare_exchange (or the initial
+        // load) can hand us a value a concurrent Free() has since lowered.
+        // Re-read before declaring failure so a request is only rejected
+        // against a value `used_` actually held at this instant — rejection
+        // counts stay exact instead of racy under reserve/release churn.
+        const size_t fresh = used_.load(std::memory_order_relaxed);
+        if (fresh != current) {
+          current = fresh;
+          continue;
+        }
+        rejections_.fetch_add(1, std::memory_order_relaxed);
         TIND_OBS_COUNTER_ADD("memory/budget_rejections", 1);
         return Status::OutOfMemory(
             "memory budget exceeded: used " + std::to_string(current) +
@@ -52,10 +66,15 @@ class MemoryBudget {
 
   size_t used() const { return used_.load(std::memory_order_relaxed); }
   size_t capacity() const { return capacity_; }
+  /// Exact number of Allocate() calls rejected since construction.
+  uint64_t rejections() const {
+    return rejections_.load(std::memory_order_relaxed);
+  }
 
  private:
   const size_t capacity_;
   std::atomic<size_t> used_{0};
+  std::atomic<uint64_t> rejections_{0};
 };
 
 /// \brief RAII tracker for bytes reserved from a MemoryBudget.

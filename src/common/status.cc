@@ -22,8 +22,37 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal error";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "Deadline exceeded";
   }
   return "Unknown";
+}
+
+int StatusExitCode(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kNotFound:
+      return 2;
+    case StatusCode::kIOError:
+      return 3;
+    // Both codes mean "the artifact exists but its contents are unusable"
+    // (bad magic/CRC/version, digest mismatch, malformed flags): fatal, do
+    // not retry against the same file.
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kFailedPrecondition:
+      return 4;
+    case StatusCode::kOutOfMemory:
+      return 5;
+    case StatusCode::kResourceExhausted:
+      return 6;
+    case StatusCode::kDeadlineExceeded:
+      return 7;
+    default:
+      return 1;
+  }
 }
 
 std::string Status::ToString() const {

@@ -25,6 +25,8 @@ enum class StatusCode : unsigned char {
   kFailedPrecondition = 6,
   kInternal = 7,
   kCancelled = 8,
+  kResourceExhausted = 9,
+  kDeadlineExceeded = 10,
 };
 
 /// Returns a human-readable name for a status code, e.g. "Invalid argument".
@@ -70,6 +72,12 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -87,6 +95,12 @@ class Status {
   bool IsFailedPrecondition() const { return code() == StatusCode::kFailedPrecondition; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;
@@ -149,6 +163,18 @@ class Result {
  private:
   std::variant<T, Status> payload_;
 };
+
+/// Maps a Status to a stable process exit code so orchestration scripts can
+/// distinguish retryable startup failures (missing file, transient I/O,
+/// resource pressure) from fatal ones (corruption, misconfiguration) without
+/// parsing stderr. OK -> 0; every other category gets a distinct small code.
+/// Used by `tind_snapshot verify` and `tind_serve --preflight`; documented in
+/// DESIGN.md §13.
+///
+///   0 OK            | 2 NotFound      | 3 IOError            | 4 corruption
+///   (InvalidArgument/FailedPrecondition) | 5 OutOfMemory (budget)
+///   | 6 ResourceExhausted | 7 DeadlineExceeded | 1 anything else
+int StatusExitCode(const Status& status);
 
 /// Propagates a non-OK status to the caller.
 #define TIND_RETURN_IF_ERROR(expr)           \

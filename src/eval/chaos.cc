@@ -16,6 +16,9 @@
 #include <unistd.h>
 #endif
 
+#include <chrono>
+#include <thread>
+
 #include "common/fault_injection.h"
 #include "common/memory_budget.h"
 #include "snapshot/snapshot.h"
@@ -23,6 +26,9 @@
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "scenario/scenario.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/wire.h"
 #include "temporal/weights.h"
 #include "tind/discovery.h"
 #include "tind/index.h"
@@ -90,6 +96,11 @@ class ChaosScopeGuard {
 bool FileExists(const std::string& path) {
   return std::ifstream(path).good();
 }
+
+#if defined(__unix__) || defined(__APPLE__)
+/// SIGTERM latch for the forked chaos server child (stage 7).
+volatile std::sig_atomic_t g_serve_child_stop = 0;
+#endif
 
 std::string PairsDiff(size_t got, size_t want) {
   return std::to_string(got) + " pairs vs baseline " + std::to_string(want);
@@ -488,6 +499,200 @@ Result<ChaosReport> RunChaosCheck(const ChaosOptions& options) {
     std::remove(bad_path.c_str());
     std::remove(snap_path.c_str());
   }
+
+  // ---- Stage 7: serving chaos -------------------------------------------
+  // A forked child serves the prebuilt index (copy-on-write) over TCP; the
+  // parent plays an adversarial client: correctness vs the direct index,
+  // garbage / bit-flipped frames, a slow loris, a SIGKILL mid-stream with a
+  // respawn the retrying client must converge through, and finally a
+  // SIGTERM that must drain and exit 0.
+#if defined(__unix__) || defined(__APPLE__)
+  if (options.run_kill_resume) {
+    const std::string port_path = options.work_dir + "/chaos-port-" + tag;
+    std::remove(port_path.c_str());
+    injector.Reset();
+
+    serve::ServerOptions server_options;
+    server_options.io_timeout_ms = 200;  // Aggressive slow-loris guard.
+    server_options.default_deadline_ms = 1000;
+
+    const auto spawn_server = [&](uint16_t fixed_port) -> pid_t {
+      const pid_t pid = ::fork();
+      if (pid != 0) return pid;
+      // Child: serve until SIGTERM, then drain and exit 0. _exit on every
+      // path so the parent's streams/atexit state stays untouched.
+      FaultInjector::Global().Reset();
+      serve::ServerOptions child_options = server_options;
+      child_options.port = fixed_port;
+      serve::TindServer server(index, params, child_options);
+      if (!server.Start().ok()) ::_exit(3);
+      if (fixed_port == 0) {
+        // Publish the ephemeral port atomically (write + rename).
+        const std::string tmp = port_path + ".tmp";
+        {
+          std::ofstream out(tmp, std::ios::trunc);
+          out << server.port() << "\n";
+        }
+        if (std::rename(tmp.c_str(), port_path.c_str()) != 0) ::_exit(4);
+      }
+      g_serve_child_stop = 0;
+      std::signal(SIGTERM, [](int) { g_serve_child_stop = 1; });
+      while (g_serve_child_stop == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+      server.Shutdown();
+      ::_exit(0);
+    };
+
+    pid_t server_pid = spawn_server(0);
+    uint16_t port = 0;
+    if (server_pid > 0) {
+      for (int i = 0; i < 1000 && port == 0; ++i) {
+        std::ifstream in(port_path);
+        int parsed = 0;
+        if (in >> parsed && parsed > 0) {
+          port = static_cast<uint16_t>(parsed);
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+    checks.Record("serve_child_started", port != 0,
+                  port != 0 ? "" : "no port published within 10s");
+    if (port != 0) {
+      serve::ClientOptions client_options;
+      client_options.port = port;
+      client_options.epsilon = params.epsilon;
+      client_options.delta = params.delta;
+      client_options.max_attempts = 8;
+      client_options.backoff.initial_us = 2000;
+      client_options.backoff.max_us = 200000;
+      serve::TindClient client(client_options);
+      Status up = Status::Internal("never pinged");
+      for (int i = 0; i < 100; ++i) {
+        up = client.Ping();
+        if (up.ok()) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+      checks.Record("serve_ping_ok", up.ok(), up.ToString());
+
+      // A: served answers must be bit-identical to direct index calls.
+      bool all_match = true;
+      std::string mismatch;
+      for (size_t q = 0; q < dataset.size() && all_match; q += 7) {
+        const AttributeId attr = static_cast<AttributeId>(q);
+        const auto& history = dataset.attribute(attr);
+        auto forward = client.Search(attr);
+        auto reverse = client.ReverseSearch(attr);
+        if (!forward.ok() || forward->ids != index.Search(history, params) ||
+            !reverse.ok() ||
+            reverse->ids != index.ReverseSearch(history, params)) {
+          all_match = false;
+          mismatch = "attribute " + std::to_string(q) + ": " +
+                     (forward.ok() ? reverse.status().ToString()
+                                   : forward.status().ToString());
+        }
+      }
+      checks.Record("serve_answers_match_direct_index", all_match, mismatch);
+
+      // B: garbage and bit-flipped frames get typed errors; the server
+      // survives and keeps answering healthy clients.
+      auto raw = serve::ConnectTcp("127.0.0.1", port, 1000);
+      if (raw.ok()) {
+        const Status sent =
+            serve::SendAll(*raw, "????definitely not a TIND frame????", 1000);
+        auto reply = serve::RecvFrame(*raw, 3000, 3000);
+        checks.Record(
+            "serve_garbage_frame_typed_error",
+            sent.ok() && reply.ok() &&
+                reply->header.type == serve::MessageType::kError &&
+                serve::DecodeErrorResponse(reply->payload).IsInvalidArgument(),
+            reply.ok() ? "" : reply.status().ToString());
+        serve::CloseFd(*raw);
+      } else {
+        checks.Record("serve_garbage_frame_typed_error", false,
+                      raw.status().ToString());
+      }
+      auto flip = serve::ConnectTcp("127.0.0.1", port, 1000);
+      if (flip.ok()) {
+        std::string frame = serve::EncodeFrame(
+            serve::MessageType::kSearch, 77,
+            serve::EncodeSearchRequest(serve::SearchRequest{}));
+        frame[serve::kFrameHeaderBytes + 1] ^= 0x04;
+        const Status sent = serve::SendAll(*flip, frame, 1000);
+        auto reply = serve::RecvFrame(*flip, 3000, 3000);
+        checks.Record("serve_bit_flip_typed_error",
+                      sent.ok() && reply.ok() &&
+                          reply->header.type == serve::MessageType::kError,
+                      reply.ok() ? "" : reply.status().ToString());
+        serve::CloseFd(*flip);
+      } else {
+        checks.Record("serve_bit_flip_typed_error", false,
+                      flip.status().ToString());
+      }
+      checks.Record("serve_survives_malformed_frames", client.Search(0).ok());
+
+      // C: a slow loris (frame started, then silence) is cut within the
+      // io timeout; the server stays responsive throughout.
+      auto loris = serve::ConnectTcp("127.0.0.1", port, 1000);
+      if (loris.ok()) {
+        const std::string frame = serve::EncodeFrame(
+            serve::MessageType::kSearch, 78,
+            serve::EncodeSearchRequest(serve::SearchRequest{}));
+        const Status dribble = serve::SendAll(
+            *loris, std::string_view(frame).substr(0, 6), 1000);
+        const bool mid_loris_ok = client.Search(0).ok();
+        auto cut = serve::RecvFrame(*loris, 3000, 3000);
+        checks.Record("serve_slow_loris_cut",
+                      dribble.ok() && cut.status().IsIOError(),
+                      cut.status().ToString());
+        checks.Record("serve_alive_during_loris", mid_loris_ok);
+        serve::CloseFd(*loris);
+      } else {
+        checks.Record("serve_slow_loris_cut", false,
+                      loris.status().ToString());
+      }
+
+      // D: SIGKILL mid-stream, respawn on the same port; the client's
+      // retry/backoff + reconnect must converge to the correct answer.
+      ::kill(server_pid, SIGKILL);
+      int wstatus = 0;
+      ::waitpid(server_pid, &wstatus, 0);
+      checks.Record("serve_child_sigkilled",
+                    WIFSIGNALED(wstatus) && WTERMSIG(wstatus) == SIGKILL);
+      server_pid = spawn_server(port);
+      const AttributeId probe = static_cast<AttributeId>(dataset.size() / 2);
+      auto recovered = client.Search(probe);
+      checks.Record(
+          "serve_client_recovers_after_kill",
+          recovered.ok() &&
+              recovered->ids == index.Search(dataset.attribute(probe), params),
+          recovered.ok() ? "" : recovered.status().ToString());
+      checks.Record("serve_recovery_used_reconnect",
+                    client.counters().reconnects >= 2,
+                    std::to_string(client.counters().reconnects) +
+                        " reconnects recorded");
+
+      // E: SIGTERM must drain and exit 0 (the clean-shutdown contract).
+      if (server_pid > 0) {
+        ::kill(server_pid, SIGTERM);
+        int term_status = 0;
+        ::waitpid(server_pid, &term_status, 0);
+        checks.Record("serve_sigterm_drains_exit_zero",
+                      WIFEXITED(term_status) && WEXITSTATUS(term_status) == 0,
+                      "status " + std::to_string(term_status));
+      } else {
+        checks.Record("serve_sigterm_drains_exit_zero", false,
+                      "respawn fork failed");
+      }
+    } else if (server_pid > 0) {
+      ::kill(server_pid, SIGKILL);
+      int wstatus = 0;
+      ::waitpid(server_pid, &wstatus, 0);
+    }
+    std::remove(port_path.c_str());
+  }
+#endif  // defined(__unix__) || defined(__APPLE__)
 
   // ---- Metric assertions -------------------------------------------------
 #if !TIND_OBS_DISABLED

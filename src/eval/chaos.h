@@ -23,7 +23,16 @@
 ///     cleanly with the previously published artifact intact, a clean
 ///     mmap load must reproduce the baseline discovery exactly, and
 ///     truncated or bit-flipped snapshots must be rejected with typed
-///     errors.
+///     errors,
+///  8. serving chaos (gated on run_kill_resume, like stage 2 — it forks):
+///     a child process serves the index over TCP while the parent plays an
+///     adversarial client — served answers must be bit-identical to direct
+///     index calls; garbage and bit-flipped frames must earn typed errors
+///     without killing the server; a slow-loris connection must be cut
+///     within the io timeout; after a SIGKILL mid-stream and a respawn on
+///     the same port, the client's retry/backoff + reconnect must converge
+///     to the correct answer with zero hung requests; and SIGTERM must
+///     drain in-flight work and exit 0.
 ///
 /// Requires a binary built with TIND_ENABLE_FAULT_INJECTION=ON; reports
 /// FailedPrecondition otherwise.

@@ -1,0 +1,247 @@
+#include "serve/client.h"
+
+#include <chrono>
+#include <thread>
+
+namespace tind::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int RemainingMs(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - Clock::now())
+                        .count();
+  return left < 0 ? 0 : static_cast<int>(left);
+}
+
+}  // namespace
+
+bool IsRetryableServeError(const Status& status) {
+  // Transport failures and overload rejections are transient by design;
+  // a deadline miss may succeed on a less loaded attempt. Semantic errors
+  // (bad attribute, malformed request) will fail identically every time.
+  return status.IsIOError() || status.IsResourceExhausted() ||
+         status.IsOutOfMemory() || status.IsDeadlineExceeded();
+}
+
+TindClient::TindClient(const ClientOptions& options) : options_(options) {}
+
+TindClient::~TindClient() { Disconnect(); }
+
+void TindClient::Disconnect() {
+  if (fd_ >= 0) {
+    CloseFd(fd_);
+    fd_ = -1;
+  }
+}
+
+Status TindClient::EnsureConnected() {
+  if (fd_ >= 0) return Status::OK();
+  TIND_ASSIGN_OR_RETURN(
+      fd_, ConnectTcp(options_.host, options_.port,
+                      static_cast<int>(options_.connect_timeout_ms)));
+  ++counters_.reconnects;
+  return Status::OK();
+}
+
+Result<QueryReply> TindClient::Search(AttributeId attribute) {
+  SearchRequest request;
+  request.attribute = attribute;
+  return Execute(MessageType::kSearch, request);
+}
+
+Result<QueryReply> TindClient::ReverseSearch(AttributeId attribute) {
+  SearchRequest request;
+  request.attribute = attribute;
+  return Execute(MessageType::kReverseSearch, request);
+}
+
+Result<QueryReply> TindClient::DiscoveryWindow(AttributeId begin,
+                                               AttributeId end) {
+  SearchRequest request;
+  request.attribute = begin;
+  request.window_end = end;
+  return Execute(MessageType::kDiscoveryWindow, request);
+}
+
+Status TindClient::Ping() {
+  auto frame = Attempt(MessageType::kPing, "");
+  if (!frame.ok()) return frame.status();
+  if (frame->header.type != MessageType::kPong) {
+    return Status::Internal("unexpected ping reply type");
+  }
+  return Status::OK();
+}
+
+Result<QueryReply> TindClient::Execute(MessageType type,
+                                       const SearchRequest& base) {
+  SearchRequest request = base;
+  request.epsilon = options_.epsilon;
+  request.delta = options_.delta;
+  request.deadline_ms = options_.deadline_ms;
+  request.allow_degraded = options_.allow_degraded;
+  const std::string payload = EncodeSearchRequest(request);
+
+  ExponentialBackoff backoff(options_.backoff, options_.backoff_seed);
+  Status last = Status::Internal("no attempt made");
+  const uint32_t attempts = options_.max_attempts == 0
+                                ? 1
+                                : options_.max_attempts;
+  for (uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ++counters_.retries;
+      uint64_t delay_us = 0;
+      if (backoff.NextDelayUs(&delay_us)) {
+        std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+      }
+    }
+    auto frame = Attempt(type, payload);
+    if (!frame.ok()) {
+      last = frame.status();
+      if (!IsRetryableServeError(last)) return last;
+      continue;
+    }
+    switch (frame->header.type) {
+      case MessageType::kSearchResult: {
+        auto decoded = DecodeSearchResponse(frame->payload);
+        if (!decoded.ok()) return decoded.status();
+        QueryReply reply;
+        reply.ids = std::move(decoded->ids);
+        reply.degraded = decoded->degraded;
+        return reply;
+      }
+      case MessageType::kDiscoveryResult: {
+        auto decoded = DecodeDiscoveryResponse(frame->payload);
+        if (!decoded.ok()) return decoded.status();
+        QueryReply reply;
+        reply.pairs = std::move(decoded->pairs);
+        reply.degraded = decoded->degraded;
+        return reply;
+      }
+      case MessageType::kError: {
+        last = DecodeErrorResponse(frame->payload);
+        if (!IsRetryableServeError(last)) return last;
+        break;  // Retry with backoff.
+      }
+      default:
+        return Status::Internal("unexpected reply type " +
+                                std::to_string(static_cast<int>(
+                                    frame->header.type)));
+    }
+  }
+  return last;
+}
+
+Result<Frame> TindClient::Attempt(MessageType type,
+                                  const std::string& payload) {
+  ++counters_.attempts;
+  const Status connected = EnsureConnected();
+  if (!connected.ok()) return connected;
+  const uint64_t id = next_id_++;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(options_.response_timeout_ms);
+  {
+    const Status sent =
+        SendFrame(fd_, type, id, payload, RemainingMs(deadline));
+    if (!sent.ok()) {
+      Disconnect();
+      return sent.IsDeadlineExceeded()
+                 ? Status::IOError("request send timed out")
+                 : sent;
+    }
+  }
+
+  // Primary wait; with hedging enabled, wait only up to the hedge delay
+  // before opening the second connection.
+  const bool can_hedge = options_.hedge_delay_ms > 0;
+  const int first_wait =
+      can_hedge ? std::min<int>(static_cast<int>(options_.hedge_delay_ms),
+                                RemainingMs(deadline))
+                : RemainingMs(deadline);
+  auto reply = WaitReply(fd_, id, first_wait);
+  if (reply.ok() || !can_hedge || !reply.status().IsDeadlineExceeded()) {
+    if (!reply.ok() && !reply.status().IsDeadlineExceeded()) Disconnect();
+    if (!reply.ok() && reply.status().IsDeadlineExceeded()) {
+      // The response may still arrive for a later request's wait and be
+      // discarded by id; drop the stream to keep attempts independent.
+      Disconnect();
+      return Status::IOError("response timed out");
+    }
+    return reply;
+  }
+
+  // Hedge: same request, fresh connection, same id (the id identifies the
+  // logical request; whichever stream answers first wins).
+  ++counters_.hedges;
+  auto hedge_fd = ConnectTcp(options_.host, options_.port,
+                             RemainingMs(deadline));
+  if (!hedge_fd.ok()) {
+    Disconnect();
+    return Status::IOError("response timed out (hedge connect failed: " +
+                           hedge_fd.status().message() + ")");
+  }
+  const Status hedge_sent =
+      SendFrame(*hedge_fd, type, id, payload, RemainingMs(deadline));
+  if (!hedge_sent.ok()) {
+    CloseFd(*hedge_fd);
+    Disconnect();
+    return Status::IOError("response timed out (hedge send failed)");
+  }
+  // Alternate between the two streams in short slices until one answers.
+  while (RemainingMs(deadline) > 0) {
+    auto primary = WaitReply(fd_, id, 20);
+    if (primary.ok()) {
+      CloseFd(*hedge_fd);
+      return primary;
+    }
+    if (!primary.status().IsDeadlineExceeded()) {
+      // Primary died; promote the hedge to be the connection.
+      Disconnect();
+      fd_ = *hedge_fd;
+      auto hedged = WaitReply(fd_, id, RemainingMs(deadline));
+      if (hedged.ok()) ++counters_.hedge_wins;
+      if (!hedged.ok()) Disconnect();
+      return hedged;
+    }
+    auto hedged = WaitReply(*hedge_fd, id, 20);
+    if (hedged.ok()) {
+      ++counters_.hedge_wins;
+      // The hedge answered first: adopt it, retire the primary (which may
+      // still deliver a stale frame we would have to skip).
+      Disconnect();
+      fd_ = *hedge_fd;
+      return hedged;
+    }
+    if (!hedged.status().IsDeadlineExceeded()) {
+      CloseFd(*hedge_fd);
+      auto primary_rest = WaitReply(fd_, id, RemainingMs(deadline));
+      if (!primary_rest.ok()) Disconnect();
+      return primary_rest;
+    }
+  }
+  CloseFd(*hedge_fd);
+  Disconnect();
+  return Status::IOError("response timed out (hedged)");
+}
+
+Result<Frame> TindClient::WaitReply(int fd, uint64_t request_id,
+                                    int timeout_ms) {
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    auto frame =
+        RecvFrame(fd, RemainingMs(deadline),
+                  static_cast<int>(options_.response_timeout_ms));
+    if (!frame.ok()) return frame.status();
+    if (frame->header.request_id == request_id) return frame;
+    // A late answer to an abandoned attempt: drop it and keep waiting.
+    ++counters_.stale_replies;
+    if (RemainingMs(deadline) == 0) {
+      return Status::DeadlineExceeded("reply wait timed out");
+    }
+  }
+}
+
+}  // namespace tind::serve

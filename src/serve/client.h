@@ -1,0 +1,105 @@
+#ifndef TIND_SERVE_CLIENT_H_
+#define TIND_SERVE_CLIENT_H_
+
+/// \file client.h
+/// TindClient: a synchronous client for the tind_serve wire protocol with
+/// the full resilience kit — reconnect on transport failure, bounded
+/// retries with exponential backoff + decorrelated jitter
+/// (common/backoff.h), and optional hedged reads (a second connection is
+/// opened when the primary response is slow; the first answer wins).
+///
+/// Retry policy: transport errors (IOError), overload rejections
+/// (ResourceExhausted, OutOfMemory), and deadline errors are retried up to
+/// `max_attempts` with backoff; semantic errors (InvalidArgument,
+/// NotFound, ...) are returned immediately. Every attempt uses a fresh
+/// request id, so a late response from a timed-out attempt is recognized
+/// and discarded instead of being mistaken for the current answer.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/backoff.h"
+#include "common/status.h"
+#include "serve/wire.h"
+
+namespace tind::serve {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  uint32_t connect_timeout_ms = 1000;
+  /// How long one attempt waits for its response before giving up.
+  uint32_t response_timeout_ms = 2000;
+  /// Deadline budget sent with each request (0 = server default).
+  uint32_t deadline_ms = 0;
+  bool allow_degraded = false;
+  double epsilon = 3.0;
+  int64_t delta = 7;
+  /// Total tries per request (1 = no retries).
+  uint32_t max_attempts = 5;
+  BackoffOptions backoff{/*initial_us=*/2000, /*max_us=*/200000,
+                         /*multiplier=*/3.0, /*deadline_us=*/0,
+                         /*max_retries=*/0};
+  uint64_t backoff_seed = 1;
+  /// Hedged reads: after this long without a response, send the same
+  /// request on a second connection and take whichever answers first.
+  /// 0 disables hedging.
+  uint32_t hedge_delay_ms = 0;
+};
+
+struct QueryReply {
+  std::vector<AttributeId> ids;   ///< Search / reverse-search answers.
+  std::vector<TindPair> pairs;    ///< Discovery-window answers.
+  bool degraded = false;          ///< Superset answer (stages 3–4 skipped).
+};
+
+class TindClient {
+ public:
+  explicit TindClient(const ClientOptions& options);
+  ~TindClient();
+
+  TindClient(const TindClient&) = delete;
+  TindClient& operator=(const TindClient&) = delete;
+
+  Result<QueryReply> Search(AttributeId attribute);
+  Result<QueryReply> ReverseSearch(AttributeId attribute);
+  /// All pairs with lhs in [begin, end); width capped by the server.
+  Result<QueryReply> DiscoveryWindow(AttributeId begin, AttributeId end);
+  Status Ping();
+
+  /// Drops the current connection; the next request reconnects.
+  void Disconnect();
+
+  struct Counters {
+    uint64_t attempts = 0;
+    uint64_t retries = 0;
+    uint64_t reconnects = 0;
+    uint64_t hedges = 0;      ///< Hedge connections opened.
+    uint64_t hedge_wins = 0;  ///< Answers that came from the hedge.
+    uint64_t stale_replies = 0;  ///< Late frames for a previous attempt.
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  Result<QueryReply> Execute(MessageType type, const SearchRequest& request);
+  /// One attempt: send on the primary connection, wait (optionally hedging)
+  /// for the frame with the matching id.
+  Result<Frame> Attempt(MessageType type, const std::string& payload);
+  Status EnsureConnected();
+  /// Waits for a frame with `request_id` on `fd`; discards stale ids.
+  Result<Frame> WaitReply(int fd, uint64_t request_id, int timeout_ms);
+
+  ClientOptions options_;
+  int fd_ = -1;
+  uint64_t next_id_ = 1;
+  Counters counters_;
+};
+
+/// The shared retryability policy (also used by the load driver to decide
+/// what a failed request means).
+bool IsRetryableServeError(const Status& status);
+
+}  // namespace tind::serve
+
+#endif  // TIND_SERVE_CLIENT_H_

@@ -1,0 +1,541 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <tuple>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/socket.h>
+#endif
+
+#include "obs/metrics.h"
+
+namespace tind::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Poll tick for loops that must notice the stop flag while blocked on I/O.
+constexpr int kIdlePollMs = 100;
+
+}  // namespace
+
+/// Shared connection state: the fd lives as long as any queued request
+/// still holds a reference, so a response can always be attempted. The
+/// socket is shut down (not closed) to wake the reader; the fd itself is
+/// closed exactly once, when the last reference drops.
+struct TindServer::Connection {
+  explicit Connection(int fd) : fd(fd) {}
+
+  /// Lingering close: drain any request bytes the peer already sent before
+  /// closing. close() with an unread receive queue makes TCP send an RST,
+  /// which would destroy responses still buffered on the peer's side — the
+  /// exact frames a draining shutdown just promised to deliver.
+  ~Connection() {
+#if defined(__unix__) || defined(__APPLE__)
+    char sink[1024];
+    for (int i = 0; i < 64; ++i) {
+      if (::recv(fd, sink, sizeof(sink), MSG_DONTWAIT) <= 0) break;
+    }
+#endif
+    CloseFd(fd);
+  }
+
+  /// Half-closes both directions; any blocked reader/writer wakes with EOF.
+  void ShutdownSocket() {
+    if (!shut.exchange(true)) {
+#if defined(__unix__) || defined(__APPLE__)
+      ::shutdown(fd, SHUT_RDWR);
+#endif
+    }
+  }
+
+  const int fd;
+  std::mutex write_mutex;
+  std::atomic<bool> shut{false};
+};
+
+struct TindServer::PendingRequest {
+  std::shared_ptr<Connection> conn;
+  uint64_t request_id = 0;
+  MessageType type = MessageType::kSearch;
+  SearchRequest request;
+  CancellationToken cancel;
+  Clock::time_point admitted;
+  Clock::time_point deadline;
+  MemoryReservation reservation;
+  bool responded = false;
+};
+
+TindServer::TindServer(const TindIndex& index, const TindParams& params,
+                       const ServerOptions& options)
+    : index_(index), params_(params), options_(options) {}
+
+TindServer::~TindServer() { Shutdown(); }
+
+Status TindServer::Start() {
+  if (started_.exchange(true)) {
+    return Status::FailedPrecondition("server already started");
+  }
+  request_cost_bytes_ =
+      options_.request_cost_bytes != 0
+          ? options_.request_cost_bytes
+          : sizeof(PendingRequest) +
+                index_.dataset().size() * sizeof(AttributeId);
+  TIND_ASSIGN_OR_RETURN(listen_fd_, ListenTcp(options_.port));
+  TIND_ASSIGN_OR_RETURN(port_, LocalPort(listen_fd_));
+  latency_ms_ =
+      obs::MetricsRegistry::Global().GetHistogram("serve/latency_ms");
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  batcher_thread_ = std::thread([this] { BatcherLoop(); });
+  watcher_thread_ = std::thread([this] { WatcherLoop(); });
+  return Status::OK();
+}
+
+void TindServer::Shutdown() {
+  if (!started_.load() || shutting_down_.exchange(true)) return;
+  // Phase 1: stop admitting. Readers stay alive and answer new requests
+  // with a typed "draining" rejection so clients back off instead of
+  // hanging; the accept loop stops taking new connections.
+  draining_.store(true);
+  // Phase 2: wait for in-flight requests to be answered. Bounded: every
+  // admitted request carries a deadline the watcher enforces, and the
+  // batcher keeps dispatching until the queue is empty.
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    queue_cv_.notify_all();
+    drain_cv_.wait(lock, [this] { return inflight_ == 0; });
+  }
+  // Phase 3: tear down the threads and sockets.
+  stop_.store(true);
+  watcher_cv_.notify_all();
+  queue_cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (batcher_thread_.joinable()) batcher_thread_.join();
+  if (watcher_thread_.joinable()) watcher_thread_.join();
+  stop_readers_.store(true);
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (auto& weak : conns_) {
+      if (auto conn = weak.lock()) conn->ShutdownSocket();
+    }
+    for (std::thread& t : reader_threads_) {
+      if (t.joinable()) t.join();
+    }
+    reader_threads_.clear();
+    conns_.clear();
+  }
+  CloseFd(listen_fd_);
+  listen_fd_ = -1;
+}
+
+TindServer::Counters TindServer::counters() const {
+  Counters c;
+  c.connections = connections_.load();
+  c.connections_rejected = connections_rejected_.load();
+  c.accepted = accepted_.load();
+  c.completed = completed_.load();
+  c.degraded = degraded_.load();
+  c.shed = shed_.load();
+  c.deadline_exceeded = deadline_exceeded_.load();
+  c.protocol_errors = protocol_errors_.load();
+  c.slow_loris_drops = slow_loris_drops_.load();
+  return c;
+}
+
+double TindServer::LatencyPercentileMs(double p) const {
+  return latency_ms_ != nullptr ? latency_ms_->Percentile(p) : 0;
+}
+
+void TindServer::AcceptLoop() {
+  while (!stop_.load()) {
+    auto fd = AcceptConnection(listen_fd_, kIdlePollMs);
+    if (!fd.ok()) {
+      // Timeout tick: re-check the stop flag. Anything else on a listening
+      // socket is transient (e.g. the peer aborted before accept).
+      continue;
+    }
+    size_t open_count = 0;
+    {
+      std::lock_guard<std::mutex> lock(conns_mutex_);
+      conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                                  [](const std::weak_ptr<Connection>& w) {
+                                    return w.expired();
+                                  }),
+                   conns_.end());
+      open_count = conns_.size();
+    }
+    if (draining_.load() || open_count >= options_.max_connections) {
+      connections_rejected_.fetch_add(1);
+      CloseFd(*fd);
+      continue;
+    }
+    connections_.fetch_add(1);
+    auto conn = std::make_shared<Connection>(*fd);
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    conns_.push_back(conn);
+    reader_threads_.emplace_back(
+        [this, conn = std::move(conn)]() mutable { ReaderLoop(conn); });
+  }
+}
+
+void TindServer::ReaderLoop(std::shared_ptr<Connection> conn) {
+  while (!stop_readers_.load() && !conn->shut.load()) {
+    auto frame = RecvFrame(conn->fd, kIdlePollMs,
+                           static_cast<int>(options_.io_timeout_ms));
+    if (!frame.ok()) {
+      if (frame.status().IsDeadlineExceeded()) continue;  // Idle tick.
+      if (frame.status().IsInvalidArgument()) {
+        // The bytes are not a frame — after this the stream offset is
+        // unrecoverable, so answer once and drop the connection.
+        protocol_errors_.fetch_add(1);
+        TIND_OBS_COUNTER_ADD("serve/protocol_errors", 1);
+        SendToConnection(conn, MessageType::kError, 0,
+                         EncodeErrorResponse(frame.status()));
+      } else if (frame.status().message().find("stalled") !=
+                 std::string::npos) {
+        slow_loris_drops_.fetch_add(1);
+        TIND_OBS_COUNTER_ADD("serve/slow_loris_drops", 1);
+      }
+      break;  // EOF / reset / stall: the connection is done.
+    }
+    DispatchFrame(conn, *frame);
+  }
+  conn->ShutdownSocket();
+}
+
+void TindServer::DispatchFrame(const std::shared_ptr<Connection>& conn,
+                               const Frame& frame) {
+  switch (frame.header.type) {
+    case MessageType::kPing:
+      SendToConnection(conn, MessageType::kPong, frame.header.request_id, "");
+      return;
+    case MessageType::kSearch:
+    case MessageType::kReverseSearch:
+    case MessageType::kDiscoveryWindow:
+      AdmitRequest(conn, frame);
+      return;
+    default:
+      protocol_errors_.fetch_add(1);
+      SendToConnection(conn, MessageType::kError, frame.header.request_id,
+                       EncodeErrorResponse(Status::InvalidArgument(
+                           "unexpected message type " +
+                           std::to_string(static_cast<int>(
+                               frame.header.type)))));
+      return;
+  }
+}
+
+void TindServer::AdmitRequest(const std::shared_ptr<Connection>& conn,
+                              const Frame& frame) {
+  const auto reject = [&](const Status& status) {
+    SendToConnection(conn, MessageType::kError, frame.header.request_id,
+                     EncodeErrorResponse(status));
+  };
+  auto decoded = DecodeSearchRequest(frame.payload);
+  if (!decoded.ok()) {
+    protocol_errors_.fetch_add(1);
+    reject(decoded.status());
+    return;
+  }
+  const SearchRequest& request = *decoded;
+  const size_t n = index_.dataset().size();
+  size_t num_queries = 1;
+  if (frame.header.type == MessageType::kDiscoveryWindow) {
+    if (request.window_end <= request.attribute ||
+        request.window_end > n ||
+        request.window_end - request.attribute > kMaxDiscoveryWindow) {
+      protocol_errors_.fetch_add(1);
+      reject(Status::InvalidArgument(
+          "invalid discovery window [" + std::to_string(request.attribute) +
+          ", " + std::to_string(request.window_end) + ") over " +
+          std::to_string(n) + " attributes (max width " +
+          std::to_string(kMaxDiscoveryWindow) + ")"));
+      return;
+    }
+    num_queries = request.window_end - request.attribute;
+  } else if (request.attribute >= n) {
+    protocol_errors_.fetch_add(1);
+    reject(Status::InvalidArgument(
+        "attribute " + std::to_string(request.attribute) +
+        " out of range (dataset has " + std::to_string(n) + ")"));
+    return;
+  }
+
+  // ---- Admission ladder -------------------------------------------------
+  if (draining_.load()) {
+    shed_.fetch_add(1);
+    TIND_OBS_COUNTER_ADD("serve/shed", 1);
+    reject(Status::ResourceExhausted("server draining"));
+    return;
+  }
+  PendingRequest pending;
+  pending.reservation = MemoryReservation(options_.memory);
+  const Status reserved =
+      pending.reservation.Reserve(request_cost_bytes_ * num_queries);
+  if (!reserved.ok()) {
+    shed_.fetch_add(1);
+    TIND_OBS_COUNTER_ADD("serve/shed", 1);
+    reject(Status::OutOfMemory("overloaded: admission memory budget (" +
+                               reserved.message() + ")"));
+    return;
+  }
+  uint32_t budget_ms = request.deadline_ms != 0 ? request.deadline_ms
+                                                : options_.default_deadline_ms;
+  budget_ms = std::min(budget_ms, options_.max_deadline_ms);
+  pending.conn = conn;
+  pending.request_id = frame.header.request_id;
+  pending.type = frame.header.type;
+  pending.request = request;
+  pending.admitted = Clock::now();
+  pending.deadline = pending.admitted + std::chrono::milliseconds(budget_ms);
+  bool queue_full = false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (queue_.size() >= options_.max_inflight) {
+      queue_full = true;
+    } else {
+      ++inflight_;
+      accepted_.fetch_add(1);
+      TIND_OBS_GAUGE_SET("serve/queue_depth", queue_.size() + 1);
+      {
+        std::lock_guard<std::mutex> watcher_lock(watcher_mutex_);
+        watcher_heap_.push_back({pending.deadline, pending.cancel});
+        std::push_heap(watcher_heap_.begin(), watcher_heap_.end(),
+                       std::greater<DeadlineEntry>());
+      }
+      queue_.push_back(std::move(pending));
+    }
+  }
+  if (queue_full) {
+    // Rejections answer outside the queue lock: a slow peer must never
+    // stall admission for everyone else.
+    shed_.fetch_add(1);
+    TIND_OBS_COUNTER_ADD("serve/shed", 1);
+    reject(Status::ResourceExhausted(
+        "overloaded: admission queue full (" +
+        std::to_string(options_.max_inflight) + " in flight)"));
+    return;
+  }
+  watcher_cv_.notify_one();
+  queue_cv_.notify_one();
+}
+
+void TindServer::WatcherLoop() {
+  std::unique_lock<std::mutex> lock(watcher_mutex_);
+  while (!stop_.load()) {
+    if (watcher_heap_.empty()) {
+      watcher_cv_.wait_for(lock, std::chrono::milliseconds(kIdlePollMs));
+      continue;
+    }
+    const Clock::time_point due = watcher_heap_.front().due;
+    if (Clock::now() < due) {
+      watcher_cv_.wait_until(lock, due);
+      continue;
+    }
+    // Fire every entry that is due. Cancelling the token of a request that
+    // already completed is a harmless no-op (lazy deletion).
+    while (!watcher_heap_.empty() &&
+           watcher_heap_.front().due <= Clock::now()) {
+      std::pop_heap(watcher_heap_.begin(), watcher_heap_.end(),
+                    std::greater<DeadlineEntry>());
+      CancellationToken token = std::move(watcher_heap_.back().token);
+      watcher_heap_.pop_back();
+      lock.unlock();
+      token.Cancel();
+      lock.lock();
+    }
+  }
+}
+
+void TindServer::BatcherLoop() {
+  while (true) {
+    std::vector<PendingRequest> batch;
+    size_t depth_at_pop = 0;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock,
+                     [this] { return stop_.load() || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_.load()) break;
+        continue;
+      }
+      // Group commit: linger briefly so concurrent arrivals share one
+      // BatchSearch window (the Bloom matrices stream once per group).
+      if (queue_.size() < options_.batch_window &&
+          options_.batch_linger_us > 0 && !stop_.load()) {
+        queue_cv_.wait_for(
+            lock, std::chrono::microseconds(options_.batch_linger_us),
+            [this] {
+              return stop_.load() || queue_.size() >= options_.batch_window;
+            });
+      }
+      depth_at_pop = queue_.size();
+      const size_t take = std::min(queue_.size(), options_.batch_window);
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      TIND_OBS_GAUGE_SET("serve/queue_depth", queue_.size());
+    }
+    ProcessBatch(std::move(batch), depth_at_pop);
+  }
+}
+
+void TindServer::ProcessBatch(std::vector<PendingRequest>&& batch,
+                              size_t depth_at_pop) {
+  const bool degrade_window = depth_at_pop >= options_.degrade_watermark;
+  TIND_OBS_OBSERVE_BOUNDS("serve/batch_size", batch.size(),
+                          obs::ExponentialBuckets(1, 2, 12));
+
+  // Partition the window into execution groups: requests sharing
+  // (direction, ε, δ, degraded) run through one BatchSearch call.
+  struct Group {
+    std::vector<size_t> members;  ///< Indices into `batch`.
+    bool reverse = false;
+    bool superset = false;
+    double epsilon = 0;
+    int64_t delta = 0;
+  };
+  std::map<std::tuple<bool, bool, uint64_t, int64_t>, Group> groups;
+  const Clock::time_point now = Clock::now();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    PendingRequest& request = batch[i];
+    if (now >= request.deadline || request.cancel.cancelled()) {
+      RespondError(request,
+                   Status::DeadlineExceeded("deadline expired in queue"));
+      continue;
+    }
+    const bool reverse = request.type == MessageType::kReverseSearch;
+    const bool superset = degrade_window && request.request.allow_degraded;
+    uint64_t eps_bits = 0;
+    std::memcpy(&eps_bits, &request.request.epsilon, sizeof(eps_bits));
+    Group& group = groups[{reverse, superset, eps_bits,
+                           request.request.delta}];
+    group.reverse = reverse;
+    group.superset = superset;
+    group.epsilon = request.request.epsilon;
+    group.delta = request.request.delta;
+    group.members.push_back(i);
+  }
+
+  const Dataset& dataset = index_.dataset();
+  for (auto& [key, group] : groups) {
+    // Expand requests into index queries: one per search, window-width many
+    // per discovery request; every expanded query shares its request's
+    // cancellation token.
+    std::vector<const AttributeHistory*> queries;
+    std::vector<const CancellationToken*> cancels;
+    std::vector<std::pair<size_t, size_t>> spans;  // Per member: [lo, hi).
+    for (const size_t i : group.members) {
+      const PendingRequest& request = batch[i];
+      const size_t lo = queries.size();
+      if (request.type == MessageType::kDiscoveryWindow) {
+        for (AttributeId a = request.request.attribute;
+             a < request.request.window_end; ++a) {
+          queries.push_back(&dataset.attribute(a));
+          cancels.push_back(&request.cancel);
+        }
+      } else {
+        queries.push_back(&dataset.attribute(request.request.attribute));
+        cancels.push_back(&request.cancel);
+      }
+      spans.emplace_back(lo, queries.size());
+    }
+
+    TindParams params{group.epsilon, group.delta, params_.weight};
+    BatchExecOptions exec;
+    exec.cancels = cancels.data();
+    exec.superset_only = group.superset;
+    std::vector<QueryStats> stats;
+    const auto results =
+        group.reverse
+            ? index_.BatchReverseSearch(queries, params, exec, &stats)
+            : index_.BatchSearch(queries, params, exec, &stats);
+
+    for (size_t m = 0; m < group.members.size(); ++m) {
+      PendingRequest& request = batch[group.members[m]];
+      const auto [lo, hi] = spans[m];
+      bool cancelled = false;
+      bool was_degraded = false;
+      for (size_t q = lo; q < hi; ++q) {
+        cancelled = cancelled || stats[q].cancelled;
+        was_degraded = was_degraded || stats[q].degraded;
+      }
+      if (cancelled) {
+        RespondError(request, Status::DeadlineExceeded(
+                                  "deadline exceeded during execution"));
+        continue;
+      }
+      std::string payload;
+      MessageType type;
+      if (request.type == MessageType::kDiscoveryWindow) {
+        DiscoveryResponse response;
+        response.degraded = was_degraded;
+        for (size_t q = lo; q < hi; ++q) {
+          const AttributeId lhs =
+              request.request.attribute + static_cast<AttributeId>(q - lo);
+          for (const AttributeId rhs : results[q]) {
+            response.pairs.push_back(TindPair{lhs, rhs});
+          }
+        }
+        payload = EncodeDiscoveryResponse(response);
+        type = MessageType::kDiscoveryResult;
+      } else {
+        SearchResponse response;
+        response.degraded = was_degraded;
+        response.ids = results[lo];
+        payload = EncodeSearchResponse(response);
+        type = MessageType::kSearchResult;
+      }
+      if (was_degraded) {
+        degraded_.fetch_add(1);
+        TIND_OBS_COUNTER_ADD("serve/degraded", 1);
+      }
+      completed_.fetch_add(1);
+      latency_ms_->Observe(
+          std::chrono::duration<double, std::milli>(Clock::now() -
+                                                    request.admitted)
+              .count());
+      SendToConnection(request.conn, type, request.request_id, payload);
+      FinishRequest(request);
+    }
+  }
+}
+
+void TindServer::RespondError(PendingRequest& request, const Status& status) {
+  deadline_exceeded_.fetch_add(1);
+  TIND_OBS_COUNTER_ADD("serve/deadline_exceeded", 1);
+  SendToConnection(request.conn, MessageType::kError, request.request_id,
+                   EncodeErrorResponse(status));
+  FinishRequest(request);
+}
+
+void TindServer::FinishRequest(PendingRequest& request) {
+  if (request.responded) return;
+  request.responded = true;
+  request.reservation = MemoryReservation();  // Release admission bytes.
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  if (--inflight_ == 0) drain_cv_.notify_all();
+}
+
+void TindServer::SendToConnection(const std::shared_ptr<Connection>& conn,
+                                  MessageType type, uint64_t request_id,
+                                  const std::string& payload) {
+  std::lock_guard<std::mutex> lock(conn->write_mutex);
+  if (conn->shut.load()) return;
+  const Status sent = SendFrame(conn->fd, type, request_id, payload,
+                                static_cast<int>(options_.io_timeout_ms));
+  if (!sent.ok()) {
+    // A peer that cannot drain its responses in time is treated like a
+    // slow loris: the connection is cut, the request already counted.
+    conn->ShutdownSocket();
+  }
+}
+
+}  // namespace tind::serve

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 
+#include "common/backoff.h"
 #include "common/fault_injection.h"
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
@@ -111,6 +114,31 @@ Result<AllPairsResult> DiscoverAllTinds(const TindIndex& index,
     }
   };
 
+  // Checkpoint writes ride out transient sidecar I/O failures (full disk
+  // briefly, injected "discovery/checkpoint_write" faults) with bounded
+  // decorrelated-jitter retries before a write is recorded as failed. The
+  // seed is fixed: retry schedules stay reproducible across chaos runs.
+  const auto save_checkpoint_with_retry =
+      [&](const DiscoveryCheckpoint& snapshot) {
+        Status written =
+            SaveDiscoveryCheckpoint(snapshot, options.checkpoint_path);
+        if (!written.ok() && options.checkpoint_retries > 0) {
+          BackoffOptions backoff_options;
+          backoff_options.initial_us = 200;
+          backoff_options.max_us = 10000;
+          backoff_options.max_retries = options.checkpoint_retries;
+          ExponentialBackoff backoff(backoff_options, /*seed=*/0x74494e44);
+          uint64_t delay_us = 0;
+          while (!written.ok() && backoff.NextDelayUs(&delay_us)) {
+            std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+            TIND_OBS_COUNTER_ADD("discovery/checkpoint_retries", 1);
+            written =
+                SaveDiscoveryCheckpoint(snapshot, options.checkpoint_path);
+          }
+        }
+        record_checkpoint_write(written);
+      };
+
   // Records one answered query: validation count, result-byte budgeting,
   // and checkpoint cadence — the same per-query bookkeeping the pre-batch
   // driver did, replayed in ascending query order after each batch.
@@ -148,8 +176,7 @@ Result<AllPairsResult> DiscoverAllTinds(const TindIndex& index,
       }
     }
     if (write_checkpoint) {
-      record_checkpoint_write(
-          SaveDiscoveryCheckpoint(snapshot, options.checkpoint_path));
+      save_checkpoint_with_retry(snapshot);
     }
     return true;
   };
@@ -161,8 +188,7 @@ Result<AllPairsResult> DiscoverAllTinds(const TindIndex& index,
       std::lock_guard<std::mutex> lock(state_mutex);
       snapshot = MakeCheckpoint(n, done, per_query);
     }
-    record_checkpoint_write(
-        SaveDiscoveryCheckpoint(snapshot, options.checkpoint_path));
+    save_checkpoint_with_retry(snapshot);
   };
 
   // Window pending queries into batches and answer each window with one

@@ -73,6 +73,11 @@ struct DiscoveryOptions {
   std::string checkpoint_path;
   /// Completed queries between checkpoint writes.
   size_t checkpoint_interval = 64;
+  /// Transient checkpoint-write failures are retried this many times with
+  /// exponential backoff + decorrelated jitter (common/backoff.h) before the
+  /// write counts as failed; 0 disables retries. Retries are tallied in the
+  /// "discovery/checkpoint_retries" obs counter.
+  uint32_t checkpoint_retries = 3;
   /// Queries answered per TindIndex::BatchSearch group (0 behaves as 1).
   /// The driver windows pending queries into batch_size * pool-width
   /// chunks; cancellation, fault injection, budgeting, and checkpointing

@@ -306,13 +306,17 @@ void TindIndex::PruneReverseWithSlices(const AttributeHistory& query,
 std::vector<AttributeId> TindIndex::ValidateCandidates(
     const AttributeHistory& query, const TindParams& params,
     const BitVector& candidates, bool forward, QueryStats* stats,
-    ThreadPool* pool) const {
+    ThreadPool* pool, const CancellationToken* cancel) const {
   TIND_OBS_SCOPED_TIMER("validate");
   const std::vector<size_t> ids = candidates.ToIndexVector();
-  TIND_OBS_COUNTER_ADD("search/validations", ids.size());
-  if (stats != nullptr) stats->validations = ids.size();
   std::vector<char> valid(ids.size(), 0);
+  std::atomic<size_t> validations_run{0};
   const auto validate_one = [&](size_t i) {
+    // Validation is the most expensive stage, so cancellation is polled per
+    // candidate: once the token fires, at most the in-flight validations
+    // (one per worker) complete before the query is abandoned.
+    if (cancel != nullptr && cancel->cancelled()) return;
+    validations_run.fetch_add(1, std::memory_order_relaxed);
     const AttributeHistory& a =
         dataset_->attribute(static_cast<AttributeId>(ids[i]));
     const bool ok = forward
@@ -324,6 +328,17 @@ std::vector<AttributeId> TindIndex::ValidateCandidates(
     pool->ParallelFor(0, ids.size(), validate_one);
   } else {
     for (size_t i = 0; i < ids.size(); ++i) validate_one(i);
+  }
+  TIND_OBS_COUNTER_ADD("search/validations", validations_run.load());
+  if (stats != nullptr) stats->validations = validations_run.load();
+  if (cancel != nullptr && cancel->cancelled()) {
+    // A partially validated answer is neither exact nor a sound superset —
+    // return nothing and flag the abandonment.
+    if (stats != nullptr) {
+      stats->cancelled = true;
+      stats->num_results = 0;
+    }
+    return {};
   }
   std::vector<AttributeId> results;
   for (size_t i = 0; i < ids.size(); ++i) {
@@ -491,6 +506,7 @@ const std::vector<double>& GroupSizeBounds() {
 
 void TindIndex::BatchPruneWithSlices(const AttributeHistory* const* queries,
                                      size_t n, const TindParams& params,
+                                     const CancellationToken* const* cancels,
                                      BitVector* candidates) const {
   std::vector<std::unordered_map<AttributeId, double>> violations(n);
   std::vector<BatchSliceTask> tasks;
@@ -507,6 +523,14 @@ void TindIndex::BatchPruneWithSlices(const AttributeHistory* const* queries,
     tasks.clear();
     for (size_t b = 0; b < n; ++b) {
       if (candidates[b].None()) continue;
+      // Cancellation boundary: a query abandoned here plans no probes for
+      // this or any later slice, so at most one slice's worth of its probes
+      // (the ones already submitted last iteration) ever ran past Cancel().
+      if (cancels != nullptr && cancels[b] != nullptr &&
+          cancels[b]->cancelled()) {
+        candidates[b].ClearAll();
+        continue;
+      }
       const AttributeHistory& query = *queries[b];
       const auto [first, last] = query.VersionRangeInInterval(interval);
       for (int64_t v = first; v <= last; ++v) {
@@ -555,7 +579,7 @@ void TindIndex::BatchPruneWithSlices(const AttributeHistory* const* queries,
 
 void TindIndex::BatchPruneReverseWithSlices(
     const AttributeHistory* const* queries, size_t n, const TindParams& params,
-    BitVector* candidates) const {
+    const CancellationToken* const* cancels, BitVector* candidates) const {
   std::vector<std::unordered_map<AttributeId, double>> violations(n);
   std::vector<BatchSliceTask> tasks;
   std::vector<BloomProbe> probes;
@@ -580,6 +604,12 @@ void TindIndex::BatchPruneReverseWithSlices(
     tasks.clear();
     for (size_t b = 0; b < n; ++b) {
       if (candidates[b].None()) continue;
+      // Same cancellation boundary as the forward planner.
+      if (cancels != nullptr && cancels[b] != nullptr &&
+          cancels[b]->cancelled()) {
+        candidates[b].ClearAll();
+        continue;
+      }
       const ValueSet query_values = queries[b]->UnionInInterval(query_window);
       BatchSliceTask task;
       task.b = b;
@@ -655,13 +685,44 @@ void TindIndex::BatchPruneReverseWithSlices(
   TIND_OBS_COUNTER_ADD("index/batch_min_weights_reused", min_weights_reused);
 }
 
+namespace {
+
+/// Materializes a Bloom-funnel candidate set as the degraded superset answer.
+std::vector<AttributeId> SupersetResults(const BitVector& candidates) {
+  const std::vector<size_t> ids = candidates.ToIndexVector();
+  std::vector<AttributeId> results;
+  results.reserve(ids.size());
+  for (size_t id : ids) results.push_back(static_cast<AttributeId>(id));
+  return results;
+}
+
+}  // namespace
+
 void TindIndex::BatchForwardGroup(const AttributeHistory* const* queries,
                                   size_t n, const TindParams& params,
-                                  QueryStats* stats,
+                                  const CancellationToken* const* cancels,
+                                  bool superset_only, QueryStats* stats,
                                   std::vector<AttributeId>* results) const {
   Stopwatch timer;
   TIND_OBS_SCOPED_TIMER("batch_search_group");
   TIND_OBS_OBSERVE_BOUNDS("index/batch_group_size", n, GroupSizeBounds());
+
+  // Marks query `b` abandoned once its token is observed cancelled; sticky,
+  // so stats flags are set exactly once. Cancellation only ever *clears*
+  // candidate bits, so the other queries of the group are unaffected.
+  std::vector<char> abandoned(n, 0);
+  const auto poll_cancel = [&](size_t b, BitVector* cand) -> bool {
+    if (abandoned[b]) return true;
+    if (cancels == nullptr || cancels[b] == nullptr ||
+        !cancels[b]->cancelled()) {
+      return false;
+    }
+    abandoned[b] = 1;
+    if (cand != nullptr) cand->ClearAll();
+    if (stats != nullptr) stats[b].cancelled = true;
+    TIND_OBS_COUNTER_ADD("index/batch_cancelled_queries", 1);
+    return true;
+  };
 
   std::vector<BitVector> candidates;
   candidates.reserve(n);
@@ -680,6 +741,7 @@ void TindIndex::BatchForwardGroup(const AttributeHistory* const* queries,
   filters.reserve(n);  // Probes hold pointers into this; no reallocation.
   std::vector<BloomProbe> probes;
   for (size_t b = 0; b < n; ++b) {
+    if (poll_cancel(b, &candidates[b])) continue;
     required[b] =
         ComputeRequiredValues(*queries[b], *params.weight, params.epsilon);
     if (required[b].empty()) continue;
@@ -697,14 +759,15 @@ void TindIndex::BatchForwardGroup(const AttributeHistory* const* queries,
     }
   }
 
-  // Stage 2: shared slice pruning.
+  // Stage 2: shared slice pruning (observes `cancels` per planning step).
   const bool slices_usable = params.delta <= options_.delta;
   {
     TIND_OBS_SCOPED_TIMER("slice_prune");
     if (slices_usable) {
-      BatchPruneWithSlices(queries, n, params, candidates.data());
+      BatchPruneWithSlices(queries, n, params, cancels, candidates.data());
     }
   }
+  for (size_t b = 0; b < n; ++b) poll_cancel(b, &candidates[b]);
   if (stats != nullptr) {
     for (size_t b = 0; b < n; ++b) {
       stats[b].used_slices = slices_usable;
@@ -712,8 +775,27 @@ void TindIndex::BatchForwardGroup(const AttributeHistory* const* queries,
     }
   }
 
-  // Stages 3+4 are per-query, identical to Search().
+  // Stages 3+4 are per-query, identical to Search(). In superset mode both
+  // are skipped: the stage-1/2 survivors are the (sound) degraded answer.
   for (size_t b = 0; b < n; ++b) {
+    if (poll_cancel(b, &candidates[b])) {
+      results[b].clear();
+      if (stats != nullptr) {
+        stats[b].after_exact_check = 0;
+        stats[b].num_results = 0;
+      }
+      continue;
+    }
+    if (superset_only) {
+      results[b] = SupersetResults(candidates[b]);
+      if (stats != nullptr) {
+        stats[b].degraded = true;
+        stats[b].after_exact_check = candidates[b].Count();
+        stats[b].num_results = results[b].size();
+      }
+      TIND_OBS_COUNTER_ADD("index/batch_degraded_queries", 1);
+      continue;
+    }
     if (!required[b].empty()) {
       candidates[b].ForEachSet([&](size_t c) {
         if (!required[b].IsSubsetOf(
@@ -723,10 +805,10 @@ void TindIndex::BatchForwardGroup(const AttributeHistory* const* queries,
       });
     }
     if (stats != nullptr) stats[b].after_exact_check = candidates[b].Count();
-    results[b] = ValidateCandidates(*queries[b], params, candidates[b],
-                                    /*forward=*/true,
-                                    stats != nullptr ? &stats[b] : nullptr,
-                                    /*pool=*/nullptr);
+    results[b] = ValidateCandidates(
+        *queries[b], params, candidates[b],
+        /*forward=*/true, stats != nullptr ? &stats[b] : nullptr,
+        /*pool=*/nullptr, cancels != nullptr ? cancels[b] : nullptr);
   }
   if (stats != nullptr && n > 0) {
     // Per-query wall time is not separable inside a shared scan; report
@@ -738,11 +820,26 @@ void TindIndex::BatchForwardGroup(const AttributeHistory* const* queries,
 
 void TindIndex::BatchReverseGroup(const AttributeHistory* const* queries,
                                   size_t n, const TindParams& params,
-                                  QueryStats* stats,
+                                  const CancellationToken* const* cancels,
+                                  bool superset_only, QueryStats* stats,
                                   std::vector<AttributeId>* results) const {
   Stopwatch timer;
   TIND_OBS_SCOPED_TIMER("batch_reverse_group");
   TIND_OBS_OBSERVE_BOUNDS("index/batch_group_size", n, GroupSizeBounds());
+
+  std::vector<char> abandoned(n, 0);
+  const auto poll_cancel = [&](size_t b, BitVector* cand) -> bool {
+    if (abandoned[b]) return true;
+    if (cancels == nullptr || cancels[b] == nullptr ||
+        !cancels[b]->cancelled()) {
+      return false;
+    }
+    abandoned[b] = 1;
+    if (cand != nullptr) cand->ClearAll();
+    if (stats != nullptr) stats[b].cancelled = true;
+    TIND_OBS_COUNTER_ADD("index/batch_cancelled_queries", 1);
+    return true;
+  };
 
   std::vector<BitVector> candidates;
   candidates.reserve(n);
@@ -766,6 +863,7 @@ void TindIndex::BatchReverseGroup(const AttributeHistory* const* queries,
     std::vector<BloomProbe> probes;
     probes.reserve(n);
     for (size_t b = 0; b < n; ++b) {
+      if (poll_cancel(b, &candidates[b])) continue;
       filters.push_back(reverse_matrix_.MakeQueryFilter(queries[b]->AllValues()));
       probes.push_back(BloomProbe{&filters.back(), &candidates[b]});
     }
@@ -778,14 +876,16 @@ void TindIndex::BatchReverseGroup(const AttributeHistory* const* queries,
     }
   }
 
-  // Stage 2: shared reverse slice pruning.
+  // Stage 2: shared reverse slice pruning (observes `cancels` per step).
   const bool slices_usable = params.delta <= options_.delta;
   {
     TIND_OBS_SCOPED_TIMER("slice_prune");
     if (slices_usable) {
-      BatchPruneReverseWithSlices(queries, n, params, candidates.data());
+      BatchPruneReverseWithSlices(queries, n, params, cancels,
+                                  candidates.data());
     }
   }
+  for (size_t b = 0; b < n; ++b) poll_cancel(b, &candidates[b]);
   if (stats != nullptr) {
     for (size_t b = 0; b < n; ++b) {
       stats[b].used_slices = slices_usable;
@@ -795,14 +895,16 @@ void TindIndex::BatchReverseGroup(const AttributeHistory* const* queries,
 
   // Stage 3: exact recheck. R_{ε,w}(A) depends only on the candidate and
   // the build parameters, so compute it once per surviving candidate and
-  // test it against every query of the group.
-  if (prefilter_usable) {
+  // test it against every query of the group. Skipped entirely in superset
+  // mode — stage-1/2 survivors are the degraded answer.
+  if (prefilter_usable && !superset_only) {
     TIND_OBS_SCOPED_TIMER("exact_recheck");
     // R_{ε,w}(A) at the build parameters is the required_values_ table built
     // (or snapshot-restored) with the index — no per-call recomputation.
     assert(required_values_.size() == dataset_->size());
     size_t required_reused = 0;
     for (size_t b = 0; b < n; ++b) {
+      if (abandoned[b]) continue;
       const ValueSet& query_all = queries[b]->AllValues();
       candidates[b].ForEachSet([&](size_t c) {
         ++required_reused;
@@ -812,11 +914,29 @@ void TindIndex::BatchReverseGroup(const AttributeHistory* const* queries,
     TIND_OBS_COUNTER_ADD("index/batch_required_values_reused", required_reused);
   }
   for (size_t b = 0; b < n; ++b) {
+    if (poll_cancel(b, &candidates[b])) {
+      results[b].clear();
+      if (stats != nullptr) {
+        stats[b].after_exact_check = 0;
+        stats[b].num_results = 0;
+      }
+      continue;
+    }
+    if (superset_only) {
+      results[b] = SupersetResults(candidates[b]);
+      if (stats != nullptr) {
+        stats[b].degraded = true;
+        stats[b].after_exact_check = candidates[b].Count();
+        stats[b].num_results = results[b].size();
+      }
+      TIND_OBS_COUNTER_ADD("index/batch_degraded_queries", 1);
+      continue;
+    }
     if (stats != nullptr) stats[b].after_exact_check = candidates[b].Count();
-    results[b] = ValidateCandidates(*queries[b], params, candidates[b],
-                                    /*forward=*/false,
-                                    stats != nullptr ? &stats[b] : nullptr,
-                                    /*pool=*/nullptr);
+    results[b] = ValidateCandidates(
+        *queries[b], params, candidates[b],
+        /*forward=*/false, stats != nullptr ? &stats[b] : nullptr,
+        /*pool=*/nullptr, cancels != nullptr ? cancels[b] : nullptr);
   }
   if (stats != nullptr && n > 0) {
     const double per_query_ms = timer.ElapsedMillis() / static_cast<double>(n);
@@ -826,8 +946,8 @@ void TindIndex::BatchReverseGroup(const AttributeHistory* const* queries,
 
 std::vector<std::vector<AttributeId>> TindIndex::BatchExecute(
     const std::vector<const AttributeHistory*>& queries,
-    const TindParams& params, std::vector<QueryStats>* stats, ThreadPool* pool,
-    bool forward) const {
+    const TindParams& params, const BatchExecOptions& exec,
+    std::vector<QueryStats>* stats, ThreadPool* pool, bool forward) const {
   assert(params.weight != nullptr);
   const size_t n = queries.size();
   std::vector<std::vector<AttributeId>> results(n);
@@ -846,11 +966,15 @@ std::vector<std::vector<AttributeId>> TindIndex::BatchExecute(
          lo += kBloomBatchGroupSize) {
       const size_t g = std::min(kBloomBatchGroupSize, range.end - lo);
       QueryStats* group_stats = stats != nullptr ? stats->data() + lo : nullptr;
+      const CancellationToken* const* group_cancels =
+          exec.cancels != nullptr ? exec.cancels + lo : nullptr;
       if (forward) {
-        BatchForwardGroup(queries.data() + lo, g, params, group_stats,
+        BatchForwardGroup(queries.data() + lo, g, params, group_cancels,
+                          exec.superset_only, group_stats,
                           results.data() + lo);
       } else {
-        BatchReverseGroup(queries.data() + lo, g, params, group_stats,
+        BatchReverseGroup(queries.data() + lo, g, params, group_cancels,
+                          exec.superset_only, group_stats,
                           results.data() + lo);
       }
     }
@@ -867,18 +991,32 @@ std::vector<std::vector<AttributeId>> TindIndex::BatchSearch(
     const std::vector<const AttributeHistory*>& queries,
     const TindParams& params, std::vector<QueryStats>* stats,
     ThreadPool* pool) const {
+  return BatchSearch(queries, params, BatchExecOptions{}, stats, pool);
+}
+
+std::vector<std::vector<AttributeId>> TindIndex::BatchSearch(
+    const std::vector<const AttributeHistory*>& queries,
+    const TindParams& params, const BatchExecOptions& exec,
+    std::vector<QueryStats>* stats, ThreadPool* pool) const {
   TIND_OBS_SCOPED_TIMER("batch_search");
   TIND_OBS_COUNTER_ADD("index/batch_queries", queries.size());
-  return BatchExecute(queries, params, stats, pool, /*forward=*/true);
+  return BatchExecute(queries, params, exec, stats, pool, /*forward=*/true);
 }
 
 std::vector<std::vector<AttributeId>> TindIndex::BatchReverseSearch(
     const std::vector<const AttributeHistory*>& queries,
     const TindParams& params, std::vector<QueryStats>* stats,
     ThreadPool* pool) const {
+  return BatchReverseSearch(queries, params, BatchExecOptions{}, stats, pool);
+}
+
+std::vector<std::vector<AttributeId>> TindIndex::BatchReverseSearch(
+    const std::vector<const AttributeHistory*>& queries,
+    const TindParams& params, const BatchExecOptions& exec,
+    std::vector<QueryStats>* stats, ThreadPool* pool) const {
   TIND_OBS_SCOPED_TIMER("batch_reverse_search");
   TIND_OBS_COUNTER_ADD("index/batch_reverse_queries", queries.size());
-  return BatchExecute(queries, params, stats, pool, /*forward=*/false);
+  return BatchExecute(queries, params, exec, stats, pool, /*forward=*/false);
 }
 
 size_t TindIndex::MemoryUsageBytes() const {

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "bloom/bloom_matrix.h"
+#include "common/cancellation.h"
 #include "common/memory_budget.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -84,7 +85,34 @@ struct QueryStats {
   size_t validations = 0;         ///< Exact Algorithm-2 validations run.
   bool used_slices = false;       ///< False when query δ exceeded build δ.
   bool used_prefilter = false;    ///< False when M_T/M_R was unusable.
+  /// True when this query's CancellationToken fired mid-funnel: the result
+  /// list is empty and every remaining stage was skipped.
+  bool cancelled = false;
+  /// True when the query ran in superset mode (BatchExecOptions below):
+  /// results are the sound Bloom-funnel superset, not the exact answer.
+  bool degraded = false;
   double elapsed_ms = 0;
+};
+
+/// Per-call execution controls for BatchSearch / BatchReverseSearch. The
+/// serving layer is the primary client: deadline watchers cancel individual
+/// requests mid-funnel, and overload turns whole batches into cheap
+/// superset ("degraded") answers.
+struct BatchExecOptions {
+  /// Optional per-query cancellation tokens, parallel to `queries`; nullptr
+  /// (the array or an entry) means "not cancellable". Cancellation is
+  /// cooperative and observed between probe blocks: a cancelled query is
+  /// abandoned at the next stage boundary / slice-planning step / validation
+  /// candidate, its result comes back empty with stats.cancelled = true, and
+  /// the other queries of the batch are unaffected (bit-identical to running
+  /// without the cancelled query's token).
+  const CancellationToken* const* cancels = nullptr;
+  /// When true, skip the exact recheck + Algorithm-2 validation stages and
+  /// return the candidate set surviving the Bloom funnel (stages 1-2). The
+  /// answer is a guaranteed superset of the exact result (both stages are
+  /// sound prunes) at a fraction of the cost; stats.degraded is set. This is
+  /// the serving layer's brown-out mode under sustained overload.
+  bool superset_only = false;
 };
 
 /// \brief Immutable tIND search index over one Dataset.
@@ -138,6 +166,15 @@ class TindIndex {
       const TindParams& params, std::vector<QueryStats>* stats = nullptr,
       ThreadPool* pool = nullptr) const;
 
+  /// BatchSearch with per-query cancellation and/or degraded superset mode
+  /// (see BatchExecOptions). With default-constructed options this is
+  /// bit-identical to the overload above.
+  std::vector<std::vector<AttributeId>> BatchSearch(
+      const std::vector<const AttributeHistory*>& queries,
+      const TindParams& params, const BatchExecOptions& exec,
+      std::vector<QueryStats>* stats = nullptr,
+      ThreadPool* pool = nullptr) const;
+
   /// Batched reverse search — same contract as BatchSearch relative to
   /// looped ReverseSearch(). Batching pays the most here: subset probes
   /// touch nearly every row of M_R, and the per-candidate minimum-violation
@@ -146,6 +183,14 @@ class TindIndex {
   std::vector<std::vector<AttributeId>> BatchReverseSearch(
       const std::vector<const AttributeHistory*>& queries,
       const TindParams& params, std::vector<QueryStats>* stats = nullptr,
+      ThreadPool* pool = nullptr) const;
+
+  /// BatchReverseSearch with per-query cancellation and/or degraded superset
+  /// mode (see BatchExecOptions).
+  std::vector<std::vector<AttributeId>> BatchReverseSearch(
+      const std::vector<const AttributeHistory*>& queries,
+      const TindParams& params, const BatchExecOptions& exec,
+      std::vector<QueryStats>* stats = nullptr,
       ThreadPool* pool = nullptr) const;
 
   /// Total bytes held in Bloom matrices ((k+1 [+1]) * m * |D| / 8).
@@ -193,37 +238,45 @@ class TindIndex {
 
   /// Runs exact validation over the surviving candidates; `forward` selects
   /// the containment direction.
-  std::vector<AttributeId> ValidateCandidates(const AttributeHistory& query,
-                                              const TindParams& params,
-                                              const BitVector& candidates,
-                                              bool forward, QueryStats* stats,
-                                              ThreadPool* pool) const;
+  std::vector<AttributeId> ValidateCandidates(
+      const AttributeHistory& query, const TindParams& params,
+      const BitVector& candidates, bool forward, QueryStats* stats,
+      ThreadPool* pool, const CancellationToken* cancel = nullptr) const;
 
   /// Shared batch driver: shards the batch (across `pool` when given), then
   /// runs the group pipeline per shard.
   std::vector<std::vector<AttributeId>> BatchExecute(
       const std::vector<const AttributeHistory*>& queries,
-      const TindParams& params, std::vector<QueryStats>* stats,
-      ThreadPool* pool, bool forward) const;
+      const TindParams& params, const BatchExecOptions& exec,
+      std::vector<QueryStats>* stats, ThreadPool* pool, bool forward) const;
 
   /// One group (≤ kBloomBatchGroupSize queries) of the forward batch
   /// pipeline: M_T group probe → shared slice planning → exact recheck →
-  /// validation, writing results[b] / stats[b] per query.
+  /// validation, writing results[b] / stats[b] per query. `cancels`, when
+  /// non-null, is parallel to this group's queries.
   void BatchForwardGroup(const AttributeHistory* const* queries, size_t n,
-                         const TindParams& params, QueryStats* stats,
+                         const TindParams& params,
+                         const CancellationToken* const* cancels,
+                         bool superset_only, QueryStats* stats,
                          std::vector<AttributeId>* results) const;
 
   /// One group of the reverse batch pipeline (M_R subset probes, shared
   /// minimum-violation weights, shared required-value recheck).
   void BatchReverseGroup(const AttributeHistory* const* queries, size_t n,
-                         const TindParams& params, QueryStats* stats,
+                         const TindParams& params,
+                         const CancellationToken* const* cancels,
+                         bool superset_only, QueryStats* stats,
                          std::vector<AttributeId>* results) const;
 
   /// Slice-stage pruning for a forward group: decodes each query's slice
   /// versions once, probes all (query, version) filters of a slice as one
   /// batch, then replays the partial-violation bookkeeping per query.
+  /// Cancellation is observed at each slice's planning step: a cancelled
+  /// query plans no further probes (at most one already-planned slice of
+  /// probes still executes) and its candidate set is cleared.
   void BatchPruneWithSlices(const AttributeHistory* const* queries, size_t n,
                             const TindParams& params,
+                            const CancellationToken* const* cancels,
                             BitVector* candidates) const;
 
   /// Reverse slice pruning for a group, with the per-candidate minimum
@@ -232,6 +285,7 @@ class TindIndex {
   /// query, only on the candidate attribute and the slice interval.
   void BatchPruneReverseWithSlices(const AttributeHistory* const* queries,
                                    size_t n, const TindParams& params,
+                                   const CancellationToken* const* cancels,
                                    BitVector* candidates) const;
 
   /// Populates required_values_ / reverse_min_weights_ from the dataset and

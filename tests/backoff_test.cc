@@ -1,0 +1,147 @@
+#include "common/backoff.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace tind {
+namespace {
+
+std::vector<uint64_t> Drain(ExponentialBackoff* b, size_t max_steps = 64) {
+  std::vector<uint64_t> delays;
+  uint64_t d = 0;
+  while (delays.size() < max_steps && b->NextDelayUs(&d)) delays.push_back(d);
+  return delays;
+}
+
+TEST(BackoffTest, DeterministicForFixedSeed) {
+  BackoffOptions options;
+  options.initial_us = 1000;
+  options.max_us = 64000;
+  ExponentialBackoff a(options, /*seed=*/42);
+  ExponentialBackoff b(options, /*seed=*/42);
+  EXPECT_EQ(Drain(&a, 16), Drain(&b, 16));
+}
+
+TEST(BackoffTest, SeedsDecorrelate) {
+  BackoffOptions options;
+  options.initial_us = 1000;
+  options.max_us = 1u << 20;
+  ExponentialBackoff a(options, /*seed=*/1);
+  ExponentialBackoff b(options, /*seed=*/2);
+  EXPECT_NE(Drain(&a, 16), Drain(&b, 16));
+}
+
+TEST(BackoffTest, DelaysRespectBounds) {
+  BackoffOptions options;
+  options.initial_us = 500;
+  options.max_us = 8000;
+  options.multiplier = 3.0;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    ExponentialBackoff backoff(options, seed);
+    uint64_t prev = options.initial_us;
+    for (int i = 0; i < 50; ++i) {
+      uint64_t d = 0;
+      ASSERT_TRUE(backoff.NextDelayUs(&d));
+      EXPECT_GE(d, options.initial_us);
+      EXPECT_LE(d, options.max_us);
+      // Decorrelated-jitter recurrence: each draw is bounded by 3x the
+      // previous sleep (or the global cap), not 3x the initial value.
+      EXPECT_LE(d, std::max<uint64_t>(
+                       options.initial_us,
+                       std::min<uint64_t>(options.max_us,
+                                          static_cast<uint64_t>(prev * 3.0))));
+      prev = d;
+    }
+  }
+}
+
+TEST(BackoffTest, ExpectedDelayGrowsThenSaturates) {
+  // Averaged over many seeds, early sleeps must be materially shorter than
+  // late (saturated) sleeps — i.e. the schedule really is exponential-ish.
+  BackoffOptions options;
+  options.initial_us = 100;
+  options.max_us = 100000;
+  double first_sum = 0, late_sum = 0;
+  const int kSeeds = 200;
+  for (int seed = 1; seed <= kSeeds; ++seed) {
+    ExponentialBackoff backoff(options, static_cast<uint64_t>(seed));
+    const std::vector<uint64_t> delays = Drain(&backoff, 12);
+    ASSERT_EQ(delays.size(), 12u);
+    first_sum += static_cast<double>(delays[0]);
+    late_sum += static_cast<double>(delays[11]);
+  }
+  EXPECT_LT(first_sum / kSeeds, 400.0);       // E[first] = (100+300)/2 = 200
+  EXPECT_GT(late_sum / kSeeds, first_sum / kSeeds * 10);
+}
+
+TEST(BackoffTest, MaxRetriesCapsSchedule) {
+  BackoffOptions options;
+  options.max_retries = 3;
+  ExponentialBackoff backoff(options, 7);
+  EXPECT_EQ(Drain(&backoff).size(), 3u);
+  EXPECT_EQ(backoff.retries(), 3u);
+  uint64_t d = 0;
+  EXPECT_FALSE(backoff.NextDelayUs(&d));
+}
+
+TEST(BackoffTest, DeadlineCapsCumulativeSleep) {
+  BackoffOptions options;
+  options.initial_us = 1000;
+  options.max_us = 1000000;
+  options.deadline_us = 25000;
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    ExponentialBackoff backoff(options, seed);
+    const std::vector<uint64_t> delays = Drain(&backoff);
+    uint64_t total = 0;
+    for (uint64_t d : delays) total += d;
+    EXPECT_LE(total, options.deadline_us) << "seed " << seed;
+    EXPECT_EQ(total, backoff.total_delay_us());
+    // The schedule must actually consume the budget, not stop early (the
+    // last sleep is trimmed to land exactly on the deadline).
+    EXPECT_EQ(total, options.deadline_us) << "seed " << seed;
+  }
+}
+
+TEST(BackoffTest, ZeroDeadlineMeansUnbounded) {
+  BackoffOptions options;
+  options.deadline_us = 0;
+  ExponentialBackoff backoff(options, 3);
+  EXPECT_EQ(Drain(&backoff, 64).size(), 64u);
+}
+
+TEST(BackoffTest, ResetRestartsScheduleButNotRngStream) {
+  BackoffOptions options;
+  options.initial_us = 100;
+  options.max_us = 100000;
+  options.max_retries = 4;
+  ExponentialBackoff backoff(options, 11);
+  const std::vector<uint64_t> first = Drain(&backoff);
+  EXPECT_EQ(first.size(), 4u);
+  backoff.Reset();
+  EXPECT_EQ(backoff.retries(), 0u);
+  EXPECT_EQ(backoff.total_delay_us(), 0u);
+  const std::vector<uint64_t> second = Drain(&backoff);
+  EXPECT_EQ(second.size(), 4u);
+  // Fresh episode restarts from initial_us (first delay small again)...
+  EXPECT_LE(second[0], options.initial_us * 3);
+  // ...but the RNG stream continues, so the episodes differ.
+  EXPECT_NE(first, second);
+}
+
+TEST(BackoffTest, DegenerateOptionsAreSanitized) {
+  BackoffOptions options;
+  options.initial_us = 0;   // clamped to 1
+  options.max_us = 0;       // clamped up to initial
+  options.multiplier = 0.1; // clamped to 1.0
+  ExponentialBackoff backoff(options, 5);
+  uint64_t d = 0;
+  ASSERT_TRUE(backoff.NextDelayUs(&d));
+  EXPECT_EQ(d, 1u);
+  ASSERT_TRUE(backoff.NextDelayUs(&d));
+  EXPECT_EQ(d, 1u);
+}
+
+}  // namespace
+}  // namespace tind

@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/thread_pool.h"
+#include "temporal/weights.h"
+#include "tind/index.h"
+#include "wiki/generator.h"
+
+/// \file batch_cancellation_test.cc
+/// CancellationToken propagation through BatchSearch / BatchReverseSearch
+/// (BatchExecOptions), and the degraded superset mode. The contracts under
+/// test:
+///  * a pre-cancelled query returns an empty result with stats.cancelled set
+///    and a consistent (all-zero tail) funnel, without running validations;
+///  * the *other* queries of the same batch are bit-identical to a run
+///    without any tokens — cancellation never leaks across queries;
+///  * cancellation observed mid-run terminates the batch without hanging;
+///  * superset_only results are supersets of the exact results, flagged
+///    degraded, with zero Algorithm-2 validations.
+
+namespace tind {
+namespace {
+
+wiki::GeneratedDataset MakeCorpus(uint64_t seed) {
+  wiki::GeneratorOptions gen;
+  gen.seed = seed;
+  gen.num_days = 150;
+  gen.num_families = 3;
+  gen.num_noise_attributes = 18;
+  gen.num_drifter_attributes = 8;
+  gen.num_catchall_attributes = 2;
+  gen.shared_vocabulary = 120;
+  gen.entities_per_family_pool = 80;
+  auto generated = wiki::WikiGenerator(gen).GenerateDataset();
+  if (!generated.ok()) std::abort();
+  return std::move(*generated);
+}
+
+class BatchCancellationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    corpus_ = std::make_unique<wiki::GeneratedDataset>(MakeCorpus(29));
+    const int64_t n_days = corpus_->dataset.domain().num_timestamps();
+    weight_ = std::make_unique<ConstantWeight>(n_days);
+    TindIndexOptions opts;
+    opts.bloom_bits = 512;
+    opts.num_hashes = 2;
+    opts.num_slices = 6;
+    opts.delta = 7;
+    opts.epsilon = 3.0;
+    opts.build_reverse_index = true;
+    opts.reverse_slices = 2;
+    opts.weight = weight_.get();
+    auto built = TindIndex::Build(corpus_->dataset, opts);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    index_ = std::move(*built);
+  }
+
+  std::vector<const AttributeHistory*> AllQueries() const {
+    std::vector<const AttributeHistory*> queries;
+    for (size_t q = 0; q < corpus_->dataset.size(); ++q) {
+      queries.push_back(
+          &corpus_->dataset.attribute(static_cast<AttributeId>(q)));
+    }
+    return queries;
+  }
+
+  TindParams Params() const { return TindParams{3.0, 2, weight_.get()}; }
+
+  std::unique_ptr<wiki::GeneratedDataset> corpus_;
+  std::unique_ptr<ConstantWeight> weight_;
+  std::unique_ptr<TindIndex> index_;
+};
+
+TEST_F(BatchCancellationTest, PreCancelledQueriesAreAbandonedOthersExact) {
+  const auto queries = AllQueries();
+  const size_t n = queries.size();
+  const TindParams params = Params();
+
+  for (const bool forward : {true, false}) {
+    std::vector<QueryStats> baseline_stats;
+    const auto baseline =
+        forward
+            ? index_->BatchSearch(queries, params, &baseline_stats)
+            : index_->BatchReverseSearch(queries, params, &baseline_stats);
+
+    // Cancel every third query before the batch starts.
+    std::vector<CancellationToken> tokens(n);
+    std::vector<const CancellationToken*> cancels(n, nullptr);
+    std::set<size_t> cancelled_ids;
+    for (size_t q = 0; q < n; ++q) {
+      cancels[q] = &tokens[q];
+      if (q % 3 == 1) {
+        tokens[q].Cancel();
+        cancelled_ids.insert(q);
+      }
+    }
+    ASSERT_FALSE(cancelled_ids.empty());
+    BatchExecOptions exec;
+    exec.cancels = cancels.data();
+    std::vector<QueryStats> stats;
+    const auto results =
+        forward ? index_->BatchSearch(queries, params, exec, &stats)
+                : index_->BatchReverseSearch(queries, params, exec, &stats);
+
+    for (size_t q = 0; q < n; ++q) {
+      const std::string ctx =
+          (forward ? "fwd q=" : "rev q=") + std::to_string(q);
+      if (cancelled_ids.count(q)) {
+        EXPECT_TRUE(stats[q].cancelled) << ctx;
+        EXPECT_TRUE(results[q].empty()) << ctx;
+        EXPECT_EQ(stats[q].num_results, 0u) << ctx;
+        EXPECT_EQ(stats[q].validations, 0u) << ctx;
+        // Funnel consistency: a pre-cancelled query's candidate set is
+        // cleared before any stage runs, so the whole funnel reads zero.
+        EXPECT_EQ(stats[q].initial_candidates, 0u) << ctx;
+        EXPECT_EQ(stats[q].after_slices, 0u) << ctx;
+        EXPECT_EQ(stats[q].after_exact_check, 0u) << ctx;
+      } else {
+        // Unaffected queries answer bit-identically to the token-free run.
+        EXPECT_FALSE(stats[q].cancelled) << ctx;
+        EXPECT_EQ(results[q], baseline[q]) << ctx;
+        EXPECT_EQ(stats[q].num_results, baseline_stats[q].num_results) << ctx;
+        EXPECT_EQ(stats[q].validations, baseline_stats[q].validations) << ctx;
+        EXPECT_EQ(stats[q].initial_candidates,
+                  baseline_stats[q].initial_candidates)
+            << ctx;
+        EXPECT_EQ(stats[q].after_slices, baseline_stats[q].after_slices)
+            << ctx;
+        EXPECT_EQ(stats[q].after_exact_check,
+                  baseline_stats[q].after_exact_check)
+            << ctx;
+      }
+    }
+  }
+}
+
+TEST_F(BatchCancellationTest, NullAndDefaultTokensChangeNothing) {
+  const auto queries = AllQueries();
+  const TindParams params = Params();
+  std::vector<QueryStats> baseline_stats;
+  const auto baseline = index_->BatchSearch(queries, params, &baseline_stats);
+
+  // Tokens present but never cancelled, plus a null entry: exact equality.
+  std::vector<CancellationToken> tokens(queries.size());
+  std::vector<const CancellationToken*> cancels(queries.size(), nullptr);
+  for (size_t q = 0; q < queries.size(); q += 2) cancels[q] = &tokens[q];
+  BatchExecOptions exec;
+  exec.cancels = cancels.data();
+  std::vector<QueryStats> stats;
+  const auto results = index_->BatchSearch(queries, params, exec, &stats);
+  ASSERT_EQ(results.size(), baseline.size());
+  for (size_t q = 0; q < results.size(); ++q) {
+    EXPECT_EQ(results[q], baseline[q]) << q;
+    EXPECT_FALSE(stats[q].cancelled) << q;
+    EXPECT_EQ(stats[q].validations, baseline_stats[q].validations) << q;
+  }
+}
+
+TEST_F(BatchCancellationTest, MidRunCancellationTerminatesAndStaysConsistent) {
+  const auto base_queries = AllQueries();
+  const TindParams params = Params();
+  // Inflate the batch so the run is long enough to catch mid-flight.
+  std::vector<const AttributeHistory*> queries;
+  for (int rep = 0; rep < 40; ++rep) {
+    queries.insert(queries.end(), base_queries.begin(), base_queries.end());
+  }
+  const size_t n = queries.size();
+  CancellationToken shared;  // One token across all queries (deadline style).
+  std::vector<const CancellationToken*> cancels(n, &shared);
+  BatchExecOptions exec;
+  exec.cancels = cancels.data();
+
+  std::vector<QueryStats> stats;
+  std::vector<std::vector<AttributeId>> results;
+  std::thread runner([&] {
+    results = index_->BatchSearch(queries, params, exec, &stats);
+  });
+  shared.Cancel();
+  runner.join();  // Must terminate promptly; a hang fails via test timeout.
+
+  ASSERT_EQ(results.size(), n);
+  ASSERT_EQ(stats.size(), n);
+  std::vector<QueryStats> baseline_stats;
+  const auto baseline =
+      index_->BatchSearch(base_queries, params, &baseline_stats);
+  for (size_t q = 0; q < n; ++q) {
+    if (stats[q].cancelled) {
+      // Abandoned: empty answer, zeroed tail of the funnel.
+      EXPECT_TRUE(results[q].empty()) << q;
+      EXPECT_EQ(stats[q].num_results, 0u) << q;
+    } else {
+      // Completed before the token was observed: exact answer.
+      EXPECT_EQ(results[q], baseline[q % base_queries.size()]) << q;
+    }
+  }
+}
+
+TEST_F(BatchCancellationTest, SupersetModeIsASoundDegradedSuperset) {
+  const auto queries = AllQueries();
+  const TindParams params = Params();
+
+  for (const bool forward : {true, false}) {
+    std::vector<QueryStats> exact_stats;
+    const auto exact =
+        forward ? index_->BatchSearch(queries, params, &exact_stats)
+                : index_->BatchReverseSearch(queries, params, &exact_stats);
+
+    BatchExecOptions exec;
+    exec.superset_only = true;
+    std::vector<QueryStats> stats;
+    const auto degraded =
+        forward ? index_->BatchSearch(queries, params, exec, &stats)
+                : index_->BatchReverseSearch(queries, params, exec, &stats);
+
+    size_t total_superset = 0;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      const std::string ctx =
+          (forward ? "fwd q=" : "rev q=") + std::to_string(q);
+      EXPECT_TRUE(stats[q].degraded) << ctx;
+      EXPECT_FALSE(stats[q].cancelled) << ctx;
+      // No Algorithm-2 validations in brown-out mode — that is the point.
+      EXPECT_EQ(stats[q].validations, 0u) << ctx;
+      // The degraded answer is exactly the post-slice candidate set...
+      EXPECT_EQ(stats[q].num_results, stats[q].after_slices) << ctx;
+      // ...whose funnel prefix matches the exact run's (stages 1-2 are
+      // deterministic and unaffected by the mode switch).
+      EXPECT_EQ(stats[q].initial_candidates,
+                exact_stats[q].initial_candidates)
+          << ctx;
+      EXPECT_EQ(stats[q].after_slices, exact_stats[q].after_slices) << ctx;
+      // ...and a superset of the exact answer.
+      const std::set<AttributeId> superset(degraded[q].begin(),
+                                           degraded[q].end());
+      for (AttributeId id : exact[q]) {
+        EXPECT_TRUE(superset.count(id)) << ctx << " missing " << id;
+      }
+      EXPECT_TRUE(std::is_sorted(degraded[q].begin(), degraded[q].end()))
+          << ctx;
+      total_superset += degraded[q].size();
+    }
+    // The corpus has Bloom false positives at 512 bits: the superset must be
+    // a real superset somewhere, or this test proves nothing.
+    size_t total_exact = 0;
+    for (const auto& r : exact) total_exact += r.size();
+    EXPECT_GE(total_superset, total_exact);
+  }
+}
+
+TEST_F(BatchCancellationTest, SupersetModeWorksWithThreadPool) {
+  const auto queries = AllQueries();
+  const TindParams params = Params();
+  ThreadPool pool(3);
+  BatchExecOptions exec;
+  exec.superset_only = true;
+  std::vector<QueryStats> pooled_stats;
+  const auto pooled =
+      index_->BatchSearch(queries, params, exec, &pooled_stats, &pool);
+  std::vector<QueryStats> serial_stats;
+  const auto serial =
+      index_->BatchSearch(queries, params, exec, &serial_stats);
+  ASSERT_EQ(pooled.size(), serial.size());
+  for (size_t q = 0; q < pooled.size(); ++q) {
+    EXPECT_EQ(pooled[q], serial[q]) << q;
+    EXPECT_EQ(pooled_stats[q].after_slices, serial_stats[q].after_slices) << q;
+  }
+}
+
+}  // namespace
+}  // namespace tind

@@ -229,6 +229,45 @@ TEST_F(DiscoveryTest, InjectedPreemptionThenResumeMatchesBaseline) {
 }
 #endif  // !TIND_FAULT_INJECTION_DISABLED
 
+#if !TIND_FAULT_INJECTION_DISABLED
+TEST_F(DiscoveryTest, CheckpointWriteRetriesRideOutTransientFaults) {
+  const TindParams params{3.0, 2, weight_.get()};
+  const std::string path = ::testing::TempDir() + "disc-retry-ckpt";
+  std::remove(path.c_str());
+
+  // Fail ~35% of checkpoint writes. With backoff retries (3 per write) a
+  // transient fault is retried through, so no write is recorded as failed.
+  ASSERT_TRUE(FaultInjector::Global()
+                  .Configure("discovery/checkpoint_write=0.35", 11)
+                  .ok());
+  DiscoveryOptions options;
+  options.checkpoint_path = path;
+  options.checkpoint_interval = 2;
+  options.checkpoint_retries = 8;  // 0.35^8: a full exhaustion is ~1e-4.
+  auto result = DiscoverAllTinds(*index_, params, options);
+  const uint64_t fired =
+      FaultInjector::Global().fired("discovery/checkpoint_write");
+  FaultInjector::Global().Reset();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_GT(fired, 0u) << "seed never fired; pick another";
+  EXPECT_EQ(result->checkpoint_failures, 0u);
+  EXPECT_GT(result->checkpoints_written, 0u);
+
+  // Same faults without retries must record failures: proves the retries —
+  // not luck — absorbed them above.
+  std::remove(path.c_str());
+  ASSERT_TRUE(FaultInjector::Global()
+                  .Configure("discovery/checkpoint_write=0.35", 11)
+                  .ok());
+  options.checkpoint_retries = 0;
+  auto no_retry = DiscoverAllTinds(*index_, params, options);
+  FaultInjector::Global().Reset();
+  ASSERT_TRUE(no_retry.ok()) << no_retry.status().ToString();
+  EXPECT_GT(no_retry->checkpoint_failures, 0u);
+  std::remove(path.c_str());
+}
+#endif  // !TIND_FAULT_INJECTION_DISABLED
+
 TEST(CheckpointTest, SaveLoadRoundTrip) {
   DiscoveryCheckpoint checkpoint;
   checkpoint.num_queries = 10;

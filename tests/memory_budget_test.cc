@@ -67,6 +67,101 @@ TEST(MemoryBudgetTest, ConcurrentAllocationsNeverExceedCapacity) {
   EXPECT_EQ(budget.used(), 1000u);
 }
 
+TEST(MemoryBudgetTest, RejectionCountIsExact) {
+  MemoryBudget budget(100);
+  EXPECT_EQ(budget.rejections(), 0u);
+  ASSERT_TRUE(budget.Allocate(100).ok());
+  EXPECT_FALSE(budget.Allocate(1).ok());
+  EXPECT_FALSE(budget.Allocate(50).ok());
+  EXPECT_EQ(budget.rejections(), 2u);
+  budget.Free(100);
+  EXPECT_TRUE(budget.Allocate(1).ok());
+  EXPECT_EQ(budget.rejections(), 2u);
+}
+
+TEST(MemoryBudgetTest, StressReserveReleaseAroundTheLimit) {
+  // N threads race CAS reserve/release right at the cap. Invariants checked:
+  //  - used() never exceeds capacity at any observation point,
+  //  - every attempt is accounted as exactly one success or one rejection,
+  //  - the budget drains back to zero when all threads are done.
+  const size_t kCapacity = 64;
+  const int kThreads = 8;
+  const int kItersPerThread = 20000;
+  MemoryBudget budget(kCapacity);
+  std::atomic<size_t> successes{0};
+  std::atomic<bool> over_cap_seen{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Mixed request sizes so threads contend for the same last few bytes.
+      const size_t sizes[] = {1, 3, 16, static_cast<size_t>(t % 4) + 1};
+      for (int i = 0; i < kItersPerThread; ++i) {
+        const size_t bytes = sizes[i % 4];
+        if (budget.Allocate(bytes).ok()) {
+          successes.fetch_add(1, std::memory_order_relaxed);
+          if (budget.used() > kCapacity) over_cap_seen.store(true);
+          budget.Free(bytes);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_FALSE(over_cap_seen.load());
+  EXPECT_EQ(budget.used(), 0u);
+  const uint64_t attempts =
+      static_cast<uint64_t>(kThreads) * static_cast<uint64_t>(kItersPerThread);
+  EXPECT_EQ(successes.load() + budget.rejections(), attempts);
+}
+
+TEST(MemoryBudgetTest, StressHeldReservationsForceExactRejections) {
+  // Threads hold reservations (via RAII) while others are racing, so
+  // rejections genuinely occur, and counts must still balance exactly.
+  const size_t kCapacity = 100;
+  const int kThreads = 8;
+  const int kItersPerThread = 5000;
+  MemoryBudget budget(kCapacity);
+  std::atomic<uint64_t> attempts{0};
+  std::atomic<uint64_t> successes{0};
+  // Start barrier: without it, a thread can burn through all its iterations
+  // before the next thread is even spawned, and no contention ever happens.
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (int i = 0; i < kItersPerThread; ++i) {
+        MemoryReservation reservation(&budget);
+        attempts.fetch_add(1, std::memory_order_relaxed);
+        if (reservation.Reserve(48).ok()) {
+          successes.fetch_add(1, std::memory_order_relaxed);
+          // Hand the CPU to a rival while the reservation is held, so
+          // overlapping holders occur even on a single-core machine.
+          std::this_thread::yield();
+          // Widen the hold window: grab a second slice while others race.
+          attempts.fetch_add(1, std::memory_order_relaxed);
+          if (reservation.Reserve(16).ok()) {
+            successes.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  while (ready.load() < kThreads) {
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(budget.used(), 0u);
+  // With capacity 100 and threads holding 48+16 bytes, any two overlapping
+  // holders push past the cap: rejections occur and must balance exactly.
+  EXPECT_GT(budget.rejections(), 0u);
+  EXPECT_EQ(successes.load() + budget.rejections(), attempts.load());
+}
+
 TEST(MemoryReservationTest, ReleasesOnDestruction) {
   MemoryBudget budget(100);
   {

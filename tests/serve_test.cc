@@ -1,0 +1,359 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/load.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+#include "temporal/weights.h"
+#include "tind/discovery.h"
+#include "tind/index.h"
+#include "wiki/generator.h"
+
+/// \file serve_test.cc
+/// End-to-end contracts of the tIND query service: served answers are
+/// bit-identical to direct TindIndex calls; overload is shed with typed
+/// errors; consenting requests degrade to flagged supersets under
+/// watermark pressure; queue-expired deadlines surface as DeadlineExceeded;
+/// the client's retry/backoff machinery converges; and Shutdown() drains
+/// in-flight work before tearing down.
+
+namespace tind::serve {
+namespace {
+
+#if defined(__unix__) || defined(__APPLE__)
+
+class ServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    wiki::GeneratorOptions gen;
+    gen.seed = 31;
+    gen.num_days = 120;
+    gen.num_families = 3;
+    gen.num_noise_attributes = 14;
+    gen.num_drifter_attributes = 6;
+    gen.num_catchall_attributes = 2;
+    gen.shared_vocabulary = 100;
+    gen.entities_per_family_pool = 60;
+    auto generated = wiki::WikiGenerator(gen).GenerateDataset();
+    ASSERT_TRUE(generated.ok()) << generated.status().ToString();
+    corpus_ = std::make_unique<wiki::GeneratedDataset>(std::move(*generated));
+    weight_ = std::make_unique<ConstantWeight>(
+        corpus_->dataset.domain().num_timestamps());
+    TindIndexOptions opts;
+    opts.bloom_bits = 512;
+    opts.num_hashes = 2;
+    opts.num_slices = 4;
+    opts.delta = 7;
+    opts.epsilon = 3.0;
+    opts.build_reverse_index = true;
+    opts.reverse_slices = 2;
+    opts.weight = weight_.get();
+    auto built = TindIndex::Build(corpus_->dataset, opts);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    index_ = std::move(*built);
+  }
+
+  TindParams Params() const { return TindParams{3.0, 7, weight_.get()}; }
+
+  std::unique_ptr<TindServer> StartServer(ServerOptions options) {
+    auto server =
+        std::make_unique<TindServer>(*index_, Params(), options);
+    const Status started = server->Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+    return server;
+  }
+
+  ClientOptions ClientFor(const TindServer& server) const {
+    ClientOptions options;
+    options.port = server.port();
+    options.epsilon = 3.0;
+    options.delta = 7;
+    options.max_attempts = 1;
+    return options;
+  }
+
+  std::unique_ptr<wiki::GeneratedDataset> corpus_;
+  std::unique_ptr<ConstantWeight> weight_;
+  std::unique_ptr<TindIndex> index_;
+};
+
+TEST_F(ServeTest, ServedAnswersMatchDirectIndexCalls) {
+  auto server = StartServer(ServerOptions{});
+  TindClient client(ClientFor(*server));
+  ASSERT_TRUE(client.Ping().ok());
+  const size_t n = corpus_->dataset.size();
+  const TindParams params = Params();
+  for (size_t q = 0; q < n; ++q) {
+    const AttributeId attr = static_cast<AttributeId>(q);
+    const auto& history = corpus_->dataset.attribute(attr);
+    auto reply = client.Search(attr);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_FALSE(reply->degraded);
+    EXPECT_EQ(reply->ids, index_->Search(history, params)) << "q=" << q;
+    auto reverse = client.ReverseSearch(attr);
+    ASSERT_TRUE(reverse.ok()) << reverse.status().ToString();
+    EXPECT_EQ(reverse->ids, index_->ReverseSearch(history, params))
+        << "q=" << q;
+  }
+  server->Shutdown();
+  const auto counters = server->counters();
+  EXPECT_EQ(counters.completed, 2 * n);
+  EXPECT_EQ(counters.shed, 0u);
+  EXPECT_EQ(counters.protocol_errors, 0u);
+}
+
+TEST_F(ServeTest, DiscoveryWindowMatchesAllPairsDiscovery) {
+  auto server = StartServer(ServerOptions{});
+  TindClient client(ClientFor(*server));
+  const size_t n = corpus_->dataset.size();
+  const AllPairsResult all = DiscoverAllTinds(*index_, Params());
+  std::vector<TindPair> served;
+  // Cover [0, n) in a few windows; concatenation must equal the full
+  // discovery pair set (both are (lhs, rhs)-sorted).
+  const AttributeId step = 7;
+  for (AttributeId lo = 0; lo < n; lo += step) {
+    const AttributeId hi =
+        std::min<AttributeId>(static_cast<AttributeId>(n), lo + step);
+    auto reply = client.DiscoveryWindow(lo, hi);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    served.insert(served.end(), reply->pairs.begin(), reply->pairs.end());
+  }
+  EXPECT_EQ(served, all.pairs);
+}
+
+TEST_F(ServeTest, InvalidRequestsAreTypedAndNotRetried) {
+  auto server = StartServer(ServerOptions{});
+  TindClient client(ClientFor(*server));
+  const auto bad_attr = client.Search(
+      static_cast<AttributeId>(corpus_->dataset.size() + 10));
+  EXPECT_TRUE(bad_attr.status().IsInvalidArgument())
+      << bad_attr.status().ToString();
+  const auto bad_window = client.DiscoveryWindow(5, 5);
+  EXPECT_TRUE(bad_window.status().IsInvalidArgument());
+  const auto huge_window = client.DiscoveryWindow(
+      0, static_cast<AttributeId>(kMaxDiscoveryWindow + 2));
+  EXPECT_TRUE(huge_window.status().IsInvalidArgument());
+  EXPECT_EQ(client.counters().retries, 0u);
+}
+
+TEST_F(ServeTest, FullQueueShedsWithTypedOverloadAndClientRetries) {
+  ServerOptions options;
+  options.max_inflight = 0;  // Every request is over the bound.
+  auto server = StartServer(options);
+  ClientOptions client_options = ClientFor(*server);
+  client_options.max_attempts = 3;
+  client_options.backoff.initial_us = 100;
+  client_options.backoff.max_us = 1000;
+  TindClient client(client_options);
+  const auto reply = client.Search(0);
+  ASSERT_TRUE(reply.status().IsResourceExhausted())
+      << reply.status().ToString();
+  EXPECT_NE(reply.status().message().find("overloaded"), std::string::npos);
+  EXPECT_EQ(client.counters().retries, 2u);  // All attempts were shed.
+  EXPECT_GE(server->counters().shed, 3u);
+}
+
+TEST_F(ServeTest, MemoryBudgetShedsAsOutOfMemory) {
+  MemoryBudget budget(64);  // Far below one request's admission cost.
+  ServerOptions options;
+  options.memory = &budget;
+  auto server = StartServer(options);
+  TindClient client(ClientFor(*server));
+  const auto reply = client.Search(0);
+  ASSERT_TRUE(reply.status().IsOutOfMemory()) << reply.status().ToString();
+  EXPECT_EQ(server->counters().shed, 1u);
+  EXPECT_EQ(budget.used(), 0u);  // Reservation released on rejection.
+}
+
+TEST_F(ServeTest, WatermarkDegradesConsentingRequestsToSupersets) {
+  ServerOptions options;
+  options.degrade_watermark = 0;  // Every dispatch window is "overloaded".
+  auto server = StartServer(options);
+  ClientOptions degraded_options = ClientFor(*server);
+  degraded_options.allow_degraded = true;
+  TindClient degraded_client(degraded_options);
+  TindClient strict_client(ClientFor(*server));
+  const TindParams params = Params();
+  for (AttributeId attr = 0;
+       attr < std::min<size_t>(corpus_->dataset.size(), 8); ++attr) {
+    const auto exact = index_->Search(corpus_->dataset.attribute(attr), params);
+    auto soft = degraded_client.Search(attr);
+    ASSERT_TRUE(soft.ok()) << soft.status().ToString();
+    EXPECT_TRUE(soft->degraded);
+    // Sound superset: every exact answer is present.
+    const std::set<AttributeId> ids(soft->ids.begin(), soft->ids.end());
+    for (const AttributeId id : exact) EXPECT_TRUE(ids.count(id)) << id;
+    // A client that did not consent still gets the exact answer.
+    auto hard = strict_client.Search(attr);
+    ASSERT_TRUE(hard.ok());
+    EXPECT_FALSE(hard->degraded);
+    EXPECT_EQ(hard->ids, exact);
+  }
+  EXPECT_GT(server->counters().degraded, 0u);
+}
+
+TEST_F(ServeTest, QueueExpiredDeadlineIsDeadlineExceeded) {
+  ServerOptions options;
+  options.batch_linger_us = 0;
+  auto server = StartServer(options);
+  ClientOptions client_options = ClientFor(*server);
+  client_options.deadline_ms = 1;
+  TindClient client(client_options);
+  // Saturate the single batcher with a wide discovery window so a trailing
+  // 1 ms request expires in the queue behind it. Raw frames: the client
+  // API would wait for each response in turn.
+  auto fd = ConnectTcp("127.0.0.1", server->port(), 1000);
+  ASSERT_TRUE(fd.ok());
+  SearchRequest wide;
+  wide.attribute = 0;
+  wide.window_end = static_cast<AttributeId>(
+      std::min<size_t>(corpus_->dataset.size(), kMaxDiscoveryWindow));
+  wide.epsilon = 3.0;
+  wide.delta = 7;
+  for (uint64_t id = 1; id <= 4; ++id) {
+    ASSERT_TRUE(SendFrame(*fd, MessageType::kDiscoveryWindow, id,
+                          EncodeSearchRequest(wide), 1000)
+                    .ok());
+  }
+  const auto reply = client.Search(0);
+  // Depending on scheduling the tiny-deadline request may still complete;
+  // accept either a typed deadline error or a successful answer, but it
+  // must never hang (the test itself is the hang detector).
+  if (!reply.ok()) {
+    EXPECT_TRUE(reply.status().IsDeadlineExceeded())
+        << reply.status().ToString();
+  }
+  // Drain the raw connection: all four wide requests must terminate.
+  size_t terminal = 0;
+  while (terminal < 4) {
+    auto frame = RecvFrame(*fd, 5000, 5000);
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    ASSERT_TRUE(frame->header.type == MessageType::kDiscoveryResult ||
+                frame->header.type == MessageType::kError);
+    ++terminal;
+  }
+  CloseFd(*fd);
+}
+
+TEST_F(ServeTest, MalformedFramesGetTypedErrorsAndServerSurvives) {
+  auto server = StartServer(ServerOptions{});
+  // Garbage bytes: the server answers with an InvalidArgument error frame
+  // and drops the connection.
+  auto fd = ConnectTcp("127.0.0.1", server->port(), 1000);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(SendAll(*fd, "this is not a frame, not even close....", 1000)
+                  .ok());
+  auto error_frame = RecvFrame(*fd, 2000, 2000);
+  ASSERT_TRUE(error_frame.ok()) << error_frame.status().ToString();
+  EXPECT_EQ(error_frame->header.type, MessageType::kError);
+  EXPECT_TRUE(DecodeErrorResponse(error_frame->payload).IsInvalidArgument());
+  CloseFd(*fd);
+  // A bit-flipped CRC likewise.
+  auto fd2 = ConnectTcp("127.0.0.1", server->port(), 1000);
+  ASSERT_TRUE(fd2.ok());
+  std::string frame = EncodeFrame(MessageType::kSearch, 9,
+                                  EncodeSearchRequest(SearchRequest{}));
+  frame[kFrameHeaderBytes] ^= 0x01;
+  ASSERT_TRUE(SendAll(*fd2, frame, 1000).ok());
+  auto crc_error = RecvFrame(*fd2, 2000, 2000);
+  ASSERT_TRUE(crc_error.ok());
+  EXPECT_EQ(crc_error->header.type, MessageType::kError);
+  CloseFd(*fd2);
+  // The server still answers healthy clients afterwards.
+  TindClient client(ClientFor(*server));
+  EXPECT_TRUE(client.Search(0).ok());
+  EXPECT_GE(server->counters().protocol_errors, 2u);
+}
+
+TEST_F(ServeTest, SlowLorisConnectionIsCutWithoutHangingTheServer) {
+  ServerOptions options;
+  options.io_timeout_ms = 100;
+  auto server = StartServer(options);
+  auto loris = ConnectTcp("127.0.0.1", server->port(), 1000);
+  ASSERT_TRUE(loris.ok());
+  const std::string frame =
+      EncodeFrame(MessageType::kSearch, 1, EncodeSearchRequest({}));
+  ASSERT_TRUE(SendAll(*loris, std::string_view(frame).substr(0, 6), 1000)
+                  .ok());
+  // While the loris dangles, normal traffic keeps flowing.
+  TindClient client(ClientFor(*server));
+  EXPECT_TRUE(client.Search(0).ok());
+  // The server must cut the stalled connection within its io timeout.
+  const auto cut = RecvFrame(*loris, 3000, 3000);
+  EXPECT_TRUE(cut.status().IsIOError()) << cut.status().ToString();
+  CloseFd(*loris);
+  EXPECT_GE(server->counters().slow_loris_drops, 1u);
+}
+
+TEST_F(ServeTest, ShutdownDrainsInFlightRequests) {
+  ServerOptions options;
+  options.batch_linger_us = 20000;  // Hold a window open so work queues up.
+  auto server = StartServer(options);
+  auto fd = ConnectTcp("127.0.0.1", server->port(), 1000);
+  ASSERT_TRUE(fd.ok());
+  SearchRequest request;
+  request.attribute = 0;
+  request.epsilon = 3.0;
+  request.delta = 7;
+  constexpr uint64_t kBurst = 6;
+  for (uint64_t id = 1; id <= kBurst; ++id) {
+    ASSERT_TRUE(SendFrame(*fd, MessageType::kSearch, id,
+                          EncodeSearchRequest(request), 1000)
+                    .ok());
+  }
+  // Wait for the whole burst to be admitted: the drain guarantee covers
+  // admitted requests, not bytes still sitting in the kernel's buffers.
+  for (int spin = 0; spin < 2000 && server->counters().accepted < kBurst;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(server->counters().accepted, kBurst);
+  server->Shutdown();  // Must drain: every queued request gets an answer.
+  std::set<uint64_t> answered;
+  for (uint64_t i = 0; i < kBurst; ++i) {
+    auto frame = RecvFrame(*fd, 2000, 2000);
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    ASSERT_TRUE(frame->header.type == MessageType::kSearchResult ||
+                frame->header.type == MessageType::kError)
+        << static_cast<int>(frame->header.type);
+    answered.insert(frame->header.request_id);
+  }
+  EXPECT_EQ(answered.size(), kBurst);
+  CloseFd(*fd);
+  const auto counters = server->counters();
+  EXPECT_EQ(counters.accepted,
+            counters.completed + counters.deadline_exceeded);
+}
+
+TEST_F(ServeTest, OpenLoopLoadAccountsForEveryRequest) {
+  auto server = StartServer(ServerOptions{});
+  LoadOptions load;
+  load.client = ClientFor(*server);
+  load.client.max_attempts = 3;
+  load.qps = 120;
+  load.duration_s = 0.5;
+  load.workers = 2;
+  load.reverse_fraction = 0.3;
+  load.discovery_fraction = 0.1;
+  load.num_attributes = corpus_->dataset.size();
+  load.seed = 5;
+  const LoadReport report = RunOpenLoopLoad(load);
+  EXPECT_GT(report.offered, 0u);
+  EXPECT_TRUE(report.AllAccounted())
+      << report.ToJson().Dump(2);
+  EXPECT_GT(report.ok, 0u);
+  server->Shutdown();
+}
+
+#endif  // defined(__unix__) || defined(__APPLE__)
+
+}  // namespace
+}  // namespace tind::serve

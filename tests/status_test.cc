@@ -36,6 +36,9 @@ TEST(StatusTest, EveryFactoryMapsToItsPredicate) {
   EXPECT_TRUE(Status::IOError("x").IsIOError());
   EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
   EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::Cancelled("x").IsCancelled());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsDeadlineExceeded());
 }
 
 TEST(StatusTest, PredicatesAreExclusive) {
@@ -64,6 +67,23 @@ TEST(StatusCodeTest, AllCodesHaveNames) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kOutOfMemory), "Out of memory");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal error");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
+               "Resource exhausted");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+               "Deadline exceeded");
+}
+
+TEST(StatusExitCodeTest, DistinctCodesPerRejectionType) {
+  EXPECT_EQ(StatusExitCode(Status::OK()), 0);
+  EXPECT_EQ(StatusExitCode(Status::NotFound("x")), 2);
+  EXPECT_EQ(StatusExitCode(Status::IOError("x")), 3);
+  EXPECT_EQ(StatusExitCode(Status::InvalidArgument("x")), 4);
+  EXPECT_EQ(StatusExitCode(Status::FailedPrecondition("x")), 4);
+  EXPECT_EQ(StatusExitCode(Status::OutOfMemory("x")), 5);
+  EXPECT_EQ(StatusExitCode(Status::ResourceExhausted("x")), 6);
+  EXPECT_EQ(StatusExitCode(Status::DeadlineExceeded("x")), 7);
+  EXPECT_EQ(StatusExitCode(Status::Internal("x")), 1);
+  EXPECT_EQ(StatusExitCode(Status::Cancelled("x")), 1);
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -14,7 +14,12 @@
 /// every section's CRC-32 and the matrix geometry — an OK verify means a
 /// load will not reject the file for corruption.
 ///
-/// Exit status: 0 on success, 1 on any error (the Status is printed).
+/// Exit status (StatusExitCode — distinct per rejection type, so scripts
+/// and the serving preflight can branch without parsing stderr):
+///   0 OK        2 NotFound (missing file)       3 IOError (short read/mmap)
+///   4 InvalidArgument/FailedPrecondition (corrupt or incompatible snapshot)
+///   5 OutOfMemory   6 ResourceExhausted   7 DeadlineExceeded   1 other.
+/// Usage errors (missing subcommand/path) exit 1.
 
 #include <cstdio>
 #include <memory>
@@ -38,7 +43,7 @@ using tind::Status;
 
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-  return 1;
+  return tind::StatusExitCode(status);
 }
 
 Result<Dataset> ObtainDataset(const Flags& flags) {
