@@ -58,6 +58,30 @@ void BloomMatrix::SetColumn(size_t column, const ValueSet& values) {
   }
 }
 
+void BloomMatrix::ClearColumn(size_t column) {
+  assert(column < num_columns_);
+  assert(!borrowed());
+  TIND_OBS_COUNTER_ADD("bloom/columns_cleared", 1);
+  for (size_t r = 0; r < num_bits_; ++r) rows_[r].Clear(column);
+}
+
+BloomMatrix BloomMatrix::CloneWithColumns(size_t new_num_columns) const {
+  assert(new_num_columns >= num_columns_);
+  BloomMatrix clone;
+  clone.num_bits_ = num_bits_;
+  clone.num_hashes_ = num_hashes_;
+  clone.num_columns_ = new_num_columns;
+  // Each plane is range-copied in one pass with only the widened tail
+  // zero-filled (BitVector::WidenedCopy); constructing an all-zero matrix
+  // and then copying into it would touch every word twice, which dominated
+  // incremental-update apply time at snapshot scale.
+  clone.rows_.reserve(num_bits_);
+  for (size_t r = 0; r < num_bits_; ++r) {
+    clone.rows_.push_back(rows_[r].WidenedCopy(new_num_columns));
+  }
+  return clone;
+}
+
 void BloomMatrix::QuerySupersets(const BloomFilter& query,
                                  BitVector* candidates) const {
   assert(query.num_bits() == num_bits_);

@@ -65,6 +65,19 @@ class BloomMatrix {
   /// Inserts `values` as the Bloom filter of column `column`.
   void SetColumn(size_t column, const ValueSet& values);
 
+  /// Zeroes column `column` in every bit plane, so SetColumn can rebuild it
+  /// from scratch. The incremental-update path re-sets only dirty columns;
+  /// clearing first matters because a changed history may have *lost*
+  /// values. Not allowed on a borrowed matrix.
+  void ClearColumn(size_t column);
+
+  /// Deep-copies the matrix into owned storage widened to `new_num_columns`
+  /// (>= num_columns()); added columns are all-zero. This is how the updater
+  /// turns a borrowed (mmap'd snapshot) matrix into a patchable one and how
+  /// added attributes get their columns. Preserves the padding-is-zero
+  /// invariant.
+  BloomMatrix CloneWithColumns(size_t new_num_columns) const;
+
   /// Builds the Bloom filter of a query value set with this matrix's
   /// geometry (so it is probe-compatible).
   BloomFilter MakeQueryFilter(const ValueSet& values) const {

@@ -157,6 +157,22 @@ size_t BitVector::FindNextSet(size_t from) const {
   }
 }
 
+BitVector BitVector::WidenedCopy(size_t new_size) const {
+  assert(new_size >= size_);
+  BitVector v;
+  v.size_ = new_size;
+  const size_t new_words = PadWordCount(WordCount(new_size));
+  const size_t copy_words = std::min(padded_words(), new_words);
+  // Source padding is zero by invariant and new_size >= size_, so copying
+  // whole padded source words cannot leak set bits past the live range.
+  v.words_.reserve(new_words);
+  const uint64_t* src = word_data();
+  v.words_.insert(v.words_.end(), src, src + copy_words);
+  v.words_.resize(new_words, 0);
+  assert(v.PaddingIsZero());
+  return v;
+}
+
 std::vector<size_t> BitVector::ToIndexVector() const {
   std::vector<size_t> out;
   out.reserve(Count());

@@ -130,6 +130,14 @@ class BitVector {
   /// Index of the first set bit at or after `from`, or `size()` if none.
   size_t FindNextSet(size_t from) const;
 
+  /// Returns an owned copy widened to `new_size` bits (`new_size >= size()`);
+  /// added bits are zero. The live words are range-copied in a single pass
+  /// and only the tail beyond them is zero-filled — no construct-then-copy
+  /// double pass, which is what makes cloning the multi-megabyte Bloom
+  /// planes during incremental updates cheap. Valid on borrowed vectors
+  /// (the copy owns its words).
+  BitVector WidenedCopy(size_t new_size) const;
+
   /// Invokes `fn(index)` for every set bit in ascending order.
   template <typename Fn>
   void ForEachSet(Fn&& fn) const {

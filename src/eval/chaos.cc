@@ -25,6 +25,7 @@
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
+#include "scenario/mutate.h"
 #include "scenario/scenario.h"
 #include "serve/client.h"
 #include "serve/server.h"
@@ -32,6 +33,7 @@
 #include "temporal/weights.h"
 #include "tind/discovery.h"
 #include "tind/index.h"
+#include "tind/update.h"
 #include "wiki/corpus_io.h"
 #include "wiki/generator.h"
 
@@ -547,7 +549,11 @@ Result<ChaosReport> RunChaosCheck(const ChaosOptions& options) {
     pid_t server_pid = spawn_server(0);
     uint16_t port = 0;
     if (server_pid > 0) {
-      for (int i = 0; i < 1000 && port == 0; ++i) {
+      // Wall-clock deadline, not an iteration count: under load a counted
+      // poll can exhaust its budget long before the advertised timeout.
+      const auto port_deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(10);
+      while (port == 0 && std::chrono::steady_clock::now() < port_deadline) {
         std::ifstream in(port_path);
         int parsed = 0;
         if (in >> parsed && parsed > 0) {
@@ -569,9 +575,13 @@ Result<ChaosReport> RunChaosCheck(const ChaosOptions& options) {
       client_options.backoff.max_us = 200000;
       serve::TindClient client(client_options);
       Status up = Status::Internal("never pinged");
-      for (int i = 0; i < 100; ++i) {
+      const auto ping_deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(5);
+      while (true) {
         up = client.Ping();
-        if (up.ok()) break;
+        if (up.ok() || std::chrono::steady_clock::now() >= ping_deadline) {
+          break;
+        }
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
       }
       checks.Record("serve_ping_ok", up.ok(), up.ToString());
@@ -693,6 +703,98 @@ Result<ChaosReport> RunChaosCheck(const ChaosOptions& options) {
     std::remove(port_path.c_str());
   }
 #endif  // defined(__unix__) || defined(__APPLE__)
+
+  // ---- Stage 8: live-ingest chaos ---------------------------------------
+  // A seeded revision delta goes through IndexUpdater::ApplyDelta with the
+  // update fault points armed: every injected failure must surface typed
+  // with the base index still answering the pre-delta baseline exactly
+  // (the torn-state invariant); the clean apply must reproduce a fresh
+  // rebuild's discovery; and CompactSnapshot under an injected write fault
+  // must leave the previously published artifact verifiable.
+  {
+    injector.Reset();
+    scenario::MutationSpec mutation;
+    mutation.num_ops = 16;
+    const RevisionDelta delta =
+        scenario::MutateCorpus(dataset, options.seed * 31 + 7, mutation);
+    auto oracle = ApplyDeltaToDataset(dataset, delta);
+    checks.Record("ingest_delta_applies_to_dataset", oracle.ok(),
+                  oracle.status().ToString());
+    if (oracle.ok()) {
+      // A: armed faults fail typed; the base index is never torn.
+      TIND_RETURN_IF_ERROR(
+          injector.Configure("update/alloc=1", options.seed));
+      auto alloc_faulted = IndexUpdater::ApplyDelta(index, delta);
+      injector.Reset();
+      checks.Record("ingest_alloc_fault_is_out_of_memory",
+                    !alloc_faulted.ok() &&
+                        alloc_faulted.status().IsOutOfMemory(),
+                    alloc_faulted.status().ToString());
+      TIND_RETURN_IF_ERROR(
+          injector.Configure("update/patch=1", options.seed));
+      auto patch_faulted = IndexUpdater::ApplyDelta(index, delta);
+      injector.Reset();
+      checks.Record("ingest_patch_fault_is_internal",
+                    !patch_faulted.ok() &&
+                        patch_faulted.status().IsInternal(),
+                    patch_faulted.status().ToString());
+      auto after_faults = DiscoverAllTinds(index, params, DiscoveryOptions{});
+      checks.Record(
+          "ingest_faulted_apply_never_tears_base",
+          after_faults.ok() && after_faults->pairs == baseline.pairs,
+          after_faults.ok()
+              ? PairsDiff(after_faults->pairs.size(), baseline.pairs.size())
+              : after_faults.status().ToString());
+
+      // B: the clean apply reproduces a fresh rebuild's discovery.
+      auto updated = IndexUpdater::ApplyDelta(index, delta);
+      checks.Record("ingest_clean_apply_succeeds", updated.ok(),
+                    updated.status().ToString());
+      auto rebuilt = TindIndex::Build(*oracle->dataset, index_options);
+      if (updated.ok() && rebuilt.ok()) {
+        auto post = DiscoverAllTinds(**rebuilt, params, DiscoveryOptions{});
+        auto inc = DiscoverAllTinds(*updated->index, params,
+                                    DiscoveryOptions{});
+        checks.Record(
+            "ingest_incremental_matches_rebuild",
+            post.ok() && inc.ok() && inc->pairs == post->pairs,
+            post.ok() && inc.ok()
+                ? PairsDiff(inc->pairs.size(), post->pairs.size())
+                : (post.ok() ? inc : post).status().ToString());
+      }
+
+      // C: a faulted compact re-publication leaves the old artifact intact.
+      if (updated.ok()) {
+        const std::string base_snap =
+            options.work_dir + "/chaos-ingest-base-" + tag + ".tsnap";
+        const std::string compact_snap =
+            options.work_dir + "/chaos-ingest-next-" + tag + ".tsnap";
+        std::remove(base_snap.c_str());
+        std::remove(compact_snap.c_str());
+        const Status base_saved = index.SaveSnapshot(base_snap);
+        checks.Record("ingest_base_snapshot_saves", base_saved.ok(),
+                      base_saved.ToString());
+        TIND_RETURN_IF_ERROR(
+            injector.Configure("snapshot/write=1", options.seed));
+        const Status compact_faulted = updated->index->CompactSnapshot(
+            base_snap, compact_snap, updated->stats);
+        injector.Reset();
+        checks.Record("ingest_compact_fault_is_io_error",
+                      !compact_faulted.ok() && compact_faulted.IsIOError(),
+                      compact_faulted.ToString());
+        checks.Record("ingest_old_artifact_survives_compact_fault",
+                      snapshot::VerifySnapshot(base_snap).ok());
+        const Status compacted = updated->index->CompactSnapshot(
+            base_snap, compact_snap, updated->stats);
+        checks.Record("ingest_compact_publishes", compacted.ok(),
+                      compacted.ToString());
+        checks.Record("ingest_compact_artifact_verifies",
+                      snapshot::VerifySnapshot(compact_snap).ok());
+        std::remove(base_snap.c_str());
+        std::remove(compact_snap.c_str());
+      }
+    }
+  }
 
   // ---- Metric assertions -------------------------------------------------
 #if !TIND_OBS_DISABLED

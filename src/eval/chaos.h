@@ -32,7 +32,16 @@
 ///     within the io timeout; after a SIGKILL mid-stream and a respawn on
 ///     the same port, the client's retry/backoff + reconnect must converge
 ///     to the correct answer with zero hung requests; and SIGTERM must
-///     drain in-flight work and exit 0.
+///     drain in-flight work and exit 0,
+///  9. live-ingest chaos: a seeded revision delta is pushed through
+///     IndexUpdater::ApplyDelta with the "update/alloc" and "update/patch"
+///     fault points armed — each injected failure must surface as a typed
+///     error while the base index keeps answering the pre-delta baseline
+///     discovery exactly (the torn-state invariant: a failed apply leaves
+///     no partial patch behind); the clean apply must then reproduce a
+///     fresh rebuild's discovery bit-for-bit; and CompactSnapshot under an
+///     injected "snapshot/write" fault must leave the previously published
+///     artifact verifiable, with the retried compaction publishing cleanly.
 ///
 /// Requires a binary built with TIND_ENABLE_FAULT_INJECTION=ON; reports
 /// FailedPrecondition otherwise.

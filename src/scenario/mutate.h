@@ -1,0 +1,57 @@
+#ifndef TIND_SCENARIO_MUTATE_H_
+#define TIND_SCENARIO_MUTATE_H_
+
+/// \file mutate.h
+/// Seeded corpus mutation: generates a valid RevisionDelta (random
+/// interleaving of append / add-attribute / retire ops) against a dataset.
+/// One generator feeds every live-maintenance consumer — the bit-exact
+/// differential test, chaos stage 9, and bench_update — so they all agree
+/// on what "a realistic revision stream" means, and a failing (seed, spec)
+/// pair replays identically everywhere.
+///
+/// The generated delta is always applicable: append/retire timestamps
+/// respect each target's current last change point (including targets the
+/// same delta mutated earlier — the generator tracks its own effects), added
+/// attributes have at least one non-empty version, and every timestamp lies
+/// inside the domain. Values mix existing dictionary strings (creating new
+/// cross-attribute inclusions) with fresh never-seen tokens (growing the
+/// dictionary), in a seeded proportion.
+
+#include <cstdint>
+#include <cstddef>
+
+#include "temporal/dataset.h"
+#include "tind/update.h"
+
+namespace tind::scenario {
+
+/// Knobs of one generated revision stream.
+struct MutationSpec {
+  /// Total ops in the delta.
+  size_t num_ops = 32;
+  /// Relative op-kind odds (normalized internally; all zero = appends only).
+  double append_weight = 0.7;
+  double add_weight = 0.15;
+  double retire_weight = 0.15;
+  /// Appended/seeded versions draw 1..max_values_per_version values.
+  size_t max_values_per_version = 12;
+  /// Probability that a drawn value is a fresh token (vs an existing
+  /// dictionary string re-used from another attribute).
+  double new_value_probability = 0.25;
+  /// Added attributes seed 1..max_versions_per_add versions.
+  size_t max_versions_per_add = 3;
+  /// When > 0, append/retire targets are confined to this many attributes
+  /// sampled up front — the "≤ 1% of attributes touched" shape bench_update
+  /// measures the incremental-apply speedup on.
+  size_t max_attributes_touched = 0;
+};
+
+/// Generates a delta against `base` (the dataset the delta will be applied
+/// to). Pure function of (base shape, seed, spec): equal inputs produce an
+/// identical delta, byte for byte.
+RevisionDelta MutateCorpus(const Dataset& base, uint64_t seed,
+                           const MutationSpec& spec);
+
+}  // namespace tind::scenario
+
+#endif  // TIND_SCENARIO_MUTATE_H_

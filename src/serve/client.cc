@@ -66,6 +66,37 @@ Result<QueryReply> TindClient::DiscoveryWindow(AttributeId begin,
   return Execute(MessageType::kDiscoveryWindow, request);
 }
 
+Result<ApplyDeltaResponse> TindClient::ApplyDelta(const RevisionDelta& delta) {
+  // Deliberately bypasses Attempt(): its hedged second send would apply
+  // the same (non-idempotent) delta twice.
+  ++counters_.attempts;
+  const Status connected = EnsureConnected();
+  if (!connected.ok()) return connected;
+  const uint64_t id = next_id_++;
+  const int timeout = static_cast<int>(options_.response_timeout_ms);
+  const Status sent = SendFrame(fd_, MessageType::kApplyDelta, id,
+                                EncodeApplyDeltaRequest(delta), timeout);
+  if (!sent.ok()) {
+    Disconnect();
+    return sent;
+  }
+  auto frame = WaitReply(fd_, id, timeout);
+  if (!frame.ok()) {
+    Disconnect();
+    return frame.status();
+  }
+  switch (frame->header.type) {
+    case MessageType::kApplyDeltaResult:
+      return DecodeApplyDeltaResponse(frame->payload);
+    case MessageType::kError:
+      return DecodeErrorResponse(frame->payload);
+    default:
+      return Status::Internal(
+          "unexpected apply-delta reply type " +
+          std::to_string(static_cast<int>(frame->header.type)));
+  }
+}
+
 Status TindClient::Ping() {
   auto frame = Attempt(MessageType::kPing, "");
   if (!frame.ok()) return frame.status();

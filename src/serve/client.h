@@ -68,6 +68,14 @@ class TindClient {
   Result<QueryReply> DiscoveryWindow(AttributeId begin, AttributeId end);
   Status Ping();
 
+  /// Live ingest: ships `delta` to the server, which patches its index and
+  /// swaps serving epochs. Single attempt, never retried or hedged —
+  /// applying a delta is not idempotent, and a retry after an ambiguous
+  /// transport failure could double-apply it. On a transport error the
+  /// caller must resynchronize (e.g. compare epoch sequences) before
+  /// resending.
+  Result<ApplyDeltaResponse> ApplyDelta(const RevisionDelta& delta);
+
   /// Drops the current connection; the next request reconnects.
   void Disconnect();
 

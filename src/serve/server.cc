@@ -73,7 +73,12 @@ struct TindServer::PendingRequest {
 
 TindServer::TindServer(const TindIndex& index, const TindParams& params,
                        const ServerOptions& options)
-    : index_(index), params_(params), options_(options) {}
+    : index_(index), params_(params), options_(options) {
+  auto base = std::make_shared<IndexEpoch>();
+  base->index = &index_;
+  base->sequence = 0;
+  epoch_ = std::move(base);
+}
 
 TindServer::~TindServer() { Shutdown(); }
 
@@ -144,7 +149,45 @@ TindServer::Counters TindServer::counters() const {
   c.deadline_exceeded = deadline_exceeded_.load();
   c.protocol_errors = protocol_errors_.load();
   c.slow_loris_drops = slow_loris_drops_.load();
+  c.deltas_applied = deltas_applied_.load();
   return c;
+}
+
+std::shared_ptr<const TindServer::IndexEpoch> TindServer::CurrentEpoch()
+    const {
+  std::lock_guard<std::mutex> lock(epoch_mutex_);
+  return epoch_;
+}
+
+uint64_t TindServer::epoch_sequence() const { return CurrentEpoch()->sequence; }
+
+Result<TindServer::IngestResult> TindServer::ApplyDelta(
+    const RevisionDelta& delta) {
+  if (!options_.allow_ingest) {
+    return Status::FailedPrecondition(
+        "live ingest disabled (start with allow_ingest)");
+  }
+  // One applier at a time: each delta patches the *latest* epoch, so the
+  // sequence is linear even with concurrent ingest connections.
+  std::lock_guard<std::mutex> ingest_lock(ingest_mutex_);
+  const std::shared_ptr<const IndexEpoch> base = CurrentEpoch();
+  TIND_ASSIGN_OR_RETURN(UpdateResult updated,
+                        IndexUpdater::ApplyDelta(*base->index, delta));
+  auto next = std::make_shared<IndexEpoch>();
+  next->owned_dataset = updated.dataset;
+  next->owned_index = updated.index;
+  next->index = updated.index.get();
+  next->sequence = base->sequence + 1;
+  {
+    std::lock_guard<std::mutex> lock(epoch_mutex_);
+    epoch_ = std::move(next);
+  }
+  deltas_applied_.fetch_add(1);
+  TIND_OBS_COUNTER_ADD("serve/deltas_applied", 1);
+  IngestResult result;
+  result.sequence = base->sequence + 1;
+  result.stats = updated.stats;
+  return result;
 }
 
 double TindServer::LatencyPercentileMs(double p) const {
@@ -219,6 +262,54 @@ void TindServer::DispatchFrame(const std::shared_ptr<Connection>& conn,
     case MessageType::kDiscoveryWindow:
       AdmitRequest(conn, frame);
       return;
+    case MessageType::kApplyDelta: {
+      // Ingest runs on the reader thread, not through the batch queue: a
+      // delta is a control-plane operation with its own serialization
+      // (ingest_mutex_), and queueing it behind queries would let a full
+      // admission queue starve index maintenance.
+      if (draining_.load()) {
+        SendToConnection(conn, MessageType::kError, frame.header.request_id,
+                         EncodeErrorResponse(
+                             Status::ResourceExhausted("server draining")));
+        return;
+      }
+      auto delta = DecodeApplyDeltaRequest(frame.payload);
+      if (!delta.ok()) {
+        protocol_errors_.fetch_add(1);
+        TIND_OBS_COUNTER_ADD("serve/protocol_errors", 1);
+        SendToConnection(conn, MessageType::kError, frame.header.request_id,
+                         EncodeErrorResponse(delta.status()));
+        return;
+      }
+      auto applied = ApplyDelta(*delta);
+      if (!applied.ok()) {
+        SendToConnection(conn, MessageType::kError, frame.header.request_id,
+                         EncodeErrorResponse(applied.status()));
+        return;
+      }
+      ApplyDeltaResponse response;
+      response.sequence = applied->sequence;
+      response.attributes_touched =
+          static_cast<uint32_t>(applied->stats.attributes_touched);
+      response.attributes_added =
+          static_cast<uint32_t>(applied->stats.attributes_added);
+      response.attributes_retired =
+          static_cast<uint32_t>(applied->stats.attributes_retired);
+      response.versions_appended =
+          static_cast<uint32_t>(applied->stats.versions_appended);
+      response.slices_patched =
+          static_cast<uint32_t>(applied->stats.slices_patched);
+      response.slices_skipped =
+          static_cast<uint32_t>(applied->stats.slices_skipped);
+      response.slices_rebuilt =
+          static_cast<uint32_t>(applied->stats.slices_rebuilt);
+      response.columns_reset =
+          static_cast<uint32_t>(applied->stats.columns_reset);
+      SendToConnection(conn, MessageType::kApplyDeltaResult,
+                       frame.header.request_id,
+                       EncodeApplyDeltaResponse(response));
+      return;
+    }
     default:
       protocol_errors_.fetch_add(1);
       SendToConnection(conn, MessageType::kError, frame.header.request_id,
@@ -243,7 +334,10 @@ void TindServer::AdmitRequest(const std::shared_ptr<Connection>& conn,
     return;
   }
   const SearchRequest& request = *decoded;
-  const size_t n = index_.dataset().size();
+  // Validated against the current epoch; the batch may execute against a
+  // later one, which is safe because attribute ids are never removed (a
+  // retire appends an empty version — the column stays addressable).
+  const size_t n = CurrentEpoch()->index->dataset().size();
   size_t num_queries = 1;
   if (frame.header.type == MessageType::kDiscoveryWindow) {
     if (request.window_end <= request.attribute ||
@@ -389,6 +483,11 @@ void TindServer::BatcherLoop() {
 
 void TindServer::ProcessBatch(std::vector<PendingRequest>&& batch,
                               size_t depth_at_pop) {
+  // One epoch for the whole window: every request in this batch answers
+  // against the same immutable index, even if an ingest swaps the epoch
+  // mid-execution (the shared_ptr keeps this view alive until we finish).
+  const std::shared_ptr<const IndexEpoch> epoch = CurrentEpoch();
+  const TindIndex& index = *epoch->index;
   const bool degrade_window = depth_at_pop >= options_.degrade_watermark;
   TIND_OBS_OBSERVE_BOUNDS("serve/batch_size", batch.size(),
                           obs::ExponentialBuckets(1, 2, 12));
@@ -424,7 +523,7 @@ void TindServer::ProcessBatch(std::vector<PendingRequest>&& batch,
     group.members.push_back(i);
   }
 
-  const Dataset& dataset = index_.dataset();
+  const Dataset& dataset = index.dataset();
   for (auto& [key, group] : groups) {
     // Expand requests into index queries: one per search, window-width many
     // per discovery request; every expanded query shares its request's
@@ -455,8 +554,8 @@ void TindServer::ProcessBatch(std::vector<PendingRequest>&& batch,
     std::vector<QueryStats> stats;
     const auto results =
         group.reverse
-            ? index_.BatchReverseSearch(queries, params, exec, &stats)
-            : index_.BatchSearch(queries, params, exec, &stats);
+            ? index.BatchReverseSearch(queries, params, exec, &stats)
+            : index.BatchSearch(queries, params, exec, &stats);
 
     for (size_t m = 0; m < group.members.size(); ++m) {
       PendingRequest& request = batch[group.members[m]];

@@ -38,8 +38,10 @@
 #include "common/memory_budget.h"
 #include "common/status.h"
 #include "serve/wire.h"
+#include "temporal/dataset.h"
 #include "tind/index.h"
 #include "tind/params.h"
+#include "tind/update.h"
 
 namespace tind::obs {
 class Histogram;
@@ -73,6 +75,10 @@ struct ServerOptions {
   /// Per-query admission cost in bytes; 0 derives it from the dataset size
   /// (worst-case id list) at Start().
   size_t request_cost_bytes = 0;
+  /// Live ingest: when false (the default), kApplyDelta frames are rejected
+  /// with FailedPrecondition. Enable only for servers that own their index
+  /// lifetime (tind_serve --ingest).
+  bool allow_ingest = false;
 };
 
 class TindServer {
@@ -109,8 +115,26 @@ class TindServer {
     uint64_t deadline_exceeded = 0;   ///< Cancelled or expired in queue.
     uint64_t protocol_errors = 0;     ///< Malformed frames / payloads.
     uint64_t slow_loris_drops = 0;    ///< Connections cut mid-frame.
+    uint64_t deltas_applied = 0;      ///< Successful live-ingest epoch swaps.
   };
   Counters counters() const;
+
+  /// Applies a revision delta to the serving index and atomically swaps the
+  /// epoch (clone-and-patch RCU: queries in flight keep answering against
+  /// the epoch they snapshotted; new batches see the new one). Serialized —
+  /// concurrent callers apply one at a time against the latest epoch. On
+  /// error nothing is swapped and the old epoch keeps serving: there is no
+  /// torn state. Returns the new epoch sequence plus the patch stats.
+  /// FailedPrecondition unless `ServerOptions::allow_ingest` is set.
+  struct IngestResult {
+    uint64_t sequence = 0;
+    UpdateStats stats;
+  };
+  Result<IngestResult> ApplyDelta(const RevisionDelta& delta);
+
+  /// The epoch sequence currently serving (0 = the index passed at
+  /// construction, incremented per applied delta).
+  uint64_t epoch_sequence() const;
 
   /// p50/p99 of accepted-request latency in ms (admission → response).
   double LatencyPercentileMs(double p) const;
@@ -118,6 +142,19 @@ class TindServer {
  private:
   struct Connection;
   struct PendingRequest;
+
+  /// One immutable serving view. The base epoch (sequence 0) borrows the
+  /// index passed at construction; every ingested delta produces a fresh
+  /// epoch owning its dataset + index. Batches snapshot one epoch pointer
+  /// and answer the whole window against it, so a mid-batch swap can never
+  /// mix pre- and post-delta answers.
+  struct IndexEpoch {
+    std::shared_ptr<const Dataset> owned_dataset;
+    std::shared_ptr<const TindIndex> owned_index;
+    const TindIndex* index = nullptr;  ///< Borrowed base or owned_index.get().
+    uint64_t sequence = 0;
+  };
+  std::shared_ptr<const IndexEpoch> CurrentEpoch() const;
 
   void AcceptLoop();
   void ReaderLoop(std::shared_ptr<Connection> conn);
@@ -140,6 +177,14 @@ class TindServer {
   const TindParams params_;
   ServerOptions options_;
   size_t request_cost_bytes_ = 0;
+
+  /// RCU epoch state: readers copy the shared_ptr under epoch_mutex_ (a
+  /// pointer copy, never blocking on an apply); ApplyDelta builds the next
+  /// epoch outside the lock and swaps it in. ingest_mutex_ serializes
+  /// appliers so each delta patches the latest epoch.
+  mutable std::mutex epoch_mutex_;
+  std::shared_ptr<const IndexEpoch> epoch_;
+  std::mutex ingest_mutex_;
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;
@@ -182,6 +227,7 @@ class TindServer {
   std::atomic<uint64_t> deadline_exceeded_{0};
   std::atomic<uint64_t> protocol_errors_{0};
   std::atomic<uint64_t> slow_loris_drops_{0};
+  std::atomic<uint64_t> deltas_applied_{0};
 
   /// Always-on latency histogram (registered in the global registry under
   /// "serve/latency_ms" but recorded directly, bypassing the enable gate).

@@ -111,6 +111,7 @@ bool IsRequestType(MessageType type) {
     case MessageType::kSearch:
     case MessageType::kReverseSearch:
     case MessageType::kDiscoveryWindow:
+    case MessageType::kApplyDelta:
       return true;
     default:
       return false;
@@ -269,6 +270,161 @@ Result<DiscoveryResponse> DecodeDiscoveryResponse(std::string_view payload) {
     response.pairs.push_back(pair);
   }
   if (!reader.empty()) return Malformed("discovery response");
+  return response;
+}
+
+namespace {
+
+void PutString(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+bool GetString(Reader* reader, std::string* out) {
+  uint32_t length = 0;
+  std::string_view bytes;
+  if (!reader->GetU32(&length) || !reader->GetBytes(length, &bytes)) {
+    return false;
+  }
+  out->assign(bytes);
+  return true;
+}
+
+void PutValueList(std::string* out, const std::vector<std::string>& values) {
+  PutU32(out, static_cast<uint32_t>(values.size()));
+  for (const std::string& v : values) PutString(out, v);
+}
+
+bool GetValueList(Reader* reader, std::vector<std::string>* out) {
+  uint32_t count = 0;
+  if (!reader->GetU32(&count)) return false;
+  out->clear();
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string value;
+    if (!GetString(reader, &value)) return false;
+    out->push_back(std::move(value));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeApplyDeltaRequest(const RevisionDelta& delta) {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(delta.ops.size()));
+  for (const RevisionOp& op : delta.ops) {
+    PutU8(&out, static_cast<uint8_t>(op.kind));
+    switch (op.kind) {
+      case RevisionOp::Kind::kAppendVersion:
+        PutU32(&out, op.attribute);
+        PutU64(&out, static_cast<uint64_t>(op.timestamp));
+        PutValueList(&out, op.values);
+        break;
+      case RevisionOp::Kind::kAddAttribute:
+        PutString(&out, op.meta.page);
+        PutString(&out, op.meta.table);
+        PutString(&out, op.meta.column);
+        PutU32(&out, static_cast<uint32_t>(op.versions.size()));
+        for (const auto& [t, values] : op.versions) {
+          PutU64(&out, static_cast<uint64_t>(t));
+          PutValueList(&out, values);
+        }
+        break;
+      case RevisionOp::Kind::kRetireAttribute:
+        PutU32(&out, op.attribute);
+        PutU64(&out, static_cast<uint64_t>(op.timestamp));
+        break;
+    }
+  }
+  return out;
+}
+
+Result<RevisionDelta> DecodeApplyDeltaRequest(std::string_view payload) {
+  Reader reader(payload);
+  RevisionDelta delta;
+  uint32_t num_ops = 0;
+  if (!reader.GetU32(&num_ops)) return Malformed("apply-delta request");
+  delta.ops.reserve(num_ops);
+  for (uint32_t i = 0; i < num_ops; ++i) {
+    uint8_t kind = 0;
+    if (!reader.GetU8(&kind)) return Malformed("apply-delta request");
+    RevisionOp op;
+    uint64_t timestamp_bits = 0;
+    switch (kind) {
+      case static_cast<uint8_t>(RevisionOp::Kind::kAppendVersion):
+        op.kind = RevisionOp::Kind::kAppendVersion;
+        if (!reader.GetU32(&op.attribute) || !reader.GetU64(&timestamp_bits) ||
+            !GetValueList(&reader, &op.values)) {
+          return Malformed("apply-delta request");
+        }
+        op.timestamp = static_cast<Timestamp>(timestamp_bits);
+        break;
+      case static_cast<uint8_t>(RevisionOp::Kind::kAddAttribute): {
+        op.kind = RevisionOp::Kind::kAddAttribute;
+        uint32_t num_versions = 0;
+        if (!GetString(&reader, &op.meta.page) ||
+            !GetString(&reader, &op.meta.table) ||
+            !GetString(&reader, &op.meta.column) ||
+            !reader.GetU32(&num_versions)) {
+          return Malformed("apply-delta request");
+        }
+        op.versions.reserve(num_versions);
+        for (uint32_t v = 0; v < num_versions; ++v) {
+          std::vector<std::string> values;
+          if (!reader.GetU64(&timestamp_bits) ||
+              !GetValueList(&reader, &values)) {
+            return Malformed("apply-delta request");
+          }
+          op.versions.emplace_back(static_cast<Timestamp>(timestamp_bits),
+                                   std::move(values));
+        }
+        break;
+      }
+      case static_cast<uint8_t>(RevisionOp::Kind::kRetireAttribute):
+        op.kind = RevisionOp::Kind::kRetireAttribute;
+        if (!reader.GetU32(&op.attribute) || !reader.GetU64(&timestamp_bits)) {
+          return Malformed("apply-delta request");
+        }
+        op.timestamp = static_cast<Timestamp>(timestamp_bits);
+        break;
+      default:
+        return Malformed("apply-delta request");
+    }
+    delta.ops.push_back(std::move(op));
+  }
+  if (!reader.empty()) return Malformed("apply-delta request");
+  return delta;
+}
+
+std::string EncodeApplyDeltaResponse(const ApplyDeltaResponse& response) {
+  std::string out;
+  PutU64(&out, response.sequence);
+  PutU32(&out, response.attributes_touched);
+  PutU32(&out, response.attributes_added);
+  PutU32(&out, response.attributes_retired);
+  PutU32(&out, response.versions_appended);
+  PutU32(&out, response.slices_patched);
+  PutU32(&out, response.slices_skipped);
+  PutU32(&out, response.slices_rebuilt);
+  PutU32(&out, response.columns_reset);
+  return out;
+}
+
+Result<ApplyDeltaResponse> DecodeApplyDeltaResponse(std::string_view payload) {
+  Reader reader(payload);
+  ApplyDeltaResponse response;
+  if (!reader.GetU64(&response.sequence) ||
+      !reader.GetU32(&response.attributes_touched) ||
+      !reader.GetU32(&response.attributes_added) ||
+      !reader.GetU32(&response.attributes_retired) ||
+      !reader.GetU32(&response.versions_appended) ||
+      !reader.GetU32(&response.slices_patched) ||
+      !reader.GetU32(&response.slices_skipped) ||
+      !reader.GetU32(&response.slices_rebuilt) ||
+      !reader.GetU32(&response.columns_reset) || !reader.empty()) {
+    return Malformed("apply-delta response");
+  }
   return response;
 }
 

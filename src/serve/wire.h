@@ -35,6 +35,7 @@
 #include "common/status.h"
 #include "temporal/attribute_history.h"
 #include "tind/discovery.h"
+#include "tind/update.h"
 
 namespace tind::serve {
 
@@ -51,13 +52,15 @@ enum class MessageType : uint8_t {
   kSearch = 2,           ///< lhs → all rhs with lhs ⊆ rhs.
   kReverseSearch = 3,    ///< rhs → all lhs with lhs ⊆ rhs.
   kDiscoveryWindow = 4,  ///< all pairs with lhs in [attribute, window_end).
+  kApplyDelta = 5,       ///< live ingest: apply a RevisionDelta (epoch swap).
   kPong = 17,
   kSearchResult = 18,
   kDiscoveryResult = 19,
   kError = 20,
+  kApplyDeltaResult = 21,
 };
 
-/// True for the four client-initiated types.
+/// True for the five client-initiated types.
 bool IsRequestType(MessageType type);
 
 struct FrameHeader {
@@ -117,6 +120,32 @@ struct DiscoveryResponse {
 };
 std::string EncodeDiscoveryResponse(const DiscoveryResponse& response);
 Result<DiscoveryResponse> DecodeDiscoveryResponse(std::string_view payload);
+
+/// kApplyDelta payload: a typed RevisionDelta (tind/update.h), serialized
+/// op by op. Per-op layout: u8 kind, then kind-specific fields — append:
+/// u32 attribute, u64 timestamp, value list; add: three length-prefixed
+/// meta strings (page, table, column) + seeded versions (u32 count, each
+/// u64 timestamp + value list); retire: u32 attribute, u64 timestamp.
+/// Value lists are u32 count + length-prefixed strings. The whole delta
+/// must fit one frame (kMaxPayloadBytes); the encoder does not split.
+std::string EncodeApplyDeltaRequest(const RevisionDelta& delta);
+Result<RevisionDelta> DecodeApplyDeltaRequest(std::string_view payload);
+
+/// kApplyDeltaResult payload: the new epoch sequence plus the UpdateStats
+/// summary so ingest clients can observe patch-vs-rebuild behavior.
+struct ApplyDeltaResponse {
+  uint64_t sequence = 0;  ///< Epoch sequence now serving (monotonic).
+  uint32_t attributes_touched = 0;
+  uint32_t attributes_added = 0;
+  uint32_t attributes_retired = 0;
+  uint32_t versions_appended = 0;
+  uint32_t slices_patched = 0;
+  uint32_t slices_skipped = 0;
+  uint32_t slices_rebuilt = 0;
+  uint32_t columns_reset = 0;
+};
+std::string EncodeApplyDeltaResponse(const ApplyDeltaResponse& response);
+Result<ApplyDeltaResponse> DecodeApplyDeltaResponse(std::string_view payload);
 
 /// kError payload: the Status taxonomy crosses the wire as (code, message).
 std::string EncodeErrorResponse(const Status& status);

@@ -70,6 +70,43 @@ size_t AttributeHistory::MemoryUsageBytes() const {
   return bytes;
 }
 
+Status AttributeHistory::AppendVersion(Timestamp t, ValueSet values) {
+  if (t < 0 || t >= domain_size_) {
+    return Status::InvalidArgument("timestamp " + std::to_string(t) +
+                                   " outside domain of size " +
+                                   std::to_string(domain_size_));
+  }
+  if (change_timestamps_.empty()) {
+    // A finished history always has at least one version; an empty one can
+    // only come from default construction, which is not appendable.
+    return Status::FailedPrecondition("cannot append to an empty history");
+  }
+  const Timestamp prev = change_timestamps_.back();
+  if (t < prev) {
+    return Status::InvalidArgument(
+        "versions must be appended in increasing timestamp order");
+  }
+  if (t == prev) {
+    // Same day: later observation wins, exactly like the builder.
+    versions_.back() = std::move(values);
+    if (versions_.size() >= 2 &&
+        versions_[versions_.size() - 2] == versions_.back()) {
+      versions_.pop_back();
+      change_timestamps_.pop_back();
+    }
+  } else if (versions_.back() == values) {
+    return Status::OK();  // No actual change; coalesce (AllValues unchanged).
+  } else {
+    change_timestamps_.push_back(t);
+    versions_.push_back(std::move(values));
+  }
+  std::vector<const ValueSet*> sets;
+  sets.reserve(versions_.size());
+  for (const auto& v : versions_) sets.push_back(&v);
+  all_values_ = ValueSet::UnionOf(sets);
+  return Status::OK();
+}
+
 AttributeHistoryBuilder::AttributeHistoryBuilder(AttributeId id,
                                                  AttributeMeta meta,
                                                  const TimeDomain& domain)

@@ -105,6 +105,14 @@ class AttributeHistory {
 
   size_t MemoryUsageBytes() const;
 
+  /// Live-ingest append: records that the attribute holds `values` from `t`
+  /// onward, with exactly the builder's semantics (increasing order,
+  /// same-timestamp overwrite wins, equal-to-previous coalesce) and
+  /// recomputes the AllValues() cache. Only the ingest path mutates
+  /// histories; queries never observe a history mid-append because the
+  /// updater works on a private copy (see tind/update.h).
+  Status AppendVersion(Timestamp t, ValueSet values);
+
  private:
   friend class AttributeHistoryBuilder;
 

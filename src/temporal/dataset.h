@@ -45,6 +45,12 @@ class Dataset {
   const AttributeHistory& attribute(AttributeId id) const {
     return attributes_[id];
   }
+  /// Mutable history access for the live-ingest path (tind/update.h), which
+  /// appends revisions to a *private copy* of the dataset; shared datasets
+  /// stay read-only.
+  AttributeHistory* mutable_attribute(AttributeId id) {
+    return &attributes_[id];
+  }
   const std::vector<AttributeHistory>& attributes() const {
     return attributes_;
   }

@@ -17,6 +17,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "bloom/bloom_matrix.h"
@@ -29,6 +33,8 @@
 #include "tind/params.h"
 
 namespace tind {
+
+struct UpdateStats;  // tind/update.h — dirty bookkeeping of one ApplyDelta.
 
 /// Build-time configuration of a TindIndex.
 struct TindIndexOptions {
@@ -204,6 +210,21 @@ class TindIndex {
   /// Defined in the tind_snapshot library (src/snapshot/); link it to use.
   Status SaveSnapshot(const std::string& path) const;
 
+  /// Incremental re-publication after IndexUpdater::ApplyDelta: writes the
+  /// same artifact SaveSnapshot(path) would — byte for byte — but only
+  /// re-serializes the sections `stats` marks dirty; clean sections (their
+  /// payload bytes and stored CRCs) are copied from `previous_path`, whose
+  /// header, table, and reused-section CRCs are verified first. The section
+  /// table is order-independent at load, so readers cannot tell a compacted
+  /// artifact from a full save. Atomic like SaveSnapshot: on any failure
+  /// (including an injected "snapshot/write" fault) the previous artifact is
+  /// left intact.
+  ///
+  /// Defined in the tind_snapshot library (src/snapshot/); link it to use.
+  Status CompactSnapshot(const std::string& previous_path,
+                         const std::string& path,
+                         const UpdateStats& stats) const;
+
   /// Reloads a SaveSnapshot() artifact via mmap with zero-copy Bloom-matrix
   /// views: the mapped planes feed the SIMD/batch kernels directly, so a
   /// load costs file mapping plus integrity checks instead of a rebuild.
@@ -222,6 +243,8 @@ class TindIndex {
   bool loaded_from_snapshot() const { return snapshot_storage_ != nullptr; }
 
  private:
+  friend class IndexUpdater;  ///< Incremental maintenance (tind/update.h).
+
   TindIndex() = default;
 
   /// Slice-stage pruning for forward search: probes every distinct version
@@ -287,6 +310,17 @@ class TindIndex {
                                    size_t n, const TindParams& params,
                                    const CancellationToken* const* cancels,
                                    BitVector* candidates) const;
+
+  /// Shared writer behind SaveSnapshot / CompactSnapshot (defined in the
+  /// tind_snapshot library): `reuse`, when non-null, maps section id to
+  /// (payload bytes, stored CRC-32) byte-copied from a previous artifact
+  /// instead of re-serialized. Serialization is deterministic, so a reused
+  /// clean section is byte-identical to what re-serialization would emit.
+  Status WriteSnapshotFile(
+      const std::string& path,
+      const std::unordered_map<uint32_t,
+                               std::pair<std::string_view, uint32_t>>* reuse)
+      const;
 
   /// Populates required_values_ / reverse_min_weights_ from the dataset and
   /// build parameters. Shared by Build() and (indirectly, for validation in

@@ -1,0 +1,156 @@
+/// Validates the seeded corpus mutator (scenario/mutate.h): determinism,
+/// always-applicable deltas, op-mix control, and blast-radius bounding.
+/// Every live-maintenance harness (the differential test, chaos stage 9,
+/// bench_update) trusts these properties instead of re-checking them.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "scenario/mutate.h"
+#include "tind/update.h"
+#include "wiki/generator.h"
+
+namespace tind {
+namespace {
+
+Dataset MakeCorpus(uint64_t seed) {
+  wiki::GeneratorOptions gen;
+  gen.seed = seed;
+  gen.num_days = 100;
+  gen.num_families = 2;
+  gen.num_noise_attributes = 10;
+  gen.num_drifter_attributes = 4;
+  gen.num_catchall_attributes = 1;
+  gen.shared_vocabulary = 80;
+  gen.entities_per_family_pool = 40;
+  auto generated = wiki::WikiGenerator(gen).GenerateDataset();
+  EXPECT_TRUE(generated.ok());
+  return std::move(generated->dataset);
+}
+
+bool SameOp(const RevisionOp& a, const RevisionOp& b) {
+  return a.kind == b.kind && a.attribute == b.attribute &&
+         a.timestamp == b.timestamp && a.values == b.values &&
+         a.meta.page == b.meta.page && a.meta.table == b.meta.table &&
+         a.meta.column == b.meta.column && a.versions == b.versions;
+}
+
+TEST(MutateCorpusTest, SameSeedIsByteIdentical) {
+  const Dataset corpus = MakeCorpus(5);
+  scenario::MutationSpec spec;
+  const RevisionDelta a = scenario::MutateCorpus(corpus, 42, spec);
+  const RevisionDelta b = scenario::MutateCorpus(corpus, 42, spec);
+  ASSERT_EQ(a.ops.size(), b.ops.size());
+  for (size_t i = 0; i < a.ops.size(); ++i) {
+    EXPECT_TRUE(SameOp(a.ops[i], b.ops[i])) << "op " << i;
+  }
+}
+
+TEST(MutateCorpusTest, DifferentSeedsDiverge) {
+  const Dataset corpus = MakeCorpus(5);
+  scenario::MutationSpec spec;
+  const RevisionDelta a = scenario::MutateCorpus(corpus, 1, spec);
+  const RevisionDelta b = scenario::MutateCorpus(corpus, 2, spec);
+  bool any_difference = a.ops.size() != b.ops.size();
+  for (size_t i = 0; !any_difference && i < a.ops.size(); ++i) {
+    any_difference = !SameOp(a.ops[i], b.ops[i]);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(MutateCorpusTest, GeneratedDeltasAlwaysApply) {
+  const Dataset corpus = MakeCorpus(9);
+  scenario::MutationSpec spec;
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    const RevisionDelta delta = scenario::MutateCorpus(corpus, seed, spec);
+    ASSERT_EQ(delta.ops.size(), spec.num_ops);
+    auto applied = ApplyDeltaToDataset(corpus, delta);
+    ASSERT_TRUE(applied.ok())
+        << "seed " << seed << ": " << applied.status().ToString();
+    EXPECT_EQ(applied->versions_appended + applied->attributes_added +
+                  applied->attributes_retired,
+              spec.num_ops)
+        << "seed " << seed;
+  }
+}
+
+TEST(MutateCorpusTest, ChainedDeltasApplyAgainstTheMutatedCorpus) {
+  const Dataset corpus = MakeCorpus(11);
+  scenario::MutationSpec spec;
+  std::shared_ptr<Dataset> current;
+  for (uint64_t step = 0; step < 4; ++step) {
+    const Dataset& at = step == 0 ? corpus : *current;
+    const RevisionDelta delta = scenario::MutateCorpus(at, 70 + step, spec);
+    auto applied = ApplyDeltaToDataset(at, delta);
+    ASSERT_TRUE(applied.ok())
+        << "step " << step << ": " << applied.status().ToString();
+    current = applied->dataset;
+  }
+  EXPECT_GT(current->size(), corpus.size());
+}
+
+TEST(MutateCorpusTest, OpKindWeightsAreRespected) {
+  const Dataset corpus = MakeCorpus(13);
+  scenario::MutationSpec appends_only;
+  appends_only.add_weight = 0;
+  appends_only.retire_weight = 0;
+  for (const RevisionOp& op :
+       scenario::MutateCorpus(corpus, 3, appends_only).ops) {
+    EXPECT_EQ(op.kind, RevisionOp::Kind::kAppendVersion);
+  }
+  scenario::MutationSpec adds_only;
+  adds_only.append_weight = 0;
+  adds_only.retire_weight = 0;
+  for (const RevisionOp& op :
+       scenario::MutateCorpus(corpus, 3, adds_only).ops) {
+    EXPECT_EQ(op.kind, RevisionOp::Kind::kAddAttribute);
+  }
+}
+
+TEST(MutateCorpusTest, BlastRadiusIsBounded) {
+  const Dataset corpus = MakeCorpus(17);
+  scenario::MutationSpec spec;
+  spec.num_ops = 64;
+  spec.add_weight = 0;  // Adds are new ids, outside the bounded pool.
+  spec.max_attributes_touched = 3;
+  const RevisionDelta delta = scenario::MutateCorpus(corpus, 8, spec);
+  std::set<AttributeId> touched;
+  for (const RevisionOp& op : delta.ops) {
+    ASSERT_NE(op.kind, RevisionOp::Kind::kAddAttribute);
+    touched.insert(op.attribute);
+  }
+  EXPECT_LE(touched.size(), 3u);
+  auto applied = ApplyDeltaToDataset(corpus, delta);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  EXPECT_LE(applied->dirty.size(), 3u);
+}
+
+TEST(MutateCorpusTest, TimestampsStayInsideTheDomain) {
+  const Dataset corpus = MakeCorpus(19);
+  scenario::MutationSpec spec;
+  spec.num_ops = 48;
+  const RevisionDelta delta = scenario::MutateCorpus(corpus, 21, spec);
+  const Timestamp last = corpus.domain().last();
+  for (const RevisionOp& op : delta.ops) {
+    if (op.kind == RevisionOp::Kind::kAddAttribute) {
+      ASSERT_FALSE(op.versions.empty());
+      Timestamp previous = -1;
+      for (const auto& [t, values] : op.versions) {
+        EXPECT_GE(t, 0);
+        EXPECT_LE(t, last);
+        EXPECT_GT(t, previous);
+        EXPECT_FALSE(values.empty());
+        previous = t;
+      }
+    } else {
+      EXPECT_GE(op.timestamp, 0);
+      EXPECT_LE(op.timestamp, last);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tind

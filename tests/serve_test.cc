@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <functional>
 #include <memory>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "scenario/mutate.h"
 #include "serve/client.h"
 #include "serve/load.h"
 #include "serve/server.h"
@@ -15,6 +17,7 @@
 #include "temporal/weights.h"
 #include "tind/discovery.h"
 #include "tind/index.h"
+#include "tind/update.h"
 #include "wiki/generator.h"
 
 /// \file serve_test.cc
@@ -29,6 +32,19 @@ namespace tind::serve {
 namespace {
 
 #if defined(__unix__) || defined(__APPLE__)
+
+/// Deadline-based wait for an asynchronous server-side condition. A fixed
+/// spin count flakes under scheduler jitter; a wall-clock deadline does not.
+bool WaitUntil(const std::function<bool()>& ready,
+               std::chrono::milliseconds deadline =
+                   std::chrono::milliseconds(10000)) {
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  while (!ready()) {
+    if (std::chrono::steady_clock::now() >= until) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
 
 class ServeTest : public ::testing::Test {
  protected:
@@ -47,6 +63,12 @@ class ServeTest : public ::testing::Test {
     corpus_ = std::make_unique<wiki::GeneratedDataset>(std::move(*generated));
     weight_ = std::make_unique<ConstantWeight>(
         corpus_->dataset.domain().num_timestamps());
+    auto built = TindIndex::Build(corpus_->dataset, BuildOptions());
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    index_ = std::move(*built);
+  }
+
+  TindIndexOptions BuildOptions() const {
     TindIndexOptions opts;
     opts.bloom_bits = 512;
     opts.num_hashes = 2;
@@ -56,9 +78,7 @@ class ServeTest : public ::testing::Test {
     opts.build_reverse_index = true;
     opts.reverse_slices = 2;
     opts.weight = weight_.get();
-    auto built = TindIndex::Build(corpus_->dataset, opts);
-    ASSERT_TRUE(built.ok()) << built.status().ToString();
-    index_ = std::move(*built);
+    return opts;
   }
 
   TindParams Params() const { return TindParams{3.0, 7, weight_.get()}; }
@@ -311,10 +331,8 @@ TEST_F(ServeTest, ShutdownDrainsInFlightRequests) {
   }
   // Wait for the whole burst to be admitted: the drain guarantee covers
   // admitted requests, not bytes still sitting in the kernel's buffers.
-  for (int spin = 0; spin < 2000 && server->counters().accepted < kBurst;
-       ++spin) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
-  }
+  ASSERT_TRUE(
+      WaitUntil([&] { return server->counters().accepted >= kBurst; }));
   ASSERT_EQ(server->counters().accepted, kBurst);
   server->Shutdown();  // Must drain: every queued request gets an answer.
   std::set<uint64_t> answered;
@@ -331,6 +349,73 @@ TEST_F(ServeTest, ShutdownDrainsInFlightRequests) {
   const auto counters = server->counters();
   EXPECT_EQ(counters.accepted,
             counters.completed + counters.deadline_exceeded);
+}
+
+TEST_F(ServeTest, IngestDisabledRejectsApplyDeltaAsFailedPrecondition) {
+  auto server = StartServer(ServerOptions{});  // allow_ingest defaults off.
+  TindClient client(ClientFor(*server));
+  scenario::MutationSpec spec;
+  spec.num_ops = 4;
+  const RevisionDelta delta =
+      scenario::MutateCorpus(corpus_->dataset, 3, spec);
+  const auto reply = client.ApplyDelta(delta);
+  EXPECT_TRUE(reply.status().IsFailedPrecondition())
+      << reply.status().ToString();
+  EXPECT_EQ(server->counters().deltas_applied, 0u);
+  EXPECT_EQ(server->epoch_sequence(), 0u);
+  // The refusal must not poison the connection for queries.
+  EXPECT_TRUE(client.Search(0).ok());
+}
+
+TEST_F(ServeTest, LiveIngestFlipsServedAnswersToThePostDeltaIndex) {
+  ServerOptions options;
+  options.allow_ingest = true;
+  auto server = StartServer(options);
+  TindClient client(ClientFor(*server));
+
+  scenario::MutationSpec spec;
+  spec.num_ops = 12;
+  const RevisionDelta delta =
+      scenario::MutateCorpus(corpus_->dataset, 17, spec);
+  auto oracle = ApplyDeltaToDataset(corpus_->dataset, delta);
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+  ASSERT_GT(oracle->dataset->size(), corpus_->dataset.size())
+      << "delta added no attribute; pick another seed";
+  auto rebuilt = TindIndex::Build(*oracle->dataset, BuildOptions());
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+
+  // Pre-delta the first added id does not exist on the server.
+  const AttributeId first_added =
+      static_cast<AttributeId>(corpus_->dataset.size());
+  EXPECT_TRUE(client.Search(first_added).status().IsInvalidArgument());
+
+  auto applied = client.ApplyDelta(delta);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  EXPECT_EQ(applied->sequence, 1u);
+  EXPECT_EQ(applied->versions_appended + applied->attributes_added +
+                applied->attributes_retired,
+            spec.num_ops);
+  EXPECT_EQ(applied->slices_rebuilt, 0u);
+  EXPECT_EQ(server->epoch_sequence(), 1u);
+  EXPECT_EQ(server->counters().deltas_applied, 1u);
+
+  // Post-delta every served answer — including for the new ids — must match
+  // a fresh Build over the mutated corpus.
+  const TindParams params = Params();
+  for (size_t q = 0; q < oracle->dataset->size(); ++q) {
+    const AttributeId attr = static_cast<AttributeId>(q);
+    const auto& history = oracle->dataset->attribute(attr);
+    auto reply = client.Search(attr);
+    ASSERT_TRUE(reply.ok()) << "q=" << q << ": " << reply.status().ToString();
+    EXPECT_EQ(reply->ids, (*rebuilt)->Search(history, params)) << "q=" << q;
+    auto reverse = client.ReverseSearch(attr);
+    ASSERT_TRUE(reverse.ok()) << reverse.status().ToString();
+    EXPECT_EQ(reverse->ids, (*rebuilt)->ReverseSearch(history, params))
+        << "q=" << q;
+  }
+  server->Shutdown();
+  // Exactly one protocol error: the deliberate pre-delta out-of-range probe.
+  EXPECT_EQ(server->counters().protocol_errors, 1u);
 }
 
 TEST_F(ServeTest, OpenLoopLoadAccountsForEveryRequest) {

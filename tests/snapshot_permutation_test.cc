@@ -1,0 +1,186 @@
+/// Section-table order independence: a *.tsnap whose section table has been
+/// permuted (entries shuffled; CRCs fixed up) must verify and load exactly
+/// like the original — the loader locates sections by id, never by table
+/// position. This is the freedom CompactSnapshot's section reuse relies on,
+/// and what keeps the format forward-compatible with new section kinds.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "snapshot/snapshot.h"
+#include "snapshot/snapshot_format.h"
+#include "temporal/weights.h"
+#include "tind/index.h"
+#include "wiki/generator.h"
+
+namespace tind {
+namespace {
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.good()) << path;
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Applies `permute` to the section table in `bytes` and repairs the table
+/// and header CRCs so the result is a valid artifact.
+void PermuteSectionTable(
+    std::string* bytes,
+    const std::function<void(std::vector<snapshot::SectionEntry>*)>& permute) {
+  snapshot::FileHeader header;
+  ASSERT_GE(bytes->size(), sizeof(header));
+  std::memcpy(&header, bytes->data(), sizeof(header));
+  std::vector<snapshot::SectionEntry> table(header.section_count);
+  const size_t table_bytes = table.size() * sizeof(snapshot::SectionEntry);
+  ASSERT_GE(bytes->size(), sizeof(header) + table_bytes);
+  std::memcpy(table.data(), bytes->data() + sizeof(header), table_bytes);
+
+  permute(&table);
+
+  std::memcpy(bytes->data() + sizeof(header), table.data(), table_bytes);
+  header.section_table_crc = Crc32Of(
+      std::string_view(bytes->data() + sizeof(header), table_bytes));
+  header.header_crc = snapshot::HeaderCrc(header);
+  std::memcpy(bytes->data(), &header, sizeof(header));
+}
+
+TEST(SnapshotPermutationTest, ShuffledSectionTableLoadsIdentically) {
+  wiki::GeneratorOptions gen;
+  gen.seed = 77;
+  gen.num_days = 120;
+  gen.num_families = 3;
+  gen.num_noise_attributes = 12;
+  gen.num_drifter_attributes = 5;
+  gen.num_catchall_attributes = 1;
+  gen.shared_vocabulary = 90;
+  gen.entities_per_family_pool = 50;
+  auto corpus = wiki::WikiGenerator(gen).GenerateDataset();
+  ASSERT_TRUE(corpus.ok());
+  const Dataset& dataset = corpus->dataset;
+  const ConstantWeight weight(dataset.domain().num_timestamps());
+
+  TindIndexOptions opts;
+  opts.bloom_bits = 512;
+  opts.num_hashes = 2;
+  opts.num_slices = 4;
+  opts.delta = 5;
+  opts.epsilon = 3.0;
+  opts.build_reverse_index = true;
+  opts.reverse_slices = 2;
+  opts.weight = &weight;
+  opts.seed = 31;
+  auto built = TindIndex::Build(dataset, opts);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+
+  const std::string original =
+      ::testing::TempDir() + "/tind_perm_original.tsnap";
+  const std::string permuted =
+      ::testing::TempDir() + "/tind_perm_shuffled.tsnap";
+  ASSERT_TRUE((*built)->SaveSnapshot(original).ok());
+
+  // Two distinct permutations: full reversal and an inside rotation — both
+  // must be as loadable as the writer's order.
+  const std::vector<
+      std::function<void(std::vector<snapshot::SectionEntry>*)>>
+      permutations = {
+          [](std::vector<snapshot::SectionEntry>* t) {
+            std::reverse(t->begin(), t->end());
+          },
+          [](std::vector<snapshot::SectionEntry>* t) {
+            ASSERT_GE(t->size(), 3u);
+            std::rotate(t->begin(), t->begin() + t->size() / 2, t->end());
+          },
+      };
+
+  SnapshotLoadOptions load;
+  load.weight = &weight;
+  auto base_loaded = TindIndex::LoadSnapshot(dataset, original, load);
+  ASSERT_TRUE(base_loaded.ok()) << base_loaded.status().ToString();
+
+  const TindParams params{3.0, 5, &weight};
+  for (size_t p = 0; p < permutations.size(); ++p) {
+    std::string bytes = ReadFileBytes(original);
+    PermuteSectionTable(&bytes, permutations[p]);
+    WriteFileBytes(permuted, bytes);
+
+    ASSERT_TRUE(snapshot::VerifySnapshot(permuted).ok())
+        << "permutation " << p;
+    auto loaded = TindIndex::LoadSnapshot(dataset, permuted, load);
+    ASSERT_TRUE(loaded.ok())
+        << "permutation " << p << ": " << loaded.status().ToString();
+
+    for (size_t q = 0; q < dataset.size(); ++q) {
+      const AttributeHistory& query =
+          dataset.attribute(static_cast<AttributeId>(q));
+      QueryStats ps, bs;
+      EXPECT_EQ((*loaded)->Search(query, params, &ps),
+                (*base_loaded)->Search(query, params, &bs))
+          << "permutation " << p << " q=" << q;
+      EXPECT_EQ(ps.initial_candidates, bs.initial_candidates);
+      EXPECT_EQ(ps.num_results, bs.num_results);
+      EXPECT_EQ((*loaded)->ReverseSearch(query, params, nullptr),
+                (*base_loaded)->ReverseSearch(query, params, nullptr))
+          << "permutation " << p << " q=" << q;
+    }
+  }
+  std::remove(original.c_str());
+  std::remove(permuted.c_str());
+}
+
+/// A permuted table with a stale CRC must be rejected, not silently loaded —
+/// the repair in PermuteSectionTable is what makes the test above valid.
+TEST(SnapshotPermutationTest, StaleTableCrcIsRejected) {
+  wiki::GeneratorOptions gen;
+  gen.seed = 78;
+  gen.num_days = 80;
+  gen.num_families = 2;
+  gen.num_noise_attributes = 8;
+  gen.num_drifter_attributes = 3;
+  gen.shared_vocabulary = 60;
+  auto corpus = wiki::WikiGenerator(gen).GenerateDataset();
+  ASSERT_TRUE(corpus.ok());
+  const ConstantWeight weight(corpus->dataset.domain().num_timestamps());
+
+  TindIndexOptions opts;
+  opts.bloom_bits = 256;
+  opts.num_hashes = 2;
+  opts.num_slices = 3;
+  opts.weight = &weight;
+  auto built = TindIndex::Build(corpus->dataset, opts);
+  ASSERT_TRUE(built.ok());
+
+  const std::string path = ::testing::TempDir() + "/tind_perm_stale.tsnap";
+  ASSERT_TRUE((*built)->SaveSnapshot(path).ok());
+  std::string bytes = ReadFileBytes(path);
+  // Swap the first two table entries WITHOUT repairing the CRCs.
+  snapshot::SectionEntry a, b;
+  char* table = bytes.data() + sizeof(snapshot::FileHeader);
+  std::memcpy(&a, table, sizeof(a));
+  std::memcpy(&b, table + sizeof(a), sizeof(b));
+  std::memcpy(table, &b, sizeof(b));
+  std::memcpy(table + sizeof(b), &a, sizeof(a));
+  WriteFileBytes(path, bytes);
+
+  EXPECT_FALSE(snapshot::VerifySnapshot(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tind

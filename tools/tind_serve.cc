@@ -15,7 +15,9 @@
 /// Serving knobs: --port (0 = ephemeral, printed and optionally written to
 /// --port_file), --max_inflight, --degrade_watermark, --deadline_ms,
 /// --max_deadline_ms, --io_timeout_ms, --batch_window, --linger_us,
-/// --max_connections, --memory_mb (admission MemoryBudget cap; 0 = none).
+/// --max_connections, --memory_mb (admission MemoryBudget cap; 0 = none),
+/// --ingest (accept kApplyDelta frames for live index maintenance;
+/// off by default — without it ingest requests get FailedPrecondition).
 ///
 /// --preflight verifies the snapshot's section CRCs and performs a full
 /// load, then exits without serving — with a *distinct exit code per
@@ -152,6 +154,7 @@ tind::obs::JsonValue CountersJson(const tind::serve::TindServer& server) {
   json.Set("deadline_exceeded", c.deadline_exceeded);
   json.Set("protocol_errors", c.protocol_errors);
   json.Set("slow_loris_drops", c.slow_loris_drops);
+  json.Set("deltas_applied", c.deltas_applied);
   json.Set("p50_ms", server.LatencyPercentileMs(50));
   json.Set("p99_ms", server.LatencyPercentileMs(99));
   return json;
@@ -204,6 +207,7 @@ int Run(const Flags& flags) {
   options.max_connections = static_cast<size_t>(flags.GetInt(
       "max_connections", static_cast<int64_t>(options.max_connections)));
   if (flags.GetInt("memory_mb", 0) > 0) options.memory = &memory;
+  options.allow_ingest = flags.GetBool("ingest", false);
 
   const tind::TindParams params{flags.GetDouble("eps", 3.0),
                                 flags.GetInt("delta", 7), &weight};
