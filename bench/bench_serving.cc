@@ -111,6 +111,24 @@ int RunServing(const Flags& flags) {
   std::printf("knee: %.0f qps (highest rung with <1%% shed, all accounted)\n",
               sweep.knee_qps);
 
+  // ---- Streaming phase: the same server, every query issued through the
+  // progressive kSearchStream op. Measures time-to-first-result (the
+  // stage-1 sound superset frame) against time-to-exact over the wire, at
+  // a comfortable rate below the knee so queueing does not pollute TTFR.
+  serve::LoadOptions streaming = base;
+  streaming.qps = std::max(25.0, sweep.knee_qps / 2.0);
+  streaming.discovery_fraction = 0.0;
+  streaming.stream_fraction = 1.0;
+  const serve::LoadReport stream_report = serve::RunOpenLoopLoad(streaming);
+  std::printf(
+      "streaming @ %.0f qps: streams=%llu partials=%llu ok=%llu "
+      "ttfr p50/p99=%.2f/%.2f ms  exact p50/p99=%.2f/%.2f ms\n",
+      streaming.qps, static_cast<unsigned long long>(stream_report.streams),
+      static_cast<unsigned long long>(stream_report.stream_partials),
+      static_cast<unsigned long long>(stream_report.ok),
+      stream_report.ttfr_p50_ms, stream_report.ttfr_p99_ms,
+      stream_report.p50_ms, stream_report.p99_ms);
+
   server.Shutdown();
   const auto counters = server.counters();
 
@@ -160,6 +178,14 @@ int RunServing(const Flags& flags) {
     std::printf("  [%s] %s\n", ok ? "ok" : "FAIL", what);
     if (!ok) ++failures;
   };
+  check(stream_report.AllAccounted(),
+        "every streamed request reached a terminal outcome (zero hung)");
+  check(stream_report.streams > 0 &&
+            stream_report.stream_partials >= stream_report.ok,
+        "every successful stream delivered a partial frame before the exact "
+        "answer");
+  check(stream_report.ttfr_p50_ms > 0,
+        "time-to-first-result was measured for streamed queries");
   check(storm.AllAccounted(),
         "every overload request reached a terminal outcome (zero hung)");
   check(storm.shed > 0, "overload was shed with typed Overloaded errors");
@@ -186,6 +212,18 @@ int RunServing(const Flags& flags) {
   storm_json.Set("p99_accepted_ms", p99_accepted_ms);
   storm_json.Set("p99_within_deadline", p99_accepted_ms <= deadline_bound_ms);
   json.Set("overload", std::move(storm_json));
+  auto streaming_json = obs::JsonValue::Object();
+  streaming_json.Set("qps", streaming.qps);
+  streaming_json.Set("offered", stream_report.offered);
+  streaming_json.Set("ok", stream_report.ok);
+  streaming_json.Set("streams", stream_report.streams);
+  streaming_json.Set("stream_partials", stream_report.stream_partials);
+  streaming_json.Set("all_accounted", stream_report.AllAccounted());
+  streaming_json.Set("ttfr_p50_ms", stream_report.ttfr_p50_ms);
+  streaming_json.Set("ttfr_p99_ms", stream_report.ttfr_p99_ms);
+  streaming_json.Set("p50_ms", stream_report.p50_ms);
+  streaming_json.Set("p99_ms", stream_report.p99_ms);
+  json.Set("streaming", std::move(streaming_json));
   auto server_json = obs::JsonValue::Object();
   server_json.Set("accepted", counters.accepted);
   server_json.Set("completed", counters.completed);

@@ -10,19 +10,51 @@
 
 namespace tind {
 
-void BloomMatrix::QuerySupersetsBatch(const BloomProbe* probes,
-                                      size_t n) const {
-  for (size_t off = 0; off < n; off += kBloomBatchGroupSize) {
+namespace {
+
+/// First group boundary at or past `begin + max_probes` (never below one
+/// whole group, so a resumable caller always makes progress).
+size_t PartialEnd(size_t n, size_t begin, size_t max_probes) {
+  const size_t want = std::max<size_t>(max_probes, 1);
+  const size_t rounded =
+      ((want + kBloomBatchGroupSize - 1) / kBloomBatchGroupSize) *
+      kBloomBatchGroupSize;
+  return std::min(n, begin + rounded);
+}
+
+}  // namespace
+
+size_t BloomMatrix::QuerySupersetsBatchPartial(const BloomProbe* probes,
+                                               size_t n, size_t begin,
+                                               size_t max_probes) const {
+  assert(begin % kBloomBatchGroupSize == 0);
+  const size_t end = PartialEnd(n, begin, max_probes);
+  for (size_t off = begin; off < end; off += kBloomBatchGroupSize) {
     BatchGroupKernel(probes + off, std::min(kBloomBatchGroupSize, n - off),
                      /*subsets=*/false);
   }
+  return end;
 }
 
-void BloomMatrix::QuerySubsetsBatch(const BloomProbe* probes, size_t n) const {
-  for (size_t off = 0; off < n; off += kBloomBatchGroupSize) {
+size_t BloomMatrix::QuerySubsetsBatchPartial(const BloomProbe* probes, size_t n,
+                                             size_t begin,
+                                             size_t max_probes) const {
+  assert(begin % kBloomBatchGroupSize == 0);
+  const size_t end = PartialEnd(n, begin, max_probes);
+  for (size_t off = begin; off < end; off += kBloomBatchGroupSize) {
     BatchGroupKernel(probes + off, std::min(kBloomBatchGroupSize, n - off),
                      /*subsets=*/true);
   }
+  return end;
+}
+
+void BloomMatrix::QuerySupersetsBatch(const BloomProbe* probes,
+                                      size_t n) const {
+  QuerySupersetsBatchPartial(probes, n, 0, n);
+}
+
+void BloomMatrix::QuerySubsetsBatch(const BloomProbe* probes, size_t n) const {
+  QuerySubsetsBatchPartial(probes, n, 0, n);
 }
 
 namespace {

@@ -518,13 +518,15 @@ Result<ChaosReport> RunChaosCheck(const ChaosOptions& options) {
     server_options.io_timeout_ms = 200;  // Aggressive slow-loris guard.
     server_options.default_deadline_ms = 1000;
 
-    const auto spawn_server = [&](uint16_t fixed_port) -> pid_t {
+    const auto spawn_server = [&](uint16_t fixed_port,
+                                  const serve::ServerOptions& base_options)
+        -> pid_t {
       const pid_t pid = ::fork();
       if (pid != 0) return pid;
       // Child: serve until SIGTERM, then drain and exit 0. _exit on every
       // path so the parent's streams/atexit state stays untouched.
       FaultInjector::Global().Reset();
-      serve::ServerOptions child_options = server_options;
+      serve::ServerOptions child_options = base_options;
       child_options.port = fixed_port;
       serve::TindServer server(index, params, child_options);
       if (!server.Start().ok()) ::_exit(3);
@@ -546,7 +548,7 @@ Result<ChaosReport> RunChaosCheck(const ChaosOptions& options) {
       ::_exit(0);
     };
 
-    pid_t server_pid = spawn_server(0);
+    pid_t server_pid = spawn_server(0, server_options);
     uint16_t port = 0;
     if (server_pid > 0) {
       // Wall-clock deadline, not an iteration count: under load a counted
@@ -605,6 +607,44 @@ Result<ChaosReport> RunChaosCheck(const ChaosOptions& options) {
       }
       checks.Record("serve_answers_match_direct_index", all_match, mismatch);
 
+      // A2: the progressive stream op — the final frame must equal the
+      // direct index call, and the partial frame that preceded it must be
+      // a sound superset of that exact answer, in both directions.
+      const auto is_sound_superset = [](std::vector<AttributeId> superset,
+                                        std::vector<AttributeId> exact) {
+        std::sort(superset.begin(), superset.end());
+        std::sort(exact.begin(), exact.end());
+        return std::includes(superset.begin(), superset.end(), exact.begin(),
+                             exact.end());
+      };
+      bool streams_match = true;
+      std::string stream_mismatch;
+      for (size_t q = 0; q < dataset.size() && streams_match; q += 11) {
+        const AttributeId attr = static_cast<AttributeId>(q);
+        const auto& history = dataset.attribute(attr);
+        serve::StreamReply forward;
+        serve::StreamReply reverse;
+        const Status forward_status = client.SearchStream(attr, &forward);
+        const Status reverse_status =
+            client.ReverseSearchStream(attr, &reverse);
+        const auto exact_forward = index.Search(history, params);
+        const auto exact_reverse = index.ReverseSearch(history, params);
+        if (!forward_status.ok() || forward.ids != exact_forward ||
+            !forward.got_partial ||
+            !is_sound_superset(forward.partial_ids, exact_forward) ||
+            !reverse_status.ok() || reverse.ids != exact_reverse ||
+            !reverse.got_partial ||
+            !is_sound_superset(reverse.partial_ids, exact_reverse)) {
+          streams_match = false;
+          stream_mismatch =
+              "attribute " + std::to_string(q) + ": " +
+              (forward_status.ok() ? reverse_status.ToString()
+                                   : forward_status.ToString());
+        }
+      }
+      checks.Record("serve_stream_answers_match_direct_index", streams_match,
+                    stream_mismatch);
+
       // B: garbage and bit-flipped frames get typed errors; the server
       // survives and keeps answering healthy clients.
       auto raw = serve::ConnectTcp("127.0.0.1", port, 1000);
@@ -640,6 +680,27 @@ Result<ChaosReport> RunChaosCheck(const ChaosOptions& options) {
         checks.Record("serve_bit_flip_typed_error", false,
                       flip.status().ToString());
       }
+      // Garbage inside a kSearchStream payload specifically: the stream op
+      // must reject it typed before any partial frame goes out.
+      auto stream_garbage = serve::ConnectTcp("127.0.0.1", port, 1000);
+      if (stream_garbage.ok()) {
+        const Status sent = serve::SendAll(
+            *stream_garbage,
+            serve::EncodeFrame(serve::MessageType::kSearchStream, 79,
+                               "garbage stream payload"),
+            1000);
+        auto reply = serve::RecvFrame(*stream_garbage, 3000, 3000);
+        checks.Record(
+            "serve_garbage_stream_payload_typed_error",
+            sent.ok() && reply.ok() &&
+                reply->header.type == serve::MessageType::kError &&
+                serve::DecodeErrorResponse(reply->payload).IsInvalidArgument(),
+            reply.ok() ? "" : reply.status().ToString());
+        serve::CloseFd(*stream_garbage);
+      } else {
+        checks.Record("serve_garbage_stream_payload_typed_error", false,
+                      stream_garbage.status().ToString());
+      }
       checks.Record("serve_survives_malformed_frames", client.Search(0).ok());
 
       // C: a slow loris (frame started, then silence) is cut within the
@@ -670,7 +731,7 @@ Result<ChaosReport> RunChaosCheck(const ChaosOptions& options) {
       ::waitpid(server_pid, &wstatus, 0);
       checks.Record("serve_child_sigkilled",
                     WIFSIGNALED(wstatus) && WTERMSIG(wstatus) == SIGKILL);
-      server_pid = spawn_server(port);
+      server_pid = spawn_server(port, server_options);
       const AttributeId probe = static_cast<AttributeId>(dataset.size() / 2);
       auto recovered = client.Search(probe);
       checks.Record(
@@ -694,6 +755,123 @@ Result<ChaosReport> RunChaosCheck(const ChaosOptions& options) {
       } else {
         checks.Record("serve_sigterm_drains_exit_zero", false,
                       "respawn fork failed");
+      }
+
+      // F: progressive streaming chaos against a *paced* child — the
+      // server sleeps between funnel stages, stretching the gap between
+      // the partial frame and the final one so deadline and mid-stream
+      // kill interleavings are deterministic instead of racy.
+      std::remove(port_path.c_str());
+      serve::ServerOptions paced_options = server_options;
+      paced_options.stream_pace_ms = 300;
+      paced_options.default_deadline_ms = 10000;
+      pid_t paced_pid = spawn_server(0, paced_options);
+      uint16_t paced_port = 0;
+      if (paced_pid > 0) {
+        const auto paced_deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(10);
+        while (paced_port == 0 &&
+               std::chrono::steady_clock::now() < paced_deadline) {
+          std::ifstream in(port_path);
+          int parsed = 0;
+          if (in >> parsed && parsed > 0) {
+            paced_port = static_cast<uint16_t>(parsed);
+            break;
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+      }
+      checks.Record("serve_paced_child_started", paced_port != 0,
+                    paced_port != 0 ? "" : "no port published within 10s");
+      if (paced_port != 0) {
+        const AttributeId stream_attr =
+            static_cast<AttributeId>(dataset.size() / 3);
+        const auto stream_exact =
+            index.Search(dataset.attribute(stream_attr), params);
+
+        // F1: deadline shorter than the pace, with degraded consent — the
+        // stream finishes early with the best completed stage, flagged
+        // degraded, and the answer is still a sound superset of exact.
+        serve::ClientOptions paced_client_options = client_options;
+        paced_client_options.port = paced_port;
+        paced_client_options.deadline_ms = 50;
+        paced_client_options.allow_degraded = true;
+        {
+          serve::TindClient paced_client(paced_client_options);
+          serve::StreamReply reply;
+          const Status streamed =
+              paced_client.SearchStream(stream_attr, &reply);
+          checks.Record(
+              "serve_stream_deadline_degrades_with_consent",
+              streamed.ok() && reply.degraded && reply.got_partial &&
+                  is_sound_superset(reply.ids, stream_exact),
+              streamed.ToString());
+        }
+
+        // F2: the same deadline without consent — a typed DeadlineExceeded
+        // after the partial landed; the client keeps the sound superset.
+        paced_client_options.allow_degraded = false;
+        {
+          serve::TindClient strict_client(paced_client_options);
+          serve::StreamReply reply;
+          const Status streamed =
+              strict_client.SearchStream(stream_attr, &reply);
+          checks.Record(
+              "serve_stream_deadline_typed_without_consent",
+              streamed.IsDeadlineExceeded() && reply.got_partial &&
+                  is_sound_superset(reply.partial_ids, stream_exact),
+              streamed.ToString());
+        }
+
+        // F3: SIGKILL mid-stream — after the partial frame but before the
+        // final one. The partial already received must be a sound superset
+        // the caller can fall back to; the severed stream surfaces as a
+        // transport error, never a hang or a fabricated final frame.
+        auto mid = serve::ConnectTcp("127.0.0.1", paced_port, 1000);
+        if (mid.ok()) {
+          serve::SearchStreamRequest request;
+          request.base.attribute = stream_attr;
+          request.base.epsilon = params.epsilon;
+          request.base.delta = static_cast<int64_t>(params.delta);
+          const Status sent = serve::SendAll(
+              *mid,
+              serve::EncodeFrame(serve::MessageType::kSearchStream, 80,
+                                 serve::EncodeSearchStreamRequest(request)),
+              1000);
+          auto partial_frame = serve::RecvFrame(*mid, 5000, 5000);
+          bool partial_sound = false;
+          if (sent.ok() && partial_frame.ok() &&
+              partial_frame->header.type ==
+                  serve::MessageType::kSearchPartial) {
+            auto partial =
+                serve::DecodeSearchPartial(partial_frame->payload);
+            partial_sound = partial.ok() &&
+                            is_sound_superset(partial->ids, stream_exact);
+          }
+          checks.Record("serve_stream_partial_before_kill", partial_sound,
+                        partial_frame.ok()
+                            ? ""
+                            : partial_frame.status().ToString());
+          ::kill(paced_pid, SIGKILL);
+          int paced_status = 0;
+          ::waitpid(paced_pid, &paced_status, 0);
+          paced_pid = -1;
+          auto severed = serve::RecvFrame(*mid, 5000, 5000);
+          checks.Record("serve_stream_kill_surfaces_transport_error",
+                        !severed.ok(),
+                        severed.ok() ? "got a frame from a dead server" : "");
+          serve::CloseFd(*mid);
+        } else {
+          checks.Record("serve_stream_partial_before_kill", false,
+                        mid.status().ToString());
+          checks.Record("serve_stream_kill_surfaces_transport_error", false,
+                        "mid-stream connect failed");
+        }
+      }
+      if (paced_pid > 0) {
+        ::kill(paced_pid, SIGKILL);
+        int paced_status = 0;
+        ::waitpid(paced_pid, &paced_status, 0);
       }
     } else if (server_pid > 0) {
       ::kill(server_pid, SIGKILL);

@@ -1,0 +1,60 @@
+#ifndef TIND_OBS_LATENCY_H_
+#define TIND_OBS_LATENCY_H_
+
+/// \file latency.h
+/// Shared latency-sample aggregation for the serve layer and the benches.
+/// Every driver that collects per-request wall times (the load driver, the
+/// serving/progressive benches) reduces them through the same two helpers
+/// here, so a "p99" in one report means exactly what it means in another:
+/// nearest-rank with linear interpolation over the sorted sample vector.
+///
+/// (The server itself reports percentiles from its always-on obs Histogram
+/// — bucketed, lossy — which is the right trade for an in-process counter.
+/// Sample vectors are exact; use these when you hold the raw samples.)
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace tind::obs {
+
+/// Percentile (p in [0, 100]) of an ascending-sorted sample vector by
+/// linear interpolation between the two nearest ranks. 0 for an empty
+/// vector.
+inline double PercentileOfSorted(const std::vector<double>& sorted,
+                                 double p) {
+  if (sorted.empty()) return 0;
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+/// The standard latency digest every report in this repo emits.
+struct LatencySummary {
+  size_t count = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+  double max = 0;
+
+  /// Sorts `samples` in place (callers are done with the raw order by the
+  /// time they summarize) and reduces it.
+  static LatencySummary FromSamples(std::vector<double>& samples) {
+    LatencySummary s;
+    s.count = samples.size();
+    if (samples.empty()) return s;
+    std::sort(samples.begin(), samples.end());
+    s.p50 = PercentileOfSorted(samples, 50);
+    s.p95 = PercentileOfSorted(samples, 95);
+    s.p99 = PercentileOfSorted(samples, 99);
+    s.max = samples.back();
+    return s;
+  }
+};
+
+}  // namespace tind::obs
+
+#endif  // TIND_OBS_LATENCY_H_

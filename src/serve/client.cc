@@ -165,6 +165,113 @@ Result<QueryReply> TindClient::Execute(MessageType type,
   return last;
 }
 
+Status TindClient::SearchStream(AttributeId attribute, StreamReply* reply) {
+  return ExecuteStream(attribute, /*reverse=*/false, reply);
+}
+
+Status TindClient::ReverseSearchStream(AttributeId attribute,
+                                       StreamReply* reply) {
+  return ExecuteStream(attribute, /*reverse=*/true, reply);
+}
+
+Status TindClient::ExecuteStream(AttributeId attribute, bool reverse,
+                                 StreamReply* reply) {
+  *reply = StreamReply();
+  SearchStreamRequest request;
+  request.base.attribute = attribute;
+  request.base.epsilon = options_.epsilon;
+  request.base.delta = options_.delta;
+  request.base.deadline_ms = options_.deadline_ms;
+  request.base.allow_degraded = options_.allow_degraded;
+  request.reverse = reverse;
+  const std::string payload = EncodeSearchStreamRequest(request);
+
+  ExponentialBackoff backoff(options_.backoff, options_.backoff_seed);
+  Status last = Status::Internal("no attempt made");
+  const uint32_t attempts =
+      options_.max_attempts == 0 ? 1 : options_.max_attempts;
+  for (uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ++counters_.retries;
+      uint64_t delay_us = 0;
+      if (backoff.NextDelayUs(&delay_us)) {
+        std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+      }
+    }
+    // Like ApplyDelta, this bypasses Attempt(): a hedge would run the
+    // funnel twice and interleave two partial streams under one id.
+    ++counters_.attempts;
+    const Status connected = EnsureConnected();
+    if (!connected.ok()) {
+      last = connected;
+      if (!IsRetryableServeError(last)) return last;
+      continue;
+    }
+    const uint64_t id = next_id_++;
+    const Clock::time_point sent_at = Clock::now();
+    const Clock::time_point deadline =
+        sent_at + std::chrono::milliseconds(options_.response_timeout_ms);
+    const Status sent = SendFrame(fd_, MessageType::kSearchStream, id, payload,
+                                  RemainingMs(deadline));
+    if (!sent.ok()) {
+      Disconnect();
+      last = sent.IsDeadlineExceeded()
+                 ? Status::IOError("request send timed out")
+                 : sent;
+      continue;
+    }
+    for (;;) {
+      auto frame = WaitReply(fd_, id, RemainingMs(deadline));
+      if (!frame.ok()) {
+        Disconnect();
+        last = frame.status().IsDeadlineExceeded()
+                   ? Status::IOError("response timed out")
+                   : frame.status();
+        break;
+      }
+      if (frame->header.type == MessageType::kSearchPartial) {
+        auto decoded = DecodeSearchPartial(frame->payload);
+        if (!decoded.ok()) {
+          Disconnect();
+          return decoded.status();
+        }
+        if (!reply->got_partial) {
+          reply->ttfr_ms = std::chrono::duration<double, std::milli>(
+                               Clock::now() - sent_at)
+                               .count();
+        }
+        reply->got_partial = true;
+        reply->partial_stage = decoded->stage;
+        reply->partial_ids = std::move(decoded->ids);
+        continue;
+      }
+      if (frame->header.type == MessageType::kSearchResult) {
+        auto decoded = DecodeSearchResponse(frame->payload);
+        if (!decoded.ok()) return decoded.status();
+        reply->ids = std::move(decoded->ids);
+        reply->degraded = decoded->degraded;
+        reply->total_ms = std::chrono::duration<double, std::milli>(
+                              Clock::now() - sent_at)
+                              .count();
+        return Status::OK();
+      }
+      if (frame->header.type == MessageType::kError) {
+        last = DecodeErrorResponse(frame->payload);
+        if (!IsRetryableServeError(last)) return last;
+        break;
+      }
+      return Status::Internal(
+          "unexpected stream reply type " +
+          std::to_string(static_cast<int>(frame->header.type)));
+    }
+    // Retry only while the stream has not started: after a partial, the
+    // caller already holds a valid superset and a retry would silently
+    // restart the funnel — return the error and let them decide.
+    if (reply->got_partial) return last;
+  }
+  return last;
+}
+
 Result<Frame> TindClient::Attempt(MessageType type,
                                   const std::string& payload) {
   ++counters_.attempts;

@@ -54,6 +54,20 @@ struct QueryReply {
   bool degraded = false;          ///< Superset answer (stages 3–4 skipped).
 };
 
+/// One streaming query's observable timeline. SearchStream fills this in
+/// place as frames arrive, so the partial answer survives even when the
+/// final frame never does (transport failure, deadline without degraded
+/// consent) — the chaos suite asserts on exactly that.
+struct StreamReply {
+  bool got_partial = false;
+  uint8_t partial_stage = 0;             ///< tind::SearchStage of the partial.
+  std::vector<AttributeId> partial_ids;  ///< Sound superset of `ids`.
+  double ttfr_ms = 0;   ///< Request send → first partial frame.
+  double total_ms = 0;  ///< Request send → final frame.
+  std::vector<AttributeId> ids;  ///< Final answer (exact unless degraded).
+  bool degraded = false;
+};
+
 class TindClient {
  public:
   explicit TindClient(const ClientOptions& options);
@@ -67,6 +81,16 @@ class TindClient {
   /// All pairs with lhs in [begin, end); width capped by the server.
   Result<QueryReply> DiscoveryWindow(AttributeId begin, AttributeId end);
   Status Ping();
+
+  /// Anytime search over the kSearchStream op: one or more kSearchPartial
+  /// frames (sound supersets, recorded into `reply` as they land) followed
+  /// by the final kSearchResult. Never hedged — two interleaved partial
+  /// streams under one id would be ambiguous — and retried only while no
+  /// frame of the stream has arrived yet; after a partial, errors are
+  /// returned with `reply->got_partial` still set so the caller can fall
+  /// back to the superset it holds.
+  Status SearchStream(AttributeId attribute, StreamReply* reply);
+  Status ReverseSearchStream(AttributeId attribute, StreamReply* reply);
 
   /// Live ingest: ships `delta` to the server, which patches its index and
   /// swaps serving epochs. Single attempt, never retried or hedged —
@@ -91,6 +115,7 @@ class TindClient {
 
  private:
   Result<QueryReply> Execute(MessageType type, const SearchRequest& request);
+  Status ExecuteStream(AttributeId attribute, bool reverse, StreamReply* reply);
   /// One attempt: send on the primary connection, wait (optionally hedging)
   /// for the frame with the matching id.
   Result<Frame> Attempt(MessageType type, const std::string& payload);

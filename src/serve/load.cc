@@ -6,22 +6,16 @@
 #include <mutex>
 #include <thread>
 
+#include <memory>
+
 #include "common/rng.h"
+#include "obs/latency.h"
 
 namespace tind::serve {
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
-
-double PercentileOf(std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0;
-  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
-  const size_t lo = static_cast<size_t>(rank);
-  const size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
-}
 
 struct WorkerTally {
   uint64_t ok = 0;
@@ -30,7 +24,10 @@ struct WorkerTally {
   uint64_t deadline_exceeded = 0;
   uint64_t transport_errors = 0;
   uint64_t other_errors = 0;
+  uint64_t streams = 0;
+  uint64_t stream_partials = 0;
   std::vector<double> latencies_ms;  ///< Terminal-outcome latencies.
+  std::vector<double> ttfr_ms;       ///< Streaming first-partial latencies.
 };
 
 }  // namespace
@@ -57,6 +54,12 @@ obs::JsonValue LoadReport::ToJson() const {
   v.Set("p95_ms", obs::JsonValue(p95_ms));
   v.Set("p99_ms", obs::JsonValue(p99_ms));
   v.Set("max_ms", obs::JsonValue(max_ms));
+  v.Set("streams", obs::JsonValue(streams));
+  v.Set("stream_partials", obs::JsonValue(stream_partials));
+  v.Set("ttfr_p50_ms", obs::JsonValue(ttfr_p50_ms));
+  v.Set("ttfr_p95_ms", obs::JsonValue(ttfr_p95_ms));
+  v.Set("ttfr_p99_ms", obs::JsonValue(ttfr_p99_ms));
+  v.Set("ttfr_max_ms", obs::JsonValue(ttfr_max_ms));
   v.Set("all_accounted", obs::JsonValue(AllAccounted()));
   return v;
 }
@@ -81,6 +84,25 @@ LoadReport RunOpenLoopLoad(const LoadOptions& options) {
   const Clock::time_point start =
       Clock::now() + std::chrono::milliseconds(20);
 
+  // Hot/cold skew: the same seeded-shuffle-plus-Zipf-prefix construction as
+  // scenario::BuildTrafficPlan, so a --scenario traffic model replays with
+  // the same skew here as in the offline harness. Shared read-only across
+  // workers.
+  std::vector<AttributeId> ranked(options.num_attributes);
+  for (size_t i = 0; i < options.num_attributes; ++i) {
+    ranked[i] = static_cast<AttributeId>(i);
+  }
+  std::unique_ptr<ZipfSampler> hot_zipf;
+  size_t hot_set_size = 0;
+  if (options.hot_fraction > 0.0 && options.num_attributes > 0) {
+    Rng hot_rng(options.seed ^ 0xB10C7AFF1CULL);
+    hot_rng.Shuffle(&ranked);
+    hot_set_size = std::max<size_t>(
+        1, static_cast<size_t>(static_cast<double>(options.num_attributes) *
+                               options.hot_set_fraction));
+    hot_zipf = std::make_unique<ZipfSampler>(hot_set_size, 1.0);
+  }
+
   auto worker_fn = [&](size_t w) {
     TindClient client(options.client);
     Rng pick(options.seed ^ (0x9e3779b97f4a7c15ULL * (w + 1)));
@@ -90,17 +112,44 @@ LoadReport RunOpenLoopLoad(const LoadOptions& options) {
           start + std::chrono::duration_cast<Clock::duration>(
                       std::chrono::duration<double>(arrivals_s[i]));
       std::this_thread::sleep_until(scheduled);
-      const AttributeId attr = static_cast<AttributeId>(
-          pick.Uniform(static_cast<uint64_t>(options.num_attributes)));
+      AttributeId attr;
+      if (hot_zipf != nullptr && pick.Bernoulli(options.hot_fraction)) {
+        attr = ranked[hot_zipf->Sample(&pick)];
+      } else {
+        attr = static_cast<AttributeId>(
+            pick.Uniform(static_cast<uint64_t>(options.num_attributes)));
+      }
       const double kind = pick.UniformDouble();
+      const bool reverse = kind >= options.discovery_fraction &&
+                           kind < options.discovery_fraction +
+                                      options.reverse_fraction;
+      const bool streamed = kind >= options.discovery_fraction &&
+                            pick.UniformDouble() < options.stream_fraction;
       Result<QueryReply> reply = Status::Internal("unreached");
-      if (kind < options.discovery_fraction) {
+      if (streamed) {
+        StreamReply stream;
+        const Status status = reverse
+                                  ? client.ReverseSearchStream(attr, &stream)
+                                  : client.SearchStream(attr, &stream);
+        ++tally.streams;
+        if (stream.got_partial) {
+          ++tally.stream_partials;
+          tally.ttfr_ms.push_back(stream.ttfr_ms);
+        }
+        if (status.ok()) {
+          QueryReply converted;
+          converted.ids = std::move(stream.ids);
+          converted.degraded = stream.degraded;
+          reply = std::move(converted);
+        } else {
+          reply = status;
+        }
+      } else if (kind < options.discovery_fraction) {
         const AttributeId end = static_cast<AttributeId>(std::min<uint64_t>(
             options.num_attributes, attr + options.discovery_window));
         reply = end > attr ? client.DiscoveryWindow(attr, end)
                            : client.Search(attr);
-      } else if (kind < options.discovery_fraction +
-                            options.reverse_fraction) {
+      } else if (reverse) {
         reply = client.ReverseSearch(attr);
       } else {
         reply = client.Search(attr);
@@ -141,26 +190,35 @@ LoadReport RunOpenLoopLoad(const LoadOptions& options) {
   LoadReport report;
   report.offered = arrivals_s.size();
   std::vector<double> latencies;
-  for (const WorkerTally& tally : tallies) {
+  std::vector<double> ttfrs;
+  for (WorkerTally& tally : tallies) {
     report.ok += tally.ok;
     report.degraded += tally.degraded;
     report.shed += tally.shed;
     report.deadline_exceeded += tally.deadline_exceeded;
     report.transport_errors += tally.transport_errors;
     report.other_errors += tally.other_errors;
+    report.streams += tally.streams;
+    report.stream_partials += tally.stream_partials;
     latencies.insert(latencies.end(), tally.latencies_ms.begin(),
                      tally.latencies_ms.end());
+    ttfrs.insert(ttfrs.end(), tally.ttfr_ms.begin(), tally.ttfr_ms.end());
   }
   for (const TindClient::Counters& c : client_counters) {
     report.retries += c.retries;
     report.reconnects += c.reconnects;
     report.hedges += c.hedges;
   }
-  std::sort(latencies.begin(), latencies.end());
-  report.p50_ms = PercentileOf(latencies, 50);
-  report.p95_ms = PercentileOf(latencies, 95);
-  report.p99_ms = PercentileOf(latencies, 99);
-  report.max_ms = latencies.empty() ? 0 : latencies.back();
+  const obs::LatencySummary latency = obs::LatencySummary::FromSamples(latencies);
+  report.p50_ms = latency.p50;
+  report.p95_ms = latency.p95;
+  report.p99_ms = latency.p99;
+  report.max_ms = latency.max;
+  const obs::LatencySummary ttfr = obs::LatencySummary::FromSamples(ttfrs);
+  report.ttfr_p50_ms = ttfr.p50;
+  report.ttfr_p95_ms = ttfr.p95;
+  report.ttfr_p99_ms = ttfr.p99;
+  report.ttfr_max_ms = ttfr.max;
   report.achieved_qps =
       wall_s > 0 ? static_cast<double>(report.ok) / wall_s : 0;
   return report;

@@ -33,8 +33,17 @@ struct LoadOptions {
   double reverse_fraction = 0.25;
   double discovery_fraction = 0.0;
   uint32_t discovery_window = 8;
+  /// Fraction of the (forward + reverse) queries issued over the streaming
+  /// op (kSearchStream); their time-to-first-result feeds the ttfr_* report
+  /// fields.
+  double stream_fraction = 0.0;
   /// Attribute id space to sample queries from (must be <= dataset size).
   size_t num_attributes = 1;
+  /// Hot/cold skew: this fraction of queries targets a Zipf-distributed hot
+  /// set of `hot_set_fraction * num_attributes` ids (same construction as
+  /// scenario::BuildTrafficPlan); the rest sample uniformly. 0 = uniform.
+  double hot_fraction = 0.0;
+  double hot_set_fraction = 0.05;
   uint64_t seed = 1;
 };
 
@@ -54,6 +63,15 @@ struct LoadReport {
   double p95_ms = 0;
   double p99_ms = 0;
   double max_ms = 0;
+  /// Streaming-op tallies (zero when stream_fraction == 0). Streamed
+  /// requests also count in ok/degraded/...; these break out their
+  /// time-to-first-result (request send → first partial frame).
+  uint64_t streams = 0;        ///< Streaming requests with a terminal outcome.
+  uint64_t stream_partials = 0;  ///< Streams that delivered a partial frame.
+  double ttfr_p50_ms = 0;
+  double ttfr_p95_ms = 0;
+  double ttfr_p99_ms = 0;
+  double ttfr_max_ms = 0;
 
   /// offered == ok + shed + deadline_exceeded + transport + other: every
   /// request reached a terminal outcome (the zero-hung-requests invariant).

@@ -12,6 +12,8 @@
 #endif
 
 #include "obs/metrics.h"
+#include "tind/planner.h"
+#include "tind/progressive.h"
 
 namespace tind::serve {
 
@@ -64,6 +66,7 @@ struct TindServer::PendingRequest {
   uint64_t request_id = 0;
   MessageType type = MessageType::kSearch;
   SearchRequest request;
+  bool stream_reverse = false;  ///< kSearchStream only: search direction.
   CancellationToken cancel;
   Clock::time_point admitted;
   Clock::time_point deadline;
@@ -95,6 +98,8 @@ Status TindServer::Start() {
   TIND_ASSIGN_OR_RETURN(port_, LocalPort(listen_fd_));
   latency_ms_ =
       obs::MetricsRegistry::Global().GetHistogram("serve/latency_ms");
+  ttfr_ms_ = obs::MetricsRegistry::Global().GetHistogram("serve/ttfr_ms");
+  planner_ = std::make_unique<CostModelPlanner>(index_);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   batcher_thread_ = std::thread([this] { BatcherLoop(); });
   watcher_thread_ = std::thread([this] { WatcherLoop(); });
@@ -260,6 +265,7 @@ void TindServer::DispatchFrame(const std::shared_ptr<Connection>& conn,
     case MessageType::kSearch:
     case MessageType::kReverseSearch:
     case MessageType::kDiscoveryWindow:
+    case MessageType::kSearchStream:
       AdmitRequest(conn, frame);
       return;
     case MessageType::kApplyDelta: {
@@ -327,13 +333,26 @@ void TindServer::AdmitRequest(const std::shared_ptr<Connection>& conn,
     SendToConnection(conn, MessageType::kError, frame.header.request_id,
                      EncodeErrorResponse(status));
   };
-  auto decoded = DecodeSearchRequest(frame.payload);
-  if (!decoded.ok()) {
-    protocol_errors_.fetch_add(1);
-    reject(decoded.status());
-    return;
+  SearchRequest request;
+  bool stream_reverse = false;
+  if (frame.header.type == MessageType::kSearchStream) {
+    auto decoded = DecodeSearchStreamRequest(frame.payload);
+    if (!decoded.ok()) {
+      protocol_errors_.fetch_add(1);
+      reject(decoded.status());
+      return;
+    }
+    request = decoded->base;
+    stream_reverse = decoded->reverse;
+  } else {
+    auto decoded = DecodeSearchRequest(frame.payload);
+    if (!decoded.ok()) {
+      protocol_errors_.fetch_add(1);
+      reject(decoded.status());
+      return;
+    }
+    request = *decoded;
   }
-  const SearchRequest& request = *decoded;
   // Validated against the current epoch; the batch may execute against a
   // later one, which is safe because attribute ids are never removed (a
   // retire appends an empty version — the column stays addressable).
@@ -385,6 +404,7 @@ void TindServer::AdmitRequest(const std::shared_ptr<Connection>& conn,
   pending.request_id = frame.header.request_id;
   pending.type = frame.header.type;
   pending.request = request;
+  pending.stream_reverse = stream_reverse;
   pending.admitted = Clock::now();
   pending.deadline = pending.admitted + std::chrono::milliseconds(budget_ms);
   bool queue_full = false;
@@ -510,6 +530,13 @@ void TindServer::ProcessBatch(std::vector<PendingRequest>&& batch,
                    Status::DeadlineExceeded("deadline expired in queue"));
       continue;
     }
+    if (request.type == MessageType::kSearchStream) {
+      // Streaming requests run individually through the staged cursor (the
+      // partial frame must go out mid-funnel, which a shared batch scan
+      // cannot interleave).
+      ProcessStream(request, index, degrade_window);
+      continue;
+    }
     const bool reverse = request.type == MessageType::kReverseSearch;
     const bool superset = degrade_window && request.request.allow_degraded;
     uint64_t eps_bits = 0;
@@ -605,6 +632,77 @@ void TindServer::ProcessBatch(std::vector<PendingRequest>&& batch,
       FinishRequest(request);
     }
   }
+}
+
+void TindServer::ProcessStream(PendingRequest& request, const TindIndex& index,
+                               bool degrade_window) {
+  const Dataset& dataset = index.dataset();
+  const TindParams params{request.request.epsilon, request.request.delta,
+                          params_.weight};
+  SearchCursor::Options cursor_options;
+  cursor_options.reverse = request.stream_reverse;
+  cursor_options.planner = planner_.get();
+  cursor_options.cancel = &request.cancel;
+  SearchCursor cursor(index, dataset.attribute(request.request.attribute),
+                      params, cursor_options);
+
+  // Stage 1 (the microseconds stage), then the partial frame: a sound
+  // superset the client can act on while the exact funnel continues.
+  cursor.Step();
+  SearchPartial partial;
+  partial.stage = static_cast<uint8_t>(SearchStage::kProbe);
+  partial.ids = cursor.Superset();
+  SendToConnection(request.conn, MessageType::kSearchPartial,
+                   request.request_id, EncodeSearchPartial(partial));
+  ttfr_ms_->Observe(std::chrono::duration<double, std::milli>(Clock::now() -
+                                                              request.admitted)
+                        .count());
+  if (options_.stream_pace_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.stream_pace_ms));
+  }
+
+  const auto respond_final = [&](bool degraded,
+                                 std::vector<AttributeId> ids) {
+    SearchResponse response;
+    response.degraded = degraded;
+    response.ids = std::move(ids);
+    if (degraded) {
+      degraded_.fetch_add(1);
+      TIND_OBS_COUNTER_ADD("serve/degraded", 1);
+    }
+    completed_.fetch_add(1);
+    latency_ms_->Observe(std::chrono::duration<double, std::milli>(
+                             Clock::now() - request.admitted)
+                             .count());
+    SendToConnection(request.conn, MessageType::kSearchResult,
+                     request.request_id, EncodeSearchResponse(response));
+    FinishRequest(request);
+  };
+
+  // Under overload, a consenting stream stops at the Bloom superset just
+  // like a degraded batch request (the funnel's stages 2–4 are skipped).
+  if (degrade_window && request.request.allow_degraded) {
+    respond_final(/*degraded=*/true, cursor.Superset());
+    return;
+  }
+
+  while (!cursor.done()) cursor.Step();
+  if (!cursor.cancelled()) planner_->Observe(cursor.stats());
+
+  if (cursor.cancelled()) {
+    if (request.request.allow_degraded) {
+      // Deadline fired mid-funnel: degrade to the best completed stage's
+      // superset instead of shedding — the client consented and already
+      // holds the stage-1 partial, so ship the tightest sound answer.
+      respond_final(/*degraded=*/true, cursor.Superset());
+    } else {
+      RespondError(request, Status::DeadlineExceeded(
+                                "deadline exceeded during execution"));
+    }
+    return;
+  }
+  respond_final(/*degraded=*/false, cursor.results());
 }
 
 void TindServer::RespondError(PendingRequest& request, const Status& status) {

@@ -47,6 +47,10 @@ namespace tind::obs {
 class Histogram;
 }  // namespace tind::obs
 
+namespace tind {
+class CostModelPlanner;  // tind/planner.h
+}  // namespace tind
+
 namespace tind::serve {
 
 struct ServerOptions {
@@ -79,6 +83,11 @@ struct ServerOptions {
   /// with FailedPrecondition. Enable only for servers that own their index
   /// lifetime (tind_serve --ingest).
   bool allow_ingest = false;
+  /// Test/chaos hook: minimum gap between a streaming request's partial
+  /// frame and the continuation of its funnel. Lets tests deterministically
+  /// land a deadline (or a kill) between the partial and the final frame.
+  /// 0 (the default) streams at full speed.
+  uint32_t stream_pace_ms = 0;
 };
 
 class TindServer {
@@ -167,6 +176,12 @@ class TindServer {
   void AdmitRequest(const std::shared_ptr<Connection>& conn,
                     const Frame& frame);
   void ProcessBatch(std::vector<PendingRequest>&& batch, size_t depth_at_pop);
+  /// One streaming (kSearchStream) request: probe stage → kSearchPartial
+  /// frame → cost-model plan → remaining stages → exact kSearchResult. A
+  /// deadline firing mid-funnel degrades to the best completed stage's
+  /// superset when the request consented, instead of shedding.
+  void ProcessStream(PendingRequest& request, const TindIndex& index,
+                     bool degrade_window);
   void RespondError(PendingRequest& request, const Status& status);
   void SendToConnection(const std::shared_ptr<Connection>& conn,
                         MessageType type, uint64_t request_id,
@@ -232,6 +247,13 @@ class TindServer {
   /// Always-on latency histogram (registered in the global registry under
   /// "serve/latency_ms" but recorded directly, bypassing the enable gate).
   obs::Histogram* latency_ms_ = nullptr;
+  /// Time-to-first-result for streaming requests (admission → partial
+  /// frame), recorded directly like latency_ms_.
+  obs::Histogram* ttfr_ms_ = nullptr;
+  /// Cost model consulted per streaming query after its probe stage and fed
+  /// back each finished query's stats. Built once at Start() from the base
+  /// index; it copies what it needs, so epoch swaps never invalidate it.
+  std::unique_ptr<CostModelPlanner> planner_;
 };
 
 }  // namespace tind::serve

@@ -112,6 +112,7 @@ bool IsRequestType(MessageType type) {
     case MessageType::kReverseSearch:
     case MessageType::kDiscoveryWindow:
     case MessageType::kApplyDelta:
+    case MessageType::kSearchStream:
       return true;
     default:
       return false;
@@ -239,6 +240,63 @@ Result<SearchResponse> DecodeSearchResponse(std::string_view payload) {
   }
   if (!reader.empty()) return Malformed("search response");
   return response;
+}
+
+std::string EncodeSearchStreamRequest(const SearchStreamRequest& request) {
+  std::string out;
+  PutU32(&out, request.base.attribute);
+  PutU32(&out, request.base.window_end);
+  PutF64(&out, request.base.epsilon);
+  PutU64(&out, static_cast<uint64_t>(request.base.delta));
+  PutU32(&out, request.base.deadline_ms);
+  uint8_t flags = request.base.allow_degraded ? 1 : 0;
+  if (request.reverse) flags |= 2;
+  PutU8(&out, flags);
+  return out;
+}
+
+Result<SearchStreamRequest> DecodeSearchStreamRequest(
+    std::string_view payload) {
+  Reader reader(payload);
+  SearchStreamRequest request;
+  uint64_t delta_bits = 0;
+  uint8_t flags = 0;
+  if (!reader.GetU32(&request.base.attribute) ||
+      !reader.GetU32(&request.base.window_end) ||
+      !reader.GetF64(&request.base.epsilon) || !reader.GetU64(&delta_bits) ||
+      !reader.GetU32(&request.base.deadline_ms) || !reader.GetU8(&flags) ||
+      !reader.empty()) {
+    return Malformed("search stream request");
+  }
+  request.base.delta = static_cast<int64_t>(delta_bits);
+  request.base.allow_degraded = (flags & 1) != 0;
+  request.reverse = (flags & 2) != 0;
+  return request;
+}
+
+std::string EncodeSearchPartial(const SearchPartial& partial) {
+  std::string out;
+  PutU8(&out, partial.stage);
+  PutU32(&out, static_cast<uint32_t>(partial.ids.size()));
+  for (AttributeId id : partial.ids) PutU32(&out, id);
+  return out;
+}
+
+Result<SearchPartial> DecodeSearchPartial(std::string_view payload) {
+  Reader reader(payload);
+  SearchPartial partial;
+  uint32_t count = 0;
+  if (!reader.GetU8(&partial.stage) || !reader.GetU32(&count)) {
+    return Malformed("search partial");
+  }
+  partial.ids.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    AttributeId id = 0;
+    if (!reader.GetU32(&id)) return Malformed("search partial");
+    partial.ids.push_back(id);
+  }
+  if (!reader.empty()) return Malformed("search partial");
+  return partial;
 }
 
 std::string EncodeDiscoveryResponse(const DiscoveryResponse& response) {

@@ -53,14 +53,16 @@ enum class MessageType : uint8_t {
   kReverseSearch = 3,    ///< rhs → all lhs with lhs ⊆ rhs.
   kDiscoveryWindow = 4,  ///< all pairs with lhs in [attribute, window_end).
   kApplyDelta = 5,       ///< live ingest: apply a RevisionDelta (epoch swap).
+  kSearchStream = 6,     ///< anytime search: partial frame(s) then the final.
   kPong = 17,
   kSearchResult = 18,
   kDiscoveryResult = 19,
   kError = 20,
   kApplyDeltaResult = 21,
+  kSearchPartial = 22,  ///< Sound-superset snapshot after a funnel stage.
 };
 
-/// True for the five client-initiated types.
+/// True for the six client-initiated types.
 bool IsRequestType(MessageType type);
 
 struct FrameHeader {
@@ -113,6 +115,27 @@ struct SearchResponse {
 };
 std::string EncodeSearchResponse(const SearchResponse& response);
 Result<SearchResponse> DecodeSearchResponse(std::string_view payload);
+
+/// kSearchStream request body: a SearchRequest plus the search direction
+/// (streaming replaces both kSearch and kReverseSearch). On the wire it is
+/// the SearchRequest layout with flags bit 1 carrying `reverse`.
+struct SearchStreamRequest {
+  SearchRequest base;
+  bool reverse = false;
+};
+std::string EncodeSearchStreamRequest(const SearchStreamRequest& request);
+Result<SearchStreamRequest> DecodeSearchStreamRequest(std::string_view payload);
+
+/// kSearchPartial payload: the sound candidate superset after funnel stage
+/// `stage` (tind::SearchStage as a u8). One or more of these precede the
+/// final kSearchResult frame, all echoing the request id. The exact answer
+/// is always a subset of every partial's ids.
+struct SearchPartial {
+  uint8_t stage = 0;
+  std::vector<AttributeId> ids;
+};
+std::string EncodeSearchPartial(const SearchPartial& partial);
+Result<SearchPartial> DecodeSearchPartial(std::string_view payload);
 
 struct DiscoveryResponse {
   bool degraded = false;

@@ -184,9 +184,10 @@ void TindIndex::BuildReverseCaches() {
   }
 }
 
-void TindIndex::PruneWithSlices(const AttributeHistory& query,
+bool TindIndex::PruneWithSlices(const AttributeHistory& query,
                                 const TindParams& params,
-                                BitVector* candidates) const {
+                                BitVector* candidates,
+                                const StageDeadline* deadline) const {
   // Violation bookkeeping only for surviving candidates; M_T pruning keeps
   // this map small (Section 4.2.2). This is the structural difference from
   // k-MANY, which must track all |D| candidates.
@@ -195,12 +196,19 @@ void TindIndex::PruneWithSlices(const AttributeHistory& query,
   size_t slice_probes = 0;
   size_t violation_updates = 0;
   size_t pruned = 0;
-  for (size_t j = 0; j < slice_matrices_.size(); ++j) {
+  bool completed = true;
+  for (size_t j = 0; j < slice_matrices_.size() && completed; ++j) {
     if (candidates->None()) break;
     const Interval& interval = slice_intervals_[j];
     const BloomMatrix& matrix = slice_matrices_[j];
     const auto [first, last] = query.VersionRangeInInterval(interval);
     for (int64_t v = first; v <= last; ++v) {
+      // Every probe removes candidates monotonically, so abandoning the loop
+      // mid-slice still leaves a sound superset of the exact answer.
+      if (deadline != nullptr && deadline->Expired()) {
+        completed = false;
+        break;
+      }
       const ValueSet& version = query.versions()[static_cast<size_t>(v)];
       if (version.empty()) continue;
       // The violated sub-interval is the version's validity clipped to I
@@ -232,16 +240,19 @@ void TindIndex::PruneWithSlices(const AttributeHistory& query,
   TIND_OBS_COUNTER_ADD("search/slice_probes", slice_probes);
   TIND_OBS_COUNTER_ADD("search/partial_violation_updates", violation_updates);
   TIND_OBS_COUNTER_ADD("search/slice_pruned_candidates", pruned);
+  return completed;
 }
 
-void TindIndex::PruneReverseWithSlices(const AttributeHistory& query,
+bool TindIndex::PruneReverseWithSlices(const AttributeHistory& query,
                                        const TindParams& params,
-                                       BitVector* candidates) const {
+                                       BitVector* candidates,
+                                       const StageDeadline* deadline) const {
   std::unordered_map<AttributeId, double> violations;
   size_t slice_probes = 0;
   size_t violation_updates = 0;
   size_t pruned = 0;
   size_t min_weights_cached = 0;
+  bool completed = true;
   // The build-time minimum-weight table is only valid for the weight object
   // the index was built with; other weights fall back to on-the-fly sums
   // (bit-identical either way, since the cache was filled by the same loop).
@@ -250,6 +261,10 @@ void TindIndex::PruneReverseWithSlices(const AttributeHistory& query,
       std::min(options_.reverse_slices, slice_matrices_.size());
   for (size_t j = 0; j < slices_to_use; ++j) {
     if (candidates->None()) break;
+    if (deadline != nullptr && deadline->Expired()) {
+      completed = false;
+      break;
+    }
     const Interval& interval = slice_intervals_[j];
     const BloomMatrix& matrix = slice_matrices_[j];
     // Columns hold A[I^δ]; the query side is expanded by a further δ so a
@@ -301,21 +316,28 @@ void TindIndex::PruneReverseWithSlices(const AttributeHistory& query,
   TIND_OBS_COUNTER_ADD("reverse/partial_violation_updates", violation_updates);
   TIND_OBS_COUNTER_ADD("reverse/slice_pruned_candidates", pruned);
   TIND_OBS_COUNTER_ADD("reverse/min_weights_cached", min_weights_cached);
+  return completed;
 }
 
 std::vector<AttributeId> TindIndex::ValidateCandidates(
     const AttributeHistory& query, const TindParams& params,
     const BitVector& candidates, bool forward, QueryStats* stats,
-    ThreadPool* pool, const CancellationToken* cancel) const {
+    ThreadPool* pool, const CancellationToken* cancel,
+    const StageDeadline* deadline) const {
   TIND_OBS_SCOPED_TIMER("validate");
+  Stopwatch stage_timer;
   const std::vector<size_t> ids = candidates.ToIndexVector();
   std::vector<char> valid(ids.size(), 0);
   std::atomic<size_t> validations_run{0};
+  const auto expired = [&]() {
+    return (cancel != nullptr && cancel->cancelled()) ||
+           (deadline != nullptr && deadline->Expired());
+  };
   const auto validate_one = [&](size_t i) {
     // Validation is the most expensive stage, so cancellation is polled per
     // candidate: once the token fires, at most the in-flight validations
     // (one per worker) complete before the query is abandoned.
-    if (cancel != nullptr && cancel->cancelled()) return;
+    if (expired()) return;
     validations_run.fetch_add(1, std::memory_order_relaxed);
     const AttributeHistory& a =
         dataset_->attribute(static_cast<AttributeId>(ids[i]));
@@ -331,12 +353,13 @@ std::vector<AttributeId> TindIndex::ValidateCandidates(
   }
   TIND_OBS_COUNTER_ADD("search/validations", validations_run.load());
   if (stats != nullptr) stats->validations = validations_run.load();
-  if (cancel != nullptr && cancel->cancelled()) {
+  if (expired()) {
     // A partially validated answer is neither exact nor a sound superset —
     // return nothing and flag the abandonment.
     if (stats != nullptr) {
       stats->cancelled = true;
       stats->num_results = 0;
+      stats->validate_ms = stage_timer.ElapsedMillis();
     }
     return {};
   }
@@ -344,71 +367,195 @@ std::vector<AttributeId> TindIndex::ValidateCandidates(
   for (size_t i = 0; i < ids.size(); ++i) {
     if (valid[i]) results.push_back(static_cast<AttributeId>(ids[i]));
   }
-  if (stats != nullptr) stats->num_results = results.size();
+  if (stats != nullptr) {
+    stats->num_results = results.size();
+    stats->validate_ms = stage_timer.ElapsedMillis();
+  }
   return results;
+}
+
+void TindIndex::ForwardProbeStage(const AttributeHistory& query,
+                                  const TindParams& params,
+                                  BitVector* candidates, ValueSet* required,
+                                  QueryStats* stats) const {
+  Stopwatch stage_timer;
+  *candidates = BitVector(dataset_->size(), /*fill=*/true);
+  // Exclude the query itself when it is an indexed attribute: reflexive
+  // tINDs hold trivially.
+  if (query.id() < dataset_->size() &&
+      &dataset_->attribute(query.id()) == &query) {
+    candidates->Clear(query.id());
+  }
+  // Required values against M_T (sound for every ε, w, δ).
+  *required = ComputeRequiredValues(query, *params.weight, params.epsilon);
+  {
+    TIND_OBS_SCOPED_TIMER("m_t_probe");
+    if (!required->empty()) {
+      const BloomFilter filter = full_matrix_.MakeQueryFilter(*required);
+      full_matrix_.QuerySupersets(filter, candidates);
+    }
+  }
+  if (stats != nullptr) {
+    stats->used_prefilter = !required->empty();
+    stats->initial_candidates = candidates->Count();
+    stats->probe_ms = stage_timer.ElapsedMillis();
+  }
+  TIND_OBS_COUNTER_ADD("search/candidates_after_m_t", candidates->Count());
+}
+
+bool TindIndex::ForwardSliceStage(const AttributeHistory& query,
+                                  const TindParams& params,
+                                  const QueryPlan& plan, BitVector* candidates,
+                                  QueryStats* stats,
+                                  const StageDeadline* deadline) const {
+  Stopwatch stage_timer;
+  // Time slices are only sound if the query's δ does not exceed the build δ
+  // (Section 4.4); the planner may additionally skip them as unprofitable.
+  const bool slices_usable = params.delta <= options_.delta;
+  const bool run = slices_usable && !plan.skip_slices;
+  bool completed = true;
+  {
+    TIND_OBS_SCOPED_TIMER("slice_prune");
+    if (run) completed = PruneWithSlices(query, params, candidates, deadline);
+  }
+  if (stats != nullptr) {
+    stats->used_slices = run;
+    stats->after_slices = candidates->Count();
+    stats->plan_skipped_slices = slices_usable && plan.skip_slices;
+    stats->slices_ms = stage_timer.ElapsedMillis();
+  }
+  TIND_OBS_COUNTER_ADD("search/candidates_after_slices", candidates->Count());
+  return completed;
+}
+
+void TindIndex::ForwardRecheckStage(const ValueSet& required,
+                                    const QueryPlan& plan,
+                                    BitVector* candidates,
+                                    QueryStats* stats) const {
+  Stopwatch stage_timer;
+  // Exact required-values recheck to shed Bloom false positives before the
+  // expensive temporal validation (Algorithm 1, line 16).
+  {
+    TIND_OBS_SCOPED_TIMER("exact_recheck");
+    if (!plan.skip_recheck && !required.empty()) {
+      candidates->ForEachSet([&](size_t c) {
+        if (!required.IsSubsetOf(
+                dataset_->attribute(static_cast<AttributeId>(c)).AllValues())) {
+          candidates->Clear(c);
+        }
+      });
+    }
+  }
+  if (stats != nullptr) {
+    stats->after_exact_check = candidates->Count();
+    stats->plan_skipped_recheck = plan.skip_recheck;
+    stats->recheck_ms = stage_timer.ElapsedMillis();
+  }
+}
+
+void TindIndex::ReverseProbeStage(const AttributeHistory& query,
+                                  const TindParams& params,
+                                  BitVector* candidates,
+                                  QueryStats* stats) const {
+  Stopwatch stage_timer;
+  *candidates = BitVector(dataset_->size(), /*fill=*/true);
+  if (query.id() < dataset_->size() &&
+      &dataset_->attribute(query.id()) == &query) {
+    candidates->Clear(query.id());
+  }
+  // M_R in the subset direction. Only sound when the query ε does not
+  // exceed the ε the required values were built with (Section 4.5).
+  const bool prefilter_usable =
+      has_reverse_ && params.epsilon <= options_.epsilon + kViolationTolerance;
+  {
+    TIND_OBS_SCOPED_TIMER("m_r_probe");
+    if (prefilter_usable) {
+      const BloomFilter filter =
+          reverse_matrix_.MakeQueryFilter(query.AllValues());
+      reverse_matrix_.QuerySubsets(filter, candidates);
+    }
+  }
+  if (stats != nullptr) {
+    stats->used_prefilter = prefilter_usable;
+    stats->initial_candidates = candidates->Count();
+    stats->probe_ms = stage_timer.ElapsedMillis();
+  }
+  TIND_OBS_COUNTER_ADD("reverse/candidates_after_m_r", candidates->Count());
+}
+
+bool TindIndex::ReverseSliceStage(const AttributeHistory& query,
+                                  const TindParams& params,
+                                  const QueryPlan& plan, BitVector* candidates,
+                                  QueryStats* stats,
+                                  const StageDeadline* deadline) const {
+  Stopwatch stage_timer;
+  const bool slices_usable = params.delta <= options_.delta;
+  const bool run = slices_usable && !plan.skip_slices;
+  bool completed = true;
+  {
+    TIND_OBS_SCOPED_TIMER("slice_prune");
+    if (run) {
+      completed = PruneReverseWithSlices(query, params, candidates, deadline);
+    }
+  }
+  if (stats != nullptr) {
+    stats->used_slices = run;
+    stats->after_slices = candidates->Count();
+    stats->plan_skipped_slices = slices_usable && plan.skip_slices;
+    stats->slices_ms = stage_timer.ElapsedMillis();
+  }
+  return completed;
+}
+
+void TindIndex::ReverseRecheckStage(const AttributeHistory& query,
+                                    const TindParams& params,
+                                    const QueryPlan& plan,
+                                    BitVector* candidates,
+                                    QueryStats* stats) const {
+  Stopwatch stage_timer;
+  const bool prefilter_usable =
+      has_reverse_ && params.epsilon <= options_.epsilon + kViolationTolerance;
+  // Exact recheck — R(A) must truly be contained in Q[T].
+  {
+    TIND_OBS_SCOPED_TIMER("exact_recheck");
+    if (prefilter_usable && !plan.skip_recheck) {
+      // The recheck always evaluates at the build (ε, w) — exactly what
+      // required_values_ holds (it is populated whenever has_reverse_ is).
+      assert(required_values_.size() == dataset_->size());
+      const ValueSet& query_all = query.AllValues();
+      candidates->ForEachSet([&](size_t c) {
+        if (!required_values_[c].IsSubsetOf(query_all)) candidates->Clear(c);
+      });
+    }
+  }
+  if (stats != nullptr) {
+    stats->after_exact_check = candidates->Count();
+    stats->plan_skipped_recheck = plan.skip_recheck;
+    stats->recheck_ms = stage_timer.ElapsedMillis();
+  }
 }
 
 std::vector<AttributeId> TindIndex::Search(const AttributeHistory& query,
                                            const TindParams& params,
                                            QueryStats* stats,
                                            ThreadPool* pool) const {
+  return Search(query, params, QueryPlan{}, stats, pool);
+}
+
+std::vector<AttributeId> TindIndex::Search(const AttributeHistory& query,
+                                           const TindParams& params,
+                                           const QueryPlan& plan,
+                                           QueryStats* stats,
+                                           ThreadPool* pool) const {
   Stopwatch timer;
   assert(params.weight != nullptr);
   TIND_OBS_SCOPED_TIMER("search");
   TIND_OBS_COUNTER_ADD("search/queries", 1);
-  BitVector candidates(dataset_->size(), /*fill=*/true);
-  // Exclude the query itself when it is an indexed attribute: reflexive
-  // tINDs hold trivially.
-  if (query.id() < dataset_->size() &&
-      &dataset_->attribute(query.id()) == &query) {
-    candidates.Clear(query.id());
-  }
-
-  // Stage 1: required values against M_T (sound for every ε, w, δ).
-  const ValueSet required =
-      ComputeRequiredValues(query, *params.weight, params.epsilon);
-  {
-    TIND_OBS_SCOPED_TIMER("m_t_probe");
-    if (!required.empty()) {
-      const BloomFilter filter = full_matrix_.MakeQueryFilter(required);
-      full_matrix_.QuerySupersets(filter, &candidates);
-    }
-  }
-  if (stats != nullptr) {
-    stats->used_prefilter = !required.empty();
-    stats->initial_candidates = candidates.Count();
-  }
-  TIND_OBS_COUNTER_ADD("search/candidates_after_m_t", candidates.Count());
-
-  // Stage 2: time slices — only sound if the query's δ does not exceed the
-  // build δ (Section 4.4).
-  const bool slices_usable = params.delta <= options_.delta;
-  {
-    TIND_OBS_SCOPED_TIMER("slice_prune");
-    if (slices_usable) PruneWithSlices(query, params, &candidates);
-  }
-  if (stats != nullptr) {
-    stats->used_slices = slices_usable;
-    stats->after_slices = candidates.Count();
-  }
-  TIND_OBS_COUNTER_ADD("search/candidates_after_slices", candidates.Count());
-
-  // Stage 3: exact required-values recheck to shed Bloom false positives
-  // before the expensive temporal validation (Algorithm 1, line 16).
-  {
-    TIND_OBS_SCOPED_TIMER("exact_recheck");
-    if (!required.empty()) {
-      candidates.ForEachSet([&](size_t c) {
-        if (!required.IsSubsetOf(
-                dataset_->attribute(static_cast<AttributeId>(c)).AllValues())) {
-          candidates.Clear(c);
-        }
-      });
-    }
-  }
-  if (stats != nullptr) stats->after_exact_check = candidates.Count();
-
-  // Stage 4: exact validation (Algorithm 2).
+  BitVector candidates;
+  ValueSet required;
+  ForwardProbeStage(query, params, &candidates, &required, stats);
+  ForwardSliceStage(query, params, plan, &candidates, stats);
+  ForwardRecheckStage(required, plan, &candidates, stats);
   std::vector<AttributeId> results =
       ValidateCandidates(query, params, candidates, /*forward=*/true, stats, pool);
   if (stats != nullptr) stats->elapsed_ms = timer.ElapsedMillis();
@@ -419,60 +566,22 @@ std::vector<AttributeId> TindIndex::ReverseSearch(const AttributeHistory& query,
                                                   const TindParams& params,
                                                   QueryStats* stats,
                                                   ThreadPool* pool) const {
+  return ReverseSearch(query, params, QueryPlan{}, stats, pool);
+}
+
+std::vector<AttributeId> TindIndex::ReverseSearch(const AttributeHistory& query,
+                                                  const TindParams& params,
+                                                  const QueryPlan& plan,
+                                                  QueryStats* stats,
+                                                  ThreadPool* pool) const {
   Stopwatch timer;
   assert(params.weight != nullptr);
   TIND_OBS_SCOPED_TIMER("reverse_search");
   TIND_OBS_COUNTER_ADD("reverse/queries", 1);
-  BitVector candidates(dataset_->size(), /*fill=*/true);
-  if (query.id() < dataset_->size() &&
-      &dataset_->attribute(query.id()) == &query) {
-    candidates.Clear(query.id());
-  }
-
-  // Stage 1: M_R in the subset direction. Only sound when the query ε does
-  // not exceed the ε the required values were built with (Section 4.5).
-  const bool prefilter_usable =
-      has_reverse_ && params.epsilon <= options_.epsilon + kViolationTolerance;
-  {
-    TIND_OBS_SCOPED_TIMER("m_r_probe");
-    if (prefilter_usable) {
-      const BloomFilter filter =
-          reverse_matrix_.MakeQueryFilter(query.AllValues());
-      reverse_matrix_.QuerySubsets(filter, &candidates);
-    }
-  }
-  if (stats != nullptr) {
-    stats->used_prefilter = prefilter_usable;
-    stats->initial_candidates = candidates.Count();
-  }
-  TIND_OBS_COUNTER_ADD("reverse/candidates_after_m_r", candidates.Count());
-
-  // Stage 2: time slices with minimum-violation accounting.
-  const bool slices_usable = params.delta <= options_.delta;
-  {
-    TIND_OBS_SCOPED_TIMER("slice_prune");
-    if (slices_usable) PruneReverseWithSlices(query, params, &candidates);
-  }
-  if (stats != nullptr) {
-    stats->used_slices = slices_usable;
-    stats->after_slices = candidates.Count();
-  }
-
-  // Stage 3: exact recheck — R(A) must truly be contained in Q[T].
-  {
-    TIND_OBS_SCOPED_TIMER("exact_recheck");
-    if (prefilter_usable) {
-      // The recheck always evaluates at the build (ε, w) — exactly what
-      // required_values_ holds (it is populated whenever has_reverse_ is).
-      assert(required_values_.size() == dataset_->size());
-      const ValueSet& query_all = query.AllValues();
-      candidates.ForEachSet([&](size_t c) {
-        if (!required_values_[c].IsSubsetOf(query_all)) candidates.Clear(c);
-      });
-    }
-  }
-  if (stats != nullptr) stats->after_exact_check = candidates.Count();
-
+  BitVector candidates;
+  ReverseProbeStage(query, params, &candidates, stats);
+  ReverseSliceStage(query, params, plan, &candidates, stats);
+  ReverseRecheckStage(query, params, plan, &candidates, stats);
   std::vector<AttributeId> results = ValidateCandidates(
       query, params, candidates, /*forward=*/false, stats, pool);
   if (stats != nullptr) stats->elapsed_ms = timer.ElapsedMillis();

@@ -31,6 +31,7 @@
 #include "temporal/dataset.h"
 #include "tind/interval_selection.h"
 #include "tind/params.h"
+#include "tind/plan.h"
 
 namespace tind {
 
@@ -97,7 +98,19 @@ struct QueryStats {
   /// True when the query ran in superset mode (BatchExecOptions below):
   /// results are the sound Bloom-funnel superset, not the exact answer.
   bool degraded = false;
+  /// Planner decisions (tind/plan.h): true when the cost model skipped the
+  /// corresponding prune stage. Both skips are sound — the final result is
+  /// unchanged; only the work distribution across stages moves.
+  bool plan_skipped_slices = false;
+  bool plan_skipped_recheck = false;
   double elapsed_ms = 0;
+  /// Per-stage wall-time attribution (prefilter probe, slice pruning, exact
+  /// recheck, validation). Like elapsed_ms these are timing fields and are
+  /// excluded from the differential tests' bit-identity contracts.
+  double probe_ms = 0;
+  double slices_ms = 0;
+  double recheck_ms = 0;
+  double validate_ms = 0;
 };
 
 /// Per-call execution controls for BatchSearch / BatchReverseSearch. The
@@ -147,9 +160,29 @@ class TindIndex {
                                   QueryStats* stats = nullptr,
                                   ThreadPool* pool = nullptr) const;
 
+  /// Search with an explicit stage plan (tind/plan.h). With a default
+  /// QueryPlan this is bit-identical to the overload above; with skips the
+  /// final result is still exact (skipped stages are sound prunes) but the
+  /// funnel counters reflect the stages actually run. The progressive
+  /// cursor (tind/progressive.h) executes exactly these stages one Step()
+  /// at a time — the progressive differential test pins the equivalence.
+  std::vector<AttributeId> Search(const AttributeHistory& query,
+                                  const TindParams& params,
+                                  const QueryPlan& plan,
+                                  QueryStats* stats = nullptr,
+                                  ThreadPool* pool = nullptr) const;
+
   /// Reverse tIND search (Definition 3.8): all A ∈ D with A ⊆_{w,ε,δ} Q.
   std::vector<AttributeId> ReverseSearch(const AttributeHistory& query,
                                          const TindParams& params,
+                                         QueryStats* stats = nullptr,
+                                         ThreadPool* pool = nullptr) const;
+
+  /// ReverseSearch with an explicit stage plan — same contract as the
+  /// planned Search overload.
+  std::vector<AttributeId> ReverseSearch(const AttributeHistory& query,
+                                         const TindParams& params,
+                                         const QueryPlan& plan,
                                          QueryStats* stats = nullptr,
                                          ThreadPool* pool = nullptr) const;
 
@@ -243,28 +276,74 @@ class TindIndex {
   bool loaded_from_snapshot() const { return snapshot_storage_ != nullptr; }
 
  private:
-  friend class IndexUpdater;  ///< Incremental maintenance (tind/update.h).
+  friend class IndexUpdater;   ///< Incremental maintenance (tind/update.h).
+  friend class SearchCursor;   ///< Staged execution (tind/progressive.h).
 
   TindIndex() = default;
 
+  /// Stage 1 (forward): initialize the candidate universe (all attributes
+  /// minus the query itself), compute R_{ε,w}(Q), and prune via the M_T
+  /// superset probe. Fills stats->{used_prefilter, initial_candidates,
+  /// probe_ms}.
+  void ForwardProbeStage(const AttributeHistory& query,
+                         const TindParams& params, BitVector* candidates,
+                         ValueSet* required, QueryStats* stats) const;
+
+  /// Stage 2 (forward): time-slice violation pruning, honoring the plan's
+  /// skip_slices and the soundness gate (params.delta <= build δ). Returns
+  /// false iff `deadline` expired mid-stage — the candidate set is then
+  /// partially pruned but still a sound superset.
+  bool ForwardSliceStage(const AttributeHistory& query,
+                         const TindParams& params, const QueryPlan& plan,
+                         BitVector* candidates, QueryStats* stats,
+                         const StageDeadline* deadline = nullptr) const;
+
+  /// Stage 3 (forward): exact required-values recheck against each
+  /// candidate's full value set, honoring plan.skip_recheck.
+  void ForwardRecheckStage(const ValueSet& required, const QueryPlan& plan,
+                           BitVector* candidates, QueryStats* stats) const;
+
+  /// Stage 1 (reverse): candidate universe + M_R subset probe (usable iff
+  /// params.epsilon <= build ε).
+  void ReverseProbeStage(const AttributeHistory& query,
+                         const TindParams& params, BitVector* candidates,
+                         QueryStats* stats) const;
+
+  /// Stage 2 (reverse): minimum-violation slice pruning; same deadline
+  /// contract as ForwardSliceStage.
+  bool ReverseSliceStage(const AttributeHistory& query,
+                         const TindParams& params, const QueryPlan& plan,
+                         BitVector* candidates, QueryStats* stats,
+                         const StageDeadline* deadline = nullptr) const;
+
+  /// Stage 3 (reverse): exact R_{ε,w}(A) ⊆ Q[T] recheck from the
+  /// required_values_ cache (usable only when the M_R prefilter is).
+  void ReverseRecheckStage(const AttributeHistory& query,
+                           const TindParams& params, const QueryPlan& plan,
+                           BitVector* candidates, QueryStats* stats) const;
+
   /// Slice-stage pruning for forward search: probes every distinct version
   /// of the query within each slice interval and accumulates partial
-  /// violation weights per candidate (Algorithm 1, lines 4-15).
-  void PruneWithSlices(const AttributeHistory& query, const TindParams& params,
-                       BitVector* candidates) const;
+  /// violation weights per candidate (Algorithm 1, lines 4-15). Returns
+  /// false iff `deadline` expired before all slices were probed.
+  bool PruneWithSlices(const AttributeHistory& query, const TindParams& params,
+                       BitVector* candidates,
+                       const StageDeadline* deadline = nullptr) const;
 
   /// Slice-stage pruning for reverse search with minimum-violation
-  /// accounting (Section 4.5, Figure 6).
-  void PruneReverseWithSlices(const AttributeHistory& query,
-                              const TindParams& params,
-                              BitVector* candidates) const;
+  /// accounting (Section 4.5, Figure 6). Same deadline contract.
+  bool PruneReverseWithSlices(const AttributeHistory& query,
+                              const TindParams& params, BitVector* candidates,
+                              const StageDeadline* deadline = nullptr) const;
 
   /// Runs exact validation over the surviving candidates; `forward` selects
-  /// the containment direction.
+  /// the containment direction. An expired `deadline` behaves like a fired
+  /// `cancel`: empty results with stats->cancelled set.
   std::vector<AttributeId> ValidateCandidates(
       const AttributeHistory& query, const TindParams& params,
       const BitVector& candidates, bool forward, QueryStats* stats,
-      ThreadPool* pool, const CancellationToken* cancel = nullptr) const;
+      ThreadPool* pool, const CancellationToken* cancel = nullptr,
+      const StageDeadline* deadline = nullptr) const;
 
   /// Shared batch driver: shards the batch (across `pool` when given), then
   /// runs the group pipeline per shard.

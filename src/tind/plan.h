@@ -1,0 +1,48 @@
+#ifndef TIND_TIND_PLAN_H_
+#define TIND_TIND_PLAN_H_
+
+/// \file plan.h
+/// Per-query execution plans for the staged search funnel. Every stage of
+/// Algorithm 1 before exact validation is a *sound prune* — it only removes
+/// attributes that cannot be in the answer — so skipping a prune stage can
+/// never change the final result, only the amount of work stage 4 validates.
+/// A QueryPlan records which optional stages the cost-model planner
+/// (tind/planner.h) decided to skip; StageDeadline is the cooperative
+/// per-stage budget the progressive cursor (tind/progressive.h) threads
+/// through the stage bodies.
+
+#include "common/cancellation.h"
+#include "common/stopwatch.h"
+
+namespace tind {
+
+/// Stage skips for one query. The default plan runs the full funnel and is
+/// bit-identical (results and QueryStats) to the pre-plan Search().
+struct QueryPlan {
+  /// Skip the time-slice violation pruning (stage 2). Chosen when the
+  /// expected validation savings cannot repay the slice probes — typically
+  /// tiny candidate sets or queries with no versions in the indexed slices.
+  bool skip_slices = false;
+  /// Skip the exact required-values recheck (stage 3); together with
+  /// skip_slices this is "skip straight to validation".
+  bool skip_recheck = false;
+};
+
+/// Cooperative per-stage budget: polled between work units (slice probes,
+/// validation candidates). Either the external token firing or the wall
+/// budget elapsing expires the stage. A null cancel with a non-positive
+/// budget never expires.
+struct StageDeadline {
+  const CancellationToken* cancel = nullptr;
+  double budget_ms = 0;  ///< <= 0 means no time budget.
+  Stopwatch timer;       ///< Started when the stage begins.
+
+  bool Expired() const {
+    if (cancel != nullptr && cancel->cancelled()) return true;
+    return budget_ms > 0 && timer.ElapsedMillis() > budget_ms;
+  }
+};
+
+}  // namespace tind
+
+#endif  // TIND_TIND_PLAN_H_

@@ -1,0 +1,115 @@
+#ifndef TIND_TIND_PROGRESSIVE_H_
+#define TIND_TIND_PROGRESSIVE_H_
+
+/// \file progressive.h
+/// Anytime execution of the search funnel: a SearchCursor runs the exact
+/// same stage bodies as TindIndex::Search / ReverseSearch, but one stage per
+/// Step() call, so a caller can read the sound candidate superset between
+/// stages (Superset()), attach per-stage budgets, abandon on cancellation,
+/// and still finish with results and QueryStats bit-identical to the
+/// monolithic call (the progressive differential test pins this).
+///
+/// Soundness across interruptions: stages 1–3 only ever *remove* candidates
+/// that provably cannot be answers, so the candidate set is a superset of
+/// the exact result at every cursor position — including after a mid-stage
+/// budget expiry or an Abandon(). Only stage 4 (validation) produces the
+/// exact answer, and an interrupted validation returns nothing rather than
+/// a partial (neither-sound-nor-exact) list.
+
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/thread_pool.h"
+#include "temporal/dataset.h"
+#include "tind/index.h"
+#include "tind/params.h"
+#include "tind/plan.h"
+
+namespace tind {
+
+class CostModelPlanner;  // tind/planner.h
+
+/// The four funnel stages plus the terminal state. Values are ordered by
+/// execution; the wire protocol ships them as a u8.
+enum class SearchStage : uint8_t {
+  kProbe = 0,     ///< M_T (or M_R) Bloom probe — the microseconds stage.
+  kSlices = 1,    ///< Time-slice violation pruning.
+  kRecheck = 2,   ///< Exact required-values recheck.
+  kValidate = 3,  ///< Exact Algorithm-2 validation.
+  kDone = 4,
+};
+
+const char* SearchStageName(SearchStage stage);
+
+/// Staged execution of one forward or reverse search.
+///
+/// Not thread-safe; one cursor per query per thread. The index, query,
+/// params.weight, planner, cancel token, and pool must outlive the cursor.
+class SearchCursor {
+ public:
+  struct Options {
+    bool reverse = false;
+    /// Explicit stage plan; overwritten after the probe stage when
+    /// `planner` is set.
+    QueryPlan plan;
+    /// Optional cost model consulted once the stage-1 candidate count is
+    /// known. Not owned.
+    const CostModelPlanner* planner = nullptr;
+    /// External cancellation, polled at stage boundaries and inside the
+    /// slice / validation loops. A fired token abandons the query
+    /// (cancelled stats, empty results) but leaves Superset() valid.
+    const CancellationToken* cancel = nullptr;
+    /// Parallel validation pool for stage 4 (same as Search's `pool`).
+    ThreadPool* pool = nullptr;
+  };
+
+  SearchCursor(const TindIndex& index, const AttributeHistory& query,
+               const TindParams& params, const Options& options);
+  SearchCursor(const TindIndex& index, const AttributeHistory& query,
+               const TindParams& params)
+      : SearchCursor(index, query, params, Options()) {}
+
+  /// Runs the next stage and returns the stage that should run next
+  /// (kDone when finished). `stage_budget_ms` > 0 bounds this stage's wall
+  /// time: an expired slice stage continues to the next stage with the
+  /// partially-pruned (still sound) candidate set; an expired validation
+  /// abandons the query like a cancellation.
+  SearchStage Step(double stage_budget_ms = 0);
+
+  /// Steps until kDone; returns results().
+  const std::vector<AttributeId>& RunToCompletion();
+
+  /// The current candidate set as ascending attribute ids — a sound
+  /// superset of the exact result at every cursor position, even after
+  /// Abandon() or a budget expiry.
+  std::vector<AttributeId> Superset() const;
+
+  /// Abandons the query: cancelled stats, empty results, cursor done.
+  /// Candidates are kept so Superset() still answers (this is the serving
+  /// layer's degrade-to-best-stage path).
+  void Abandon();
+
+  SearchStage next_stage() const { return stage_; }
+  bool done() const { return stage_ == SearchStage::kDone; }
+  bool cancelled() const { return stats_.cancelled; }
+  const QueryStats& stats() const { return stats_; }
+  const std::vector<AttributeId>& results() const { return results_; }
+  const QueryPlan& plan() const { return options_.plan; }
+  size_t candidate_count() const { return candidates_.Count(); }
+
+ private:
+  const TindIndex* index_;
+  const AttributeHistory* query_;
+  TindParams params_;
+  Options options_;
+  SearchStage stage_ = SearchStage::kProbe;
+  BitVector candidates_;
+  ValueSet required_;  ///< R_{ε,w}(Q); forward recheck input.
+  QueryStats stats_;
+  std::vector<AttributeId> results_;
+  double elapsed_ms_ = 0;  ///< Summed across Step() calls.
+};
+
+}  // namespace tind
+
+#endif  // TIND_TIND_PROGRESSIVE_H_

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <numeric>
+
+#include "scenario/scenario.h"
 #include "test_util.h"
 
 namespace tind {
@@ -188,6 +191,81 @@ TEST(SliceStrategyTest, Names) {
   EXPECT_STREQ(SliceStrategyToString(SliceStrategy::kRandom), "random");
   EXPECT_STREQ(SliceStrategyToString(SliceStrategy::kWeightedRandom),
                "weighted-random");
+}
+
+/// Property over seeded scenario corpora: the sampled p(I) estimate that
+/// drives weighted-random placement (and seeds the cost-model planner)
+/// tracks the full-corpus pruning power — the sample is a faithful proxy —
+/// and the placements it picks realize at least the pruning power of
+/// uniform-random placement on the same corpus.
+TEST(PruningPowerPropertyTest, SampledEstimateTracksRealizedPower) {
+  double weighted_total = 0;
+  double random_total = 0;
+  for (const uint64_t seed : {uint64_t{11}, uint64_t{12}, uint64_t{13}}) {
+    scenario::ScenarioSpec spec;
+    spec.name = "pruning-power-property";
+    spec.seed = seed;
+    spec.corpus.attributes = 160;
+    spec.corpus.days = 250;
+    auto corpus = scenario::MaterializeCorpus(spec);
+    ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+    const Dataset& dataset = corpus->dataset;
+    ASSERT_GE(dataset.size(), 32u);
+
+    // Full-corpus ("realized") pruning power vs the selection-time sample.
+    std::vector<size_t> everyone(dataset.size());
+    std::iota(everyone.begin(), everyone.end(), 0);
+    const size_t sample_size = dataset.size() / 4;
+    std::vector<size_t> sample(sample_size);
+    std::iota(sample.begin(), sample.end(), 0);
+
+    const ConstantWeight w(dataset.domain().num_timestamps());
+    IntervalSelectionOptions opts;
+    opts.num_intervals = 6;
+    opts.epsilon = 3.0;
+    opts.seed = seed * 7 + 1;
+    opts.candidate_starts = 64;
+    opts.pruning_sample = sample_size;
+
+    opts.strategy = SliceStrategy::kWeightedRandom;
+    const auto weighted = SelectIndexIntervals(dataset, w, opts);
+    opts.strategy = SliceStrategy::kRandom;
+    const auto random = SelectIndexIntervals(dataset, w, opts);
+    ASSERT_GE(weighted.size(), 2u);
+    ASSERT_GE(random.size(), 2u);
+
+    double weighted_realized = 0;
+    for (const Interval& interval : weighted) {
+      // EstimatePruningPower sums over the attributes it is given, so
+      // estimates over differently-sized samples compare per attribute.
+      const double estimated =
+          EstimatePruningPower(dataset, sample, interval) /
+          static_cast<double>(sample.size());
+      const double realized =
+          EstimatePruningPower(dataset, everyone, interval) /
+          static_cast<double>(everyone.size());
+      weighted_realized += realized;
+      // Tracking: the quarter-corpus per-attribute estimate stays within
+      // 3x of the full-corpus value in both directions (the generator's
+      // corpora are heterogeneous, so a sloppy sample would blow well
+      // past this).
+      EXPECT_GT(realized, 0.0) << "seed=" << seed;
+      EXPECT_LE(estimated, realized * 3.0) << "seed=" << seed;
+      EXPECT_GE(estimated, realized / 3.0) << "seed=" << seed;
+    }
+    double random_realized = 0;
+    for (const Interval& interval : random) {
+      random_realized += EstimatePruningPower(dataset, everyone, interval) /
+                         static_cast<double>(everyone.size());
+    }
+    weighted_total += weighted_realized / static_cast<double>(weighted.size());
+    random_total += random_realized / static_cast<double>(random.size());
+  }
+  // Aggregated over the seeds, weighted-random placement must realize at
+  // least uniform-random's pruning power (Figure 13's small-k regime; a
+  // single seed may tie, the average must not lose).
+  EXPECT_GE(weighted_total, random_total * 0.95)
+      << "weighted=" << weighted_total << " random=" << random_total;
 }
 
 }  // namespace

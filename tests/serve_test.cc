@@ -17,6 +17,7 @@
 #include "temporal/weights.h"
 #include "tind/discovery.h"
 #include "tind/index.h"
+#include "tind/progressive.h"
 #include "tind/update.h"
 #include "wiki/generator.h"
 
@@ -435,6 +436,159 @@ TEST_F(ServeTest, OpenLoopLoadAccountsForEveryRequest) {
   EXPECT_TRUE(report.AllAccounted())
       << report.ToJson().Dump(2);
   EXPECT_GT(report.ok, 0u);
+  server->Shutdown();
+}
+
+// ---- Streaming (anytime) op ---------------------------------------------
+
+TEST_F(ServeTest, StreamedAnswersMatchDirectIndexCallsWithSoundPartials) {
+  auto server = StartServer(ServerOptions{});
+  TindClient client(ClientFor(*server));
+  const TindParams params = Params();
+  const size_t n = corpus_->dataset.size();
+  for (size_t q = 0; q < n; ++q) {
+    const AttributeId attr = static_cast<AttributeId>(q);
+    const auto& history = corpus_->dataset.attribute(attr);
+    for (const bool reverse : {false, true}) {
+      StreamReply reply;
+      const Status status = reverse ? client.ReverseSearchStream(attr, &reply)
+                                    : client.SearchStream(attr, &reply);
+      ASSERT_TRUE(status.ok()) << status.ToString();
+      const auto exact = reverse ? index_->ReverseSearch(history, params)
+                                 : index_->Search(history, params);
+      EXPECT_FALSE(reply.degraded) << "q=" << q;
+      EXPECT_EQ(reply.ids, exact) << "q=" << q << " reverse=" << reverse;
+      // Exactly one partial preceded the final frame, and it is a sound
+      // superset of the exact answer.
+      ASSERT_TRUE(reply.got_partial) << "q=" << q;
+      EXPECT_EQ(reply.partial_stage,
+                static_cast<uint8_t>(SearchStage::kProbe));
+      const std::set<AttributeId> partial(reply.partial_ids.begin(),
+                                          reply.partial_ids.end());
+      for (const AttributeId id : exact) {
+        EXPECT_TRUE(partial.count(id)) << "q=" << q << " id=" << id;
+      }
+      EXPECT_LE(reply.ttfr_ms, reply.total_ms) << "q=" << q;
+    }
+  }
+  server->Shutdown();
+  EXPECT_EQ(server->counters().completed, 2 * n);
+  EXPECT_EQ(server->counters().degraded, 0u);
+}
+
+TEST_F(ServeTest, StreamDeadlineDegradesToBestStageWithConsent) {
+  // stream_pace_ms holds the funnel between the partial and the final frame
+  // long enough for the 50 ms deadline to fire deterministically mid-stream.
+  ServerOptions options;
+  options.stream_pace_ms = 300;
+  auto server = StartServer(options);
+  ClientOptions client_options = ClientFor(*server);
+  client_options.deadline_ms = 50;
+  client_options.allow_degraded = true;
+  TindClient client(client_options);
+  StreamReply reply;
+  const Status status = client.SearchStream(0, &reply);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_TRUE(reply.got_partial);
+  EXPECT_TRUE(reply.degraded);
+  // The degraded final is the best completed stage's superset: still sound.
+  const auto exact = index_->Search(corpus_->dataset.attribute(0), Params());
+  const std::set<AttributeId> ids(reply.ids.begin(), reply.ids.end());
+  for (const AttributeId id : exact) EXPECT_TRUE(ids.count(id)) << id;
+  EXPECT_TRUE(WaitUntil([&] { return server->counters().degraded >= 1; }));
+  server->Shutdown();
+}
+
+TEST_F(ServeTest, StreamDeadlineWithoutConsentErrorsAfterPartial) {
+  ServerOptions options;
+  options.stream_pace_ms = 300;
+  auto server = StartServer(options);
+  ClientOptions client_options = ClientFor(*server);
+  client_options.deadline_ms = 50;  // No degraded consent.
+  TindClient client(client_options);
+  StreamReply reply;
+  const Status status = client.SearchStream(0, &reply);
+  EXPECT_TRUE(status.IsDeadlineExceeded()) << status.ToString();
+  // The partial frame arrived before the deadline killed the funnel — the
+  // caller still holds a usable superset (the whole point of the op).
+  EXPECT_TRUE(reply.got_partial);
+  const auto exact = index_->Search(corpus_->dataset.attribute(0), Params());
+  const std::set<AttributeId> partial(reply.partial_ids.begin(),
+                                      reply.partial_ids.end());
+  for (const AttributeId id : exact) EXPECT_TRUE(partial.count(id)) << id;
+  EXPECT_TRUE(
+      WaitUntil([&] { return server->counters().deadline_exceeded >= 1; }));
+  server->Shutdown();
+}
+
+TEST_F(ServeTest, StreamUnderWatermarkDegradesLikeBatchRequests) {
+  ServerOptions options;
+  options.degrade_watermark = 0;  // Every dispatch window is "overloaded".
+  auto server = StartServer(options);
+  ClientOptions client_options = ClientFor(*server);
+  client_options.allow_degraded = true;
+  TindClient client(client_options);
+  StreamReply reply;
+  const Status status = client.SearchStream(0, &reply);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_TRUE(reply.got_partial);
+  EXPECT_TRUE(reply.degraded);
+  const auto exact = index_->Search(corpus_->dataset.attribute(0), Params());
+  const std::set<AttributeId> ids(reply.ids.begin(), reply.ids.end());
+  for (const AttributeId id : exact) EXPECT_TRUE(ids.count(id)) << id;
+  server->Shutdown();
+}
+
+TEST_F(ServeTest, MalformedStreamRequestIsTypedErrorAndServerSurvives) {
+  auto server = StartServer(ServerOptions{});
+  auto fd = ConnectTcp("127.0.0.1", server->port(), 1000);
+  ASSERT_TRUE(fd.ok());
+  // A syntactically valid frame whose payload is not a stream request.
+  ASSERT_TRUE(SendFrame(*fd, MessageType::kSearchStream, 3,
+                        "garbage stream payload", 1000)
+                  .ok());
+  auto error_frame = RecvFrame(*fd, 2000, 2000);
+  ASSERT_TRUE(error_frame.ok()) << error_frame.status().ToString();
+  EXPECT_EQ(error_frame->header.type, MessageType::kError);
+  EXPECT_TRUE(DecodeErrorResponse(error_frame->payload).IsInvalidArgument());
+  CloseFd(*fd);
+  // Out-of-range attribute over the real codec path.
+  TindClient client(ClientFor(*server));
+  StreamReply reply;
+  const Status status =
+      client.SearchStream(static_cast<AttributeId>(1u << 20), &reply);
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+  EXPECT_FALSE(reply.got_partial);
+  // The server still answers healthy streams afterwards.
+  StreamReply healthy;
+  EXPECT_TRUE(client.SearchStream(0, &healthy).ok());
+  EXPECT_GE(server->counters().protocol_errors, 2u);
+  server->Shutdown();
+}
+
+TEST_F(ServeTest, LoadDriverStreamsReportTimeToFirstResult) {
+  auto server = StartServer(ServerOptions{});
+  LoadOptions load;
+  load.client = ClientFor(*server);
+  load.client.max_attempts = 3;
+  load.qps = 120;
+  load.duration_s = 0.5;
+  load.workers = 2;
+  load.reverse_fraction = 0.3;
+  load.stream_fraction = 1.0;  // Every query over the streaming op.
+  load.hot_fraction = 0.8;     // Exercise the Zipf hot-set picker too.
+  load.hot_set_fraction = 0.1;
+  load.num_attributes = corpus_->dataset.size();
+  load.seed = 5;
+  const LoadReport report = RunOpenLoopLoad(load);
+  EXPECT_GT(report.offered, 0u);
+  EXPECT_TRUE(report.AllAccounted()) << report.ToJson().Dump(2);
+  EXPECT_GT(report.ok, 0u);
+  EXPECT_EQ(report.streams, report.offered);
+  EXPECT_GE(report.stream_partials, report.ok);
+  EXPECT_GT(report.ttfr_p50_ms, 0.0);
+  EXPECT_LE(report.ttfr_p50_ms, report.max_ms + 1e-9)
+      << report.ToJson().Dump(2);
   server->Shutdown();
 }
 

@@ -17,6 +17,13 @@
 /// writes the BENCH_serving.json document (shared schema with
 /// bench_serving, validated in CI against bench/baselines/serving.json).
 ///
+/// --scenario=<name-or-json> replays a scenario traffic model (see
+/// src/scenario/): its queries/hot-set skew/reverse mix map onto the load
+/// options, so the same spec drives the offline harness and this live
+/// driver. Explicit flags given alongside --scenario win. --stream_frac
+/// sends that share of queries over the anytime streaming op and reports
+/// time-to-first-result percentiles.
+///
 /// Exit status: 0 when every scheduled request reached a terminal outcome
 /// (the zero-hung-requests invariant), 1 otherwise.
 
@@ -28,6 +35,7 @@
 
 #include "common/build_info.h"
 #include "common/flags.h"
+#include "scenario/scenario.h"
 #include "serve/load.h"
 
 namespace {
@@ -97,8 +105,38 @@ int Run(const Flags& flags) {
   load.discovery_fraction = flags.GetDouble("discovery_frac", 0.0);
   load.discovery_window =
       static_cast<uint32_t>(flags.GetInt("discovery_window", 8));
+  load.stream_fraction = flags.GetDouble("stream_frac", 0.0);
   load.num_attributes = static_cast<size_t>(flags.GetInt("attributes", 1));
+  load.hot_fraction = flags.GetDouble("hot_frac", 0.0);
+  load.hot_set_fraction = flags.GetDouble("hot_set_frac", 0.05);
   load.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+
+  // --scenario: the spec's traffic model (and seed) provides defaults; any
+  // flag the user passed explicitly still wins.
+  const std::string scenario_name = flags.GetString("scenario", "");
+  if (!scenario_name.empty()) {
+    tind::Result<tind::scenario::ScenarioSpec> spec =
+        tind::scenario::ResolveScenario(scenario_name);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "bad --scenario: %s\n",
+                   spec.status().ToString().c_str());
+      return 1;
+    }
+    const tind::scenario::TrafficSpec& traffic = spec->traffic;
+    if (!flags.Has("reverse_frac")) load.reverse_fraction = traffic.reverse_fraction;
+    if (!flags.Has("hot_frac")) load.hot_fraction = traffic.hot_fraction;
+    if (!flags.Has("hot_set_frac")) {
+      load.hot_set_fraction = traffic.hot_set_fraction;
+    }
+    if (!flags.Has("seed")) load.seed = spec->seed;
+    if (!flags.Has("attributes")) {
+      load.num_attributes = spec->corpus.attributes;
+    }
+    std::printf("scenario %s: reverse=%.2f hot=%.2f/%.2f attrs=%zu seed=%llu\n",
+                spec->name.c_str(), load.reverse_fraction, load.hot_fraction,
+                load.hot_set_fraction, load.num_attributes,
+                static_cast<unsigned long long>(load.seed));
+  }
 
   std::printf("%8s %9s %9s %9s %9s %9s %8s %8s %8s\n", "qps", "offered",
               "ok", "degraded", "shed", "deadline", "p50ms", "p99ms",
